@@ -1,0 +1,430 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benches measure the cost of the experiment machinery; the
+// experiment *results* (the actual table contents) are printed by
+// cmd/wpsqlilab and cmd/jozabench and asserted by the package tests.
+package joza_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"joza"
+	"joza/internal/daemon"
+	"joza/internal/evasion"
+	"joza/internal/fragments"
+	"joza/internal/minidb"
+	"joza/internal/nti"
+	"joza/internal/pti"
+	"joza/internal/sqlparse"
+	"joza/internal/sqltoken"
+	"joza/internal/strdist"
+	"joza/internal/testbed"
+	"joza/internal/workload"
+)
+
+var (
+	labOnce sync.Once
+	labInst *testbed.Lab
+	labErr  error
+)
+
+func benchLab(b *testing.B) *testbed.Lab {
+	b.Helper()
+	labOnce.Do(func() {
+		labInst, labErr = testbed.NewLab()
+	})
+	if labErr != nil {
+		b.Fatal(labErr)
+	}
+	return labInst
+}
+
+var (
+	siteOnce sync.Once
+	siteInst *workload.Site
+	siteErr  error
+)
+
+func benchSite(b *testing.B) *workload.Site {
+	b.Helper()
+	siteOnce.Do(func() {
+		siteInst, siteErr = workload.NewSite(300, 7)
+		if siteInst != nil {
+			// Benchmarks measure analysis cost, not the simulated PHP
+			// rendering.
+			siteInst.RenderIters = 0
+		}
+	})
+	if siteErr != nil {
+		b.Fatal(siteErr)
+	}
+	return siteInst
+}
+
+// ---------------------------------------------------------------------------
+// Security evaluation (Tables I–IV, Figure 6).
+
+func BenchmarkTable1Testbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		counts := testbed.TypeCounts(testbed.Specs())
+		if len(counts) != 4 {
+			b.Fatal("bad classification")
+		}
+	}
+}
+
+func BenchmarkTable2Baseline(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lab.EvaluateBaseline(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PTIDetected != res.Total {
+			b.Fatal("unexpected baseline result")
+		}
+	}
+}
+
+func BenchmarkTable4Hybrid(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcomes, err := lab.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outcomes) != 50 {
+			b.Fatal("unexpected outcome count")
+		}
+	}
+}
+
+func BenchmarkFigure6Forms(b *testing.B) {
+	lab := benchLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.EvaluateFigure6("eventify"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Performance evaluation (Tables V–VII, Figures 7–8).
+
+func BenchmarkTable5CacheConfigs(b *testing.B) {
+	site := benchSite(b)
+	configs := []struct {
+		name    string
+		variant workload.PTIVariant
+	}{
+		{"no-cache", workload.PTIVariant{Cache: pti.CacheNone, Remote: true}},
+		{"query-cache", workload.PTIVariant{Cache: pti.CacheQuery, Remote: true}},
+		{"query+structure", workload.PTIVariant{Cache: pti.CacheQueryAndStructure, Remote: true}},
+		{"extension-estimate", workload.PTIVariant{Cache: pti.CacheQueryAndStructure}},
+	}
+	for _, kind := range []workload.RequestKind{workload.Read, workload.Write} {
+		for _, cfg := range configs {
+			b.Run(fmt.Sprintf("%s/%s", kind, cfg.name), func(b *testing.B) {
+				prot, stop := workload.NewProtection(cfg.name, site, cfg.variant, true)
+				defer stop()
+				reqs := site.GenerateRequests(kind, 50)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					if err := site.Reset(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := workload.RunRequests(site, reqs, prot); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTable6WorkloadMix(b *testing.B) {
+	site := benchSite(b)
+	for _, w := range []float64{0.50, 0.10, 0.05, 0.01} {
+		b.Run(fmt.Sprintf("writes=%.0f%%", w*100), func(b *testing.B) {
+			prot, stop := workload.NewProtection("joza", site,
+				workload.PTIVariant{Cache: pti.CacheQueryAndStructure, Remote: true}, true)
+			defer stop()
+			reqs := site.GenerateMix(workload.Mix{WriteFraction: w}, 50)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := site.Reset(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := workload.RunRequests(site, reqs, prot); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable7Prediction(b *testing.B) {
+	stats := workload.DefaultWordPressStats()
+	for i := 0; i < b.N; i++ {
+		if stats.PredictOverhead(4.0, 12.0) <= 0 {
+			b.Fatal("bad prediction")
+		}
+	}
+}
+
+func BenchmarkFigure7PTIBreakdown(b *testing.B) {
+	site := benchSite(b)
+	variants := []struct {
+		name    string
+		variant workload.PTIVariant
+	}{
+		{"unoptimized", workload.PTIVariant{
+			NoParseFirst: true, NoMRU: true, Cache: pti.CacheNone, Remote: true,
+		}},
+		{"optimized-daemon", workload.PTIVariant{
+			Cache: pti.CacheQueryAndStructure, Remote: true,
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			prot, stop := workload.NewProtection(v.name, site, v.variant, false)
+			defer stop()
+			reqs := site.GenerateRequests(workload.Read, 50)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := site.Reset(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := workload.RunRequests(site, reqs, prot); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure8ReadWriteSearch(b *testing.B) {
+	site := benchSite(b)
+	for _, kind := range []workload.RequestKind{workload.Read, workload.Write, workload.Search} {
+		for _, protected := range []bool{false, true} {
+			name := fmt.Sprintf("%s/plain", kind)
+			if protected {
+				name = fmt.Sprintf("%s/joza", kind)
+			}
+			b.Run(name, func(b *testing.B) {
+				var prot *workload.Protection
+				stop := func() {}
+				if protected {
+					prot, stop = workload.NewProtection("joza", site,
+						workload.PTIVariant{Cache: pti.CacheQueryAndStructure, Remote: true}, true)
+				}
+				defer stop()
+				reqs := site.GenerateRequests(kind, 50)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					if err := site.Reset(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := workload.RunRequests(site, reqs, prot); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md Section 5).
+
+const (
+	benchQuery = "SELECT id, title, body FROM posts WHERE id=42 ORDER BY id DESC LIMIT 10"
+	// benchSafeQuery is fully covered by the bench site's fragments, so
+	// PTI-verdict benches exercise the "benign" fast path.
+	benchSafeQuery = "SELECT id, title, body FROM posts WHERE id=42"
+)
+
+func BenchmarkAblationFragmentMatchers(b *testing.B) {
+	site := benchSite(b)
+	matchers := map[string]fragments.Matcher{
+		"naive-scan":   fragments.NewNaiveMatcher(site.Fragments),
+		"aho-corasick": fragments.NewACMatcher(site.Fragments),
+	}
+	for name, m := range matchers {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.FindAll(benchQuery)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationParseFirst(b *testing.B) {
+	site := benchSite(b)
+	analyzers := map[string]*pti.Analyzer{
+		"parse-first":  pti.New(site.Fragments),
+		"full-marking": pti.New(site.Fragments, pti.WithoutParseFirst()),
+	}
+	toks := sqltoken.Lex(benchSafeQuery)
+	for name, a := range analyzers {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if a.Analyze(benchSafeQuery, toks).Attack {
+					b.Fatal("benign flagged")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationNTIMatchers(b *testing.B) {
+	input := "security update notes for the morning release"
+	query := "SELECT id, title FROM posts WHERE title LIKE '%" + input + "%' LIMIT 10"
+	b.Run("sellers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strdist.SubstringMatch(input, query)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strdist.NaiveSubstringMatch(input, query)
+		}
+	})
+}
+
+func BenchmarkAblationTransports(b *testing.B) {
+	site := benchSite(b)
+	analyzer := pti.NewCached(pti.New(site.Fragments), pti.CacheNone, 1)
+	b.Run("direct", func(b *testing.B) {
+		tr := daemon.NewDirect(analyzer)
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Analyze(benchQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipe-daemon", func(b *testing.B) {
+		tr, stop := daemon.SpawnPipe(analyzer)
+		defer stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Analyze(benchQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblationCacheModes(b *testing.B) {
+	site := benchSite(b)
+	for _, mode := range []pti.CacheMode{pti.CacheNone, pti.CacheQuery, pti.CacheQueryAndStructure} {
+		b.Run(mode.String(), func(b *testing.B) {
+			c := pti.NewCached(pti.New(site.Fragments), mode, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c.Analyze(benchSafeQuery, nil).Attack {
+					b.Fatal("benign flagged")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	inputs := []nti.Input{
+		{Source: "get", Name: "id", Value: "42"},
+		{Source: "post", Name: "comment", Value: "lorem ipsum dolor amet security notes"},
+	}
+	for _, th := range []float64{0.05, 0.10, 0.20, 0.30, 0.50} {
+		b.Run(fmt.Sprintf("threshold=%.2f", th), func(b *testing.B) {
+			a := nti.New(nti.WithThreshold(th))
+			for i := 0; i < b.N; i++ {
+				a.Analyze(benchQuery, nil, inputs)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationTaintless(b *testing.B) {
+	lab := benchLab(b)
+	tl := evasion.NewTaintless(lab.Fragments)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Evade("-1 UNION SELECT username, password FROM users")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Core micro-benchmarks.
+
+func BenchmarkGuardCheck(b *testing.B) {
+	guard, err := joza.New(joza.WithFragments(joza.FragmentsFromSource(`<?php
+$q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []joza.Input{{Source: "get", Name: "id", Value: "5"}}
+	q := "SELECT * FROM records WHERE ID=5 LIMIT 5"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if guard.Check(q, inputs).Attack {
+			b.Fatal("benign flagged")
+		}
+	}
+}
+
+func BenchmarkLex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sqltoken.Lex(benchQuery)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructureKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sqlparse.StructureKey(benchQuery)
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		strdist.Levenshtein("-1 OR 1=1", "-1 OR 1=1 /*''''*/")
+	}
+}
+
+func BenchmarkMinidbExec(b *testing.B) {
+	db := minidb.New("bench")
+	db.MustExec("CREATE TABLE posts (id INT, title TEXT, body TEXT)")
+	for i := 0; i < 100; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO posts VALUES (%d, 'post %d', 'body')", i, i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT id, title FROM posts WHERE id=42"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command joza-proxy deploys Joza as a database proxy: it listens on the
+// minidb wire protocol, blocks injected queries, and forwards safe ones to
+// an upstream minidb server (or a built-in demo database).
+//
+// Usage:
+//
+//	joza-proxy -src /path/to/app -listen 127.0.0.1:7040 -upstream 127.0.0.1:7050
+//	joza-proxy -demo            # built-in demo DB + fragment set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"joza"
+	"joza/internal/minidb"
+	"joza/internal/proxy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("joza-proxy: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("joza-proxy", flag.ContinueOnError)
+	src := fs.String("src", "", "application source directory to extract fragments from")
+	listen := fs.String("listen", "127.0.0.1:7040", "proxy listen address")
+	upstream := fs.String("upstream", "", "upstream minidb server address")
+	policy := fs.String("policy", "terminate", "recovery policy: terminate, error-virtualization")
+	demo := fs.Bool("demo", false, "use a built-in demo database and fragment set")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		texts   []string
+		backend proxy.Backend
+	)
+	switch {
+	case *demo:
+		texts = joza.FragmentsFromSource(`<?php
+$q = "SELECT id, title FROM posts WHERE id=$id LIMIT 5";`)
+		db := minidb.New("demo")
+		db.MustExec("CREATE TABLE posts (id INT, title TEXT)")
+		db.MustExec("INSERT INTO posts VALUES (1, 'Hello'), (2, 'World')")
+		backend = proxy.LocalBackend{DB: db}
+	case *src != "" && *upstream != "":
+		var err error
+		texts, err = joza.FragmentsFromDir(*src)
+		if err != nil {
+			return err
+		}
+		remote := proxy.NewRemoteBackend(*upstream)
+		defer func() { _ = remote.Close() }()
+		backend = remote
+	default:
+		return fmt.Errorf("either -demo or both -src and -upstream are required")
+	}
+
+	opts := []joza.Option{joza.WithFragments(texts)}
+	switch *policy {
+	case "terminate":
+		opts = append(opts, joza.WithPolicy(joza.PolicyTerminate))
+	case "error-virtualization":
+		opts = append(opts, joza.WithPolicy(joza.PolicyErrorVirtualize))
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	guard, err := joza.New(opts...)
+	if err != nil {
+		return err
+	}
+
+	p := proxy.New(guard, backend)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("proxying on %s (%d fragments, policy %s)",
+		ln.Addr(), guard.FragmentCount(), guard.Policy())
+	return p.Serve(ln)
+}

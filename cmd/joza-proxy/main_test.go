@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing mode must error")
+	}
+	if err := run([]string{"-src", "/no/such/dir", "-upstream", "127.0.0.1:1"}); err == nil {
+		t.Error("bad src must error")
+	}
+	if err := run([]string{"-demo", "-policy", "bogus"}); err == nil {
+		t.Error("bad policy must error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag must error")
+	}
+}

@@ -1,0 +1,96 @@
+// Command jozabench drives the performance evaluation of Section VI and
+// prints the paper's performance tables and figures:
+//
+//	jozabench -table 5    # read/write overhead per cache configuration
+//	jozabench -table 6    # overall overhead by workload mix
+//	jozabench -table 7    # WordPress.com stats and predicted overhead
+//	jozabench -figure 7   # PTI breakdown, unoptimized vs optimized daemon
+//	jozabench -figure 8   # read/write/search with and without Joza
+//	jozabench -all        # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"joza/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jozabench: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jozabench", flag.ContinueOnError)
+	table := fs.Int("table", 0, "print table 5, 6 or 7")
+	figure := fs.Int("figure", 0, "print figure 7 or 8")
+	all := fs.Bool("all", false, "run everything")
+	urls := fs.Int("urls", 1001, "crawl-space size (unique URLs)")
+	requests := fs.Int("requests", 400, "requests per measurement")
+	seed := fs.Int64("seed", 42, "workload generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *table == 0 && *figure == 0 {
+		*all = true
+	}
+
+	site, err := workload.NewSite(*urls, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("site: %d URLs, %d trusted fragments, %d requests per run\n\n",
+		site.NumURLs, site.Fragments.Len(), *requests)
+
+	var readOvh, writeOvh float64
+	if *all || *table == 5 || *table == 7 {
+		res, err := workload.RunTable5(site, *requests)
+		if err != nil {
+			return err
+		}
+		if *all || *table == 5 {
+			fmt.Println(res.Format())
+		}
+		// The query+structure daemon row feeds Table VII's prediction.
+		for _, row := range res.Rows {
+			if row.Config == "PTI daemon, query+structure cache" {
+				readOvh, writeOvh = row.ReadOverhead, row.WriteOverhead
+			}
+		}
+	}
+	if *all || *table == 6 {
+		rows, err := workload.RunTable6(site, *requests)
+		if err != nil {
+			return err
+		}
+		fmt.Print(workload.FormatTable6(rows))
+		fmt.Println(workload.SparklineTable6(rows))
+	}
+	if *all || *table == 7 {
+		stats := workload.DefaultWordPressStats()
+		fmt.Println(workload.FormatTable7(stats, readOvh, writeOvh))
+	}
+	if *all || *figure == 7 {
+		bars, err := workload.RunFigure7(site, *requests)
+		if err != nil {
+			return err
+		}
+		fmt.Print(workload.FormatFigure7(bars))
+		fmt.Println(workload.ChartFigure7(bars))
+	}
+	if *all || *figure == 8 {
+		rows, err := workload.RunFigure8(site, *requests)
+		if err != nil {
+			return err
+		}
+		fmt.Print(workload.FormatFigure8(rows))
+		fmt.Println(workload.ChartFigure8(rows))
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-table", "6", "-requests", "10", "-urls", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-figure", "8", "-requests", "10", "-urls", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag must error")
+	}
+}

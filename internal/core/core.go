@@ -1,0 +1,158 @@
+// Package core defines the taint model shared by Joza's negative and
+// positive taint-inference analyzers: taint markings over query spans,
+// per-analyzer results, attack reasons, recovery policies, and the
+// figure-style rendering of markings used throughout the paper
+// (− negative taint, + positive taint, c critical token).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"joza/internal/sqltoken"
+)
+
+// Analyzer names used in verdicts and reports.
+const (
+	AnalyzerNTI    = "NTI"
+	AnalyzerPTI    = "PTI"
+	AnalyzerHybrid = "hybrid"
+)
+
+// Marking is one inferred taint annotation over a span of the query.
+type Marking struct {
+	Span sqltoken.Span
+	// Source identifies the origin of the marking: for NTI the input that
+	// matched (e.g. "get:id"), for PTI the trusted fragment text.
+	Source string
+	// Distance is the edit distance of the match for NTI markings; zero
+	// for PTI markings (fragment occurrences are exact).
+	Distance int
+}
+
+// Reason explains why an analyzer flagged a query: a critical token that is
+// negatively tainted (NTI) or not positively tainted (PTI).
+type Reason struct {
+	Token  sqltoken.Token
+	Detail string
+}
+
+// String renders the reason for logs and reports.
+func (r Reason) String() string {
+	return fmt.Sprintf("%s token %q at %d..%d: %s",
+		r.Token.Kind, r.Token.Text, r.Token.Start, r.Token.End, r.Detail)
+}
+
+// Result is the outcome of one analyzer on one query.
+type Result struct {
+	Analyzer string
+	Attack   bool
+	Markings []Marking
+	Reasons  []Reason
+}
+
+// Verdict is the hybrid decision over a query: the query is safe iff both
+// NTI and PTI deem it safe.
+type Verdict struct {
+	Query  string
+	Attack bool
+	NTI    Result
+	PTI    Result
+}
+
+// DetectedBy returns the analyzers that flagged the query.
+func (v Verdict) DetectedBy() []string {
+	var out []string
+	if v.NTI.Attack {
+		out = append(out, AnalyzerNTI)
+	}
+	if v.PTI.Attack {
+		out = append(out, AnalyzerPTI)
+	}
+	return out
+}
+
+// Reasons returns the union of attack reasons from both analyzers.
+func (v Verdict) Reasons() []Reason {
+	out := make([]Reason, 0, len(v.NTI.Reasons)+len(v.PTI.Reasons))
+	out = append(out, v.NTI.Reasons...)
+	out = append(out, v.PTI.Reasons...)
+	return out
+}
+
+// Policy selects how the application recovers when an attack is detected.
+type Policy int
+
+// Recovery policies. PolicyTerminate (the Joza default) aborts the request;
+// PolicyErrorVirtualize makes the query appear to have failed, relying on
+// application error handling.
+const (
+	PolicyTerminate Policy = iota + 1
+	PolicyErrorVirtualize
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyTerminate:
+		return "terminate"
+	case PolicyErrorVirtualize:
+		return "error-virtualization"
+	default:
+		return "unknown"
+	}
+}
+
+// AttackError is returned to callers when a query is blocked.
+type AttackError struct {
+	Verdict Verdict
+	Policy  Policy
+}
+
+// Error implements the error interface.
+func (e *AttackError) Error() string {
+	by := strings.Join(e.Verdict.DetectedBy(), "+")
+	if by == "" {
+		by = "joza"
+	}
+	return fmt.Sprintf("sql injection blocked by %s (policy %s)", by, e.Policy)
+}
+
+// RenderMarkings produces the paper's figure-style three-line annotation of
+// a query: the query itself, a line of '-'/'+' markers under tainted spans,
+// and a line of 'c' markers under critical tokens. Negative and positive
+// markings are rendered on the same marker line; where both apply, negative
+// ('-') wins since it is the alarming one.
+func RenderMarkings(query string, neg, pos []Marking, critical []sqltoken.Token) string {
+	markers := make([]byte, len(query))
+	for i := range markers {
+		markers[i] = ' '
+	}
+	for _, m := range pos {
+		for i := m.Span.Start; i < m.Span.End && i < len(markers); i++ {
+			markers[i] = '+'
+		}
+	}
+	for _, m := range neg {
+		for i := m.Span.Start; i < m.Span.End && i < len(markers); i++ {
+			markers[i] = '-'
+		}
+	}
+	crit := make([]byte, len(query))
+	for i := range crit {
+		crit[i] = ' '
+	}
+	for _, t := range critical {
+		for i := t.Start; i < t.End && i < len(crit); i++ {
+			crit[i] = 'c'
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(query)
+	sb.WriteByte('\n')
+	sb.Write(markers)
+	sb.WriteByte('\n')
+	sb.Write(crit)
+	sb.WriteByte('\n')
+	return sb.String()
+}

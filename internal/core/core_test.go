@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"joza/internal/sqltoken"
+)
+
+func TestVerdictDetectedBy(t *testing.T) {
+	v := Verdict{
+		NTI: Result{Analyzer: AnalyzerNTI, Attack: true},
+		PTI: Result{Analyzer: AnalyzerPTI, Attack: false},
+	}
+	got := v.DetectedBy()
+	if len(got) != 1 || got[0] != AnalyzerNTI {
+		t.Errorf("DetectedBy = %v", got)
+	}
+	v.PTI.Attack = true
+	if got := v.DetectedBy(); len(got) != 2 {
+		t.Errorf("DetectedBy = %v", got)
+	}
+	if got := (Verdict{}).DetectedBy(); len(got) != 0 {
+		t.Errorf("DetectedBy = %v", got)
+	}
+}
+
+func TestVerdictReasonsUnion(t *testing.T) {
+	v := Verdict{
+		NTI: Result{Reasons: []Reason{{Detail: "a"}}},
+		PTI: Result{Reasons: []Reason{{Detail: "b"}, {Detail: "c"}}},
+	}
+	if got := v.Reasons(); len(got) != 3 {
+		t.Errorf("Reasons = %v", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyTerminate.String() != "terminate" ||
+		PolicyErrorVirtualize.String() != "error-virtualization" ||
+		Policy(0).String() != "unknown" {
+		t.Error("Policy.String mismatch")
+	}
+}
+
+func TestAttackErrorMessage(t *testing.T) {
+	err := &AttackError{
+		Verdict: Verdict{NTI: Result{Attack: true}},
+		Policy:  PolicyTerminate,
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "NTI") || !strings.Contains(msg, "terminate") {
+		t.Errorf("msg = %q", msg)
+	}
+	neither := &AttackError{Policy: PolicyErrorVirtualize}
+	if !strings.Contains(neither.Error(), "joza") {
+		t.Errorf("msg = %q", neither.Error())
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	r := Reason{
+		Token:  sqltoken.Token{Kind: sqltoken.KindKeyword, Text: "OR", Start: 10, End: 12},
+		Detail: "negatively tainted",
+	}
+	s := r.String()
+	for _, want := range []string{"keyword", "OR", "10", "12", "negatively tainted"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Reason.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRenderMarkings(t *testing.T) {
+	q := "SELECT id FROM t WHERE id=-1 OR 1=1"
+	toks := sqltoken.Lex(q)
+	crit := sqltoken.CriticalTokens(toks)
+	negStart := strings.Index(q, "-1 OR")
+	neg := []Marking{{Span: sqltoken.Span{Start: negStart, End: len(q)}, Source: "get:id"}}
+	pos := []Marking{{Span: sqltoken.Span{Start: 0, End: negStart}, Source: "frag"}}
+	out := RenderMarkings(q, neg, pos, crit)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 {
+		t.Fatalf("render = %q", out)
+	}
+	if lines[0] != q {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	// The OR keyword position must carry '-' on the marker line and 'c' on
+	// the critical line.
+	orPos := strings.Index(q, "OR")
+	if lines[1][orPos] != '-' {
+		t.Errorf("marker at OR = %q", string(lines[1][orPos]))
+	}
+	if lines[2][orPos] != 'c' {
+		t.Errorf("critical at OR = %q", string(lines[2][orPos]))
+	}
+	// SELECT is positively tainted.
+	if lines[1][0] != '+' {
+		t.Errorf("marker at SELECT = %q", string(lines[1][0]))
+	}
+	// Negative wins where both overlap: craft overlap explicitly.
+	out2 := RenderMarkings("ab", []Marking{{Span: sqltoken.Span{Start: 0, End: 2}}},
+		[]Marking{{Span: sqltoken.Span{Start: 0, End: 2}}}, nil)
+	if strings.Split(out2, "\n")[1] != "--" {
+		t.Errorf("overlap render = %q", out2)
+	}
+}
+
+func TestRenderMarkingsClampsOutOfRange(t *testing.T) {
+	out := RenderMarkings("ab", []Marking{{Span: sqltoken.Span{Start: 0, End: 99}}}, nil,
+		[]sqltoken.Token{{Start: 1, End: 99}})
+	lines := strings.Split(out, "\n")
+	if lines[1] != "--" || lines[2] != " c" {
+		t.Errorf("clamped render = %q", out)
+	}
+}

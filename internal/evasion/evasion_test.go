@@ -1,0 +1,214 @@
+package evasion
+
+import (
+	"strings"
+	"testing"
+
+	"joza/internal/fragments"
+	"joza/internal/nti"
+	"joza/internal/pti"
+	"joza/internal/webapp"
+)
+
+func TestQuoteStuffingDefeatsNTI(t *testing.T) {
+	analyzer := nti.New()
+	payload := "-1 OR 1=1"
+	evaded := QuoteStuffing(payload, analyzer.Threshold())
+	// The application applies magic quotes before query construction.
+	transformed := webapp.MagicQuotes(evaded)
+	q := "SELECT * FROM data WHERE ID=" + transformed
+	res := analyzer.Analyze(q, nil, []nti.Input{{Source: "get", Name: "id", Value: evaded}})
+	if res.Attack {
+		t.Errorf("quote stuffing failed to evade NTI: %+v", res.Reasons)
+	}
+	// Without stuffing, the same attack is caught.
+	q2 := "SELECT * FROM data WHERE ID=" + webapp.MagicQuotes(payload)
+	res2 := analyzer.Analyze(q2, nil, []nti.Input{{Source: "get", Name: "id", Value: payload}})
+	if !res2.Attack {
+		t.Error("baseline attack should be caught")
+	}
+}
+
+func TestQuoteStuffingAdaptsToThreshold(t *testing.T) {
+	// Raising the threshold must not stop the evasion: the attacker just
+	// adds more quotes (the paper's argument that threshold tuning is not
+	// a remedy).
+	for _, th := range []float64{0.1, 0.2, 0.3, 0.4, 0.6} {
+		analyzer := nti.New(nti.WithThreshold(th))
+		payload := "-1 OR 1=1"
+		evaded := QuoteStuffing(payload, th)
+		q := "SELECT * FROM data WHERE ID=" + webapp.MagicQuotes(evaded)
+		res := analyzer.Analyze(q, nil, []nti.Input{{Source: "get", Name: "id", Value: evaded}})
+		if th < 0.5 && res.Attack {
+			t.Errorf("threshold %v: evasion failed", th)
+		}
+	}
+}
+
+func TestQuoteStuffingKeepsAttackWorking(t *testing.T) {
+	// The stuffed comment must not change SQL semantics: the query still
+	// parses and the tautology still holds.
+	payload := QuoteStuffing("-1 OR 1=1", 0.2)
+	q := "SELECT * FROM data WHERE ID=" + webapp.MagicQuotes(payload)
+	// After magic quotes the comment contains \' sequences; the lexer
+	// must still see the OR keyword outside the comment.
+	if !strings.Contains(q, "OR 1=1") {
+		t.Fatalf("payload mangled: %q", q)
+	}
+}
+
+func TestWhitespacePaddingDefeatsNTI(t *testing.T) {
+	analyzer := nti.New()
+	payload := "-1 OR 1=1"
+	evaded := WhitespacePadding(payload, analyzer.Threshold())
+	// The application trims the input before query construction.
+	q := "SELECT * FROM data WHERE ID=" + strings.TrimSpace(evaded)
+	res := analyzer.Analyze(q, nil, []nti.Input{{Source: "get", Name: "id", Value: evaded}})
+	if res.Attack {
+		t.Errorf("whitespace padding failed to evade NTI: %+v", res.Reasons)
+	}
+}
+
+func richFragmentSet() *fragments.Set {
+	// An application whose vocabulary is rich enough to rebuild common
+	// payloads: it contains UNION/SELECT/FROM keywords, operators, and
+	// punctuation in its own SQL literals.
+	return fragments.NewSet([]string{
+		"SELECT * FROM posts WHERE id=",
+		" union ",
+		"select ",
+		", ",
+		" from ",
+		"users",
+		" OR ",
+		"=",
+		"1",
+		"#",
+		" LIMIT ",
+		"-", // hyphens occur pervasively in real application literals
+	})
+}
+
+func TestTaintlessRebuildsTautology(t *testing.T) {
+	tl := NewTaintless(richFragmentSet())
+	rewritten, ok := tl.Evade("1 OR 1=1")
+	if !ok {
+		t.Fatalf("Evade failed: %q", rewritten)
+	}
+	// Verify against real PTI: embed in the vulnerable query.
+	analyzer := pti.New(richFragmentSet())
+	q := "SELECT * FROM posts WHERE id=" + rewritten
+	if res := analyzer.Analyze(q, nil); res.Attack {
+		t.Errorf("rewritten payload %q still caught by PTI: %v", rewritten, res.Reasons)
+	}
+}
+
+func TestTaintlessCaseMatching(t *testing.T) {
+	// The application only has lowercase " union " — Taintless must emit
+	// the fragment's own case.
+	tl := NewTaintless(richFragmentSet())
+	rewritten, ok := tl.Evade("-1 UNION SELECT password FROM users")
+	if !ok {
+		t.Fatalf("Evade failed: %q", rewritten)
+	}
+	if strings.Contains(rewritten, "UNION") {
+		t.Errorf("UNION not case-matched: %q", rewritten)
+	}
+	analyzer := pti.New(richFragmentSet())
+	q := "SELECT * FROM posts WHERE id=" + rewritten
+	if res := analyzer.Analyze(q, nil); res.Attack {
+		t.Errorf("rewritten %q caught: %v", rewritten, res.Reasons)
+	}
+}
+
+func TestTaintlessRemovesUnionAll(t *testing.T) {
+	tl := NewTaintless(richFragmentSet())
+	rewritten, ok := tl.Evade("-1 UNION ALL SELECT password FROM users")
+	if !ok {
+		t.Fatalf("Evade failed: %q", rewritten)
+	}
+	if strings.Contains(strings.ToUpper(rewritten), " ALL ") {
+		t.Errorf("ALL not removed: %q", rewritten)
+	}
+}
+
+func TestTaintlessDropsTrailingComment(t *testing.T) {
+	set := fragments.NewSet([]string{" OR ", "=", "1"})
+	tl := NewTaintless(set)
+	rewritten, ok := tl.Evade("1 OR 1=1 -- x")
+	if !ok {
+		t.Fatalf("Evade failed: %q", rewritten)
+	}
+	if strings.Contains(rewritten, "--") {
+		t.Errorf("trailing comment kept: %q", rewritten)
+	}
+}
+
+func TestTaintlessCommentSubstitution(t *testing.T) {
+	// Application has "#" but the payload uses "-- "; the comment is not
+	// trailing (so not removable) — substitute the available form.
+	set := fragments.NewSet([]string{" OR ", "=", "1", "#"})
+	tl := NewTaintless(set)
+	rewritten, ok := tl.Evade("1 OR 1=1 -- x")
+	_ = rewritten
+	// Trailing comments are removable, which takes precedence; verify at
+	// least that evasion succeeds.
+	if !ok {
+		t.Fatalf("Evade failed: %q", rewritten)
+	}
+}
+
+func TestTaintlessFailsOnPoorVocabulary(t *testing.T) {
+	// The application has no UNION/SELECT vocabulary: Taintless must
+	// report failure (matching the paper's 37/50 plugins it could not
+	// adapt).
+	set := fragments.NewSet([]string{"SELECT * FROM posts WHERE id=", " LIMIT 5"})
+	tl := NewTaintless(set)
+	_, ok := tl.Evade("-1 UNION SELECT password FROM users")
+	if ok {
+		t.Error("Evade should fail without vocabulary")
+	}
+}
+
+func TestTaintlessOperatorEquivalents(t *testing.T) {
+	// Application has || but not OR.
+	set := fragments.NewSetKeepAll([]string{"||", "=", "1"})
+	tl := NewTaintless(set)
+	rewritten, ok := tl.Evade("1 OR 1=1")
+	if !ok {
+		t.Fatalf("Evade failed: %q", rewritten)
+	}
+	if !strings.Contains(rewritten, "||") {
+		t.Errorf("OR not substituted with ||: %q", rewritten)
+	}
+}
+
+func TestEvadeVerified(t *testing.T) {
+	set := richFragmentSet()
+	tl := NewTaintless(set)
+	analyzer := pti.New(set)
+	embed := func(p string) bool {
+		q := "SELECT * FROM posts WHERE id=" + p
+		return !analyzer.Analyze(q, nil).Attack
+	}
+	if _, ok := tl.EvadeVerified("1 OR 1=1", embed); !ok {
+		t.Error("verified evasion should succeed")
+	}
+	poor := NewTaintless(fragments.NewSet([]string{" LIMIT 5"}))
+	if _, ok := poor.EvadeVerified("1 OR 1=1", embed); ok {
+		t.Error("verified evasion should fail on poor vocabulary")
+	}
+}
+
+func TestTaintlessMultiTokenFragmentRun(t *testing.T) {
+	// Fragment "ORDER BY" covers two payload tokens at once.
+	set := fragments.NewSet([]string{"ORDER BY", "1"})
+	tl := NewTaintless(set)
+	rewritten, ok := tl.Evade("1 ORDER BY 1")
+	if !ok {
+		t.Fatalf("Evade failed: %q", rewritten)
+	}
+	if !strings.Contains(rewritten, "ORDER BY") {
+		t.Errorf("run not covered: %q", rewritten)
+	}
+}

@@ -1,0 +1,358 @@
+// Package fragments manages the trusted string-fragment set used by
+// positive taint inference (PTI) and provides multi-pattern matchers for
+// locating fragment occurrences inside SQL queries.
+//
+// A fragment is a string literal extracted from the application's source
+// (see package phpsrc). Per the Joza paper, only fragments containing at
+// least one valid SQL token are retained: a fragment such as "hello world"
+// can never cover a critical token and would only slow matching down.
+//
+// Three matchers are provided:
+//
+//   - NaiveMatcher: the textbook scan the paper describes as O(n·m²) —
+//     every fragment is searched for at every query position. Kept as the
+//     "unoptimized PTI" baseline for Figure 7 and the matcher ablation.
+//   - ACMatcher: an Aho–Corasick automaton that reports all occurrences of
+//     all fragments in a single pass over the query.
+//   - Both are used through the Matcher interface so PTI and benchmarks can
+//     swap them.
+//
+// The MRU type implements the paper's first PTI optimization: a
+// most-recently-used list of fragments that matched recent queries, tried
+// first with a cheap targeted check before falling back to a full scan.
+package fragments
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"joza/internal/sqltoken"
+)
+
+// Set is an immutable, deduplicated collection of trusted fragments.
+type Set struct {
+	frags []string
+	index map[string]int
+}
+
+// NewSet builds a Set from texts, dropping duplicates, empty strings and —
+// unless keepAll is requested via NewSetKeepAll — fragments that contain no
+// SQL token.
+func NewSet(texts []string) *Set {
+	return newSet(texts, false)
+}
+
+// NewSetKeepAll builds a Set that retains every non-empty fragment
+// regardless of SQL-token content. Tests use it to model hypothetical
+// fragment vocabularies.
+func NewSetKeepAll(texts []string) *Set {
+	return newSet(texts, true)
+}
+
+func newSet(texts []string, keepAll bool) *Set {
+	s := &Set{index: make(map[string]int, len(texts))}
+	for _, t := range texts {
+		if t == "" {
+			continue
+		}
+		if !keepAll && !sqltoken.ContainsSQLToken(t) {
+			continue
+		}
+		if _, dup := s.index[t]; dup {
+			continue
+		}
+		s.index[t] = len(s.frags)
+		s.frags = append(s.frags, t)
+	}
+	return s
+}
+
+// Len returns the number of fragments in the set.
+func (s *Set) Len() int { return len(s.frags) }
+
+// Fragment returns the fragment with the given ID.
+func (s *Set) Fragment(id int) string { return s.frags[id] }
+
+// Fragments returns a copy of all fragments in insertion order.
+func (s *Set) Fragments() []string {
+	out := make([]string, len(s.frags))
+	copy(out, s.frags)
+	return out
+}
+
+// Contains reports whether text is a fragment in the set.
+func (s *Set) Contains(text string) bool {
+	_, ok := s.index[text]
+	return ok
+}
+
+// ID returns the fragment ID for text and whether it exists.
+func (s *Set) ID(text string) (int, bool) {
+	id, ok := s.index[text]
+	return id, ok
+}
+
+// Sample returns up to n fragments sorted by descending length then
+// lexicographically; used to print Table III-style fragment samples.
+func (s *Set) Sample(n int) []string {
+	out := s.Fragments()
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Covers reports whether the single fragment with ID id occurs in query at
+// a position that fully contains [start, end). This is the targeted check
+// used with the MRU list: it only inspects the window of feasible start
+// positions rather than the whole query.
+func (s *Set) Covers(query string, id, start, end int) bool {
+	_, ok := s.CoverAt(query, id, start, end)
+	return ok
+}
+
+// CoverAt is Covers but also returns the start offset of the covering
+// occurrence when one exists.
+func (s *Set) CoverAt(query string, id, start, end int) (int, bool) {
+	f := s.frags[id]
+	flen := len(f)
+	if flen < end-start {
+		return 0, false
+	}
+	lo := end - flen
+	if lo < 0 {
+		lo = 0
+	}
+	hi := start
+	if hi+flen > len(query) {
+		hi = len(query) - flen
+	}
+	for a := lo; a <= hi; a++ {
+		if query[a:a+flen] == f {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Occurrence records one exact occurrence of a fragment inside a query.
+type Occurrence struct {
+	// FragmentID indexes into the Set the matcher was built from.
+	FragmentID int
+	// Start and End are byte offsets of the occurrence, query[Start:End).
+	Start int
+	End   int
+}
+
+// Matcher locates all fragment occurrences in a query.
+type Matcher interface {
+	// FindAll returns every occurrence of every fragment in query, in
+	// unspecified order.
+	FindAll(query string) []Occurrence
+}
+
+// NaiveMatcher searches each fragment independently with repeated substring
+// scans. It implements the unoptimized algorithm of Section III-B.
+type NaiveMatcher struct {
+	set *Set
+}
+
+var _ Matcher = (*NaiveMatcher)(nil)
+
+// NewNaiveMatcher returns a NaiveMatcher over set.
+func NewNaiveMatcher(set *Set) *NaiveMatcher {
+	return &NaiveMatcher{set: set}
+}
+
+// FindAll implements Matcher.
+func (nm *NaiveMatcher) FindAll(query string) []Occurrence {
+	var out []Occurrence
+	for id, f := range nm.set.frags {
+		for from := 0; ; {
+			i := strings.Index(query[from:], f)
+			if i < 0 {
+				break
+			}
+			start := from + i
+			out = append(out, Occurrence{FragmentID: id, Start: start, End: start + len(f)})
+			from = start + 1
+		}
+	}
+	return out
+}
+
+// ACMatcher is an Aho–Corasick automaton over the fragment set. Building is
+// O(total fragment bytes); FindAll is O(len(query) + matches).
+type ACMatcher struct {
+	set   *Set
+	nodes []acNode
+}
+
+type acNode struct {
+	next map[byte]int32
+	fail int32
+	// out lists fragment IDs ending at this node.
+	out []int32
+	// dict is the nearest ancestor-via-fail that has output, enabling
+	// O(matches) enumeration.
+	dict int32
+}
+
+var _ Matcher = (*ACMatcher)(nil)
+
+// NewACMatcher builds the automaton for set.
+func NewACMatcher(set *Set) *ACMatcher {
+	m := &ACMatcher{set: set}
+	m.nodes = []acNode{{next: map[byte]int32{}, fail: 0, dict: -1}}
+	// Trie construction.
+	for id, f := range set.frags {
+		cur := int32(0)
+		for i := 0; i < len(f); i++ {
+			c := f[i]
+			nxt, ok := m.nodes[cur].next[c]
+			if !ok {
+				nxt = int32(len(m.nodes))
+				m.nodes = append(m.nodes, acNode{next: map[byte]int32{}, dict: -1})
+				m.nodes[cur].next[c] = nxt
+			}
+			cur = nxt
+		}
+		m.nodes[cur].out = append(m.nodes[cur].out, int32(id))
+	}
+	// BFS failure links.
+	queue := make([]int32, 0, len(m.nodes))
+	for _, v := range m.nodes[0].next {
+		m.nodes[v].fail = 0
+		queue = append(queue, v)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for c, v := range m.nodes[u].next {
+			// Find failure target for v.
+			f := m.nodes[u].fail
+			for {
+				if t, ok := m.nodes[f].next[c]; ok && t != v {
+					m.nodes[v].fail = t
+					break
+				}
+				if f == 0 {
+					m.nodes[v].fail = 0
+					break
+				}
+				f = m.nodes[f].fail
+			}
+			fv := m.nodes[v].fail
+			if len(m.nodes[fv].out) > 0 {
+				m.nodes[v].dict = fv
+			} else {
+				m.nodes[v].dict = m.nodes[fv].dict
+			}
+			queue = append(queue, v)
+		}
+	}
+	return m
+}
+
+// FindAll implements Matcher.
+func (m *ACMatcher) FindAll(query string) []Occurrence {
+	var out []Occurrence
+	cur := int32(0)
+	for i := 0; i < len(query); i++ {
+		c := query[i]
+		for {
+			if nxt, ok := m.nodes[cur].next[c]; ok {
+				cur = nxt
+				break
+			}
+			if cur == 0 {
+				break
+			}
+			cur = m.nodes[cur].fail
+		}
+		// Emit matches ending at i via output and dict-suffix chain.
+		for n := cur; n >= 0; n = m.nodes[n].dict {
+			for _, id := range m.nodes[n].out {
+				flen := len(m.set.frags[id])
+				out = append(out, Occurrence{
+					FragmentID: int(id),
+					Start:      i + 1 - flen,
+					End:        i + 1,
+				})
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MRU is a bounded most-recently-used list of fragment IDs, safe for
+// concurrent use. PTI records which fragments covered critical tokens of
+// recent queries; web applications have a small SQL working set, so these
+// fragments very likely cover the next query too.
+type MRU struct {
+	mu    sync.Mutex
+	cap   int
+	order []int
+	pos   map[int]int // fragment ID -> index in order
+}
+
+// NewMRU returns an MRU holding at most capacity fragment IDs; capacity
+// values below 1 default to 64.
+func NewMRU(capacity int) *MRU {
+	if capacity < 1 {
+		capacity = 64
+	}
+	return &MRU{cap: capacity, pos: make(map[int]int, capacity)}
+}
+
+// Touch marks id as most recently used, inserting it if absent and evicting
+// the least recently used entry when over capacity.
+func (m *MRU) Touch(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx, ok := m.pos[id]; ok {
+		// Move to front.
+		copy(m.order[1:idx+1], m.order[:idx])
+		m.order[0] = id
+		for i := 0; i <= idx; i++ {
+			m.pos[m.order[i]] = i
+		}
+		return
+	}
+	m.order = append(m.order, 0)
+	copy(m.order[1:], m.order[:len(m.order)-1])
+	m.order[0] = id
+	for i, v := range m.order {
+		m.pos[v] = i
+	}
+	if len(m.order) > m.cap {
+		evicted := m.order[len(m.order)-1]
+		m.order = m.order[:len(m.order)-1]
+		delete(m.pos, evicted)
+	}
+}
+
+// IDs returns the fragment IDs from most to least recently used.
+func (m *MRU) IDs() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Len returns the number of tracked fragment IDs.
+func (m *MRU) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order)
+}

@@ -1,0 +1,170 @@
+// Package installer implements Joza's installation and preprocessing
+// steps (Sections IV-A and IV-B): it recursively parses all source files
+// reachable from the application's top-level directory, extracts their
+// string literals into the trusted fragment set, and — on every refresh —
+// re-extracts only files that were added, removed or modified, so the
+// fragment set stays complete as the application is updated or new plugins
+// are installed.
+package installer
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"joza/internal/fragments"
+	"joza/internal/phpsrc"
+)
+
+// fileRecord caches one source file's extraction result.
+type fileRecord struct {
+	// digest fingerprints the file contents; a changed digest triggers
+	// re-extraction. Contents (not mtime) are hashed so editors that
+	// preserve timestamps cannot leave the set stale.
+	digest   string
+	literals []string
+}
+
+// Installer maintains the trusted fragment set for one application
+// directory. Safe for concurrent use.
+type Installer struct {
+	root string
+	exts map[string]bool
+
+	mu    sync.Mutex
+	files map[string]fileRecord
+	set   *fragments.Set
+}
+
+// Option configures an Installer.
+type Option func(*Installer)
+
+// WithExtensions sets the accepted source extensions (default ".php").
+func WithExtensions(exts ...string) Option {
+	return func(ins *Installer) {
+		ins.exts = make(map[string]bool, len(exts))
+		for _, e := range exts {
+			ins.exts[e] = true
+		}
+	}
+}
+
+// New creates an Installer for root and performs the initial full
+// extraction.
+func New(root string, opts ...Option) (*Installer, error) {
+	ins := &Installer{
+		root:  root,
+		exts:  map[string]bool{".php": true},
+		files: make(map[string]fileRecord),
+	}
+	for _, o := range opts {
+		o(ins)
+	}
+	if _, err := ins.Refresh(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+// Set returns the current fragment set. The returned set is immutable;
+// after a Refresh that reports a change, call Set again for the new one.
+func (ins *Installer) Set() *fragments.Set {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	return ins.set
+}
+
+// FileCount returns the number of tracked source files.
+func (ins *Installer) FileCount() int {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	return len(ins.files)
+}
+
+// Refresh rescans the directory, re-extracting only new or modified files
+// and dropping removed ones. It reports whether the fragment set changed.
+// This is what the preprocessing component runs when it detects new or
+// modified files (e.g. an application update or a newly installed plugin).
+func (ins *Installer) Refresh() (changed bool, err error) {
+	paths, err := ins.scan()
+	if err != nil {
+		return false, err
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+
+	seen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		seen[p] = true
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return false, fmt.Errorf("read %s: %w", p, err)
+		}
+		sum := sha256.Sum256(data)
+		digest := hex.EncodeToString(sum[:])
+		if rec, ok := ins.files[p]; ok && rec.digest == digest {
+			continue // unchanged: keep the cached extraction
+		}
+		ins.files[p] = fileRecord{
+			digest:   digest,
+			literals: phpsrc.Texts(phpsrc.Extract(p, string(data))),
+		}
+		changed = true
+	}
+	for p := range ins.files {
+		if !seen[p] {
+			delete(ins.files, p)
+			changed = true
+		}
+	}
+	if changed || ins.set == nil {
+		ins.set = ins.rebuildLocked()
+		changed = true
+		if ins.set == nil { // unreachable; satisfies the contract
+			return false, fmt.Errorf("installer: rebuild failed")
+		}
+	}
+	return changed, nil
+}
+
+// rebuildLocked merges all cached literals into a fresh fragment set, in
+// deterministic path order.
+func (ins *Installer) rebuildLocked() *fragments.Set {
+	paths := make([]string, 0, len(ins.files))
+	for p := range ins.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var texts []string
+	for _, p := range paths {
+		texts = append(texts, ins.files[p].literals...)
+	}
+	return fragments.NewSet(texts)
+}
+
+// scan lists the accepted source files under root.
+func (ins *Installer) scan() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(ins.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if ins.exts[filepath.Ext(path)] {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("walk %s: %w", ins.root, err)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,179 @@
+package installer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialExtraction(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "index.php"), `<?php $q = 'SELECT a FROM t WHERE id=';`)
+	write(t, filepath.Join(dir, "plugins", "p1.php"), `<?php $q = 'SELECT b FROM u WHERE id=';`)
+	write(t, filepath.Join(dir, "readme.txt"), `'SELECT ignored'`)
+
+	ins, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.FileCount() != 2 {
+		t.Errorf("files = %d, want 2", ins.FileCount())
+	}
+	set := ins.Set()
+	if !set.Contains("SELECT a FROM t WHERE id=") || !set.Contains("SELECT b FROM u WHERE id=") {
+		t.Errorf("fragments = %v", set.Fragments())
+	}
+	if set.Contains("SELECT ignored") {
+		t.Error("non-.php file was extracted")
+	}
+}
+
+func TestRefreshNoChange(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.php"), `<?php $q = 'SELECT 1';`)
+	ins, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ins.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("Refresh reported change with no modifications")
+	}
+}
+
+func TestRefreshNewPlugin(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.php"), `<?php $q = 'SELECT 1';`)
+	ins, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := ins.Set()
+
+	// Installing a new plugin must be picked up (Section IV-B).
+	write(t, filepath.Join(dir, "plugins", "new.php"), `<?php $q = 'SELECT fresh FROM plugin WHERE x=';`)
+	changed, err := ins.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("new plugin not detected")
+	}
+	if ins.Set() == old {
+		t.Error("set not rebuilt")
+	}
+	if !ins.Set().Contains("SELECT fresh FROM plugin WHERE x=") {
+		t.Error("new plugin fragments missing")
+	}
+}
+
+func TestRefreshModifiedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.php")
+	write(t, path, `<?php $q = 'SELECT old FROM t';`)
+	ins, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, path, `<?php $q = 'SELECT new FROM t';`)
+	changed, err := ins.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("modification not detected")
+	}
+	set := ins.Set()
+	if set.Contains("SELECT old FROM t") || !set.Contains("SELECT new FROM t") {
+		t.Errorf("fragments = %v", set.Fragments())
+	}
+}
+
+func TestRefreshRemovedFile(t *testing.T) {
+	dir := t.TempDir()
+	keep := filepath.Join(dir, "keep.php")
+	gone := filepath.Join(dir, "gone.php")
+	write(t, keep, `<?php $q = 'SELECT keep FROM t';`)
+	write(t, gone, `<?php $q = 'SELECT gone FROM t';`)
+	ins, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ins.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("removal not detected")
+	}
+	if ins.Set().Contains("SELECT gone FROM t") {
+		t.Error("removed file's fragments survived")
+	}
+	if ins.FileCount() != 1 {
+		t.Errorf("files = %d", ins.FileCount())
+	}
+}
+
+func TestWithExtensions(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.inc"), `<?php $q = 'SELECT inc FROM t';`)
+	write(t, filepath.Join(dir, "b.php"), `<?php $q = 'SELECT php FROM t';`)
+	ins, err := New(dir, WithExtensions(".inc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := ins.Set()
+	if !set.Contains("SELECT inc FROM t") || set.Contains("SELECT php FROM t") {
+		t.Errorf("fragments = %v", set.Fragments())
+	}
+}
+
+func TestMissingRoot(t *testing.T) {
+	if _, err := New(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("want error for missing root")
+	}
+}
+
+func TestConcurrentRefresh(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.php"), `<?php $q = 'SELECT 1';`)
+	ins, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			var err error
+			for i := 0; i < 50; i++ {
+				if _, e := ins.Refresh(); e != nil {
+					err = e
+					break
+				}
+				_ = ins.Set()
+			}
+			done <- err
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

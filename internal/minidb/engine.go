@@ -1,0 +1,629 @@
+package minidb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"joza/internal/sqlparse"
+)
+
+// ExecError is returned for any statement the engine rejects: syntax
+// errors, unknown tables or columns, type misuse. Blind SQL injection
+// exploits distinguish these errors from empty-but-successful results.
+type ExecError struct {
+	Query string
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("minidb: %s (query: %.80s)", e.Msg, e.Query)
+}
+
+// Result is the outcome of a successfully executed statement.
+type Result struct {
+	// Columns names the result columns of a SELECT; empty for writes.
+	Columns []string
+	// Rows holds the result rows of a SELECT.
+	Rows [][]Value
+	// Affected is the number of rows written by INSERT/UPDATE/DELETE.
+	Affected int
+	// Delay is virtual time consumed by SLEEP/BENCHMARK calls during
+	// evaluation. The engine never blocks; callers fold Delay into their
+	// simulated response time, which is what double-blind exploits observe.
+	Delay time.Duration
+}
+
+// DB is an in-memory database. All methods are safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	// name is reported by DATABASE(); user by USER().
+	name string
+	user string
+}
+
+type table struct {
+	columns []string
+	colIdx  map[string]int
+	rows    [][]Value
+}
+
+// New returns an empty database named name.
+func New(name string) *DB {
+	return &DB{
+		tables: make(map[string]*table),
+		name:   name,
+		user:   "webapp@localhost",
+	}
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(query string) (*Result, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, &ExecError{Query: query, Msg: err.Error()}
+	}
+	switch s := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		return db.execSelect(query, s)
+	case *sqlparse.InsertStmt:
+		return db.execInsert(query, s)
+	case *sqlparse.UpdateStmt:
+		return db.execUpdate(query, s)
+	case *sqlparse.DeleteStmt:
+		return db.execDelete(query, s)
+	case *sqlparse.CreateTableStmt:
+		return db.execCreate(query, s)
+	case *sqlparse.DropTableStmt:
+		return db.execDrop(query, s)
+	default:
+		return nil, &ExecError{Query: query, Msg: "unsupported statement"}
+	}
+}
+
+// MustExec executes query and panics on error; intended for test and
+// example setup code only.
+func (db *DB) MustExec(query string) *Result {
+	res, err := db.Exec(query)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Tables returns the table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (db *DB) execCreate(query string, s *sqlparse.CreateTableStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Table)
+	if _, exists := db.tables[key]; exists {
+		if s.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, &ExecError{Query: query, Msg: "table already exists: " + s.Table}
+	}
+	t := &table{colIdx: make(map[string]int, len(s.Columns))}
+	for i, c := range s.Columns {
+		t.columns = append(t.columns, c.Name)
+		t.colIdx[strings.ToLower(c.Name)] = i
+	}
+	db.tables[key] = t
+	return &Result{}, nil
+}
+
+func (db *DB) execDrop(query string, s *sqlparse.DropTableStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Table)
+	if _, exists := db.tables[key]; !exists {
+		if s.IfExists {
+			return &Result{}, nil
+		}
+		return nil, &ExecError{Query: query, Msg: "unknown table: " + s.Table}
+	}
+	delete(db.tables, key)
+	return &Result{}, nil
+}
+
+func (db *DB) lookupTable(query, name string) (*table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, &ExecError{Query: query, Msg: "unknown table: " + name}
+	}
+	return t, nil
+}
+
+func (db *DB) execInsert(query string, s *sqlparse.InsertStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookupTable(query, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{db: db, query: query}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = t.columns
+	}
+	colPos := make([]int, len(cols))
+	for i, c := range cols {
+		idx, ok := t.colIdx[strings.ToLower(c)]
+		if !ok {
+			return nil, &ExecError{Query: query, Msg: "unknown column: " + c}
+		}
+		colPos[i] = idx
+	}
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, &ExecError{Query: query, Msg: "column count mismatch"}
+		}
+		row := make([]Value, len(t.columns))
+		for i, e := range exprRow {
+			v, err := ev.eval(e, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[colPos[i]] = v
+		}
+		t.rows = append(t.rows, row)
+	}
+	return &Result{Affected: len(s.Rows), Delay: ev.delay}, nil
+}
+
+func (db *DB) execUpdate(query string, s *sqlparse.UpdateStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookupTable(query, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{db: db, query: query}
+	affected := 0
+	for _, row := range t.rows {
+		match := true
+		if s.Where != nil {
+			v, err := ev.eval(s.Where, t, row)
+			if err != nil {
+				return nil, err
+			}
+			match = truthy(v)
+		}
+		if !match {
+			continue
+		}
+		for _, as := range s.Set {
+			idx, ok := t.colIdx[strings.ToLower(as.Column)]
+			if !ok {
+				return nil, &ExecError{Query: query, Msg: "unknown column: " + as.Column}
+			}
+			v, err := ev.eval(as.Value, t, row)
+			if err != nil {
+				return nil, err
+			}
+			row[idx] = v
+		}
+		affected++
+	}
+	return &Result{Affected: affected, Delay: ev.delay}, nil
+}
+
+func (db *DB) execDelete(query string, s *sqlparse.DeleteStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookupTable(query, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{db: db, query: query}
+	kept := t.rows[:0]
+	affected := 0
+	for _, row := range t.rows {
+		match := true
+		if s.Where != nil {
+			v, err := ev.eval(s.Where, t, row)
+			if err != nil {
+				return nil, err
+			}
+			match = truthy(v)
+		}
+		if match {
+			affected++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.rows = kept
+	return &Result{Affected: affected, Delay: ev.delay}, nil
+}
+
+func (db *DB) execSelect(query string, s *sqlparse.SelectStmt) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ev := &evaluator{db: db, query: query}
+	res, err := db.runSelect(ev, query, s)
+	if err != nil {
+		return nil, err
+	}
+	res.Delay = ev.delay
+	return res, nil
+}
+
+// runSelect executes one SELECT arm plus any UNION chain.
+func (db *DB) runSelect(ev *evaluator, query string, s *sqlparse.SelectStmt) (*Result, error) {
+	res, err := db.runSelectArm(ev, query, s)
+	if err != nil {
+		return nil, err
+	}
+	for u := s.Union; u != nil; u = u.Right.Union {
+		right, err := db.runSelectArm(ev, query, u.Right)
+		if err != nil {
+			return nil, err
+		}
+		if len(right.Columns) != len(res.Columns) {
+			return nil, &ExecError{Query: query, Msg: "UNION arms have different column counts"}
+		}
+		res.Rows = append(res.Rows, right.Rows...)
+		if !u.All {
+			res.Rows = dedupeRows(res.Rows)
+		}
+		// ORDER BY / LIMIT of the final arm apply to the union result.
+		if u.Right.Union == nil {
+			applyOrderLimit(res, ev, u.Right.OrderBy, u.Right.Limit)
+		}
+	}
+	return res, nil
+}
+
+func (db *DB) runSelectArm(ev *evaluator, query string, s *sqlparse.SelectStmt) (*Result, error) {
+	var t *table
+	if s.From != "" {
+		var err error
+		t, err = db.lookupTable(query, s.From)
+		if err != nil {
+			return nil, err
+		}
+		if len(s.Joins) > 0 {
+			t, err = db.buildJoinSource(ev, query, s, t)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Determine column names.
+	var colNames []string
+	for _, c := range s.Columns {
+		switch {
+		case c.Star:
+			if t == nil {
+				return nil, &ExecError{Query: query, Msg: "SELECT * requires FROM"}
+			}
+			colNames = append(colNames, t.columns...)
+		case c.Alias != "":
+			colNames = append(colNames, c.Alias)
+		default:
+			colNames = append(colNames, exprName(c.Expr))
+		}
+	}
+	res := &Result{Columns: colNames}
+
+	if hasAggregate(s) {
+		return db.runAggregateSelect(ev, query, s, t, res)
+	}
+
+	sourceRows := [][]Value{nil} // table-less SELECT evaluates once
+	if t != nil {
+		sourceRows = t.rows
+	}
+	// Order keys are evaluated against the source row so that ORDER BY can
+	// reference columns that are not projected (as MySQL allows). When the
+	// expression cannot resolve against the source (e.g. it names a result
+	// alias), applyOrderLimit's result-column resolution takes over.
+	var orderKeys [][]Value
+	for _, row := range sourceRows {
+		if s.Where != nil {
+			v, err := ev.eval(s.Where, t, row)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		out, err := projectRow(ev, s, t, row)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, out)
+		if len(s.OrderBy) > 0 && t != nil {
+			keys := make([]Value, 0, len(s.OrderBy))
+			ok := true
+			for _, item := range s.OrderBy {
+				// Numeric literals are 1-based result-column positions;
+				// leave those to the result-column resolution path.
+				if lit, isLit := item.Expr.(*sqlparse.Literal); isLit && lit.Kind == sqlparse.LitNumber {
+					ok = false
+					break
+				}
+				v, err := ev.eval(item.Expr, t, row)
+				if err != nil {
+					ok = false
+					break
+				}
+				keys = append(keys, v)
+			}
+			if ok {
+				orderKeys = append(orderKeys, keys)
+			} else {
+				orderKeys = nil
+			}
+		}
+	}
+	if s.Distinct {
+		res.Rows = dedupeRows(res.Rows)
+		orderKeys = nil // row identities changed; fall back
+	}
+	if len(orderKeys) == len(res.Rows) && len(orderKeys) > 0 {
+		sortRowsByKeys(res.Rows, orderKeys, s.OrderBy)
+		applyOrderLimit(res, ev, nil, s.Limit)
+		return res, nil
+	}
+	applyOrderLimit(res, ev, s.OrderBy, s.Limit)
+	return res, nil
+}
+
+// sortRowsByKeys stably sorts rows by precomputed per-row order keys.
+func sortRowsByKeys(rows [][]Value, keys [][]Value, orderBy []sqlparse.OrderItem) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, item := range orderBy {
+			c := compareValues(keys[idx[a]][k], keys[idx[b]][k])
+			if c == 0 {
+				continue
+			}
+			if item.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sortedRows := make([][]Value, len(rows))
+	for i, j := range idx {
+		sortedRows[i] = rows[j]
+	}
+	copy(rows, sortedRows)
+}
+
+func projectRow(ev *evaluator, s *sqlparse.SelectStmt, t *table, row []Value) ([]Value, error) {
+	var out []Value
+	for _, c := range s.Columns {
+		if c.Star {
+			out = append(out, row...)
+			continue
+		}
+		v, err := ev.eval(c.Expr, t, row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func hasAggregate(s *sqlparse.SelectStmt) bool {
+	if len(s.GroupBy) > 0 {
+		return true
+	}
+	for _, c := range s.Columns {
+		if c.Expr != nil && exprHasAggregate(c.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e sqlparse.Expr) bool {
+	switch v := e.(type) {
+	case *sqlparse.FuncCall:
+		switch v.Name {
+		case "COUNT", "SUM", "MIN", "MAX", "AVG", "GROUP_CONCAT":
+			return true
+		}
+		for _, a := range v.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *sqlparse.BinaryExpr:
+		return exprHasAggregate(v.L) || exprHasAggregate(v.R)
+	case *sqlparse.UnaryExpr:
+		return exprHasAggregate(v.X)
+	}
+	return false
+}
+
+// runAggregateSelect handles SELECTs with aggregates and/or GROUP BY.
+func (db *DB) runAggregateSelect(ev *evaluator, query string, s *sqlparse.SelectStmt, t *table, res *Result) (*Result, error) {
+	var rows [][]Value
+	if t != nil {
+		rows = t.rows
+	}
+	// Filter with WHERE first.
+	var filtered [][]Value
+	for _, row := range rows {
+		if s.Where != nil {
+			v, err := ev.eval(s.Where, t, row)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		filtered = append(filtered, row)
+	}
+	// Group rows.
+	type group struct {
+		rows [][]Value
+	}
+	groups := map[string]*group{}
+	var order []string
+	if len(s.GroupBy) == 0 {
+		groups[""] = &group{rows: filtered}
+		order = []string{""}
+	} else {
+		for _, row := range filtered {
+			var keyParts []string
+			for _, ge := range s.GroupBy {
+				v, err := ev.eval(ge, t, row)
+				if err != nil {
+					return nil, err
+				}
+				keyParts = append(keyParts, toString(v))
+			}
+			key := strings.Join(keyParts, "\x00")
+			g, ok := groups[key]
+			if !ok {
+				g = &group{}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.rows = append(g.rows, row)
+		}
+	}
+	for _, key := range order {
+		g := groups[key]
+		agg := &aggregator{ev: ev, t: t, rows: g.rows}
+		if s.Having != nil {
+			v, err := agg.eval(s.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		var out []Value
+		for _, c := range s.Columns {
+			if c.Star {
+				return nil, &ExecError{Query: query, Msg: "SELECT * with aggregates is unsupported"}
+			}
+			v, err := agg.eval(c.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	applyOrderLimit(res, ev, s.OrderBy, s.Limit)
+	return res, nil
+}
+
+func dedupeRows(rows [][]Value) [][]Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var key strings.Builder
+		for _, v := range r {
+			key.WriteString(toString(v))
+			key.WriteByte(0)
+		}
+		if seen[key.String()] {
+			continue
+		}
+		seen[key.String()] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// applyOrderLimit sorts the result rows and applies LIMIT/OFFSET. ORDER BY
+// expressions that are plain column references resolve against the result
+// columns; numeric literals are 1-based column positions.
+func applyOrderLimit(res *Result, ev *evaluator, orderBy []sqlparse.OrderItem, limit *sqlparse.LimitClause) {
+	if len(orderBy) > 0 {
+		keyIdx := make([]int, 0, len(orderBy))
+		desc := make([]bool, 0, len(orderBy))
+		for _, item := range orderBy {
+			idx := -1
+			switch e := item.Expr.(type) {
+			case *sqlparse.ColumnRef:
+				for i, c := range res.Columns {
+					if strings.EqualFold(c, e.Name) {
+						idx = i
+						break
+					}
+				}
+			case *sqlparse.Literal:
+				if e.Kind == sqlparse.LitNumber {
+					if n, err := strconv.Atoi(e.Text); err == nil && n >= 1 && n <= len(res.Columns) {
+						idx = n - 1
+					}
+				}
+			}
+			if idx >= 0 {
+				keyIdx = append(keyIdx, idx)
+				desc = append(desc, item.Desc)
+			}
+		}
+		if len(keyIdx) > 0 {
+			sort.SliceStable(res.Rows, func(i, j int) bool {
+				for k, idx := range keyIdx {
+					c := compareValues(res.Rows[i][idx], res.Rows[j][idx])
+					if c == 0 {
+						continue
+					}
+					if desc[k] {
+						return c > 0
+					}
+					return c < 0
+				}
+				return false
+			})
+		}
+	}
+	if limit != nil {
+		off := int(limit.Offset)
+		if off > len(res.Rows) {
+			off = len(res.Rows)
+		}
+		end := off + int(limit.Count)
+		if end > len(res.Rows) || limit.Count < 0 {
+			end = len(res.Rows)
+		}
+		res.Rows = res.Rows[off:end]
+	}
+}
+
+func exprName(e sqlparse.Expr) string {
+	switch v := e.(type) {
+	case *sqlparse.ColumnRef:
+		return v.Name
+	case *sqlparse.FuncCall:
+		return strings.ToLower(v.Name) + "()"
+	case *sqlparse.Literal:
+		return v.Text
+	default:
+		return "expr"
+	}
+}

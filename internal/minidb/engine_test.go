@@ -1,0 +1,503 @@
+package minidb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := New("wordpress")
+	for _, q := range []string{
+		"CREATE TABLE posts (id INT, title TEXT, views INT)",
+		"CREATE TABLE users (id INT, username TEXT, password TEXT)",
+		"INSERT INTO posts (id, title, views) VALUES (1, 'Hello World', 10), (2, 'Second Post', 25), (3, 'Drafts', 0)",
+		"INSERT INTO users (id, username, password) VALUES (1, 'admin', 'c4ca4238a0b923820dcc509a6f75849b'), (2, 'editor', 'secret2')",
+	} {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("setup %q: %v", q, err)
+		}
+	}
+	return db
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT title FROM posts WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "Second Post" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if res.Columns[0] != "title" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT * FROM posts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || len(res.Columns) != 3 {
+		t.Errorf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	}
+}
+
+func TestTautologyBypassesWhere(t *testing.T) {
+	// The canonical injection outcome: id=-1 OR 1=1 returns every row.
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT * FROM posts WHERE id=-1 OR 1=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("tautology returned %d rows, want 3", len(res.Rows))
+	}
+}
+
+func TestUnionInjectionLeaksData(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT id, title FROM posts WHERE id=-1 UNION SELECT username, password FROM users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "admin" {
+		t.Errorf("leaked row = %v", res.Rows[0])
+	}
+}
+
+func TestUnionColumnCountMismatch(t *testing.T) {
+	db := newTestDB(t)
+	_, err := db.Exec("SELECT id FROM posts UNION SELECT id, username FROM users")
+	if err == nil {
+		t.Fatal("want column-count error")
+	}
+}
+
+func TestUnionDistinctVsAll(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT 1 UNION SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("UNION dedupe: %v", res.Rows)
+	}
+	res, err = db.Exec("SELECT 1 UNION ALL SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("UNION ALL: %v", res.Rows)
+	}
+}
+
+func TestBlindBooleanObservable(t *testing.T) {
+	// Boolean-blind injection: AND 1=1 keeps the row; AND 1=0 removes it.
+	db := newTestDB(t)
+	trueRes, err := db.Exec("SELECT title FROM posts WHERE id=1 AND 1=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	falseRes, err := db.Exec("SELECT title FROM posts WHERE id=1 AND 1=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trueRes.Rows) != 1 || len(falseRes.Rows) != 0 {
+		t.Errorf("blind oracle broken: true=%d false=%d", len(trueRes.Rows), len(falseRes.Rows))
+	}
+}
+
+func TestDoubleBlindSleepVirtualClock(t *testing.T) {
+	db := newTestDB(t)
+	start := time.Now()
+	res, err := db.Exec("SELECT * FROM posts WHERE id=1 AND IF(1=1, SLEEP(5), 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("SLEEP must not block wall-clock time")
+	}
+	// IF condition true: SLEEP evaluated once per row scanned with id=1.
+	if res.Delay < 5*time.Second {
+		t.Errorf("delay = %v, want >= 5s", res.Delay)
+	}
+	// IF is lazy: the untaken SLEEP branch costs nothing.
+	res2, err := db.Exec("SELECT * FROM posts WHERE id=1 AND IF(1=2, SLEEP(5), 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Delay != 0 {
+		t.Errorf("untaken IF branch accumulated delay %v", res2.Delay)
+	}
+	res3, err := db.Exec("SELECT * FROM posts WHERE id=999 AND SLEEP(5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Delay >= 5*time.Second*3+time.Second {
+		t.Errorf("short-circuit AND evaluated SLEEP too often: %v", res3.Delay)
+	}
+}
+
+func TestSleepShortCircuit(t *testing.T) {
+	// WHERE false AND SLEEP(5): SLEEP must not run (short-circuit).
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT * FROM posts WHERE 1=0 AND SLEEP(5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay != 0 {
+		t.Errorf("delay = %v, want 0", res.Delay)
+	}
+}
+
+func TestErrorBasedInjection(t *testing.T) {
+	db := newTestDB(t)
+	_, err := db.Exec("SELECT * FROM posts WHERE id=1 AND EXTRACTVALUE(1, version())")
+	if err == nil {
+		t.Fatal("EXTRACTVALUE should error")
+	}
+	if !strings.Contains(err.Error(), Version) {
+		t.Errorf("error should leak the evaluated argument: %v", err)
+	}
+}
+
+func TestInsertUpdateDelete(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("INSERT INTO posts (id, title, views) VALUES (4, 'New', 1)")
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("insert: %v %v", res, err)
+	}
+	res, err = db.Exec("UPDATE posts SET views = views + 1 WHERE id = 4")
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("update: %v %v", res, err)
+	}
+	check, _ := db.Exec("SELECT views FROM posts WHERE id = 4")
+	if check.Rows[0][0] != int64(2) {
+		t.Errorf("views = %v", check.Rows[0][0])
+	}
+	res, err = db.Exec("DELETE FROM posts WHERE id = 4")
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("delete: %v %v", res, err)
+	}
+	check, _ = db.Exec("SELECT COUNT(*) FROM posts")
+	if check.Rows[0][0] != int64(3) {
+		t.Errorf("count = %v", check.Rows[0][0])
+	}
+}
+
+func TestInsertWithoutColumnList(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec("INSERT INTO posts VALUES (9, 'X', 0)"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Exec("SELECT title FROM posts WHERE id=9")
+	if res.Rows[0][0] != "X" {
+		t.Errorf("row = %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT COUNT(*), SUM(views), MAX(views), MIN(views), AVG(views) FROM posts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0] != int64(3) || row[1] != int64(35) || row[2] != int64(25) || row[3] != int64(0) {
+		t.Errorf("aggregates = %v", row)
+	}
+	if avg := row[4].(float64); avg < 11.6 || avg > 11.7 {
+		t.Errorf("avg = %v", avg)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := New("d")
+	db.MustExec("CREATE TABLE t (cat TEXT, n INT)")
+	db.MustExec("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 5)")
+	res, err := db.Exec("SELECT cat, SUM(n) FROM t GROUP BY cat HAVING SUM(n) > 2 ORDER BY cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "a" || res.Rows[0][1] != int64(3) {
+		t.Errorf("group a = %v", res.Rows[0])
+	}
+	if res.Rows[1][0] != "b" || res.Rows[1][1] != int64(5) {
+		t.Errorf("group b = %v", res.Rows[1])
+	}
+}
+
+func TestGroupConcat(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT GROUP_CONCAT(username) FROM users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "admin,editor" {
+		t.Errorf("group_concat = %v", res.Rows[0][0])
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT title FROM posts ORDER BY views DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "Second Post" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	res, err = db.Exec("SELECT title FROM posts ORDER BY views DESC LIMIT 1, 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "Hello World" {
+		t.Errorf("offset rows = %v", res.Rows)
+	}
+	// ORDER BY column position.
+	res, err = db.Exec("SELECT title, views FROM posts ORDER BY 2 DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "Second Post" {
+		t.Errorf("positional order = %v", res.Rows)
+	}
+}
+
+func TestLikeOperator(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT title FROM posts WHERE title LIKE '%world%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "Hello World" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	res, _ = db.Exec("SELECT title FROM posts WHERE title LIKE 'H_llo%'")
+	if len(res.Rows) != 1 {
+		t.Errorf("underscore: %v", res.Rows)
+	}
+	// Only "Drafts" lacks an 'o'.
+	res, _ = db.Exec("SELECT title FROM posts WHERE title NOT LIKE '%o%'")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "Drafts" {
+		t.Errorf("not like: %v", res.Rows)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	db := New("sitedb")
+	tests := []struct {
+		q    string
+		want Value
+	}{
+		{"SELECT version()", Version},
+		{"SELECT database()", "sitedb"},
+		{"SELECT CONCAT('a', 1, 'b')", "a1b"},
+		{"SELECT CHAR(65, 66, 67)", "ABC"},
+		{"SELECT ASCII('A')", int64(65)},
+		{"SELECT LENGTH('hello')", int64(5)},
+		{"SELECT UPPER('abc')", "ABC"},
+		{"SELECT LOWER('ABC')", "abc"},
+		{"SELECT SUBSTRING('abcdef', 2, 3)", "bcd"},
+		{"SELECT SUBSTRING('abcdef', 4)", "def"},
+		{"SELECT MD5('admin')", "21232f297a57a5a743894a0e4a801fc3"},
+		{"SELECT IF(1=1, 'yes', 'no')", "yes"},
+		{"SELECT IFNULL(NULL, 'fallback')", "fallback"},
+		{"SELECT COALESCE(NULL, NULL, 3)", int64(3)},
+		{"SELECT ABS(-4)", int64(4)},
+		{"SELECT GREATEST(1, 9, 5)", int64(9)},
+		{"SELECT LEAST(3, 2, 8)", int64(2)},
+		{"SELECT REVERSE('abc')", "cba"},
+		{"SELECT HEX('AB')", "4142"},
+		{"SELECT UNHEX('4142')", "AB"},
+		{"SELECT LEFT('abcdef', 2)", "ab"},
+		{"SELECT RIGHT('abcdef', 2)", "ef"},
+		{"SELECT REPLACE('aXbXc', 'X', '-')", "a-b-c"},
+		{"SELECT INSTR('hello', 'll')", int64(3)},
+		{"SELECT TRIM('  x  ')", "x"},
+		{"SELECT STRCMP('a', 'b')", int64(-1)},
+		{"SELECT CONCAT_WS('-', 'a', NULL, 'b')", "a-b"},
+		{"SELECT 7 DIV 2", int64(3)},
+		{"SELECT 7 % 3", int64(1)},
+		{"SELECT 1 XOR 0", int64(1)},
+	}
+	for _, tt := range tests {
+		res, err := db.Exec(tt.q)
+		if err != nil {
+			t.Errorf("%s: %v", tt.q, err)
+			continue
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != tt.want {
+			t.Errorf("%s = %v, want %v", tt.q, res.Rows[0][0], tt.want)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := New("d")
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (NULL), (1)")
+	res, _ := db.Exec("SELECT a FROM t WHERE a = 1")
+	if len(res.Rows) != 1 {
+		t.Errorf("= with NULL row: %v", res.Rows)
+	}
+	res, _ = db.Exec("SELECT a FROM t WHERE a IS NULL")
+	if len(res.Rows) != 1 {
+		t.Errorf("IS NULL: %v", res.Rows)
+	}
+	res, _ = db.Exec("SELECT a FROM t WHERE a IS NOT NULL")
+	if len(res.Rows) != 1 {
+		t.Errorf("IS NOT NULL: %v", res.Rows)
+	}
+	// Division by zero yields NULL.
+	res, _ = db.Exec("SELECT 1/0")
+	if res.Rows[0][0] != nil {
+		t.Errorf("1/0 = %v", res.Rows[0][0])
+	}
+}
+
+func TestStringNumberCoercion(t *testing.T) {
+	db := newTestDB(t)
+	// MySQL compares '1' = 1 as numbers.
+	res, err := db.Exec("SELECT title FROM posts WHERE id = '1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("string/number coercion: %v", res.Rows)
+	}
+	// 'abc' coerces to 0.
+	res, _ = db.Exec("SELECT 'abc' = 0")
+	if res.Rows[0][0] != int64(1) {
+		t.Errorf("'abc'=0 → %v", res.Rows[0][0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := newTestDB(t)
+	cases := []string{
+		"SELECT * FROM missing",
+		"SELECT nope FROM posts",
+		"INSERT INTO posts (id) VALUES (1, 2)",
+		"INSERT INTO posts (bogus) VALUES (1)",
+		"UPDATE posts SET bogus = 1",
+		"DELETE FROM missing",
+		"CREATE TABLE posts (id INT)",
+		"DROP TABLE missing",
+		"SELECT * FROM posts WHERE",
+		"SELECT UNKNOWNFUNC(1) FROM posts",
+	}
+	for _, q := range cases {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", q)
+		} else {
+			var ee *ExecError
+			if !errors.As(err, &ee) {
+				t.Errorf("Exec(%q) error type %T", q, err)
+			}
+		}
+	}
+}
+
+func TestCreateDropIfClauses(t *testing.T) {
+	db := New("d")
+	db.MustExec("CREATE TABLE t (a INT)")
+	if _, err := db.Exec("CREATE TABLE IF NOT EXISTS t (a INT)"); err != nil {
+		t.Error(err)
+	}
+	if _, err := db.Exec("DROP TABLE IF EXISTS missing"); err != nil {
+		t.Error(err)
+	}
+	db.MustExec("DROP TABLE t")
+	if len(db.Tables()) != 0 {
+		t.Errorf("tables = %v", db.Tables())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := New("d")
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1), (1), (2)")
+	res, _ := db.Exec("SELECT DISTINCT a FROM t")
+	if len(res.Rows) != 2 {
+		t.Errorf("distinct rows = %v", res.Rows)
+	}
+}
+
+func TestInBetween(t *testing.T) {
+	db := newTestDB(t)
+	res, _ := db.Exec("SELECT title FROM posts WHERE id IN (1, 3)")
+	if len(res.Rows) != 2 {
+		t.Errorf("IN: %v", res.Rows)
+	}
+	res, _ = db.Exec("SELECT title FROM posts WHERE id NOT IN (1, 3)")
+	if len(res.Rows) != 1 {
+		t.Errorf("NOT IN: %v", res.Rows)
+	}
+	res, _ = db.Exec("SELECT title FROM posts WHERE views BETWEEN 5 AND 30")
+	if len(res.Rows) != 2 {
+		t.Errorf("BETWEEN: %v", res.Rows)
+	}
+}
+
+func TestTables(t *testing.T) {
+	db := newTestDB(t)
+	got := db.Tables()
+	if len(got) != 2 || got[0] != "posts" || got[1] != "users" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExec should panic on error")
+		}
+	}()
+	New("d").MustExec("SELECT * FROM missing")
+}
+
+func TestConcurrentReads(t *testing.T) {
+	db := newTestDB(t)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var err error
+			for i := 0; i < 200; i++ {
+				if _, e := db.Exec("SELECT * FROM posts WHERE id=1"); e != nil {
+					err = e
+					break
+				}
+			}
+			done <- err
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBenchmarkFunctionDelay(t *testing.T) {
+	db := New("d")
+	res, err := db.Exec("SELECT BENCHMARK(1000000, MD5('x'))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay != time.Second {
+		t.Errorf("benchmark delay = %v, want 1s", res.Delay)
+	}
+}

@@ -1,0 +1,701 @@
+package minidb
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"time"
+
+	"joza/internal/sqlparse"
+)
+
+// Version is reported by VERSION().
+const Version = "5.5.0-minidb"
+
+// evaluator evaluates expressions against a table row, accumulating
+// virtual delay from SLEEP/BENCHMARK.
+type evaluator struct {
+	db    *DB
+	query string
+	delay time.Duration
+}
+
+func (ev *evaluator) errf(msg string) error {
+	return &ExecError{Query: ev.query, Msg: msg}
+}
+
+func (ev *evaluator) eval(e sqlparse.Expr, t *table, row []Value) (Value, error) {
+	switch v := e.(type) {
+	case *sqlparse.Literal:
+		return ev.evalLiteral(v)
+	case *sqlparse.ColumnRef:
+		return ev.evalColumn(v, t, row)
+	case *sqlparse.BinaryExpr:
+		return ev.evalBinary(v, t, row)
+	case *sqlparse.UnaryExpr:
+		x, err := ev.eval(v.X, t, row)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "-":
+			if f := toFloat(x); f == float64(int64(f)) {
+				return int64(-f), nil
+			} else {
+				return -f, nil
+			}
+		case "NOT":
+			return boolValue(!truthy(x)), nil
+		case "~":
+			return int64(^int64(toFloat(x))), nil
+		default:
+			return nil, ev.errf("unsupported unary operator " + v.Op)
+		}
+	case *sqlparse.FuncCall:
+		return ev.evalFunc(v, t, row)
+	case *sqlparse.InExpr:
+		x, err := ev.eval(v.X, t, row)
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, le := range v.List {
+			lv, err := ev.eval(le, t, row)
+			if err != nil {
+				return nil, err
+			}
+			if x != nil && lv != nil && compareValues(x, lv) == 0 {
+				found = true
+				break
+			}
+		}
+		return boolValue(found != v.Not), nil
+	case *sqlparse.BetweenExpr:
+		x, err := ev.eval(v.X, t, row)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := ev.eval(v.Lo, t, row)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := ev.eval(v.Hi, t, row)
+		if err != nil {
+			return nil, err
+		}
+		in := compareValues(x, lo) >= 0 && compareValues(x, hi) <= 0
+		return boolValue(in != v.Not), nil
+	case *sqlparse.LikeExpr:
+		x, err := ev.eval(v.X, t, row)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := ev.eval(v.Pattern, t, row)
+		if err != nil {
+			return nil, err
+		}
+		m := likeMatch(toString(x), toString(pat))
+		return boolValue(m != v.Not), nil
+	case *sqlparse.IsNullExpr:
+		x, err := ev.eval(v.X, t, row)
+		if err != nil {
+			return nil, err
+		}
+		return boolValue((x == nil) != v.Not), nil
+	default:
+		return nil, ev.errf("unsupported expression")
+	}
+}
+
+func (ev *evaluator) evalLiteral(l *sqlparse.Literal) (Value, error) {
+	switch l.Kind {
+	case sqlparse.LitNumber:
+		if n, err := strconv.ParseInt(l.Text, 0, 64); err == nil {
+			return n, nil
+		}
+		f, err := strconv.ParseFloat(l.Text, 64)
+		if err != nil {
+			return nil, ev.errf("bad number " + l.Text)
+		}
+		return f, nil
+	case sqlparse.LitString:
+		return l.Str, nil
+	case sqlparse.LitNull:
+		return nil, nil
+	case sqlparse.LitBool:
+		return boolValue(l.Bool), nil
+	default:
+		return nil, ev.errf("bad literal")
+	}
+}
+
+func (ev *evaluator) evalColumn(c *sqlparse.ColumnRef, t *table, row []Value) (Value, error) {
+	if t == nil || row == nil {
+		return nil, ev.errf("unknown column: " + c.Name)
+	}
+	name := strings.ToLower(c.Name)
+	if c.Table != "" {
+		// Joined pseudo-tables index qualified names; on plain tables fall
+		// back to the bare name (single-table queries may still qualify).
+		if idx, ok := t.colIdx[strings.ToLower(c.Table)+"."+name]; ok {
+			return row[idx], nil
+		}
+	}
+	idx, ok := t.colIdx[name]
+	if !ok {
+		return nil, ev.errf("unknown column: " + c.Name)
+	}
+	return row[idx], nil
+}
+
+func (ev *evaluator) evalBinary(b *sqlparse.BinaryExpr, t *table, row []Value) (Value, error) {
+	// Short-circuit logical operators.
+	switch b.Op {
+	case "AND":
+		l, err := ev.eval(b.L, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if !truthy(l) {
+			return boolValue(false), nil
+		}
+		r, err := ev.eval(b.R, t, row)
+		if err != nil {
+			return nil, err
+		}
+		return boolValue(truthy(r)), nil
+	case "OR":
+		l, err := ev.eval(b.L, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(l) {
+			return boolValue(true), nil
+		}
+		r, err := ev.eval(b.R, t, row)
+		if err != nil {
+			return nil, err
+		}
+		return boolValue(truthy(r)), nil
+	}
+	l, err := ev.eval(b.L, t, row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ev.eval(b.R, t, row)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case "XOR":
+		return boolValue(truthy(l) != truthy(r)), nil
+	case "=":
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return boolValue(compareValues(l, r) == 0), nil
+	case "!=":
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return boolValue(compareValues(l, r) != 0), nil
+	case "<":
+		return boolValue(compareValues(l, r) < 0), nil
+	case "<=":
+		return boolValue(compareValues(l, r) <= 0), nil
+	case ">":
+		return boolValue(compareValues(l, r) > 0), nil
+	case ">=":
+		return boolValue(compareValues(l, r) >= 0), nil
+	case "+", "-", "*", "/", "%", "DIV":
+		return arith(b.Op, l, r)
+	case "REGEXP":
+		// Approximated as case-insensitive substring containment; the
+		// testbed exploits only use simple patterns.
+		return boolValue(strings.Contains(
+			strings.ToLower(toString(l)), strings.ToLower(toString(r)))), nil
+	default:
+		return nil, ev.errf("unsupported operator " + b.Op)
+	}
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	fl, fr := toFloat(l), toFloat(r)
+	var f float64
+	switch op {
+	case "+":
+		f = fl + fr
+	case "-":
+		f = fl - fr
+	case "*":
+		f = fl * fr
+	case "/":
+		if fr == 0 {
+			return nil, nil // MySQL: division by zero yields NULL
+		}
+		f = fl / fr
+	case "DIV":
+		if fr == 0 {
+			return nil, nil
+		}
+		return int64(fl / fr), nil
+	case "%":
+		if fr == 0 {
+			return nil, nil
+		}
+		return int64(fl) % int64(fr), nil
+	}
+	if f == float64(int64(f)) {
+		return int64(f), nil
+	}
+	return f, nil
+}
+
+func (ev *evaluator) evalFunc(fc *sqlparse.FuncCall, t *table, row []Value) (Value, error) {
+	// IF evaluates lazily: only the taken branch runs, so SLEEP inside the
+	// untaken branch of a time-blind probe costs nothing — the oracle
+	// double-blind exploits depend on.
+	if fc.Name == "IF" {
+		if len(fc.Args) != 3 {
+			return nil, ev.errf("IF expects 3 arguments")
+		}
+		cond, err := ev.eval(fc.Args[0], t, row)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(cond) {
+			return ev.eval(fc.Args[1], t, row)
+		}
+		return ev.eval(fc.Args[2], t, row)
+	}
+	args := make([]Value, 0, len(fc.Args))
+	for _, a := range fc.Args {
+		v, err := ev.eval(a, t, row)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return ev.errf(fc.Name + " expects " + strconv.Itoa(n) + " argument(s)")
+		}
+		return nil
+	}
+	switch fc.Name {
+	case "VERSION":
+		return Version, nil
+	case "DATABASE", "SCHEMA":
+		return ev.db.name, nil
+	case "USER", "CURRENT_USER", "SESSION_USER", "SYSTEM_USER", "USERNAME":
+		return ev.db.user, nil
+	case "CONCAT":
+		var sb strings.Builder
+		for _, a := range args {
+			if a == nil {
+				return nil, nil
+			}
+			sb.WriteString(toString(a))
+		}
+		return sb.String(), nil
+	case "CONCAT_WS":
+		if len(args) < 1 {
+			return nil, ev.errf("CONCAT_WS expects arguments")
+		}
+		sep := toString(args[0])
+		var parts []string
+		for _, a := range args[1:] {
+			if a == nil {
+				continue
+			}
+			parts = append(parts, toString(a))
+		}
+		return strings.Join(parts, sep), nil
+	case "CHAR":
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteByte(byte(int64(toFloat(a))))
+		}
+		return sb.String(), nil
+	case "ASCII", "ORD":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s := toString(args[0])
+		if len(s) == 0 {
+			return int64(0), nil
+		}
+		return int64(s[0]), nil
+	case "LENGTH", "CHAR_LENGTH", "CHARACTER_LENGTH":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return int64(len(toString(args[0]))), nil
+	case "UPPER", "UCASE":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return strings.ToUpper(toString(args[0])), nil
+	case "LOWER", "LCASE":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return strings.ToLower(toString(args[0])), nil
+	case "TRIM":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return strings.TrimSpace(toString(args[0])), nil
+	case "SUBSTRING", "SUBSTR", "MID":
+		if len(args) < 2 || len(args) > 3 {
+			return nil, ev.errf("SUBSTRING expects 2 or 3 arguments")
+		}
+		s := toString(args[0])
+		start := int(toFloat(args[1]))
+		if start < 1 {
+			start = 1
+		}
+		if start > len(s) {
+			return "", nil
+		}
+		out := s[start-1:]
+		if len(args) == 3 {
+			n := int(toFloat(args[2]))
+			if n < len(out) {
+				if n < 0 {
+					n = 0
+				}
+				out = out[:n]
+			}
+		}
+		return out, nil
+	case "MD5":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		sum := md5.Sum([]byte(toString(args[0])))
+		return hex.EncodeToString(sum[:]), nil
+	case "SHA", "SHA1":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		sum := sha1.Sum([]byte(toString(args[0])))
+		return hex.EncodeToString(sum[:]), nil
+	case "HEX":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return strings.ToUpper(hex.EncodeToString([]byte(toString(args[0])))), nil
+	case "UNHEX":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		b, err := hex.DecodeString(toString(args[0]))
+		if err != nil {
+			return nil, nil
+		}
+		return string(b), nil
+	case "IFNULL":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[0] != nil {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "NULLIF":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[0] != nil && args[1] != nil && compareValues(args[0], args[1]) == 0 {
+			return nil, nil
+		}
+		return args[0], nil
+	case "COALESCE":
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		f := toFloat(args[0])
+		if f < 0 {
+			f = -f
+		}
+		if f == float64(int64(f)) {
+			return int64(f), nil
+		}
+		return f, nil
+	case "FLOOR":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		f := toFloat(args[0])
+		n := int64(f)
+		if f < 0 && f != float64(n) {
+			n--
+		}
+		return n, nil
+	case "ROUND":
+		if len(args) == 0 {
+			return nil, ev.errf("ROUND expects arguments")
+		}
+		f := toFloat(args[0])
+		if f >= 0 {
+			return int64(f + 0.5), nil
+		}
+		return int64(f - 0.5), nil
+	case "SLEEP":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		// Virtual clock: the delay is accumulated, never slept.
+		ev.delay += time.Duration(toFloat(args[0]) * float64(time.Second))
+		return int64(0), nil
+	case "BENCHMARK":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		// Model each iteration as one microsecond of virtual work.
+		ev.delay += time.Duration(toFloat(args[0])) * time.Microsecond
+		return int64(0), nil
+	case "NOW", "SYSDATE", "CURRENT_TIMESTAMP":
+		return "2015-06-22 00:00:00", nil
+	case "CURDATE", "CURRENT_DATE":
+		return "2015-06-22", nil
+	case "RAND":
+		// Deterministic for reproducibility.
+		return 0.5, nil
+	case "PI":
+		return 3.141592653589793, nil
+	case "LAST_INSERT_ID", "CONNECTION_ID", "FOUND_ROWS", "ROW_COUNT":
+		return int64(0), nil
+	case "LOAD_FILE":
+		// Always denied, as on a hardened MySQL.
+		return nil, nil
+	case "GREATEST", "LEAST":
+		if len(args) == 0 {
+			return nil, ev.errf(fc.Name + " expects arguments")
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			c := compareValues(a, best)
+			if (fc.Name == "GREATEST" && c > 0) || (fc.Name == "LEAST" && c < 0) {
+				best = a
+			}
+		}
+		return best, nil
+	case "STRCMP":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return int64(compareValues(args[0], args[1])), nil
+	case "REVERSE":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s := []byte(toString(args[0]))
+		for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+			s[i], s[j] = s[j], s[i]
+		}
+		return string(s), nil
+	case "SPACE":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n := int(toFloat(args[0]))
+		if n < 0 || n > 1<<20 {
+			n = 0
+		}
+		return strings.Repeat(" ", n), nil
+	case "REPEAT":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		n := int(toFloat(args[1]))
+		if n < 0 || n > 1<<16 {
+			n = 0
+		}
+		return strings.Repeat(toString(args[0]), n), nil
+	case "INSTR", "LOCATE", "POSITION":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, b := toString(args[0]), toString(args[1])
+		if fc.Name == "INSTR" {
+			return int64(strings.Index(a, b) + 1), nil
+		}
+		return int64(strings.Index(b, a) + 1), nil
+	case "LEFT":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s := toString(args[0])
+		n := int(toFloat(args[1]))
+		if n > len(s) {
+			n = len(s)
+		}
+		if n < 0 {
+			n = 0
+		}
+		return s[:n], nil
+	case "RIGHT":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s := toString(args[0])
+		n := int(toFloat(args[1]))
+		if n > len(s) {
+			n = len(s)
+		}
+		if n < 0 {
+			n = 0
+		}
+		return s[len(s)-n:], nil
+	case "REPLACE":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return strings.ReplaceAll(toString(args[0]), toString(args[1]), toString(args[2])), nil
+	case "EXTRACTVALUE", "UPDATEXML":
+		// Error-based injection primitives: on malformed XPath (the usual
+		// exploitation pattern) MySQL raises an error containing the
+		// evaluated argument — reproduce that leak-through-error behaviour.
+		if len(args) >= 2 {
+			return nil, ev.errf("XPATH syntax error: '" + toString(args[1]) + "'")
+		}
+		return nil, ev.errf("XPATH syntax error")
+	default:
+		return nil, ev.errf("unknown function " + fc.Name)
+	}
+}
+
+// aggregator evaluates select expressions over a row group, computing
+// aggregate functions over all rows and other expressions over the first
+// row of the group.
+type aggregator struct {
+	ev   *evaluator
+	t    *table
+	rows [][]Value
+}
+
+func (ag *aggregator) eval(e sqlparse.Expr) (Value, error) {
+	switch v := e.(type) {
+	case *sqlparse.FuncCall:
+		switch v.Name {
+		case "COUNT":
+			if v.Star {
+				return int64(len(ag.rows)), nil
+			}
+			n := int64(0)
+			for _, row := range ag.rows {
+				val, err := ag.ev.eval(v.Args[0], ag.t, row)
+				if err != nil {
+					return nil, err
+				}
+				if val != nil {
+					n++
+				}
+			}
+			return n, nil
+		case "SUM", "AVG", "MIN", "MAX":
+			if len(v.Args) != 1 {
+				return nil, ag.ev.errf(v.Name + " expects 1 argument")
+			}
+			var vals []Value
+			for _, row := range ag.rows {
+				val, err := ag.ev.eval(v.Args[0], ag.t, row)
+				if err != nil {
+					return nil, err
+				}
+				if val != nil {
+					vals = append(vals, val)
+				}
+			}
+			if len(vals) == 0 {
+				return nil, nil
+			}
+			switch v.Name {
+			case "SUM", "AVG":
+				sum := 0.0
+				for _, val := range vals {
+					sum += toFloat(val)
+				}
+				if v.Name == "AVG" {
+					return sum / float64(len(vals)), nil
+				}
+				if sum == float64(int64(sum)) {
+					return int64(sum), nil
+				}
+				return sum, nil
+			default:
+				best := vals[0]
+				for _, val := range vals[1:] {
+					c := compareValues(val, best)
+					if (v.Name == "MAX" && c > 0) || (v.Name == "MIN" && c < 0) {
+						best = val
+					}
+				}
+				return best, nil
+			}
+		case "GROUP_CONCAT":
+			if len(v.Args) != 1 {
+				return nil, ag.ev.errf("GROUP_CONCAT expects 1 argument")
+			}
+			var parts []string
+			for _, row := range ag.rows {
+				val, err := ag.ev.eval(v.Args[0], ag.t, row)
+				if err != nil {
+					return nil, err
+				}
+				if val != nil {
+					parts = append(parts, toString(val))
+				}
+			}
+			if len(parts) == 0 {
+				return nil, nil
+			}
+			return strings.Join(parts, ","), nil
+		}
+	case *sqlparse.BinaryExpr:
+		if exprHasAggregate(e) {
+			l, err := ag.eval(v.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ag.eval(v.R)
+			if err != nil {
+				return nil, err
+			}
+			return ag.ev.evalBinary(&sqlparse.BinaryExpr{
+				Op: v.Op,
+				L:  constExpr(l),
+				R:  constExpr(r),
+			}, nil, nil)
+		}
+	}
+	// Non-aggregate expression: evaluate over the group's first row.
+	var row []Value
+	if len(ag.rows) > 0 {
+		row = ag.rows[0]
+	}
+	return ag.ev.eval(e, ag.t, row)
+}
+
+// constExpr wraps an already-computed value as a literal expression.
+func constExpr(v Value) sqlparse.Expr {
+	switch x := v.(type) {
+	case nil:
+		return &sqlparse.Literal{Kind: sqlparse.LitNull}
+	case string:
+		return &sqlparse.Literal{Kind: sqlparse.LitString, Str: x}
+	default:
+		return &sqlparse.Literal{Kind: sqlparse.LitNumber, Text: toString(v)}
+	}
+}

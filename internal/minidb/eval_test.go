@@ -1,0 +1,210 @@
+package minidb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMoreFunctions exercises the long tail of built-ins and coercions.
+func TestMoreFunctions(t *testing.T) {
+	db := New("d")
+	tests := []struct {
+		q    string
+		want Value
+	}{
+		{"SELECT FLOOR(3.7)", int64(3)},
+		{"SELECT FLOOR(-3.2)", int64(-4)},
+		{"SELECT ROUND(3.5)", int64(4)},
+		{"SELECT ROUND(-3.5)", int64(-4)},
+		{"SELECT SPACE(3)", "   "},
+		{"SELECT REPEAT('ab', 3)", "ababab"},
+		{"SELECT LOCATE('ll', 'hello')", int64(3)},
+		{"SELECT POSITION('x', 'axb')", int64(2)},
+		{"SELECT NULLIF(1, 1)", nil},
+		{"SELECT NULLIF(1, 2)", int64(1)},
+		{"SELECT SHA1('')", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+		{"SELECT PI()", 3.141592653589793},
+		{"SELECT RAND()", 0.5},
+		{"SELECT NOW()", "2015-06-22 00:00:00"},
+		{"SELECT CURDATE()", "2015-06-22"},
+		{"SELECT LAST_INSERT_ID()", int64(0)},
+		{"SELECT LOAD_FILE('/etc/passwd')", nil},
+		{"SELECT 2 * 2.5", int64(5)},
+		{"SELECT 1 + 0.5", 1.5},
+		{"SELECT 10 % 0", nil},
+		{"SELECT 10 DIV 0", nil},
+		{"SELECT -(-3)", int64(3)},
+		{"SELECT ~0", int64(-1)},
+		{"SELECT NOT 0", int64(1)},
+		{"SELECT !1", int64(0)},
+		{"SELECT +5", int64(5)},
+		{"SELECT TRUE", int64(1)},
+		{"SELECT FALSE", int64(0)},
+		{"SELECT NULL", nil},
+		{"SELECT 0x10", int64(16)},
+		{"SELECT 1e2", float64(100)},
+		{"SELECT 'a' || 'b'", int64(0)}, // MySQL: || is logical OR
+		{"SELECT SPACE(-1)", ""},
+		{"SELECT REPEAT('x', -2)", ""},
+		{"SELECT LEFT('abc', 99)", "abc"},
+		{"SELECT RIGHT('abc', -1)", ""},
+		{"SELECT SUBSTRING('abc', 0)", "abc"},
+		{"SELECT SUBSTRING('abc', 9)", ""},
+		{"SELECT SUBSTRING('abcdef', 2, -1)", ""},
+		{"SELECT ASCII('')", int64(0)},
+		{"SELECT UNHEX('zz')", nil},
+		{"SELECT 1 BETWEEN 0 AND 2", int64(1)},
+		{"SELECT 5 NOT BETWEEN 0 AND 2", int64(1)},
+	}
+	for _, tt := range tests {
+		res, err := db.Exec(tt.q)
+		if err != nil {
+			t.Errorf("%s: %v", tt.q, err)
+			continue
+		}
+		if res.Rows[0][0] != tt.want {
+			t.Errorf("%s = %#v, want %#v", tt.q, res.Rows[0][0], tt.want)
+		}
+	}
+}
+
+func TestFunctionArityErrors(t *testing.T) {
+	db := New("d")
+	bad := []string{
+		"SELECT ASCII()",
+		"SELECT LENGTH(1, 2)",
+		"SELECT SUBSTRING('a')",
+		"SELECT IF(1, 2)",
+		"SELECT IFNULL(1)",
+		"SELECT MD5()",
+		"SELECT SLEEP()",
+		"SELECT BENCHMARK(1)",
+		"SELECT CONCAT_WS()",
+		"SELECT GREATEST()",
+		"SELECT STRCMP('a')",
+		"SELECT REPLACE('a', 'b')",
+		"SELECT LEFT('a')",
+		"SELECT TRIM()",
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("%s: want arity error", q)
+		}
+	}
+}
+
+func TestConcatNullPropagates(t *testing.T) {
+	db := New("d")
+	res, err := db.Exec("SELECT CONCAT('a', NULL, 'b')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != nil {
+		t.Errorf("CONCAT with NULL = %v, want NULL", res.Rows[0][0])
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if toFloat("  -2.5abc") != -2.5 {
+		t.Errorf("numeric prefix = %v", toFloat("  -2.5abc"))
+	}
+	if toFloat("abc") != 0 || toFloat(nil) != 0 {
+		t.Error("non-numeric coercion")
+	}
+	if toFloat("5.") != 5 {
+		t.Errorf("trailing dot = %v", toFloat("5."))
+	}
+	if toString(nil) != "NULL" || toString(int64(3)) != "3" ||
+		toString(2.5) != "2.5" || toString("x") != "x" {
+		t.Error("toString")
+	}
+	if toString(true) == "" {
+		t.Error("toString fallback")
+	}
+	if truthy(nil) || truthy(int64(0)) || !truthy("1x") || truthy("abc") {
+		t.Error("truthy")
+	}
+	// Raw byte order would put 'B' (0x42) before 'a' (0x61); the
+	// case-insensitive collation orders it after.
+	if compareValues("B", "a") <= 0 {
+		t.Error("case-insensitive string compare")
+	}
+	if compareValues("10", int64(9)) <= 0 {
+		t.Error("numeric coercion compare")
+	}
+}
+
+func TestXPathFunctionsErrorShapes(t *testing.T) {
+	db := New("d")
+	if _, err := db.Exec("SELECT EXTRACTVALUE(1)"); err == nil ||
+		!strings.Contains(err.Error(), "XPATH") {
+		t.Error("single-arg EXTRACTVALUE error shape")
+	}
+}
+
+func TestRegexpOperator(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT title FROM posts WHERE title REGEXP 'world'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("REGEXP rows = %v", res.Rows)
+	}
+	res, err = db.Exec("SELECT title FROM posts WHERE title NOT REGEXP 'o'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "Drafts" {
+		t.Errorf("NOT REGEXP rows = %v", res.Rows)
+	}
+}
+
+func TestUpdateDeleteWithoutWhere(t *testing.T) {
+	db := New("d")
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1), (2), (3)")
+	res, err := db.Exec("UPDATE t SET a = 0")
+	if err != nil || res.Affected != 3 {
+		t.Fatalf("update all: %v %v", res, err)
+	}
+	res, err = db.Exec("DELETE FROM t")
+	if err != nil || res.Affected != 3 {
+		t.Fatalf("delete all: %v %v", res, err)
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT COUNT(*) FROM posts HAVING COUNT(*) > 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregateArithmetic(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT MAX(views) - MIN(views) FROM posts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(25) {
+		t.Errorf("range = %v", res.Rows[0][0])
+	}
+}
+
+func TestInWithNull(t *testing.T) {
+	db := New("d")
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1), (NULL)")
+	res, err := db.Exec("SELECT a FROM t WHERE a IN (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("IN with NULL rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,78 @@
+package minidb
+
+import (
+	"strings"
+
+	"joza/internal/sqlparse"
+)
+
+// buildJoinSource materializes the FROM table plus its JOIN chain into one
+// pseudo-table whose rows are the joined tuples and whose column index
+// resolves both bare names (first occurrence wins, as in MySQL when
+// unambiguous) and qualified "alias.column" names.
+//
+// Joins execute as nested loops — adequate for the evaluation-scale data
+// the substrate carries, and semantically exact for INNER, CROSS and LEFT
+// [OUTER] joins.
+func (db *DB) buildJoinSource(ev *evaluator, query string, s *sqlparse.SelectStmt, base *table) (*table, error) {
+	merged := &table{colIdx: make(map[string]int)}
+	addColumns := func(tblName, alias string, src *table) {
+		qualifiers := []string{strings.ToLower(tblName)}
+		if alias != "" {
+			qualifiers = append(qualifiers, strings.ToLower(alias))
+		}
+		for _, col := range src.columns {
+			idx := len(merged.columns)
+			merged.columns = append(merged.columns, col)
+			key := strings.ToLower(col)
+			if _, exists := merged.colIdx[key]; !exists {
+				merged.colIdx[key] = idx
+			}
+			for _, q := range qualifiers {
+				merged.colIdx[q+"."+key] = idx
+			}
+		}
+	}
+
+	addColumns(s.From, s.FromAlias, base)
+	rows := base.rows
+
+	for _, jc := range s.Joins {
+		right, err := db.lookupTable(query, jc.Table)
+		if err != nil {
+			return nil, err
+		}
+		// Register the right side's columns before evaluating ON, which
+		// may reference both sides.
+		addColumns(jc.Table, jc.Alias, right)
+		width := len(merged.columns)
+		var joined [][]Value
+		for _, lrow := range rows {
+			matched := false
+			for _, rrow := range right.rows {
+				candidate := make([]Value, 0, width)
+				candidate = append(candidate, lrow...)
+				candidate = append(candidate, rrow...)
+				if jc.On != nil {
+					v, err := ev.eval(jc.On, merged, candidate)
+					if err != nil {
+						return nil, err
+					}
+					if !truthy(v) {
+						continue
+					}
+				}
+				matched = true
+				joined = append(joined, candidate)
+			}
+			if !matched && jc.Left {
+				candidate := make([]Value, width)
+				copy(candidate, lrow)
+				joined = append(joined, candidate) // right side stays NULL
+			}
+		}
+		rows = joined
+	}
+	merged.rows = rows
+	return merged, nil
+}

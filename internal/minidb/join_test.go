@@ -1,0 +1,139 @@
+package minidb
+
+import (
+	"testing"
+)
+
+func joinDB(t *testing.T) *DB {
+	t.Helper()
+	db := New("shop")
+	db.MustExec("CREATE TABLE orders (id INT, user_id INT, total INT)")
+	db.MustExec("INSERT INTO orders VALUES (1, 1, 100), (2, 1, 50), (3, 2, 75), (4, 9, 10)")
+	db.MustExec("CREATE TABLE customers (id INT, name TEXT)")
+	db.MustExec("INSERT INTO customers VALUES (1, 'alice'), (2, 'bob'), (3, 'carol')")
+	return db
+}
+
+func TestInnerJoin(t *testing.T) {
+	db := joinDB(t)
+	res, err := db.Exec("SELECT orders.id, customers.name, total FROM orders JOIN customers ON orders.user_id = customers.id ORDER BY orders.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1] != "alice" || res.Rows[2][1] != "bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Order 4 references a missing customer: dropped by the inner join.
+	for _, row := range res.Rows {
+		if row[0] == int64(4) {
+			t.Error("unmatched row kept by inner join")
+		}
+	}
+}
+
+func TestInnerJoinWithAliases(t *testing.T) {
+	db := joinDB(t)
+	res, err := db.Exec("SELECT o.id, c.name FROM orders o JOIN customers c ON o.user_id = c.id WHERE c.name = 'alice'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("alice's orders = %v", res.Rows)
+	}
+}
+
+func TestLeftJoinKeepsUnmatched(t *testing.T) {
+	db := joinDB(t)
+	res, err := db.Exec("SELECT o.id, c.name FROM orders o LEFT JOIN customers c ON o.user_id = c.id ORDER BY o.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	last := res.Rows[3]
+	if last[0] != int64(4) || last[1] != nil {
+		t.Errorf("unmatched row = %v, want NULL name", last)
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	db := joinDB(t)
+	res, err := db.Exec("SELECT COUNT(*) FROM orders CROSS JOIN customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(12) {
+		t.Errorf("cross product = %v, want 12", res.Rows[0][0])
+	}
+}
+
+func TestJoinWithAggregates(t *testing.T) {
+	db := joinDB(t)
+	res, err := db.Exec("SELECT c.name, SUM(o.total) FROM orders o JOIN customers c ON o.user_id = c.id GROUP BY c.name ORDER BY c.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "alice" || res.Rows[0][1] != int64(150) {
+		t.Errorf("alice total = %v", res.Rows[0])
+	}
+	if res.Rows[1][0] != "bob" || res.Rows[1][1] != int64(75) {
+		t.Errorf("bob total = %v", res.Rows[1])
+	}
+}
+
+func TestJoinAmbiguousBareColumnUsesFirst(t *testing.T) {
+	db := joinDB(t)
+	// Both tables have "id"; the bare name resolves to the left table.
+	res, err := db.Exec("SELECT id FROM orders o JOIN customers c ON o.user_id = c.id ORDER BY 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(1) {
+		t.Errorf("first id = %v", res.Rows[0][0])
+	}
+}
+
+func TestJoinStar(t *testing.T) {
+	db := joinDB(t)
+	res, err := db.Exec("SELECT * FROM orders o JOIN customers c ON o.user_id = c.id LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 5 || len(res.Rows[0]) != 5 {
+		t.Errorf("star join columns = %v", res.Columns)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	db := joinDB(t)
+	if _, err := db.Exec("SELECT * FROM orders JOIN missing ON 1=1"); err == nil {
+		t.Error("unknown join table must error")
+	}
+	if _, err := db.Exec("SELECT * FROM orders JOIN customers ON bogus = 1"); err == nil {
+		t.Error("unknown ON column must error")
+	}
+	if _, err := db.Exec("SELECT * FROM orders JOIN"); err == nil {
+		t.Error("dangling JOIN must error")
+	}
+}
+
+func TestUnionExploitAcrossJoin(t *testing.T) {
+	// A union-based exploit against a join-backed endpoint still executes
+	// (substrate realism for exploits against JOIN queries).
+	db := joinDB(t)
+	q := "SELECT o.id, c.name FROM orders o JOIN customers c ON o.user_id = c.id WHERE o.id=-1 UNION SELECT id, name FROM customers"
+	res, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("leaked rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,175 @@
+// Package minidb is an in-memory SQL database engine implementing the
+// MySQL-dialect subset the Joza evaluation needs. The testbed's exploits
+// execute for real against it: union-based exploits return attacker-chosen
+// rows, tautologies defeat WHERE clauses, blind exploits observably change
+// result emptiness, and double-blind exploits accumulate virtual SLEEP
+// delay on a virtual clock (no wall-clock time is spent).
+//
+// The engine substitutes for the MySQL backend of the paper's WordPress
+// testbed; see DESIGN.md for the substitution rationale.
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a database value: nil (NULL), int64, float64 or string.
+type Value any
+
+// compareValues orders two non-NULL values with MySQL-style coercion: if
+// either side is numeric, both are compared numerically (strings coerce via
+// their numeric prefix); otherwise comparison is lexicographic and
+// case-insensitive, like MySQL's default collation.
+func compareValues(a, b Value) int {
+	if isNumeric(a) || isNumeric(b) {
+		fa, fb := toFloat(a), toFloat(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	sa, sb := strings.ToLower(toString(a)), strings.ToLower(toString(b))
+	switch {
+	case sa < sb:
+		return -1
+	case sa > sb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func isNumeric(v Value) bool {
+	switch v.(type) {
+	case int64, float64:
+		return true
+	}
+	return false
+}
+
+// toFloat coerces a value to float64 using MySQL's leading-numeric-prefix
+// rule for strings ("5x" → 5, "abc" → 0).
+func toFloat(v Value) float64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	case string:
+		return numericPrefix(x)
+	default:
+		return 0
+	}
+}
+
+func numericPrefix(s string) float64 {
+	s = strings.TrimLeft(s, " \t")
+	end := 0
+	seenDigit := false
+	seenDot := false
+	for end < len(s) {
+		c := s[end]
+		switch {
+		case c >= '0' && c <= '9':
+			seenDigit = true
+		case c == '.' && !seenDot:
+			seenDot = true
+		case (c == '-' || c == '+') && end == 0:
+		default:
+			goto done
+		}
+		end++
+	}
+done:
+	if !seenDigit {
+		return 0
+	}
+	f, err := strconv.ParseFloat(strings.TrimRight(s[:end], "."), 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// toString renders a value the way MySQL would in a result set.
+func toString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// truthy implements SQL boolean coercion: NULL and zero are false.
+func truthy(v Value) bool {
+	if v == nil {
+		return false
+	}
+	return toFloat(v) != 0
+}
+
+// boolValue renders a comparison result as MySQL does (1 or 0).
+func boolValue(b bool) Value {
+	if b {
+		return int64(1)
+	}
+	return int64(0)
+}
+
+// likeMatch implements the SQL LIKE operator: % matches any run, _ matches
+// one byte; matching is case-insensitive.
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		case '\\':
+			if len(p) >= 2 {
+				p = p[1:]
+			}
+			fallthrough
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}

@@ -1,0 +1,231 @@
+package minidb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The wire protocol is newline-delimited JSON: one Request per line from
+// the client, one Response per line from the server. It is deliberately
+// simple — the point of the substrate is that a proxy can interpose on it
+// (see internal/proxy), the way Joza-as-a-DB-proxy would interpose on the
+// MySQL protocol.
+
+// WireInput carries one captured application input alongside a query so a
+// Joza proxy can run NTI. The database server itself ignores inputs.
+type WireInput struct {
+	Source string `json:"source"`
+	Name   string `json:"name"`
+	Value  string `json:"value"`
+}
+
+// Request is one statement submitted over the wire.
+type Request struct {
+	Query  string      `json:"query"`
+	Inputs []WireInput `json:"inputs,omitempty"`
+}
+
+// Response is the server's answer to a Request. Numeric values arrive as
+// float64 after JSON decoding; Client.normalize restores integral values
+// to int64.
+type Response struct {
+	Columns  []string  `json:"columns,omitempty"`
+	Rows     [][]Value `json:"rows,omitempty"`
+	Affected int       `json:"affected,omitempty"`
+	DelayMs  float64   `json:"delayMs,omitempty"`
+	// Error is a database error message (blind exploits observe these).
+	Error string `json:"error,omitempty"`
+	// Blocked is set by a Joza proxy when the query was rejected as an
+	// attack rather than failing in the database.
+	Blocked bool `json:"blocked,omitempty"`
+}
+
+// Server serves the minidb wire protocol over a net.Listener.
+type Server struct {
+	db *DB
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer returns a Server that executes queries against db.
+func NewServer(db *DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close is called. It always returns
+// a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the server and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or malformed stream: drop the connection
+		}
+		resp := ExecuteRequest(s.db, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// ExecuteRequest runs one request against db and renders the wire
+// response. It is exported so the proxy can reuse the exact translation.
+func ExecuteRequest(db *DB, req *Request) *Response {
+	res, err := db.Exec(req.Query)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	return &Response{
+		Columns:  res.Columns,
+		Rows:     res.Rows,
+		Affected: res.Affected,
+		DelayMs:  float64(res.Delay) / float64(time.Millisecond),
+	}
+}
+
+// Client speaks the minidb wire protocol. Safe for concurrent use; requests
+// are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects a Client to addr (TCP).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("minidb dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}
+}
+
+// ErrBlocked is returned by Client.Query when a Joza proxy rejected the
+// query as an injection attack.
+var ErrBlocked = errors.New("query blocked by joza proxy")
+
+// Query executes q and returns the result. A database error is returned as
+// an *ExecError; a proxy block as ErrBlocked.
+func (c *Client) Query(q string) (*Result, error) {
+	return c.QueryWithInputs(q, nil)
+}
+
+// QueryWithInputs executes q, attaching the request's captured inputs for
+// an interposing Joza proxy.
+func (c *Client) QueryWithInputs(q string, inputs []WireInput) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Request{Query: q, Inputs: inputs}); err != nil {
+		return nil, fmt.Errorf("minidb send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("minidb recv: %w", err)
+	}
+	if resp.Blocked {
+		return nil, ErrBlocked
+	}
+	if resp.Error != "" {
+		return nil, &ExecError{Query: q, Msg: resp.Error}
+	}
+	res := &Result{
+		Columns:  resp.Columns,
+		Affected: resp.Affected,
+		Delay:    time.Duration(resp.DelayMs * float64(time.Millisecond)),
+	}
+	res.Rows = make([][]Value, len(resp.Rows))
+	for i, row := range resp.Rows {
+		out := make([]Value, len(row))
+		for j, v := range row {
+			out[j] = normalizeWireValue(v)
+		}
+		res.Rows[i] = out
+	}
+	return res, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// normalizeWireValue restores integral JSON numbers to int64, matching the
+// engine's native representation.
+func normalizeWireValue(v Value) Value {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return int64(f)
+	}
+	return v
+}

@@ -1,0 +1,192 @@
+package minidb
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+)
+
+// startServer starts a Server on a random local port and returns its
+// address plus a cleanup function.
+func startServer(t *testing.T, db *DB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	addr := startServer(t, db)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Query("SELECT id, title FROM posts WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(1) || res.Rows[0][1] != "Hello World" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if res.Columns[0] != "id" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestClientServerError(t *testing.T) {
+	db := newTestDB(t)
+	addr := startServer(t, db)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query("SELECT * FROM missing")
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v (%T)", err, err)
+	}
+}
+
+func TestClientServerDelayPropagates(t *testing.T) {
+	db := newTestDB(t)
+	addr := startServer(t, db)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("SELECT SLEEP(2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay.Seconds() != 2 {
+		t.Errorf("delay = %v", res.Delay)
+	}
+}
+
+func TestClientServerWrites(t *testing.T) {
+	db := newTestDB(t)
+	addr := startServer(t, db)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("INSERT INTO posts (id, title, views) VALUES (99, 'Wire', 0)")
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("insert over wire: %v %v", res, err)
+	}
+	check, err := c.Query("SELECT title FROM posts WHERE id = 99")
+	if err != nil || len(check.Rows) != 1 || check.Rows[0][0] != "Wire" {
+		t.Errorf("check = %v %v", check, err)
+	}
+}
+
+func TestClientConcurrent(t *testing.T) {
+	db := newTestDB(t)
+	addr := startServer(t, db)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Query("SELECT COUNT(*) FROM posts"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	db := newTestDB(t)
+	addr := startServer(t, db)
+	for i := 0; i < 5; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Query("SELECT 1"); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Close()
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(New("d"))
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := srv.Serve(ln); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("Serve after Close = %v", err)
+	}
+}
+
+func TestDialError(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("Dial to closed port should fail")
+	}
+}
+
+func TestExecuteRequestHelper(t *testing.T) {
+	db := newTestDB(t)
+	resp := ExecuteRequest(db, &Request{Query: "SELECT COUNT(*) FROM users"})
+	if resp.Error != "" || len(resp.Rows) != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+	resp = ExecuteRequest(db, &Request{Query: "garbage"})
+	if resp.Error == "" {
+		t.Error("want error response")
+	}
+}
+
+func TestNormalizeWireValue(t *testing.T) {
+	if normalizeWireValue(float64(3)) != int64(3) {
+		t.Error("integral float should become int64")
+	}
+	if normalizeWireValue(3.5) != 3.5 {
+		t.Error("fractional float should stay float64")
+	}
+	if normalizeWireValue("s") != "s" || normalizeWireValue(nil) != nil {
+		t.Error("non-numeric passthrough")
+	}
+}

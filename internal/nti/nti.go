@@ -1,0 +1,195 @@
+// Package nti implements negative taint inference: inferring which parts
+// of a SQL query derive from untrusted application input by approximate
+// string matching, per Section III-A of the Joza paper.
+//
+// For every captured input p and intercepted query q, NTI computes the
+// substring of q with minimum edit distance to p. The difference ratio —
+// distance divided by the length of the matched substring — is compared to
+// a threshold (default 0.20): below the threshold, the matched span is
+// marked negatively tainted. An attack is reported when a negatively
+// tainted span (that covers at least one whole SQL token) fully contains a
+// critical token. Markings inferred from different inputs are never
+// combined, and short inputs cannot trigger an alarm unless they cover a
+// whole token, both per the paper's false-positive mitigations.
+package nti
+
+import (
+	"fmt"
+	"strings"
+
+	"joza/internal/core"
+	"joza/internal/sqltoken"
+	"joza/internal/strdist"
+)
+
+// DefaultThreshold is the difference-ratio threshold used when none is
+// configured. The paper's running example uses 20%: a magic-quotes-inflated
+// payload at 22.7% escapes matching.
+const DefaultThreshold = 0.20
+
+// Input is one captured application input value.
+type Input struct {
+	// Source is the input channel: "get", "post", "cookie", "header", ...
+	Source string
+	// Name is the parameter name within the source.
+	Name string
+	// Value is the raw value as received, before any application
+	// transformation (Joza's preprocessing stores inputs at request entry).
+	Value string
+}
+
+// Key returns the "source:name" identifier used in markings.
+func (in Input) Key() string { return in.Source + ":" + in.Name }
+
+// MatcherFunc finds the best approximate occurrence of input inside query.
+// It exists so benchmarks can swap the optimized Sellers matcher for the
+// naive one.
+type MatcherFunc func(input, query string) strdist.Match
+
+// Analyzer runs negative taint inference. The zero value is not usable;
+// construct with New.
+type Analyzer struct {
+	threshold float64
+	match     MatcherFunc
+	// maxInputLen caps the input size fed to the quadratic matcher; longer
+	// inputs are only checked with the exact-substring fast path. This is
+	// one of the "skip implausible comparisons" optimizations: an input
+	// much longer than any plausible match window cannot produce a ratio
+	// under threshold unless it appears nearly verbatim.
+	maxInputLen int
+	// critical decides which tokens an attack may not touch; the default
+	// is the paper's pragmatic policy (identifiers allowed).
+	critical func(sqltoken.Token) bool
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithThreshold sets the difference-ratio threshold.
+func WithThreshold(t float64) Option {
+	return func(a *Analyzer) { a.threshold = t }
+}
+
+// WithMatcher replaces the approximate matcher (benchmarks use this to
+// measure the naive algorithm).
+func WithMatcher(m MatcherFunc) Option {
+	return func(a *Analyzer) { a.match = m }
+}
+
+// WithMaxInputLen sets the input-size cap for approximate matching; inputs
+// longer than n bytes only use the exact-match fast path. Zero disables the
+// cap.
+func WithMaxInputLen(n int) Option {
+	return func(a *Analyzer) { a.maxInputLen = n }
+}
+
+// WithStrictPolicy enforces the strict (Ray–Ligatti-style) policy of
+// Section II: input-derived identifiers (field and table names) are also
+// attacks. The default pragmatic policy permits them, since applications
+// with advanced search legitimately pass field names through input.
+func WithStrictPolicy() Option {
+	return func(a *Analyzer) { a.critical = sqltoken.Token.CriticalStrict }
+}
+
+// New returns an Analyzer with the default threshold and the optimized
+// Sellers matcher.
+func New(opts ...Option) *Analyzer {
+	a := &Analyzer{
+		threshold:   DefaultThreshold,
+		match:       strdist.SubstringMatch,
+		maxInputLen: 4096,
+		critical:    sqltoken.Token.Critical,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Threshold returns the configured difference-ratio threshold.
+func (a *Analyzer) Threshold() float64 { return a.threshold }
+
+// Analyze infers negative taint markings for query given the captured
+// inputs and decides whether the query is an attack. toks must be the lex
+// of query (callers typically already have it from the PTI daemon; pass
+// nil to lex here).
+func (a *Analyzer) Analyze(query string, toks []sqltoken.Token, inputs []Input) core.Result {
+	if toks == nil {
+		toks = sqltoken.Lex(query)
+	}
+	res := core.Result{Analyzer: core.AnalyzerNTI}
+	for _, in := range inputs {
+		if in.Value == "" {
+			continue
+		}
+		for _, span := range a.matchInput(in.Value, query) {
+			m := core.Marking{
+				Span:     sqltoken.Span{Start: span.Start, End: span.End},
+				Source:   in.Key(),
+				Distance: span.Distance,
+			}
+			res.Markings = append(res.Markings, m)
+			res.Reasons = append(res.Reasons, attackReasons(toks, m, a.critical)...)
+		}
+	}
+	res.Attack = len(res.Reasons) > 0
+	return res
+}
+
+// matchInput returns the spans of query that input matches under the
+// threshold. Exact occurrences are all marked; otherwise the single best
+// approximate match is considered.
+func (a *Analyzer) matchInput(value, query string) []strdist.Match {
+	// Fast path: every exact occurrence is a zero-distance match.
+	if idx := strings.Index(query, value); idx >= 0 {
+		var out []strdist.Match
+		for from := idx; ; {
+			out = append(out, strdist.Match{Start: from, End: from + len(value)})
+			nxt := strings.Index(query[from+1:], value)
+			if nxt < 0 {
+				break
+			}
+			from = from + 1 + nxt
+		}
+		return out
+	}
+	if a.maxInputLen > 0 && len(value) > a.maxInputLen {
+		return nil
+	}
+	// Pruning heuristic: if even a full-length match of the whole query
+	// cannot get the ratio under threshold (input much longer than query),
+	// skip the quadratic matcher.
+	if len(query) > 0 {
+		minDist := len(value) - len(query)
+		if minDist > 0 && float64(minDist)/float64(len(query)) >= a.threshold {
+			return nil
+		}
+	}
+	m := a.match(value, query)
+	if m.Ratio() < a.threshold {
+		return []strdist.Match{m}
+	}
+	return nil
+}
+
+// attackReasons returns a reason per critical token fully contained in the
+// marking, provided the marking covers at least one whole SQL token.
+func attackReasons(toks []sqltoken.Token, m core.Marking, critical func(sqltoken.Token) bool) []core.Reason {
+	if !sqltoken.CoversWholeToken(toks, m.Span.Start, m.Span.End) {
+		return nil
+	}
+	var out []core.Reason
+	for _, t := range toks {
+		if !critical(t) {
+			continue
+		}
+		if m.Span.Contains(t.Span()) {
+			out = append(out, core.Reason{
+				Token: t,
+				Detail: fmt.Sprintf("negatively tainted by input %s (distance %d over %d bytes)",
+					m.Source, m.Distance, m.Span.Len()),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,396 @@
+// Package phpsrc extracts string literals from PHP-like application source
+// code. Positive taint inference (PTI) builds its trusted-fragment set from
+// these literals: everything the program itself could contribute to a SQL
+// query must originate from a string literal somewhere in the application or
+// its plugins.
+//
+// The extractor mirrors the Joza installer's behaviour:
+//
+//   - single- and double-quoted string literals are collected;
+//   - double-quoted strings are split at interpolation points ($var,
+//     {$expr}) because the interpolated value is runtime data, not program
+//     text — "SELECT … id = $id AND …" becomes two fragments;
+//   - printf-style placeholders (%s, %d, …) split fragments the same way;
+//   - comments are skipped, since commented-out code is not reachable
+//     program text;
+//   - heredoc/nowdoc bodies are collected (heredoc with interpolation
+//     splitting, nowdoc verbatim).
+//
+// Filtering fragments down to those containing at least one SQL token is the
+// responsibility of package fragments; this package reports every literal.
+package phpsrc
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Literal is one string fragment extracted from source code.
+type Literal struct {
+	// Text is the decoded fragment contents (escape sequences resolved).
+	Text string
+	// File is the path of the source file the literal came from, when the
+	// extraction ran over files; empty for in-memory extraction.
+	File string
+	// Line is the 1-based line number of the start of the literal.
+	Line int
+}
+
+// Extract returns every string-literal fragment in a single source text.
+// name is used for the File field of returned literals and in error
+// contexts; it may be empty.
+func Extract(name, src string) []Literal {
+	e := extractor{name: name, src: src, line: 1}
+	e.run()
+	return e.out
+}
+
+// ExtractFiles extracts literals from each named file.
+func ExtractFiles(paths []string) ([]Literal, error) {
+	var out []Literal
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("read source %s: %w", p, err)
+		}
+		out = append(out, Extract(p, string(data))...)
+	}
+	return out, nil
+}
+
+// ExtractDir recursively extracts literals from every file under root whose
+// extension is one of exts (e.g. ".php"); pass nil to accept ".php" only.
+// This mirrors Joza's installation step, which parses all source files
+// reachable from the application's top-level directory.
+func ExtractDir(root string, exts []string) ([]Literal, error) {
+	if exts == nil {
+		exts = []string{".php"}
+	}
+	accept := make(map[string]bool, len(exts))
+	for _, e := range exts {
+		accept[e] = true
+	}
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if accept[filepath.Ext(path)] {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("walk %s: %w", root, err)
+	}
+	sort.Strings(paths)
+	return ExtractFiles(paths)
+}
+
+// Texts returns just the fragment texts of lits, preserving order.
+func Texts(lits []Literal) []string {
+	out := make([]string, len(lits))
+	for i, l := range lits {
+		out[i] = l.Text
+	}
+	return out
+}
+
+type extractor struct {
+	name string
+	src  string
+	pos  int
+	line int
+	out  []Literal
+}
+
+func (e *extractor) run() {
+	for e.pos < len(e.src) {
+		c := e.src[e.pos]
+		switch {
+		case c == '\n':
+			e.line++
+			e.pos++
+		case c == '\'':
+			e.singleQuoted()
+		case c == '"':
+			e.doubleQuoted()
+		case c == '/' && e.peek(1) == '/':
+			e.lineComment()
+		case c == '#':
+			e.lineComment()
+		case c == '/' && e.peek(1) == '*':
+			e.blockComment()
+		case c == '<' && strings.HasPrefix(e.src[e.pos:], "<<<"):
+			e.heredoc()
+		default:
+			e.pos++
+		}
+	}
+}
+
+func (e *extractor) peek(off int) byte {
+	if e.pos+off < len(e.src) {
+		return e.src[e.pos+off]
+	}
+	return 0
+}
+
+func (e *extractor) lineComment() {
+	for e.pos < len(e.src) && e.src[e.pos] != '\n' {
+		e.pos++
+	}
+}
+
+func (e *extractor) blockComment() {
+	e.pos += 2
+	for e.pos < len(e.src) {
+		if e.src[e.pos] == '\n' {
+			e.line++
+		}
+		if e.src[e.pos] == '*' && e.peek(1) == '/' {
+			e.pos += 2
+			return
+		}
+		e.pos++
+	}
+}
+
+// singleQuoted handles '...' literals: only \' and \\ are escapes; every
+// other backslash is literal. No interpolation occurs.
+func (e *extractor) singleQuoted() {
+	startLine := e.line
+	e.pos++
+	var sb strings.Builder
+	for e.pos < len(e.src) {
+		c := e.src[e.pos]
+		if c == '\\' && (e.peek(1) == '\'' || e.peek(1) == '\\') {
+			sb.WriteByte(e.peek(1))
+			e.pos += 2
+			continue
+		}
+		if c == '\'' {
+			e.pos++
+			e.emit(sb.String(), startLine)
+			return
+		}
+		if c == '\n' {
+			e.line++
+		}
+		sb.WriteByte(c)
+		e.pos++
+	}
+	e.emit(sb.String(), startLine) // unterminated: keep what we have
+}
+
+// doubleQuoted handles "..." literals with escape decoding and splitting at
+// $var / {$expr} interpolation points and printf placeholders.
+func (e *extractor) doubleQuoted() {
+	startLine := e.line
+	e.pos++
+	var sb strings.Builder
+	flush := func() {
+		e.emit(sb.String(), startLine)
+		sb.Reset()
+	}
+	for e.pos < len(e.src) {
+		c := e.src[e.pos]
+		switch {
+		case c == '\\' && e.pos+1 < len(e.src):
+			sb.WriteByte(decodeEscape(e.peek(1)))
+			e.pos += 2
+		case c == '"':
+			e.pos++
+			flush()
+			return
+		case c == '$' && isIdentStart(e.peek(1)):
+			flush()
+			e.skipVariable()
+		case c == '{' && e.peek(1) == '$':
+			flush()
+			e.skipBracedExpr()
+		case c == '%' && isFormatVerb(e.peek(1)):
+			flush()
+			e.pos += 2
+		default:
+			if c == '\n' {
+				e.line++
+			}
+			sb.WriteByte(c)
+			e.pos++
+		}
+	}
+	flush() // unterminated
+}
+
+// skipVariable consumes $name and optional ->prop / [idx] accessors, which
+// PHP interpolates inside double-quoted strings.
+func (e *extractor) skipVariable() {
+	e.pos++ // '$'
+	for e.pos < len(e.src) && isIdentByte(e.src[e.pos]) {
+		e.pos++
+	}
+	for {
+		switch {
+		case e.pos+1 < len(e.src) && e.src[e.pos] == '-' && e.src[e.pos+1] == '>':
+			e.pos += 2
+			for e.pos < len(e.src) && isIdentByte(e.src[e.pos]) {
+				e.pos++
+			}
+		case e.pos < len(e.src) && e.src[e.pos] == '[':
+			depth := 0
+			for e.pos < len(e.src) {
+				if e.src[e.pos] == '[' {
+					depth++
+				} else if e.src[e.pos] == ']' {
+					depth--
+					if depth == 0 {
+						e.pos++
+						break
+					}
+				}
+				e.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (e *extractor) skipBracedExpr() {
+	depth := 0
+	for e.pos < len(e.src) {
+		switch e.src[e.pos] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				e.pos++
+				return
+			}
+		case '\n':
+			e.line++
+		}
+		e.pos++
+	}
+}
+
+// heredoc handles <<<LABEL ... LABEL; and <<<'LABEL' (nowdoc, verbatim).
+func (e *extractor) heredoc() {
+	e.pos += 3
+	nowdoc := false
+	if e.pos < len(e.src) && e.src[e.pos] == '\'' {
+		nowdoc = true
+		e.pos++
+	} else if e.pos < len(e.src) && e.src[e.pos] == '"' {
+		e.pos++
+	}
+	labelStart := e.pos
+	for e.pos < len(e.src) && isIdentByte(e.src[e.pos]) {
+		e.pos++
+	}
+	label := e.src[labelStart:e.pos]
+	if label == "" {
+		return
+	}
+	// Skip to end of line.
+	for e.pos < len(e.src) && e.src[e.pos] != '\n' {
+		e.pos++
+	}
+	if e.pos < len(e.src) {
+		e.pos++
+		e.line++
+	}
+	bodyStart := e.pos
+	startLine := e.line
+	// Body runs until a line that begins (after optional indent) with label.
+	for e.pos < len(e.src) {
+		lineStart := e.pos
+		for e.pos < len(e.src) && e.src[e.pos] != '\n' {
+			e.pos++
+		}
+		lineText := strings.TrimLeft(e.src[lineStart:e.pos], " \t")
+		if lineText == label || strings.HasPrefix(lineText, label+";") {
+			body := e.src[bodyStart:lineStart]
+			// The newline before the closing label belongs to the
+			// delimiter, not the literal.
+			body = strings.TrimSuffix(body, "\n")
+			body = strings.TrimSuffix(body, "\r")
+			if nowdoc {
+				e.emit(body, startLine)
+			} else {
+				e.emitInterpolated(body, startLine)
+			}
+			if e.pos < len(e.src) {
+				e.pos++
+				e.line++
+			}
+			return
+		}
+		if e.pos < len(e.src) {
+			e.pos++
+			e.line++
+		}
+	}
+	// Unterminated heredoc: take everything.
+	e.emitInterpolated(e.src[bodyStart:], startLine)
+}
+
+// emitInterpolated splits body at $var and {$expr} points like a
+// double-quoted string (without escape decoding) and emits the pieces.
+func (e *extractor) emitInterpolated(body string, line int) {
+	sub := Extract(e.name, `"`+strings.ReplaceAll(body, `"`, `\"`)+`"`)
+	for _, l := range sub {
+		e.emit(l.Text, line)
+	}
+}
+
+func (e *extractor) emit(text string, line int) {
+	if text == "" {
+		return
+	}
+	e.out = append(e.out, Literal{Text: text, File: e.name, Line: line})
+}
+
+func decodeEscape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case 'v':
+		return '\v'
+	case 'f':
+		return '\f'
+	case '0':
+		return 0
+	default:
+		return c
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isFormatVerb(c byte) bool {
+	switch c {
+	case 's', 'd', 'f', 'u', 'x', 'X', 'b', 'o', 'e', 'g', 'c':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+package phpsrc
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func extractTexts(t *testing.T, src string) []string {
+	t.Helper()
+	return Texts(Extract("test.php", src))
+}
+
+func TestExtractSingleQuoted(t *testing.T) {
+	got := extractTexts(t, `<?php $q = 'SELECT * FROM t'; $x = 'a\'b\\c';`)
+	want := []string{"SELECT * FROM t", `a'b\c`}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExtractDoubleQuotedInterpolation(t *testing.T) {
+	// The paper's example: the query splits into two fragments at each
+	// interpolated variable.
+	src := `<?php $query = "SELECT * from users where id = $id and password=$password";`
+	got := extractTexts(t, src)
+	want := []string{"SELECT * from users where id = ", " and password="}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExtractBracedInterpolation(t *testing.T) {
+	src := `<?php $q = "SELECT a FROM {$wpdb->posts} WHERE id={$args['id']} LIMIT 5";`
+	got := extractTexts(t, src)
+	want := []string{"SELECT a FROM ", " WHERE id=", " LIMIT 5"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExtractVariableAccessors(t *testing.T) {
+	src := `<?php $q = "A $obj->field B $arr[0] C";`
+	got := extractTexts(t, src)
+	want := []string{"A ", " B ", " C"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExtractFormatPlaceholders(t *testing.T) {
+	src := `<?php $q = sprintf("SELECT * FROM t WHERE a=%d AND b='%s'", $a, $b);`
+	got := extractTexts(t, src)
+	want := []string{"SELECT * FROM t WHERE a=", " AND b='", "'"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExtractSkipsComments(t *testing.T) {
+	src := `<?php
+// $q = 'NOT EXTRACTED 1';
+# $q = 'NOT EXTRACTED 2';
+/* $q = 'NOT EXTRACTED 3'; */
+$q = 'EXTRACTED';`
+	got := extractTexts(t, src)
+	want := []string{"EXTRACTED"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExtractEscapes(t *testing.T) {
+	got := extractTexts(t, `<?php $a = "line\nbreak\ttab\"quote";`)
+	want := []string{"line\nbreak\ttab\"quote"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExtractLineNumbers(t *testing.T) {
+	src := "<?php\n\n$a = 'one';\n$b = \"two\";\n"
+	lits := Extract("f.php", src)
+	if len(lits) != 2 {
+		t.Fatalf("got %d literals", len(lits))
+	}
+	if lits[0].Line != 3 || lits[1].Line != 4 {
+		t.Errorf("lines = %d, %d; want 3, 4", lits[0].Line, lits[1].Line)
+	}
+	if lits[0].File != "f.php" {
+		t.Errorf("file = %q", lits[0].File)
+	}
+}
+
+func TestExtractHeredoc(t *testing.T) {
+	src := "<?php $q = <<<SQL\nSELECT * FROM t WHERE id=$id\nSQL;\n"
+	got := extractTexts(t, src)
+	want := []string{"SELECT * FROM t WHERE id="}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("heredoc got %q, want %q", got, want)
+	}
+}
+
+func TestExtractNowdocVerbatim(t *testing.T) {
+	src := "<?php $q = <<<'SQL'\nSELECT $notinterp\nSQL;\n"
+	got := extractTexts(t, src)
+	want := []string{"SELECT $notinterp"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("nowdoc got %q, want %q", got, want)
+	}
+}
+
+func TestExtractUnterminatedString(t *testing.T) {
+	got := extractTexts(t, `<?php $q = 'SELECT open`)
+	want := []string{"SELECT open"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExtractEmptyStringsDropped(t *testing.T) {
+	got := extractTexts(t, `<?php $a = ''; $b = ""; $c = "$x";`)
+	if len(got) != 0 {
+		t.Errorf("got %q, want none", got)
+	}
+}
+
+func TestExtractDirAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "plugins", "demo")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "index.php"):   `<?php $q = 'SELECT 1';`,
+		filepath.Join(sub, "plugin.php"):  `<?php $q = 'SELECT 2';`,
+		filepath.Join(sub, "ignored.txt"): `'SELECT 3'`,
+	}
+	for p, content := range files {
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lits, err := ExtractDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Texts(lits)
+	want := []string{"SELECT 1", "SELECT 2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	if _, err := ExtractDir(filepath.Join(dir, "missing"), nil); err == nil {
+		t.Error("ExtractDir on missing dir should error")
+	}
+	if _, err := ExtractFiles([]string{filepath.Join(dir, "nope.php")}); err == nil {
+		t.Error("ExtractFiles on missing file should error")
+	}
+}

@@ -1,0 +1,213 @@
+// Package proxy deploys Joza as a database proxy: it speaks the minidb
+// wire protocol on the front, checks every query with the hybrid guard,
+// and forwards safe queries to the backing database. This is the natural
+// Go deployment of the paper's architecture — instead of wrapping PHP's
+// mysql_* functions, the interception point is the database connection
+// itself. Requests carry the originating HTTP request's raw inputs so the
+// NTI component can correlate them with the query.
+package proxy
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"joza"
+	"joza/internal/minidb"
+)
+
+// Backend executes requests that passed the guard.
+type Backend interface {
+	Execute(req *minidb.Request) *minidb.Response
+}
+
+// LocalBackend executes against an in-process database.
+type LocalBackend struct {
+	DB *minidb.DB
+}
+
+var _ Backend = LocalBackend{}
+
+// Execute implements Backend.
+func (b LocalBackend) Execute(req *minidb.Request) *minidb.Response {
+	return minidb.ExecuteRequest(b.DB, req)
+}
+
+// RemoteBackend forwards to an upstream minidb server over TCP, using one
+// shared client connection.
+type RemoteBackend struct {
+	mu     sync.Mutex
+	addr   string
+	client *minidb.Client
+}
+
+var _ Backend = (*RemoteBackend)(nil)
+
+// NewRemoteBackend returns a backend that lazily connects to addr.
+func NewRemoteBackend(addr string) *RemoteBackend {
+	return &RemoteBackend{addr: addr}
+}
+
+// Execute implements Backend.
+func (b *RemoteBackend) Execute(req *minidb.Request) *minidb.Response {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.client == nil {
+		c, err := minidb.Dial(b.addr)
+		if err != nil {
+			return &minidb.Response{Error: fmt.Sprintf("upstream unavailable: %v", err)}
+		}
+		b.client = c
+	}
+	res, err := b.client.QueryWithInputs(req.Query, nil)
+	if err != nil {
+		// Drop the connection on transport errors so the next request
+		// redials; database errors pass through.
+		if ee, ok := err.(*minidb.ExecError); ok {
+			return &minidb.Response{Error: ee.Msg}
+		}
+		_ = b.client.Close()
+		b.client = nil
+		return &minidb.Response{Error: fmt.Sprintf("upstream: %v", err)}
+	}
+	return &minidb.Response{
+		Columns:  res.Columns,
+		Rows:     res.Rows,
+		Affected: res.Affected,
+		DelayMs:  res.Delay.Seconds() * 1000,
+	}
+}
+
+// Close closes the upstream connection if open.
+func (b *RemoteBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.client != nil {
+		err := b.client.Close()
+		b.client = nil
+		return err
+	}
+	return nil
+}
+
+// Proxy is a Joza-guarded minidb wire server.
+type Proxy struct {
+	guard   *joza.Guard
+	backend Backend
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+
+	blockedCount uint64
+	passedCount  uint64
+}
+
+// New returns a proxy that checks queries with guard before handing them
+// to backend.
+func New(guard *joza.Guard, backend Backend) *Proxy {
+	return &Proxy{guard: guard, backend: backend, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts client connections until Close.
+func (p *Proxy) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return net.ErrClosed
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+			p.mu.Lock()
+			delete(p.conns, conn)
+			p.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the proxy and waits for in-flight connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Stats returns how many queries the proxy blocked and passed.
+func (p *Proxy) Stats() (blocked, passed uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blockedCount, p.passedCount
+}
+
+func (p *Proxy) handle(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req minidb.Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := p.process(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// process applies the guard, then forwards or blocks.
+func (p *Proxy) process(req *minidb.Request) *minidb.Response {
+	inputs := make([]joza.Input, len(req.Inputs))
+	for i, in := range req.Inputs {
+		inputs[i] = joza.Input{Source: in.Source, Name: in.Name, Value: in.Value}
+	}
+	if err := p.guard.Authorize(req.Query, inputs); err != nil {
+		p.mu.Lock()
+		p.blockedCount++
+		p.mu.Unlock()
+		if p.guard.Policy() == joza.PolicyErrorVirtualize {
+			// Error virtualization: look like an ordinary failed query.
+			return &minidb.Response{Error: "query failed"}
+		}
+		return &minidb.Response{Blocked: true}
+	}
+	p.mu.Lock()
+	p.passedCount++
+	p.mu.Unlock()
+	return p.backend.Execute(req)
+}

@@ -1,0 +1,213 @@
+package pti
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"joza/internal/core"
+	"joza/internal/sqlparse"
+	"joza/internal/sqltoken"
+)
+
+// lru is a minimal thread-safe LRU set of string keys mapping to a boolean
+// "safe" verdict. Only safe verdicts are stored by callers, but the value
+// is kept for generality.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*lruEntry
+	head  *lruEntry // most recent
+	tail  *lruEntry // least recent
+}
+
+type lruEntry struct {
+	key        string
+	safe       bool
+	prev, next *lruEntry
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	return &lru{cap: capacity, items: make(map[string]*lruEntry, capacity)}
+}
+
+func (c *lru) get(key string) (bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return false, false
+	}
+	c.moveToFront(e)
+	return e.safe, true
+}
+
+func (c *lru) put(key string, safe bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.safe = safe
+		c.moveToFront(e)
+		return
+	}
+	e := &lruEntry{key: key, safe: safe}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.items, evict.key)
+	}
+}
+
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *lru) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lru) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lru) moveToFront(e *lruEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// CacheMode selects which PTI caches a Cached analyzer uses, matching the
+// configurations of Table V.
+type CacheMode int
+
+// Cache modes.
+const (
+	// CacheNone disables caching: every query is fully analyzed.
+	CacheNone CacheMode = iota + 1
+	// CacheQuery caches verdicts of exact query strings.
+	CacheQuery
+	// CacheQueryAndStructure additionally caches verdicts keyed by the
+	// query's token skeleton, covering dynamic data values.
+	CacheQueryAndStructure
+)
+
+// String returns the mode name.
+func (m CacheMode) String() string {
+	switch m {
+	case CacheNone:
+		return "no-cache"
+	case CacheQuery:
+		return "query-cache"
+	case CacheQueryAndStructure:
+		return "query+structure-cache"
+	default:
+		return "unknown"
+	}
+}
+
+// CacheStats counts cache activity; read with the Snapshot method.
+type CacheStats struct {
+	QueryHits     uint64
+	StructureHits uint64
+	Misses        uint64
+}
+
+// Cached wraps an Analyzer with the PTI query cache and query-structure
+// cache described in Sections IV-C and VI-A. Only safe verdicts are cached:
+// attacks are rare, must always be fully re-analyzed for reporting, and
+// caching them would let a poisoned entry suppress detection details.
+type Cached struct {
+	analyzer *Analyzer
+	mode     CacheMode
+	queries  *lru
+	structs  *lru
+
+	queryHits     atomic.Uint64
+	structureHits atomic.Uint64
+	misses        atomic.Uint64
+}
+
+// NewCached wraps analyzer with the given cache mode and per-cache capacity.
+func NewCached(analyzer *Analyzer, mode CacheMode, capacity int) *Cached {
+	c := &Cached{analyzer: analyzer, mode: mode}
+	if mode == CacheQuery || mode == CacheQueryAndStructure {
+		c.queries = newLRU(capacity)
+	}
+	if mode == CacheQueryAndStructure {
+		c.structs = newLRU(capacity)
+	}
+	return c
+}
+
+// Mode returns the configured cache mode.
+func (c *Cached) Mode() CacheMode { return c.mode }
+
+// Analyze returns the PTI result for query, consulting the caches first.
+// toks may be nil; it is only lexed when a full analysis (or a structure
+// key) is required.
+func (c *Cached) Analyze(query string, toks []sqltoken.Token) core.Result {
+	if c.queries != nil {
+		if safe, ok := c.queries.get(query); ok && safe {
+			c.queryHits.Add(1)
+			return core.Result{Analyzer: core.AnalyzerPTI}
+		}
+	}
+	var structKey string
+	if c.structs != nil {
+		structKey = sqlparse.StructureKey(query)
+		if safe, ok := c.structs.get(structKey); ok && safe {
+			c.structureHits.Add(1)
+			// Promote into the exact-query cache for next time.
+			if c.queries != nil {
+				c.queries.put(query, true)
+			}
+			return core.Result{Analyzer: core.AnalyzerPTI}
+		}
+	}
+	c.misses.Add(1)
+	res := c.analyzer.Analyze(query, toks)
+	if !res.Attack {
+		if c.queries != nil {
+			c.queries.put(query, true)
+		}
+		if c.structs != nil {
+			c.structs.put(structKey, true)
+		}
+	}
+	return res
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *Cached) Stats() CacheStats {
+	return CacheStats{
+		QueryHits:     c.queryHits.Load(),
+		StructureHits: c.structureHits.Load(),
+		Misses:        c.misses.Load(),
+	}
+}

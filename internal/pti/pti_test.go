@@ -1,0 +1,191 @@
+package pti
+
+import (
+	"strings"
+	"testing"
+
+	"joza/internal/fragments"
+)
+
+// appFragments models the paper's running example: the literal set of the
+// vulnerable PHP program in Section III-B.
+func appFragments() *fragments.Set {
+	return fragments.NewSet([]string{
+		"id",
+		"SELECT * FROM records WHERE ID=",
+		" LIMIT 5",
+	})
+}
+
+func TestBenignQuerySafe(t *testing.T) {
+	// Figure 3A: every critical token comes from a program fragment.
+	a := New(appFragments())
+	q := "SELECT * FROM records WHERE ID=5 LIMIT 5"
+	res := a.Analyze(q, nil)
+	if res.Attack {
+		t.Errorf("benign query flagged: %v", res.Reasons)
+	}
+}
+
+func TestUnionAttackDetected(t *testing.T) {
+	// Figure 3B: UNION, SELECT and username() are not in any fragment.
+	a := New(appFragments())
+	q := "SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5"
+	res := a.Analyze(q, nil)
+	if !res.Attack {
+		t.Fatal("union attack not detected")
+	}
+	var bad []string
+	for _, r := range res.Reasons {
+		bad = append(bad, r.Token.Text)
+	}
+	joined := strings.Join(bad, " ")
+	for _, want := range []string{"UNION", "SELECT", "username"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("uncovered tokens %v missing %q", bad, want)
+		}
+	}
+}
+
+func TestVocabularyAttackMissed(t *testing.T) {
+	// Figure 3C / Table III: if the application contains OR and = as
+	// fragments, the tautology payload is (wrongly but by design) safe.
+	set := fragments.NewSet([]string{
+		"SELECT * FROM records WHERE ID=",
+		" LIMIT 5",
+		"OR",
+		"=",
+		"1",
+	})
+	a := New(set)
+	q := "SELECT * FROM records WHERE ID=1 OR 1 = 1 LIMIT 5"
+	res := a.Analyze(q, nil)
+	if res.Attack {
+		t.Errorf("application-vocabulary attack should evade PTI: %v", res.Reasons)
+	}
+}
+
+func TestFragmentCombinationForbidden(t *testing.T) {
+	// Fragments "O" and "R" must not combine into the critical token OR.
+	set := fragments.NewSetKeepAll([]string{"O", "R", "SELECT * FROM t WHERE a="})
+	a := New(set)
+	q := "SELECT * FROM t WHERE a=1 OR 1"
+	res := a.Analyze(q, nil)
+	if !res.Attack {
+		t.Error("OR assembled from single-letter fragments must be flagged")
+	}
+}
+
+func TestCommentIsOneCriticalToken(t *testing.T) {
+	// The whole comment must come from one fragment.
+	set := fragments.NewSet([]string{"SELECT * FROM t WHERE id=", "/*", "*/"})
+	a := New(set)
+	q := "SELECT * FROM t WHERE id=1 /* evasion '' block */"
+	res := a.Analyze(q, nil)
+	if !res.Attack {
+		t.Error("comment not covered by a single fragment must be flagged")
+	}
+	// If the program itself contains the full comment, it is trusted.
+	set2 := fragments.NewSet([]string{"SELECT * FROM t WHERE id=", "/* evasion '' block */"})
+	a2 := New(set2)
+	if res := a2.Analyze(q, nil); res.Attack {
+		t.Errorf("program-originated comment flagged: %v", res.Reasons)
+	}
+}
+
+func TestSecondOrderAttackDetected(t *testing.T) {
+	// Input independence: the payload arrived via the database, but PTI
+	// still flags it because OR/-- are not program fragments.
+	a := New(appFragments())
+	q := "SELECT * FROM records WHERE ID=1 OR 1=1 -- "
+	res := a.Analyze(q, nil)
+	if !res.Attack {
+		t.Error("second-order payload must be flagged by PTI")
+	}
+}
+
+func TestStrategiesAgree(t *testing.T) {
+	set := appFragments()
+	queries := []string{
+		"SELECT * FROM records WHERE ID=5 LIMIT 5",
+		"SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5",
+		"SELECT * FROM records WHERE ID=1 OR 1=1",
+		"DELETE FROM records",
+		"",
+	}
+	variants := []*Analyzer{
+		New(set),
+		New(set, WithoutMRU()),
+		New(set, WithoutParseFirst()),
+		New(set, WithNaiveMatcher()),
+		New(set, WithNaiveMatcher(), WithoutParseFirst(), WithoutMRU()),
+		New(set, WithMRUCapacity(2)),
+	}
+	for _, q := range queries {
+		want := variants[0].Analyze(q, nil).Attack
+		for i, v := range variants[1:] {
+			if got := v.Analyze(q, nil).Attack; got != want {
+				t.Errorf("query %q: variant %d (%v) = %v, baseline = %v", q, i+1, v, got, want)
+			}
+		}
+	}
+}
+
+func TestMRUWarmPathCovers(t *testing.T) {
+	a := New(appFragments())
+	q := "SELECT * FROM records WHERE ID=7 LIMIT 5"
+	// First analysis populates the MRU; second should use it and still be
+	// correct.
+	if a.Analyze(q, nil).Attack {
+		t.Fatal("cold analysis flagged benign query")
+	}
+	if a.Analyze(q, nil).Attack {
+		t.Fatal("warm analysis flagged benign query")
+	}
+	// After warm-up, an attack must still be caught.
+	res := a.Analyze("SELECT * FROM records WHERE ID=1 OR 1=1", nil)
+	if !res.Attack {
+		t.Error("attack missed after MRU warm-up")
+	}
+}
+
+func TestPositiveMarkingsReported(t *testing.T) {
+	a := New(appFragments(), WithoutParseFirst())
+	q := "SELECT * FROM records WHERE ID=5 LIMIT 5"
+	res := a.Analyze(q, nil)
+	if len(res.Markings) == 0 {
+		t.Fatal("full-marking mode must report positive markings")
+	}
+	found := false
+	for _, m := range res.Markings {
+		if m.Source == "SELECT * FROM records WHERE ID=" && m.Span.Start == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("markings = %+v", res.Markings)
+	}
+}
+
+func TestAnalyzerString(t *testing.T) {
+	s := New(appFragments()).String()
+	// "id" is filtered out (no SQL token), leaving two fragments.
+	if !strings.Contains(s, "fragments=2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEmptyFragmentSetFlagsEverything(t *testing.T) {
+	a := New(fragments.NewSet(nil))
+	res := a.Analyze("SELECT 1", nil)
+	if !res.Attack {
+		t.Error("no fragments: every critical token is untrusted")
+	}
+}
+
+func TestSetAccessor(t *testing.T) {
+	set := appFragments()
+	if New(set).Set() != set {
+		t.Error("Set() accessor")
+	}
+}

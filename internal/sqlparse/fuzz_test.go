@@ -1,0 +1,79 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds arbitrary strings to the parser: it must
+// return a statement or a *SyntaxError, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnTokenSoup stresses the parser with SQL-shaped
+// random token sequences.
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "UNION", "ALL",
+		"INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
+		"TABLE", "DROP", "ORDER", "BY", "GROUP", "HAVING", "LIMIT",
+		"BETWEEN", "IN", "IS", "NULL", "LIKE", "AS", "DISTINCT",
+		"(", ")", ",", ";", ".", "*", "=", "<", ">", "<=", ">=", "<>",
+		"+", "-", "/", "%", "t", "a", "b", "'s'", "\"d\"", "`q`",
+		"1", "2.5", "0x1F", "?", ":x", "@v", "--", "#c", "/*c*/",
+	}
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(18)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = vocab[rng.Intn(len(vocab))]
+		}
+		_, _ = Parse(strings.Join(parts, " "))
+	}
+}
+
+// TestStructureKeyProperties checks StructureKey invariants over random
+// input: deterministic, and stable under number-value substitution.
+func TestStructureKeyProperties(t *testing.T) {
+	deterministic := func(s string) bool {
+		return StructureKey(s) == StructureKey(s)
+	}
+	if err := quick.Check(deterministic, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error("determinism:", err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		a := rng.Intn(1 << 16)
+		b := rng.Intn(1 << 16)
+		const tmpl = "SELECT x FROM t WHERE id=@@ AND y<@@"
+		qa := strings.ReplaceAll(tmpl, "@@", itoa(a))
+		qb := strings.ReplaceAll(tmpl, "@@", itoa(b))
+		if StructureKey(qa) != StructureKey(qb) {
+			t.Fatalf("keys differ for %q vs %q", qa, qb)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

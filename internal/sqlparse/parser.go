@@ -1,0 +1,1009 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"joza/internal/sqltoken"
+)
+
+// SyntaxError describes a parse failure with its byte position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql syntax error at byte %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a single SQL statement. Trailing semicolons are permitted.
+func Parse(query string) (Statement, error) {
+	toks := sqltoken.Lex(query)
+	// Comments are not semantically meaningful; drop them for parsing.
+	filtered := toks[:0:0]
+	for _, t := range toks {
+		if t.Kind != sqltoken.KindComment {
+			filtered = append(filtered, t)
+		}
+	}
+	p := &parser{toks: filtered, srcLen: len(query)}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow trailing semicolons.
+	for p.peekIs(sqltoken.KindPunct, ";") {
+		p.next()
+	}
+	if !p.eof() {
+		return nil, p.errorf("unexpected %q after statement", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks   []sqltoken.Token
+	pos    int
+	srcLen int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() sqltoken.Token {
+	if p.eof() {
+		return sqltoken.Token{Start: p.srcLen, End: p.srcLen}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() sqltoken.Token {
+	t := p.peek()
+	if !p.eof() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().Start, Msg: fmt.Sprintf(format, args...)}
+}
+
+// peekIs reports whether the next token has the given kind and
+// (case-insensitively) the given text. Empty text matches any text.
+func (p *parser) peekIs(kind sqltoken.Kind, text string) bool {
+	t := p.peek()
+	if t.Kind != kind {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.Text, text)
+}
+
+func (p *parser) acceptKeyword(word string) bool {
+	if p.peekIs(sqltoken.KindKeyword, word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(word string) error {
+	if !p.acceptKeyword(word) {
+		return p.errorf("expected %s, got %q", word, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(text string) bool {
+	if p.peekIs(sqltoken.KindPunct, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(text string) error {
+	if !p.acceptPunct(text) {
+		return p.errorf("expected %q, got %q", text, p.peek().Text)
+	}
+	return nil
+}
+
+// identName returns the name carried by an identifier or backtick token.
+func identName(t sqltoken.Token) string {
+	if t.Kind == sqltoken.KindBacktick {
+		return strings.Trim(t.Text, "`")
+	}
+	return t.Text
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	switch t.Kind {
+	case sqltoken.KindIdent, sqltoken.KindBacktick:
+		p.next()
+		return identName(t), nil
+	case sqltoken.KindKeyword:
+		// Non-reserved usage: allow keywords as bare names where MySQL
+		// commonly does (e.g. a column named "key" via backticks is
+		// preferred, but be lenient for data words like "year").
+		p.next()
+		return t.Text, nil
+	default:
+		return "", p.errorf("expected identifier, got %q", t.Text)
+	}
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != sqltoken.KindKeyword {
+		return nil, p.errorf("expected statement keyword, got %q", t.Text)
+	}
+	switch strings.ToUpper(t.Text) {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	default:
+		return nil, p.errorf("unsupported statement %q", t.Text)
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		col, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Columns = append(sel.Columns, col)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = name
+		// Optional table alias (AS form or bare).
+		if p.acceptKeyword("AS") {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			sel.FromAlias = alias
+		} else if p.peekIs(sqltoken.KindIdent, "") {
+			sel.FromAlias = identName(p.next())
+		}
+		for {
+			jc, ok, err := p.parseJoin()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			sel.Joins = append(sel.Joins, jc)
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		lim, err := p.parseLimit()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = lim
+	}
+	if p.acceptKeyword("UNION") {
+		uc := &UnionClause{}
+		if p.acceptKeyword("ALL") {
+			uc.All = true
+		} else {
+			p.acceptKeyword("DISTINCT")
+		}
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		uc.Right = right
+		sel.Union = uc
+	}
+	return sel, nil
+}
+
+// parseJoin parses one JOIN clause if present.
+func (p *parser) parseJoin() (JoinClause, bool, error) {
+	var jc JoinClause
+	switch {
+	case p.acceptKeyword("JOIN"):
+	case p.peekIs(sqltoken.KindKeyword, "INNER"):
+		p.next()
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return jc, false, err
+		}
+	case p.peekIs(sqltoken.KindKeyword, "LEFT"):
+		p.next()
+		p.acceptKeyword("OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return jc, false, err
+		}
+		jc.Left = true
+	case p.peekIs(sqltoken.KindKeyword, "CROSS"):
+		p.next()
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return jc, false, err
+		}
+	default:
+		return jc, false, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return jc, false, err
+	}
+	jc.Table = name
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return jc, false, err
+		}
+		jc.Alias = alias
+	} else if p.peekIs(sqltoken.KindIdent, "") {
+		jc.Alias = identName(p.next())
+	}
+	if p.acceptKeyword("ON") {
+		on, err := p.parseExpr()
+		if err != nil {
+			return jc, false, err
+		}
+		jc.On = on
+	}
+	return jc, true, nil
+}
+
+func (p *parser) parseSelectExpr() (SelectExpr, error) {
+	if p.peekIs(sqltoken.KindOperator, "*") {
+		p.next()
+		return SelectExpr{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	col := SelectExpr{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectExpr{}, err
+		}
+		col.Alias = alias
+	} else if p.peekIs(sqltoken.KindIdent, "") {
+		col.Alias = identName(p.next())
+	}
+	return col, nil
+}
+
+func (p *parser) parseLimit() (*LimitClause, error) {
+	first, err := p.parseIntLiteral()
+	if err != nil {
+		return nil, err
+	}
+	lim := &LimitClause{Count: first}
+	if p.acceptPunct(",") {
+		count, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		lim.Offset = first
+		lim.Count = count
+	} else if p.acceptKeyword("OFFSET") {
+		off, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		lim.Offset = off
+	}
+	return lim, nil
+}
+
+func (p *parser) parseIntLiteral() (int64, error) {
+	t := p.peek()
+	if t.Kind != sqltoken.KindNumber {
+		return 0, p.errorf("expected integer, got %q", t.Text)
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.Text, 0, 64)
+	if err != nil {
+		return 0, p.errorf("bad integer %q", t.Text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: table}
+	if p.acceptPunct("(") {
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, name)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	upd := &UpdateStmt{Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.peekIs(sqltoken.KindOperator, "=") {
+			return nil, p.errorf("expected = in SET, got %q", p.peek().Text)
+		}
+		p.next()
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, Assignment{Column: col, Value: val})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = e
+	}
+	return upd, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	del := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+func (p *parser) parseCreate() (*CreateTableStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	ct := &CreateTableStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if !p.acceptKeyword("EXISTS") {
+			return nil, p.errorf("expected EXISTS")
+		}
+		ct.IfNotExists = true
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ct.Table = table
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		def := ColumnDef{Name: name, Type: "TEXT"}
+		// Optional type name with optional (N) size.
+		if p.peekIs(sqltoken.KindIdent, "") || p.peekIs(sqltoken.KindKeyword, "") {
+			def.Type = strings.ToUpper(p.next().Text)
+			if p.acceptPunct("(") {
+				for !p.eof() && !p.peekIs(sqltoken.KindPunct, ")") {
+					p.next()
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			// Skip column attributes (NOT NULL, PRIMARY KEY, DEFAULT x...).
+			for !p.eof() && !p.peekIs(sqltoken.KindPunct, ",") && !p.peekIs(sqltoken.KindPunct, ")") {
+				p.next()
+			}
+		}
+		ct.Columns = append(ct.Columns, def)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseDrop() (*DropTableStmt, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	dt := &DropTableStmt{}
+	if p.acceptKeyword("IF") {
+		if !p.acceptKeyword("EXISTS") {
+			return nil, p.errorf("expected EXISTS")
+		}
+		dt.IfExists = true
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	dt.Table = table
+	return dt, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	or:      and (OR|'||'|XOR and)*
+//	and:     not (AND|'&&' not)*
+//	not:     NOT not | predicate
+//	pred:    additive ((=|<|>|<=|>=|<>|!=) additive
+//	                  | [NOT] LIKE additive | [NOT] IN (...)
+//	                  | [NOT] BETWEEN additive AND additive
+//	                  | IS [NOT] NULL | [NOT] REGEXP additive)*
+//	add:     mul ((+|-) mul)*
+//	mul:     unary ((*|/|%|DIV|MOD) unary)*
+//	unary:   (-|+|!|~) unary | primary
+//	primary: literal | column | function(args) | ( expr ) | placeholder
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.peekIs(sqltoken.KindKeyword, "OR"), p.peekIs(sqltoken.KindOperator, "||"):
+			op = "OR"
+		case p.peekIs(sqltoken.KindKeyword, "XOR"):
+			op = "XOR"
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIs(sqltoken.KindKeyword, "AND") || p.peekIs(sqltoken.KindOperator, "&&") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+var comparisonOps = map[string]bool{
+	"=": true, "<": true, ">": true, "<=": true, ">=": true,
+	"<>": true, "!=": true,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == sqltoken.KindOperator && comparisonOps[t.Text]:
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			op := t.Text
+			if op == "<>" {
+				op = "!="
+			}
+			left = &BinaryExpr{Op: op, L: left, R: right}
+		case p.peekIs(sqltoken.KindKeyword, "IS"):
+			p.next()
+			not := p.acceptKeyword("NOT")
+			if !p.acceptKeyword("NULL") {
+				return nil, p.errorf("expected NULL after IS")
+			}
+			left = &IsNullExpr{X: left, Not: not}
+		case p.peekIs(sqltoken.KindKeyword, "LIKE"):
+			p.next()
+			pat, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &LikeExpr{X: left, Pattern: pat}
+		case p.peekIs(sqltoken.KindKeyword, "REGEXP") || p.peekIs(sqltoken.KindKeyword, "RLIKE"):
+			p.next()
+			pat, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "REGEXP", L: left, R: pat}
+		case p.peekIs(sqltoken.KindKeyword, "IN"):
+			p.next()
+			in, err := p.parseInList(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = in
+		case p.peekIs(sqltoken.KindKeyword, "BETWEEN"):
+			p.next()
+			b, err := p.parseBetween(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = b
+		case p.peekIs(sqltoken.KindKeyword, "NOT"):
+			// x NOT LIKE / NOT IN / NOT BETWEEN / NOT REGEXP.
+			save := p.pos
+			p.next()
+			switch {
+			case p.acceptKeyword("LIKE"):
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &LikeExpr{X: left, Pattern: pat, Not: true}
+			case p.peekIs(sqltoken.KindKeyword, "IN"):
+				p.next()
+				in, err := p.parseInList(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = in
+			case p.peekIs(sqltoken.KindKeyword, "BETWEEN"):
+				p.next()
+				b, err := p.parseBetween(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = b
+			case p.acceptKeyword("REGEXP"), p.acceptKeyword("RLIKE"):
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &UnaryExpr{Op: "NOT", X: &BinaryExpr{Op: "REGEXP", L: left, R: pat}}
+			default:
+				p.pos = save
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseInList(x Expr, not bool) (Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	in := &InExpr{X: x, Not: not}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		in.List = append(in.List, e)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (p *parser) parseBetween(x Expr, not bool) (Expr, error) {
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{X: x, Lo: lo, Hi: hi, Not: not}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIs(sqltoken.KindOperator, "+") || p.peekIs(sqltoken.KindOperator, "-") {
+		op := p.next().Text
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.peekIs(sqltoken.KindOperator, "*"), p.peekIs(sqltoken.KindOperator, "/"),
+			p.peekIs(sqltoken.KindOperator, "%"):
+			op = p.next().Text
+		case p.peekIs(sqltoken.KindKeyword, "DIV"):
+			p.next()
+			op = "DIV"
+		case p.peekIs(sqltoken.KindKeyword, "MOD"):
+			p.next()
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == sqltoken.KindOperator {
+		switch t.Text {
+		case "-", "+", "!", "~":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			op := t.Text
+			if op == "!" {
+				op = "NOT"
+			}
+			if op == "+" {
+				return x, nil
+			}
+			return &UnaryExpr{Op: op, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case sqltoken.KindNumber:
+		p.next()
+		return &Literal{Kind: LitNumber, Text: t.Text}, nil
+	case sqltoken.KindString:
+		p.next()
+		return &Literal{Kind: LitString, Text: t.Text, Str: decodeString(t.Text)}, nil
+	case sqltoken.KindPlaceholder:
+		p.next()
+		// Placeholders act as NULL-valued literals for structural parsing.
+		return &Literal{Kind: LitNull, Text: t.Text}, nil
+	case sqltoken.KindFunction:
+		return p.parseFuncCall()
+	case sqltoken.KindKeyword:
+		switch strings.ToUpper(t.Text) {
+		case "NULL":
+			p.next()
+			return &Literal{Kind: LitNull, Text: t.Text}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Kind: LitBool, Text: t.Text, Bool: true}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Kind: LitBool, Text: t.Text, Bool: false}, nil
+		case "SELECT":
+			return nil, p.errorf("subqueries are not supported")
+		case "CASE":
+			return nil, p.errorf("CASE expressions are not supported")
+		case "BINARY":
+			p.next()
+			return p.parseUnary()
+		case "DATABASE", "REPLACE", "LEFT", "RIGHT", "TRUNCATE":
+			// Keywords that double as function names when called.
+			if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == sqltoken.KindPunct && p.toks[p.pos+1].Text == "(" {
+				return p.parseFuncCall()
+			}
+			return nil, p.errorf("unexpected keyword %q in expression", t.Text)
+		default:
+			return nil, p.errorf("unexpected keyword %q in expression", t.Text)
+		}
+	case sqltoken.KindIdent, sqltoken.KindBacktick:
+		// Function call if followed by '(' (for names not in the builtin
+		// list the lexer leaves them as idents).
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == sqltoken.KindPunct && p.toks[p.pos+1].Text == "(" {
+			return p.parseFuncCall()
+		}
+		p.next()
+		ref := &ColumnRef{Name: identName(t)}
+		// Qualified reference: table.column.
+		if p.acceptPunct(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Table = ref.Name
+			ref.Name = col
+		}
+		return ref, nil
+	case sqltoken.KindVariable:
+		p.next()
+		return &ColumnRef{Name: t.Text}, nil
+	case sqltoken.KindPunct:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q in expression", t.Text)
+}
+
+func (p *parser) parseFuncCall() (Expr, error) {
+	name := p.next().Text
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	if p.peekIs(sqltoken.KindOperator, "*") {
+		p.next()
+		fc.Star = true
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptPunct(")") {
+		return fc, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+// decodeString strips the quotes from a SQL string literal and resolves
+// backslash and doubled-quote escapes.
+func decodeString(text string) string {
+	if len(text) < 2 {
+		return strings.Trim(text, `'"`)
+	}
+	quote := text[0]
+	body := text[1:]
+	if body[len(body)-1] == quote {
+		body = body[:len(body)-1]
+	}
+	var sb strings.Builder
+	sb.Grow(len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c == '\\' && i+1 < len(body) {
+			i++
+			switch body[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				sb.WriteByte(body[i])
+			}
+			continue
+		}
+		if c == quote && i+1 < len(body) && body[i+1] == quote {
+			sb.WriteByte(quote)
+			i++
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}

@@ -1,0 +1,390 @@
+package sqlparse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) Statement {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func mustSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt := mustParse(t, q)
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", q, stmt)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM records WHERE ID=1 LIMIT 5")
+	if !sel.Columns[0].Star {
+		t.Error("want star projection")
+	}
+	if sel.From != "records" {
+		t.Errorf("From = %q", sel.From)
+	}
+	be, ok := sel.Where.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("Where = %#v", sel.Where)
+	}
+	if sel.Limit == nil || sel.Limit.Count != 5 || sel.Limit.Offset != 0 {
+		t.Errorf("Limit = %+v", sel.Limit)
+	}
+}
+
+func TestParseSelectColumnsAliases(t *testing.T) {
+	sel := mustSelect(t, "SELECT id, name AS n, COUNT(*) cnt FROM t")
+	if len(sel.Columns) != 3 {
+		t.Fatalf("columns = %d", len(sel.Columns))
+	}
+	if sel.Columns[1].Alias != "n" || sel.Columns[2].Alias != "cnt" {
+		t.Errorf("aliases = %q, %q", sel.Columns[1].Alias, sel.Columns[2].Alias)
+	}
+	fc, ok := sel.Columns[2].Expr.(*FuncCall)
+	if !ok || fc.Name != "COUNT" || !fc.Star {
+		t.Errorf("COUNT(*) = %#v", sel.Columns[2].Expr)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// a = 1 OR b = 2 AND c = 3  parses as  a=1 OR (b=2 AND c=3)
+	sel := mustSelect(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := sel.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %#v", sel.Where)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right of OR = %#v", or.R)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 + 2 * 3")
+	add, ok := sel.Columns[0].Expr.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top = %#v", sel.Columns[0].Expr)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right = %#v", add.R)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE id=-1 UNION ALL SELECT password FROM users")
+	if sel.Union == nil || !sel.Union.All {
+		t.Fatal("want UNION ALL")
+	}
+	if sel.Union.Right.From != "users" {
+		t.Errorf("union right from = %q", sel.Union.Right.From)
+	}
+	// Negative literal under unary minus.
+	be := sel.Where.(*BinaryExpr)
+	if _, ok := be.R.(*UnaryExpr); !ok {
+		t.Errorf("want unary minus, got %#v", be.R)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t WHERE a LIKE '%x%' AND b IN (1,2,3) AND c BETWEEN 1 AND 9 AND d IS NOT NULL AND e NOT LIKE 'y' AND f NOT IN (4)")
+	var found struct{ like, in, between, isnull, notlike, notin bool }
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinaryExpr:
+			walk(v.L)
+			walk(v.R)
+		case *LikeExpr:
+			if v.Not {
+				found.notlike = true
+			} else {
+				found.like = true
+			}
+		case *InExpr:
+			if v.Not {
+				found.notin = true
+			} else {
+				found.in = true
+			}
+		case *BetweenExpr:
+			found.between = true
+		case *IsNullExpr:
+			if v.Not {
+				found.isnull = true
+			}
+		}
+	}
+	walk(sel.Where)
+	if !found.like || !found.in || !found.between || !found.isnull || !found.notlike || !found.notin {
+		t.Errorf("predicates found: %+v", found)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO users (id, name) VALUES (1, 'alice'), (2, 'bob')")
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "users" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("ins = %+v", ins)
+	}
+	lit := ins.Rows[0][1].(*Literal)
+	if lit.Kind != LitString || lit.Str != "alice" {
+		t.Errorf("literal = %+v", lit)
+	}
+}
+
+func TestParseInsertWithoutColumns(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t VALUES (1,2)").(*InsertStmt)
+	if len(ins.Columns) != 0 || len(ins.Rows[0]) != 2 {
+		t.Errorf("ins = %+v", ins)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	upd := mustParse(t, "UPDATE t SET a = 1, b = 'x' WHERE id = 3").(*UpdateStmt)
+	if upd.Table != "t" || len(upd.Set) != 2 || upd.Where == nil {
+		t.Errorf("upd = %+v", upd)
+	}
+	del := mustParse(t, "DELETE FROM t WHERE id = 3").(*DeleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Errorf("del = %+v", del)
+	}
+	del2 := mustParse(t, "DELETE FROM t").(*DeleteStmt)
+	if del2.Where != nil {
+		t.Error("unexpected WHERE")
+	}
+}
+
+func TestParseCreateDrop(t *testing.T) {
+	ct := mustParse(t, "CREATE TABLE IF NOT EXISTS posts (id INT PRIMARY KEY, title VARCHAR(200) NOT NULL, body TEXT)").(*CreateTableStmt)
+	if !ct.IfNotExists || ct.Table != "posts" || len(ct.Columns) != 3 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if ct.Columns[0].Type != "INT" || ct.Columns[1].Type != "VARCHAR" {
+		t.Errorf("types = %v", ct.Columns)
+	}
+	dt := mustParse(t, "DROP TABLE IF EXISTS posts").(*DropTableStmt)
+	if !dt.IfExists || dt.Table != "posts" {
+		t.Errorf("dt = %+v", dt)
+	}
+}
+
+func TestParseOrderGroupHaving(t *testing.T) {
+	sel := mustSelect(t, "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC, b LIMIT 2, 10")
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group/having missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit.Offset != 2 || sel.Limit.Count != 10 {
+		t.Errorf("limit = %+v", sel.Limit)
+	}
+}
+
+func TestParseLimitOffsetKeyword(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t LIMIT 10 OFFSET 5")
+	if sel.Limit.Offset != 5 || sel.Limit.Count != 10 {
+		t.Errorf("limit = %+v", sel.Limit)
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	sel := mustSelect(t, "SELECT CONCAT(a, 'x', CHAR(65)), version(), SLEEP(5) FROM t")
+	fc := sel.Columns[0].Expr.(*FuncCall)
+	if fc.Name != "CONCAT" || len(fc.Args) != 3 {
+		t.Errorf("concat = %+v", fc)
+	}
+	if sel.Columns[1].Expr.(*FuncCall).Name != "VERSION" {
+		t.Error("version()")
+	}
+}
+
+func TestParseQualifiedColumn(t *testing.T) {
+	sel := mustSelect(t, "SELECT t.a FROM t WHERE t.b = 1")
+	ref := sel.Columns[0].Expr.(*ColumnRef)
+	if ref.Table != "t" || ref.Name != "a" {
+		t.Errorf("ref = %+v", ref)
+	}
+}
+
+func TestParseCommentsIgnored(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t /* inline */ WHERE a = 1 -- tail")
+	if sel.Where == nil {
+		t.Error("where lost")
+	}
+	// Comment used to terminate an injected query.
+	sel = mustSelect(t, "SELECT * FROM t WHERE a = 1 OR 1=1 #")
+	if sel.Where == nil {
+		t.Error("where lost with # comment")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM",
+		"SELECT * FROM t WHERE",
+		"INSERT INTO",
+		"INSERT INTO t VALUES",
+		"UPDATE t SET",
+		"DELETE t",
+		"CREATE TABLE",
+		"SELECT * FROM t WHERE (a = 1",
+		"SELECT * FROM t LIMIT 'x'",
+		"SELECT * FROM t extra garbage ,,,",
+		"SELECT (SELECT 1)",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error %T, want *SyntaxError", q, err)
+			}
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE (a = 1")
+	if err == nil || !strings.Contains(err.Error(), "byte") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT 1;")
+	mustParse(t, "SELECT 1;;")
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := mustSelect(t, `SELECT 'it''s', 'a\'b', "d\"q"`)
+	want := []string{"it's", "a'b", `d"q`}
+	for i, w := range want {
+		lit := sel.Columns[i].Expr.(*Literal)
+		if lit.Str != w {
+			t.Errorf("col %d = %q, want %q", i, lit.Str, w)
+		}
+	}
+}
+
+func TestStructureKeyInsensitiveToData(t *testing.T) {
+	a := StructureKey("SELECT * FROM t WHERE id = 5 AND name = 'x'")
+	b := StructureKey("SELECT * FROM t WHERE id = 99999 AND name = 'completely different'")
+	if a != b {
+		t.Errorf("keys differ:\n%q\n%q", a, b)
+	}
+}
+
+func TestStructureKeySensitiveToStructure(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT * FROM t WHERE id = 5", "SELECT * FROM t WHERE id = 5 OR 1=1"},
+		{"SELECT * FROM t WHERE id = 5", "SELECT * FROM u WHERE id = 5"},
+		{"SELECT a FROM t", "SELECT a, b FROM t"},
+		{"SELECT a FROM t", "SELECT a FROM t -- comment"},
+	}
+	for _, pr := range pairs {
+		if StructureKey(pr[0]) == StructureKey(pr[1]) {
+			t.Errorf("keys equal for %q and %q", pr[0], pr[1])
+		}
+	}
+}
+
+func TestStructureKeyPreservesNonDataBytes(t *testing.T) {
+	// PTI coverage is byte-exact, so the key must distinguish keyword case
+	// and inter-token whitespace — otherwise a safe lowercase variant
+	// could certify an unsafe uppercase one from the structure cache.
+	if StructureKey("select 1") == StructureKey("SELECT 2") {
+		t.Error("keyword case must affect the key")
+	}
+	if StructureKey("SELECT  1") == StructureKey("SELECT 2") {
+		t.Error("whitespace must affect the key")
+	}
+	if StructureKey("SELECT 1") != StructureKey("SELECT 2") {
+		t.Error("number values must not affect the key")
+	}
+	if StructureKey("SELECT 'a'") != StructureKey("SELECT 'zzz'") {
+		t.Error("string values must not affect the key")
+	}
+}
+
+func TestParseBacktickIdents(t *testing.T) {
+	sel := mustSelect(t, "SELECT `weird col` FROM `my table` WHERE `weird col` = 1")
+	if sel.From != "my table" {
+		t.Errorf("From = %q", sel.From)
+	}
+	ref := sel.Columns[0].Expr.(*ColumnRef)
+	if ref.Name != "weird col" {
+		t.Errorf("col = %q", ref.Name)
+	}
+}
+
+func TestParsePlaceholders(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t WHERE a = ? AND b = :name")
+	if sel.Where == nil {
+		t.Fatal("where nil")
+	}
+}
+
+func TestParseNotPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t WHERE NOT a = 1 AND b = 2")
+	and, ok := sel.Where.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("top = %#v", sel.Where)
+	}
+	if _, ok := and.L.(*UnaryExpr); !ok {
+		t.Errorf("left = %#v, want NOT", and.L)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustSelect(t, "SELECT o.id, c.name FROM orders o JOIN customers AS c ON o.user_id = c.id LEFT OUTER JOIN notes n ON n.order_id = o.id WHERE o.id > 1")
+	if sel.From != "orders" || sel.FromAlias != "o" {
+		t.Errorf("from = %q alias %q", sel.From, sel.FromAlias)
+	}
+	if len(sel.Joins) != 2 {
+		t.Fatalf("joins = %+v", sel.Joins)
+	}
+	if sel.Joins[0].Table != "customers" || sel.Joins[0].Alias != "c" || sel.Joins[0].Left || sel.Joins[0].On == nil {
+		t.Errorf("join 0 = %+v", sel.Joins[0])
+	}
+	if sel.Joins[1].Table != "notes" || !sel.Joins[1].Left {
+		t.Errorf("join 1 = %+v", sel.Joins[1])
+	}
+	cross := mustSelect(t, "SELECT * FROM a CROSS JOIN b")
+	if len(cross.Joins) != 1 || cross.Joins[0].On != nil || cross.Joins[0].Left {
+		t.Errorf("cross join = %+v", cross.Joins)
+	}
+	if _, err := Parse("SELECT * FROM a JOIN b ON"); err == nil {
+		t.Error("dangling ON must error")
+	}
+	if _, err := Parse("SELECT * FROM a INNER JOIN"); err == nil {
+		t.Error("dangling INNER JOIN must error")
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	// Qualified column refs through the expression grammar.
+	sel := mustSelect(t, "SELECT t.a + u.b FROM t JOIN u ON t.id = u.id")
+	be, ok := sel.Columns[0].Expr.(*BinaryExpr)
+	if !ok || be.Op != "+" {
+		t.Fatalf("expr = %#v", sel.Columns[0].Expr)
+	}
+	l := be.L.(*ColumnRef)
+	if l.Table != "t" || l.Name != "a" {
+		t.Errorf("left ref = %+v", l)
+	}
+}

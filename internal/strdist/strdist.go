@@ -1,0 +1,242 @@
+// Package strdist implements the approximate string-matching primitives
+// used by negative taint inference (NTI).
+//
+// NTI must find, for each application input, the substring of the SQL query
+// that is closest to the input in edit distance, and decide whether the
+// "difference ratio" — edit distance divided by the length of the matched
+// query substring — is below a threshold. A ratio of zero means the input
+// appears verbatim in the query.
+//
+// Two matchers are provided:
+//
+//   - SubstringMatch: Sellers' algorithm, a dynamic program over the query
+//     with a free start position, running in O(len(input)·len(query)) time
+//     and O(len(input)) extra memory per column pair. This is the optimized
+//     matcher Joza uses in production.
+//   - NaiveSubstringMatch: the textbook O(n²·m²) formulation that compares
+//     every query substring to the input with full-matrix Levenshtein. It is
+//     retained as the ablation baseline for the paper's discussion of NTI
+//     cost (Section III-A) and is used only by benchmarks and tests.
+package strdist
+
+// Levenshtein returns the edit distance between a and b using unit costs for
+// insertion, deletion and substitution. It uses two rolling rows, so memory
+// is O(min side handled by caller); time is O(len(a)·len(b)).
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// Keep the inner dimension (row width) as the shorter string.
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitution / match
+			if d := prev[j] + 1; d < m { // deletion from a
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insertion into a
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Match describes the best approximate occurrence of an input inside a query.
+type Match struct {
+	// Start and End delimit the matched query substring, query[Start:End).
+	Start int
+	End   int
+	// Distance is the edit distance between the input and the matched
+	// substring.
+	Distance int
+}
+
+// Ratio returns the difference ratio of the match: edit distance divided by
+// the length of the matched query substring. An empty match yields +Inf-like
+// behaviour via a ratio greater than any threshold (returns 1e9).
+func (m Match) Ratio() float64 {
+	n := m.End - m.Start
+	if n <= 0 {
+		return 1e9
+	}
+	return float64(m.Distance) / float64(n)
+}
+
+// SubstringMatch finds the substring of query with minimum edit distance to
+// input, using Sellers' approximate matching algorithm: a Levenshtein DP in
+// which row 0 is all zeros (a match may begin at any query position) and the
+// answer is the minimum of the last row (a match may end at any position).
+//
+// Ties on distance are broken in favour of the longest matched substring,
+// which minimizes the difference ratio, and then the earliest end position.
+// The returned Match reports the matched span and distance. If input is
+// empty, a zero-length match at position 0 with distance 0 is returned.
+func SubstringMatch(input, query string) Match {
+	n := len(input)
+	m := len(query)
+	if n == 0 {
+		return Match{}
+	}
+	if m == 0 {
+		return Match{Distance: n}
+	}
+	// dp[i] = edit distance between input[:i] and the best-ending-here
+	// suffix of query[:j]. start[i] = start index in query of that match.
+	dp := make([]int, n+1)
+	start := make([]int, n+1)
+	ndp := make([]int, n+1)
+	nstart := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		dp[i] = i
+		start[i] = 0
+	}
+	best := Match{Start: 0, End: 0, Distance: dp[n]}
+	for j := 1; j <= m; j++ {
+		ndp[0] = 0
+		nstart[0] = j // a match starting at j (empty prefix consumed)
+		qc := query[j-1]
+		for i := 1; i <= n; i++ {
+			cost := 1
+			if input[i-1] == qc {
+				cost = 0
+			}
+			// diagonal: extend match by consuming input[i-1] and query[j-1]
+			d := dp[i-1] + cost
+			s := start[i-1]
+			// up: delete input[i-1] (input char unmatched)
+			if v := ndp[i-1] + 1; v < d {
+				d = v
+				s = nstart[i-1]
+			}
+			// left: insert query[j-1] (extra query char inside match)
+			if v := dp[i] + 1; v < d {
+				d = v
+				s = start[i]
+			}
+			ndp[i] = d
+			nstart[i] = s
+		}
+		dp, ndp = ndp, dp
+		start, nstart = nstart, start
+		// Candidate match ending at j.
+		cand := Match{Start: start[n], End: j, Distance: dp[n]}
+		if better(cand, best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// better reports whether a is a strictly better match than b: lower distance
+// wins; on equal distance the longer matched substring wins (lower ratio);
+// on equal length the earlier end wins.
+func better(a, b Match) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	al, bl := a.End-a.Start, b.End-b.Start
+	if al != bl {
+		return al > bl
+	}
+	return a.End < b.End
+}
+
+// NaiveSubstringMatch is the unoptimized O(n²·m²)-flavoured matcher: it
+// evaluates full-matrix Levenshtein for every substring of query against
+// input. It exists so benchmarks can quantify the cost the paper's
+// optimizations remove. Results are tie-broken identically to
+// SubstringMatch.
+func NaiveSubstringMatch(input, query string) Match {
+	n := len(input)
+	m := len(query)
+	if n == 0 {
+		return Match{}
+	}
+	best := Match{Start: 0, End: 0, Distance: n}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j <= m; j++ {
+			d := Levenshtein(input, query[i:j])
+			cand := Match{Start: i, End: j, Distance: d}
+			if better(cand, best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// BoundedLevenshtein returns the edit distance between a and b, or bound+1
+// if the distance exceeds bound. The Ukkonen band cut-off makes rejecting
+// distant strings cheap, which NTI uses to prune implausible comparisons.
+func BoundedLevenshtein(a, b string, bound int) int {
+	if bound < 0 {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la-lb > bound || lb-la > bound {
+		return bound + 1
+	}
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if d := prev[j] + 1; d < m {
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > bound {
+			return bound + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > bound {
+		return bound + 1
+	}
+	return prev[lb]
+}

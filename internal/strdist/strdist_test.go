@@ -1,0 +1,210 @@
+package strdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"OR 1=1", "OR 1=1", 0},
+		{"a", "b", 1},
+		{"ab", "ba", 2},
+		{"intention", "execution", 5},
+	}
+	for _, tt := range tests {
+		if got := Levenshtein(tt.a, tt.b); got != tt.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("identity:", err)
+	}
+	bounded := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		diff := len(a) - len(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= maxLen
+	}
+	if err := quick.Check(bounded, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error("bounds:", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(triangle, cfg); err != nil {
+		t.Error("triangle inequality:", err)
+	}
+}
+
+func TestSubstringMatchExact(t *testing.T) {
+	q := "SELECT * FROM data WHERE ID=-1 OR 1=1"
+	in := "-1 OR 1=1"
+	m := SubstringMatch(in, q)
+	if m.Distance != 0 {
+		t.Fatalf("distance = %d, want 0 (match %q)", m.Distance, q[m.Start:m.End])
+	}
+	if q[m.Start:m.End] != in {
+		t.Errorf("matched %q, want %q", q[m.Start:m.End], in)
+	}
+	if m.Ratio() != 0 {
+		t.Errorf("ratio = %v, want 0", m.Ratio())
+	}
+}
+
+func TestSubstringMatchApproximate(t *testing.T) {
+	// Input with quotes; the query has them escaped with backslashes
+	// (magic quotes), so the distance equals the number of added slashes.
+	in := `x' OR '1'='1`
+	q := `SELECT * FROM t WHERE name='x\' OR \'1\'=\'1'`
+	m := SubstringMatch(in, q)
+	if m.Distance != 4 {
+		t.Errorf("distance = %d (match %q), want 4", m.Distance, q[m.Start:m.End])
+	}
+}
+
+func TestSubstringMatchAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := "abcO R='1"
+	randStr := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	for iter := 0; iter < 200; iter++ {
+		in := randStr(1 + rng.Intn(8))
+		q := randStr(1 + rng.Intn(20))
+		got := SubstringMatch(in, q)
+		want := NaiveSubstringMatch(in, q)
+		if got.Distance != want.Distance {
+			t.Fatalf("iter %d: SubstringMatch(%q, %q).Distance = %d, naive = %d",
+				iter, in, q, got.Distance, want.Distance)
+		}
+		// Verify the reported span really has the reported distance.
+		if d := Levenshtein(in, q[got.Start:got.End]); d != got.Distance {
+			t.Fatalf("iter %d: span %q has distance %d, reported %d",
+				iter, q[got.Start:got.End], d, got.Distance)
+		}
+	}
+}
+
+func TestSubstringMatchEmptyCases(t *testing.T) {
+	if m := SubstringMatch("", "query"); m.Distance != 0 || m.Start != 0 || m.End != 0 {
+		t.Errorf("empty input: %+v", m)
+	}
+	if m := SubstringMatch("abc", ""); m.Distance != 3 {
+		t.Errorf("empty query: %+v", m)
+	}
+	if m := NaiveSubstringMatch("", "q"); m.Distance != 0 {
+		t.Errorf("naive empty input: %+v", m)
+	}
+	if m := NaiveSubstringMatch("ab", ""); m.Distance != 2 {
+		t.Errorf("naive empty query: %+v", m)
+	}
+}
+
+func TestMatchRatio(t *testing.T) {
+	m := Match{Start: 0, End: 22, Distance: 5}
+	got := m.Ratio()
+	if got < 0.227 || got > 0.228 {
+		// The paper's Figure 2C example: distance 5 over a 22-byte match
+		// yields a 22.7% difference ratio.
+		t.Errorf("ratio = %v, want ~0.227", got)
+	}
+	if (Match{}).Ratio() < 1e8 {
+		t.Error("empty match must have a huge ratio")
+	}
+}
+
+func TestSubstringMatchPrefersLongerOnTies(t *testing.T) {
+	// Both "ab" at 0 and "ab" at 3 match with distance 0; earliest end wins
+	// among equal lengths.
+	m := SubstringMatch("ab", "ab cab")
+	if m.Distance != 0 || m.Start != 0 || m.End != 2 {
+		t.Errorf("match = %+v, want {0 2 0}", m)
+	}
+}
+
+func TestBoundedLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b  string
+		bound int
+		want  int
+	}{
+		{"kitten", "sitting", 10, 3},
+		{"kitten", "sitting", 3, 3},
+		{"kitten", "sitting", 2, 3}, // exceeds: bound+1
+		{"abc", "abc", 0, 0},
+		{"abc", "xyz", 1, 2},       // cut off at bound+1
+		{"aaaa", "bbbbbbbb", 2, 3}, // length gap alone exceeds bound
+		{"", "abc", 5, 3},
+		{"abc", "", 5, 3},
+	}
+	for _, tt := range tests {
+		if got := BoundedLevenshtein(tt.a, tt.b, tt.bound); got != tt.want {
+			t.Errorf("BoundedLevenshtein(%q, %q, %d) = %d, want %d",
+				tt.a, tt.b, tt.bound, got, tt.want)
+		}
+	}
+}
+
+func TestBoundedLevenshteinAgreesWithFull(t *testing.T) {
+	f := func(a, b string, bound uint8) bool {
+		bd := int(bound % 16)
+		full := Levenshtein(a, b)
+		got := BoundedLevenshtein(a, b, bd)
+		if full <= bd {
+			return got == full
+		}
+		return got == bd+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstringMatchWhitespacePaddingAttack(t *testing.T) {
+	// NTI evasion via whitespace trimming: the attacker pads the input with
+	// spaces which the application strips. The query then contains the
+	// unpadded payload; the distance equals the number of stripped spaces.
+	payload := "-1 OR 1=1"
+	padded := payload + strings.Repeat(" ", 30)
+	q := "SELECT * FROM t WHERE id=" + payload
+	m := SubstringMatch(padded, q)
+	if m.Distance == 0 {
+		t.Fatal("padded input should not match exactly")
+	}
+	if m.Ratio() <= 0.20 {
+		t.Errorf("ratio %v should exceed the default threshold 0.20", m.Ratio())
+	}
+}

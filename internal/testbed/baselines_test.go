@@ -1,0 +1,63 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluateBaselines(t *testing.T) {
+	l := lab(t)
+	rows, err := l.EvaluateBaselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	joza := byName["joza-hybrid"]
+	waf := byName["regex-waf"]
+	candid := byName["candid-shadow"]
+	ntiRow := byName["nti"]
+	ptiRow := byName["pti"]
+
+	// The hybrid detects everything with zero false positives.
+	if joza.Originals != 50 || joza.NTIMutants != 50 || joza.PTIMutants != 50 {
+		t.Errorf("joza detection = %+v", joza)
+	}
+	if joza.FalsePositives != 0 {
+		t.Errorf("joza false positives = %d", joza.FalsePositives)
+	}
+
+	// The signature WAF false-positives on SQL-shaped prose.
+	if waf.FalsePositives == 0 {
+		t.Error("WAF should false-positive on the prose corpus")
+	}
+	// And misses the encoded original (base64) at minimum.
+	if waf.Originals >= 50 {
+		t.Errorf("WAF originals = %d, expected misses", waf.Originals)
+	}
+
+	// CANDID shares NTI's blindness: both miss the NTI-targeted mutants.
+	if candid.NTIMutants > 3 {
+		t.Errorf("candid NTI-mutants = %d, expected ~0", candid.NTIMutants)
+	}
+	if ntiRow.NTIMutants != 0 {
+		t.Errorf("nti NTI-mutants = %d, want 0", ntiRow.NTIMutants)
+	}
+	// PTI misses exactly the 13 Taintless-adapted exploits.
+	if ptiRow.PTIMutants != 50-13 {
+		t.Errorf("pti PTI-mutants = %d, want 37", ptiRow.PTIMutants)
+	}
+	// Neither Joza component false-positives on prose.
+	if ntiRow.FalsePositives != 0 || ptiRow.FalsePositives != 0 {
+		t.Errorf("component FPs: nti=%d pti=%d", ntiRow.FalsePositives, ptiRow.FalsePositives)
+	}
+
+	out := FormatBaselines(rows)
+	for _, want := range []string{"BASELINE COMPARISON", "regex-waf", "joza-hybrid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"joza/internal/evasion"
+	"joza/internal/nti"
+	"joza/internal/sqlgen"
+	"joza/internal/webapp"
+)
+
+// Outcome records the Table IV row for one plugin: whether each analyzer
+// detected the original exploit and its targeted mutation, and whether the
+// hybrid (Joza) detected every working form.
+type Outcome struct {
+	Spec *Spec
+
+	// OriginalWorks confirms the exploit succeeds on the unprotected app.
+	OriginalWorks bool
+
+	// NTIOriginal / PTIOriginal: did the lone analyzer block the original?
+	NTIOriginal bool
+	PTIOriginal bool
+
+	// NTIMutant is the NTI-evasion form of the exploit; NTIMutantWorks
+	// confirms it still exploits the unprotected app; NTIMutated is
+	// whether NTI detected it (the evaluation expects false everywhere).
+	NTIMutant      string
+	NTIMutantWorks bool
+	NTIMutated     bool
+
+	// PTIMutant is Taintless's rewrite; PTIAdapted is whether the rewrite
+	// both works and evades PTI (the paper's 13/50); PTIMutated is whether
+	// PTI detected the mutant.
+	PTIMutant  string
+	PTIAdapted bool
+	PTIMutated bool
+
+	// Joza is whether the hybrid blocked the original and every working
+	// mutant.
+	Joza bool
+}
+
+// Evaluate runs the full Table IV experiment over every plugin.
+func (l *Lab) Evaluate() ([]*Outcome, error) {
+	tl := evasion.NewTaintless(l.Fragments)
+	out := make([]*Outcome, 0, len(l.Specs))
+	for _, s := range l.Specs {
+		o, err := l.evaluateSpec(tl, s)
+		if err != nil {
+			return nil, fmt.Errorf("plugin %s: %w", s.Name, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func (l *Lab) evaluateSpec(tl *evasion.Taintless, s *Spec) (*Outcome, error) {
+	o := &Outcome{Spec: s}
+
+	baseline, err := l.Run(l.Unprotected, s, s.Benign)
+	if err != nil {
+		return nil, err
+	}
+	if baseline.Blocked || baseline.DBError {
+		return nil, fmt.Errorf("benign baseline failed: %+v", baseline)
+	}
+
+	// Original exploit.
+	works, err := l.exploitWorks(s, s.Exploit, s.ExploitFalse, baseline)
+	if err != nil {
+		return nil, err
+	}
+	o.OriginalWorks = works
+	if o.NTIOriginal, err = l.blocked(l.NTIOnly, s, s.Exploit); err != nil {
+		return nil, err
+	}
+	if o.PTIOriginal, err = l.blocked(l.PTIOnly, s, s.Exploit); err != nil {
+		return nil, err
+	}
+	jozaOriginal, err := l.blocked(l.Protected, s, s.Exploit)
+	if err != nil {
+		return nil, err
+	}
+
+	// NTI-targeted mutation.
+	ntiMutant, ntiMutantFalse := l.ntiMutation(s)
+	o.NTIMutant = ntiMutant
+	if o.NTIMutantWorks, err = l.exploitWorks(s, ntiMutant, ntiMutantFalse, baseline); err != nil {
+		return nil, err
+	}
+	if o.NTIMutated, err = l.blocked(l.NTIOnly, s, ntiMutant); err != nil {
+		return nil, err
+	}
+	jozaNTIMutant, err := l.blocked(l.Protected, s, ntiMutant)
+	if err != nil {
+		return nil, err
+	}
+
+	// PTI-targeted mutation (Taintless).
+	ptiMutant, rewriteOK := tl.Evade(s.Exploit)
+	o.PTIMutant = ptiMutant
+	jozaPTIMutant := true
+	if rewriteOK {
+		mutWorks, err := l.exploitWorks(s, ptiMutant, l.rewriteFalse(tl, s), baseline)
+		if err != nil {
+			return nil, err
+		}
+		detected, err := l.blocked(l.PTIOnly, s, ptiMutant)
+		if err != nil {
+			return nil, err
+		}
+		o.PTIMutated = detected
+		o.PTIAdapted = mutWorks && !detected
+		if mutWorks {
+			if jozaPTIMutant, err = l.blocked(l.Protected, s, ptiMutant); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Taintless could not adapt the exploit; PTI keeps detecting the
+		// best-effort rewrite (and the original).
+		detected, err := l.blocked(l.PTIOnly, s, ptiMutant)
+		if err != nil {
+			return nil, err
+		}
+		o.PTIMutated = detected
+	}
+
+	o.Joza = jozaOriginal && jozaNTIMutant && jozaPTIMutant
+	return o, nil
+}
+
+// ntiMutation picks the evasion matching the plugin's transformation
+// surface: quote stuffing for numeric contexts under magic quotes,
+// whitespace padding for quoted contexts (where the plugin strips slashes
+// back), and a no-op for base64 plugins (NTI is already blind there).
+func (l *Lab) ntiMutation(s *Spec) (string, string) {
+	const threshold = nti.DefaultThreshold
+	mutate := func(p string) string {
+		if p == "" {
+			return ""
+		}
+		if s.Decode == DecodeBase64 {
+			return p
+		}
+		if s.Quoted {
+			return evasion.WhitespacePadding(p, threshold)
+		}
+		return evasion.QuoteStuffing(p, threshold)
+	}
+	return mutate(s.Exploit), mutate(s.ExploitFalse)
+}
+
+// rewriteFalse adapts the blind false-condition payload the same way the
+// true payload was adapted, so the oracle check remains meaningful.
+func (l *Lab) rewriteFalse(tl *evasion.Taintless, s *Spec) string {
+	if s.ExploitFalse == "" {
+		return ""
+	}
+	rewritten, ok := tl.Evade(s.ExploitFalse)
+	if !ok {
+		return s.ExploitFalse
+	}
+	return rewritten
+}
+
+// blocked runs the payload against an app configuration and reports
+// whether the request was blocked.
+func (l *Lab) blocked(app *webapp.App, s *Spec, payload string) (bool, error) {
+	page, err := l.Run(app, s, payload)
+	if err != nil {
+		return false, err
+	}
+	return page.Blocked, nil
+}
+
+// exploitWorks verifies a payload actually exploits the unprotected app,
+// using the observable appropriate to the attack class.
+func (l *Lab) exploitWorks(s *Spec, payload, payloadFalse string, baseline *webapp.Page) (bool, error) {
+	page, err := l.Run(l.Unprotected, s, payload)
+	if err != nil {
+		return false, err
+	}
+	if page.Blocked {
+		return false, fmt.Errorf("unprotected app blocked a query")
+	}
+	switch s.Type {
+	case sqlgen.Tautology:
+		return !page.DBError && page.Rows > baseline.Rows, nil
+	case sqlgen.Union:
+		return !page.DBError && page.Rows > 0 && leaked(page), nil
+	case sqlgen.StandardBlind:
+		if page.DBError || page.Rows == 0 {
+			return false, nil
+		}
+		if payloadFalse == "" {
+			return false, nil
+		}
+		falsePage, err := l.Run(l.Unprotected, s, payloadFalse)
+		if err != nil {
+			return false, err
+		}
+		return !falsePage.DBError && falsePage.Rows == 0, nil
+	case sqlgen.DoubleBlind:
+		if page.DBError || page.Delay.Seconds() < 1 {
+			return false, nil
+		}
+		if payloadFalse == "" {
+			return false, nil
+		}
+		falsePage, err := l.Run(l.Unprotected, s, payloadFalse)
+		if err != nil {
+			return false, err
+		}
+		return falsePage.Delay < page.Delay, nil
+	default:
+		return false, fmt.Errorf("unknown attack type %v", s.Type)
+	}
+}
+
+// leaked reports whether a page contains data an attack exfiltrated:
+// seeded secrets, the database banner, or session identity.
+func leaked(page *webapp.Page) bool {
+	for _, marker := range []string{leakSecret, "5.5.0-minidb", "webapp@localhost", "wordpress"} {
+		if strings.Contains(page.Body, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeCounts returns the Table I classification of the testbed.
+func TypeCounts(specs []*Spec) map[sqlgen.AttackType]int {
+	out := make(map[sqlgen.AttackType]int, 4)
+	for _, s := range specs {
+		out[s.Type]++
+	}
+	return out
+}
+
+// BaselineResult aggregates Table II.
+type BaselineResult struct {
+	// Testbed exploits: detections out of Total.
+	NTIDetected int
+	PTIDetected int
+	Total       int
+	// SQLMap-generated payloads across the four selected plugins.
+	SQLMapNTI   int
+	SQLMapPTI   int
+	SQLMapTotal int
+}
+
+// sqlmapPlugins names the four plugins (one per attack class) driven with
+// generated payloads, as in Section V-A.
+var sqlmapPlugins = []string{"a-to-z-category-listing", "eventify", "ump-polls", "advertiser"}
+
+// EvaluateBaseline runs the Table II experiment: every original exploit
+// against NTI and PTI individually, plus 40 generated attack variants per
+// selected plugin.
+func (l *Lab) EvaluateBaseline(perPlugin int) (*BaselineResult, error) {
+	res := &BaselineResult{}
+	for _, s := range l.Specs {
+		res.Total++
+		ntiB, err := l.blocked(l.NTIOnly, s, s.Exploit)
+		if err != nil {
+			return nil, err
+		}
+		ptiB, err := l.blocked(l.PTIOnly, s, s.Exploit)
+		if err != nil {
+			return nil, err
+		}
+		if ntiB {
+			res.NTIDetected++
+		}
+		if ptiB {
+			res.PTIDetected++
+		}
+	}
+	for _, name := range sqlmapPlugins {
+		s := l.SpecByName(name)
+		if s == nil {
+			return nil, fmt.Errorf("missing sqlmap plugin %s", name)
+		}
+		payloads, err := l.validPayloads(s, perPlugin)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range payloads {
+			res.SQLMapTotal++
+			ntiB, err := l.blocked(l.NTIOnly, s, p)
+			if err != nil {
+				return nil, err
+			}
+			ptiB, err := l.blocked(l.PTIOnly, s, p)
+			if err != nil {
+				return nil, err
+			}
+			if ntiB {
+				res.SQLMapNTI++
+			}
+			if ptiB {
+				res.SQLMapPTI++
+			}
+		}
+	}
+	return res, nil
+}
+
+// validPayloads generates attack variants for the plugin's class and keeps
+// the first n that demonstrably work against the unprotected app (SQLMap
+// reports only confirmed payloads).
+func (l *Lab) validPayloads(s *Spec, n int) ([]string, error) {
+	baseline, err := l.Run(l.Unprotected, s, s.Benign)
+	if err != nil {
+		return nil, err
+	}
+	candidates := sqlgen.Generate(s.Type, sqlgen.Context{Quoted: s.Quoted, Columns: 2}, n*3)
+	var out []string
+	for _, p := range candidates {
+		if len(out) >= n {
+			break
+		}
+		page, err := l.Run(l.Unprotected, s, p)
+		if err != nil {
+			return nil, err
+		}
+		if page.Blocked || page.DBError {
+			continue
+		}
+		valid := false
+		switch s.Type {
+		case sqlgen.Tautology:
+			valid = page.Rows > baseline.Rows
+		case sqlgen.Union:
+			valid = page.Rows > 0
+		case sqlgen.StandardBlind:
+			valid = true // executed boolean probe
+		case sqlgen.DoubleBlind:
+			valid = page.Delay.Seconds() >= 1 || page.Rows > 0
+		}
+		if valid {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Figure6 reproduces the four exploit forms of Figure 6 for one plugin:
+// original, PTI-evading (Taintless), NTI-evading (quote stuffing), and the
+// combined attempt that the hybrid still catches.
+type Figure6 struct {
+	Plugin   string
+	Original string
+	PTIEvade string
+	NTIEvade string
+	Combined string
+	// Detected[form][analyzer] — analyzer is "NTI", "PTI" or "Joza".
+	Detected map[string]map[string]bool
+}
+
+// EvaluateFigure6 runs the Figure 6 demonstration on the named plugin.
+func (l *Lab) EvaluateFigure6(plugin string) (*Figure6, error) {
+	s := l.SpecByName(plugin)
+	if s == nil {
+		return nil, fmt.Errorf("no such plugin %s", plugin)
+	}
+	tl := evasion.NewTaintless(l.Fragments)
+	ptiEvade, _ := tl.Evade(s.Exploit)
+	ntiEvade := evasion.QuoteStuffing(s.Exploit, nti.DefaultThreshold)
+	combined := evasion.QuoteStuffing(ptiEvade, nti.DefaultThreshold)
+	fig := &Figure6{
+		Plugin:   plugin,
+		Original: s.Exploit,
+		PTIEvade: ptiEvade,
+		NTIEvade: ntiEvade,
+		Combined: combined,
+		Detected: make(map[string]map[string]bool, 4),
+	}
+	forms := map[string]string{
+		"original":  fig.Original,
+		"pti-evade": fig.PTIEvade,
+		"nti-evade": fig.NTIEvade,
+		"combined":  fig.Combined,
+	}
+	for form, payload := range forms {
+		ntiB, err := l.blocked(l.NTIOnly, s, payload)
+		if err != nil {
+			return nil, err
+		}
+		ptiB, err := l.blocked(l.PTIOnly, s, payload)
+		if err != nil {
+			return nil, err
+		}
+		jozaB, err := l.blocked(l.Protected, s, payload)
+		if err != nil {
+			return nil, err
+		}
+		fig.Detected[form] = map[string]bool{"NTI": ntiB, "PTI": ptiB, "Joza": jozaB}
+	}
+	return fig, nil
+}
+
+// CaseOutcome is the Table IV footer: one case-study application.
+type CaseOutcome struct {
+	Case *CaseStudy
+	// Works confirms the exploit against the unprotected app.
+	Works bool
+	NTI   bool
+	PTI   bool
+	Joza  bool
+}
+
+// EvaluateCases runs the three case studies.
+func EvaluateCases() ([]*CaseOutcome, error) {
+	cases, err := CaseStudies()
+	if err != nil {
+		return nil, err
+	}
+	var out []*CaseOutcome
+	for _, cs := range cases {
+		baseline, err := RunCase(cs, cs.Unprotected, cs.Benign)
+		if err != nil {
+			return nil, fmt.Errorf("%s benign: %w", cs.Name, err)
+		}
+		page, err := RunCase(cs, cs.Unprotected, cs.Exploit)
+		if err != nil {
+			return nil, fmt.Errorf("%s exploit: %w", cs.Name, err)
+		}
+		o := &CaseOutcome{Case: cs, Works: cs.Works(page, baseline)}
+		for _, probe := range []struct {
+			app  *webapp.App
+			dest *bool
+		}{
+			{cs.NTIOnly, &o.NTI},
+			{cs.PTIOnly, &o.PTI},
+			{cs.Protected, &o.Joza},
+		} {
+			p, err := RunCase(cs, probe.app, cs.Exploit)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", cs.Name, err)
+			}
+			*probe.dest = p.Blocked
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

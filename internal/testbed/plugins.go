@@ -1,0 +1,429 @@
+package testbed
+
+import (
+	"fmt"
+
+	"joza/internal/sqlgen"
+)
+
+// Payload templates. Rich-vocabulary exploits use only tokens that the
+// application's global fragment vocabulary covers after Taintless adapts
+// case and whitespace; the others carry at least one function call or
+// other token outside the vocabulary.
+const (
+	richUnionPayload  = "-1 UNION SELECT username, password FROM users"
+	richBlindTrue     = "1 AND 7>5"
+	richBlindFalse    = "1 AND 5>7"
+	leakSecret        = "s3cr3tpass"
+	quotedBreak       = "zzz' UNION SELECT username, password FROM users -- -"
+	quotedBlindTrueF  = "%s' AND LENGTH(version())>3 -- -"
+	quotedBlindFalseF = "%s' AND LENGTH(version())>99 -- -"
+	quotedSleepF      = "%s' AND SLEEP(3) -- -"
+)
+
+// twoCol builds the standard vulnerable query prefix: a two-column select
+// with a numeric injection point.
+func twoCol(col1, col2, tbl, keyCol string) string {
+	return "SELECT " + col1 + ", " + col2 + " FROM " + tbl + " WHERE " + keyCol + "="
+}
+
+// quotedPrefix builds a quoted-string injection point.
+func quotedPrefix(col1, col2, tbl, keyCol string) string {
+	return "SELECT " + col1 + ", " + col2 + " FROM " + tbl + " WHERE " + keyCol + "='"
+}
+
+// Specs returns the 50 plugin specifications of WP-SQLI-LAB, mirroring
+// Table IV of the paper (names, versions, vulnerability references) with
+// attack-type frequencies matching Table I exactly: 15 union-based, 17
+// standard-blind, 14 double-blind and 4 tautologies.
+func Specs() []*Spec {
+	specs := []*Spec{
+		// --- Tautologies (4; 3 rich-vocabulary, 1 base64-encoded) ---
+		{
+			Name: "a-to-z-category-listing", Version: "1.3", Ref: "OSVDB-86069",
+			Type:   sqlgen.Tautology,
+			Param:  "cat",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: " LIMIT 10",
+			Exploit: "1 OR 1=1", Benign: "1",
+			RichVocabulary: true,
+		},
+		{
+			Name: "adrotate", Version: "3.6.6", Ref: "CVE-2011-4671",
+			Type:   sqlgen.Tautology,
+			Param:  "track",
+			Prefix: twoCol("id", "banner", "ads", "id"), Suffix: "",
+			Decode:  DecodeBase64,
+			Exploit: "-1 OR GREATEST(1, 2)=2", Benign: "1",
+		},
+		{
+			Name: "community-events", Version: "1.2.1", Ref: "OSVDB-74573",
+			Type:   sqlgen.Tautology,
+			Param:  "eid",
+			Prefix: twoCol("id", "name", "events", "id"), Suffix: "",
+			Exploit: "-1 OR 2>1", Benign: "2",
+			RichVocabulary: true,
+		},
+		{
+			Name: "wp-e-commerce", Version: "3.8.6", Ref: "OSVDB-75590",
+			Type:   sqlgen.Tautology,
+			Param:  "prod",
+			Prefix: twoCol("id", "name", "products", "id"), Suffix: " LIMIT 20",
+			Exploit: "0 OR 1=1", Benign: "1",
+			RichVocabulary: true,
+		},
+
+		// --- Union-based (15; 5 rich-vocabulary) ---
+		{
+			Name: "eventify", Version: "1.7.1", Ref: "OSVDB-86245",
+			Type:   sqlgen.Union,
+			Param:  "event_id",
+			Prefix: twoCol("id", "name", "events", "id"), Suffix: "",
+			Exploit: richUnionPayload, Benign: "1",
+			RichVocabulary: true,
+		},
+		{
+			Name: "file-groups", Version: "1.1.2", Ref: "OSVDB-74572",
+			Type:   sqlgen.Union,
+			Param:  "group_id",
+			Prefix: twoCol("id", "file", "downloads", "id"), Suffix: "",
+			Exploit: richUnionPayload, Benign: "1",
+			RichVocabulary: true,
+		},
+		{
+			Name: "post-highlights", Version: "2.2", Ref: "",
+			Type:   sqlgen.Union,
+			Param:  "ph_id",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: "",
+			Exploit: richUnionPayload, Benign: "2",
+			RichVocabulary: true,
+		},
+		{
+			Name: "proplayer", Version: "4.7.7", Ref: "",
+			Type:   sqlgen.Union,
+			Param:  "playlist",
+			Prefix: twoCol("id", "title", "videos", "id"), Suffix: "",
+			Exploit: richUnionPayload, Benign: "1",
+			RichVocabulary: true,
+		},
+		{
+			Name: "searchautocomplete", Version: "1.0.8", Ref: "",
+			Type:   sqlgen.Union,
+			Param:  "sugg",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: " LIMIT 5",
+			Exploit: richUnionPayload, Benign: "1",
+			RichVocabulary: true,
+		},
+		{
+			Name: "allow-php-in-posts-and-pages", Version: "2.0.0", Ref: "OSVDB-75252",
+			Type:   sqlgen.Union,
+			Param:  "page_id",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: "",
+			Exploit: "-1 UNION SELECT version(), database()", Benign: "1",
+		},
+		{
+			Name: "contus-hd-flv-player", Version: "1.3", Ref: "",
+			Type:  sqlgen.Union,
+			Param: "contusid", Quoted: true, Decode: DecodeStripSlashes,
+			Prefix: quotedPrefix("id", "title", "videos", "title"), Suffix: "'",
+			Exploit: quotedBreak, Benign: "Intro Video",
+		},
+		{
+			Name: "count-per-day", Version: "2.17", Ref: "OSVDB-75598",
+			Type:   sqlgen.Union,
+			Param:  "daytoshow",
+			Prefix: twoCol("id", "views", "posts", "id"), Suffix: "",
+			Exploit: "-1 UNION SELECT user(), version()", Benign: "1",
+		},
+		{
+			Name: "crawl-rate-tracker", Version: "2.02", Ref: "",
+			Type:   sqlgen.Union,
+			Param:  "bot_id",
+			Prefix: twoCol("id", "hits", "downloads", "id"), Suffix: "",
+			Exploit: "-1 UNION SELECT database(), version()", Benign: "1",
+		},
+		{
+			Name: "event-registration", Version: "5.43", Ref: "",
+			Type:   sqlgen.Union,
+			Param:  "reg_id",
+			Prefix: twoCol("id", "venue", "events", "id"), Suffix: "",
+			Exploit: "-1 UNION SELECT version(), password FROM users", Benign: "1",
+		},
+		{
+			Name: "ip-logger", Version: "3.0", Ref: "",
+			Type:   sqlgen.Union,
+			Param:  "log_id",
+			Prefix: twoCol("id", "name", "links", "id"), Suffix: "",
+			Exploit: "-1 UNION SELECT version(), user()", Benign: "1",
+		},
+		{
+			Name: "link-library", Version: "5.2.1", Ref: "OSVDB-84579",
+			Type:   sqlgen.Union,
+			Param:  "cat_id",
+			Prefix: twoCol("id", "url", "links", "id"), Suffix: " LIMIT 50",
+			Exploit: "-1 UNION SELECT password, user() FROM users", Benign: "1",
+		},
+		{
+			Name: "media-library-categories", Version: "10.6", Ref: "",
+			Type:  sqlgen.Union,
+			Param: "media", Quoted: true, Decode: DecodeStripSlashes,
+			Prefix: quotedPrefix("id", "url", "links", "name"), Suffix: "' LIMIT 10",
+			Exploit: quotedBreak, Benign: "Home",
+		},
+		{
+			Name: "oddhost-newsletter", Version: "1.0", Ref: "OSVDB-74575",
+			Type:   sqlgen.Union,
+			Param:  "nl_id",
+			Prefix: twoCol("id", "author", "comments", "id"), Suffix: "",
+			Exploit: "-1 UNION SELECT version(), database()", Benign: "1",
+		},
+		{
+			Name: "paid-downloads", Version: "2.01", Ref: "OSVDB-86247",
+			Type:   sqlgen.Union,
+			Param:  "download",
+			Prefix: twoCol("id", "file", "downloads", "id"), Suffix: "",
+			Exploit: "-1 UNION SELECT password, version() FROM users", Benign: "2",
+		},
+		{
+			Name: "wp-filebase", Version: "0.2.9", Ref: "OSVDB-75308",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "fid",
+			Prefix: twoCol("id", "file", "downloads", "id"), Suffix: "",
+			Exploit: "1 AND SLEEP(3)", ExploitFalse: "1 AND 1=2 AND SLEEP(3)", Benign: "1",
+		},
+
+		// --- Standard blind (17; 5 rich-vocabulary) ---
+		{
+			Name: "ump-polls", Version: "1.0.3", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "poll_id",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: "",
+			Exploit: richBlindTrue, ExploitFalse: richBlindFalse, Benign: "1",
+			RichVocabulary: true,
+		},
+		{
+			Name: "paypal-donation", Version: "0.12", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "don_id",
+			Prefix: twoCol("id", "name", "products", "id"), Suffix: "",
+			Exploit: richBlindTrue, ExploitFalse: richBlindFalse, Benign: "2",
+			RichVocabulary: true,
+		},
+		{
+			Name: "wp-forum-server", Version: "1.7.8", Ref: "CVE-2012-6625",
+			Type:   sqlgen.StandardBlind,
+			Param:  "topic",
+			Prefix: twoCol("id", "body", "comments", "id"), Suffix: "",
+			Exploit: richBlindTrue, ExploitFalse: richBlindFalse, Benign: "1",
+			RichVocabulary: true,
+		},
+		{
+			Name: "wp-menu-creator", Version: "1.1.7", Ref: "OSVDB-74578",
+			Type:   sqlgen.StandardBlind,
+			Param:  "menu_id",
+			Prefix: twoCol("id", "name", "links", "id"), Suffix: "",
+			Exploit: richBlindTrue, ExploitFalse: richBlindFalse, Benign: "1",
+			RichVocabulary: true,
+		},
+		{
+			Name: "yolink-search", Version: "1.1.4", Ref: "OSVDB-74832",
+			Type:   sqlgen.StandardBlind,
+			Param:  "s_id",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: " LIMIT 3",
+			Exploit: richBlindTrue, ExploitFalse: richBlindFalse, Benign: "3",
+			RichVocabulary: true,
+		},
+		{
+			Name: "easy-contact-form-lite", Version: "1.0.7", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "form_id",
+			Prefix: twoCol("id", "author", "comments", "id"), Suffix: "",
+			Exploit: "1 AND LENGTH(version())>3", ExploitFalse: "1 AND LENGTH(version())>99", Benign: "1",
+		},
+		{
+			Name: "firestorm-real-estate", Version: "2.06", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "prop_id",
+			Prefix: twoCol("id", "price", "products", "id"), Suffix: "",
+			Exploit: "1 AND ASCII(database())>64", ExploitFalse: "1 AND ASCII(database())>250", Benign: "1",
+		},
+		{
+			Name: "gd-star-rating", Version: "19.10", Ref: "OSVDB-83466",
+			Type:  sqlgen.StandardBlind,
+			Param: "vote", Quoted: true, Decode: DecodeStripSlashes,
+			Prefix: quotedPrefix("id", "stars", "ratings", "voter"), Suffix: "'",
+			Exploit:      fmt.Sprintf(quotedBlindTrueF, "alice"),
+			ExploitFalse: fmt.Sprintf(quotedBlindFalseF, "alice"),
+			Benign:       "alice",
+		},
+		{
+			Name: "icopyright", Version: "1.1.4", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "doc_id",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: "",
+			Exploit: "1 AND LENGTH(user())>5", ExploitFalse: "1 AND LENGTH(user())>500", Benign: "1",
+		},
+		{
+			Name: "knr-author-list-widget", Version: "2.0.0", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "author_id",
+			Prefix: twoCol("id", "author", "comments", "id"), Suffix: "",
+			Exploit: "1 AND ASCII(version())>48", ExploitFalse: "1 AND ASCII(version())>200", Benign: "2",
+		},
+		{
+			Name: "mm-duplicate", Version: "1.2", Ref: "",
+			Type:  sqlgen.StandardBlind,
+			Param: "dup", Quoted: true, Decode: DecodeStripSlashes,
+			Prefix: quotedPrefix("id", "title", "posts", "title"), Suffix: "'",
+			Exploit:      fmt.Sprintf(quotedBlindTrueF, "Hello World"),
+			ExploitFalse: fmt.Sprintf(quotedBlindFalseF, "Hello World"),
+			Benign:       "Hello World",
+		},
+		{
+			Name: "profiles", Version: "2.0.RC1", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "uid",
+			Prefix: twoCol("id", "username", "users", "id"), Suffix: "",
+			Exploit: "1 AND LENGTH(database())>3", ExploitFalse: "1 AND LENGTH(database())>90", Benign: "1",
+		},
+		{
+			Name: "sh-slideshow", Version: "3.1.4", Ref: "OSVDB-74813",
+			Type:   sqlgen.StandardBlind,
+			Param:  "slide",
+			Prefix: twoCol("id", "url", "links", "id"), Suffix: "",
+			Exploit: "1 AND ASCII(user())>96", ExploitFalse: "1 AND ASCII(user())>250", Benign: "1",
+		},
+		{
+			Name: "social-slider", Version: "5.6.5", Ref: "OSVDB-74421",
+			Type:   sqlgen.StandardBlind,
+			Param:  "widget",
+			Prefix: twoCol("id", "name", "links", "id"), Suffix: " LIMIT 2",
+			Exploit: "1 AND LENGTH(version())>2", ExploitFalse: "1 AND LENGTH(version())>80", Benign: "1",
+		},
+		{
+			Name: "videowhisper-presentation", Version: "1.1", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "room",
+			Prefix: twoCol("id", "title", "videos", "id"), Suffix: "",
+			Exploit: "1 AND STRCMP(database(), version())>0", ExploitFalse: "1 AND STRCMP(version(), version())>0", Benign: "1",
+		},
+		{
+			Name: "facebook-opengraph-meta", Version: "1.6", Ref: "",
+			Type:   sqlgen.StandardBlind,
+			Param:  "og_id",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: "",
+			Exploit: "1 AND INSTR(version(), 5)>0", ExploitFalse: "1 AND INSTR(version(), 777)>0", Benign: "2",
+		},
+		{
+			Name: "wp-bannerize", Version: "2.8.7", Ref: "OSVDB-76658",
+			Type:   sqlgen.StandardBlind,
+			Param:  "banner_id",
+			Prefix: twoCol("id", "clicks", "ads", "id"), Suffix: "",
+			Exploit: "1 AND LENGTH(banner)>0", ExploitFalse: "1 AND LENGTH(banner)>9000", Benign: "1",
+		},
+
+		// --- Double blind (14) ---
+		{
+			Name: "advertiser", Version: "1.0", Ref: "",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "ad_id",
+			Prefix: twoCol("id", "banner", "ads", "id"), Suffix: "",
+			Exploit: "1 AND SLEEP(3)", ExploitFalse: "1 AND 1=2 AND SLEEP(3)", Benign: "1",
+		},
+		{
+			Name: "ajax-gallery", Version: "3.0", Ref: "",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "gal_id",
+			Prefix: twoCol("id", "url", "links", "id"), Suffix: "",
+			Exploit:      "1 AND IF(LENGTH(version())>3, SLEEP(3), 0)",
+			ExploitFalse: "1 AND IF(LENGTH(version())>99, SLEEP(3), 0)", Benign: "1",
+		},
+		{
+			Name: "couponer", Version: "1.2", Ref: "",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "coupon",
+			Prefix: twoCol("id", "price", "products", "id"), Suffix: "",
+			Exploit: "1 AND SLEEP(5)", ExploitFalse: "1 AND 0=1 AND SLEEP(5)", Benign: "1",
+		},
+		{
+			Name: "facebook-promotions", Version: "1.3.3", Ref: "",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "promo",
+			Prefix: twoCol("id", "name", "products", "id"), Suffix: "",
+			Exploit:      "1 AND IF(ASCII(database())>64, SLEEP(3), 0)",
+			ExploitFalse: "1 AND IF(ASCII(database())>250, SLEEP(3), 0)", Benign: "2",
+		},
+		{
+			Name: "global-content-blocks", Version: "1.2", Ref: "OSVDB-74577",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "block",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: "",
+			Exploit:      "1 AND BENCHMARK(3000000, MD5(version()))",
+			ExploitFalse: "1 AND 1=2 AND BENCHMARK(3000000, MD5(version()))", Benign: "1",
+		},
+		{
+			Name: "js-appointment", Version: "1.5", Ref: "OSVDB-74804",
+			Type:  sqlgen.DoubleBlind,
+			Param: "appt", Quoted: true, Decode: DecodeStripSlashes,
+			Prefix: quotedPrefix("id", "venue", "events", "name"), Suffix: "'",
+			Exploit:      fmt.Sprintf(quotedSleepF, "Meetup"),
+			ExploitFalse: "Meetup' AND 1=2 AND SLEEP(3) -- -",
+			Benign:       "Meetup",
+		},
+		{
+			Name: "mingle-forum", Version: "1.0.31", Ref: "OSVDB-75791",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "thread",
+			Prefix: twoCol("id", "body", "comments", "id"), Suffix: "",
+			Exploit:      "1 AND IF(LENGTH(user())>3, SLEEP(4), 0)",
+			ExploitFalse: "1 AND IF(LENGTH(user())>300, SLEEP(4), 0)", Benign: "1",
+		},
+		{
+			Name: "mystat", Version: "2.6", Ref: "",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "stat",
+			Prefix: twoCol("id", "hits", "downloads", "id"), Suffix: "",
+			Exploit: "1 AND SLEEP(2)", ExploitFalse: "1 AND 2=3 AND SLEEP(2)", Benign: "1",
+		},
+		{
+			Name: "purehtml", Version: "1.0.0", Ref: "",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "html_id",
+			Prefix: twoCol("id", "title", "posts", "id"), Suffix: "",
+			Exploit:      "1 AND IF(LENGTH(user())>5, SLEEP(3), 0)",
+			ExploitFalse: "1 AND IF(LENGTH(user())>500, SLEEP(3), 0)", Benign: "1",
+		},
+		{
+			Name: "scorm-cloud", Version: "1.0.6.6", Ref: "OSVDB-74804",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "course",
+			Prefix: twoCol("id", "file", "downloads", "id"), Suffix: "",
+			Exploit: "1 AND SLEEP(3)", ExploitFalse: "1 AND 9=8 AND SLEEP(3)", Benign: "2",
+		},
+		{
+			Name: "wp-audio-gallery-playlist", Version: "0.14", Ref: "",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "track_id",
+			Prefix: twoCol("id", "title", "videos", "id"), Suffix: "",
+			Exploit:      "1 AND IF(LENGTH(database())>3, SLEEP(2), 0)",
+			ExploitFalse: "1 AND IF(LENGTH(database())>77, SLEEP(2), 0)", Benign: "1",
+		},
+		{
+			Name: "wp-ds-faq", Version: "1.3.2", Ref: "OSVDB-74574",
+			Type:  sqlgen.DoubleBlind,
+			Param: "faq", Quoted: true, Decode: DecodeStripSlashes,
+			Prefix: quotedPrefix("id", "body", "comments", "author"), Suffix: "' LIMIT 5",
+			Exploit:      fmt.Sprintf(quotedSleepF, "bob"),
+			ExploitFalse: "bob' AND 3=4 AND SLEEP(3) -- -",
+			Benign:       "bob",
+		},
+		{
+			Name: "zotpress", Version: "4.4", Ref: "",
+			Type:   sqlgen.DoubleBlind,
+			Param:  "zot_id",
+			Prefix: twoCol("id", "url", "links", "id"), Suffix: "",
+			Exploit:      "1 AND IF(ASCII(user())>96, SLEEP(2), 0)",
+			ExploitFalse: "1 AND IF(ASCII(user())>240, SLEEP(2), 0)", Benign: "1",
+		},
+	}
+	return specs
+}

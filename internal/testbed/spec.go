@@ -1,0 +1,175 @@
+// Package testbed reproduces WP-SQLI-LAB, the security testbed of the Joza
+// paper: a WordPress-like application with 50 vulnerable plugins, each
+// carrying a pseudo-PHP source (from which PTI extracts fragments), a
+// vulnerable query-construction handler, and a working real-world-style
+// exploit. Attack-type frequencies match Table I (15 union-based, 17
+// standard-blind, 14 double-blind, 4 tautology), and the engineered
+// fragment vocabularies make the paper's evaluation outcomes emerge from
+// the algorithms themselves: NTI misses the one base64 plugin (Table II's
+// 49/50), Taintless can adapt exactly the 13 rich-vocabulary exploits, and
+// the hybrid catches everything (Table IV).
+//
+// The package also includes the three case-study applications (Drupal-,
+// Joomla- and osCommerce-style vulnerabilities) of Section V-B.
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"joza/internal/sqlgen"
+	"joza/internal/webapp"
+)
+
+// InputDecode identifies the plugin-local transformation applied to the
+// vulnerable parameter before query construction.
+type InputDecode int
+
+// Plugin-local input decodings.
+const (
+	// DecodeNone uses the (app-transformed) input as-is.
+	DecodeNone InputDecode = iota + 1
+	// DecodeBase64 base64-decodes the input (the AdRotate pattern that
+	// defeats NTI's input/query correspondence).
+	DecodeBase64
+	// DecodeStripSlashes undoes magic quotes (the classic WordPress plugin
+	// bug that re-enables quoted-context injection).
+	DecodeStripSlashes
+)
+
+// Spec declares one vulnerable plugin.
+type Spec struct {
+	// Name, Version and Ref identify the plugin as in Table IV.
+	Name    string
+	Version string
+	Ref     string
+	// Type is the exploit class per Table I.
+	Type sqlgen.AttackType
+	// Param is the vulnerable request parameter (always GET in the lab).
+	Param string
+	// Prefix and Suffix embed the input: query = Prefix + input + Suffix.
+	Prefix string
+	Suffix string
+	// Decode is the plugin-local input transformation.
+	Decode InputDecode
+	// Quoted marks a quoted-string injection context (implies the exploit
+	// needs quote break-out and the plugin uses DecodeStripSlashes).
+	Quoted bool
+	// Exploit is the raw attack value for Param (before any encoding the
+	// attacker applies for transport, e.g. base64 for DecodeBase64).
+	Exploit string
+	// ExploitFalse is the complementary false-condition payload for blind
+	// exploits (empty otherwise).
+	ExploitFalse string
+	// Benign is a harmless value for Param used as the baseline request.
+	Benign string
+	// ExtraLiterals are additional string literals in the plugin's source,
+	// enriching the global fragment vocabulary.
+	ExtraLiterals []string
+	// RichVocabulary marks the plugins whose exploits Taintless can adapt
+	// (the paper's 13); used only for reporting expectations.
+	RichVocabulary bool
+}
+
+// DecodeValue applies the plugin-local decoding to a transformed input.
+func (s *Spec) DecodeValue(v string) string {
+	switch s.Decode {
+	case DecodeBase64:
+		return webapp.Base64Decode(v)
+	case DecodeStripSlashes:
+		return StripSlashes(v)
+	default:
+		return v
+	}
+}
+
+// StripSlashes reproduces PHP's stripslashes: backslash escapes are
+// resolved (the inverse of magic quotes).
+func StripSlashes(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				break // PHP drops a trailing lone backslash
+			}
+			i++
+			if s[i] == '0' {
+				sb.WriteByte(0)
+				continue
+			}
+			sb.WriteByte(s[i])
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// BuildQuery constructs the query the plugin would issue for the given
+// already-app-transformed parameter value.
+func (s *Spec) BuildQuery(transformed string) string {
+	return s.Prefix + s.DecodeValue(transformed) + s.Suffix
+}
+
+// WebPlugin materializes the spec as an installable plugin whose handler
+// performs the vulnerable query construction and renders the rows.
+func (s *Spec) WebPlugin() *webapp.Plugin {
+	spec := s
+	return &webapp.Plugin{
+		Name:   s.Name,
+		Source: s.PHPSource(),
+		Handle: func(c *webapp.Ctx) (string, error) {
+			q := spec.BuildQuery(c.Get(spec.Param))
+			res, err := c.Query(q)
+			if err != nil {
+				return "", err
+			}
+			return webapp.RenderRows(res), nil
+		},
+	}
+}
+
+// PHPSource renders the plugin's pseudo-PHP source code. The Joza
+// installer extracts the query prefix/suffix and extra literals from it.
+func (s *Spec) PHPSource() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<?php\n/* Plugin Name: %s */\n/* Version: %s */\n", s.Name, s.Version)
+	fmt.Fprintf(&sb, "$input = $_GET[%s];\n", phpQuote(s.Param))
+	switch s.Decode {
+	case DecodeBase64:
+		sb.WriteString("$input = base64_decode($input);\n")
+	case DecodeStripSlashes:
+		sb.WriteString("$input = stripslashes($input);\n")
+	}
+	fmt.Fprintf(&sb, "$query = %s . $input . %s;\n", phpQuote(s.Prefix), phpQuote(s.Suffix))
+	sb.WriteString("$result = mysql_query($query);\n")
+	for i, lit := range s.ExtraLiterals {
+		fmt.Fprintf(&sb, "$v%d = %s;\n", i, phpQuote(lit))
+	}
+	return sb.String()
+}
+
+// phpQuote renders a Go string as a single-quoted PHP literal.
+func phpQuote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'', '\\':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
+
+// TransportValue returns the value the attacker actually sends for the
+// exploit: base64 plugins receive the payload base64-encoded.
+func (s *Spec) TransportValue(payload string) string {
+	if s.Decode == DecodeBase64 {
+		return webapp.Base64Encode(payload)
+	}
+	return payload
+}

@@ -1,0 +1,56 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThresholdSweep(t *testing.T) {
+	l := lab(t)
+	rows, err := l.ThresholdSweep([]float64{0.05, 0.20, 0.40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// No threshold produces false positives on this workload…
+		if r.FalsePositives != 0 {
+			t.Errorf("threshold %v: %d false positives", r.Threshold, r.FalsePositives)
+		}
+		// …and no threshold catches attacker-tuned mutants beyond the
+		// base64 plugin NTI never sees (0 or a stray detection at most).
+		if r.TunedMutantsDetected > 2 {
+			t.Errorf("threshold %v: %d tuned mutants detected, want ~0",
+				r.Threshold, r.TunedMutantsDetected)
+		}
+	}
+	// The default threshold detects 49/50 originals; a very strict
+	// threshold must not detect more than that.
+	def := rows[1]
+	if def.Threshold != 0.20 || def.OriginalsDetected != 49 {
+		t.Errorf("default row = %+v, want 49/50 at 0.20", def)
+	}
+	out := FormatSweep(rows)
+	if !strings.Contains(out, "THRESHOLD") || !strings.Contains(out, "0.20") {
+		t.Errorf("format = %q", out)
+	}
+}
+
+func TestFalsePositiveStudy(t *testing.T) {
+	l := lab(t)
+	res, err := l.FalsePositiveStudy(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 10*len(l.Specs) {
+		t.Errorf("requests = %d", res.Requests)
+	}
+	if res.Blocked != 0 {
+		t.Errorf("false positives = %d, want 0 (paper reports none)", res.Blocked)
+	}
+	if res.DBErrors != 0 {
+		t.Errorf("db errors = %d", res.DBErrors)
+	}
+}

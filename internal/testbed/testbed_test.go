@@ -1,0 +1,314 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"joza/internal/sqlgen"
+)
+
+// sharedLab builds the lab once per test binary (construction is cheap but
+// evaluation reuses it heavily).
+var sharedLab *Lab
+
+func lab(t *testing.T) *Lab {
+	t.Helper()
+	if sharedLab == nil {
+		l, err := NewLab()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLab = l
+	}
+	return sharedLab
+}
+
+func TestTable1Classification(t *testing.T) {
+	counts := TypeCounts(Specs())
+	want := map[sqlgen.AttackType]int{
+		sqlgen.Union:         15,
+		sqlgen.StandardBlind: 17,
+		sqlgen.DoubleBlind:   14,
+		sqlgen.Tautology:     4,
+	}
+	for typ, n := range want {
+		if counts[typ] != n {
+			t.Errorf("%v = %d, want %d", typ, counts[typ], n)
+		}
+	}
+	if len(Specs()) != 50 {
+		t.Errorf("plugins = %d, want 50", len(Specs()))
+	}
+}
+
+func TestSpecsUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Specs() {
+		if seen[s.Name] {
+			t.Errorf("duplicate plugin name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestAllOriginalExploitsWork(t *testing.T) {
+	l := lab(t)
+	for _, s := range l.Specs {
+		baseline, err := l.Run(l.Unprotected, s, s.Benign)
+		if err != nil {
+			t.Fatalf("%s benign: %v", s.Name, err)
+		}
+		if baseline.DBError || baseline.Blocked {
+			t.Fatalf("%s benign page: %+v", s.Name, baseline)
+		}
+		works, err := l.exploitWorks(s, s.Exploit, s.ExploitFalse, baseline)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !works {
+			t.Errorf("%s: original exploit does not work", s.Name)
+		}
+	}
+}
+
+func TestBenignRequestsNotBlocked(t *testing.T) {
+	// No false positives on the protected app for every plugin's benign
+	// request.
+	l := lab(t)
+	for _, s := range l.Specs {
+		page, err := l.Run(l.Protected, s, s.Benign)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if page.Blocked {
+			t.Errorf("%s: benign request blocked (false positive)", s.Name)
+		}
+		if page.DBError {
+			t.Errorf("%s: benign request errored", s.Name)
+		}
+	}
+}
+
+func TestTable2Baseline(t *testing.T) {
+	l := lab(t)
+	res, err := l.EvaluateBaseline(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 50 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	// Table II: NTI 49/50 (the base64 plugin evades), PTI 50/50.
+	if res.NTIDetected != 49 {
+		t.Errorf("NTI detected %d/50, want 49", res.NTIDetected)
+	}
+	if res.PTIDetected != 50 {
+		t.Errorf("PTI detected %d/50, want 50", res.PTIDetected)
+	}
+	// SQLMap: 160 payloads, all detected by both.
+	if res.SQLMapTotal != 160 {
+		t.Errorf("SQLMap total = %d, want 160", res.SQLMapTotal)
+	}
+	if res.SQLMapNTI != res.SQLMapTotal {
+		t.Errorf("SQLMap NTI %d/%d", res.SQLMapNTI, res.SQLMapTotal)
+	}
+	if res.SQLMapPTI != res.SQLMapTotal {
+		t.Errorf("SQLMap PTI %d/%d", res.SQLMapPTI, res.SQLMapTotal)
+	}
+}
+
+func TestTable4HybridEvaluation(t *testing.T) {
+	l := lab(t)
+	outcomes, err := l.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 50 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	var ntiOrig, ptiOrig, ntiMutEvaded, adapted, jozaAll int
+	for _, o := range outcomes {
+		if !o.OriginalWorks {
+			t.Errorf("%s: original does not work", o.Spec.Name)
+		}
+		if o.NTIOriginal {
+			ntiOrig++
+		}
+		if o.PTIOriginal {
+			ptiOrig++
+		}
+		if !o.NTIMutantWorks {
+			t.Errorf("%s: NTI mutant does not work", o.Spec.Name)
+		}
+		if !o.NTIMutated {
+			ntiMutEvaded++
+		}
+		if o.PTIAdapted {
+			adapted++
+			if o.Spec.RichVocabulary != true {
+				t.Errorf("%s: adapted but not marked rich", o.Spec.Name)
+			}
+		} else if o.Spec.RichVocabulary {
+			t.Errorf("%s: rich-vocabulary exploit not adapted by Taintless", o.Spec.Name)
+		}
+		if o.Joza {
+			jozaAll++
+		} else {
+			t.Errorf("%s: Joza missed a working exploit form", o.Spec.Name)
+		}
+	}
+	// Headline numbers.
+	if ntiOrig != 49 {
+		t.Errorf("NTI originals detected = %d, want 49", ntiOrig)
+	}
+	if ptiOrig != 50 {
+		t.Errorf("PTI originals detected = %d, want 50", ptiOrig)
+	}
+	// The base64 plugin's "mutant" is the original (NTI already blind);
+	// every NTI mutation evades NTI.
+	if ntiMutEvaded != 50 {
+		t.Errorf("NTI mutants evading = %d, want 50", ntiMutEvaded)
+	}
+	// Taintless adapts exactly the 13 rich-vocabulary exploits.
+	if adapted != 13 {
+		t.Errorf("Taintless adapted %d exploits, want 13", adapted)
+	}
+	if jozaAll != 50 {
+		t.Errorf("Joza detected all forms for %d/50 plugins", jozaAll)
+	}
+}
+
+func TestFigure6Forms(t *testing.T) {
+	l := lab(t)
+	fig, err := l.EvaluateFigure6("eventify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(form string, nti, pti, jz bool) {
+		t.Helper()
+		got := fig.Detected[form]
+		if got["NTI"] != nti || got["PTI"] != pti || got["Joza"] != jz {
+			t.Errorf("%s: NTI=%v PTI=%v Joza=%v, want %v/%v/%v",
+				form, got["NTI"], got["PTI"], got["Joza"], nti, pti, jz)
+		}
+	}
+	// Figure 6: A original (both catch), B PTI-evading (NTI catches),
+	// C NTI-evading (PTI catches), D combined (still caught).
+	check("original", true, true, true)
+	check("pti-evade", true, false, true)
+	check("nti-evade", false, true, true)
+	if !fig.Detected["combined"]["Joza"] {
+		t.Error("combined evasion must still be caught by Joza")
+	}
+}
+
+func TestCaseStudies(t *testing.T) {
+	outcomes, err := EvaluateCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 3 {
+		t.Fatalf("cases = %d", len(outcomes))
+	}
+	byName := map[string]*CaseOutcome{}
+	for _, o := range outcomes {
+		byName[o.Case.Name] = o
+		if !o.Works {
+			t.Errorf("%s: exploit does not work", o.Case.Name)
+		}
+		if !o.Joza {
+			t.Errorf("%s: Joza missed the attack", o.Case.Name)
+		}
+	}
+	// Section V-B: no single technique suffices across all three.
+	if byName["Drupal"].NTI {
+		t.Error("Drupal: NTI should miss (URL-encoded key)")
+	}
+	if !byName["Drupal"].PTI {
+		t.Error("Drupal: PTI should catch")
+	}
+	if byName["Joomla"].NTI {
+		t.Error("Joomla: NTI should miss (base64 object)")
+	}
+	if !byName["Joomla"].PTI {
+		t.Error("Joomla: PTI should catch")
+	}
+	if byName["osCommerce"].PTI {
+		t.Error("osCommerce: PTI should miss (OR/= in vocabulary)")
+	}
+	if !byName["osCommerce"].NTI {
+		t.Error("osCommerce: NTI should catch")
+	}
+}
+
+func TestStripSlashes(t *testing.T) {
+	tests := map[string]string{
+		`a\'b`:   "a'b",
+		`a\\b`:   `a\b`,
+		`a\"b`:   `a"b`,
+		`plain`:  "plain",
+		`trail\`: "trail",
+		`x\0y`:   "x\x00y",
+	}
+	for in, want := range tests {
+		if got := StripSlashes(in); got != want {
+			t.Errorf("StripSlashes(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpecPHPSource(t *testing.T) {
+	s := Specs()[0]
+	src := s.PHPSource()
+	if !strings.Contains(src, s.Prefix) {
+		t.Errorf("source missing prefix: %s", src)
+	}
+	if !strings.Contains(src, "$_GET['"+s.Param+"']") {
+		t.Errorf("source missing param: %s", src)
+	}
+	// Decode variants render their calls.
+	for _, spec := range Specs() {
+		src := spec.PHPSource()
+		switch spec.Decode {
+		case DecodeBase64:
+			if !strings.Contains(src, "base64_decode") {
+				t.Errorf("%s: missing base64_decode", spec.Name)
+			}
+		case DecodeStripSlashes:
+			if !strings.Contains(src, "stripslashes") {
+				t.Errorf("%s: missing stripslashes", spec.Name)
+			}
+		}
+	}
+}
+
+func TestSpecByNameAndRequest(t *testing.T) {
+	l := lab(t)
+	s := l.SpecByName("adrotate")
+	if s == nil {
+		t.Fatal("adrotate missing")
+	}
+	req := l.Request(s, "PAYLOAD")
+	if req.Get[s.Param] == "PAYLOAD" {
+		t.Error("base64 plugin must transport-encode the payload")
+	}
+	if l.SpecByName("nope") != nil {
+		t.Error("unknown name should be nil")
+	}
+}
+
+func TestFragmentVocabulary(t *testing.T) {
+	l := lab(t)
+	// The global vocabulary must contain the Taintless-exploitable
+	// lowercase connectors but not their uppercase counterparts.
+	for _, want := range []string{" and ", " or ", " union ", " select ", " from ", "=", ">", "-"} {
+		if !l.Fragments.Contains(want) {
+			t.Errorf("vocabulary missing %q", want)
+		}
+	}
+	for _, absent := range []string{" AND ", " OR ", " UNION ", "SLEEP", "version"} {
+		if l.Fragments.Contains(absent) {
+			t.Errorf("vocabulary must not contain %q", absent)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package webapp
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// HTTPHandler adapts an App to net/http: the first path segment selects
+// the plugin, query parameters become GET inputs, form fields POST inputs,
+// and cookies/headers flow through. Blocked requests answer 403 with an
+// empty body (the terminate policy's blank page); database-error pages
+// answer 500.
+func HTTPHandler(app *App) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		plugin := strings.Trim(r.URL.Path, "/")
+		if plugin == "" {
+			http.NotFound(w, r)
+			return
+		}
+		req := &Request{
+			Get:     map[string]string{},
+			Post:    map[string]string{},
+			Cookies: map[string]string{},
+			Headers: map[string]string{},
+		}
+		for name, values := range r.URL.Query() {
+			if len(values) > 0 {
+				req.Get[name] = values[0]
+			}
+		}
+		if err := r.ParseForm(); err == nil {
+			for name, values := range r.PostForm {
+				if len(values) > 0 {
+					req.Post[name] = values[0]
+				}
+			}
+		}
+		for _, c := range r.Cookies() {
+			req.Cookies[c.Name] = c.Value
+		}
+		for name := range r.Header {
+			req.Headers[name] = r.Header.Get(name)
+		}
+
+		page, err := app.Handle(plugin, req)
+		switch {
+		case errors.Is(err, ErrNoSuchPlugin):
+			http.NotFound(w, r)
+		case err != nil:
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		case page.Blocked:
+			// Terminate policy: blank page.
+			w.WriteHeader(http.StatusForbidden)
+		case page.DBError:
+			http.Error(w, page.Body, http.StatusInternalServerError)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(page.Body))
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Chart renders horizontal ASCII bar charts for the figure reports, so
+// cmd/jozabench output visually resembles the paper's stacked-bar figures.
+type Chart struct {
+	// Width is the maximum bar width in characters (default 48).
+	Width int
+	rows  []chartRow
+}
+
+type chartRow struct {
+	label    string
+	segments []chartSegment
+}
+
+type chartSegment struct {
+	value float64
+	glyph byte
+}
+
+// NewChart returns an empty chart.
+func NewChart() *Chart { return &Chart{Width: 48} }
+
+// AddStacked appends one stacked bar. Values and glyphs run in parallel;
+// each value is one segment drawn with its glyph.
+func (c *Chart) AddStacked(label string, values []float64, glyphs []byte) {
+	row := chartRow{label: label}
+	for i, v := range values {
+		g := byte('#')
+		if i < len(glyphs) {
+			g = glyphs[i]
+		}
+		if v < 0 {
+			v = 0
+		}
+		row.segments = append(row.segments, chartSegment{value: v, glyph: g})
+	}
+	c.rows = append(c.rows, row)
+}
+
+// Render draws the chart, scaling the longest bar to Width.
+func (c *Chart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 48
+	}
+	maxTotal := 0.0
+	labelWidth := 0
+	for _, r := range c.rows {
+		total := 0.0
+		for _, s := range r.segments {
+			total += s.value
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	var sb strings.Builder
+	for _, r := range c.rows {
+		fmt.Fprintf(&sb, "%-*s |", labelWidth, r.label)
+		total := 0.0
+		for _, s := range r.segments {
+			n := int(s.value / maxTotal * float64(width))
+			sb.Write(bytesRepeat(s.glyph, n))
+			total += s.value
+		}
+		fmt.Fprintf(&sb, " %.3f\n", total)
+	}
+	return sb.String()
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// ChartFigure7 renders the Figure 7 stacked bars (app+db time vs PTI
+// processing per request).
+func ChartFigure7(bars []Figure7Bar) string {
+	c := NewChart()
+	for _, b := range bars {
+		c.AddStacked(b.Config,
+			[]float64{ms(b.AppDB), ms(b.PTIProcessing)},
+			[]byte{'.', '#'})
+	}
+	return c.Render() + "legend: '.' app+db ms, '#' PTI processing ms (per request)\n"
+}
+
+// ChartFigure8 renders the Figure 8 bars: plain vs protected per request
+// kind, with NTI/PTI components stacked on the protected bar.
+func ChartFigure8(rows []Figure8Row) string {
+	c := NewChart()
+	for _, r := range rows {
+		c.AddStacked(fmt.Sprintf("%s plain", r.Kind), []float64{r.PlainMs}, []byte{'.'})
+		base := r.GuardedMs - r.NTIMs - r.PTIMs
+		if base < 0 {
+			base = 0
+		}
+		c.AddStacked(fmt.Sprintf("%s joza", r.Kind),
+			[]float64{base, r.NTIMs, r.PTIMs},
+			[]byte{'.', 'n', 'p'})
+	}
+	return c.Render() + "legend: '.' app+db ms, 'n' NTI ms, 'p' PTI ms (per request)\n"
+}
+
+// sparkline is a compact single-line trend, used by the mix table.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		sb.WriteRune(glyphs[idx])
+	}
+	return sb.String()
+}
+
+// SparklineTable6 summarizes the Table VI overhead trend.
+func SparklineTable6(rows []Table6Row) string {
+	vals := make([]float64, len(rows))
+	labels := make([]string, len(rows))
+	for i, r := range rows {
+		vals[i] = r.Overhead
+		labels[i] = fmt.Sprintf("%.0f%%w", r.WritePct)
+	}
+	return fmt.Sprintf("overhead trend (%s): %s\n", strings.Join(labels, " "), sparkline(vals))
+}
+
+// durationMs is exported-for-tests helper mirroring ms.
+func durationMs(d time.Duration) float64 { return ms(d) }

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChartRender(t *testing.T) {
+	c := NewChart()
+	c.AddStacked("short", []float64{1}, []byte{'#'})
+	c.AddStacked("long", []float64{2, 2}, []byte{'.', '#'})
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.Contains(lines[0], "short") || !strings.Contains(lines[1], "long") {
+		t.Errorf("labels missing: %q", out)
+	}
+	// The longer bar must render more glyphs.
+	if strings.Count(lines[1], ".")+strings.Count(lines[1], "#") <=
+		strings.Count(lines[0], "#") {
+		t.Errorf("scaling wrong:\n%s", out)
+	}
+	// Totals printed at the end of each row.
+	if !strings.Contains(lines[0], "1.000") || !strings.Contains(lines[1], "4.000") {
+		t.Errorf("totals missing: %q", out)
+	}
+}
+
+func TestChartNegativeAndEmpty(t *testing.T) {
+	c := NewChart()
+	c.AddStacked("neg", []float64{-5}, []byte{'#'})
+	out := c.Render()
+	if !strings.Contains(out, "0.000") {
+		t.Errorf("negative clamped total: %q", out)
+	}
+	empty := NewChart()
+	if empty.Render() != "" {
+		t.Error("empty chart should render nothing")
+	}
+}
+
+func TestChartDefaultGlyph(t *testing.T) {
+	c := NewChart()
+	c.AddStacked("x", []float64{3}, nil)
+	if !strings.Contains(c.Render(), "#") {
+		t.Error("default glyph missing")
+	}
+}
+
+func TestChartFigure7(t *testing.T) {
+	bars := []Figure7Bar{
+		{Config: "unoptimized", AppDB: time.Millisecond, PTIProcessing: 2 * time.Millisecond},
+		{Config: "optimized", AppDB: time.Millisecond, PTIProcessing: time.Millisecond / 10},
+	}
+	out := ChartFigure7(bars)
+	if !strings.Contains(out, "unoptimized") || !strings.Contains(out, "legend") {
+		t.Errorf("chart = %q", out)
+	}
+	// The unoptimized bar carries more '#' than the optimized one.
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[0], "#") <= strings.Count(lines[1], "#") {
+		t.Errorf("PTI segment scaling wrong:\n%s", out)
+	}
+}
+
+func TestChartFigure8(t *testing.T) {
+	rows := []Figure8Row{
+		{Kind: Read, PlainMs: 1.0, NTIMs: 0.05, PTIMs: 0.02, GuardedMs: 1.1},
+	}
+	out := ChartFigure8(rows)
+	for _, want := range []string{"read plain", "read joza", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	s := sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline = %q", s)
+	}
+	flat := sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestSparklineTable6(t *testing.T) {
+	rows := []Table6Row{
+		{WritePct: 50, Overhead: 9},
+		{WritePct: 1, Overhead: 4},
+	}
+	out := SparklineTable6(rows)
+	if !strings.Contains(out, "50%w") || !strings.Contains(out, "trend") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestDurationMs(t *testing.T) {
+	if durationMs(1500*time.Microsecond) != 1.5 {
+		t.Error("durationMs")
+	}
+}

@@ -1,0 +1,297 @@
+// Package joza is a hybrid taint-inference defense against SQL injection,
+// reproducing the system described in "Joza: Hybrid Taint Inference for
+// Defeating Web Application SQL Injection Attacks" (DSN 2015).
+//
+// Joza decides whether a SQL query issued by an application is an injection
+// attack by combining two complementary inference techniques:
+//
+//   - Negative taint inference (NTI) correlates the raw inputs of the
+//     current request with the query using approximate string matching.
+//     A critical SQL token (keyword, function, operator, delimiter or
+//     comment) that derives from an input indicates an attack.
+//   - Positive taint inference (PTI) trusts only the string fragments
+//     extracted from the application's own source code. A critical token
+//     not fully contained in a single trusted fragment indicates an attack.
+//
+// A query is safe if and only if both analyses deem it safe. Attacks
+// crafted to evade NTI (via application-side transformations such as magic
+// quotes or whitespace trimming) are caught by PTI, and attacks crafted to
+// evade PTI (short payloads rebuilt from the application's own fragment
+// vocabulary) are caught by NTI.
+//
+// # Quick start
+//
+//	frags, _ := joza.FragmentsFromDir("/var/www/app")
+//	guard, _ := joza.New(joza.WithFragments(frags))
+//	verdict := guard.Check(query, []joza.Input{
+//		{Source: "get", Name: "id", Value: rawID},
+//	})
+//	if verdict.Attack {
+//		// block the query
+//	}
+//
+// Use Guard.Authorize to get policy-aware error behaviour instead of a raw
+// verdict.
+package joza
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"joza/internal/core"
+	"joza/internal/fragments"
+	"joza/internal/nti"
+	"joza/internal/phpsrc"
+	"joza/internal/pti"
+	"joza/internal/sqltoken"
+)
+
+// Re-exported types so callers need only import package joza.
+type (
+	// Input is one captured application input (source, name, raw value).
+	Input = nti.Input
+	// Verdict is the hybrid decision for one query.
+	Verdict = core.Verdict
+	// Result is the outcome of a single analyzer.
+	Result = core.Result
+	// Marking is one taint annotation over a query span.
+	Marking = core.Marking
+	// Reason explains why an analyzer flagged a query.
+	Reason = core.Reason
+	// Policy selects attack-recovery behaviour.
+	Policy = core.Policy
+	// AttackError is returned by Authorize when a query is blocked.
+	AttackError = core.AttackError
+	// CacheMode selects the PTI caching configuration.
+	CacheMode = pti.CacheMode
+)
+
+// Recovery policies and cache modes, re-exported.
+const (
+	// PolicyTerminate aborts the request on attack (the Joza default).
+	PolicyTerminate = core.PolicyTerminate
+	// PolicyErrorVirtualize makes the blocked query look like a database
+	// error, relying on the application's error handling.
+	PolicyErrorVirtualize = core.PolicyErrorVirtualize
+
+	// CacheNone disables PTI caching.
+	CacheNone = pti.CacheNone
+	// CacheQuery caches PTI verdicts per exact query string.
+	CacheQuery = pti.CacheQuery
+	// CacheQueryAndStructure also caches per query-structure skeleton.
+	CacheQueryAndStructure = pti.CacheQueryAndStructure
+)
+
+// Guard is the hybrid detector. It is immutable after construction and safe
+// for concurrent use.
+type Guard struct {
+	ntiAnalyzer *nti.Analyzer
+	ptiAnalyzer *pti.Cached
+	policy      core.Policy
+	set         *fragments.Set
+	audit       *auditLogger
+}
+
+type config struct {
+	fragmentTexts []string
+	set           *fragments.Set
+	threshold     float64
+	cacheMode     pti.CacheMode
+	cacheCapacity int
+	policy        core.Policy
+	ptiOptions    []pti.Option
+	ntiOptions    []nti.Option
+	disableNTI    bool
+	disablePTI    bool
+	auditWriter   io.Writer
+}
+
+// Option configures a Guard.
+type Option func(*config)
+
+// WithFragments supplies the trusted fragment texts (string literals
+// extracted from the application). Fragments without SQL tokens are
+// dropped automatically.
+func WithFragments(texts []string) Option {
+	return func(c *config) { c.fragmentTexts = append(c.fragmentTexts, texts...) }
+}
+
+// WithFragmentSet supplies a prebuilt fragment set, overriding
+// WithFragments.
+func WithFragmentSet(set *fragments.Set) Option {
+	return func(c *config) { c.set = set }
+}
+
+// WithNTIThreshold sets the NTI difference-ratio threshold (default 0.20).
+func WithNTIThreshold(t float64) Option {
+	return func(c *config) { c.threshold = t }
+}
+
+// WithCacheMode selects the PTI cache configuration (default
+// CacheQueryAndStructure) and capacity (default 4096 entries per cache).
+func WithCacheMode(mode CacheMode, capacity int) Option {
+	return func(c *config) {
+		c.cacheMode = mode
+		c.cacheCapacity = capacity
+	}
+}
+
+// WithPolicy sets the recovery policy used by Authorize.
+func WithPolicy(p Policy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithPTIOptions forwards extra options to the PTI analyzer (ablation
+// switches such as the naive matcher).
+func WithPTIOptions(opts ...pti.Option) Option {
+	return func(c *config) { c.ptiOptions = append(c.ptiOptions, opts...) }
+}
+
+// WithNTIOptions forwards extra options to the NTI analyzer.
+func WithNTIOptions(opts ...nti.Option) Option {
+	return func(c *config) { c.ntiOptions = append(c.ntiOptions, opts...) }
+}
+
+// WithoutNTI disables the NTI component (used to evaluate PTI alone).
+func WithoutNTI() Option {
+	return func(c *config) { c.disableNTI = true }
+}
+
+// WithoutPTI disables the PTI component (used to evaluate NTI alone).
+func WithoutPTI() Option {
+	return func(c *config) { c.disablePTI = true }
+}
+
+// WithStrictPolicy enforces the strict (Ray–Ligatti-style) attack
+// definition in both analyzers: user input may not contribute identifiers
+// (field or table names) either. The default pragmatic policy (Section II)
+// permits them because common applications — advanced search in
+// particular — pass field names through input legitimately.
+func WithStrictPolicy() Option {
+	return func(c *config) {
+		c.ntiOptions = append(c.ntiOptions, nti.WithStrictPolicy())
+		c.ptiOptions = append(c.ptiOptions, pti.WithStrictPolicy())
+	}
+}
+
+// ErrNoFragments is returned by New when PTI is enabled but no fragment
+// source was provided.
+var ErrNoFragments = errors.New("joza: PTI requires fragments; use WithFragments, WithFragmentSet or WithoutPTI")
+
+// New constructs a Guard.
+func New(opts ...Option) (*Guard, error) {
+	cfg := config{
+		threshold:     nti.DefaultThreshold,
+		cacheMode:     pti.CacheQueryAndStructure,
+		cacheCapacity: 4096,
+		policy:        core.PolicyTerminate,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	set := cfg.set
+	if set == nil {
+		set = fragments.NewSet(cfg.fragmentTexts)
+	}
+	if !cfg.disablePTI && set.Len() == 0 {
+		return nil, ErrNoFragments
+	}
+	g := &Guard{policy: cfg.policy, set: set}
+	if !cfg.disableNTI {
+		ntiOpts := append([]nti.Option{nti.WithThreshold(cfg.threshold)}, cfg.ntiOptions...)
+		g.ntiAnalyzer = nti.New(ntiOpts...)
+	}
+	if !cfg.disablePTI {
+		g.ptiAnalyzer = pti.NewCached(pti.New(set, cfg.ptiOptions...), cfg.cacheMode, cfg.cacheCapacity)
+	}
+	if g.ntiAnalyzer == nil && g.ptiAnalyzer == nil {
+		return nil, errors.New("joza: both analyzers disabled")
+	}
+	if cfg.auditWriter != nil {
+		g.audit = newAuditLogger(cfg.auditWriter)
+	}
+	return g, nil
+}
+
+// FragmentsFromDir extracts trusted fragment texts from all source files
+// under dir (files with extensions exts; nil means ".php").
+func FragmentsFromDir(dir string, exts ...string) ([]string, error) {
+	var extList []string
+	if len(exts) > 0 {
+		extList = exts
+	}
+	lits, err := phpsrc.ExtractDir(dir, extList)
+	if err != nil {
+		return nil, fmt.Errorf("extract fragments: %w", err)
+	}
+	return phpsrc.Texts(lits), nil
+}
+
+// FragmentsFromSource extracts trusted fragment texts from a single source
+// text (convenience for tests and examples).
+func FragmentsFromSource(src string) []string {
+	return phpsrc.Texts(phpsrc.Extract("", src))
+}
+
+// FragmentCount returns the number of trusted fragments the Guard holds.
+func (g *Guard) FragmentCount() int { return g.set.Len() }
+
+// SampleFragments returns up to n of the longest trusted fragments, for
+// inspection (Table III-style output).
+func (g *Guard) SampleFragments(n int) []string { return g.set.Sample(n) }
+
+// Policy returns the Guard's recovery policy.
+func (g *Guard) Policy() Policy { return g.policy }
+
+// Check analyzes query against the request's captured inputs and returns
+// the hybrid verdict. PTI runs first (it also supplies the token stream),
+// then NTI, matching the Joza architecture; the query is an attack if
+// either flags it.
+func (g *Guard) Check(query string, inputs []Input) Verdict {
+	toks := sqltoken.Lex(query)
+	v := Verdict{Query: query}
+	if g.ptiAnalyzer != nil {
+		v.PTI = g.ptiAnalyzer.Analyze(query, toks)
+	} else {
+		v.PTI = core.Result{Analyzer: core.AnalyzerPTI}
+	}
+	if g.ntiAnalyzer != nil {
+		v.NTI = g.ntiAnalyzer.Analyze(query, toks, inputs)
+	} else {
+		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
+	}
+	v.Attack = v.NTI.Attack || v.PTI.Attack
+	if v.Attack && g.audit != nil {
+		g.audit.log(v, g.policy, inputs)
+	}
+	return v
+}
+
+// Authorize checks the query and returns nil when it is safe, or an
+// *AttackError carrying the verdict and the Guard's policy when it is not.
+func (g *Guard) Authorize(query string, inputs []Input) error {
+	v := g.Check(query, inputs)
+	if !v.Attack {
+		return nil
+	}
+	return &core.AttackError{Verdict: v, Policy: g.policy}
+}
+
+// PTICacheStats returns PTI cache counters (zero value when PTI is
+// disabled).
+func (g *Guard) PTICacheStats() pti.CacheStats {
+	if g.ptiAnalyzer == nil {
+		return pti.CacheStats{}
+	}
+	return g.ptiAnalyzer.Stats()
+}
+
+// RenderVerdict renders the verdict in the paper's figure style: the query,
+// a marker line (− for negative taint, + for positive taint) and a line
+// marking critical tokens with c.
+func RenderVerdict(v Verdict) string {
+	toks := sqltoken.Lex(v.Query)
+	crit := sqltoken.CriticalTokens(toks)
+	return core.RenderMarkings(v.Query, v.NTI.Markings, v.PTI.Markings, crit)
+}

@@ -1,0 +1,73 @@
+package joza
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"joza/internal/installer"
+)
+
+// Manager couples a Guard to the application's source tree: the initial
+// installation extracts the trusted fragments, and Refresh re-extracts
+// only changed files — picking up application updates and newly installed
+// plugins, per the paper's preprocessing component — and atomically swaps
+// in a rebuilt Guard. Callers take the current Guard per request via
+// Guard(); in-flight requests keep the Guard they started with.
+type Manager struct {
+	ins   *installer.Installer
+	opts  []Option
+	guard atomic.Pointer[Guard]
+}
+
+// NewManager installs over dir (extracting from files with the given
+// extensions; none means ".php") and builds the initial Guard with opts.
+// Do not pass WithFragments/WithFragmentSet in opts; the Manager supplies
+// the fragment set.
+func NewManager(dir string, exts []string, opts ...Option) (*Manager, error) {
+	var insOpts []installer.Option
+	if len(exts) > 0 {
+		insOpts = append(insOpts, installer.WithExtensions(exts...))
+	}
+	ins, err := installer.New(dir, insOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("joza: install: %w", err)
+	}
+	m := &Manager{ins: ins, opts: opts}
+	if err := m.rebuild(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Guard returns the current Guard.
+func (m *Manager) Guard() *Guard { return m.guard.Load() }
+
+// FileCount returns the number of tracked source files.
+func (m *Manager) FileCount() int { return m.ins.FileCount() }
+
+// Refresh rescans the source tree; when files were added, modified or
+// removed it rebuilds and swaps the Guard. It reports whether a swap
+// happened.
+func (m *Manager) Refresh() (bool, error) {
+	changed, err := m.ins.Refresh()
+	if err != nil {
+		return false, fmt.Errorf("joza: refresh: %w", err)
+	}
+	if !changed {
+		return false, nil
+	}
+	if err := m.rebuild(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (m *Manager) rebuild() error {
+	opts := append([]Option{WithFragmentSet(m.ins.Set())}, m.opts...)
+	g, err := New(opts...)
+	if err != nil {
+		return fmt.Errorf("joza: rebuild guard: %w", err)
+	}
+	m.guard.Store(g)
+	return nil
+}
