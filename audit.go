@@ -47,6 +47,12 @@ func (a *auditLogger) log(v Verdict, policy Policy, inputs []Input) {
 		Query:      v.Query,
 		DetectedBy: v.DetectedBy(),
 		Policy:     policy.String(),
+		// Marshal absent slices as [] rather than null so JSON-lines
+		// consumers can always index into arrays.
+		Reasons: []string{},
+	}
+	if rec.DetectedBy == nil {
+		rec.DetectedBy = []string{}
 	}
 	for _, r := range v.Reasons() {
 		rec.Reasons = append(rec.Reasons, r.String())

@@ -1,0 +1,32 @@
+package joza
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestAuditLogEmptySlicesMarshalAsArrays pins the wire shape for the
+// degenerate record: even with no analyzer details at all, detectedBy and
+// reasons must encode as [] — never null — so JSON-lines consumers can
+// index into them unconditionally.
+func TestAuditLogEmptySlicesMarshalAsArrays(t *testing.T) {
+	var buf bytes.Buffer
+	l := newAuditLogger(&buf)
+	l.log(Verdict{Query: "SELECT 1"}, PolicyTerminate, nil)
+	line := strings.TrimSpace(buf.String())
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(line), &raw); err != nil {
+		t.Fatalf("audit line not JSON: %v (%s)", err, line)
+	}
+	for _, field := range []string{"detectedBy", "reasons"} {
+		v, ok := raw[field]
+		if !ok {
+			t.Fatalf("field %q missing: %s", field, line)
+		}
+		if got := strings.TrimSpace(string(v)); got != "[]" {
+			t.Errorf("field %q = %s, want []", field, got)
+		}
+	}
+}

@@ -389,6 +389,78 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`)))
 	}
 }
 
+// BenchmarkGuardCheckParallel measures the Check hot path under
+// concurrency: a cached WordPress-like workload (64 distinct cached
+// queries, benign inputs) driven from all procs at once. This is the
+// scenario the sharded PTI cache, lazy lexing and pooled matcher rows
+// target; the seed's single-mutex cache serialized every goroutine here.
+func BenchmarkGuardCheckParallel(b *testing.B) {
+	guard, err := joza.New(joza.WithFragments(joza.FragmentsFromSource(`<?php
+$q = "SELECT * FROM records WHERE ID=$id LIMIT 5";
+$q2 = "SELECT option_name, option_value FROM wp_options WHERE autoload='yes'";
+$q3 = "SELECT * FROM wp_posts WHERE post_status='publish' ORDER BY post_date DESC LIMIT 10";`)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("SELECT * FROM records WHERE ID=%d LIMIT 5", i)
+	}
+	inputs := []joza.Input{{Source: "get", Name: "id", Value: "5"}}
+	// Warm the query cache so the steady state is the cache-hit path.
+	for _, q := range queries {
+		guard.Check(q, inputs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := queries[i&63]
+			i++
+			if guard.Check(q, inputs).Attack {
+				b.Fatal("benign flagged")
+			}
+		}
+	})
+	b.StopTimer()
+	if guard.Metrics().Checks == 0 {
+		b.Fatal("metrics recorded no checks")
+	}
+}
+
+// BenchmarkGuardCheckParallelPTIOnly isolates the pure cache-hit path: no
+// NTI inputs, warm query cache. This is the path the lazy lexing and the
+// sharded cache rewrote — the seed lexed every query even on a cache hit
+// and serialized all goroutines on one cache mutex; now a hit is a sharded
+// map lookup with zero allocations.
+func BenchmarkGuardCheckParallelPTIOnly(b *testing.B) {
+	guard, err := joza.New(joza.WithFragments(joza.FragmentsFromSource(`<?php
+$q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("SELECT * FROM records WHERE ID=%d LIMIT 5", i)
+	}
+	for _, q := range queries {
+		guard.Check(q, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := queries[i&63]
+			i++
+			if guard.Check(q, nil).Attack {
+				b.Fatal("benign flagged")
+			}
+		}
+	})
+}
+
 func BenchmarkLex(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sqltoken.Lex(benchQuery)

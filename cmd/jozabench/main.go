@@ -6,6 +6,7 @@
 //	jozabench -table 7    # WordPress.com stats and predicted overhead
 //	jozabench -figure 7   # PTI breakdown, unoptimized vs optimized daemon
 //	jozabench -figure 8   # read/write/search with and without Joza
+//	jozabench -metrics    # run the mix through one Guard, print its counters
 //	jozabench -all        # everything
 package main
 
@@ -15,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"joza"
 	"joza/internal/workload"
 )
 
@@ -30,6 +32,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("jozabench", flag.ContinueOnError)
 	table := fs.Int("table", 0, "print table 5, 6 or 7")
 	figure := fs.Int("figure", 0, "print figure 7 or 8")
+	showMetrics := fs.Bool("metrics", false, "run the mixed workload through one Guard and print joza.Metrics")
 	all := fs.Bool("all", false, "run everything")
 	urls := fs.Int("urls", 1001, "crawl-space size (unique URLs)")
 	requests := fs.Int("requests", 400, "requests per measurement")
@@ -37,7 +40,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *table == 0 && *figure == 0 {
+	if !*all && *table == 0 && *figure == 0 && !*showMetrics {
 		*all = true
 	}
 
@@ -92,5 +95,33 @@ func run(args []string) error {
 		fmt.Print(workload.FormatFigure8(rows))
 		fmt.Println(workload.ChartFigure8(rows))
 	}
+	if *all || *showMetrics {
+		if err := printGuardMetrics(site, *requests); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printGuardMetrics drives the Table VI workload mix through a single
+// library-mode Guard and prints its counter snapshot — the operator-facing
+// view of the same run the tables time.
+func printGuardMetrics(site *workload.Site, requests int) error {
+	guard, err := joza.New(
+		joza.WithFragmentSet(site.Fragments),
+		joza.WithCacheMode(joza.CacheQueryAndStructure, 8192),
+	)
+	if err != nil {
+		return err
+	}
+	reqs := site.GenerateMix(workload.Mix{WriteFraction: 0.04}, requests)
+	reqs = append(reqs, site.GenerateRequests(workload.Search, requests/20)...)
+	for _, req := range reqs {
+		for _, ev := range req.Events {
+			guard.Check(ev.Query, ev.Inputs)
+		}
+	}
+	fmt.Println("guard metrics (read/write/search mix, query+structure cache):")
+	fmt.Println(guard.Metrics().Format())
 	return nil
 }

@@ -137,4 +137,13 @@ func probe(addr string) {
 		}
 		log.Printf("selftest: attack=%v query=%q", reply.Attack, q)
 	}
+	st, err := c.Stats()
+	if err != nil {
+		log.Printf("selftest stats: %v", err)
+		return
+	}
+	log.Printf("selftest stats: checks=%d attacks=%d cacheHits=%d cacheMisses=%d p99=%s",
+		st.Checks, st.Attacks,
+		st.CacheQueryHits+st.CacheStructureHits, st.CacheMisses,
+		time.Duration(st.LatencyP99Ns))
 }

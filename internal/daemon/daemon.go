@@ -21,8 +21,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"joza/internal/core"
+	"joza/internal/metrics"
 	"joza/internal/nti"
 	"joza/internal/pti"
 	"joza/internal/sqltoken"
@@ -130,13 +132,22 @@ func (d *Direct) Analyze(query string) (*AnalysisReply, error) {
 // Close implements Transport.
 func (d *Direct) Close() error { return nil }
 
-// wire framing shared by client and server.
+// StatsReply is the payload of the protocol's "stats" verb: the same
+// snapshot type joza.Guard.Metrics returns, so operators read one shape
+// whether they ask the library or the daemon.
+type StatsReply = metrics.Snapshot
+
+// wire framing shared by client and server. Op selects the verb: empty or
+// "analyze" analyzes Query; "stats" returns the daemon's counters (old
+// clients that never set op keep working unchanged).
 type wireRequest struct {
-	Query string `json:"query"`
+	Op    string `json:"op,omitempty"`
+	Query string `json:"query,omitempty"`
 }
 
 type wireResponse struct {
 	Reply *AnalysisReply `json:"reply,omitempty"`
+	Stats *StatsReply    `json:"stats,omitempty"`
 	Err   string         `json:"error,omitempty"`
 }
 
@@ -144,7 +155,8 @@ type wireResponse struct {
 // instances can share one analyzer (the paper's multiple coexisting
 // daemons).
 type Server struct {
-	analyzer atomic.Pointer[pti.Cached]
+	analyzer  atomic.Pointer[pti.Cached]
+	collector *metrics.Collector
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -155,9 +167,35 @@ type Server struct {
 
 // NewServer returns a daemon server over analyzer.
 func NewServer(analyzer *pti.Cached) *Server {
-	s := &Server{conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		conns:     make(map[net.Conn]struct{}),
+		collector: metrics.NewCollector(),
+	}
 	s.analyzer.Store(analyzer)
 	return s
+}
+
+// Stats returns the daemon's counter snapshot: checks and attacks served
+// (PTI only — NTI runs application-side), the analyzer's cache totals and
+// per-shard activity, and analysis latency quantiles. Counters survive
+// SetAnalyzer swaps; cache fields reflect the current analyzer.
+func (s *Server) Stats() StatsReply {
+	snap := s.collector.Snapshot()
+	analyzer := s.analyzer.Load()
+	st := analyzer.Stats()
+	snap.CacheQueryHits = st.QueryHits
+	snap.CacheStructureHits = st.StructureHits
+	snap.CacheMisses = st.Misses
+	queryShards, _ := analyzer.ShardStats()
+	if len(queryShards) > 0 {
+		snap.CacheShards = make([]metrics.CacheShard, len(queryShards))
+		for i, sh := range queryShards {
+			snap.CacheShards[i] = metrics.CacheShard{
+				Hits: sh.Hits, Misses: sh.Misses, Entries: sh.Entries,
+			}
+		}
+	}
+	return snap
 }
 
 // SetAnalyzer atomically swaps the analyzer; in-flight requests finish on
@@ -218,7 +256,19 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		resp := wireResponse{Reply: analyze(s.analyzer.Load(), req.Query)}
+		var resp wireResponse
+		switch req.Op {
+		case "", "analyze":
+			start := time.Now()
+			reply := analyze(s.analyzer.Load(), req.Query)
+			s.collector.RecordCheck(false, reply.Attack, time.Since(start))
+			resp.Reply = reply
+		case "stats":
+			st := s.Stats()
+			resp.Stats = &st
+		default:
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -291,6 +341,26 @@ func (c *Client) Analyze(query string) (*AnalysisReply, error) {
 		return nil, fmt.Errorf("daemon: %s", resp.Err)
 	}
 	return resp.Reply, nil
+}
+
+// Stats requests the daemon's counter snapshot via the "stats" verb.
+func (c *Client) Stats() (*StatsReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(wireRequest{Op: "stats"}); err != nil {
+		return nil, fmt.Errorf("daemon send: %w", err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("daemon recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("daemon: %s", resp.Err)
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("daemon: stats verb returned no payload")
+	}
+	return resp.Stats, nil
 }
 
 // Close implements Transport.

@@ -1,0 +1,202 @@
+// Package metrics provides the lock-free counter set and latency
+// histogram behind joza.Metrics. It is a leaf package: the Guard, the PTI
+// daemon and the benchmark commands all record into a Collector and
+// publish Snapshot values, so one snapshot type travels unchanged from
+// Guard.Check to the daemon wire protocol to command-line output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers latencies from 1ns to ~34s in power-of-two buckets;
+// everything slower lands in the last bucket.
+const numBuckets = 36
+
+// Histogram is a fixed-size power-of-two bucket histogram of durations,
+// in the spirit of HDR histograms: constant memory, lock-free recording,
+// quantiles read by walking the buckets. The zero value is ready for use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(d)) - 1
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the upper edge of the bucket holding the q-th observation. Zero
+// observations yield zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(uint64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(uint64(1) << numBuckets)
+}
+
+// Mean returns the mean observed duration (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Collector accumulates check counters and latencies. It is safe for
+// concurrent use and designed to be shared: a Manager hands one Collector
+// to every Guard it rebuilds so counters survive fragment-set swaps.
+type Collector struct {
+	checks     atomic.Uint64
+	attacks    atomic.Uint64
+	ntiAttacks atomic.Uint64
+	ptiAttacks atomic.Uint64
+	sampleTick atomic.Uint64
+	latency    Histogram
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// sampleEvery is the latency sampling stride for SampleLatency callers:
+// reading the clock twice per check costs more than the rest of a cached
+// check on some hosts, so sub-microsecond hot paths time one check in 16.
+// Quantiles over the sample are statistically the same; the first check is
+// always sampled so short runs still report latencies.
+const sampleEvery = 16
+
+// SampleLatency reports whether the caller should time this check. Callers
+// on µs-scale hot paths bracket the check with a clock read only when it
+// returns true and pass a negative duration to RecordCheck otherwise;
+// callers whose per-request cost dwarfs the clock just time every request.
+func (c *Collector) SampleLatency() bool {
+	return (c.sampleTick.Add(1)-1)%sampleEvery == 0
+}
+
+// RecordCheck records one completed check. A negative duration means the
+// latency was not sampled for this check and only the counters move.
+func (c *Collector) RecordCheck(ntiAttack, ptiAttack bool, d time.Duration) {
+	c.checks.Add(1)
+	if ntiAttack || ptiAttack {
+		c.attacks.Add(1)
+	}
+	if ntiAttack {
+		c.ntiAttacks.Add(1)
+	}
+	if ptiAttack {
+		c.ptiAttacks.Add(1)
+	}
+	if d >= 0 {
+		c.latency.Observe(d)
+	}
+}
+
+// Snapshot returns the collector's counters. Cache and matcher fields are
+// zero; the owner (Guard, daemon server) fills them from its analyzers.
+func (c *Collector) Snapshot() Snapshot {
+	return Snapshot{
+		Checks:        c.checks.Load(),
+		Attacks:       c.attacks.Load(),
+		NTIAttacks:    c.ntiAttacks.Load(),
+		PTIAttacks:    c.ptiAttacks.Load(),
+		LatencyP50Ns:  int64(c.latency.Quantile(0.50)),
+		LatencyP99Ns:  int64(c.latency.Quantile(0.99)),
+		LatencyMeanNs: int64(c.latency.Mean()),
+	}
+}
+
+// CacheShard is the activity of one cache shard.
+type CacheShard struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries uint64 `json:"entries"`
+}
+
+// Snapshot is one point-in-time reading of a guard's (or daemon's)
+// counters. It marshals to stable JSON and is the payload of the daemon
+// protocol's "stats" verb.
+type Snapshot struct {
+	// Checks counts analyzed queries; Attacks counts blocked ones,
+	// attributed per analyzer (a query both flag counts in both).
+	Checks     uint64 `json:"checks"`
+	Attacks    uint64 `json:"attacks"`
+	NTIAttacks uint64 `json:"ntiAttacks"`
+	PTIAttacks uint64 `json:"ptiAttacks"`
+
+	// NTI approximate-matcher activity: total invocations of the
+	// quadratic matcher and how many were abandoned early by the
+	// threshold band.
+	NTIMatcherCalls      uint64 `json:"ntiMatcherCalls"`
+	NTIMatcherEarlyExits uint64 `json:"ntiMatcherEarlyExits"`
+
+	// PTI cache totals and per-shard breakdown of the query cache.
+	CacheQueryHits     uint64       `json:"cacheQueryHits"`
+	CacheStructureHits uint64       `json:"cacheStructureHits"`
+	CacheMisses        uint64       `json:"cacheMisses"`
+	CacheShards        []CacheShard `json:"cacheShards,omitempty"`
+
+	// Check latency, bucket-quantized upper bounds in nanoseconds.
+	LatencyP50Ns  int64 `json:"latencyP50Ns"`
+	LatencyP99Ns  int64 `json:"latencyP99Ns"`
+	LatencyMeanNs int64 `json:"latencyMeanNs"`
+}
+
+// Format renders the snapshot for terminal output.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "checks %d, attacks %d (NTI %d, PTI %d)\n",
+		s.Checks, s.Attacks, s.NTIAttacks, s.PTIAttacks)
+	fmt.Fprintf(&b, "latency p50 %v, p99 %v, mean %v\n",
+		time.Duration(s.LatencyP50Ns), time.Duration(s.LatencyP99Ns), time.Duration(s.LatencyMeanNs))
+	fmt.Fprintf(&b, "pti cache: %d query hits, %d structure hits, %d misses\n",
+		s.CacheQueryHits, s.CacheStructureHits, s.CacheMisses)
+	if len(s.CacheShards) > 0 {
+		fmt.Fprintf(&b, "query-cache shards (%d):", len(s.CacheShards))
+		for _, sh := range s.CacheShards {
+			fmt.Fprintf(&b, " %d/%d(%d)", sh.Hits, sh.Hits+sh.Misses, sh.Entries)
+		}
+		b.WriteString(" hit/lookups(entries)\n")
+	}
+	fmt.Fprintf(&b, "nti matcher: %d calls, %d early exits\n",
+		s.NTIMatcherCalls, s.NTIMatcherEarlyExits)
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must read zero")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	h.Observe(1 * time.Second)
+	if h.Count() != 101 {
+		t.Errorf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < time.Microsecond || p50 > 4*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1-2µs bucket bound", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < time.Second {
+		t.Errorf("p99.9 = %v, want >= 1s", p999)
+	}
+	if m := h.Mean(); m < 5*time.Millisecond {
+		t.Errorf("mean = %v, want pulled up by the 1s outlier", m)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(time.Duration(1) << 62) // beyond the last bucket
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Quantile(1.0) == 0 {
+		t.Error("max quantile must be nonzero")
+	}
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector()
+	c.RecordCheck(false, false, time.Microsecond)
+	c.RecordCheck(true, false, time.Microsecond)
+	c.RecordCheck(false, true, time.Microsecond)
+	c.RecordCheck(true, true, time.Microsecond)
+	s := c.Snapshot()
+	if s.Checks != 4 || s.Attacks != 3 || s.NTIAttacks != 2 || s.PTIAttacks != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.LatencyP50Ns == 0 || s.LatencyP99Ns == 0 {
+		t.Error("latency quantiles missing")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.RecordCheck(i%7 == 0, i%11 == 0, time.Duration(i)*time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().Checks; got != 8000 {
+		t.Errorf("checks = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	s := Snapshot{Checks: 1, CacheShards: []CacheShard{{Hits: 2, Misses: 1, Entries: 3}}}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"checks"`, `"cacheShards"`, `"latencyP50Ns"`, `"ntiMatcherCalls"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s: %s", key, data)
+		}
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	s := Snapshot{Checks: 10, Attacks: 2, CacheShards: []CacheShard{{Hits: 1}}}
+	out := s.Format()
+	for _, want := range []string{"checks 10", "attacks 2", "shards (1)", "nti matcher"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

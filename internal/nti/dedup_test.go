@@ -1,0 +1,144 @@
+package nti
+
+import (
+	"strings"
+	"testing"
+
+	"joza/internal/strdist"
+)
+
+func TestDedupMirroredInputsSingleMarking(t *testing.T) {
+	// The same payload arrives under GET and a cookie: one marking, one
+	// set of reasons, both sources attributed.
+	a := New()
+	payload := "-1 OR 1=1"
+	q := "SELECT * FROM data WHERE ID=" + payload
+	res := a.Analyze(q, nil, []Input{
+		{Source: "get", Name: "id", Value: payload},
+		{Source: "cookie", Name: "id", Value: payload},
+	})
+	if !res.Attack {
+		t.Fatal("attack not detected")
+	}
+	if len(res.Markings) != 1 {
+		t.Fatalf("markings = %d, want 1 (deduped): %+v", len(res.Markings), res.Markings)
+	}
+	src := res.Markings[0].Source
+	if !strings.Contains(src, "get:id") || !strings.Contains(src, "cookie:id") {
+		t.Errorf("marking source %q must attribute both keys", src)
+	}
+	// Reasons must not be duplicated: OR and = flagged once each.
+	seen := map[string]int{}
+	for _, r := range res.Reasons {
+		seen[r.Token.Text]++
+	}
+	for text, n := range seen {
+		if n > 1 {
+			t.Errorf("reason for %q duplicated %d times", text, n)
+		}
+	}
+}
+
+func TestDedupIdenticalInputRepeated(t *testing.T) {
+	// The exact same (key, value) pair twice: the key appears once in the
+	// attribution.
+	a := New()
+	res := a.Analyze("SELECT * FROM t WHERE a='x'", nil, []Input{
+		{Source: "get", Name: "v", Value: "x"},
+		{Source: "get", Name: "v", Value: "x"},
+	})
+	if len(res.Markings) != 1 {
+		t.Fatalf("markings = %d, want 1", len(res.Markings))
+	}
+	if got := res.Markings[0].Source; got != "get:v" {
+		t.Errorf("source = %q, want %q", got, "get:v")
+	}
+}
+
+func TestDedupDistinctValuesKeptSeparate(t *testing.T) {
+	a := New()
+	q := "SELECT * FROM t WHERE a='x' AND b='y'"
+	res := a.Analyze(q, nil, []Input{
+		{Source: "get", Name: "a", Value: "x"},
+		{Source: "get", Name: "b", Value: "y"},
+	})
+	if len(res.Markings) != 2 {
+		t.Fatalf("markings = %d, want 2: %+v", len(res.Markings), res.Markings)
+	}
+	if res.Markings[0].Source == res.Markings[1].Source {
+		t.Error("distinct values must keep their own attribution")
+	}
+}
+
+func TestDedupMatcherRunsOncePerValue(t *testing.T) {
+	// A non-verbatim payload (so the approximate matcher actually runs)
+	// mirrored under three keys must cost one matcher invocation.
+	calls := 0
+	a := New(WithMatcher(func(input, query string) strdist.Match {
+		calls++
+		return strdist.SubstringMatch(input, query)
+	}))
+	payload := "-1 OR 1=2"
+	q := "SELECT * FROM t WHERE id=-1 OR 1=1"
+	res := a.Analyze(q, nil, []Input{
+		{Source: "get", Name: "id", Value: payload},
+		{Source: "post", Name: "id", Value: payload},
+		{Source: "cookie", Name: "sid", Value: payload},
+	})
+	if !res.Attack {
+		t.Fatal("attack not detected")
+	}
+	if calls != 1 {
+		t.Errorf("matcher ran %d times, want 1", calls)
+	}
+	if st := a.Stats(); st.MatcherCalls != 1 {
+		t.Errorf("MatcherCalls = %d, want 1", st.MatcherCalls)
+	}
+}
+
+func TestStatsCountsEarlyExits(t *testing.T) {
+	a := New()
+	// Long junk input against a shorter query passes the cheap pre-prune
+	// (value ≤ query) but is hopeless: the banded matcher abandons it.
+	junk := strings.Repeat("x", 40)
+	q := "SELECT id, title, body FROM posts WHERE id=42 ORDER BY id DESC"
+	res := a.Analyze(q, nil, []Input{{Source: "get", Name: "x", Value: junk}})
+	if res.Attack || len(res.Markings) != 0 {
+		t.Fatalf("junk input matched: %+v", res)
+	}
+	st := a.Stats()
+	if st.MatcherCalls != 1 {
+		t.Errorf("MatcherCalls = %d, want 1", st.MatcherCalls)
+	}
+	if st.EarlyExits != 1 {
+		t.Errorf("EarlyExits = %d, want 1", st.EarlyExits)
+	}
+}
+
+func TestAnalyzeLexesLazily(t *testing.T) {
+	// No inputs: Analyze must not need tokens at all (nil toks stays nil
+	// internally; result is empty and safe).
+	a := New()
+	res := a.Analyze("SELECT * FROM t", nil, nil)
+	if res.Attack || len(res.Markings) != 0 {
+		t.Errorf("no-input analyze = %+v", res)
+	}
+}
+
+func TestContainsKey(t *testing.T) {
+	cases := []struct {
+		source, key string
+		want        bool
+	}{
+		{"get:id", "get:id", true},
+		{"get:id,cookie:id", "cookie:id", true},
+		{"get:id,cookie:id", "post:id", false},
+		{"", "get:id", false},
+		{"get:idx", "get:id", false},
+	}
+	for _, c := range cases {
+		if got := containsKey(c.source, c.key); got != c.want {
+			t.Errorf("containsKey(%q, %q) = %v, want %v", c.source, c.key, got, c.want)
+		}
+	}
+}

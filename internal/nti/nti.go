@@ -16,6 +16,7 @@ package nti
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"joza/internal/core"
 	"joza/internal/sqltoken"
@@ -50,7 +51,10 @@ type MatcherFunc func(input, query string) strdist.Match
 // construct with New.
 type Analyzer struct {
 	threshold float64
-	match     MatcherFunc
+	// match is a caller-supplied matcher (WithMatcher); when nil the
+	// analyzer uses the threshold-aware banded Sellers matcher, which can
+	// abandon hopeless comparisons early.
+	match MatcherFunc
 	// maxInputLen caps the input size fed to the quadratic matcher; longer
 	// inputs are only checked with the exact-substring fast path. This is
 	// one of the "skip implausible comparisons" optimizations: an input
@@ -60,6 +64,25 @@ type Analyzer struct {
 	// critical decides which tokens an attack may not touch; the default
 	// is the paper's pragmatic policy (identifiers allowed).
 	critical func(sqltoken.Token) bool
+
+	matcherCalls atomic.Uint64
+	earlyExits   atomic.Uint64
+}
+
+// Stats counts the analyzer's approximate-matcher activity: how often the
+// quadratic matcher actually ran, and how often its threshold band
+// abandoned the comparison early.
+type Stats struct {
+	MatcherCalls uint64
+	EarlyExits   uint64
+}
+
+// Stats returns a snapshot of the matcher counters.
+func (a *Analyzer) Stats() Stats {
+	return Stats{
+		MatcherCalls: a.matcherCalls.Load(),
+		EarlyExits:   a.earlyExits.Load(),
+	}
 }
 
 // Option configures an Analyzer.
@@ -92,11 +115,10 @@ func WithStrictPolicy() Option {
 }
 
 // New returns an Analyzer with the default threshold and the optimized
-// Sellers matcher.
+// threshold-aware Sellers matcher.
 func New(opts ...Option) *Analyzer {
 	a := &Analyzer{
 		threshold:   DefaultThreshold,
-		match:       strdist.SubstringMatch,
 		maxInputLen: 4096,
 		critical:    sqltoken.Token.Critical,
 	}
@@ -114,18 +136,29 @@ func (a *Analyzer) Threshold() float64 { return a.threshold }
 // of query (callers typically already have it from the PTI daemon; pass
 // nil to lex here).
 func (a *Analyzer) Analyze(query string, toks []sqltoken.Token, inputs []Input) core.Result {
-	if toks == nil {
-		toks = sqltoken.Lex(query)
-	}
 	res := core.Result{Analyzer: core.AnalyzerNTI}
-	for _, in := range inputs {
-		if in.Value == "" {
-			continue
+	// Single-input requests (the common hot path) need no grouping state.
+	var single [1]inputGroup
+	groups := single[:0]
+	if len(inputs) == 1 {
+		if in := inputs[0]; in.Value != "" {
+			single[0] = inputGroup{value: in.Value, source: in.Key()}
+			groups = single[:1]
 		}
-		for _, span := range a.matchInput(in.Value, query) {
+	} else {
+		groups = dedupInputs(inputs)
+	}
+	for _, g := range groups {
+		spans := a.matchInput(g.value, query)
+		if len(spans) > 0 && toks == nil {
+			// Lex lazily: requests whose inputs never match the query
+			// (and requests with no inputs at all) skip the lexer.
+			toks = sqltoken.Lex(query)
+		}
+		for _, span := range spans {
 			m := core.Marking{
 				Span:     sqltoken.Span{Start: span.Start, End: span.End},
-				Source:   in.Key(),
+				Source:   g.source,
 				Distance: span.Distance,
 			}
 			res.Markings = append(res.Markings, m)
@@ -134,6 +167,54 @@ func (a *Analyzer) Analyze(query string, toks []sqltoken.Token, inputs []Input) 
 	}
 	res.Attack = len(res.Reasons) > 0
 	return res
+}
+
+// inputGroup is one distinct raw value and the comma-joined keys of every
+// input that carried it.
+type inputGroup struct {
+	value  string
+	source string
+}
+
+// dedupInputs groups inputs by raw value, preserving first-seen order. A
+// value mirrored across channels (the same payload in GET and a cookie,
+// say) pays the quadratic matcher once, and its marking attributes every
+// source key instead of emitting duplicate markings and duplicate attack
+// reasons.
+func dedupInputs(inputs []Input) []inputGroup {
+	groups := make([]inputGroup, 0, len(inputs))
+	index := make(map[string]int, len(inputs))
+	for _, in := range inputs {
+		if in.Value == "" {
+			continue
+		}
+		key := in.Key()
+		if i, ok := index[in.Value]; ok {
+			if !containsKey(groups[i].source, key) {
+				groups[i].source += "," + key
+			}
+			continue
+		}
+		index[in.Value] = len(groups)
+		groups = append(groups, inputGroup{value: in.Value, source: key})
+	}
+	return groups
+}
+
+// containsKey reports whether key already appears in the comma-joined
+// source list.
+func containsKey(source, key string) bool {
+	for source != "" {
+		next := ""
+		if i := strings.IndexByte(source, ','); i >= 0 {
+			source, next = source[:i], source[i+1:]
+		}
+		if source == key {
+			return true
+		}
+		source = next
+	}
+	return false
 }
 
 // matchInput returns the spans of query that input matches under the
@@ -165,8 +246,20 @@ func (a *Analyzer) matchInput(value, query string) []strdist.Match {
 			return nil
 		}
 	}
-	m := a.match(value, query)
-	if m.Ratio() < a.threshold {
+	a.matcherCalls.Add(1)
+	if a.match != nil {
+		// Caller-supplied matcher (ablation baselines): no early exit.
+		m := a.match(value, query)
+		if m.Ratio() < a.threshold {
+			return []strdist.Match{m}
+		}
+		return nil
+	}
+	m, found, pruned := strdist.SubstringMatchThreshold(value, query, a.threshold)
+	if pruned {
+		a.earlyExits.Add(1)
+	}
+	if found {
 		return []strdist.Match{m}
 	}
 	return nil

@@ -142,11 +142,15 @@ type CacheStats struct {
 // cache described in Sections IV-C and VI-A. Only safe verdicts are cached:
 // attacks are rare, must always be fully re-analyzed for reporting, and
 // caching them would let a poisoned entry suppress detection details.
+//
+// Both caches are sharded by key hash (one mutex per shard, GOMAXPROCS
+// rounded to a power of two shards) so concurrent Analyze calls on a
+// multicore host do not serialize on a single cache lock.
 type Cached struct {
 	analyzer *Analyzer
 	mode     CacheMode
-	queries  *lru
-	structs  *lru
+	queries  *shardedLRU
+	structs  *shardedLRU
 
 	queryHits     atomic.Uint64
 	structureHits atomic.Uint64
@@ -156,11 +160,12 @@ type Cached struct {
 // NewCached wraps analyzer with the given cache mode and per-cache capacity.
 func NewCached(analyzer *Analyzer, mode CacheMode, capacity int) *Cached {
 	c := &Cached{analyzer: analyzer, mode: mode}
+	nShards := defaultShardCount()
 	if mode == CacheQuery || mode == CacheQueryAndStructure {
-		c.queries = newLRU(capacity)
+		c.queries = newShardedLRU(capacity, nShards)
 	}
 	if mode == CacheQueryAndStructure {
-		c.structs = newLRU(capacity)
+		c.structs = newShardedLRU(capacity, nShards)
 	}
 	return c
 }
@@ -168,14 +173,32 @@ func NewCached(analyzer *Analyzer, mode CacheMode, capacity int) *Cached {
 // Mode returns the configured cache mode.
 func (c *Cached) Mode() CacheMode { return c.mode }
 
+// NumShards returns the shard count of the query cache (0 when caching is
+// disabled).
+func (c *Cached) NumShards() int {
+	if c.queries == nil {
+		return 0
+	}
+	return len(c.queries.shards)
+}
+
 // Analyze returns the PTI result for query, consulting the caches first.
-// toks may be nil; it is only lexed when a full analysis (or a structure
-// key) is required.
+// toks may be nil; it is only lexed when a full analysis requires it.
 func (c *Cached) Analyze(query string, toks []sqltoken.Token) core.Result {
+	res, _ := c.AnalyzeLazy(query, toks)
+	return res
+}
+
+// AnalyzeLazy is Analyze with lazy lexing: toks may be nil, in which case
+// the query is lexed only on a cache miss — a query-cache hit costs one
+// sharded map lookup and no lexing at all. The second return value is the
+// token stream the analysis used (nil when no lexing happened), so callers
+// that also need tokens for NTI reuse this lex instead of running another.
+func (c *Cached) AnalyzeLazy(query string, toks []sqltoken.Token) (core.Result, []sqltoken.Token) {
 	if c.queries != nil {
 		if safe, ok := c.queries.get(query); ok && safe {
 			c.queryHits.Add(1)
-			return core.Result{Analyzer: core.AnalyzerPTI}
+			return core.Result{Analyzer: core.AnalyzerPTI}, toks
 		}
 	}
 	var structKey string
@@ -187,10 +210,13 @@ func (c *Cached) Analyze(query string, toks []sqltoken.Token) core.Result {
 			if c.queries != nil {
 				c.queries.put(query, true)
 			}
-			return core.Result{Analyzer: core.AnalyzerPTI}
+			return core.Result{Analyzer: core.AnalyzerPTI}, toks
 		}
 	}
 	c.misses.Add(1)
+	if toks == nil {
+		toks = sqltoken.Lex(query)
+	}
 	res := c.analyzer.Analyze(query, toks)
 	if !res.Attack {
 		if c.queries != nil {
@@ -200,7 +226,7 @@ func (c *Cached) Analyze(query string, toks []sqltoken.Token) core.Result {
 			c.structs.put(structKey, true)
 		}
 	}
-	return res
+	return res, toks
 }
 
 // Stats returns a snapshot of cache counters.
@@ -210,4 +236,16 @@ func (c *Cached) Stats() CacheStats {
 		StructureHits: c.structureHits.Load(),
 		Misses:        c.misses.Load(),
 	}
+}
+
+// ShardStats returns per-shard hit/miss/occupancy counters for the query
+// and structure caches (nil when the respective cache is disabled).
+func (c *Cached) ShardStats() (query, structure []ShardStat) {
+	if c.queries != nil {
+		query = c.queries.stats()
+	}
+	if c.structs != nil {
+		structure = c.structs.stats()
+	}
+	return query, structure
 }

@@ -1,0 +1,127 @@
+package pti
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync/atomic"
+)
+
+// shardedLRU spreads an LRU cache over N independently locked shards,
+// selected by key hash, so concurrent Cached.Analyze calls on different
+// queries stop serializing on one mutex. N is GOMAXPROCS rounded up to a
+// power of two (at least minShards, so sharding is exercised even on small
+// machines), fixed at construction.
+type shardedLRU struct {
+	shards []lruShard
+	mask   uint64
+}
+
+// lruShard is one shard: its own lock (inside lru) plus lock-free hit and
+// miss counters.
+type lruShard struct {
+	lru    lru
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	// pad the shard to its own cache line region to avoid false sharing
+	// between neighbouring shards' counters.
+	_ [24]byte
+}
+
+const (
+	minShards = 4
+	maxShards = 256
+)
+
+// defaultShardCount returns the power-of-two shard count for this process.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < minShards {
+		n = minShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newShardedLRU builds a sharded cache with total capacity split evenly
+// across nShards shards (nShards must be a power of two).
+func newShardedLRU(capacity, nShards int) *shardedLRU {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	perShard := (capacity + nShards - 1) / nShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s := &shardedLRU{
+		shards: make([]lruShard, nShards),
+		mask:   uint64(nShards - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].lru.cap = perShard
+		s.shards[i].lru.items = make(map[string]*lruEntry, perShard)
+	}
+	return s
+}
+
+// shardSeed is the process-wide seed for shard selection. maphash uses the
+// hardware-accelerated runtime string hash, so picking a shard costs a few
+// nanoseconds even for long query keys and never allocates.
+var shardSeed = maphash.MakeSeed()
+
+func hashKey(key string) uint64 {
+	return maphash.String(shardSeed, key)
+}
+
+func (s *shardedLRU) shard(key string) *lruShard {
+	return &s.shards[hashKey(key)&s.mask]
+}
+
+func (s *shardedLRU) get(key string) (bool, bool) {
+	sh := s.shard(key)
+	safe, ok := sh.lru.get(key)
+	if ok {
+		sh.hits.Add(1)
+	} else {
+		sh.misses.Add(1)
+	}
+	return safe, ok
+}
+
+func (s *shardedLRU) put(key string, safe bool) {
+	s.shard(key).lru.put(key, safe)
+}
+
+func (s *shardedLRU) len() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].lru.len()
+	}
+	return total
+}
+
+// ShardStat is the activity of one cache shard.
+type ShardStat struct {
+	Hits    uint64
+	Misses  uint64
+	Entries uint64
+}
+
+// stats returns one ShardStat per shard.
+func (s *shardedLRU) stats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i := range s.shards {
+		out[i] = ShardStat{
+			Hits:    s.shards[i].hits.Load(),
+			Misses:  s.shards[i].misses.Load(),
+			Entries: uint64(s.shards[i].lru.len()),
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package pti
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDefaultShardCountPowerOfTwo(t *testing.T) {
+	n := defaultShardCount()
+	if n < minShards || n > maxShards {
+		t.Fatalf("shard count %d outside [%d, %d]", n, minShards, maxShards)
+	}
+	if n&(n-1) != 0 {
+		t.Fatalf("shard count %d is not a power of two", n)
+	}
+}
+
+func TestShardedLRUBasics(t *testing.T) {
+	s := newShardedLRU(64, 8)
+	if len(s.shards) != 8 {
+		t.Fatalf("shards = %d", len(s.shards))
+	}
+	for i := 0; i < 32; i++ {
+		s.put(fmt.Sprintf("key-%d", i), true)
+	}
+	if s.len() != 32 {
+		t.Errorf("len = %d, want 32", s.len())
+	}
+	for i := 0; i < 32; i++ {
+		if safe, ok := s.get(fmt.Sprintf("key-%d", i)); !ok || !safe {
+			t.Errorf("key-%d missing", i)
+		}
+	}
+	if _, ok := s.get("absent"); ok {
+		t.Error("absent key found")
+	}
+	var hits, misses uint64
+	for _, st := range s.stats() {
+		hits += st.Hits
+		misses += st.Misses
+	}
+	if hits != 32 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 32/1", hits, misses)
+	}
+}
+
+func TestShardedLRUDistributesKeys(t *testing.T) {
+	s := newShardedLRU(4096, 8)
+	for i := 0; i < 4000; i++ {
+		s.put(fmt.Sprintf("SELECT * FROM t WHERE id=%d", i), true)
+	}
+	occupied := 0
+	for _, st := range s.stats() {
+		if st.Entries > 0 {
+			occupied++
+		}
+	}
+	if occupied < 7 {
+		t.Errorf("only %d/8 shards occupied; hash is not spreading keys", occupied)
+	}
+}
+
+func TestShardedLRUCapacitySplit(t *testing.T) {
+	// Total capacity is split across shards; inserting far more keys than
+	// capacity must keep the total bounded by capacity (+rounding).
+	s := newShardedLRU(64, 8)
+	for i := 0; i < 10000; i++ {
+		s.put(fmt.Sprintf("key-%d", i), true)
+	}
+	if got := s.len(); got > 64 {
+		t.Errorf("len = %d exceeds total capacity 64", got)
+	}
+}
+
+func TestShardedLRUEvictionPerShard(t *testing.T) {
+	// One-entry shards: any second key hashing to the same shard evicts
+	// the first.
+	s := newShardedLRU(8, 8)
+	s.put("a", true)
+	s.put("b", true)
+	if s.len() > 8 {
+		t.Errorf("len = %d", s.len())
+	}
+}
+
+func TestShardedLRUConcurrentChurn(t *testing.T) {
+	// Tiny capacity forces constant eviction while goroutines hammer
+	// overlapping key ranges; run under -race this exercises promote and
+	// evict under contention.
+	s := newShardedLRU(32, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("key-%d", (seed*13+i)%100)
+				if i%3 == 0 {
+					s.put(key, true)
+				} else {
+					s.get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.len() > 32 {
+		t.Errorf("len = %d exceeds capacity", s.len())
+	}
+}
+
+func TestCachedShardStats(t *testing.T) {
+	a := New(appFragments())
+	c := NewCached(a, CacheQueryAndStructure, 256)
+	if c.NumShards() < minShards {
+		t.Fatalf("NumShards = %d", c.NumShards())
+	}
+	for i := 0; i < 50; i++ {
+		q := fmt.Sprintf("SELECT * FROM records WHERE ID=%d LIMIT 5", i%10)
+		c.Analyze(q, nil)
+	}
+	qs, ss := c.ShardStats()
+	if len(qs) != c.NumShards() || len(ss) != c.NumShards() {
+		t.Fatalf("shard stats lengths %d/%d, want %d", len(qs), len(ss), c.NumShards())
+	}
+	var hits, entries uint64
+	for _, st := range qs {
+		hits += st.Hits
+		entries += st.Entries
+	}
+	if hits == 0 {
+		t.Error("no query-shard hits recorded")
+	}
+	if entries == 0 {
+		t.Error("no query-shard entries recorded")
+	}
+	// Shard stats and aggregate stats must agree on hit totals.
+	if agg := c.Stats(); agg.QueryHits == 0 || hits < agg.QueryHits {
+		t.Errorf("aggregate hits %d vs shard hits %d", agg.QueryHits, hits)
+	}
+}
+
+func TestCachedNoCacheShardStats(t *testing.T) {
+	a := New(appFragments())
+	c := NewCached(a, CacheNone, 16)
+	if c.NumShards() != 0 {
+		t.Errorf("NumShards = %d for no-cache", c.NumShards())
+	}
+	qs, ss := c.ShardStats()
+	if qs != nil || ss != nil {
+		t.Error("no-cache mode must report nil shard stats")
+	}
+}
+
+func TestHashKeySpread(t *testing.T) {
+	// Sanity: distinct realistic keys rarely collide in the low bits.
+	seen := make(map[uint64]int)
+	for i := 0; i < 1024; i++ {
+		seen[hashKey(fmt.Sprintf("SELECT %d", i))&7]++
+	}
+	for b, n := range seen {
+		if n == 0 {
+			t.Errorf("bucket %d empty", b)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package strdist
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately drops items under the race detector, so the zero-allocation
+// guarantee does not hold there.
+const raceEnabled = true

@@ -19,6 +19,32 @@
 //     cost (Section III-A) and is used only by benchmarks and tests.
 package strdist
 
+import "sync"
+
+// rowPool recycles the DP rows of every matcher in this package. All four
+// matchers slice one pooled buffer into their rows, so steady-state
+// matching performs zero heap allocations — the per-query cost Joza's
+// Section VI optimizations target.
+var rowPool = sync.Pool{
+	New: func() any {
+		s := make([]int, 0, 512)
+		return &s
+	},
+}
+
+// getRows returns a pooled []int of length n (contents undefined) and the
+// pool token to hand back via putRows.
+func getRows(n int) (*[]int, []int) {
+	p := rowPool.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	buf := (*p)[:n]
+	return p, buf
+}
+
+func putRows(p *[]int) { rowPool.Put(p) }
+
 // Levenshtein returns the edit distance between a and b using unit costs for
 // insertion, deletion and substitution. It uses two rolling rows, so memory
 // is O(min side handled by caller); time is O(len(a)·len(b)).
@@ -36,8 +62,10 @@ func Levenshtein(a, b string) int {
 	if len(b) > len(a) {
 		a, b = b, a
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	tok, buf := getRows(2 * (len(b) + 1))
+	defer putRows(tok)
+	prev := buf[: len(b)+1 : len(b)+1]
+	cur := buf[len(b)+1:]
 	for j := 0; j <= len(b); j++ {
 		prev[j] = j
 	}
@@ -104,10 +132,13 @@ func SubstringMatch(input, query string) Match {
 	}
 	// dp[i] = edit distance between input[:i] and the best-ending-here
 	// suffix of query[:j]. start[i] = start index in query of that match.
-	dp := make([]int, n+1)
-	start := make([]int, n+1)
-	ndp := make([]int, n+1)
-	nstart := make([]int, n+1)
+	w := n + 1
+	tok, buf := getRows(4 * w)
+	defer putRows(tok)
+	dp := buf[0*w : 1*w : 1*w]
+	start := buf[1*w : 2*w : 2*w]
+	ndp := buf[2*w : 3*w : 3*w]
+	nstart := buf[3*w : 4*w : 4*w]
 	for i := 0; i <= n; i++ {
 		dp[i] = i
 		start[i] = 0
@@ -163,6 +194,128 @@ func better(a, b Match) bool {
 	return a.End < b.End
 }
 
+// SubstringMatchThreshold is the threshold-aware variant of
+// SubstringMatch used by NTI: it looks for a substring of query whose
+// difference ratio against input is strictly below threshold, and abandons
+// work that provably cannot produce one.
+//
+// Any qualifying match has distance < threshold·len(matched) ≤
+// threshold·len(query), so the DP is run with a distance cap kMax =
+// ⌊threshold·len(query)⌋ and Ukkonen's last-active-cell cut-off: rows past
+// the deepest cell still within the cap are abandoned, because the
+// diagonal monotonicity of the unit-cost edit DP guarantees every later
+// value in those rows stays above the cap — even a perfect remaining
+// suffix cannot push the ratio back under threshold. Expected cost drops
+// from O(n·m) to O(kMax·m); for long non-matching inputs (the case the
+// exact-substring fast path does not catch) this skips most of the table.
+//
+// found reports whether the returned match's ratio is below threshold;
+// when found is false the returned Match carries the best capped candidate
+// seen and is not meaningful. pruned reports whether the cut-off actually
+// skipped work (the "early exit" counted by joza.Metrics).
+//
+// When found is true the match is identical to what SubstringMatch would
+// select among qualifying candidates: every cell on an optimal path of a
+// qualifying match holds a value within the cap, so the banded DP computes
+// those candidates exactly and applies the same tie-breaking.
+func SubstringMatchThreshold(input, query string, threshold float64) (m Match, found, pruned bool) {
+	n := len(input)
+	mq := len(query)
+	if n == 0 {
+		return Match{}, false, false
+	}
+	if mq == 0 {
+		return Match{Distance: n}, false, false
+	}
+	kMax := int(threshold * float64(mq))
+	if kMax >= n {
+		// The cap cannot prune anything (dp values never exceed n);
+		// run the plain matcher.
+		best := SubstringMatch(input, query)
+		return best, best.Ratio() < threshold, false
+	}
+	if n-mq > kMax {
+		// Even consuming the whole query leaves more than kMax input
+		// bytes unmatched.
+		return Match{Distance: n}, false, true
+	}
+	inf := kMax + 1
+	w := n + 1
+	tok, buf := getRows(4 * w)
+	defer putRows(tok)
+	dp := buf[0*w : 1*w : 1*w]
+	start := buf[1*w : 2*w : 2*w]
+	ndp := buf[2*w : 3*w : 3*w]
+	nstart := buf[3*w : 4*w : 4*w]
+	for i := 0; i <= n; i++ {
+		if i <= kMax {
+			dp[i] = i
+		} else {
+			dp[i] = inf
+		}
+		start[i] = 0
+	}
+	// lac is the last active cell: the deepest row whose value is within
+	// the cap. Rows beyond lac+1 are never computed.
+	lac := kMax
+	best := Match{Start: 0, End: 0, Distance: n}
+	haveCand := false
+	for j := 1; j <= mq; j++ {
+		ndp[0] = 0
+		nstart[0] = j
+		lim := lac + 1
+		if lim >= n {
+			lim = n
+		} else {
+			pruned = true
+		}
+		qc := query[j-1]
+		for i := 1; i <= lim; i++ {
+			cost := 1
+			if input[i-1] == qc {
+				cost = 0
+			}
+			d := dp[i-1] + cost
+			s := start[i-1]
+			if v := ndp[i-1] + 1; v < d {
+				d = v
+				s = nstart[i-1]
+			}
+			if v := dp[i] + 1; v < d {
+				d = v
+				s = start[i]
+			}
+			if d > inf {
+				d = inf
+			}
+			ndp[i] = d
+			nstart[i] = s
+		}
+		dp, ndp = ndp, dp
+		start, nstart = nstart, start
+		// Re-derive the last active cell; it moves down by at most one
+		// per column and up by any amount.
+		lac = lim
+		for lac > 0 && dp[lac] > kMax {
+			lac--
+		}
+		if lac < n {
+			// Sentinel so the next column's left-moves read "over cap"
+			// instead of a stale value.
+			dp[lac+1] = inf
+			start[lac+1] = j
+		}
+		if lim == n && dp[n] <= kMax {
+			cand := Match{Start: start[n], End: j, Distance: dp[n]}
+			if !haveCand || better(cand, best) {
+				best = cand
+				haveCand = true
+			}
+		}
+	}
+	return best, haveCand && best.Ratio() < threshold, pruned
+}
+
 // NaiveSubstringMatch is the unoptimized O(n²·m²)-flavoured matcher: it
 // evaluates full-matrix Levenshtein for every substring of query against
 // input. It exists so benchmarks can quantify the cost the paper's
@@ -204,8 +357,10 @@ func BoundedLevenshtein(a, b string, bound int) int {
 	if lb == 0 {
 		return la
 	}
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	tok, buf := getRows(2 * (lb + 1))
+	defer putRows(tok)
+	prev := buf[: lb+1 : lb+1]
+	cur := buf[lb+1:]
 	for j := 0; j <= lb; j++ {
 		prev[j] = j
 	}

@@ -38,9 +38,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"joza/internal/core"
 	"joza/internal/fragments"
+	"joza/internal/metrics"
 	"joza/internal/nti"
 	"joza/internal/phpsrc"
 	"joza/internal/pti"
@@ -65,6 +67,13 @@ type (
 	AttackError = core.AttackError
 	// CacheMode selects the PTI caching configuration.
 	CacheMode = pti.CacheMode
+	// Metrics is a point-in-time snapshot of a Guard's counters: checks,
+	// attacks per analyzer, PTI cache activity (totals and per shard),
+	// NTI matcher activity and check-latency quantiles. The same type is
+	// served by the PTI daemon's "stats" verb.
+	Metrics = metrics.Snapshot
+	// CacheShardMetrics is the activity of one PTI cache shard.
+	CacheShardMetrics = metrics.CacheShard
 )
 
 // Recovery policies and cache modes, re-exported.
@@ -91,6 +100,7 @@ type Guard struct {
 	policy      core.Policy
 	set         *fragments.Set
 	audit       *auditLogger
+	collector   *metrics.Collector
 }
 
 type config struct {
@@ -105,6 +115,7 @@ type config struct {
 	disableNTI    bool
 	disablePTI    bool
 	auditWriter   io.Writer
+	collector     *metrics.Collector
 }
 
 // Option configures a Guard.
@@ -211,7 +222,17 @@ func New(opts ...Option) (*Guard, error) {
 	if cfg.auditWriter != nil {
 		g.audit = newAuditLogger(cfg.auditWriter)
 	}
+	g.collector = cfg.collector
+	if g.collector == nil {
+		g.collector = metrics.NewCollector()
+	}
 	return g, nil
+}
+
+// withCollector shares a metrics collector across Guards; the Manager
+// uses it so counters survive fragment-set rebuilds.
+func withCollector(c *metrics.Collector) Option {
+	return func(cfg *config) { cfg.collector = c }
 }
 
 // FragmentsFromDir extracts trusted fragment texts from all source files
@@ -248,24 +269,77 @@ func (g *Guard) Policy() Policy { return g.policy }
 // the hybrid verdict. PTI runs first (it also supplies the token stream),
 // then NTI, matching the Joza architecture; the query is an attack if
 // either flags it.
+//
+// The query is lexed lazily: a PTI query-cache hit on a request with no
+// usable NTI inputs performs no lexing at all, and when both analyzers
+// need tokens the lex runs once and is shared.
 func (g *Guard) Check(query string, inputs []Input) Verdict {
-	toks := sqltoken.Lex(query)
+	var start time.Time
+	sampled := g.collector.SampleLatency()
+	if sampled {
+		start = time.Now()
+	}
 	v := Verdict{Query: query}
+	var toks []sqltoken.Token
 	if g.ptiAnalyzer != nil {
-		v.PTI = g.ptiAnalyzer.Analyze(query, toks)
+		v.PTI, toks = g.ptiAnalyzer.AnalyzeLazy(query, nil)
 	} else {
 		v.PTI = core.Result{Analyzer: core.AnalyzerPTI}
 	}
-	if g.ntiAnalyzer != nil {
+	if g.ntiAnalyzer != nil && hasInputValues(inputs) {
+		// toks is non-nil iff PTI already lexed (cache miss); otherwise
+		// NTI lexes on demand, only when an input actually matches.
 		v.NTI = g.ntiAnalyzer.Analyze(query, toks, inputs)
 	} else {
 		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
 	}
 	v.Attack = v.NTI.Attack || v.PTI.Attack
+	elapsed := time.Duration(-1)
+	if sampled {
+		elapsed = time.Since(start)
+	}
+	g.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
 	if v.Attack && g.audit != nil {
 		g.audit.log(v, g.policy, inputs)
 	}
 	return v
+}
+
+// hasInputValues reports whether any captured input carries a non-empty
+// value (empty values can never produce an NTI marking).
+func hasInputValues(inputs []Input) bool {
+	for _, in := range inputs {
+		if in.Value != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics returns a snapshot of the Guard's counters: checks and attacks,
+// PTI cache totals and per-shard activity, NTI matcher activity, and
+// check-latency quantiles. Safe to call concurrently with Check.
+func (g *Guard) Metrics() Metrics {
+	snap := g.collector.Snapshot()
+	if g.ptiAnalyzer != nil {
+		st := g.ptiAnalyzer.Stats()
+		snap.CacheQueryHits = st.QueryHits
+		snap.CacheStructureHits = st.StructureHits
+		snap.CacheMisses = st.Misses
+		queryShards, _ := g.ptiAnalyzer.ShardStats()
+		snap.CacheShards = make([]CacheShardMetrics, len(queryShards))
+		for i, sh := range queryShards {
+			snap.CacheShards[i] = CacheShardMetrics{
+				Hits: sh.Hits, Misses: sh.Misses, Entries: sh.Entries,
+			}
+		}
+	}
+	if g.ntiAnalyzer != nil {
+		st := g.ntiAnalyzer.Stats()
+		snap.NTIMatcherCalls = st.MatcherCalls
+		snap.NTIMatcherEarlyExits = st.EarlyExits
+	}
+	return snap
 }
 
 // Authorize checks the query and returns nil when it is safe, or an

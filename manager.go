@@ -2,9 +2,11 @@ package joza
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"joza/internal/installer"
+	"joza/internal/metrics"
 )
 
 // Manager couples a Guard to the application's source tree: the initial
@@ -13,10 +15,20 @@ import (
 // plugins, per the paper's preprocessing component — and atomically swaps
 // in a rebuilt Guard. Callers take the current Guard per request via
 // Guard(); in-flight requests keep the Guard they started with.
+//
+// All rebuilt Guards share one metrics collector, so Manager.Metrics()
+// counters survive fragment-set swaps.
 type Manager struct {
-	ins   *installer.Installer
-	opts  []Option
-	guard atomic.Pointer[Guard]
+	ins       *installer.Installer
+	opts      []Option
+	collector *metrics.Collector
+	guard     atomic.Pointer[Guard]
+
+	// mu serializes Refresh; pending records that the source tree changed
+	// but the rebuild failed, so the next Refresh retries instead of
+	// leaving the old Guard serving stale fragments forever.
+	mu      sync.Mutex
+	pending bool
 }
 
 // NewManager installs over dir (extracting from files with the given
@@ -32,7 +44,7 @@ func NewManager(dir string, exts []string, opts ...Option) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("joza: install: %w", err)
 	}
-	m := &Manager{ins: ins, opts: opts}
+	m := &Manager{ins: ins, opts: opts, collector: metrics.NewCollector()}
 	if err := m.rebuild(); err != nil {
 		return nil, err
 	}
@@ -45,25 +57,39 @@ func (m *Manager) Guard() *Guard { return m.guard.Load() }
 // FileCount returns the number of tracked source files.
 func (m *Manager) FileCount() int { return m.ins.FileCount() }
 
+// Metrics returns the current metrics snapshot. Check counters are shared
+// across rebuilds; cache and matcher counters reflect the current Guard's
+// analyzers.
+func (m *Manager) Metrics() Metrics { return m.Guard().Metrics() }
+
 // Refresh rescans the source tree; when files were added, modified or
-// removed it rebuilds and swaps the Guard. It reports whether a swap
-// happened.
+// removed — or an earlier rebuild failed and is still owed — it rebuilds
+// and swaps the Guard. It reports whether a swap happened.
+//
+// A failed rebuild keeps the change pending: the old Guard stays in
+// service (fail-open on stale fragments rather than taking the
+// application down), and every subsequent Refresh retries the rebuild
+// until it succeeds, even if the source tree does not change again.
 func (m *Manager) Refresh() (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	changed, err := m.ins.Refresh()
 	if err != nil {
 		return false, fmt.Errorf("joza: refresh: %w", err)
 	}
-	if !changed {
+	if !changed && !m.pending {
 		return false, nil
 	}
+	m.pending = true
 	if err := m.rebuild(); err != nil {
 		return false, err
 	}
+	m.pending = false
 	return true, nil
 }
 
 func (m *Manager) rebuild() error {
-	opts := append([]Option{WithFragmentSet(m.ins.Set())}, m.opts...)
+	opts := append([]Option{WithFragmentSet(m.ins.Set()), withCollector(m.collector)}, m.opts...)
 	g, err := New(opts...)
 	if err != nil {
 		return fmt.Errorf("joza: rebuild guard: %w", err)
