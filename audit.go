@@ -1,74 +1,18 @@
 package joza
 
 import (
-	"encoding/json"
 	"io"
-	"sync"
-	"time"
+
+	"joza/internal/audit"
 )
 
 // AuditRecord is one JSON line written to the audit log when a query is
-// blocked. It captures what an operator needs to triage the event without
-// replaying it: the query, which analyzers fired, and the implicated
-// tokens.
-type AuditRecord struct {
-	// Time is the detection time in RFC 3339 with millisecond precision.
-	Time string `json:"time"`
-	// Query is the blocked statement.
-	Query string `json:"query"`
-	// DetectedBy lists the analyzers that fired ("NTI", "PTI").
-	DetectedBy []string `json:"detectedBy"`
-	// Reasons are human-readable explanations (token + why).
-	Reasons []string `json:"reasons"`
-	// Policy is the recovery policy applied.
-	Policy string `json:"policy"`
-	// InputKeys names the request inputs present at detection time
-	// ("source:name"); values are deliberately not logged — they may
-	// contain user PII beyond the attack payload.
-	InputKeys []string `json:"inputKeys,omitempty"`
-}
-
-// auditLogger serializes writes of audit records to a writer.
-type auditLogger struct {
-	mu  sync.Mutex
-	w   io.Writer
-	now func() time.Time
-}
-
-func newAuditLogger(w io.Writer) *auditLogger {
-	return &auditLogger{w: w, now: time.Now}
-}
-
-// log writes one record; failures are swallowed (auditing must never take
-// the application down), but the write is attempted exactly once.
-func (a *auditLogger) log(v Verdict, policy Policy, inputs []Input) {
-	rec := AuditRecord{
-		Time:       a.now().UTC().Format("2006-01-02T15:04:05.000Z07:00"),
-		Query:      v.Query,
-		DetectedBy: v.DetectedBy(),
-		Policy:     policy.String(),
-		// Marshal absent slices as [] rather than null so JSON-lines
-		// consumers can always index into arrays.
-		Reasons: []string{},
-	}
-	if rec.DetectedBy == nil {
-		rec.DetectedBy = []string{}
-	}
-	for _, r := range v.Reasons() {
-		rec.Reasons = append(rec.Reasons, r.String())
-	}
-	for _, in := range inputs {
-		rec.InputKeys = append(rec.InputKeys, in.Key())
-	}
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return
-	}
-	data = append(data, '\n')
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	_, _ = a.w.Write(data)
-}
+// blocked: the query, which analyzers fired, the implicated tokens, the
+// recovery policy and the input keys present at detection time (values
+// are never logged — they may contain user PII beyond the attack
+// payload). The same record shape is written by the in-process Guard and
+// by the remote-deployment HybridClient.
+type AuditRecord = audit.Record
 
 // WithAuditLog makes the Guard write one JSON line per blocked query to w.
 // Writes are serialized; w need not be safe for concurrent use.

@@ -7,6 +7,7 @@
 //	jozabench -figure 7   # PTI breakdown, unoptimized vs optimized daemon
 //	jozabench -figure 8   # read/write/search with and without Joza
 //	jozabench -metrics    # run the mix through one Guard, print its counters
+//	jozabench -transport  # single daemon connection vs connection pool
 //	jozabench -all        # everything
 package main
 
@@ -14,9 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"sync"
+	"time"
 
 	"joza"
+	"joza/internal/daemon"
+	"joza/internal/pti"
 	"joza/internal/workload"
 )
 
@@ -33,6 +39,8 @@ func run(args []string) error {
 	table := fs.Int("table", 0, "print table 5, 6 or 7")
 	figure := fs.Int("figure", 0, "print figure 7 or 8")
 	showMetrics := fs.Bool("metrics", false, "run the mixed workload through one Guard and print joza.Metrics")
+	transport := fs.Bool("transport", false, "compare one shared daemon connection against a connection pool under concurrency")
+	poolSize := fs.Int("pool", 8, "with -transport: pool size and worker count")
 	all := fs.Bool("all", false, "run everything")
 	urls := fs.Int("urls", 1001, "crawl-space size (unique URLs)")
 	requests := fs.Int("requests", 400, "requests per measurement")
@@ -40,7 +48,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *table == 0 && *figure == 0 && !*showMetrics {
+	if !*all && *table == 0 && *figure == 0 && !*showMetrics && !*transport {
 		*all = true
 	}
 
@@ -100,6 +108,84 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *all || *transport {
+		if err := runTransportBench(site, *requests, *poolSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTransportBench drives the same query stream through a TCP daemon
+// twice — once over a single shared connection (every request serializes
+// on its mutex), once over a connection pool of the same width as the
+// worker count — and prints the throughput of each. This is the remote
+// deployment's scaling story: the analysis is microseconds, so the
+// transport's head-of-line blocking dominates under concurrency.
+func runTransportBench(site *workload.Site, requests, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	analyzer := pti.NewCached(pti.New(site.Fragments), pti.CacheQueryAndStructure, 8192)
+	srv := daemon.NewServer(analyzer)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	var queries []string
+	for _, req := range site.GenerateMix(workload.Mix{WriteFraction: 0.04}, requests) {
+		for _, ev := range req.Events {
+			queries = append(queries, ev.Query)
+		}
+	}
+
+	drive := func(t daemon.Transport) (time.Duration, error) {
+		errs := make(chan error, workers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(queries); i += workers {
+					if _, err := t.Analyze(queries[i]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		return elapsed, <-errs
+	}
+
+	single, err := daemon.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer single.Close()
+	singleTime, err := drive(single)
+	if err != nil {
+		return err
+	}
+	pool := daemon.DialPool(ln.Addr().String(), daemon.PoolConfig{Size: workers})
+	defer pool.Close()
+	poolTime, err := drive(pool)
+	if err != nil {
+		return err
+	}
+
+	ops := float64(len(queries))
+	fmt.Printf("daemon transport, %d workers, %d queries:\n", workers, len(queries))
+	fmt.Printf("  single connection: %8.0f q/s (%v)\n", ops/singleTime.Seconds(), singleTime.Round(time.Millisecond))
+	fmt.Printf("  pool (size %2d):    %8.0f q/s (%v)  %.1fx\n",
+		workers, ops/poolTime.Seconds(), poolTime.Round(time.Millisecond),
+		singleTime.Seconds()/poolTime.Seconds())
 	return nil
 }
 

@@ -9,6 +9,9 @@ func TestRunSmall(t *testing.T) {
 	if err := run([]string{"-figure", "8", "-requests", "10", "-urls", "20"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := run([]string{"-transport", "-pool", "2", "-requests", "10", "-urls", "20"}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestRunBadFlags(t *testing.T) {

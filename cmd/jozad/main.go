@@ -6,6 +6,7 @@
 // Usage:
 //
 //	jozad -src /path/to/app [-addr 127.0.0.1:7033] [-cache query+structure]
+//	      [-read-timeout 2m] [-max-request 1048576]
 //	jozad -selftest   # run against a built-in demo fragment set
 package main
 
@@ -39,6 +40,8 @@ func run(args []string) error {
 	cacheMode := fs.String("cache", "query+structure", "cache mode: none, query, query+structure")
 	cacheCap := fs.Int("cache-capacity", 8192, "entries per cache")
 	watch := fs.Duration("watch", 0, "with -src: re-extract fragments at this interval when files change")
+	readTimeout := fs.Duration("read-timeout", 2*time.Minute, "drop connections idle longer than this (0 disables)")
+	maxRequest := fs.Int64("max-request", daemon.DefaultMaxRequestBytes, "max bytes per wire request")
 	selftest := fs.Bool("selftest", false, "serve a built-in demo fragment set and print a probe")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +73,9 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		return err
 	}
 	analyzer := pti.NewCached(pti.New(set), mode, *cacheCap)
-	srv := daemon.NewServer(analyzer)
+	srv := daemon.NewServer(analyzer,
+		daemon.WithReadTimeout(*readTimeout),
+		daemon.WithMaxRequestBytes(*maxRequest))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,78 @@
+// Package audit writes the JSON-lines attack log shared by the
+// in-process Guard and the remote-deployment HybridClient: one line per
+// blocked query, capturing what an operator needs to triage the event
+// without replaying it.
+package audit
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"joza/internal/core"
+	"joza/internal/nti"
+)
+
+// Record is one JSON line written to the audit log when a query is
+// blocked.
+type Record struct {
+	// Time is the detection time in RFC 3339 with millisecond precision.
+	Time string `json:"time"`
+	// Query is the blocked statement.
+	Query string `json:"query"`
+	// DetectedBy lists the analyzers that fired ("NTI", "PTI").
+	DetectedBy []string `json:"detectedBy"`
+	// Reasons are human-readable explanations (token + why).
+	Reasons []string `json:"reasons"`
+	// Policy is the recovery policy applied.
+	Policy string `json:"policy"`
+	// InputKeys names the request inputs present at detection time
+	// ("source:name"); values are deliberately not logged — they may
+	// contain user PII beyond the attack payload.
+	InputKeys []string `json:"inputKeys,omitempty"`
+}
+
+// Logger serializes writes of audit records to a writer.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewLogger returns a Logger writing one JSON line per record to w.
+// Writes are serialized; w need not be safe for concurrent use.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, now: time.Now}
+}
+
+// Log writes one record; failures are swallowed (auditing must never take
+// the application down), but the write is attempted exactly once.
+func (l *Logger) Log(v core.Verdict, policy core.Policy, inputs []nti.Input) {
+	rec := Record{
+		Time:       l.now().UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		Query:      v.Query,
+		DetectedBy: v.DetectedBy(),
+		Policy:     policy.String(),
+		// Marshal absent slices as [] rather than null so JSON-lines
+		// consumers can always index into arrays.
+		Reasons: []string{},
+	}
+	if rec.DetectedBy == nil {
+		rec.DetectedBy = []string{}
+	}
+	for _, r := range v.Reasons() {
+		rec.Reasons = append(rec.Reasons, r.String())
+	}
+	for _, in := range inputs {
+		rec.InputKeys = append(rec.InputKeys, in.Key())
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(data)
+}

@@ -1,20 +1,22 @@
-package joza
+package audit
 
 import (
 	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"joza/internal/core"
 )
 
-// TestAuditLogEmptySlicesMarshalAsArrays pins the wire shape for the
-// degenerate record: even with no analyzer details at all, detectedBy and
-// reasons must encode as [] — never null — so JSON-lines consumers can
-// index into them unconditionally.
-func TestAuditLogEmptySlicesMarshalAsArrays(t *testing.T) {
+// TestEmptySlicesMarshalAsArrays pins the wire shape for the degenerate
+// record: even with no analyzer details at all, detectedBy and reasons
+// must encode as [] — never null — so JSON-lines consumers can index into
+// them unconditionally.
+func TestEmptySlicesMarshalAsArrays(t *testing.T) {
 	var buf bytes.Buffer
-	l := newAuditLogger(&buf)
-	l.log(Verdict{Query: "SELECT 1"}, PolicyTerminate, nil)
+	l := NewLogger(&buf)
+	l.Log(core.Verdict{Query: "SELECT 1"}, core.PolicyTerminate, nil)
 	line := strings.TrimSpace(buf.String())
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal([]byte(line), &raw); err != nil {

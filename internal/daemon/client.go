@@ -1,0 +1,161 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"joza/internal/pti"
+)
+
+// ErrBroken marks a client whose connection failed mid-exchange. After
+// any encode or decode error the JSON stream may be desynced — a stale or
+// partial response could still be in flight — so the connection is closed
+// and every later call fails with this error rather than risk returning
+// another request's reply. A Pool replaces broken connections; a bare
+// Client stays broken until discarded.
+var ErrBroken = errors.New("daemon: connection broken")
+
+// Client is the Remote transport over a single connection: it speaks the
+// daemon protocol and serializes concurrent requests. Production
+// deployments wrap connections in a Pool instead; a bare Client is the
+// paper's one-pipe mode.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	timeout time.Duration
+	err     error // sticky; set on the first I/O failure or Close
+}
+
+var _ Transport = (*Client)(nil)
+
+// Dial connects to a daemon at a TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one side of net.Pipe,
+// the analogue of the paper's anonymous pipes).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}
+}
+
+// SetTimeout bounds each request round trip (send to receive). A request
+// that misses its deadline breaks the connection: the reply may still
+// arrive later, and a desynced stream must never be read again. Zero (the
+// default) disables the deadline.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Broken reports whether the connection has failed and the client is
+// permanently unusable.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// roundTrip sends one request and reads its response, marking the
+// connection broken on any I/O error.
+func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return wireResponse{}, c.err
+	}
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return wireResponse{}, c.broke("send", err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return wireResponse{}, c.broke("recv", err)
+	}
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	if resp.Err != "" {
+		return wireResponse{}, fmt.Errorf("daemon: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// broke records the sticky failure, closes the connection, and returns
+// the error for the call that hit it. Must be called with mu held.
+func (c *Client) broke(stage string, cause error) error {
+	c.err = fmt.Errorf("%w (%s: %v)", ErrBroken, stage, cause)
+	_ = c.conn.Close()
+	return fmt.Errorf("daemon %s: %w", stage, cause)
+}
+
+// Analyze implements Transport.
+func (c *Client) Analyze(query string) (*AnalysisReply, error) {
+	resp, err := c.roundTrip(wireRequest{Query: query})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Reply == nil {
+		return nil, errors.New("daemon: analyze verb returned no payload")
+	}
+	return resp.Reply, nil
+}
+
+// Stats requests the daemon's counter snapshot via the "stats" verb.
+func (c *Client) Stats() (*StatsReply, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, errors.New("daemon: stats verb returned no payload")
+	}
+	return resp.Stats, nil
+}
+
+// Close implements Transport. The client is unusable afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = net.ErrClosed
+	}
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// SpawnPipe starts a daemon over an in-memory pipe — the analogue of
+// launching the daemon on demand and talking over anonymous pipes. The
+// returned stop function shuts the daemon goroutine down.
+func SpawnPipe(analyzer *pti.Cached) (client *Client, stop func()) {
+	clientSide, serverSide := net.Pipe()
+	srv := NewServer(analyzer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	c := NewClient(clientSide)
+	return c, func() {
+		_ = c.Close()
+		_ = serverSide.Close()
+		<-done
+	}
+}

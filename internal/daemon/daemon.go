@@ -8,24 +8,23 @@
 //
 //   - Remote: newline-delimited JSON over a net.Conn (named/anonymous
 //     pipes in the paper; TCP or in-memory pipes here). This is the
-//     easy-to-deploy user-level daemon.
+//     easy-to-deploy user-level daemon. A single connection is a Client;
+//     production deployments use a Pool, which multiplexes concurrent
+//     requests over several connections, bounds each round trip with a
+//     deadline, and replaces failed connections with jittered exponential
+//     backoff.
 //   - Direct: an in-process call with no serialization, the stand-in for
 //     the "PHP extension" deployment whose overhead the paper estimates
 //     by excluding spawn and communication time.
+//
+// HybridClient composes a transport with the in-application NTI analyzer
+// and a degradation policy that decides what happens when the daemon is
+// unreachable (fail-open: NTI-only; fail-closed: treat as attack).
 package daemon
 
 import (
-	"bufio"
-	"encoding/json"
-	"fmt"
-	"net"
-	"sync"
-	"sync/atomic"
-	"time"
-
 	"joza/internal/core"
 	"joza/internal/metrics"
-	"joza/internal/nti"
 	"joza/internal/pti"
 	"joza/internal/sqltoken"
 )
@@ -150,284 +149,3 @@ type wireResponse struct {
 	Stats *StatsReply    `json:"stats,omitempty"`
 	Err   string         `json:"error,omitempty"`
 }
-
-// Server serves the daemon protocol over a listener. Multiple server
-// instances can share one analyzer (the paper's multiple coexisting
-// daemons).
-type Server struct {
-	analyzer  atomic.Pointer[pti.Cached]
-	collector *metrics.Collector
-
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-	closed bool
-}
-
-// NewServer returns a daemon server over analyzer.
-func NewServer(analyzer *pti.Cached) *Server {
-	s := &Server{
-		conns:     make(map[net.Conn]struct{}),
-		collector: metrics.NewCollector(),
-	}
-	s.analyzer.Store(analyzer)
-	return s
-}
-
-// Stats returns the daemon's counter snapshot: checks and attacks served
-// (PTI only — NTI runs application-side), the analyzer's cache totals and
-// per-shard activity, and analysis latency quantiles. Counters survive
-// SetAnalyzer swaps; cache fields reflect the current analyzer.
-func (s *Server) Stats() StatsReply {
-	snap := s.collector.Snapshot()
-	analyzer := s.analyzer.Load()
-	st := analyzer.Stats()
-	snap.CacheQueryHits = st.QueryHits
-	snap.CacheStructureHits = st.StructureHits
-	snap.CacheMisses = st.Misses
-	queryShards, _ := analyzer.ShardStats()
-	if len(queryShards) > 0 {
-		snap.CacheShards = make([]metrics.CacheShard, len(queryShards))
-		for i, sh := range queryShards {
-			snap.CacheShards[i] = metrics.CacheShard{
-				Hits: sh.Hits, Misses: sh.Misses, Entries: sh.Entries,
-			}
-		}
-	}
-	return snap
-}
-
-// SetAnalyzer atomically swaps the analyzer; in-flight requests finish on
-// the old one. The preprocessing component uses this after the installer
-// detects new or modified application files (Section IV-B).
-func (s *Server) SetAnalyzer(analyzer *pti.Cached) {
-	s.analyzer.Store(analyzer)
-}
-
-// Serve accepts connections until Close. Always returns a non-nil error.
-func (s *Server) Serve(ln net.Listener) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return net.ErrClosed
-	}
-	s.ln = ln
-	s.mu.Unlock()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		if !s.track(conn) {
-			_ = conn.Close()
-			return net.ErrClosed
-		}
-		go func() {
-			defer s.wg.Done()
-			s.ServeConn(conn)
-			s.mu.Lock()
-			delete(s.conns, conn)
-			s.mu.Unlock()
-		}()
-	}
-}
-
-func (s *Server) track(conn net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	s.conns[conn] = struct{}{}
-	s.wg.Add(1)
-	return true
-}
-
-// ServeConn serves a single established connection until it closes. It is
-// exported so a daemon can be run over a pre-connected pipe (the paper's
-// anonymous-pipe, one-request lifetime mode).
-func (s *Server) ServeConn(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
-	for {
-		var req wireRequest
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		var resp wireResponse
-		switch req.Op {
-		case "", "analyze":
-			start := time.Now()
-			reply := analyze(s.analyzer.Load(), req.Query)
-			s.collector.RecordCheck(false, reply.Attack, time.Since(start))
-			resp.Reply = reply
-		case "stats":
-			st := s.Stats()
-			resp.Stats = &st
-		default:
-			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
-		}
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-}
-
-// Close stops the server and waits for in-flight connections.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	ln := s.ln
-	for c := range s.conns {
-		_ = c.Close()
-	}
-	s.mu.Unlock()
-	var err error
-	if ln != nil {
-		err = ln.Close()
-	}
-	s.wg.Wait()
-	return err
-}
-
-// Client is the Remote transport: it speaks the daemon protocol over a
-// connection. Safe for concurrent use (requests are serialized).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
-}
-
-var _ Transport = (*Client)(nil)
-
-// Dial connects to a daemon at a TCP address.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("daemon dial: %w", err)
-	}
-	return NewClient(conn), nil
-}
-
-// NewClient wraps an established connection (e.g. one side of net.Pipe,
-// the analogue of the paper's anonymous pipes).
-func NewClient(conn net.Conn) *Client {
-	return &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-	}
-}
-
-// Analyze implements Transport.
-func (c *Client) Analyze(query string) (*AnalysisReply, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(wireRequest{Query: query}); err != nil {
-		return nil, fmt.Errorf("daemon send: %w", err)
-	}
-	var resp wireResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("daemon recv: %w", err)
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("daemon: %s", resp.Err)
-	}
-	return resp.Reply, nil
-}
-
-// Stats requests the daemon's counter snapshot via the "stats" verb.
-func (c *Client) Stats() (*StatsReply, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(wireRequest{Op: "stats"}); err != nil {
-		return nil, fmt.Errorf("daemon send: %w", err)
-	}
-	var resp wireResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("daemon recv: %w", err)
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("daemon: %s", resp.Err)
-	}
-	if resp.Stats == nil {
-		return nil, fmt.Errorf("daemon: stats verb returned no payload")
-	}
-	return resp.Stats, nil
-}
-
-// Close implements Transport.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// SpawnPipe starts a daemon over an in-memory pipe — the analogue of
-// launching the daemon on demand and talking over anonymous pipes. The
-// returned stop function shuts the daemon goroutine down.
-func SpawnPipe(analyzer *pti.Cached) (client *Client, stop func()) {
-	clientSide, serverSide := net.Pipe()
-	srv := NewServer(analyzer)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		srv.ServeConn(serverSide)
-	}()
-	c := NewClient(clientSide)
-	return c, func() {
-		_ = c.Close()
-		_ = serverSide.Close()
-		<-done
-	}
-}
-
-// HybridClient composes the deployed pieces exactly as Figure 5 shows:
-// queries go to the PTI daemon first; the returned token stream feeds the
-// in-application NTI analysis; the query is safe iff both agree.
-type HybridClient struct {
-	transport Transport
-	nti       *nti.Analyzer
-	policy    core.Policy
-}
-
-// NewHybridClient builds the application-side hybrid over a transport.
-// ntiAnalyzer may be nil to disable NTI (PTI-only deployments).
-func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core.Policy) *HybridClient {
-	return &HybridClient{transport: transport, nti: ntiAnalyzer, policy: policy}
-}
-
-// Check returns the hybrid verdict for query given the request's inputs.
-func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, error) {
-	reply, err := h.transport.Analyze(query)
-	if err != nil {
-		return core.Verdict{}, fmt.Errorf("pti analysis: %w", err)
-	}
-	v := core.Verdict{Query: query, PTI: reply.Result()}
-	if h.nti != nil {
-		v.NTI = h.nti.Analyze(query, reply.TokenStream(), inputs)
-	} else {
-		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
-	}
-	v.Attack = v.NTI.Attack || v.PTI.Attack
-	return v, nil
-}
-
-// Authorize returns nil for safe queries and an *core.AttackError
-// otherwise.
-func (h *HybridClient) Authorize(query string, inputs []nti.Input) error {
-	v, err := h.Check(query, inputs)
-	if err != nil {
-		return err
-	}
-	if !v.Attack {
-		return nil
-	}
-	return &core.AttackError{Verdict: v, Policy: h.policy}
-}
-
-// Close releases the underlying transport.
-func (h *HybridClient) Close() error { return h.transport.Close() }

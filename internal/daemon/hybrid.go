@@ -1,0 +1,180 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"joza/internal/audit"
+	"joza/internal/core"
+	"joza/internal/metrics"
+	"joza/internal/nti"
+	"joza/internal/sqltoken"
+)
+
+// DegradeMode selects what a HybridClient does with a check when the PTI
+// transport is unavailable (daemon restart, network fault, exhausted
+// reconnection attempts).
+type DegradeMode int
+
+const (
+	// DegradeError propagates the transport error to the caller, who
+	// decides (the legacy behaviour and the default).
+	DegradeError DegradeMode = iota
+	// DegradeFailClosed treats daemon outage as an attack: no query runs
+	// unverified, at the cost of availability during the outage.
+	DegradeFailClosed
+	// DegradeFailOpen skips PTI and serves the NTI-only verdict: the
+	// request path stays up and the hybrid's other half still screens
+	// every input, at the cost of PTI coverage during the outage.
+	DegradeFailOpen
+)
+
+// String names the mode for logs and flags.
+func (m DegradeMode) String() string {
+	switch m {
+	case DegradeFailClosed:
+		return "fail-closed"
+	case DegradeFailOpen:
+		return "fail-open"
+	default:
+		return "error"
+	}
+}
+
+// HybridClient composes the deployed pieces exactly as Figure 5 shows:
+// queries go to the PTI daemon first; the returned token stream feeds the
+// in-application NTI analysis; the query is safe iff both agree. Verdicts
+// are recorded in a metrics collector and, when configured, blocked
+// queries are written to the audit log — the same operator surface the
+// in-process Guard provides.
+type HybridClient struct {
+	transport Transport
+	nti       *nti.Analyzer
+	policy    core.Policy
+	degrade   DegradeMode
+	collector *metrics.Collector
+	audit     *audit.Logger
+}
+
+// HybridOption configures a HybridClient.
+type HybridOption func(*HybridClient)
+
+// WithDegradeMode sets the degradation policy applied when the transport
+// reports an error (default DegradeError).
+func WithDegradeMode(m DegradeMode) HybridOption {
+	return func(h *HybridClient) { h.degrade = m }
+}
+
+// WithCollector records verdicts into c — shared, for example, across
+// several clients of one daemon. By default each HybridClient gets its
+// own collector, readable via Metrics.
+func WithCollector(c *metrics.Collector) HybridOption {
+	return func(h *HybridClient) { h.collector = c }
+}
+
+// WithAuditLog writes one JSON line per blocked query to w, the same
+// record shape the in-process Guard writes.
+func WithAuditLog(w io.Writer) HybridOption {
+	return func(h *HybridClient) { h.audit = audit.NewLogger(w) }
+}
+
+// WithPolicy overrides the recovery policy passed to NewHybridClient.
+func WithPolicy(p core.Policy) HybridOption {
+	return func(h *HybridClient) { h.policy = p }
+}
+
+// WithoutNTI disables the application-side NTI component (PTI-only
+// deployments), overriding the analyzer passed to NewHybridClient.
+func WithoutNTI() HybridOption {
+	return func(h *HybridClient) { h.nti = nil }
+}
+
+// NewHybridClient builds the application-side hybrid over a transport.
+// ntiAnalyzer may be nil to disable NTI (PTI-only deployments).
+func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core.Policy, opts ...HybridOption) *HybridClient {
+	h := &HybridClient{transport: transport, nti: ntiAnalyzer, policy: policy}
+	for _, o := range opts {
+		o(h)
+	}
+	if h.collector == nil {
+		h.collector = metrics.NewCollector()
+	}
+	return h
+}
+
+// Check returns the hybrid verdict for query given the request's inputs.
+// When the transport fails, the configured DegradeMode decides: propagate
+// the error, fail closed (synthesize an attack verdict), or fail open
+// (serve the NTI-only verdict). Degraded checks are counted in the
+// collector's DegradedChecks.
+func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, error) {
+	var start time.Time
+	sampled := h.collector.SampleLatency()
+	if sampled {
+		start = time.Now()
+	}
+	v := core.Verdict{Query: query}
+	reply, err := h.transport.Analyze(query)
+	switch {
+	case err == nil:
+		v.PTI = reply.Result()
+	case h.degrade == DegradeFailOpen:
+		h.collector.RecordDegraded()
+		v.PTI = core.Result{Analyzer: core.AnalyzerPTI}
+	case h.degrade == DegradeFailClosed:
+		h.collector.RecordDegraded()
+		v.PTI = core.Result{
+			Analyzer: core.AnalyzerPTI,
+			Attack:   true,
+			Reasons: []core.Reason{{
+				Detail: fmt.Sprintf("PTI daemon unavailable (fail-closed): %v", err),
+			}},
+		}
+	default:
+		return core.Verdict{}, fmt.Errorf("pti analysis: %w", err)
+	}
+	if h.nti != nil {
+		// On the daemon path NTI reuses the daemon's token stream; on a
+		// degraded check it passes nil and lexes on demand.
+		var toks []sqltoken.Token
+		if reply != nil {
+			toks = reply.TokenStream()
+		}
+		v.NTI = h.nti.Analyze(query, toks, inputs)
+	} else {
+		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
+	}
+	v.Attack = v.NTI.Attack || v.PTI.Attack
+	elapsed := time.Duration(-1)
+	if sampled {
+		elapsed = time.Since(start)
+	}
+	h.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
+	if v.Attack && h.audit != nil {
+		h.audit.Log(v, h.policy, inputs)
+	}
+	return v, nil
+}
+
+// Metrics returns a snapshot of the client's counters: checks, attacks
+// per analyzer, degraded checks and latency quantiles — the operator view
+// Guard.Metrics provides, for remote deployments. PTI cache fields stay
+// zero here; the daemon's "stats" verb reports those.
+func (h *HybridClient) Metrics() metrics.Snapshot { return h.collector.Snapshot() }
+
+// Authorize returns nil for safe queries and an *core.AttackError
+// otherwise.
+func (h *HybridClient) Authorize(query string, inputs []nti.Input) error {
+	v, err := h.Check(query, inputs)
+	if err != nil {
+		return err
+	}
+	if !v.Attack {
+		return nil
+	}
+	return &core.AttackError{Verdict: v, Policy: h.policy}
+}
+
+// Close releases the underlying transport.
+func (h *HybridClient) Close() error { return h.transport.Close() }

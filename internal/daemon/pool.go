@@ -1,0 +1,229 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrUnavailable wraps the last transport failure after a pooled request
+// has exhausted its reconnection attempts: the daemon is down or
+// unreachable. HybridClient's degradation policy decides what a check
+// does when it surfaces.
+var ErrUnavailable = errors.New("daemon: unavailable")
+
+// ErrPoolClosed is returned for requests issued after Pool.Close.
+var ErrPoolClosed = errors.New("daemon: pool closed")
+
+// PoolConfig tunes a connection pool. The zero value selects the default
+// noted on each field.
+type PoolConfig struct {
+	// Size is the number of pooled connections — the pool's request
+	// concurrency (default 4). Requests beyond Size in flight wait for a
+	// free connection instead of serializing on a single one.
+	Size int
+	// Timeout bounds one request round trip, send to receive (default
+	// 2s). A connection that misses its deadline is discarded: its reply
+	// may still arrive later, and a later request must never read it.
+	Timeout time.Duration
+	// DialTimeout bounds one dial (default: Timeout).
+	DialTimeout time.Duration
+	// MaxAttempts is how many connections one request may try — the
+	// first plus replacements — before reporting ErrUnavailable
+	// (default 3).
+	MaxAttempts int
+	// BackoffMin and BackoffMax bound the jittered exponential delay
+	// between reconnection attempts (defaults 10ms and 1s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+}
+
+func (cfg PoolConfig) withDefaults() PoolConfig {
+	if cfg.Size <= 0 {
+		cfg.Size = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = cfg.Timeout
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = cfg.BackoffMin
+	}
+	return cfg
+}
+
+// Pool is a Remote transport over a fixed-size set of connections:
+// concurrent Analyze calls proceed in parallel instead of serializing on
+// one connection's mutex, every round trip carries a deadline, and failed
+// connections are replaced with jittered exponential backoff. Dialing is
+// lazy, so a pool can be built while the daemon is still coming up — and
+// a daemon restart heals on the next request instead of poisoning the
+// transport.
+type Pool struct {
+	dial func() (net.Conn, error)
+	cfg  PoolConfig
+	// slots holds the pool's connections; a nil entry is an empty slot
+	// dialed on first use or after its connection broke.
+	slots chan *Client
+	done  chan struct{}
+	once  sync.Once
+
+	dials     atomic.Uint64
+	exhausted atomic.Uint64
+}
+
+var _ Transport = (*Pool)(nil)
+
+// DialPool returns a pool of connections to a daemon at a TCP address.
+func DialPool(addr string, cfg PoolConfig) *Pool {
+	c := cfg.withDefaults()
+	return NewPool(func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, c.DialTimeout)
+	}, c)
+}
+
+// NewPool builds a pool over an arbitrary dialer (pipes, unix sockets,
+// test fault injectors).
+func NewPool(dial func() (net.Conn, error), cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		dial:  dial,
+		cfg:   cfg,
+		slots: make(chan *Client, cfg.Size),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Size; i++ {
+		p.slots <- nil
+	}
+	return p
+}
+
+// Dials returns how many connections the pool has established; a value
+// above Size means broken connections have been replaced.
+func (p *Pool) Dials() uint64 { return p.dials.Load() }
+
+// Exhausted returns how many requests gave up after MaxAttempts
+// connections failed (each surfaced as ErrUnavailable).
+func (p *Pool) Exhausted() uint64 { return p.exhausted.Load() }
+
+// do runs one request over a pooled connection, replacing broken
+// connections with backoff, up to MaxAttempts.
+func (p *Pool) do(req wireRequest) (wireResponse, error) {
+	var slot *Client
+	select {
+	case slot = <-p.slots:
+	case <-p.done:
+		return wireResponse{}, ErrPoolClosed
+	}
+	// Always return the slot — nil after a failure, so the next request
+	// redials lazily. Close drains exactly Size slots and closes whatever
+	// connections it receives, so a request finishing late hands its
+	// connection to Close rather than leaking it.
+	defer func() { p.slots <- slot }()
+	var lastErr error
+	backoff := p.cfg.BackoffMin
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(jitter(backoff)):
+			case <-p.done:
+				return wireResponse{}, ErrPoolClosed
+			}
+			if backoff *= 2; backoff > p.cfg.BackoffMax {
+				backoff = p.cfg.BackoffMax
+			}
+		}
+		if slot == nil || slot.Broken() {
+			conn, err := p.dial()
+			if err != nil {
+				slot = nil
+				lastErr = err
+				continue
+			}
+			p.dials.Add(1)
+			slot = NewClient(conn)
+			slot.SetTimeout(p.cfg.Timeout)
+		}
+		resp, err := slot.roundTrip(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !slot.Broken() {
+			// A daemon-level error on a healthy stream (e.g. an unknown
+			// verb): not a transport fault, so retrying won't change it.
+			return wireResponse{}, err
+		}
+		slot = nil
+	}
+	p.exhausted.Add(1)
+	return wireResponse{}, fmt.Errorf("%w after %d attempts: %v", ErrUnavailable, p.cfg.MaxAttempts, lastErr)
+}
+
+// jitter spreads a retry delay uniformly over [d/2, d) so clients that
+// lost their connections together don't reconnect in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(half)
+}
+
+// Analyze implements Transport.
+func (p *Pool) Analyze(query string) (*AnalysisReply, error) {
+	resp, err := p.do(wireRequest{Query: query})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Reply == nil {
+		return nil, errors.New("daemon: analyze verb returned no payload")
+	}
+	return resp.Reply, nil
+}
+
+// Stats fetches the daemon's counter snapshot through the pool.
+func (p *Pool) Stats() (*StatsReply, error) {
+	resp, err := p.do(wireRequest{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, errors.New("daemon: stats verb returned no payload")
+	}
+	return resp.Stats, nil
+}
+
+// Close implements Transport: it fails pending waiters, then reclaims and
+// closes all Size connections, waiting for in-flight requests to hand
+// theirs back (each is bounded by its deadline and aborts its backoff
+// sleeps once the pool is closed).
+func (p *Pool) Close() error {
+	var err error
+	p.once.Do(func() {
+		close(p.done)
+		for i := 0; i < p.cfg.Size; i++ {
+			if c := <-p.slots; c != nil {
+				if cerr := c.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}
+	})
+	return err
+}

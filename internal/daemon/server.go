@@ -1,0 +1,249 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"joza/internal/metrics"
+	"joza/internal/pti"
+)
+
+// DefaultMaxRequestBytes caps the size of one wire request. A legitimate
+// query never approaches it; a client that exceeds it has its connection
+// dropped rather than letting it balloon the daemon's memory.
+const DefaultMaxRequestBytes = 1 << 20
+
+// Bounds for the capped exponential backoff Serve applies to transient
+// Accept failures (EMFILE, ECONNABORTED, ...).
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
+// Server serves the daemon protocol over a listener. Multiple server
+// instances can share one analyzer (the paper's multiple coexisting
+// daemons).
+type Server struct {
+	analyzer  atomic.Pointer[pti.Cached]
+	collector *metrics.Collector
+
+	readTimeout time.Duration
+	maxRequest  int64
+
+	// Per-op wire counters, reported through Stats.
+	analyzeOps atomic.Uint64
+	statsOps   atomic.Uint64
+	errorOps   atomic.Uint64
+	timeouts   atomic.Uint64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithReadTimeout drops connections that stay idle — or stall mid-request
+// — longer than d between bytes of a request. Zero (the default) disables
+// the deadline: a pipe to a co-located application process needs none,
+// while a TCP daemon should set one so abandoned sockets can't accumulate.
+func WithReadTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithMaxRequestBytes caps the size of one wire request (default
+// DefaultMaxRequestBytes). Oversized requests break the connection.
+func WithMaxRequestBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxRequest = n
+		}
+	}
+}
+
+// NewServer returns a daemon server over analyzer.
+func NewServer(analyzer *pti.Cached, opts ...ServerOption) *Server {
+	s := &Server{
+		conns:      make(map[net.Conn]struct{}),
+		collector:  metrics.NewCollector(),
+		maxRequest: DefaultMaxRequestBytes,
+	}
+	s.analyzer.Store(analyzer)
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stats returns the daemon's counter snapshot: checks and attacks served
+// (PTI only — NTI runs application-side), per-op wire activity, the
+// analyzer's cache totals and per-shard activity, and analysis latency
+// quantiles. Counters survive SetAnalyzer swaps; cache fields reflect the
+// current analyzer.
+func (s *Server) Stats() StatsReply {
+	snap := s.collector.Snapshot()
+	snap.DaemonAnalyzeOps = s.analyzeOps.Load()
+	snap.DaemonStatsOps = s.statsOps.Load()
+	snap.DaemonErrors = s.errorOps.Load()
+	snap.DaemonTimeouts = s.timeouts.Load()
+	analyzer := s.analyzer.Load()
+	st := analyzer.Stats()
+	snap.CacheQueryHits = st.QueryHits
+	snap.CacheStructureHits = st.StructureHits
+	snap.CacheMisses = st.Misses
+	queryShards, _ := analyzer.ShardStats()
+	if len(queryShards) > 0 {
+		snap.CacheShards = make([]metrics.CacheShard, len(queryShards))
+		for i, sh := range queryShards {
+			snap.CacheShards[i] = metrics.CacheShard{
+				Hits: sh.Hits, Misses: sh.Misses, Entries: sh.Entries,
+			}
+		}
+	}
+	return snap
+}
+
+// SetAnalyzer atomically swaps the analyzer; in-flight requests finish on
+// the old one. The preprocessing component uses this after the installer
+// detects new or modified application files (Section IV-B).
+func (s *Server) SetAnalyzer(analyzer *pti.Cached) {
+	s.analyzer.Store(analyzer)
+}
+
+// Serve accepts connections until Close. Transient Accept failures —
+// EMFILE under connection storms, ECONNABORTED from connections reset
+// before accept — are retried with capped exponential backoff instead of
+// killing the daemon; only listener closure ends the loop. Always returns
+// a non-nil error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		backoff = 0
+		if !s.track(conn) {
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+// ServeConn serves a single established connection until it closes. It is
+// exported so a daemon can be run over a pre-connected pipe (the paper's
+// anonymous-pipe, one-request lifetime mode).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	lr := &io.LimitedReader{R: conn, N: s.maxRequest}
+	dec := json.NewDecoder(bufio.NewReader(lr))
+	enc := json.NewEncoder(conn)
+	for {
+		// Reset the per-request byte budget. The buffered reader may hold
+		// bytes already admitted under an earlier budget; the limit bounds
+		// what one request can pull off the wire, not exact accounting.
+		lr.N = s.maxRequest
+		if s.readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.timeouts.Add(1)
+			}
+			return
+		}
+		var resp wireResponse
+		switch req.Op {
+		case "", "analyze":
+			s.analyzeOps.Add(1)
+			start := time.Now()
+			reply := analyze(s.analyzer.Load(), req.Query)
+			s.collector.RecordCheck(false, reply.Attack, time.Since(start))
+			resp.Reply = reply
+		case "stats":
+			s.statsOps.Add(1)
+			st := s.Stats()
+			resp.Stats = &st
+		default:
+			s.errorOps.Add(1)
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := enc.Encode(resp); err != nil {
+			s.errorOps.Add(1)
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

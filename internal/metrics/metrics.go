@@ -90,6 +90,7 @@ type Collector struct {
 	attacks    atomic.Uint64
 	ntiAttacks atomic.Uint64
 	ptiAttacks atomic.Uint64
+	degraded   atomic.Uint64
 	sampleTick atomic.Uint64
 	latency    Histogram
 }
@@ -130,17 +131,24 @@ func (c *Collector) RecordCheck(ntiAttack, ptiAttack bool, d time.Duration) {
 	}
 }
 
+// RecordDegraded counts one check that could not reach the PTI daemon and
+// fell back to the transport's degradation policy (NTI-only fail-open or
+// a synthesized fail-closed attack verdict). Callers pair it with
+// RecordCheck for the verdict they ultimately served.
+func (c *Collector) RecordDegraded() { c.degraded.Add(1) }
+
 // Snapshot returns the collector's counters. Cache and matcher fields are
 // zero; the owner (Guard, daemon server) fills them from its analyzers.
 func (c *Collector) Snapshot() Snapshot {
 	return Snapshot{
-		Checks:        c.checks.Load(),
-		Attacks:       c.attacks.Load(),
-		NTIAttacks:    c.ntiAttacks.Load(),
-		PTIAttacks:    c.ptiAttacks.Load(),
-		LatencyP50Ns:  int64(c.latency.Quantile(0.50)),
-		LatencyP99Ns:  int64(c.latency.Quantile(0.99)),
-		LatencyMeanNs: int64(c.latency.Mean()),
+		Checks:         c.checks.Load(),
+		Attacks:        c.attacks.Load(),
+		NTIAttacks:     c.ntiAttacks.Load(),
+		PTIAttacks:     c.ptiAttacks.Load(),
+		DegradedChecks: c.degraded.Load(),
+		LatencyP50Ns:   int64(c.latency.Quantile(0.50)),
+		LatencyP99Ns:   int64(c.latency.Quantile(0.99)),
+		LatencyMeanNs:  int64(c.latency.Mean()),
 	}
 }
 
@@ -162,11 +170,26 @@ type Snapshot struct {
 	NTIAttacks uint64 `json:"ntiAttacks"`
 	PTIAttacks uint64 `json:"ptiAttacks"`
 
+	// DegradedChecks counts checks served without a PTI verdict because
+	// the daemon transport was unavailable: the remote HybridClient fell
+	// back to its degradation policy (fail-open NTI-only or fail-closed
+	// synthetic attack). Always zero for in-process Guards.
+	DegradedChecks uint64 `json:"degradedChecks"`
+
 	// NTI approximate-matcher activity: total invocations of the
 	// quadratic matcher and how many were abandoned early by the
 	// threshold band.
 	NTIMatcherCalls      uint64 `json:"ntiMatcherCalls"`
 	NTIMatcherEarlyExits uint64 `json:"ntiMatcherEarlyExits"`
+
+	// Daemon server activity, filled by the daemon's Stats: requests by
+	// verb, protocol errors (unknown verbs, replies that failed to
+	// encode), and connections dropped by the per-connection read
+	// deadline. Zero when the owner is not serving the wire protocol.
+	DaemonAnalyzeOps uint64 `json:"daemonAnalyzeOps,omitempty"`
+	DaemonStatsOps   uint64 `json:"daemonStatsOps,omitempty"`
+	DaemonErrors     uint64 `json:"daemonErrors,omitempty"`
+	DaemonTimeouts   uint64 `json:"daemonTimeouts,omitempty"`
 
 	// PTI cache totals and per-shard breakdown of the query cache.
 	CacheQueryHits     uint64       `json:"cacheQueryHits"`
@@ -185,6 +208,13 @@ func (s Snapshot) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "checks %d, attacks %d (NTI %d, PTI %d)\n",
 		s.Checks, s.Attacks, s.NTIAttacks, s.PTIAttacks)
+	if s.DegradedChecks > 0 {
+		fmt.Fprintf(&b, "degraded checks (daemon unreachable): %d\n", s.DegradedChecks)
+	}
+	if s.DaemonAnalyzeOps+s.DaemonStatsOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
+		fmt.Fprintf(&b, "daemon ops: %d analyze, %d stats, %d errors, %d timeouts\n",
+			s.DaemonAnalyzeOps, s.DaemonStatsOps, s.DaemonErrors, s.DaemonTimeouts)
+	}
 	fmt.Fprintf(&b, "latency p50 %v, p99 %v, mean %v\n",
 		time.Duration(s.LatencyP50Ns), time.Duration(s.LatencyP99Ns), time.Duration(s.LatencyMeanNs))
 	fmt.Fprintf(&b, "pti cache: %d query hits, %d structure hits, %d misses\n",

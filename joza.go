@@ -40,6 +40,7 @@ import (
 	"io"
 	"time"
 
+	"joza/internal/audit"
 	"joza/internal/core"
 	"joza/internal/fragments"
 	"joza/internal/metrics"
@@ -70,7 +71,9 @@ type (
 	// Metrics is a point-in-time snapshot of a Guard's counters: checks,
 	// attacks per analyzer, PTI cache activity (totals and per shard),
 	// NTI matcher activity and check-latency quantiles. The same type is
-	// served by the PTI daemon's "stats" verb.
+	// served by the PTI daemon's "stats" verb (with per-op wire counters
+	// filled in) and returned by RemoteGuard.Metrics (which also counts
+	// checks degraded by a daemon outage).
 	Metrics = metrics.Snapshot
 	// CacheShardMetrics is the activity of one PTI cache shard.
 	CacheShardMetrics = metrics.CacheShard
@@ -99,7 +102,7 @@ type Guard struct {
 	ptiAnalyzer *pti.Cached
 	policy      core.Policy
 	set         *fragments.Set
-	audit       *auditLogger
+	auditLog    *audit.Logger
 	collector   *metrics.Collector
 }
 
@@ -220,7 +223,7 @@ func New(opts ...Option) (*Guard, error) {
 		return nil, errors.New("joza: both analyzers disabled")
 	}
 	if cfg.auditWriter != nil {
-		g.audit = newAuditLogger(cfg.auditWriter)
+		g.auditLog = audit.NewLogger(cfg.auditWriter)
 	}
 	g.collector = cfg.collector
 	if g.collector == nil {
@@ -299,8 +302,8 @@ func (g *Guard) Check(query string, inputs []Input) Verdict {
 		elapsed = time.Since(start)
 	}
 	g.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
-	if v.Attack && g.audit != nil {
-		g.audit.log(v, g.policy, inputs)
+	if v.Attack && g.auditLog != nil {
+		g.auditLog.Log(v, g.policy, inputs)
 	}
 	return v
 }

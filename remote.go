@@ -1,0 +1,92 @@
+package joza
+
+// Remote-deployment surface: the PTI daemon transports live in
+// internal/daemon, so applications outside this module reach them through
+// these re-exports. The deployment mirrors Figure 5 of the paper: a
+// jozad process holds the fragment set and serves PTI analysis; the
+// application runs NTI in process over the daemon's token stream and
+// blocks a query iff either analyzer flags it.
+
+import (
+	"io"
+
+	"joza/internal/core"
+	"joza/internal/daemon"
+	"joza/internal/nti"
+)
+
+type (
+	// DaemonTransport is the application's view of the PTI analysis,
+	// independent of deployment (single connection, pool, or in-process).
+	DaemonTransport = daemon.Transport
+	// DaemonClient is the Remote transport over a single connection.
+	DaemonClient = daemon.Client
+	// DaemonPool is the production Remote transport: a fixed-size
+	// connection pool with per-request deadlines and jittered-backoff
+	// reconnection.
+	DaemonPool = daemon.Pool
+	// DaemonPoolConfig tunes a DaemonPool (size, timeout, backoff).
+	DaemonPoolConfig = daemon.PoolConfig
+	// DegradeMode selects fail-open/fail-closed behaviour when the
+	// daemon is unreachable.
+	DegradeMode = daemon.DegradeMode
+	// RemoteGuard is the application-side hybrid over a transport: PTI
+	// via the daemon, NTI in process, one verdict.
+	RemoteGuard = daemon.HybridClient
+	// RemoteGuardOption configures a RemoteGuard.
+	RemoteGuardOption = daemon.HybridOption
+	// AnalysisReply is the daemon's answer for one query.
+	AnalysisReply = daemon.AnalysisReply
+)
+
+// Degradation policies for daemon outages, re-exported. Fail-open keeps
+// NTI active — the hybrid's other half still screens every input.
+const (
+	// DegradeError propagates transport errors to the caller (default).
+	DegradeError = daemon.DegradeError
+	// DegradeFailClosed treats daemon outage as an attack.
+	DegradeFailClosed = daemon.DegradeFailClosed
+	// DegradeFailOpen serves NTI-only verdicts during the outage.
+	DegradeFailOpen = daemon.DegradeFailOpen
+)
+
+// DialDaemon connects one client to a PTI daemon at a TCP address (the
+// paper's single-pipe mode; use DialDaemonPool for concurrent traffic).
+func DialDaemon(addr string) (*DaemonClient, error) { return daemon.Dial(addr) }
+
+// DialDaemonPool returns a connection pool to a PTI daemon at a TCP
+// address. Dialing is lazy: the pool can be built before the daemon is
+// up, and a daemon restart heals on the next request.
+func DialDaemonPool(addr string, cfg DaemonPoolConfig) *DaemonPool {
+	return daemon.DialPool(addr, cfg)
+}
+
+// NewRemoteGuard builds the application-side hybrid over a daemon
+// transport with the default NTI analyzer and terminate policy; options
+// adjust the degradation mode, policy, metrics collector and audit log.
+func NewRemoteGuard(transport DaemonTransport, opts ...RemoteGuardOption) *RemoteGuard {
+	return daemon.NewHybridClient(transport, nti.New(), core.PolicyTerminate, opts...)
+}
+
+// WithRemoteDegradeMode sets what a RemoteGuard does when the daemon is
+// unreachable (default DegradeError).
+func WithRemoteDegradeMode(m DegradeMode) RemoteGuardOption {
+	return daemon.WithDegradeMode(m)
+}
+
+// WithRemoteAuditLog makes the RemoteGuard write one AuditRecord JSON
+// line per blocked query to w, exactly as the in-process Guard does.
+func WithRemoteAuditLog(w io.Writer) RemoteGuardOption {
+	return daemon.WithAuditLog(w)
+}
+
+// WithRemotePolicy sets the recovery policy used by RemoteGuard.Authorize.
+func WithRemotePolicy(p Policy) RemoteGuardOption {
+	return daemon.WithPolicy(p)
+}
+
+// WithoutRemoteNTI disables the in-process NTI component (PTI-only
+// remote deployments).
+func WithoutRemoteNTI() RemoteGuardOption {
+	return daemon.WithoutNTI()
+}
