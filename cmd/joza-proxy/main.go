@@ -5,7 +5,11 @@
 // Usage:
 //
 //	joza-proxy -src /path/to/app -listen 127.0.0.1:7040 -upstream 127.0.0.1:7050
+//	          [-obs 127.0.0.1:9040] [-trace-sample 1]
 //	joza-proxy -demo            # built-in demo DB + fragment set
+//
+// With -obs the proxy's Guard serves its observability surface over HTTP:
+// Prometheus /metrics, /healthz, /traces and /debug/pprof/.
 package main
 
 import (
@@ -19,6 +23,10 @@ import (
 	"joza/internal/minidb"
 	"joza/internal/proxy"
 )
+
+// testReady, when set by a test, receives the bound proxy and
+// observability addresses once the listeners are up.
+var testReady func(proxyAddr, obsAddr string)
 
 func main() {
 	log.SetFlags(0)
@@ -34,6 +42,9 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7040", "proxy listen address")
 	upstream := fs.String("upstream", "", "upstream minidb server address")
 	policy := fs.String("policy", "terminate", "recovery policy: terminate, error-virtualization")
+	obsAddr := fs.String("obs", "", "observability HTTP listen address: /metrics, /healthz, /traces, /debug/pprof/ (empty disables)")
+	traceSample := fs.Int("trace-sample", 1, "trace one check in N (0 disables tracing; only used with -obs)")
+	traceSlow := fs.Duration("trace-slow", 0, "also mark benign traces at or above this duration notable")
 	demo := fs.Bool("demo", false, "use a built-in demo database and fragment set")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,9 +84,24 @@ $q = "SELECT id, title FROM posts WHERE id=$id LIMIT 5";`)
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
+	if *obsAddr != "" {
+		sample := *traceSample
+		if sample == 0 {
+			sample = -1 // flag semantics: 0 disables; the config's 0 means default
+		}
+		opts = append(opts, joza.WithObservability(joza.ObservabilityConfig{
+			Addr:               *obsAddr,
+			TraceSampleEvery:   sample,
+			TraceSlowThreshold: *traceSlow,
+		}))
+	}
 	guard, err := joza.New(opts...)
 	if err != nil {
 		return err
+	}
+	defer func() { _ = guard.Close() }()
+	if a := guard.ObservabilityAddr(); a != "" {
+		log.Printf("observability on http://%s (/metrics /healthz /traces /debug/pprof/)", a)
 	}
 
 	p := proxy.New(guard, backend)
@@ -85,5 +111,8 @@ $q = "SELECT id, title FROM posts WHERE id=$id LIMIT 5";`)
 	}
 	log.Printf("proxying on %s (%d fragments, policy %s)",
 		ln.Addr(), guard.FragmentCount(), guard.Policy())
+	if testReady != nil {
+		testReady(ln.Addr().String(), guard.ObservabilityAddr())
+	}
 	return p.Serve(ln)
 }

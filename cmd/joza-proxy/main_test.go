@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"joza/internal/minidb"
+)
 
 func TestRunErrors(t *testing.T) {
 	if err := run(nil); err == nil {
@@ -14,5 +22,73 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag must error")
+	}
+}
+
+// TestObservabilityEndToEnd boots the demo proxy with -obs, runs one
+// benign and one injected query through the wire, and scrapes /metrics.
+func TestObservabilityEndToEnd(t *testing.T) {
+	ready := make(chan [2]string, 1)
+	testReady = func(proxyAddr, obsAddr string) {
+		ready <- [2]string{proxyAddr, obsAddr}
+	}
+	defer func() { testReady = nil }()
+	go func() {
+		if err := run([]string{"-demo", "-listen", "127.0.0.1:0", "-obs", "127.0.0.1:0"}); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+	var addrs [2]string
+	select {
+	case addrs = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxy did not come up")
+	}
+	proxyAddr, obsAddr := addrs[0], addrs[1]
+	if obsAddr == "" {
+		t.Fatal("observability listener did not bind")
+	}
+
+	c, err := minidb.Dial(proxyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.QueryWithInputs("SELECT id, title FROM posts WHERE id=1 LIMIT 5",
+		[]minidb.WireInput{{Source: "get", Name: "id", Value: "1"}}); err != nil {
+		t.Fatalf("benign query: %v", err)
+	}
+	if _, err := c.QueryWithInputs("SELECT id, title FROM posts WHERE id=-1 OR 1=1 LIMIT 5",
+		[]minidb.WireInput{{Source: "get", Name: "id", Value: "-1 OR 1=1"}}); err == nil {
+		t.Fatal("injected query was not blocked")
+	}
+
+	resp, err := http.Get("http://" + obsAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"joza_checks_total 2",
+		"joza_attacks_total 1",
+		`joza_stage_duration_seconds_bucket{stage="pti_cover"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	hz, err := http.Get("http://" + obsAddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", hz.StatusCode)
 	}
 }

@@ -9,14 +9,21 @@
 //	jozabench -metrics    # run the mix through one Guard, print its counters
 //	jozabench -transport  # single daemon connection vs connection pool
 //	jozabench -all        # everything
+//	jozabench -all -json bench.json   # also write results as JSON
+//
+// The -json report carries every section the invocation ran plus the run
+// parameters and Go version, so CI can archive one machine-readable
+// artifact per commit and diff benchmark results across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -25,6 +32,35 @@ import (
 	"joza/internal/pti"
 	"joza/internal/workload"
 )
+
+// benchReport is the -json output: one section per benchmark the
+// invocation ran, omitted when not run.
+type benchReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	GoVersion   string `json:"goVersion"`
+	NumCPU      int    `json:"numCpu"`
+	URLs        int    `json:"urls"`
+	Requests    int    `json:"requests"`
+	Seed        int64  `json:"seed"`
+
+	Table5       *workload.Table5Result `json:"table5,omitempty"`
+	Table6       []workload.Table6Row   `json:"table6,omitempty"`
+	Figure7      []workload.Figure7Bar  `json:"figure7,omitempty"`
+	Figure8      []workload.Figure8Row  `json:"figure8,omitempty"`
+	Transport    *transportResult       `json:"transport,omitempty"`
+	GuardMetrics *joza.Metrics          `json:"guardMetrics,omitempty"`
+}
+
+// transportResult is the measured outcome of the transport comparison.
+type transportResult struct {
+	Workers       int     `json:"workers"`
+	Queries       int     `json:"queries"`
+	SingleQPS     float64 `json:"singleQps"`
+	PoolQPS       float64 `json:"poolQps"`
+	PoolSpeedup   float64 `json:"poolSpeedup"`
+	SingleSeconds float64 `json:"singleSeconds"`
+	PoolSeconds   float64 `json:"poolSeconds"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -45,6 +81,7 @@ func run(args []string) error {
 	urls := fs.Int("urls", 1001, "crawl-space size (unique URLs)")
 	requests := fs.Int("requests", 400, "requests per measurement")
 	seed := fs.Int64("seed", 42, "workload generator seed")
+	jsonPath := fs.String("json", "", "also write the results of this run as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +96,15 @@ func run(args []string) error {
 	fmt.Printf("site: %d URLs, %d trusted fragments, %d requests per run\n\n",
 		site.NumURLs, site.Fragments.Len(), *requests)
 
+	report := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		URLs:        *urls,
+		Requests:    *requests,
+		Seed:        *seed,
+	}
+
 	var readOvh, writeOvh float64
 	if *all || *table == 5 || *table == 7 {
 		res, err := workload.RunTable5(site, *requests)
@@ -67,6 +113,7 @@ func run(args []string) error {
 		}
 		if *all || *table == 5 {
 			fmt.Println(res.Format())
+			report.Table5 = res
 		}
 		// The query+structure daemon row feeds Table VII's prediction.
 		for _, row := range res.Rows {
@@ -82,6 +129,7 @@ func run(args []string) error {
 		}
 		fmt.Print(workload.FormatTable6(rows))
 		fmt.Println(workload.SparklineTable6(rows))
+		report.Table6 = rows
 	}
 	if *all || *table == 7 {
 		stats := workload.DefaultWordPressStats()
@@ -94,6 +142,7 @@ func run(args []string) error {
 		}
 		fmt.Print(workload.FormatFigure7(bars))
 		fmt.Println(workload.ChartFigure7(bars))
+		report.Figure7 = bars
 	}
 	if *all || *figure == 8 {
 		rows, err := workload.RunFigure8(site, *requests)
@@ -102,16 +151,31 @@ func run(args []string) error {
 		}
 		fmt.Print(workload.FormatFigure8(rows))
 		fmt.Println(workload.ChartFigure8(rows))
+		report.Figure8 = rows
 	}
 	if *all || *showMetrics {
-		if err := printGuardMetrics(site, *requests); err != nil {
+		snap, err := runGuardMetrics(site, *requests)
+		if err != nil {
 			return err
 		}
+		report.GuardMetrics = snap
 	}
 	if *all || *transport {
-		if err := runTransportBench(site, *requests, *poolSize); err != nil {
+		tr, err := runTransportBench(site, *requests, *poolSize)
+		if err != nil {
 			return err
 		}
+		report.Transport = tr
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", *jsonPath)
 	}
 	return nil
 }
@@ -122,7 +186,7 @@ func run(args []string) error {
 // worker count — and prints the throughput of each. This is the remote
 // deployment's scaling story: the analysis is microseconds, so the
 // transport's head-of-line blocking dominates under concurrency.
-func runTransportBench(site *workload.Site, requests, workers int) error {
+func runTransportBench(site *workload.Site, requests, workers int) (*transportResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -130,7 +194,7 @@ func runTransportBench(site *workload.Site, requests, workers int) error {
 	srv := daemon.NewServer(analyzer)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
@@ -166,18 +230,18 @@ func runTransportBench(site *workload.Site, requests, workers int) error {
 
 	single, err := daemon.Dial(ln.Addr().String())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer single.Close()
 	singleTime, err := drive(single)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pool := daemon.DialPool(ln.Addr().String(), daemon.PoolConfig{Size: workers})
 	defer pool.Close()
 	poolTime, err := drive(pool)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	ops := float64(len(queries))
@@ -186,19 +250,28 @@ func runTransportBench(site *workload.Site, requests, workers int) error {
 	fmt.Printf("  pool (size %2d):    %8.0f q/s (%v)  %.1fx\n",
 		workers, ops/poolTime.Seconds(), poolTime.Round(time.Millisecond),
 		singleTime.Seconds()/poolTime.Seconds())
-	return nil
+	return &transportResult{
+		Workers:       workers,
+		Queries:       len(queries),
+		SingleQPS:     ops / singleTime.Seconds(),
+		PoolQPS:       ops / poolTime.Seconds(),
+		PoolSpeedup:   singleTime.Seconds() / poolTime.Seconds(),
+		SingleSeconds: singleTime.Seconds(),
+		PoolSeconds:   poolTime.Seconds(),
+	}, nil
 }
 
-// printGuardMetrics drives the Table VI workload mix through a single
+// runGuardMetrics drives the Table VI workload mix through a single
 // library-mode Guard and prints its counter snapshot — the operator-facing
-// view of the same run the tables time.
-func printGuardMetrics(site *workload.Site, requests int) error {
+// view of the same run the tables time. The snapshot is returned for the
+// JSON report.
+func runGuardMetrics(site *workload.Site, requests int) (*joza.Metrics, error) {
 	guard, err := joza.New(
 		joza.WithFragmentSet(site.Fragments),
 		joza.WithCacheMode(joza.CacheQueryAndStructure, 8192),
 	)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	reqs := site.GenerateMix(workload.Mix{WriteFraction: 0.04}, requests)
 	reqs = append(reqs, site.GenerateRequests(workload.Search, requests/20)...)
@@ -208,6 +281,7 @@ func printGuardMetrics(site *workload.Site, requests int) error {
 		}
 	}
 	fmt.Println("guard metrics (read/write/search mix, query+structure cache):")
-	fmt.Println(guard.Metrics().Format())
-	return nil
+	snap := guard.Metrics()
+	fmt.Println(snap.Format())
+	return &snap, nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSmall(t *testing.T) {
 	if err := run([]string{"-table", "6", "-requests", "10", "-urls", "20"}); err != nil {
@@ -17,5 +22,39 @@ func TestRunSmall(t *testing.T) {
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag must error")
+	}
+}
+
+// TestJSONReport runs two sections with -json and checks the report file
+// carries exactly the sections that ran, with the run parameters.
+func TestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-table", "6", "-transport", "-pool", "2",
+		"-requests", "10", "-urls", "20", "-seed", "7", "-json", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if report.GoVersion == "" || report.GeneratedAt == "" {
+		t.Fatalf("missing run metadata: %+v", report)
+	}
+	if report.URLs != 20 || report.Requests != 10 || report.Seed != 7 {
+		t.Fatalf("run parameters not recorded: %+v", report)
+	}
+	if len(report.Table6) == 0 {
+		t.Fatal("table6 section missing")
+	}
+	if report.Transport == nil || report.Transport.Workers != 2 || report.Transport.PoolQPS <= 0 {
+		t.Fatalf("transport section = %+v", report.Transport)
+	}
+	if report.Table5 != nil || len(report.Figure7) != 0 || report.GuardMetrics != nil {
+		t.Fatal("sections that did not run must be omitted")
 	}
 }

@@ -7,7 +7,15 @@
 //
 //	jozad -src /path/to/app [-addr 127.0.0.1:7033] [-cache query+structure]
 //	      [-read-timeout 2m] [-max-request 1048576]
+//	      [-obs 127.0.0.1:9033] [-trace-sample 1]
 //	jozad -selftest   # run against a built-in demo fragment set
+//
+// With -obs the daemon serves its observability surface over HTTP:
+// Prometheus /metrics (counters plus latency and per-stage histograms),
+// /healthz, /traces (recent and notable decision traces) and the standard
+// /debug/pprof/ handlers. Tracing itself is independent of the listener:
+// sampled analyze requests also answer the wire protocol's "traces" verb
+// and attach their span to the reply.
 package main
 
 import (
@@ -22,8 +30,14 @@ import (
 	"joza/internal/daemon"
 	"joza/internal/fragments"
 	"joza/internal/installer"
+	"joza/internal/obs"
 	"joza/internal/pti"
+	"joza/internal/trace"
 )
+
+// testReady, when set by a test, receives the bound daemon and
+// observability addresses once both listeners are up.
+var testReady func(daemonAddr, obsAddr string)
 
 func main() {
 	log.SetFlags(0)
@@ -42,6 +56,10 @@ func run(args []string) error {
 	watch := fs.Duration("watch", 0, "with -src: re-extract fragments at this interval when files change")
 	readTimeout := fs.Duration("read-timeout", 2*time.Minute, "drop connections idle longer than this (0 disables)")
 	maxRequest := fs.Int64("max-request", daemon.DefaultMaxRequestBytes, "max bytes per wire request")
+	obsAddr := fs.String("obs", "", "observability HTTP listen address: /metrics, /healthz, /traces, /debug/pprof/ (empty disables)")
+	traceSample := fs.Int("trace-sample", 1, "trace one analyze request in N (0 disables tracing)")
+	traceRing := fs.Int("trace-ring", trace.DefaultRingSize, "capacity of each trace ring buffer")
+	traceSlow := fs.Duration("trace-slow", 0, "also mark benign traces at or above this duration notable (0: attacks only)")
 	selftest := fs.Bool("selftest", false, "serve a built-in demo fragment set and print a probe")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,15 +91,36 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		return err
 	}
 	analyzer := pti.NewCached(pti.New(set), mode, *cacheCap)
+	tracer := trace.New(trace.Config{
+		SampleEvery:   *traceSample,
+		RingSize:      *traceRing,
+		SlowThreshold: *traceSlow,
+	})
 	srv := daemon.NewServer(analyzer,
 		daemon.WithReadTimeout(*readTimeout),
-		daemon.WithMaxRequestBytes(*maxRequest))
+		daemon.WithMaxRequestBytes(*maxRequest),
+		daemon.WithTracer(tracer))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	log.Printf("serving PTI analysis on %s (%d fragments, %s)", ln.Addr(), set.Len(), mode)
+
+	boundObs := ""
+	if *obsAddr != "" {
+		obsSrv := obs.NewServer(srv.Stats, tracer)
+		bound, err := obsSrv.Start(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = obsSrv.Close() }()
+		boundObs = bound.String()
+		log.Printf("observability on http://%s (/metrics /healthz /traces /debug/pprof/)", boundObs)
+	}
+	if testReady != nil {
+		testReady(ln.Addr().String(), boundObs)
+	}
 
 	if ins != nil && *watch > 0 {
 		// Preprocessing loop: pick up new or modified application files

@@ -131,6 +131,18 @@ func (c *Client) Stats() (*StatsReply, error) {
 	return resp.Stats, nil
 }
 
+// Traces requests the daemon's trace rings via the "traces" verb.
+func (c *Client) Traces() (*TracesReply, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "traces"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Traces == nil {
+		return nil, errors.New("daemon: traces verb returned no payload")
+	}
+	return resp.Traces, nil
+}
+
 // Close implements Transport. The client is unusable afterwards.
 func (c *Client) Close() error {
 	c.mu.Lock()

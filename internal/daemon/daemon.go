@@ -23,10 +23,13 @@
 package daemon
 
 import (
+	"time"
+
 	"joza/internal/core"
 	"joza/internal/metrics"
 	"joza/internal/pti"
 	"joza/internal/sqltoken"
+	"joza/internal/trace"
 )
 
 // AnalysisReply is the daemon's answer for one query.
@@ -38,6 +41,10 @@ type AnalysisReply struct {
 	// Tokens is the full token stream of the query; the application-side
 	// NTI component reuses it instead of re-lexing.
 	Tokens []TokenJSON `json:"tokens"`
+	// Trace is the daemon-side decision trace, present when the daemon
+	// sampled this check. A tracing HybridClient merges it into its own
+	// span so one trace shows both sides of the wire.
+	Trace *trace.Span `json:"trace,omitempty"`
 }
 
 // ReasonJSON is the wire form of core.Reason.
@@ -86,8 +93,23 @@ func (r *AnalysisReply) Result() core.Result {
 
 // analyze runs the shared daemon-side analysis for both transports.
 func analyze(analyzer *pti.Cached, query string) *AnalysisReply {
+	return analyzeTraced(analyzer, query, nil)
+}
+
+// analyzeTraced is analyze with decision tracing: a non-nil span records
+// the lex duration, the cache outcome, the fragment-cover duration and the
+// per-token cover evidence. The daemon always lexes (it returns the token
+// stream to the client), so the lex is timed here rather than lazily.
+func analyzeTraced(analyzer *pti.Cached, query string, span *trace.Span) *AnalysisReply {
+	var lexStart time.Time
+	if span.Active() {
+		lexStart = time.Now()
+	}
 	toks := sqltoken.Lex(query)
-	res := analyzer.Analyze(query, toks)
+	if span.Active() {
+		span.Lex(time.Since(lexStart))
+	}
+	res, _ := analyzer.AnalyzeLazyTraced(query, toks, span)
 	reply := &AnalysisReply{Attack: res.Attack}
 	reply.Tokens = make([]TokenJSON, len(toks))
 	for i, t := range toks {
@@ -136,16 +158,22 @@ func (d *Direct) Close() error { return nil }
 // whether they ask the library or the daemon.
 type StatsReply = metrics.Snapshot
 
+// TracesReply is the payload of the protocol's "traces" verb: the daemon
+// tracer's recent and notable rings, the same shape Guard.Traces returns.
+type TracesReply = trace.Dump
+
 // wire framing shared by client and server. Op selects the verb: empty or
-// "analyze" analyzes Query; "stats" returns the daemon's counters (old
-// clients that never set op keep working unchanged).
+// "analyze" analyzes Query; "stats" returns the daemon's counters;
+// "traces" returns the daemon's trace rings (old clients that never set op
+// keep working unchanged).
 type wireRequest struct {
 	Op    string `json:"op,omitempty"`
 	Query string `json:"query,omitempty"`
 }
 
 type wireResponse struct {
-	Reply *AnalysisReply `json:"reply,omitempty"`
-	Stats *StatsReply    `json:"stats,omitempty"`
-	Err   string         `json:"error,omitempty"`
+	Reply  *AnalysisReply `json:"reply,omitempty"`
+	Stats  *StatsReply    `json:"stats,omitempty"`
+	Traces *TracesReply   `json:"traces,omitempty"`
+	Err    string         `json:"error,omitempty"`
 }

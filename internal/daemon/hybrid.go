@@ -10,6 +10,7 @@ import (
 	"joza/internal/metrics"
 	"joza/internal/nti"
 	"joza/internal/sqltoken"
+	"joza/internal/trace"
 )
 
 // DegradeMode selects what a HybridClient does with a check when the PTI
@@ -55,6 +56,7 @@ type HybridClient struct {
 	degrade   DegradeMode
 	collector *metrics.Collector
 	audit     *audit.Logger
+	tracer    *trace.Tracer
 }
 
 // HybridOption configures a HybridClient.
@@ -90,6 +92,15 @@ func WithoutNTI() HybridOption {
 	return func(h *HybridClient) { h.nti = nil }
 }
 
+// WithTracing samples checks into trace spans per cfg. When the daemon
+// also traces, its span rides back on the analyze reply and is merged, so
+// one trace shows client-side NTI timing next to daemon-side lexing, cache
+// outcome and cover evidence. Traced checks feed the collector's
+// per-stage histograms.
+func WithTracing(cfg trace.Config) HybridOption {
+	return func(h *HybridClient) { h.tracer = trace.New(cfg) }
+}
+
 // NewHybridClient builds the application-side hybrid over a transport.
 // ntiAnalyzer may be nil to disable NTI (PTI-only deployments).
 func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core.Policy, opts ...HybridOption) *HybridClient {
@@ -109,6 +120,7 @@ func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core
 // (serve the NTI-only verdict). Degraded checks are counted in the
 // collector's DegradedChecks.
 func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, error) {
+	span := h.tracer.Start(query)
 	var start time.Time
 	sampled := h.collector.SampleLatency()
 	if sampled {
@@ -119,11 +131,16 @@ func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, er
 	switch {
 	case err == nil:
 		v.PTI = reply.Result()
+		// Fold the daemon's view of this check into our span: its lex and
+		// cover timings, cache outcome and cover evidence.
+		span.Merge(reply.Trace)
 	case h.degrade == DegradeFailOpen:
 		h.collector.RecordDegraded()
+		span.SetDegraded()
 		v.PTI = core.Result{Analyzer: core.AnalyzerPTI}
 	case h.degrade == DegradeFailClosed:
 		h.collector.RecordDegraded()
+		span.SetDegraded()
 		v.PTI = core.Result{
 			Analyzer: core.AnalyzerPTI,
 			Attack:   true,
@@ -141,7 +158,7 @@ func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, er
 		if reply != nil {
 			toks = reply.TokenStream()
 		}
-		v.NTI = h.nti.Analyze(query, toks, inputs)
+		v.NTI = h.nti.AnalyzeTraced(query, toks, inputs, span)
 	} else {
 		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
 	}
@@ -151,6 +168,11 @@ func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, er
 		elapsed = time.Since(start)
 	}
 	h.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
+	if span != nil {
+		span.SetVerdict(v.NTI.Attack, v.PTI.Attack)
+		h.tracer.Finish(span)
+		h.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
+	}
 	if v.Attack && h.audit != nil {
 		h.audit.Log(v, h.policy, inputs)
 	}
@@ -162,6 +184,15 @@ func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, er
 // Guard.Metrics provides, for remote deployments. PTI cache fields stay
 // zero here; the daemon's "stats" verb reports those.
 func (h *HybridClient) Metrics() metrics.Snapshot { return h.collector.Snapshot() }
+
+// Traces snapshots the client's trace rings (empty without WithTracing).
+// These are the application-side traces, with daemon spans merged in; the
+// daemon's own rings are served by its "traces" verb.
+func (h *HybridClient) Traces() trace.Dump { return h.tracer.Dump() }
+
+// Tracer exposes the client's tracer so callers can share it with an
+// observability server (nil without WithTracing).
+func (h *HybridClient) Tracer() *trace.Tracer { return h.tracer }
 
 // Authorize returns nil for safe queries and an *core.AttackError
 // otherwise.

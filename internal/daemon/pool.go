@@ -209,6 +209,18 @@ func (p *Pool) Stats() (*StatsReply, error) {
 	return resp.Stats, nil
 }
 
+// Traces fetches the daemon's trace rings through the pool.
+func (p *Pool) Traces() (*TracesReply, error) {
+	resp, err := p.do(wireRequest{Op: "traces"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Traces == nil {
+		return nil, errors.New("daemon: traces verb returned no payload")
+	}
+	return resp.Traces, nil
+}
+
 // Close implements Transport: it fails pending waiters, then reclaims and
 // closes all Size connections, waiting for in-flight requests to hand
 // theirs back (each is bounded by its deadline and aborts its backoff

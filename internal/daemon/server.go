@@ -13,6 +13,7 @@ import (
 
 	"joza/internal/metrics"
 	"joza/internal/pti"
+	"joza/internal/trace"
 )
 
 // DefaultMaxRequestBytes caps the size of one wire request. A legitimate
@@ -33,6 +34,7 @@ const (
 type Server struct {
 	analyzer  atomic.Pointer[pti.Cached]
 	collector *metrics.Collector
+	tracer    *trace.Tracer
 
 	readTimeout time.Duration
 	maxRequest  int64
@@ -40,6 +42,7 @@ type Server struct {
 	// Per-op wire counters, reported through Stats.
 	analyzeOps atomic.Uint64
 	statsOps   atomic.Uint64
+	tracesOps  atomic.Uint64
 	errorOps   atomic.Uint64
 	timeouts   atomic.Uint64
 
@@ -71,6 +74,14 @@ func WithMaxRequestBytes(n int64) ServerOption {
 	}
 }
 
+// WithTracer makes the server sample analyze requests into t's trace
+// rings, serve them through the "traces" verb, attach the daemon-side span
+// to sampled analyze replies, and feed the per-stage histograms reported
+// by "stats". A nil tracer (the default) disables all of it at zero cost.
+func WithTracer(t *trace.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
 // NewServer returns a daemon server over analyzer.
 func NewServer(analyzer *pti.Cached, opts ...ServerOption) *Server {
 	s := &Server{
@@ -94,6 +105,7 @@ func (s *Server) Stats() StatsReply {
 	snap := s.collector.Snapshot()
 	snap.DaemonAnalyzeOps = s.analyzeOps.Load()
 	snap.DaemonStatsOps = s.statsOps.Load()
+	snap.DaemonTracesOps = s.tracesOps.Load()
 	snap.DaemonErrors = s.errorOps.Load()
 	snap.DaemonTimeouts = s.timeouts.Load()
 	analyzer := s.analyzer.Load()
@@ -208,14 +220,25 @@ func (s *Server) ServeConn(conn net.Conn) {
 		switch req.Op {
 		case "", "analyze":
 			s.analyzeOps.Add(1)
+			span := s.tracer.Start(req.Query)
 			start := time.Now()
-			reply := analyze(s.analyzer.Load(), req.Query)
+			reply := analyzeTraced(s.analyzer.Load(), req.Query, span)
 			s.collector.RecordCheck(false, reply.Attack, time.Since(start))
+			if span != nil {
+				span.SetVerdict(false, reply.Attack)
+				s.tracer.Finish(span)
+				s.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
+				reply.Trace = span
+			}
 			resp.Reply = reply
 		case "stats":
 			s.statsOps.Add(1)
 			st := s.Stats()
 			resp.Stats = &st
+		case "traces":
+			s.tracesOps.Add(1)
+			d := s.tracer.Dump()
+			resp.Traces = &d
 		default:
 			s.errorOps.Add(1)
 			resp.Err = fmt.Sprintf("unknown op %q", req.Op)

@@ -82,6 +82,57 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / int64(n))
 }
 
+// Sum returns the summed observed duration in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket is one occupied histogram bucket: the count of observations at
+// or below the upper bound LeNs (non-cumulative; exporters that need
+// Prometheus-style cumulative buckets sum as they walk).
+type Bucket struct {
+	LeNs  int64  `json:"leNs"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the occupied buckets in ascending bound order. Empty
+// buckets are elided so snapshots marshal compactly.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i := 0; i < numBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			out = append(out, Bucket{LeNs: int64(uint64(1) << uint(i+1)), Count: n})
+		}
+	}
+	return out
+}
+
+// Stage identifies one timed phase of the hybrid check pipeline.
+type Stage int
+
+// Pipeline stages with dedicated histograms.
+const (
+	// StageLex is SQL lexing (skipped entirely on a PTI query-cache hit).
+	StageLex Stage = iota
+	// StagePTICover is PTI fragment-cover analysis on a cache miss.
+	StagePTICover
+	// StageNTIMatch is the summed per-input approximate matching.
+	StageNTIMatch
+	numStages
+)
+
+// StageName returns the stable label used in snapshots and exports.
+func StageName(s Stage) string {
+	switch s {
+	case StageLex:
+		return "lex"
+	case StagePTICover:
+		return "pti_cover"
+	case StageNTIMatch:
+		return "nti_match"
+	default:
+		return "unknown"
+	}
+}
+
 // Collector accumulates check counters and latencies. It is safe for
 // concurrent use and designed to be shared: a Manager hands one Collector
 // to every Guard it rebuilds so counters survive fragment-set swaps.
@@ -93,6 +144,7 @@ type Collector struct {
 	degraded   atomic.Uint64
 	sampleTick atomic.Uint64
 	latency    Histogram
+	stages     [numStages]Histogram
 }
 
 // NewCollector returns an empty Collector.
@@ -137,10 +189,36 @@ func (c *Collector) RecordCheck(ntiAttack, ptiAttack bool, d time.Duration) {
 // RecordCheck for the verdict they ultimately served.
 func (c *Collector) RecordDegraded() { c.degraded.Add(1) }
 
+// ObserveStage records one stage duration. Stage durations come from
+// decision tracing: only traced checks time their stages, so these
+// histograms describe the sampled population (the check-latency histogram
+// keeps its own, independent sampling).
+func (c *Collector) ObserveStage(s Stage, d time.Duration) {
+	if s < 0 || s >= numStages {
+		return
+	}
+	c.stages[s].Observe(d)
+}
+
+// ObserveStageDurations records the stage timings a finished trace span
+// carries: zero values mean the stage did not run (a cache hit skips both
+// lex and cover) and are not observed.
+func (c *Collector) ObserveStageDurations(lexNs, ptiCoverNs, ntiMatchNs int64) {
+	if lexNs > 0 {
+		c.stages[StageLex].Observe(time.Duration(lexNs))
+	}
+	if ptiCoverNs > 0 {
+		c.stages[StagePTICover].Observe(time.Duration(ptiCoverNs))
+	}
+	if ntiMatchNs > 0 {
+		c.stages[StageNTIMatch].Observe(time.Duration(ntiMatchNs))
+	}
+}
+
 // Snapshot returns the collector's counters. Cache and matcher fields are
 // zero; the owner (Guard, daemon server) fills them from its analyzers.
 func (c *Collector) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Checks:         c.checks.Load(),
 		Attacks:        c.attacks.Load(),
 		NTIAttacks:     c.ntiAttacks.Load(),
@@ -149,7 +227,26 @@ func (c *Collector) Snapshot() Snapshot {
 		LatencyP50Ns:   int64(c.latency.Quantile(0.50)),
 		LatencyP99Ns:   int64(c.latency.Quantile(0.99)),
 		LatencyMeanNs:  int64(c.latency.Mean()),
+		LatencyCount:   c.latency.Count(),
+		LatencySumNs:   c.latency.Sum(),
+		LatencyBuckets: c.latency.Buckets(),
 	}
+	for st := Stage(0); st < numStages; st++ {
+		h := &c.stages[st]
+		if h.Count() == 0 {
+			continue
+		}
+		s.Stages = append(s.Stages, StageLatency{
+			Stage:   StageName(st),
+			Count:   h.Count(),
+			P50Ns:   int64(h.Quantile(0.50)),
+			P99Ns:   int64(h.Quantile(0.99)),
+			MeanNs:  int64(h.Mean()),
+			SumNs:   h.Sum(),
+			Buckets: h.Buckets(),
+		})
+	}
+	return s
 }
 
 // CacheShard is the activity of one cache shard.
@@ -157,6 +254,19 @@ type CacheShard struct {
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
 	Entries uint64 `json:"entries"`
+}
+
+// StageLatency is the snapshot of one pipeline stage's histogram. Stage
+// timings are recorded for traced checks (see Collector.ObserveStage), so
+// Count is the traced population, not total checks.
+type StageLatency struct {
+	Stage   string   `json:"stage"`
+	Count   uint64   `json:"count"`
+	P50Ns   int64    `json:"p50Ns"`
+	P99Ns   int64    `json:"p99Ns"`
+	MeanNs  int64    `json:"meanNs"`
+	SumNs   int64    `json:"sumNs"`
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 // Snapshot is one point-in-time reading of a guard's (or daemon's)
@@ -188,6 +298,7 @@ type Snapshot struct {
 	// deadline. Zero when the owner is not serving the wire protocol.
 	DaemonAnalyzeOps uint64 `json:"daemonAnalyzeOps,omitempty"`
 	DaemonStatsOps   uint64 `json:"daemonStatsOps,omitempty"`
+	DaemonTracesOps  uint64 `json:"daemonTracesOps,omitempty"`
 	DaemonErrors     uint64 `json:"daemonErrors,omitempty"`
 	DaemonTimeouts   uint64 `json:"daemonTimeouts,omitempty"`
 
@@ -197,10 +308,20 @@ type Snapshot struct {
 	CacheMisses        uint64       `json:"cacheMisses"`
 	CacheShards        []CacheShard `json:"cacheShards,omitempty"`
 
-	// Check latency, bucket-quantized upper bounds in nanoseconds.
-	LatencyP50Ns  int64 `json:"latencyP50Ns"`
-	LatencyP99Ns  int64 `json:"latencyP99Ns"`
-	LatencyMeanNs int64 `json:"latencyMeanNs"`
+	// Check latency, bucket-quantized upper bounds in nanoseconds, plus
+	// the raw bucket counts so exporters (Prometheus text format) can
+	// rebuild the full histogram from any snapshot — local or one that
+	// crossed the daemon wire.
+	LatencyP50Ns   int64    `json:"latencyP50Ns"`
+	LatencyP99Ns   int64    `json:"latencyP99Ns"`
+	LatencyMeanNs  int64    `json:"latencyMeanNs"`
+	LatencyCount   uint64   `json:"latencyCount,omitempty"`
+	LatencySumNs   int64    `json:"latencySumNs,omitempty"`
+	LatencyBuckets []Bucket `json:"latencyBuckets,omitempty"`
+
+	// Stages holds per-stage histograms (lex, PTI fragment cover, NTI
+	// approximate match) for traced checks. Empty when tracing is off.
+	Stages []StageLatency `json:"stages,omitempty"`
 }
 
 // Format renders the snapshot for terminal output.
@@ -211,12 +332,17 @@ func (s Snapshot) Format() string {
 	if s.DegradedChecks > 0 {
 		fmt.Fprintf(&b, "degraded checks (daemon unreachable): %d\n", s.DegradedChecks)
 	}
-	if s.DaemonAnalyzeOps+s.DaemonStatsOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
-		fmt.Fprintf(&b, "daemon ops: %d analyze, %d stats, %d errors, %d timeouts\n",
-			s.DaemonAnalyzeOps, s.DaemonStatsOps, s.DaemonErrors, s.DaemonTimeouts)
+	if s.DaemonAnalyzeOps+s.DaemonStatsOps+s.DaemonTracesOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
+		fmt.Fprintf(&b, "daemon ops: %d analyze, %d stats, %d traces, %d errors, %d timeouts\n",
+			s.DaemonAnalyzeOps, s.DaemonStatsOps, s.DaemonTracesOps, s.DaemonErrors, s.DaemonTimeouts)
 	}
 	fmt.Fprintf(&b, "latency p50 %v, p99 %v, mean %v\n",
 		time.Duration(s.LatencyP50Ns), time.Duration(s.LatencyP99Ns), time.Duration(s.LatencyMeanNs))
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, "stage %-9s %d traced, p50 %v, p99 %v, mean %v\n",
+			st.Stage+":", st.Count,
+			time.Duration(st.P50Ns), time.Duration(st.P99Ns), time.Duration(st.MeanNs))
+	}
 	fmt.Fprintf(&b, "pti cache: %d query hits, %d structure hits, %d misses\n",
 		s.CacheQueryHits, s.CacheStructureHits, s.CacheMisses)
 	if len(s.CacheShards) > 0 {

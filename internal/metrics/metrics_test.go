@@ -101,3 +101,93 @@ func TestSnapshotFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	if got := h.Buckets(); len(got) != 0 {
+		t.Fatalf("empty histogram exported %d buckets", len(got))
+	}
+	h.Observe(3 * time.Nanosecond) // bucket bound 4ns
+	h.Observe(3 * time.Nanosecond)
+	h.Observe(1000 * time.Nanosecond) // bucket bound 1024ns
+	got := h.Buckets()
+	if len(got) != 2 {
+		t.Fatalf("buckets = %+v, want 2 occupied", got)
+	}
+	if got[0].LeNs != 4 || got[0].Count != 2 {
+		t.Errorf("first bucket = %+v, want le=4 count=2", got[0])
+	}
+	if got[1].LeNs != 1024 || got[1].Count != 1 {
+		t.Errorf("second bucket = %+v, want le=1024 count=1", got[1])
+	}
+	if h.Sum() != int64(1006) {
+		t.Errorf("sum = %d, want 1006", h.Sum())
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{StageLex: "lex", StagePTICover: "pti_cover", StageNTIMatch: "nti_match"}
+	for st, name := range want {
+		if StageName(st) != name {
+			t.Errorf("StageName(%d) = %q, want %q", st, StageName(st), name)
+		}
+	}
+	if StageName(Stage(99)) != "unknown" {
+		t.Error("out-of-range stage must name unknown")
+	}
+}
+
+func TestCollectorStageHistograms(t *testing.T) {
+	c := NewCollector()
+	if got := c.Snapshot().Stages; len(got) != 0 {
+		t.Fatalf("untraced collector exported stages: %+v", got)
+	}
+	c.RecordCheck(false, false, 4*time.Microsecond)
+	c.ObserveStage(StageLex, time.Microsecond)
+	c.ObserveStage(StageLex, 2*time.Microsecond)
+	c.ObserveStageDurations(0, int64(5*time.Microsecond), int64(3*time.Microsecond))
+	c.ObserveStage(Stage(99), time.Second) // ignored, not a panic
+	s := c.Snapshot()
+	if len(s.Stages) != 3 {
+		t.Fatalf("stages = %+v, want lex, pti_cover, nti_match", s.Stages)
+	}
+	byName := map[string]StageLatency{}
+	for _, st := range s.Stages {
+		byName[st.Stage] = st
+	}
+	if byName["lex"].Count != 2 || byName["pti_cover"].Count != 1 || byName["nti_match"].Count != 1 {
+		t.Errorf("stage counts = %+v", byName)
+	}
+	if byName["lex"].P50Ns == 0 || byName["lex"].SumNs != int64(3*time.Microsecond) {
+		t.Errorf("lex stage = %+v", byName["lex"])
+	}
+	if len(byName["pti_cover"].Buckets) == 0 {
+		t.Error("stage snapshot must carry buckets for exporters")
+	}
+
+	// One formatting path: Format renders the same stage histograms the
+	// JSON snapshot carries, so local and remote output cannot drift.
+	out := s.Format()
+	for _, want := range []string{"stage lex", "stage pti_cover", "stage nti_match"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"stages"`, `"latencyBuckets"`, `"pti_cover"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s", key)
+		}
+	}
+}
+
+func TestObserveStageDurationsSkipsZero(t *testing.T) {
+	c := NewCollector()
+	c.ObserveStageDurations(0, 0, 0)
+	if got := c.Snapshot().Stages; len(got) != 0 {
+		t.Fatalf("zero durations must not be observed, got %+v", got)
+	}
+}

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"joza/internal/core"
 	"joza/internal/sqltoken"
 	"joza/internal/strdist"
+	"joza/internal/trace"
 )
 
 // DefaultThreshold is the difference-ratio threshold used when none is
@@ -136,6 +138,14 @@ func (a *Analyzer) Threshold() float64 { return a.threshold }
 // of query (callers typically already have it from the PTI daemon; pass
 // nil to lex here).
 func (a *Analyzer) Analyze(query string, toks []sqltoken.Token, inputs []Input) core.Result {
+	return a.AnalyzeTraced(query, toks, inputs, nil)
+}
+
+// AnalyzeTraced is Analyze with decision tracing: when span is non-nil it
+// records per-input match durations and the matched span offsets behind
+// every marking, plus the lazy-lex time if lexing happened here. A nil
+// span adds one pointer check per input and nothing else.
+func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, inputs []Input, span *trace.Span) core.Result {
 	res := core.Result{Analyzer: core.AnalyzerNTI}
 	// Single-input requests (the common hot path) need no grouping state.
 	var single [1]inputGroup
@@ -148,18 +158,41 @@ func (a *Analyzer) Analyze(query string, toks []sqltoken.Token, inputs []Input) 
 	} else {
 		groups = dedupInputs(inputs)
 	}
-	for _, g := range groups {
+	for gi, g := range groups {
+		var matchStart time.Time
+		if span.Active() {
+			matchStart = time.Now()
+		}
 		spans := a.matchInput(g.value, query)
+		if span.Active() {
+			im := trace.InputMatch{
+				Index:   gi,
+				Source:  g.source,
+				MatchNs: int64(time.Since(matchStart)),
+				Matched: len(spans) > 0,
+			}
+			if len(spans) > 0 {
+				im.Start, im.End, im.Distance = spans[0].Start, spans[0].End, spans[0].Distance
+			}
+			span.AddInput(im)
+		}
 		if len(spans) > 0 && toks == nil {
 			// Lex lazily: requests whose inputs never match the query
 			// (and requests with no inputs at all) skip the lexer.
+			var lexStart time.Time
+			if span.Active() {
+				lexStart = time.Now()
+			}
 			toks = sqltoken.Lex(query)
+			if span.Active() {
+				span.Lex(time.Since(lexStart))
+			}
 		}
-		for _, span := range spans {
+		for _, sp := range spans {
 			m := core.Marking{
-				Span:     sqltoken.Span{Start: span.Start, End: span.End},
+				Span:     sqltoken.Span{Start: sp.Start, End: sp.End},
 				Source:   g.source,
-				Distance: span.Distance,
+				Distance: sp.Distance,
 			}
 			res.Markings = append(res.Markings, m)
 			res.Reasons = append(res.Reasons, attackReasons(toks, m, a.critical)...)

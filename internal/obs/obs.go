@@ -1,0 +1,193 @@
+// Package obs serves the operator-facing observability surface over HTTP:
+// Prometheus text-format metrics, Go pprof profiling endpoints, a health
+// probe and the decision-trace rings. One obs.Server fronts any component
+// that can produce a metrics.Snapshot — the in-process Guard, the PTI
+// daemon, the database proxy — so every deployment mode exposes the same
+// endpoints:
+//
+//	/metrics        Prometheus text format (counters, latency and
+//	                per-stage histograms)
+//	/healthz        liveness probe ("ok")
+//	/traces         recent + notable decision traces as JSON
+//	/debug/pprof/   the standard Go profiling handlers
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"joza/internal/metrics"
+	"joza/internal/trace"
+)
+
+// Server is the observability HTTP server. Construct with NewServer,
+// start with Start (or mount Handler on an existing mux).
+type Server struct {
+	snapshot func() metrics.Snapshot
+	tracer   *trace.Tracer
+
+	mu   sync.Mutex
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer returns a server exporting snapshots from snapshot and traces
+// from tracer. tracer may be nil (the /traces endpoint serves an empty
+// dump); snapshot must be non-nil and safe for concurrent use.
+func NewServer(snapshot func() metrics.Snapshot, tracer *trace.Tracer) *Server {
+	return &Server{snapshot: snapshot, tracer: tracer}
+}
+
+// Handler returns the endpoint mux, for callers that want to mount the
+// observability surface on their own server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// in the background until Close. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.http = srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Safe to call without Start and more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.http
+	s.http = nil
+	s.ln = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.tracer.Dump())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	WritePrometheus(&b, s.snapshot())
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format. It is the one serialization path for every deployment mode: the
+// snapshot may come from a local Collector or from the daemon's "stats"
+// verb across the wire — the output is identical either way.
+func WritePrometheus(b *strings.Builder, s metrics.Snapshot) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("joza_checks_total", "Queries analyzed by the hybrid guard.", s.Checks)
+	counter("joza_attacks_total", "Queries flagged as attacks.", s.Attacks)
+	counter("joza_nti_attacks_total", "Attacks flagged by negative taint inference.", s.NTIAttacks)
+	counter("joza_pti_attacks_total", "Attacks flagged by positive taint inference.", s.PTIAttacks)
+	counter("joza_degraded_checks_total", "Checks served under daemon-outage degradation.", s.DegradedChecks)
+	counter("joza_nti_matcher_calls_total", "Invocations of the approximate matcher.", s.NTIMatcherCalls)
+	counter("joza_nti_matcher_early_exits_total", "Matcher runs abandoned by the threshold band.", s.NTIMatcherEarlyExits)
+
+	fmt.Fprintf(b, "# HELP joza_pti_cache_lookups_total PTI cache lookups by outcome.\n# TYPE joza_pti_cache_lookups_total counter\n")
+	fmt.Fprintf(b, "joza_pti_cache_lookups_total{outcome=\"query_hit\"} %d\n", s.CacheQueryHits)
+	fmt.Fprintf(b, "joza_pti_cache_lookups_total{outcome=\"structure_hit\"} %d\n", s.CacheStructureHits)
+	fmt.Fprintf(b, "joza_pti_cache_lookups_total{outcome=\"miss\"} %d\n", s.CacheMisses)
+
+	if s.DaemonAnalyzeOps+s.DaemonStatsOps+s.DaemonTracesOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
+		fmt.Fprintf(b, "# HELP joza_daemon_ops_total Daemon wire requests by verb.\n# TYPE joza_daemon_ops_total counter\n")
+		fmt.Fprintf(b, "joza_daemon_ops_total{op=\"analyze\"} %d\n", s.DaemonAnalyzeOps)
+		fmt.Fprintf(b, "joza_daemon_ops_total{op=\"stats\"} %d\n", s.DaemonStatsOps)
+		fmt.Fprintf(b, "joza_daemon_ops_total{op=\"traces\"} %d\n", s.DaemonTracesOps)
+		counter("joza_daemon_errors_total", "Daemon protocol errors.", s.DaemonErrors)
+		counter("joza_daemon_timeouts_total", "Connections dropped by the read deadline.", s.DaemonTimeouts)
+	}
+
+	emitted := make(map[string]bool)
+	writeHistogram(b, emitted, "joza_check_duration_seconds",
+		"Hybrid check latency (sampled).", s.LatencyBuckets, s.LatencyCount, s.LatencySumNs, "")
+	for _, st := range s.Stages {
+		writeHistogram(b, emitted, "joza_stage_duration_seconds",
+			"Per-stage durations of traced checks.", st.Buckets, st.Count, st.SumNs,
+			fmt.Sprintf("stage=%q", st.Stage))
+	}
+}
+
+// writeHistogram renders one histogram in Prometheus text format, with
+// cumulative buckets and seconds units. labels is an optional extra label
+// pair rendered inside the braces (e.g. `stage="lex"`); emitted tracks
+// metric families whose HELP/TYPE header is already out, since labelled
+// series share one family header.
+func writeHistogram(b *strings.Builder, emitted map[string]bool, name, help string, buckets []metrics.Bucket, count uint64, sumNs int64, labels string) {
+	if !emitted[name] {
+		emitted[name] = true
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].LeNs < buckets[j].LeNs })
+	var cum uint64
+	for _, bk := range buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%g\"} %d\n",
+			name, labels, sep, float64(bk.LeNs)/1e9, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, count)
+	if labels != "" {
+		fmt.Fprintf(b, "%s_sum{%s} %g\n", name, labels, float64(sumNs)/1e9)
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, count)
+	} else {
+		fmt.Fprintf(b, "%s_sum %g\n", name, float64(sumNs)/1e9)
+		fmt.Fprintf(b, "%s_count %d\n", name, count)
+	}
+}

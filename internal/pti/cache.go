@@ -3,10 +3,12 @@ package pti
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"joza/internal/core"
 	"joza/internal/sqlparse"
 	"joza/internal/sqltoken"
+	"joza/internal/trace"
 )
 
 // lru is a minimal thread-safe LRU set of string keys mapping to a boolean
@@ -195,9 +197,19 @@ func (c *Cached) Analyze(query string, toks []sqltoken.Token) core.Result {
 // token stream the analysis used (nil when no lexing happened), so callers
 // that also need tokens for NTI reuse this lex instead of running another.
 func (c *Cached) AnalyzeLazy(query string, toks []sqltoken.Token) (core.Result, []sqltoken.Token) {
+	return c.AnalyzeLazyTraced(query, toks, nil)
+}
+
+// AnalyzeLazyTraced is AnalyzeLazy with decision tracing: when span is
+// non-nil it records the cache outcome (query-hit, structure-hit, miss),
+// the lazy-lex and fragment-cover durations, and the per-token cover
+// evidence from the underlying analyzer. A nil span keeps the hot path
+// identical to AnalyzeLazy: no clock reads, no allocations.
+func (c *Cached) AnalyzeLazyTraced(query string, toks []sqltoken.Token, span *trace.Span) (core.Result, []sqltoken.Token) {
 	if c.queries != nil {
 		if safe, ok := c.queries.get(query); ok && safe {
 			c.queryHits.Add(1)
+			span.SetCacheOutcome(trace.CacheQueryHit)
 			return core.Result{Analyzer: core.AnalyzerPTI}, toks
 		}
 	}
@@ -206,6 +218,7 @@ func (c *Cached) AnalyzeLazy(query string, toks []sqltoken.Token) (core.Result, 
 		structKey = sqlparse.StructureKey(query)
 		if safe, ok := c.structs.get(structKey); ok && safe {
 			c.structureHits.Add(1)
+			span.SetCacheOutcome(trace.CacheStructureHit)
 			// Promote into the exact-query cache for next time.
 			if c.queries != nil {
 				c.queries.put(query, true)
@@ -214,10 +227,27 @@ func (c *Cached) AnalyzeLazy(query string, toks []sqltoken.Token) (core.Result, 
 		}
 	}
 	c.misses.Add(1)
-	if toks == nil {
-		toks = sqltoken.Lex(query)
+	if c.queries != nil || c.structs != nil {
+		span.SetCacheOutcome(trace.CacheMiss)
 	}
-	res := c.analyzer.Analyze(query, toks)
+	if toks == nil {
+		var lexStart time.Time
+		if span.Active() {
+			lexStart = time.Now()
+		}
+		toks = sqltoken.Lex(query)
+		if span.Active() {
+			span.Lex(time.Since(lexStart))
+		}
+	}
+	var coverStart time.Time
+	if span.Active() {
+		coverStart = time.Now()
+	}
+	res := c.analyzer.AnalyzeTraced(query, toks, span)
+	if span.Active() {
+		span.PTICover(time.Since(coverStart))
+	}
 	if !res.Attack {
 		if c.queries != nil {
 			c.queries.put(query, true)

@@ -26,6 +26,7 @@ import (
 	"joza/internal/core"
 	"joza/internal/fragments"
 	"joza/internal/sqltoken"
+	"joza/internal/trace"
 )
 
 // Analyzer runs positive taint inference over a fixed fragment set.
@@ -97,19 +98,27 @@ func (a *Analyzer) Set() *fragments.Set { return a.set }
 // Analyze decides whether query is PTI-safe. toks must be the lex of query;
 // pass nil to lex internally.
 func (a *Analyzer) Analyze(query string, toks []sqltoken.Token) core.Result {
+	return a.AnalyzeTraced(query, toks, nil)
+}
+
+// AnalyzeTraced is Analyze with decision tracing: when span is non-nil it
+// records, per critical token, which trusted fragment covered it (and
+// where the fragment occurred) or that no fragment did — the evidence
+// behind a PTI verdict. A nil span costs one pointer check per token.
+func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, span *trace.Span) core.Result {
 	if toks == nil {
 		toks = sqltoken.Lex(query)
 	}
 	if a.parseFirst {
-		return a.analyzeParseFirst(query, toks)
+		return a.analyzeParseFirst(query, toks, span)
 	}
-	return a.analyzeFullMarking(query, toks)
+	return a.analyzeFullMarking(query, toks, span)
 }
 
 // analyzeParseFirst verifies coverage of each critical token directly,
 // trying MRU fragments with a targeted window check before falling back to
 // a single full occurrence scan.
-func (a *Analyzer) analyzeParseFirst(query string, toks []sqltoken.Token) core.Result {
+func (a *Analyzer) analyzeParseFirst(query string, toks []sqltoken.Token, span *trace.Span) core.Result {
 	res := core.Result{Analyzer: core.AnalyzerPTI}
 	var occs []fragments.Occurrence
 	occsReady := false
@@ -127,6 +136,13 @@ func (a *Analyzer) analyzeParseFirst(query string, toks []sqltoken.Token) core.R
 						Span:   sqltoken.Span{Start: at, End: at + len(a.set.Fragment(id))},
 						Source: a.set.Fragment(id),
 					})
+					if span.Active() {
+						span.AddCover(trace.Cover{
+							Token: t.Text, TokenStart: t.Start, TokenEnd: t.End,
+							FragmentID: id, FragStart: at, FragEnd: at + len(a.set.Fragment(id)),
+							MRU: true,
+						})
+					}
 					break
 				}
 			}
@@ -146,6 +162,12 @@ func (a *Analyzer) analyzeParseFirst(query string, toks []sqltoken.Token) core.R
 						Span:   sqltoken.Span{Start: o.Start, End: o.End},
 						Source: a.set.Fragment(o.FragmentID),
 					})
+					if span.Active() {
+						span.AddCover(trace.Cover{
+							Token: t.Text, TokenStart: t.Start, TokenEnd: t.End,
+							FragmentID: o.FragmentID, FragStart: o.Start, FragEnd: o.End,
+						})
+					}
 					break
 				}
 			}
@@ -155,6 +177,9 @@ func (a *Analyzer) analyzeParseFirst(query string, toks []sqltoken.Token) core.R
 				Token:  t,
 				Detail: "critical token not contained in any trusted fragment",
 			})
+			if span.Active() {
+				span.AddUncovered(trace.Uncovered{Token: t.Text, TokenStart: t.Start, TokenEnd: t.End})
+			}
 		}
 	}
 	res.Attack = len(res.Reasons) > 0
@@ -164,7 +189,7 @@ func (a *Analyzer) analyzeParseFirst(query string, toks []sqltoken.Token) core.R
 // analyzeFullMarking computes every fragment occurrence, reports them all
 // as positive markings, then checks critical-token containment. This is
 // the unoptimized strategy retained for ablation benchmarks.
-func (a *Analyzer) analyzeFullMarking(query string, toks []sqltoken.Token) core.Result {
+func (a *Analyzer) analyzeFullMarking(query string, toks []sqltoken.Token, span *trace.Span) core.Result {
 	res := core.Result{Analyzer: core.AnalyzerPTI}
 	occs := a.matcher.FindAll(query)
 	res.Markings = make([]core.Marking, 0, len(occs))
@@ -182,6 +207,12 @@ func (a *Analyzer) analyzeFullMarking(query string, toks []sqltoken.Token) core.
 		for _, o := range occs {
 			if o.Start <= t.Start && t.End <= o.End {
 				covered = true
+				if span.Active() {
+					span.AddCover(trace.Cover{
+						Token: t.Text, TokenStart: t.Start, TokenEnd: t.End,
+						FragmentID: o.FragmentID, FragStart: o.Start, FragEnd: o.End,
+					})
+				}
 				break
 			}
 		}
@@ -190,6 +221,9 @@ func (a *Analyzer) analyzeFullMarking(query string, toks []sqltoken.Token) core.
 				Token:  t,
 				Detail: "critical token not contained in any trusted fragment",
 			})
+			if span.Active() {
+				span.AddUncovered(trace.Uncovered{Token: t.Text, TokenStart: t.Start, TokenEnd: t.End})
+			}
 		}
 	}
 	res.Attack = len(res.Reasons) > 0

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("SELECT 1")
+	if s != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	// Every recording method must be a no-op on a nil span.
+	s.Lex(time.Millisecond)
+	s.PTICover(time.Millisecond)
+	s.NTIMatch(time.Millisecond)
+	s.SetCacheOutcome(CacheMiss)
+	s.SetDegraded()
+	s.AddInput(InputMatch{})
+	s.AddCover(Cover{})
+	s.AddUncovered(Uncovered{})
+	s.SetVerdict(true, true)
+	s.Merge(&Span{})
+	if s.Active() {
+		t.Fatal("nil span must not be active")
+	}
+	tr.Finish(s)
+	d := tr.Dump()
+	if len(d.Recent) != 0 || len(d.Notable) != 0 {
+		t.Fatal("nil tracer dump must be empty")
+	}
+}
+
+func TestDisabledConfigReturnsNil(t *testing.T) {
+	if New(Config{SampleEvery: 0}) != nil {
+		t.Fatal("SampleEvery 0 must disable tracing")
+	}
+	if New(Config{SampleEvery: -3}) != nil {
+		t.Fatal("negative SampleEvery must disable tracing")
+	}
+}
+
+func TestDisabledTracingZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		s := tr.Start("SELECT * FROM posts WHERE id=1")
+		s.Lex(0)
+		s.SetCacheOutcome(CacheQueryHit)
+		s.SetVerdict(false, false)
+		tr.Finish(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %v times per op, want 0", allocs)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Config{SampleEvery: 4, RingSize: 64})
+	var sampled int
+	for i := 0; i < 32; i++ {
+		s := tr.Start("q")
+		if s != nil {
+			sampled++
+			tr.Finish(s)
+		}
+	}
+	if sampled != 8 {
+		t.Fatalf("SampleEvery=4 over 32 checks sampled %d, want 8", sampled)
+	}
+	d := tr.Dump()
+	if d.Started != 8 || d.Finished != 8 {
+		t.Fatalf("counters started=%d finished=%d, want 8/8", d.Started, d.Finished)
+	}
+	if len(d.Recent) != 8 {
+		t.Fatalf("recent ring holds %d, want 8", len(d.Recent))
+	}
+}
+
+func TestSampleEveryOneTracesAll(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 8})
+	for i := 0; i < 5; i++ {
+		s := tr.Start("q")
+		if s == nil {
+			t.Fatal("SampleEvery=1 must trace every check")
+		}
+		tr.Finish(s)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 4})
+	queries := []string{"q0", "q1", "q2", "q3", "q4", "q5"}
+	for _, q := range queries {
+		tr.Finish(tr.Start(q))
+	}
+	d := tr.Dump()
+	if len(d.Recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(d.Recent))
+	}
+	want := []string{"q2", "q3", "q4", "q5"}
+	for i, s := range d.Recent {
+		if s.Query != want[i] {
+			t.Fatalf("recent[%d] = %q, want %q (oldest-first)", i, s.Query, want[i])
+		}
+	}
+}
+
+func TestNotableRetainsAttacksAndSlow(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 8, SlowThreshold: time.Hour})
+	benign := tr.Start("benign")
+	benign.SetVerdict(false, false)
+	tr.Finish(benign)
+
+	attack := tr.Start("attack")
+	attack.SetVerdict(true, false)
+	tr.Finish(attack)
+
+	degraded := tr.Start("degraded")
+	degraded.SetDegraded()
+	tr.Finish(degraded)
+
+	d := tr.Dump()
+	if len(d.Recent) != 3 {
+		t.Fatalf("recent holds %d, want 3", len(d.Recent))
+	}
+	if len(d.Notable) != 2 {
+		t.Fatalf("notable holds %d, want 2 (attack + degraded)", len(d.Notable))
+	}
+	if d.Notable[0].Query != "attack" || d.Notable[1].Query != "degraded" {
+		t.Fatalf("notable = %q,%q", d.Notable[0].Query, d.Notable[1].Query)
+	}
+
+	// A slow benign span is notable too.
+	slow := New(Config{SampleEvery: 1, RingSize: 8, SlowThreshold: time.Nanosecond})
+	s := slow.Start("slowpoke")
+	time.Sleep(time.Microsecond)
+	slow.Finish(s)
+	if got := slow.Dump().Notable; len(got) != 1 || got[0].Query != "slowpoke" {
+		t.Fatalf("slow span must be notable, got %v", got)
+	}
+}
+
+func TestSpanEvidenceAccumulates(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 4})
+	s := tr.Start("SELECT * FROM posts WHERE id=-1 UNION SELECT 1")
+	s.Lex(2 * time.Microsecond)
+	s.SetCacheOutcome(CacheMiss)
+	s.PTICover(3 * time.Microsecond)
+	s.AddInput(InputMatch{Index: 0, Source: "get:id", MatchNs: 500, Matched: true, Start: 29, End: 45, Distance: 1})
+	s.AddUncovered(Uncovered{Token: "UNION", TokenStart: 32, TokenEnd: 37})
+	s.SetVerdict(true, true)
+	tr.Finish(s)
+
+	got := tr.Dump().Recent[0]
+	if got.LexNs != 2000 || got.PTICoverNs != 3000 {
+		t.Fatalf("stage durations lex=%d cover=%d", got.LexNs, got.PTICoverNs)
+	}
+	if got.NTIMatchNs != 500 {
+		t.Fatalf("AddInput must accumulate NTIMatchNs, got %d", got.NTIMatchNs)
+	}
+	if !got.Attack || !got.NTIAttack || !got.PTIAttack {
+		t.Fatal("verdict not recorded")
+	}
+	if got.CacheOutcome != CacheMiss {
+		t.Fatalf("cache outcome %q", got.CacheOutcome)
+	}
+	if len(got.Inputs) != 1 || got.Inputs[0].Source != "get:id" {
+		t.Fatalf("input evidence %v", got.Inputs)
+	}
+	if got.TotalNs <= 0 {
+		t.Fatal("finish must stamp total duration")
+	}
+	if len(got.UncoveredTokens) != 1 || got.UncoveredTokens[0].Token != "UNION" {
+		t.Fatalf("uncovered evidence %v", got.UncoveredTokens)
+	}
+}
+
+func TestMergeRemoteSpan(t *testing.T) {
+	local := &Span{LexNs: 10, NTIMatchNs: 100}
+	remote := &Span{
+		LexNs:           40,
+		PTICoverNs:      60,
+		CacheOutcome:    CacheStructureHit,
+		Covers:          []Cover{{Token: "SELECT", FragmentID: 3}},
+		UncoveredTokens: []Uncovered{{Token: "UNION"}},
+	}
+	local.Merge(remote)
+	if local.LexNs != 50 || local.PTICoverNs != 60 || local.NTIMatchNs != 100 {
+		t.Fatalf("merged durations lex=%d cover=%d nti=%d", local.LexNs, local.PTICoverNs, local.NTIMatchNs)
+	}
+	if local.CacheOutcome != CacheStructureHit {
+		t.Fatalf("cache outcome %q", local.CacheOutcome)
+	}
+	if len(local.Covers) != 1 || len(local.UncoveredTokens) != 1 {
+		t.Fatal("evidence must transfer")
+	}
+	local.Merge(nil) // no-op
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	s := Span{
+		Query:        "SELECT 1",
+		TotalNs:      1234,
+		LexNs:        12,
+		CacheOutcome: CacheQueryHit,
+		Inputs:       []InputMatch{{Source: "get:id", Matched: true, Start: 1, End: 2}},
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Query != s.Query || back.CacheOutcome != s.CacheOutcome || len(back.Inputs) != 1 {
+		t.Fatalf("round trip mangled span: %+v", back)
+	}
+}
+
+func TestConcurrentTracing(t *testing.T) {
+	tr := New(Config{SampleEvery: 2, RingSize: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.Start("q")
+				s.Lex(time.Nanosecond)
+				s.SetVerdict(i%17 == 0, false)
+				tr.Finish(s)
+			}
+		}()
+	}
+	wg.Wait()
+	d := tr.Dump()
+	if d.Started != 800 || d.Finished != 800 {
+		t.Fatalf("started=%d finished=%d, want 800/800", d.Started, d.Finished)
+	}
+	if len(d.Recent) != 32 {
+		t.Fatalf("recent ring holds %d, want 32", len(d.Recent))
+	}
+}

@@ -45,9 +45,11 @@ import (
 	"joza/internal/fragments"
 	"joza/internal/metrics"
 	"joza/internal/nti"
+	"joza/internal/obs"
 	"joza/internal/phpsrc"
 	"joza/internal/pti"
 	"joza/internal/sqltoken"
+	"joza/internal/trace"
 )
 
 // Re-exported types so callers need only import package joza.
@@ -77,6 +79,13 @@ type (
 	Metrics = metrics.Snapshot
 	// CacheShardMetrics is the activity of one PTI cache shard.
 	CacheShardMetrics = metrics.CacheShard
+	// Trace is the recorded evidence of one sampled check: per-stage
+	// durations plus the matched inputs, covering fragments and uncovered
+	// tokens behind the verdict.
+	Trace = trace.Span
+	// TraceDump is the queryable view of a Guard's recent and notable
+	// traces, as returned by Guard.Traces and served at /traces.
+	TraceDump = trace.Dump
 )
 
 // Recovery policies and cache modes, re-exported.
@@ -104,6 +113,8 @@ type Guard struct {
 	set         *fragments.Set
 	auditLog    *audit.Logger
 	collector   *metrics.Collector
+	tracer      *trace.Tracer
+	obsServer   *obs.Server
 }
 
 type config struct {
@@ -119,6 +130,7 @@ type config struct {
 	disablePTI    bool
 	auditWriter   io.Writer
 	collector     *metrics.Collector
+	obs           *ObservabilityConfig
 }
 
 // Option configures a Guard.
@@ -189,6 +201,44 @@ func WithStrictPolicy() Option {
 	}
 }
 
+// ObservabilityConfig tunes the optional observability surface enabled by
+// WithObservability: decision tracing plus an HTTP listener serving
+// Prometheus /metrics, /healthz, /traces and /debug/pprof/.
+type ObservabilityConfig struct {
+	// Addr is the HTTP listen address for the observability endpoints
+	// (host:port; port 0 picks a free port). Empty disables the listener;
+	// tracing still runs and Guard.Traces still works.
+	Addr string
+	// TraceSampleEvery traces one check in N. Zero defaults to 1 (trace
+	// every check); a negative value disables tracing while keeping the
+	// HTTP listener.
+	TraceSampleEvery int
+	// TraceRingSize bounds each trace ring buffer (default 128).
+	TraceRingSize int
+	// TraceSlowThreshold routes benign traces at or above this duration
+	// into the notable ring. Zero keeps only attacks there.
+	TraceSlowThreshold time.Duration
+}
+
+func (oc ObservabilityConfig) traceConfig() trace.Config {
+	every := oc.TraceSampleEvery
+	if every == 0 {
+		every = 1
+	}
+	return trace.Config{
+		SampleEvery:   every,
+		RingSize:      oc.TraceRingSize,
+		SlowThreshold: oc.TraceSlowThreshold,
+	}
+}
+
+// WithObservability enables decision tracing and (when cfg.Addr is set)
+// the observability HTTP listener. Disabled tracing costs Check nothing:
+// the pipeline's recording sites are nil-safe no-ops.
+func WithObservability(cfg ObservabilityConfig) Option {
+	return func(c *config) { c.obs = &cfg }
+}
+
 // ErrNoFragments is returned by New when PTI is enabled but no fragment
 // source was provided.
 var ErrNoFragments = errors.New("joza: PTI requires fragments; use WithFragments, WithFragmentSet or WithoutPTI")
@@ -228,6 +278,16 @@ func New(opts ...Option) (*Guard, error) {
 	g.collector = cfg.collector
 	if g.collector == nil {
 		g.collector = metrics.NewCollector()
+	}
+	if cfg.obs != nil {
+		g.tracer = trace.New(cfg.obs.traceConfig())
+		if cfg.obs.Addr != "" {
+			srv := obs.NewServer(g.Metrics, g.tracer)
+			if _, err := srv.Start(cfg.obs.Addr); err != nil {
+				return nil, err
+			}
+			g.obsServer = srv
+		}
 	}
 	return g, nil
 }
@@ -277,6 +337,7 @@ func (g *Guard) Policy() Policy { return g.policy }
 // usable NTI inputs performs no lexing at all, and when both analyzers
 // need tokens the lex runs once and is shared.
 func (g *Guard) Check(query string, inputs []Input) Verdict {
+	span := g.tracer.Start(query)
 	var start time.Time
 	sampled := g.collector.SampleLatency()
 	if sampled {
@@ -285,14 +346,14 @@ func (g *Guard) Check(query string, inputs []Input) Verdict {
 	v := Verdict{Query: query}
 	var toks []sqltoken.Token
 	if g.ptiAnalyzer != nil {
-		v.PTI, toks = g.ptiAnalyzer.AnalyzeLazy(query, nil)
+		v.PTI, toks = g.ptiAnalyzer.AnalyzeLazyTraced(query, nil, span)
 	} else {
 		v.PTI = core.Result{Analyzer: core.AnalyzerPTI}
 	}
 	if g.ntiAnalyzer != nil && hasInputValues(inputs) {
 		// toks is non-nil iff PTI already lexed (cache miss); otherwise
 		// NTI lexes on demand, only when an input actually matches.
-		v.NTI = g.ntiAnalyzer.Analyze(query, toks, inputs)
+		v.NTI = g.ntiAnalyzer.AnalyzeTraced(query, toks, inputs, span)
 	} else {
 		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
 	}
@@ -302,6 +363,13 @@ func (g *Guard) Check(query string, inputs []Input) Verdict {
 		elapsed = time.Since(start)
 	}
 	g.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
+	if span != nil {
+		span.SetVerdict(v.NTI.Attack, v.PTI.Attack)
+		g.tracer.Finish(span)
+		// Stage histograms are fed only from traced checks so the
+		// untraced hot path never reads the clock per stage.
+		g.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
+	}
 	if v.Attack && g.auditLog != nil {
 		g.auditLog.Log(v, g.policy, inputs)
 	}
@@ -343,6 +411,29 @@ func (g *Guard) Metrics() Metrics {
 		snap.NTIMatcherEarlyExits = st.EarlyExits
 	}
 	return snap
+}
+
+// Traces snapshots the Guard's trace rings: recent sampled checks plus the
+// notable (attack or slow) ones. Empty when observability is off.
+func (g *Guard) Traces() TraceDump { return g.tracer.Dump() }
+
+// ObservabilityAddr returns the bound address of the observability HTTP
+// listener, or "" when none is running.
+func (g *Guard) ObservabilityAddr() string {
+	if g.obsServer == nil {
+		return ""
+	}
+	return g.obsServer.Addr()
+}
+
+// Close releases the Guard's background resources (currently only the
+// observability listener). Guards without one need no Close; calling it
+// anyway is a no-op.
+func (g *Guard) Close() error {
+	if g.obsServer == nil {
+		return nil
+	}
+	return g.obsServer.Close()
 }
 
 // Authorize checks the query and returns nil when it is safe, or an

@@ -13,6 +13,7 @@ import (
 	"joza/internal/core"
 	"joza/internal/daemon"
 	"joza/internal/nti"
+	"joza/internal/trace"
 )
 
 type (
@@ -37,6 +38,10 @@ type (
 	RemoteGuardOption = daemon.HybridOption
 	// AnalysisReply is the daemon's answer for one query.
 	AnalysisReply = daemon.AnalysisReply
+	// TraceConfig tunes decision tracing (sample rate, ring size, slow
+	// threshold) for a RemoteGuard; the in-process Guard configures the
+	// same knobs through ObservabilityConfig.
+	TraceConfig = trace.Config
 )
 
 // Degradation policies for daemon outages, re-exported. Fail-open keeps
@@ -89,4 +94,11 @@ func WithRemotePolicy(p Policy) RemoteGuardOption {
 // remote deployments).
 func WithoutRemoteNTI() RemoteGuardOption {
 	return daemon.WithoutNTI()
+}
+
+// WithRemoteTracing samples RemoteGuard checks into decision traces,
+// readable via RemoteGuard.Traces. Daemon-side trace summaries riding on
+// analyze replies are merged in, so one trace spans both processes.
+func WithRemoteTracing(cfg TraceConfig) RemoteGuardOption {
+	return daemon.WithTracing(cfg)
 }
