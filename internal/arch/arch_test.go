@@ -1,0 +1,139 @@
+// Package arch holds architecture tests: structural assertions that plain
+// `go test` enforces, keeping the layering of the codebase from eroding.
+package arch
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const modulePath = "joza"
+
+// analyzerPackages is the analysis layer: pure decision logic that must
+// stay free of transport and serving concerns so it can be embedded
+// anywhere (in-process guard, daemon, proxy, tests) without dragging in
+// sockets, wire protocols or HTTP.
+var analyzerPackages = []string{
+	"joza/internal/nti",
+	"joza/internal/pti",
+	"joza/internal/strdist",
+	"joza/internal/sqltoken",
+	"joza/internal/fragments",
+}
+
+// forbiddenPackages is the transport/serving layer.
+var forbiddenPackages = map[string]bool{
+	"joza/internal/daemon": true,
+	"joza/internal/proxy":  true,
+	"joza/internal/obs":    true,
+}
+
+// TestAnalyzerLayerDoesNotImportTransport walks the full transitive
+// import graph of each analyzer package and asserts no path reaches the
+// transport or serving layers.
+func TestAnalyzerLayerDoesNotImportTransport(t *testing.T) {
+	root := moduleRoot(t)
+	// via[pkg] remembers one importer on the discovered path, for a
+	// readable failure message.
+	via := map[string]string{}
+	queue := append([]string(nil), analyzerPackages...)
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		pkg := queue[0]
+		queue = queue[1:]
+		if seen[pkg] {
+			continue
+		}
+		seen[pkg] = true
+		for _, imp := range packageImports(t, root, pkg) {
+			if !strings.HasPrefix(imp, modulePath) {
+				continue // stdlib
+			}
+			if _, ok := via[imp]; !ok {
+				via[imp] = pkg
+			}
+			if forbiddenPackages[imp] {
+				t.Errorf("analyzer layer reaches %s (imported by %s via %s)",
+					imp, via[imp], chain(via, imp))
+				continue
+			}
+			queue = append(queue, imp)
+		}
+	}
+	for _, pkg := range analyzerPackages {
+		if !seen[pkg] {
+			t.Errorf("analyzer package %s was not scanned", pkg)
+		}
+	}
+}
+
+// chain renders the import path that led to pkg.
+func chain(via map[string]string, pkg string) string {
+	parts := []string{pkg}
+	for {
+		from, ok := via[pkg]
+		if !ok || from == pkg {
+			break
+		}
+		parts = append([]string{from}, parts...)
+		pkg = from
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// moduleRoot locates the repository root (the directory holding go.mod).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// packageImports parses the non-test Go files of one package directory
+// (imports only) and returns their import paths.
+func packageImports(t *testing.T, root, pkg string) []string {
+	t.Helper()
+	rel := strings.TrimPrefix(pkg, modulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	dir := filepath.Join(root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("unquote %s: %v", imp.Path.Value, err)
+			}
+			out = append(out, path)
+		}
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -73,30 +74,80 @@ func (c *Client) Broken() bool {
 }
 
 // roundTrip sends one request and reads its response, marking the
-// connection broken on any I/O error.
-func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+// connection broken on any I/O error. ctx bounds the exchange: its
+// deadline (when earlier than the client timeout) becomes the connection
+// deadline, and cancellation slams the connection so a blocked read or
+// write returns immediately. An already-done ctx fails before any I/O and
+// leaves the connection healthy.
+func (c *Client) roundTrip(ctx context.Context, req wireRequest) (wireResponse, error) {
+	if err := ctx.Err(); err != nil {
+		// No bytes were written: the stream is still in sync, so the
+		// connection survives an expired context untouched.
+		return wireResponse{}, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
 		return wireResponse{}, c.err
 	}
+	var deadline time.Time
 	if c.timeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+		deadline = time.Now().Add(c.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if !deadline.IsZero() {
+		_ = c.conn.SetDeadline(deadline)
+	}
+	if ctx.Done() != nil {
+		// Cancellation mid-exchange moves the deadline into the past,
+		// failing the in-flight read or write right away.
+		stop := context.AfterFunc(ctx, func() {
+			_ = c.conn.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
 	}
 	if err := c.enc.Encode(req); err != nil {
-		return wireResponse{}, c.broke("send", err)
+		return wireResponse{}, c.broke("send", ctxCause(ctx, err))
 	}
 	var resp wireResponse
 	if err := c.dec.Decode(&resp); err != nil {
-		return wireResponse{}, c.broke("recv", err)
+		return wireResponse{}, c.broke("recv", ctxCause(ctx, err))
 	}
-	if c.timeout > 0 {
+	if !deadline.IsZero() {
 		_ = c.conn.SetDeadline(time.Time{})
 	}
 	if resp.Err != "" {
 		return wireResponse{}, fmt.Errorf("daemon: %s", resp.Err)
 	}
 	return resp, nil
+}
+
+// ctxCause substitutes ctx's error for an I/O error caused by context
+// cancellation or expiry, so callers can match context.Canceled and
+// context.DeadlineExceeded through the transport's error wrapping.
+func ctxCause(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// withTimeoutBudget stamps the remaining ctx deadline budget onto an
+// analyze request so the server bounds its own work identically.
+func withTimeoutBudget(ctx context.Context, req wireRequest) wireRequest {
+	if d, ok := ctx.Deadline(); ok {
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			// Sub-millisecond (or spent) budget: the pre-flight ctx check
+			// fails the call; -1 keeps a stamped request unambiguous for
+			// the server if it is ever sent.
+			ms = -1
+		}
+		req.TimeoutMs = ms
+	}
+	return req
 }
 
 // broke records the sticky failure, closes the connection, and returns
@@ -109,7 +160,14 @@ func (c *Client) broke(stage string, cause error) error {
 
 // Analyze implements Transport.
 func (c *Client) Analyze(query string) (*AnalysisReply, error) {
-	resp, err := c.roundTrip(wireRequest{Query: query})
+	return c.AnalyzeContext(context.Background(), query)
+}
+
+// AnalyzeContext implements Transport: the round trip observes ctx, and
+// the remaining deadline budget rides in the request so the server
+// abandons work the client will no longer wait for.
+func (c *Client) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
+	resp, err := c.roundTrip(ctx, withTimeoutBudget(ctx, wireRequest{Query: query}))
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +179,7 @@ func (c *Client) Analyze(query string) (*AnalysisReply, error) {
 
 // Stats requests the daemon's counter snapshot via the "stats" verb.
 func (c *Client) Stats() (*StatsReply, error) {
-	resp, err := c.roundTrip(wireRequest{Op: "stats"})
+	resp, err := c.roundTrip(context.Background(), wireRequest{Op: "stats"})
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +191,7 @@ func (c *Client) Stats() (*StatsReply, error) {
 
 // Traces requests the daemon's trace rings via the "traces" verb.
 func (c *Client) Traces() (*TracesReply, error) {
-	resp, err := c.roundTrip(wireRequest{Op: "traces"})
+	resp, err := c.roundTrip(context.Background(), wireRequest{Op: "traces"})
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@
 package daemon
 
 import (
+	"context"
 	"time"
 
 	"joza/internal/core"
@@ -93,14 +94,24 @@ func (r *AnalysisReply) Result() core.Result {
 
 // analyze runs the shared daemon-side analysis for both transports.
 func analyze(analyzer *pti.Cached, query string) *AnalysisReply {
-	return analyzeTraced(analyzer, query, nil)
+	reply, _ := analyzeCtx(context.Background(), analyzer, query, nil)
+	return reply
 }
 
-// analyzeTraced is analyze with decision tracing: a non-nil span records
-// the lex duration, the cache outcome, the fragment-cover duration and the
-// per-token cover evidence. The daemon always lexes (it returns the token
-// stream to the client), so the lex is timed here rather than lazily.
-func analyzeTraced(analyzer *pti.Cached, query string, span *trace.Span) *AnalysisReply {
+// analyzeCtx is the shared daemon-side analysis with decision tracing and
+// cooperative cancellation. A non-nil span records the lex duration, the
+// cache outcome, the fragment-cover duration and the per-token cover
+// evidence; the daemon always lexes (it returns the token stream to the
+// client), so the lex is timed here rather than lazily. ctx is checked
+// before the lex and through the analyzer's checkpoints, so a request
+// whose wire-propagated budget has expired fails with ctx's error instead
+// of burning daemon time on an abandoned query.
+func analyzeCtx(ctx context.Context, analyzer *pti.Cached, query string, span *trace.Span) (*AnalysisReply, error) {
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	var lexStart time.Time
 	if span.Active() {
 		lexStart = time.Now()
@@ -109,7 +120,10 @@ func analyzeTraced(analyzer *pti.Cached, query string, span *trace.Span) *Analys
 	if span.Active() {
 		span.Lex(time.Since(lexStart))
 	}
-	res, _ := analyzer.AnalyzeLazyTraced(query, toks, span)
+	res, _, err := analyzer.AnalyzeLazyCtx(ctx, query, toks, span)
+	if err != nil {
+		return nil, err
+	}
 	reply := &AnalysisReply{Attack: res.Attack}
 	reply.Tokens = make([]TokenJSON, len(toks))
 	for i, t := range toks {
@@ -121,14 +135,18 @@ func analyzeTraced(analyzer *pti.Cached, query string, span *trace.Span) *Analys
 			Detail: reason.Detail,
 		})
 	}
-	return reply
+	return reply, nil
 }
 
 // Transport is the application's view of the PTI analysis, independent of
 // deployment.
 type Transport interface {
-	// Analyze returns the PTI reply for query.
+	// Analyze returns the PTI reply for query, without a deadline.
 	Analyze(query string) (*AnalysisReply, error)
+	// AnalyzeContext is Analyze bounded by ctx: a wire transport forwards
+	// the remaining deadline budget in the request so the server honors
+	// it, and a canceled ctx aborts the round trip with ctx's error.
+	AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error)
 	// Close releases the transport.
 	Close() error
 }
@@ -150,6 +168,12 @@ func (d *Direct) Analyze(query string) (*AnalysisReply, error) {
 	return analyze(d.analyzer, query), nil
 }
 
+// AnalyzeContext implements Transport: there is no wire to bound, so ctx
+// only gates the in-process analysis.
+func (d *Direct) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
+	return analyzeCtx(ctx, d.analyzer, query, nil)
+}
+
 // Close implements Transport.
 func (d *Direct) Close() error { return nil }
 
@@ -169,6 +193,12 @@ type TracesReply = trace.Dump
 type wireRequest struct {
 	Op    string `json:"op,omitempty"`
 	Query string `json:"query,omitempty"`
+	// TimeoutMs propagates the client's remaining deadline budget: the
+	// server bounds the analysis with a context of this duration, so work
+	// the client will no longer wait for is abandoned server-side too.
+	// Zero (and requests from older clients) means no server-side bound; a
+	// negative value is an already-expired budget and fails immediately.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 type wireResponse struct {

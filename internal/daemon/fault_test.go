@@ -8,6 +8,7 @@ package daemon
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -506,7 +507,7 @@ func TestServerPerOpCounters(t *testing.T) {
 	if _, err := c.Stats(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.roundTrip(wireRequest{Op: "flush"}); err == nil {
+	if _, err := c.roundTrip(context.Background(), wireRequest{Op: "flush"}); err == nil {
 		t.Fatal("unknown op must error")
 	}
 	st := srv.Stats()

@@ -1,15 +1,15 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"time"
 
 	"joza/internal/audit"
 	"joza/internal/core"
+	"joza/internal/engine"
 	"joza/internal/metrics"
 	"joza/internal/nti"
-	"joza/internal/sqltoken"
 	"joza/internal/trace"
 )
 
@@ -45,18 +45,23 @@ func (m DegradeMode) String() string {
 
 // HybridClient composes the deployed pieces exactly as Figure 5 shows:
 // queries go to the PTI daemon first; the returned token stream feeds the
-// in-application NTI analysis; the query is safe iff both agree. Verdicts
-// are recorded in a metrics collector and, when configured, blocked
-// queries are written to the audit log — the same operator surface the
-// in-process Guard provides.
+// in-application NTI analysis; the query is safe iff both agree. It is a
+// thin front door over the shared internal/engine pipeline — a remote PTI
+// stage (transport plus degradation policy) followed by the standard NTI
+// stage — so metrics, tracing and audit recording are the engine's single
+// post-verdict path, the same operator surface the in-process Guard
+// provides.
 type HybridClient struct {
 	transport Transport
-	nti       *nti.Analyzer
+	eng       *engine.Engine
 	policy    core.Policy
+	tracer    *trace.Tracer
+
+	// construction-time configuration consumed by NewHybridClient.
+	nti       *nti.Analyzer
 	degrade   DegradeMode
 	collector *metrics.Collector
 	audit     *audit.Logger
-	tracer    *trace.Tracer
 }
 
 // HybridOption configures a HybridClient.
@@ -108,82 +113,93 @@ func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core
 	for _, o := range opts {
 		o(h)
 	}
-	if h.collector == nil {
-		h.collector = metrics.NewCollector()
+	snap := &engine.Snapshot{NTI: h.nti}
+	snap.Analyzers = append(snap.Analyzers, remotePTIStage{transport: transport, degrade: h.degrade})
+	if h.nti != nil {
+		snap.Analyzers = append(snap.Analyzers, engine.NTIStage{Analyzer: h.nti})
 	}
+	engOpts := []engine.Option{engine.WithPolicy(h.policy)}
+	if h.collector != nil {
+		engOpts = append(engOpts, engine.WithCollector(h.collector))
+	}
+	if h.audit != nil {
+		engOpts = append(engOpts, engine.WithAuditLogger(h.audit))
+	}
+	if h.tracer != nil {
+		engOpts = append(engOpts, engine.WithTracer(h.tracer))
+	}
+	h.eng = engine.New(snap, engOpts...)
 	return h
 }
 
-// Check returns the hybrid verdict for query given the request's inputs.
-// When the transport fails, the configured DegradeMode decides: propagate
-// the error, fail closed (synthesize an attack verdict), or fail open
-// (serve the NTI-only verdict). Degraded checks are counted in the
-// collector's DegradedChecks.
-func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, error) {
-	span := h.tracer.Start(query)
-	var start time.Time
-	sampled := h.collector.SampleLatency()
-	if sampled {
-		start = time.Now()
-	}
-	v := core.Verdict{Query: query}
-	reply, err := h.transport.Analyze(query)
-	switch {
-	case err == nil:
-		v.PTI = reply.Result()
+// remotePTIStage is the engine stage for daemon-backed PTI: one transport
+// round trip, the reply's token stream published (lazily decoded) for the
+// NTI stage, and the degradation policy applied to transport failures.
+type remotePTIStage struct {
+	transport Transport
+	degrade   DegradeMode
+}
+
+// Name implements engine.Analyzer.
+func (s remotePTIStage) Name() string { return core.AnalyzerPTI }
+
+// Analyze implements engine.Analyzer.
+func (s remotePTIStage) Analyze(ctx context.Context, req engine.Request, st *engine.State) (core.Result, error) {
+	reply, err := s.transport.AnalyzeContext(ctx, req.Query)
+	if err == nil {
 		// Fold the daemon's view of this check into our span: its lex and
-		// cover timings, cache outcome and cover evidence.
-		span.Merge(reply.Trace)
-	case h.degrade == DegradeFailOpen:
-		h.collector.RecordDegraded()
-		span.SetDegraded()
-		v.PTI = core.Result{Analyzer: core.AnalyzerPTI}
-	case h.degrade == DegradeFailClosed:
-		h.collector.RecordDegraded()
-		span.SetDegraded()
-		v.PTI = core.Result{
+		// cover timings, cache outcome and cover evidence. The token
+		// stream decodes only if the NTI stage actually needs it.
+		st.Span().Merge(reply.Trace)
+		st.PublishTokenSource(reply.TokenStream)
+		return reply.Result(), nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller gave up; that is a cancellation, not a daemon
+		// outage, so the degradation policy does not apply.
+		return core.Result{}, cerr
+	}
+	switch s.degrade {
+	case DegradeFailOpen:
+		st.MarkDegraded()
+		return core.Result{Analyzer: core.AnalyzerPTI}, nil
+	case DegradeFailClosed:
+		st.MarkDegraded()
+		return core.Result{
 			Analyzer: core.AnalyzerPTI,
 			Attack:   true,
 			Reasons: []core.Reason{{
 				Detail: fmt.Sprintf("PTI daemon unavailable (fail-closed): %v", err),
 			}},
-		}
+		}, nil
 	default:
-		return core.Verdict{}, fmt.Errorf("pti analysis: %w", err)
+		return core.Result{}, fmt.Errorf("pti analysis: %w", err)
 	}
-	if h.nti != nil {
-		// On the daemon path NTI reuses the daemon's token stream; on a
-		// degraded check it passes nil and lexes on demand.
-		var toks []sqltoken.Token
-		if reply != nil {
-			toks = reply.TokenStream()
-		}
-		v.NTI = h.nti.AnalyzeTraced(query, toks, inputs, span)
-	} else {
-		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
-	}
-	v.Attack = v.NTI.Attack || v.PTI.Attack
-	elapsed := time.Duration(-1)
-	if sampled {
-		elapsed = time.Since(start)
-	}
-	h.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
-	if span != nil {
-		span.SetVerdict(v.NTI.Attack, v.PTI.Attack)
-		h.tracer.Finish(span)
-		h.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
-	}
-	if v.Attack && h.audit != nil {
-		h.audit.Log(v, h.policy, inputs)
-	}
-	return v, nil
+}
+
+// CheckContext returns the hybrid verdict for query given the request's
+// inputs, bounded by ctx: the deadline rides to the daemon in the wire
+// request, cancellation aborts a blocked round trip and the NTI matcher
+// mid-analysis, and ctx's error comes back with no verdict recorded.
+// When the transport fails (and ctx is still live), the configured
+// DegradeMode decides: propagate the error, fail closed (synthesize an
+// attack verdict), or fail open (serve the NTI-only verdict). Degraded
+// checks are counted in the collector's DegradedChecks.
+func (h *HybridClient) CheckContext(ctx context.Context, query string, inputs []nti.Input) (core.Verdict, error) {
+	return h.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs})
+}
+
+// Check is the context-free compatibility wrapper around CheckContext; it
+// can still fail when the transport does and DegradeError is configured.
+func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, error) {
+	return h.eng.Check(context.Background(), engine.Request{Query: query, Inputs: inputs})
 }
 
 // Metrics returns a snapshot of the client's counters: checks, attacks
 // per analyzer, degraded checks and latency quantiles — the operator view
 // Guard.Metrics provides, for remote deployments. PTI cache fields stay
 // zero here; the daemon's "stats" verb reports those.
-func (h *HybridClient) Metrics() metrics.Snapshot { return h.collector.Snapshot() }
+func (h *HybridClient) Metrics() metrics.Snapshot { return h.eng.Collector().Snapshot() }
 
 // Traces snapshots the client's trace rings (empty without WithTracing).
 // These are the application-side traces, with daemon spans merged in; the
@@ -194,17 +210,16 @@ func (h *HybridClient) Traces() trace.Dump { return h.tracer.Dump() }
 // observability server (nil without WithTracing).
 func (h *HybridClient) Tracer() *trace.Tracer { return h.tracer }
 
+// AuthorizeContext returns nil for safe queries, an *core.AttackError for
+// attacks, and ctx's error when the check was canceled.
+func (h *HybridClient) AuthorizeContext(ctx context.Context, query string, inputs []nti.Input) error {
+	return h.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs})
+}
+
 // Authorize returns nil for safe queries and an *core.AttackError
 // otherwise.
 func (h *HybridClient) Authorize(query string, inputs []nti.Input) error {
-	v, err := h.Check(query, inputs)
-	if err != nil {
-		return err
-	}
-	if !v.Attack {
-		return nil
-	}
-	return &core.AttackError{Verdict: v, Policy: h.policy}
+	return h.eng.Authorize(context.Background(), engine.Request{Query: query, Inputs: inputs})
 }
 
 // Close releases the underlying transport.

@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -122,13 +123,17 @@ func (p *Pool) Dials() uint64 { return p.dials.Load() }
 func (p *Pool) Exhausted() uint64 { return p.exhausted.Load() }
 
 // do runs one request over a pooled connection, replacing broken
-// connections with backoff, up to MaxAttempts.
-func (p *Pool) do(req wireRequest) (wireResponse, error) {
+// connections with backoff, up to MaxAttempts. ctx bounds the whole
+// request: waiting for a free slot, each round trip, and the backoff
+// sleeps between attempts all abort with ctx's error.
+func (p *Pool) do(ctx context.Context, req wireRequest) (wireResponse, error) {
 	var slot *Client
 	select {
 	case slot = <-p.slots:
 	case <-p.done:
 		return wireResponse{}, ErrPoolClosed
+	case <-ctx.Done():
+		return wireResponse{}, ctx.Err()
 	}
 	// Always return the slot — nil after a failure, so the next request
 	// redials lazily. Close drains exactly Size slots and closes whatever
@@ -143,6 +148,8 @@ func (p *Pool) do(req wireRequest) (wireResponse, error) {
 			case <-time.After(jitter(backoff)):
 			case <-p.done:
 				return wireResponse{}, ErrPoolClosed
+			case <-ctx.Done():
+				return wireResponse{}, ctx.Err()
 			}
 			if backoff *= 2; backoff > p.cfg.BackoffMax {
 				backoff = p.cfg.BackoffMax
@@ -159,9 +166,14 @@ func (p *Pool) do(req wireRequest) (wireResponse, error) {
 			slot = NewClient(conn)
 			slot.SetTimeout(p.cfg.Timeout)
 		}
-		resp, err := slot.roundTrip(req)
+		resp, err := slot.roundTrip(ctx, req)
 		if err == nil {
 			return resp, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller's context ended; replacing the connection and
+			// retrying would only serve a request nobody waits for.
+			return wireResponse{}, cerr
 		}
 		lastErr = err
 		if !slot.Broken() {
@@ -187,7 +199,14 @@ func jitter(d time.Duration) time.Duration {
 
 // Analyze implements Transport.
 func (p *Pool) Analyze(query string) (*AnalysisReply, error) {
-	resp, err := p.do(wireRequest{Query: query})
+	return p.AnalyzeContext(context.Background(), query)
+}
+
+// AnalyzeContext implements Transport: ctx bounds slot acquisition, the
+// round trip and retry backoff, and the remaining deadline budget is
+// forwarded to the server in the request.
+func (p *Pool) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
+	resp, err := p.do(ctx, withTimeoutBudget(ctx, wireRequest{Query: query}))
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +218,7 @@ func (p *Pool) Analyze(query string) (*AnalysisReply, error) {
 
 // Stats fetches the daemon's counter snapshot through the pool.
 func (p *Pool) Stats() (*StatsReply, error) {
-	resp, err := p.do(wireRequest{Op: "stats"})
+	resp, err := p.do(context.Background(), wireRequest{Op: "stats"})
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +230,7 @@ func (p *Pool) Stats() (*StatsReply, error) {
 
 // Traces fetches the daemon's trace rings through the pool.
 func (p *Pool) Traces() (*TracesReply, error) {
-	resp, err := p.do(wireRequest{Op: "traces"})
+	resp, err := p.do(context.Background(), wireRequest{Op: "traces"})
 	if err != nil {
 		return nil, err
 	}

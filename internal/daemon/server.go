@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -220,9 +221,28 @@ func (s *Server) ServeConn(conn net.Conn) {
 		switch req.Op {
 		case "", "analyze":
 			s.analyzeOps.Add(1)
+			// Honor the client's propagated deadline budget: bound the
+			// analysis with a matching context so server-side work the
+			// client has stopped waiting for is abandoned, not finished.
+			// A negative budget arrives already expired.
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			if req.TimeoutMs != 0 {
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+			}
 			span := s.tracer.Start(req.Query)
 			start := time.Now()
-			reply := analyzeTraced(s.analyzer.Load(), req.Query, span)
+			reply, err := analyzeCtx(ctx, s.analyzer.Load(), req.Query, span)
+			if cancel != nil {
+				cancel()
+			}
+			if err != nil {
+				// The budget expired mid-analysis: report it like the
+				// client-side deadline it mirrors, with no check recorded.
+				s.timeouts.Add(1)
+				resp.Err = err.Error()
+				break
+			}
 			s.collector.RecordCheck(false, reply.Attack, time.Since(start))
 			if span != nil {
 				span.SetVerdict(false, reply.Attack)

@@ -1,0 +1,328 @@
+// Package engine is the hybrid decision procedure behind every Joza
+// interposition point. The paper's Figure 5 architecture has one analysis
+// pipeline reached from many front doors — the in-process Guard, the
+// daemon-backed remote hybrid, the database proxy, the web-framework query
+// wrapper and the OS-command guard — and this package is that single
+// pipeline: a context-aware Check over an ordered list of pluggable
+// analyzers, with one post-verdict recording path for metrics, traces and
+// the audit log.
+//
+// # Snapshots
+//
+// An Engine runs every check against an immutable Snapshot: the analyzer
+// stages plus the handles behind them (fragment set, matchers, caches).
+// Snapshots are swapped atomically by Swap — the preprocessing component
+// uses this when the application's source tree changes — so reloads never
+// take a lock on the hot path: a check loads the snapshot pointer once and
+// keeps it for the whole analysis, while in-flight checks finish on the
+// snapshot they started with.
+//
+// # Context
+//
+// Check accepts a context.Context and threads it into every stage.
+// Analyzers are expected to poll it at natural checkpoints (the NTI
+// matcher's banded DP loop, the PTI cover loop, transport round trips) and
+// return its error promptly, so per-request deadlines and cancellation
+// work end to end. Callers without deadline requirements pass
+// context.Background(); on that path the polling is a no-op nil check and
+// the steady-state cache-hit pipeline performs zero heap allocations.
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"joza/internal/audit"
+	"joza/internal/core"
+	"joza/internal/fragments"
+	"joza/internal/metrics"
+	"joza/internal/nti"
+	"joza/internal/pti"
+	"joza/internal/sqltoken"
+	"joza/internal/trace"
+)
+
+// Request is one check: the statement under analysis plus the originating
+// request's captured raw inputs.
+type Request struct {
+	// Query is the SQL statement (or, for the oscmd pipeline, the shell
+	// command line) about to execute.
+	Query string
+	// Inputs are the raw application inputs captured at request entry.
+	Inputs []nti.Input
+}
+
+// State is the per-check scratch shared by the stages of one pipeline run:
+// the lazily-produced token stream, the trace span, and flags the
+// post-verdict recording path consumes. A State is owned by exactly one
+// Check call; stages must not retain it.
+type State struct {
+	span *trace.Span
+
+	// tokens is the shared SQL token stream; nil until a stage lexes (or a
+	// tokenSource is realized). tokenSource defers an expensive conversion
+	// (e.g. decoding a daemon reply's token stream) until a later stage
+	// actually asks for tokens.
+	tokens      []sqltoken.Token
+	haveTokens  bool
+	tokenSource func() []sqltoken.Token
+
+	// aux carries analyzer-family-specific shared state, such as the shell
+	// token stream of the oscmd pipeline.
+	aux any
+
+	// degraded marks a check served without a remote analyzer's verdict
+	// because its backend was unreachable.
+	degraded bool
+}
+
+// Span returns the check's trace span (nil when the check is not sampled;
+// all Span recording methods are nil-safe).
+func (st *State) Span() *trace.Span { return st.span }
+
+// Tokens returns the shared token stream, realizing a deferred token
+// source if one was published. Nil means no stage has lexed yet: the
+// caller may lex lazily and should then PublishTokens for later stages.
+func (st *State) Tokens() []sqltoken.Token {
+	if !st.haveTokens && st.tokenSource != nil {
+		st.tokens = st.tokenSource()
+		st.haveTokens = true
+		st.tokenSource = nil
+	}
+	return st.tokens
+}
+
+// PublishTokens shares a lexed token stream with later stages. Publishing
+// nil is a no-op, so stages can pass through their possibly-empty lex
+// result unconditionally.
+func (st *State) PublishTokens(toks []sqltoken.Token) {
+	if toks == nil {
+		return
+	}
+	st.tokens = toks
+	st.haveTokens = true
+	st.tokenSource = nil
+}
+
+// PublishTokenSource defers token production until a later stage calls
+// Tokens — used by remote stages whose wire reply carries a token stream
+// that is only worth decoding when an NTI stage will actually run.
+func (st *State) PublishTokenSource(f func() []sqltoken.Token) {
+	if st.haveTokens {
+		return
+	}
+	st.tokenSource = f
+}
+
+// Aux returns the pipeline-family scratch value set by SetAux.
+func (st *State) Aux() any { return st.aux }
+
+// SetAux stores a pipeline-family scratch value (e.g. a shell token
+// stream) shared between stages of one check.
+func (st *State) SetAux(v any) { st.aux = v }
+
+// MarkDegraded records that a stage served its result without reaching its
+// backend; the engine counts the check as degraded and flags the span.
+func (st *State) MarkDegraded() {
+	st.degraded = true
+	st.span.SetDegraded()
+}
+
+// reset clears the State for pool reuse.
+func (st *State) reset() {
+	*st = State{}
+}
+
+// statePool recycles per-check State values so the steady-state pipeline
+// allocates nothing: passing a *State through the Analyzer interface makes
+// it escape, and without the pool every Check would heap-allocate one.
+var statePool = sync.Pool{New: func() any { return new(State) }}
+
+// Analyzer is one pluggable stage of the pipeline.
+//
+// A stage analyzes the request, may consume and publish shared state (the
+// token stream, the trace span), and returns its per-analyzer Result. An
+// error aborts the pipeline: no verdict is recorded and Check returns the
+// error — stages surface ctx.Err() when canceled, and transport-backed
+// stages surface backend failures their degradation policy does not
+// absorb.
+type Analyzer interface {
+	// Name slots the stage's Result into the Verdict: core.AnalyzerNTI or
+	// core.AnalyzerPTI. Unknown names contribute to the hybrid attack
+	// decision but occupy no Verdict slot.
+	Name() string
+	// Analyze examines the request. st is never nil; ctx is never nil.
+	Analyze(ctx context.Context, req Request, st *State) (core.Result, error)
+}
+
+// Snapshot is the immutable analysis state one check runs over: the stage
+// list plus the typed handles behind the stages, kept for stats and
+// introspection. Build a Snapshot, hand it to New or Swap, and never
+// mutate it afterwards.
+type Snapshot struct {
+	// Analyzers are the pipeline stages, run in order.
+	Analyzers []Analyzer
+
+	// Set is the trusted fragment set behind the PTI stage (may be nil for
+	// pipelines without fragment-based analysis).
+	Set *fragments.Set
+	// NTI and PTI expose the concrete analyzers for stats endpoints; nil
+	// when the snapshot has no such stage.
+	NTI *nti.Analyzer
+	PTI *pti.Cached
+}
+
+// Engine runs the hybrid pipeline. The long-lived parts — metrics
+// collector, tracer, audit log, policy — belong to the Engine and survive
+// snapshot swaps; the analysis state belongs to the Snapshot.
+type Engine struct {
+	snap      atomic.Pointer[Snapshot]
+	collector *metrics.Collector
+	tracer    *trace.Tracer
+	auditLog  *audit.Logger
+	policy    core.Policy
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCollector records verdicts into c (shared, for example, across the
+// rebuilds of a Manager). By default the Engine creates its own.
+func WithCollector(c *metrics.Collector) Option {
+	return func(e *Engine) { e.collector = c }
+}
+
+// WithTracer samples checks into t's rings. A nil tracer (the default)
+// disables tracing at zero cost.
+func WithTracer(t *trace.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
+}
+
+// WithAuditLogger writes one audit record per blocked query to l.
+func WithAuditLogger(l *audit.Logger) Option {
+	return func(e *Engine) { e.auditLog = l }
+}
+
+// WithPolicy sets the recovery policy stamped on audit records (default
+// core.PolicyTerminate).
+func WithPolicy(p core.Policy) Option {
+	return func(e *Engine) { e.policy = p }
+}
+
+// New builds an Engine over the initial snapshot.
+func New(snap *Snapshot, opts ...Option) *Engine {
+	e := &Engine{policy: core.PolicyTerminate}
+	e.snap.Store(snap)
+	for _, o := range opts {
+		o(e)
+	}
+	if e.collector == nil {
+		e.collector = metrics.NewCollector()
+	}
+	return e
+}
+
+// Snapshot returns the current snapshot. In-flight checks may still be
+// running over an older one.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Swap atomically replaces the snapshot. The hot path takes no lock:
+// checks that already loaded the old snapshot finish on it, and the next
+// Check picks up the new one.
+func (e *Engine) Swap(snap *Snapshot) { e.snap.Store(snap) }
+
+// Collector returns the engine's metrics collector.
+func (e *Engine) Collector() *metrics.Collector { return e.collector }
+
+// Tracer returns the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// Policy returns the engine's recovery policy.
+func (e *Engine) Policy() core.Policy { return e.policy }
+
+// Check runs the pipeline for one request and returns the hybrid verdict:
+// the request is an attack iff any stage flags it. ctx threads into every
+// stage; a canceled or expired context surfaces as a context error with no
+// verdict recorded. Callers without deadlines pass context.Background().
+func (e *Engine) Check(ctx context.Context, req Request) (core.Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Verdict{}, err
+	}
+	snap := e.snap.Load()
+	span := e.tracer.Start(req.Query)
+	var start time.Time
+	sampled := e.collector.SampleLatency()
+	if sampled {
+		start = time.Now()
+	}
+	st := statePool.Get().(*State)
+	st.span = span
+	// Pre-fill the per-analyzer slots so pipelines with a disabled or
+	// absent stage still report a labeled empty Result, exactly as the
+	// hand-rolled front doors did.
+	v := core.Verdict{
+		Query: req.Query,
+		NTI:   core.Result{Analyzer: core.AnalyzerNTI},
+		PTI:   core.Result{Analyzer: core.AnalyzerPTI},
+	}
+	attack := false
+	for _, a := range snap.Analyzers {
+		res, err := a.Analyze(ctx, req, st)
+		if err != nil {
+			st.reset()
+			statePool.Put(st)
+			return core.Verdict{}, err
+		}
+		attack = attack || res.Attack
+		switch a.Name() {
+		case core.AnalyzerNTI:
+			v.NTI = res
+		case core.AnalyzerPTI:
+			v.PTI = res
+		}
+	}
+	v.Attack = attack
+	e.record(&v, req, st, sampled, start)
+	st.reset()
+	statePool.Put(st)
+	return v, nil
+}
+
+// record is the single post-verdict recording path shared by every front
+// door: check counters (and the degraded counter), latency sampling, span
+// completion with per-stage histograms, and the audit log for attacks.
+func (e *Engine) record(v *core.Verdict, req Request, st *State, sampled bool, start time.Time) {
+	if st.degraded {
+		e.collector.RecordDegraded()
+	}
+	elapsed := time.Duration(-1)
+	if sampled {
+		elapsed = time.Since(start)
+	}
+	e.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
+	if span := st.span; span != nil {
+		span.SetVerdict(v.NTI.Attack, v.PTI.Attack)
+		e.tracer.Finish(span)
+		// Stage histograms are fed only from traced checks so the untraced
+		// hot path never reads the clock per stage.
+		e.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
+	}
+	if v.Attack && e.auditLog != nil {
+		e.auditLog.Log(*v, e.policy, req.Inputs)
+	}
+}
+
+// Authorize runs Check and converts an attack verdict into the
+// *core.AttackError every front door returns to its callers.
+func (e *Engine) Authorize(ctx context.Context, req Request) error {
+	v, err := e.Check(ctx, req)
+	if err != nil {
+		return err
+	}
+	if !v.Attack {
+		return nil
+	}
+	return &core.AttackError{Verdict: v, Policy: e.policy}
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"context"
+
+	"joza/internal/core"
+	"joza/internal/nti"
+	"joza/internal/pti"
+)
+
+// PTIStage runs cached positive taint inference. It publishes the lex it
+// produces (on cache misses) so a following NTI stage reuses the token
+// stream instead of lexing again; cache hits publish nothing and the NTI
+// stage lexes lazily only if an input actually matches the query.
+type PTIStage struct {
+	Analyzer *pti.Cached
+}
+
+// Name implements Analyzer.
+func (s PTIStage) Name() string { return core.AnalyzerPTI }
+
+// Analyze implements Analyzer.
+func (s PTIStage) Analyze(ctx context.Context, req Request, st *State) (core.Result, error) {
+	res, toks, err := s.Analyzer.AnalyzeLazyCtx(ctx, req.Query, st.Tokens(), st.Span())
+	if err != nil {
+		return core.Result{}, err
+	}
+	st.PublishTokens(toks)
+	return res, nil
+}
+
+// NTIStage runs negative taint inference over the request's inputs,
+// reusing the token stream published by an earlier stage (and lexing
+// lazily inside the analyzer only when an input matches the query).
+type NTIStage struct {
+	Analyzer *nti.Analyzer
+}
+
+// Name implements Analyzer.
+func (s NTIStage) Name() string { return core.AnalyzerNTI }
+
+// Analyze implements Analyzer.
+func (s NTIStage) Analyze(ctx context.Context, req Request, st *State) (core.Result, error) {
+	if !hasInputValues(req.Inputs) {
+		// No non-empty inputs: nothing can be negatively tainted, and
+		// skipping the analyzer keeps the warm no-input path allocation
+		// free.
+		return core.Result{Analyzer: core.AnalyzerNTI}, nil
+	}
+	return s.Analyzer.AnalyzeCtx(ctx, req.Query, st.Tokens(), req.Inputs, st.Span())
+}
+
+// hasInputValues reports whether any captured input carries a non-empty
+// value.
+func hasInputValues(inputs []nti.Input) bool {
+	for _, in := range inputs {
+		if in.Value != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Func adapts a plain function into a pipeline stage, for baselines and
+// tests.
+type Func struct {
+	// StageName slots the result into the Verdict (core.AnalyzerNTI or
+	// core.AnalyzerPTI); other names only feed the attack decision.
+	StageName string
+	Fn        func(ctx context.Context, req Request, st *State) (core.Result, error)
+}
+
+// Name implements Analyzer.
+func (f Func) Name() string { return f.StageName }
+
+// Analyze implements Analyzer.
+func (f Func) Analyze(ctx context.Context, req Request, st *State) (core.Result, error) {
+	return f.Fn(ctx, req, st)
+}

@@ -1,0 +1,33 @@
+package nti
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeCtxCanceled(t *testing.T) {
+	a := New()
+	q := "SELECT * FROM data WHERE ID=" + strings.Repeat("x", 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.AnalyzeCtx(ctx, q, nil, inputs("id", "payload"), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeCtxBackgroundMatchesAnalyze(t *testing.T) {
+	a := New()
+	payload := "-1 OR 1=1"
+	q := "SELECT * FROM data WHERE ID=" + payload
+	want := a.Analyze(q, nil, inputs("id", payload))
+	got, err := a.AnalyzeCtx(context.Background(), q, nil, inputs("id", payload), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attack != want.Attack || len(got.Reasons) != len(want.Reasons) {
+		t.Errorf("ctx result = %+v, plain = %+v", got, want)
+	}
+}

@@ -14,6 +14,7 @@
 package nti
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -146,7 +147,18 @@ func (a *Analyzer) Analyze(query string, toks []sqltoken.Token, inputs []Input) 
 // every marking, plus the lazy-lex time if lexing happened here. A nil
 // span adds one pointer check per input and nothing else.
 func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, inputs []Input, span *trace.Span) core.Result {
+	res, _ := a.AnalyzeCtx(context.Background(), query, toks, inputs, span)
+	return res
+}
+
+// AnalyzeCtx is AnalyzeTraced with cooperative cancellation: ctx is
+// checked between input groups and polled inside the banded Sellers
+// matcher, so a canceled or expired context aborts a long multi-input
+// analysis mid-match with ctx's error. With context.Background() the
+// checks are free and the function never fails.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken.Token, inputs []Input, span *trace.Span) (core.Result, error) {
 	res := core.Result{Analyzer: core.AnalyzerNTI}
+	cancelable := ctx.Done() != nil
 	// Single-input requests (the common hot path) need no grouping state.
 	var single [1]inputGroup
 	groups := single[:0]
@@ -159,11 +171,19 @@ func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, inputs []I
 		groups = dedupInputs(inputs)
 	}
 	for gi, g := range groups {
+		if cancelable {
+			if err := ctx.Err(); err != nil {
+				return core.Result{Analyzer: core.AnalyzerNTI}, err
+			}
+		}
 		var matchStart time.Time
 		if span.Active() {
 			matchStart = time.Now()
 		}
-		spans := a.matchInput(g.value, query)
+		spans, err := a.matchInput(ctx, g.value, query)
+		if err != nil {
+			return core.Result{Analyzer: core.AnalyzerNTI}, err
+		}
 		if span.Active() {
 			im := trace.InputMatch{
 				Index:   gi,
@@ -199,7 +219,7 @@ func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, inputs []I
 		}
 	}
 	res.Attack = len(res.Reasons) > 0
-	return res
+	return res, nil
 }
 
 // inputGroup is one distinct raw value and the comma-joined keys of every
@@ -252,8 +272,9 @@ func containsKey(source, key string) bool {
 
 // matchInput returns the spans of query that input matches under the
 // threshold. Exact occurrences are all marked; otherwise the single best
-// approximate match is considered.
-func (a *Analyzer) matchInput(value, query string) []strdist.Match {
+// approximate match is considered. ctx cancellation is observed only
+// inside the quadratic matcher (the fast paths are O(n)).
+func (a *Analyzer) matchInput(ctx context.Context, value, query string) ([]strdist.Match, error) {
 	// Fast path: every exact occurrence is a zero-distance match.
 	if idx := strings.Index(query, value); idx >= 0 {
 		var out []strdist.Match
@@ -265,10 +286,10 @@ func (a *Analyzer) matchInput(value, query string) []strdist.Match {
 			}
 			from = from + 1 + nxt
 		}
-		return out
+		return out, nil
 	}
 	if a.maxInputLen > 0 && len(value) > a.maxInputLen {
-		return nil
+		return nil, nil
 	}
 	// Pruning heuristic: if even a full-length match of the whole query
 	// cannot get the ratio under threshold (input much longer than query),
@@ -276,26 +297,30 @@ func (a *Analyzer) matchInput(value, query string) []strdist.Match {
 	if len(query) > 0 {
 		minDist := len(value) - len(query)
 		if minDist > 0 && float64(minDist)/float64(len(query)) >= a.threshold {
-			return nil
+			return nil, nil
 		}
 	}
 	a.matcherCalls.Add(1)
 	if a.match != nil {
-		// Caller-supplied matcher (ablation baselines): no early exit.
+		// Caller-supplied matcher (ablation baselines): no early exit and
+		// no cancellation checkpoint.
 		m := a.match(value, query)
 		if m.Ratio() < a.threshold {
-			return []strdist.Match{m}
+			return []strdist.Match{m}, nil
 		}
-		return nil
+		return nil, nil
 	}
-	m, found, pruned := strdist.SubstringMatchThreshold(value, query, a.threshold)
+	m, found, pruned, err := strdist.SubstringMatchThresholdCtx(ctx, value, query, a.threshold)
+	if err != nil {
+		return nil, err
+	}
 	if pruned {
 		a.earlyExits.Add(1)
 	}
 	if found {
-		return []strdist.Match{m}
+		return []strdist.Match{m}, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // attackReasons returns a reason per critical token fully contained in the

@@ -1,0 +1,46 @@
+package oscmd
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckContextPreCanceled(t *testing.T) {
+	g := appGuard()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := g.CheckContext(ctx, "nslookup example.com", inputsOf("example.com"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCheckContextMatchesCheck(t *testing.T) {
+	g := appGuard()
+	payload := "example.com; cat /etc/passwd"
+	cmd := "nslookup -timeout=2 " + payload
+	want := g.Check(cmd, inputsOf(payload))
+	got, err := g.CheckContext(context.Background(), cmd, inputsOf(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attack != want.Attack || got.NTI.Attack != want.NTI.Attack || got.PTI.Attack != want.PTI.Attack {
+		t.Errorf("ctx verdict = %+v, plain = %+v", got, want)
+	}
+}
+
+func TestCheckContextCanceledMidNTI(t *testing.T) {
+	// A command long enough for the matcher to reach its polling
+	// checkpoint: cancellation surfaces from inside the NTI stage.
+	g := appGuard()
+	payload := strings.Repeat("abcdefgh", 100)
+	cmd := "nslookup -timeout=2 " + payload
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := g.CheckContext(ctx, cmd, inputsOf("zzz"+payload[:50]))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -19,9 +19,11 @@
 package oscmd
 
 import (
+	"context"
 	"strings"
 
 	"joza/internal/core"
+	"joza/internal/engine"
 	"joza/internal/nti"
 	"joza/internal/sqltoken"
 	"joza/internal/strdist"
@@ -238,9 +240,13 @@ func coversWholeToken(toks []Token, start, end int) bool {
 }
 
 // Guard is the hybrid command-injection detector. Construct with New.
+// Like the SQL Guard it is a thin front door over the shared
+// internal/engine pipeline: a shell-PTI stage followed by a shell-NTI
+// stage, both reading one token stream lexed once per check.
 type Guard struct {
 	fragments []string
 	threshold float64
+	eng       *engine.Engine
 }
 
 // Option configures a Guard.
@@ -271,6 +277,9 @@ func New(fragments []string, opts ...Option) *Guard {
 	for _, o := range opts {
 		o(g)
 	}
+	g.eng = engine.New(&engine.Snapshot{
+		Analyzers: []engine.Analyzer{shellPTIStage{g: g}, shellNTIStage{g: g}},
+	})
 	return g
 }
 
@@ -285,14 +294,57 @@ func containsShellToken(s string) bool {
 func (g *Guard) FragmentCount() int { return len(g.fragments) }
 
 // Check analyzes a command line against the request's raw inputs and
-// returns the hybrid verdict.
+// returns the hybrid verdict. It is the context-free compatibility
+// wrapper around CheckContext; with a background context the pipeline
+// cannot fail, so no error is returned.
 func (g *Guard) Check(cmd string, inputs []nti.Input) core.Verdict {
-	toks := Lex(cmd)
-	v := core.Verdict{Query: cmd}
-	v.PTI = g.analyzePTI(cmd, toks)
-	v.NTI = g.analyzeNTI(cmd, toks, inputs)
-	v.Attack = v.NTI.Attack || v.PTI.Attack
+	v, _ := g.CheckContext(context.Background(), cmd, inputs)
 	return v
+}
+
+// CheckContext analyzes a command line bounded by ctx: cancellation
+// aborts the NTI matcher mid-analysis and ctx's error comes back with
+// no verdict recorded.
+func (g *Guard) CheckContext(ctx context.Context, cmd string, inputs []nti.Input) (core.Verdict, error) {
+	return g.eng.Check(ctx, engine.Request{Query: cmd, Inputs: inputs})
+}
+
+// shellTokens returns the check's lexed token stream, lexing on first
+// use and sharing it across stages through the engine state's aux slot.
+func shellTokens(req engine.Request, st *engine.State) []Token {
+	if toks, ok := st.Aux().([]Token); ok {
+		return toks
+	}
+	toks := Lex(req.Query)
+	st.SetAux(toks)
+	return toks
+}
+
+// shellPTIStage is the engine stage for shell positive taint inference.
+type shellPTIStage struct{ g *Guard }
+
+// Name implements engine.Analyzer.
+func (s shellPTIStage) Name() string { return core.AnalyzerPTI }
+
+// Analyze implements engine.Analyzer.
+func (s shellPTIStage) Analyze(ctx context.Context, req engine.Request, st *engine.State) (core.Result, error) {
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
+	}
+	return s.g.analyzePTI(req.Query, shellTokens(req, st)), nil
+}
+
+// shellNTIStage is the engine stage for shell negative taint inference.
+type shellNTIStage struct{ g *Guard }
+
+// Name implements engine.Analyzer.
+func (s shellNTIStage) Name() string { return core.AnalyzerNTI }
+
+// Analyze implements engine.Analyzer.
+func (s shellNTIStage) Analyze(ctx context.Context, req engine.Request, st *engine.State) (core.Result, error) {
+	return s.g.analyzeNTI(ctx, req.Query, shellTokens(req, st), req.Inputs)
 }
 
 // analyzePTI requires every critical token to sit inside a single trusted
@@ -337,14 +389,18 @@ func (g *Guard) covered(cmd string, t Token) bool {
 	return false
 }
 
-// analyzeNTI approximate-matches inputs against the command line.
-func (g *Guard) analyzeNTI(cmd string, toks []Token, inputs []nti.Input) core.Result {
+// analyzeNTI approximate-matches inputs against the command line. ctx
+// cancellation aborts the edit-distance matcher between DP columns.
+func (g *Guard) analyzeNTI(ctx context.Context, cmd string, toks []Token, inputs []nti.Input) (core.Result, error) {
 	res := core.Result{Analyzer: core.AnalyzerNTI}
 	for _, in := range inputs {
 		if in.Value == "" {
 			continue
 		}
-		m := strdist.SubstringMatch(in.Value, cmd)
+		m, err := strdist.SubstringMatchCtx(ctx, in.Value, cmd)
+		if err != nil {
+			return core.Result{Analyzer: core.AnalyzerNTI}, err
+		}
 		if m.Ratio() >= g.threshold {
 			continue
 		}
@@ -366,7 +422,7 @@ func (g *Guard) analyzeNTI(cmd string, toks []Token, inputs []nti.Input) core.Re
 		}
 	}
 	res.Attack = len(res.Reasons) > 0
-	return res
+	return res, nil
 }
 
 // toSQLToken adapts a shell token into the shared reason structure. The

@@ -1,0 +1,240 @@
+package proxy
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"joza/internal/minidb"
+)
+
+// blockingBackend parks Execute until its context ends and reports the
+// context error it observed.
+type blockingBackend struct {
+	started chan struct{}
+	ctxErr  chan error
+}
+
+func newBlockingBackend() *blockingBackend {
+	return &blockingBackend{
+		started: make(chan struct{}),
+		ctxErr:  make(chan error, 1),
+	}
+}
+
+func (b *blockingBackend) Execute(ctx context.Context, req *minidb.Request) *minidb.Response {
+	close(b.started)
+	<-ctx.Done()
+	b.ctxErr <- ctx.Err()
+	return &minidb.Response{Error: "aborted"}
+}
+
+func TestProxyClientDisconnectCancelsInFlight(t *testing.T) {
+	backend := newBlockingBackend()
+	p := New(newGuard(t), backend)
+	addr := startProxy(t, p)
+
+	before := runtime.NumGoroutine()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(conn).Encode(minidb.Request{Query: "SELECT id, title FROM posts WHERE id=1 LIMIT 5"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-backend.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("backend never saw the request")
+	}
+
+	// The client walks away mid-query: the per-connection context must be
+	// canceled, freeing the backend promptly.
+	_ = conn.Close()
+	select {
+	case err := <-backend.ctxErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("backend ctx err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client disconnect did not cancel the in-flight request")
+	}
+
+	// No goroutines may linger once the connection's work is done.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestProxyCheckAbortedNotCounted(t *testing.T) {
+	// A canceled check is neither blocked nor passed.
+	p := New(newGuard(t), LocalBackend{DB: newDB(t)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp := p.process(ctx, &minidb.Request{Query: "SELECT id, title FROM posts WHERE id=1 LIMIT 5"})
+	if resp.Error == "" || resp.Blocked {
+		t.Fatalf("resp = %+v, want check-aborted error", resp)
+	}
+	if blocked, passed := p.Stats(); blocked != 0 || passed != 0 {
+		t.Errorf("stats = %d, %d, want 0, 0", blocked, passed)
+	}
+}
+
+func TestRemoteBackendPoolParallelism(t *testing.T) {
+	// The pooled backend must dial one connection per concurrent request
+	// (up to the pool size) instead of serializing on a single connection.
+	db := newDB(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream := minidb.NewServer(db)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = upstream.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		_ = upstream.Close()
+		<-done
+	})
+
+	backend := NewRemoteBackend(ln.Addr().String(), WithPoolSize(3))
+	t.Cleanup(func() { _ = backend.Close() })
+
+	const requests = 12
+	errc := make(chan string, requests)
+	for i := 0; i < requests; i++ {
+		go func() {
+			resp := backend.Execute(context.Background(), &minidb.Request{Query: "SELECT id, title FROM posts WHERE id=1 LIMIT 5"})
+			errc <- resp.Error
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		if e := <-errc; e != "" {
+			t.Fatalf("request failed: %s", e)
+		}
+	}
+	if d := backend.Dials(); d == 0 || d > 3 {
+		t.Errorf("dials = %d, want 1..3", d)
+	}
+}
+
+func TestRemoteBackendReconnectsAfterUpstreamRestart(t *testing.T) {
+	db := newDB(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	upstream := minidb.NewServer(db)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = upstream.Serve(ln)
+	}()
+
+	backend := NewRemoteBackend(addr, WithPoolSize(1))
+	t.Cleanup(func() { _ = backend.Close() })
+
+	if resp := backend.Execute(context.Background(), &minidb.Request{Query: "SELECT id, title FROM posts WHERE id=1 LIMIT 5"}); resp.Error != "" {
+		t.Fatalf("first request: %s", resp.Error)
+	}
+
+	// Restart the upstream on the same address: the pooled connection is
+	// now stale and the next request must redial transparently.
+	_ = upstream.Close()
+	<-done
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	upstream2 := minidb.NewServer(db)
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done2)
+		_ = upstream2.Serve(ln2)
+	}()
+	t.Cleanup(func() {
+		_ = upstream2.Close()
+		<-done2
+	})
+
+	if resp := backend.Execute(context.Background(), &minidb.Request{Query: "SELECT id, title FROM posts WHERE id=1 LIMIT 5"}); resp.Error != "" {
+		t.Fatalf("request after restart: %s", resp.Error)
+	}
+	if d := backend.Dials(); d != 2 {
+		t.Errorf("dials = %d, want 2 (one per upstream incarnation)", d)
+	}
+}
+
+func TestRemoteBackendCanceledCtx(t *testing.T) {
+	backend := newBlockedUpstreamBackend(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan string, 1)
+	go func() {
+		errc <- backend.Execute(ctx, &minidb.Request{Query: "SELECT 1"}).Error
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case e := <-errc:
+		if e == "" {
+			t.Fatal("canceled upstream round trip must fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unblock the upstream round trip")
+	}
+}
+
+// newBlockedUpstreamBackend returns a RemoteBackend whose upstream accepts
+// connections and reads forever without replying.
+func newBlockedUpstreamBackend(t *testing.T) *RemoteBackend {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	backend := NewRemoteBackend(ln.Addr().String(), WithPoolSize(1))
+	t.Cleanup(func() {
+		close(stop)
+		_ = ln.Close()
+		_ = backend.Close()
+	})
+	return backend
+}

@@ -9,18 +9,25 @@ package proxy
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"joza"
 	"joza/internal/minidb"
 )
 
-// Backend executes requests that passed the guard.
+// Backend executes requests that passed the guard. ctx is the
+// per-connection context: it ends when the proxy shuts down or the
+// requesting client disconnects, and a backend should stop waiting on its
+// upstream when it does.
 type Backend interface {
-	Execute(req *minidb.Request) *minidb.Response
+	Execute(ctx context.Context, req *minidb.Request) *minidb.Response
 }
 
 // LocalBackend executes against an in-process database.
@@ -30,66 +37,168 @@ type LocalBackend struct {
 
 var _ Backend = LocalBackend{}
 
-// Execute implements Backend.
-func (b LocalBackend) Execute(req *minidb.Request) *minidb.Response {
+// Execute implements Backend. The in-process engine is fast enough that
+// ctx is not consulted mid-statement.
+func (b LocalBackend) Execute(_ context.Context, req *minidb.Request) *minidb.Response {
 	return minidb.ExecuteRequest(b.DB, req)
 }
 
-// RemoteBackend forwards to an upstream minidb server over TCP, using one
-// shared client connection.
-type RemoteBackend struct {
-	mu     sync.Mutex
-	addr   string
+// Defaults for RemoteBackend's connection pool.
+const (
+	defaultRemotePoolSize    = 4
+	defaultRemoteDialTimeout = 2 * time.Second
+)
+
+// upstreamConn pairs a wire client with its raw connection so Execute can
+// slam a deadline on cancellation (the client itself blocks in a read).
+type upstreamConn struct {
+	conn   net.Conn
 	client *minidb.Client
+}
+
+// RemoteBackend forwards to an upstream minidb server over TCP through a
+// fixed-size connection pool, mirroring the daemon transport's Pool:
+// concurrent requests proceed in parallel instead of serializing on a
+// single connection's mutex, dialing is lazy, and a connection broken by
+// an upstream restart is discarded so the next request redials instead of
+// poisoning the backend.
+type RemoteBackend struct {
+	addr        string
+	dialTimeout time.Duration
+	// slots holds the pool's connections; a nil entry is an empty slot
+	// dialed on first use or after its connection broke.
+	slots chan *upstreamConn
+	done  chan struct{}
+	once  sync.Once
+
+	dials atomic.Uint64
 }
 
 var _ Backend = (*RemoteBackend)(nil)
 
-// NewRemoteBackend returns a backend that lazily connects to addr.
-func NewRemoteBackend(addr string) *RemoteBackend {
-	return &RemoteBackend{addr: addr}
+// RemoteOption configures a RemoteBackend.
+type RemoteOption func(*RemoteBackend)
+
+// WithPoolSize sets the number of pooled upstream connections — the
+// backend's request concurrency (default 4).
+func WithPoolSize(n int) RemoteOption {
+	return func(b *RemoteBackend) {
+		if n > 0 {
+			b.slots = make(chan *upstreamConn, n)
+		}
+	}
 }
 
-// Execute implements Backend.
-func (b *RemoteBackend) Execute(req *minidb.Request) *minidb.Response {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.client == nil {
-		c, err := minidb.Dial(b.addr)
-		if err != nil {
-			return &minidb.Response{Error: fmt.Sprintf("upstream unavailable: %v", err)}
+// WithDialTimeout bounds one upstream dial (default 2s).
+func WithDialTimeout(d time.Duration) RemoteOption {
+	return func(b *RemoteBackend) {
+		if d > 0 {
+			b.dialTimeout = d
 		}
-		b.client = c
 	}
-	res, err := b.client.QueryWithInputs(req.Query, nil)
-	if err != nil {
-		// Drop the connection on transport errors so the next request
-		// redials; database errors pass through.
-		if ee, ok := err.(*minidb.ExecError); ok {
+}
+
+// NewRemoteBackend returns a pooled backend that lazily connects to addr.
+func NewRemoteBackend(addr string, opts ...RemoteOption) *RemoteBackend {
+	b := &RemoteBackend{
+		addr:        addr,
+		dialTimeout: defaultRemoteDialTimeout,
+		done:        make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	if b.slots == nil {
+		b.slots = make(chan *upstreamConn, defaultRemotePoolSize)
+	}
+	for i := 0; i < cap(b.slots); i++ {
+		b.slots <- nil
+	}
+	return b
+}
+
+// Dials returns how many upstream connections the backend has
+// established; a value above the pool size means broken connections have
+// been replaced.
+func (b *RemoteBackend) Dials() uint64 { return b.dials.Load() }
+
+// Execute implements Backend. It runs the request over a pooled
+// connection: a broken connection is discarded and replaced once (a
+// pooled connection may have gone stale since its last use), and ctx
+// aborts both the wait for a free slot and a blocked upstream round trip.
+func (b *RemoteBackend) Execute(ctx context.Context, req *minidb.Request) *minidb.Response {
+	var slot *upstreamConn
+	select {
+	case slot = <-b.slots:
+	case <-b.done:
+		return &minidb.Response{Error: "upstream pool closed"}
+	case <-ctx.Done():
+		return &minidb.Response{Error: fmt.Sprintf("upstream: %v", ctx.Err())}
+	}
+	// Always return the slot — nil after a failure, so the next request
+	// redials lazily. Close drains exactly cap(slots) entries and closes
+	// whatever connections it receives, so a request finishing late hands
+	// its connection to Close rather than leaking it.
+	defer func() { b.slots <- slot }()
+	for attempt := 0; ; attempt++ {
+		if slot == nil {
+			conn, err := net.DialTimeout("tcp", b.addr, b.dialTimeout)
+			if err != nil {
+				return &minidb.Response{Error: fmt.Sprintf("upstream unavailable: %v", err)}
+			}
+			b.dials.Add(1)
+			slot = &upstreamConn{conn: conn, client: minidb.NewClient(conn)}
+		}
+		// A canceled ctx slams the connection's deadline so the blocked
+		// read returns immediately; the connection is then discarded.
+		stop := context.AfterFunc(ctx, func() {
+			_ = slot.conn.SetDeadline(time.Unix(1, 0))
+		})
+		res, err := slot.client.QueryWithInputs(req.Query, nil)
+		stop()
+		if err == nil {
+			return &minidb.Response{
+				Columns:  res.Columns,
+				Rows:     res.Rows,
+				Affected: res.Affected,
+				DelayMs:  res.Delay.Seconds() * 1000,
+			}
+		}
+		// Database errors ride a healthy stream; pass them through.
+		var ee *minidb.ExecError
+		if errors.As(err, &ee) {
 			return &minidb.Response{Error: ee.Msg}
 		}
-		_ = b.client.Close()
-		b.client = nil
-		return &minidb.Response{Error: fmt.Sprintf("upstream: %v", err)}
-	}
-	return &minidb.Response{
-		Columns:  res.Columns,
-		Rows:     res.Rows,
-		Affected: res.Affected,
-		DelayMs:  res.Delay.Seconds() * 1000,
+		// Transport error: the stream may hold a stray late reply, so the
+		// connection cannot be reused.
+		_ = slot.client.Close()
+		slot = nil
+		if cerr := ctx.Err(); cerr != nil {
+			return &minidb.Response{Error: fmt.Sprintf("upstream: %v", cerr)}
+		}
+		if attempt > 0 {
+			return &minidb.Response{Error: fmt.Sprintf("upstream: %v", err)}
+		}
+		// First failure on a pooled connection: it likely went stale
+		// between requests (upstream restart); retry once on a fresh dial.
 	}
 }
 
-// Close closes the upstream connection if open.
+// Close closes the pool: it reclaims and closes all pooled connections,
+// waiting for in-flight requests to hand theirs back.
 func (b *RemoteBackend) Close() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.client != nil {
-		err := b.client.Close()
-		b.client = nil
-		return err
-	}
-	return nil
+	var err error
+	b.once.Do(func() {
+		close(b.done)
+		for i := 0; i < cap(b.slots); i++ {
+			if c := <-b.slots; c != nil {
+				if cerr := c.client.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}
+	})
+	return err
 }
 
 // Proxy is a Joza-guarded minidb wire server.
@@ -174,29 +283,60 @@ func (p *Proxy) Stats() (blocked, passed uint64) {
 	return p.blockedCount, p.passedCount
 }
 
+// handle serves one client connection. Decoding runs in its own
+// goroutine so a client that disconnects mid-query cancels the
+// connection context — and with it the in-flight check and upstream round
+// trip — instead of leaving them running for a caller that is gone.
 func (p *Proxy) handle(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
-	for {
-		var req minidb.Request
-		if err := dec.Decode(&req); err != nil {
-			return
+	reqs := make(chan *minidb.Request)
+	go func() {
+		defer cancel()
+		for {
+			req := new(minidb.Request)
+			if err := dec.Decode(req); err != nil {
+				// EOF, malformed stream, or the connection was closed
+				// under us: either way the client is done sending.
+				return
+			}
+			select {
+			case reqs <- req:
+			case <-ctx.Done():
+				return
+			}
 		}
-		resp := p.process(&req)
-		if err := enc.Encode(resp); err != nil {
+	}()
+	for {
+		select {
+		case req := <-reqs:
+			resp := p.process(ctx, req)
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+		case <-ctx.Done():
 			return
 		}
 	}
 }
 
 // process applies the guard, then forwards or blocks.
-func (p *Proxy) process(req *minidb.Request) *minidb.Response {
+func (p *Proxy) process(ctx context.Context, req *minidb.Request) *minidb.Response {
 	inputs := make([]joza.Input, len(req.Inputs))
 	for i, in := range req.Inputs {
 		inputs[i] = joza.Input{Source: in.Source, Name: in.Name, Value: in.Value}
 	}
-	if err := p.guard.Authorize(req.Query, inputs); err != nil {
+	if err := p.guard.AuthorizeContext(ctx, req.Query, inputs); err != nil {
+		var ae *joza.AttackError
+		if !errors.As(err, &ae) {
+			// The check was canceled (client disconnect, shutdown): the
+			// query was neither authorized nor blocked, and the client is
+			// not listening for this response anyway.
+			return &minidb.Response{Error: fmt.Sprintf("check aborted: %v", err)}
+		}
 		p.mu.Lock()
 		p.blockedCount++
 		p.mu.Unlock()
@@ -209,5 +349,5 @@ func (p *Proxy) process(req *minidb.Request) *minidb.Response {
 	p.mu.Lock()
 	p.passedCount++
 	p.mu.Unlock()
-	return p.backend.Execute(req)
+	return p.backend.Execute(ctx, req)
 }

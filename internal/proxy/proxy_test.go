@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -184,7 +185,7 @@ func TestProxyRemoteBackend(t *testing.T) {
 
 func TestRemoteBackendUpstreamDown(t *testing.T) {
 	backend := NewRemoteBackend("127.0.0.1:1")
-	resp := backend.Execute(&minidb.Request{Query: "SELECT 1"})
+	resp := backend.Execute(context.Background(), &minidb.Request{Query: "SELECT 1"})
 	if resp.Error == "" {
 		t.Error("want upstream error")
 	}

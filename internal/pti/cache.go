@@ -1,6 +1,7 @@
 package pti
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -206,11 +207,26 @@ func (c *Cached) AnalyzeLazy(query string, toks []sqltoken.Token) (core.Result, 
 // evidence from the underlying analyzer. A nil span keeps the hot path
 // identical to AnalyzeLazy: no clock reads, no allocations.
 func (c *Cached) AnalyzeLazyTraced(query string, toks []sqltoken.Token, span *trace.Span) (core.Result, []sqltoken.Token) {
+	res, toks, _ := c.AnalyzeLazyCtx(context.Background(), query, toks, span)
+	return res, toks
+}
+
+// AnalyzeLazyCtx is AnalyzeLazyTraced with cooperative cancellation: an
+// already-canceled or expired ctx fails before any cache lookup, and a
+// cache miss runs the underlying analysis through its checkpoints. Cache
+// hits never fail once past the entry check. With context.Background()
+// the checks are free.
+func (c *Cached) AnalyzeLazyCtx(ctx context.Context, query string, toks []sqltoken.Token, span *trace.Span) (core.Result, []sqltoken.Token, error) {
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, nil, err
+		}
+	}
 	if c.queries != nil {
 		if safe, ok := c.queries.get(query); ok && safe {
 			c.queryHits.Add(1)
 			span.SetCacheOutcome(trace.CacheQueryHit)
-			return core.Result{Analyzer: core.AnalyzerPTI}, toks
+			return core.Result{Analyzer: core.AnalyzerPTI}, toks, nil
 		}
 	}
 	var structKey string
@@ -223,7 +239,7 @@ func (c *Cached) AnalyzeLazyTraced(query string, toks []sqltoken.Token, span *tr
 			if c.queries != nil {
 				c.queries.put(query, true)
 			}
-			return core.Result{Analyzer: core.AnalyzerPTI}, toks
+			return core.Result{Analyzer: core.AnalyzerPTI}, toks, nil
 		}
 	}
 	c.misses.Add(1)
@@ -244,7 +260,10 @@ func (c *Cached) AnalyzeLazyTraced(query string, toks []sqltoken.Token, span *tr
 	if span.Active() {
 		coverStart = time.Now()
 	}
-	res := c.analyzer.AnalyzeTraced(query, toks, span)
+	res, err := c.analyzer.AnalyzeCtx(ctx, query, toks, span)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
 	if span.Active() {
 		span.PTICover(time.Since(coverStart))
 	}
@@ -256,7 +275,7 @@ func (c *Cached) AnalyzeLazyTraced(query string, toks []sqltoken.Token, span *tr
 			c.structs.put(structKey, true)
 		}
 	}
-	return res, toks
+	return res, toks, nil
 }
 
 // Stats returns a snapshot of cache counters.

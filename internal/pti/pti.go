@@ -21,6 +21,7 @@
 package pti
 
 import (
+	"context"
 	"fmt"
 
 	"joza/internal/core"
@@ -113,6 +114,32 @@ func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, span *trac
 		return a.analyzeParseFirst(query, toks, span)
 	}
 	return a.analyzeFullMarking(query, toks, span)
+}
+
+// AnalyzeCtx is AnalyzeTraced with cancellation checkpoints before and
+// after lexing. The cover scan itself is linear in the query and runs to
+// completion; the expensive, checkpointed loop of the hybrid pipeline is
+// NTI's approximate matcher. With context.Background() AnalyzeCtx never
+// fails and adds no work.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken.Token, span *trace.Span) (core.Result, error) {
+	cancelable := ctx.Done() != nil
+	if cancelable {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
+	}
+	if toks == nil {
+		toks = sqltoken.Lex(query)
+		if cancelable {
+			if err := ctx.Err(); err != nil {
+				return core.Result{}, err
+			}
+		}
+	}
+	if a.parseFirst {
+		return a.analyzeParseFirst(query, toks, span), nil
+	}
+	return a.analyzeFullMarking(query, toks, span), nil
 }
 
 // analyzeParseFirst verifies coverage of each critical token directly,

@@ -1,0 +1,43 @@
+package strdist
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Long enough that the DP loop reaches its polling checkpoint (every
+// ctxCheckMask+1 = 256 query columns).
+var longQuery = "SELECT * FROM t WHERE x = '" + strings.Repeat("abcdefgh", 200) + "'"
+
+func TestSubstringMatchCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SubstringMatchCtx(ctx, "abcdefgh12345", longQuery)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSubstringMatchThresholdCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := SubstringMatchThresholdCtx(ctx, "abcdefgh12345", longQuery, 0.2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSubstringMatchCtxBackgroundMatchesPlain(t *testing.T) {
+	// The cancelable path must compute the same match as the plain one.
+	input := "abcdefgh123"
+	want := SubstringMatch(input, longQuery)
+	got, err := SubstringMatchCtx(context.Background(), input, longQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("ctx match = %+v, plain = %+v", got, want)
+	}
+}

@@ -19,7 +19,17 @@
 //     cost (Section III-A) and is used only by benchmarks and tests.
 package strdist
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
+
+// ctxCheckMask throttles context polling inside the DP loops: the done
+// channel is sampled once every ctxCheckMask+1 query columns, so a
+// canceled context stops a long match within a few thousand cell updates
+// while the uncancelable path (ctx.Done() == nil) pays a single nil check
+// per column block.
+const ctxCheckMask = 255
 
 // rowPool recycles the DP rows of every matcher in this package. All four
 // matchers slice one pooled buffer into their rows, so steady-state
@@ -122,14 +132,24 @@ func (m Match) Ratio() float64 {
 // The returned Match reports the matched span and distance. If input is
 // empty, a zero-length match at position 0 with distance 0 is returned.
 func SubstringMatch(input, query string) Match {
+	m, _ := SubstringMatchCtx(context.Background(), input, query)
+	return m
+}
+
+// SubstringMatchCtx is SubstringMatch with cooperative cancellation: the
+// DP loop polls ctx every few hundred query columns and returns ctx's
+// error mid-match. A context that cannot be canceled (ctx.Done() == nil,
+// e.g. context.Background()) adds no per-column work.
+func SubstringMatchCtx(ctx context.Context, input, query string) (Match, error) {
 	n := len(input)
 	m := len(query)
 	if n == 0 {
-		return Match{}
+		return Match{}, nil
 	}
 	if m == 0 {
-		return Match{Distance: n}
+		return Match{Distance: n}, nil
 	}
+	done := ctx.Done()
 	// dp[i] = edit distance between input[:i] and the best-ending-here
 	// suffix of query[:j]. start[i] = start index in query of that match.
 	w := n + 1
@@ -145,6 +165,13 @@ func SubstringMatch(input, query string) Match {
 	}
 	best := Match{Start: 0, End: 0, Distance: dp[n]}
 	for j := 1; j <= m; j++ {
+		if done != nil && j&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return Match{}, ctx.Err()
+			default:
+			}
+		}
 		ndp[0] = 0
 		nstart[0] = j // a match starting at j (empty prefix consumed)
 		qc := query[j-1]
@@ -177,7 +204,7 @@ func SubstringMatch(input, query string) Match {
 			best = cand
 		}
 	}
-	return best
+	return best, nil
 }
 
 // better reports whether a is a strictly better match than b: lower distance
@@ -219,26 +246,39 @@ func better(a, b Match) bool {
 // qualifying match holds a value within the cap, so the banded DP computes
 // those candidates exactly and applies the same tie-breaking.
 func SubstringMatchThreshold(input, query string, threshold float64) (m Match, found, pruned bool) {
+	m, found, pruned, _ = SubstringMatchThresholdCtx(context.Background(), input, query, threshold)
+	return m, found, pruned
+}
+
+// SubstringMatchThresholdCtx is SubstringMatchThreshold with cooperative
+// cancellation: the banded DP polls ctx every few hundred query columns —
+// the cancellation checkpoint for long NTI matches — and returns ctx's
+// error mid-match. An uncancelable ctx adds no per-column work.
+func SubstringMatchThresholdCtx(ctx context.Context, input, query string, threshold float64) (m Match, found, pruned bool, err error) {
 	n := len(input)
 	mq := len(query)
 	if n == 0 {
-		return Match{}, false, false
+		return Match{}, false, false, nil
 	}
 	if mq == 0 {
-		return Match{Distance: n}, false, false
+		return Match{Distance: n}, false, false, nil
 	}
 	kMax := int(threshold * float64(mq))
 	if kMax >= n {
 		// The cap cannot prune anything (dp values never exceed n);
 		// run the plain matcher.
-		best := SubstringMatch(input, query)
-		return best, best.Ratio() < threshold, false
+		best, err := SubstringMatchCtx(ctx, input, query)
+		if err != nil {
+			return Match{}, false, false, err
+		}
+		return best, best.Ratio() < threshold, false, nil
 	}
 	if n-mq > kMax {
 		// Even consuming the whole query leaves more than kMax input
 		// bytes unmatched.
-		return Match{Distance: n}, false, true
+		return Match{Distance: n}, false, true, nil
 	}
+	done := ctx.Done()
 	inf := kMax + 1
 	w := n + 1
 	tok, buf := getRows(4 * w)
@@ -261,6 +301,13 @@ func SubstringMatchThreshold(input, query string, threshold float64) (m Match, f
 	best := Match{Start: 0, End: 0, Distance: n}
 	haveCand := false
 	for j := 1; j <= mq; j++ {
+		if done != nil && j&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return Match{}, false, false, ctx.Err()
+			default:
+			}
+		}
 		ndp[0] = 0
 		nstart[0] = j
 		lim := lac + 1
@@ -313,7 +360,7 @@ func SubstringMatchThreshold(input, query string, threshold float64) (m Match, f
 			}
 		}
 	}
-	return best, haveCand && best.Ratio() < threshold, pruned
+	return best, haveCand && best.Ratio() < threshold, pruned, nil
 }
 
 // NaiveSubstringMatch is the unoptimized O(n²·m²)-flavoured matcher: it

@@ -43,7 +43,7 @@ func HTTPHandler(app *App) http.Handler {
 			req.Headers[name] = r.Header.Get(name)
 		}
 
-		page, err := app.Handle(plugin, req)
+		page, err := app.HandleContext(r.Context(), plugin, req)
 		switch {
 		case errors.Is(err, ErrNoSuchPlugin):
 			http.NotFound(w, r)

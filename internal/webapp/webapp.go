@@ -14,6 +14,7 @@
 package webapp
 
 import (
+	"context"
 	"encoding/base64"
 	"errors"
 	"fmt"
@@ -235,18 +236,26 @@ func (a *App) FragmentTexts() []string {
 var ErrNoSuchPlugin = errors.New("webapp: no such plugin")
 
 // Handle services one request against the named plugin and returns the
-// resulting page.
+// resulting page. It is the context-free wrapper around HandleContext.
 func (a *App) Handle(plugin string, req *Request) (*Page, error) {
+	return a.HandleContext(context.Background(), plugin, req)
+}
+
+// HandleContext services one request bounded by ctx: guard checks issued
+// through Ctx.Query observe ctx's deadline and cancellation (the HTTP
+// adapter passes the request context, so a client disconnect aborts an
+// in-flight check).
+func (a *App) HandleContext(ctx context.Context, plugin string, req *Request) (*Page, error) {
 	p, ok := a.plugins[plugin]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchPlugin, plugin)
 	}
-	ctx := &Ctx{app: a, req: req, page: &Page{}}
+	c := &Ctx{app: a, ctx: ctx, req: req, page: &Page{}}
 	// Preprocessing: preserve raw inputs for NTI before the application
 	// transforms them.
-	ctx.rawInputs = req.Inputs()
-	body, err := p.Handle(ctx)
-	page := ctx.page
+	c.rawInputs = req.Inputs()
+	body, err := p.Handle(c)
+	page := c.page
 	if err != nil {
 		var ae *joza.AttackError
 		if errors.As(err, &ae) {
@@ -270,10 +279,14 @@ func (a *App) Handle(plugin string, req *Request) (*Page, error) {
 // Ctx is the per-request context passed to plugin handlers.
 type Ctx struct {
 	app       *App
+	ctx       context.Context
 	req       *Request
 	rawInputs []joza.Input
 	page      *Page
 }
+
+// Context returns the request's context.Context.
+func (c *Ctx) Context() context.Context { return c.ctx }
 
 // transformed applies the app-wide transforms to a raw value.
 func (c *Ctx) transformed(v string) string {
@@ -306,10 +319,15 @@ func (c *Ctx) RawGet(name string) string { return c.req.Get[name] }
 func (c *Ctx) Query(q string) (*minidb.Result, error) {
 	c.page.Queries++
 	if g := c.app.guard; g != nil {
-		if err := g.Authorize(q, c.rawInputs); err != nil {
-			c.page.Blocked = true
+		if err := g.AuthorizeContext(c.ctx, q, c.rawInputs); err != nil {
 			var ae *joza.AttackError
-			if errors.As(err, &ae) && ae.Policy == joza.PolicyErrorVirtualize {
+			if !errors.As(err, &ae) {
+				// The check was canceled or timed out: the query was
+				// neither authorized nor blocked.
+				return nil, err
+			}
+			c.page.Blocked = true
+			if ae.Policy == joza.PolicyErrorVirtualize {
 				return nil, &minidb.ExecError{Query: q, Msg: "query failed"}
 			}
 			return nil, err

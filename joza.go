@@ -35,6 +35,7 @@
 package joza
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -42,6 +43,7 @@ import (
 
 	"joza/internal/audit"
 	"joza/internal/core"
+	"joza/internal/engine"
 	"joza/internal/fragments"
 	"joza/internal/metrics"
 	"joza/internal/nti"
@@ -104,17 +106,19 @@ const (
 	CacheQueryAndStructure = pti.CacheQueryAndStructure
 )
 
-// Guard is the hybrid detector. It is immutable after construction and safe
-// for concurrent use.
+// Guard is the hybrid detector: a thin front door over the shared
+// internal/engine pipeline. A Guard is safe for concurrent use; its
+// analysis state lives in an immutable engine.Snapshot that refreshes
+// (Manager, jozad -watch) swap atomically without locking the Check hot
+// path.
 type Guard struct {
-	ntiAnalyzer *nti.Analyzer
-	ptiAnalyzer *pti.Cached
-	policy      core.Policy
-	set         *fragments.Set
-	auditLog    *audit.Logger
-	collector   *metrics.Collector
-	tracer      *trace.Tracer
-	obsServer   *obs.Server
+	eng       *engine.Engine
+	policy    core.Policy
+	obsServer *obs.Server
+	// buildSnap rebuilds the analysis snapshot over a new fragment set
+	// using the Guard's original configuration; the Manager drives it on
+	// Refresh.
+	buildSnap func(set *fragments.Set) (*engine.Snapshot, error)
 }
 
 type config struct {
@@ -129,7 +133,6 @@ type config struct {
 	disableNTI    bool
 	disablePTI    bool
 	auditWriter   io.Writer
-	collector     *metrics.Collector
 	obs           *ObservabilityConfig
 }
 
@@ -258,44 +261,66 @@ func New(opts ...Option) (*Guard, error) {
 	if set == nil {
 		set = fragments.NewSet(cfg.fragmentTexts)
 	}
-	if !cfg.disablePTI && set.Len() == 0 {
-		return nil, ErrNoFragments
-	}
-	g := &Guard{policy: cfg.policy, set: set}
-	if !cfg.disableNTI {
-		ntiOpts := append([]nti.Option{nti.WithThreshold(cfg.threshold)}, cfg.ntiOptions...)
-		g.ntiAnalyzer = nti.New(ntiOpts...)
-	}
-	if !cfg.disablePTI {
-		g.ptiAnalyzer = pti.NewCached(pti.New(set, cfg.ptiOptions...), cfg.cacheMode, cfg.cacheCapacity)
-	}
-	if g.ntiAnalyzer == nil && g.ptiAnalyzer == nil {
+	if cfg.disableNTI && cfg.disablePTI {
 		return nil, errors.New("joza: both analyzers disabled")
 	}
-	if cfg.auditWriter != nil {
-		g.auditLog = audit.NewLogger(cfg.auditWriter)
-	}
-	g.collector = cfg.collector
-	if g.collector == nil {
-		g.collector = metrics.NewCollector()
-	}
-	if cfg.obs != nil {
-		g.tracer = trace.New(cfg.obs.traceConfig())
-		if cfg.obs.Addr != "" {
-			srv := obs.NewServer(g.Metrics, g.tracer)
-			if _, err := srv.Start(cfg.obs.Addr); err != nil {
-				return nil, err
-			}
-			g.obsServer = srv
+	// buildSnap validates and assembles an analysis snapshot over a
+	// fragment set with this Guard's configuration; Manager.Refresh swaps
+	// in its result for fresh sets.
+	buildSnap := func(set *fragments.Set) (*engine.Snapshot, error) {
+		if !cfg.disablePTI && set.Len() == 0 {
+			return nil, ErrNoFragments
 		}
+		snap := &engine.Snapshot{Set: set}
+		if !cfg.disablePTI {
+			cached := pti.NewCached(pti.New(set, cfg.ptiOptions...), cfg.cacheMode, cfg.cacheCapacity)
+			snap.PTI = cached
+			snap.Analyzers = append(snap.Analyzers, engine.PTIStage{Analyzer: cached})
+		}
+		if !cfg.disableNTI {
+			ntiOpts := append([]nti.Option{nti.WithThreshold(cfg.threshold)}, cfg.ntiOptions...)
+			a := nti.New(ntiOpts...)
+			snap.NTI = a
+			snap.Analyzers = append(snap.Analyzers, engine.NTIStage{Analyzer: a})
+		}
+		return snap, nil
+	}
+	snap, err := buildSnap(set)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guard{policy: cfg.policy, buildSnap: buildSnap}
+	engOpts := []engine.Option{engine.WithPolicy(cfg.policy)}
+	if cfg.auditWriter != nil {
+		engOpts = append(engOpts, engine.WithAuditLogger(audit.NewLogger(cfg.auditWriter)))
+	}
+	var tracer *trace.Tracer
+	if cfg.obs != nil {
+		tracer = trace.New(cfg.obs.traceConfig())
+		engOpts = append(engOpts, engine.WithTracer(tracer))
+	}
+	g.eng = engine.New(snap, engOpts...)
+	if cfg.obs != nil && cfg.obs.Addr != "" {
+		srv := obs.NewServer(g.Metrics, tracer)
+		if _, err := srv.Start(cfg.obs.Addr); err != nil {
+			return nil, err
+		}
+		g.obsServer = srv
 	}
 	return g, nil
 }
 
-// withCollector shares a metrics collector across Guards; the Manager
-// uses it so counters survive fragment-set rebuilds.
-func withCollector(c *metrics.Collector) Option {
-	return func(cfg *config) { cfg.collector = c }
+// swapFragmentSet rebuilds the analysis snapshot over set with the Guard's
+// original configuration and swaps it in atomically. In-flight checks
+// finish on the snapshot they started with; metrics counters, tracer and
+// the observability listener carry over. Used by Manager.Refresh.
+func (g *Guard) swapFragmentSet(set *fragments.Set) error {
+	snap, err := g.buildSnap(set)
+	if err != nil {
+		return err
+	}
+	g.eng.Swap(snap)
+	return nil
 }
 
 // FragmentsFromDir extracts trusted fragment texts from all source files
@@ -319,85 +344,52 @@ func FragmentsFromSource(src string) []string {
 }
 
 // FragmentCount returns the number of trusted fragments the Guard holds.
-func (g *Guard) FragmentCount() int { return g.set.Len() }
+func (g *Guard) FragmentCount() int { return g.eng.Snapshot().Set.Len() }
 
 // SampleFragments returns up to n of the longest trusted fragments, for
 // inspection (Table III-style output).
-func (g *Guard) SampleFragments(n int) []string { return g.set.Sample(n) }
+func (g *Guard) SampleFragments(n int) []string { return g.eng.Snapshot().Set.Sample(n) }
 
 // Policy returns the Guard's recovery policy.
 func (g *Guard) Policy() Policy { return g.policy }
 
-// Check analyzes query against the request's captured inputs and returns
-// the hybrid verdict. PTI runs first (it also supplies the token stream),
-// then NTI, matching the Joza architecture; the query is an attack if
-// either flags it.
+// CheckContext analyzes query against the request's captured inputs and
+// returns the hybrid verdict. PTI runs first (it also supplies the token
+// stream), then NTI, matching the Joza architecture; the query is an
+// attack if either flags it.
 //
 // The query is lexed lazily: a PTI query-cache hit on a request with no
 // usable NTI inputs performs no lexing at all, and when both analyzers
 // need tokens the lex runs once and is shared.
-func (g *Guard) Check(query string, inputs []Input) Verdict {
-	span := g.tracer.Start(query)
-	var start time.Time
-	sampled := g.collector.SampleLatency()
-	if sampled {
-		start = time.Now()
-	}
-	v := Verdict{Query: query}
-	var toks []sqltoken.Token
-	if g.ptiAnalyzer != nil {
-		v.PTI, toks = g.ptiAnalyzer.AnalyzeLazyTraced(query, nil, span)
-	} else {
-		v.PTI = core.Result{Analyzer: core.AnalyzerPTI}
-	}
-	if g.ntiAnalyzer != nil && hasInputValues(inputs) {
-		// toks is non-nil iff PTI already lexed (cache miss); otherwise
-		// NTI lexes on demand, only when an input actually matches.
-		v.NTI = g.ntiAnalyzer.AnalyzeTraced(query, toks, inputs, span)
-	} else {
-		v.NTI = core.Result{Analyzer: core.AnalyzerNTI}
-	}
-	v.Attack = v.NTI.Attack || v.PTI.Attack
-	elapsed := time.Duration(-1)
-	if sampled {
-		elapsed = time.Since(start)
-	}
-	g.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
-	if span != nil {
-		span.SetVerdict(v.NTI.Attack, v.PTI.Attack)
-		g.tracer.Finish(span)
-		// Stage histograms are fed only from traced checks so the
-		// untraced hot path never reads the clock per stage.
-		g.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
-	}
-	if v.Attack && g.auditLog != nil {
-		g.auditLog.Log(v, g.policy, inputs)
-	}
-	return v
+//
+// ctx threads through every analyzer, with cancellation checkpoints
+// inside the NTI approximate matcher's DP loop, so a canceled or expired
+// context aborts a long analysis promptly and returns its error with no
+// verdict recorded.
+func (g *Guard) CheckContext(ctx context.Context, query string, inputs []Input) (Verdict, error) {
+	return g.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs})
 }
 
-// hasInputValues reports whether any captured input carries a non-empty
-// value (empty values can never produce an NTI marking).
-func hasInputValues(inputs []Input) bool {
-	for _, in := range inputs {
-		if in.Value != "" {
-			return true
-		}
-	}
-	return false
+// Check is the context-free compatibility wrapper around CheckContext: it
+// analyzes under context.Background(), on which the pipeline cannot fail.
+// Use CheckContext to bound a check with a deadline or cancel it.
+func (g *Guard) Check(query string, inputs []Input) Verdict {
+	v, _ := g.eng.Check(context.Background(), engine.Request{Query: query, Inputs: inputs})
+	return v
 }
 
 // Metrics returns a snapshot of the Guard's counters: checks and attacks,
 // PTI cache totals and per-shard activity, NTI matcher activity, and
 // check-latency quantiles. Safe to call concurrently with Check.
 func (g *Guard) Metrics() Metrics {
-	snap := g.collector.Snapshot()
-	if g.ptiAnalyzer != nil {
-		st := g.ptiAnalyzer.Stats()
+	snap := g.eng.Collector().Snapshot()
+	es := g.eng.Snapshot()
+	if es.PTI != nil {
+		st := es.PTI.Stats()
 		snap.CacheQueryHits = st.QueryHits
 		snap.CacheStructureHits = st.StructureHits
 		snap.CacheMisses = st.Misses
-		queryShards, _ := g.ptiAnalyzer.ShardStats()
+		queryShards, _ := es.PTI.ShardStats()
 		snap.CacheShards = make([]CacheShardMetrics, len(queryShards))
 		for i, sh := range queryShards {
 			snap.CacheShards[i] = CacheShardMetrics{
@@ -405,8 +397,8 @@ func (g *Guard) Metrics() Metrics {
 			}
 		}
 	}
-	if g.ntiAnalyzer != nil {
-		st := g.ntiAnalyzer.Stats()
+	if es.NTI != nil {
+		st := es.NTI.Stats()
 		snap.NTIMatcherCalls = st.MatcherCalls
 		snap.NTIMatcherEarlyExits = st.EarlyExits
 	}
@@ -415,7 +407,7 @@ func (g *Guard) Metrics() Metrics {
 
 // Traces snapshots the Guard's trace rings: recent sampled checks plus the
 // notable (attack or slow) ones. Empty when observability is off.
-func (g *Guard) Traces() TraceDump { return g.tracer.Dump() }
+func (g *Guard) Traces() TraceDump { return g.eng.Tracer().Dump() }
 
 // ObservabilityAddr returns the bound address of the observability HTTP
 // listener, or "" when none is running.
@@ -436,23 +428,26 @@ func (g *Guard) Close() error {
 	return g.obsServer.Close()
 }
 
-// Authorize checks the query and returns nil when it is safe, or an
-// *AttackError carrying the verdict and the Guard's policy when it is not.
+// AuthorizeContext checks the query under ctx and returns nil when it is
+// safe, an *AttackError carrying the verdict and the Guard's policy when
+// it is not, or ctx's error when the check was canceled.
+func (g *Guard) AuthorizeContext(ctx context.Context, query string, inputs []Input) error {
+	return g.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs})
+}
+
+// Authorize is the context-free compatibility wrapper around
+// AuthorizeContext.
 func (g *Guard) Authorize(query string, inputs []Input) error {
-	v := g.Check(query, inputs)
-	if !v.Attack {
-		return nil
-	}
-	return &core.AttackError{Verdict: v, Policy: g.policy}
+	return g.eng.Authorize(context.Background(), engine.Request{Query: query, Inputs: inputs})
 }
 
 // PTICacheStats returns PTI cache counters (zero value when PTI is
 // disabled).
 func (g *Guard) PTICacheStats() pti.CacheStats {
-	if g.ptiAnalyzer == nil {
-		return pti.CacheStats{}
+	if pa := g.eng.Snapshot().PTI; pa != nil {
+		return pa.Stats()
 	}
-	return g.ptiAnalyzer.Stats()
+	return pti.CacheStats{}
 }
 
 // RenderVerdict renders the verdict in the paper's figure style: the query,

@@ -6,27 +6,27 @@ import (
 	"sync/atomic"
 
 	"joza/internal/installer"
-	"joza/internal/metrics"
 )
 
 // Manager couples a Guard to the application's source tree: the initial
 // installation extracts the trusted fragments, and Refresh re-extracts
 // only changed files — picking up application updates and newly installed
 // plugins, per the paper's preprocessing component — and atomically swaps
-// in a rebuilt Guard. Callers take the current Guard per request via
-// Guard(); in-flight requests keep the Guard they started with.
+// a rebuilt analysis snapshot into the Guard's engine. The hot path never
+// takes a lock: a check loads the snapshot once, and in-flight checks
+// finish on the snapshot they started with.
 //
-// All rebuilt Guards share one metrics collector, so Manager.Metrics()
-// counters survive fragment-set swaps.
+// Metrics counters, the tracer and the observability listener belong to
+// the engine and survive fragment-set swaps. Guard() returns a fresh
+// Guard handle after each successful Refresh (the handles share the one
+// engine), so callers can detect swaps by pointer comparison.
 type Manager struct {
-	ins       *installer.Installer
-	opts      []Option
-	collector *metrics.Collector
-	guard     atomic.Pointer[Guard]
+	ins   *installer.Installer
+	guard atomic.Pointer[Guard]
 
 	// mu serializes Refresh; pending records that the source tree changed
 	// but the rebuild failed, so the next Refresh retries instead of
-	// leaving the old Guard serving stale fragments forever.
+	// leaving the old snapshot serving stale fragments forever.
 	mu      sync.Mutex
 	pending bool
 }
@@ -44,10 +44,12 @@ func NewManager(dir string, exts []string, opts ...Option) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("joza: install: %w", err)
 	}
-	m := &Manager{ins: ins, opts: opts, collector: metrics.NewCollector()}
-	if err := m.rebuild(); err != nil {
-		return nil, err
+	g, err := New(append([]Option{WithFragmentSet(ins.Set())}, opts...)...)
+	if err != nil {
+		return nil, fmt.Errorf("joza: rebuild guard: %w", err)
 	}
+	m := &Manager{ins: ins}
+	m.guard.Store(g)
 	return m, nil
 }
 
@@ -58,15 +60,16 @@ func (m *Manager) Guard() *Guard { return m.guard.Load() }
 func (m *Manager) FileCount() int { return m.ins.FileCount() }
 
 // Metrics returns the current metrics snapshot. Check counters are shared
-// across rebuilds; cache and matcher counters reflect the current Guard's
-// analyzers.
+// across rebuilds; cache and matcher counters reflect the current
+// snapshot's analyzers.
 func (m *Manager) Metrics() Metrics { return m.Guard().Metrics() }
 
 // Refresh rescans the source tree; when files were added, modified or
 // removed — or an earlier rebuild failed and is still owed — it rebuilds
-// and swaps the Guard. It reports whether a swap happened.
+// the analysis snapshot and swaps it into the engine. It reports whether
+// a swap happened.
 //
-// A failed rebuild keeps the change pending: the old Guard stays in
+// A failed rebuild keeps the change pending: the old snapshot stays in
 // service (fail-open on stale fragments rather than taking the
 // application down), and every subsequent Refresh retries the rebuild
 // until it succeeds, even if the source tree does not change again.
@@ -81,19 +84,14 @@ func (m *Manager) Refresh() (bool, error) {
 		return false, nil
 	}
 	m.pending = true
-	if err := m.rebuild(); err != nil {
-		return false, err
+	g := m.guard.Load()
+	if err := g.swapFragmentSet(m.ins.Set()); err != nil {
+		return false, fmt.Errorf("joza: rebuild guard: %w", err)
 	}
+	// Publish a fresh handle over the same engine so callers comparing
+	// Guard pointers observe the swap.
+	fresh := *g
+	m.guard.Store(&fresh)
 	m.pending = false
 	return true, nil
-}
-
-func (m *Manager) rebuild() error {
-	opts := append([]Option{WithFragmentSet(m.ins.Set()), withCollector(m.collector)}, m.opts...)
-	g, err := New(opts...)
-	if err != nil {
-		return fmt.Errorf("joza: rebuild guard: %w", err)
-	}
-	m.guard.Store(g)
-	return nil
 }
