@@ -19,3 +19,17 @@ type AuditRecord = audit.Record
 func WithAuditLog(w io.Writer) Option {
 	return func(c *config) { c.auditWriter = w }
 }
+
+// WithAsyncAuditLog is WithAuditLog with the write moved off the check
+// path: records are handed to a background writer through a bounded queue
+// of the given depth (<= 0 selects a default), so a slow or wedged sink
+// never stalls a check. When the queue is full, records are dropped and
+// counted rather than blocking. Call Guard.Close on shutdown to flush
+// buffered records to w.
+func WithAsyncAuditLog(w io.Writer, depth int) Option {
+	return func(c *config) {
+		c.auditWriter = w
+		c.auditAsync = true
+		c.auditDepth = depth
+	}
+}

@@ -5,19 +5,28 @@
 // Usage:
 //
 //	joza-proxy -src /path/to/app -listen 127.0.0.1:7040 -upstream 127.0.0.1:7050
+//	          [-max-inflight 64] [-admission-wait 50ms] [-drain 10s]
+//	          [-fail-mode closed] [-max-query-bytes 1048576]
 //	          [-obs 127.0.0.1:9040] [-trace-sample 1]
 //	joza-proxy -demo            # built-in demo DB + fragment set
 //
 // With -obs the proxy's Guard serves its observability surface over HTTP:
 // Prometheus /metrics, /healthz, /traces and /debug/pprof/.
+//
+// SIGTERM (or SIGINT) drains gracefully: the proxy stops accepting,
+// finishes in-flight requests within -drain, and exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"joza"
 	"joza/internal/minidb"
@@ -42,6 +51,14 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7040", "proxy listen address")
 	upstream := fs.String("upstream", "", "upstream minidb server address")
 	policy := fs.String("policy", "terminate", "recovery policy: terminate, error-virtualization")
+	failMode := fs.String("fail-mode", "closed", "how contained pipeline failures resolve: closed (treat as attack), open (serve partial verdict)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently processed requests; excess requests shed with an overloaded error (0 disables)")
+	admissionWait := fs.Duration("admission-wait", 50*time.Millisecond, "with -max-inflight: how long a request may wait for a slot before shedding")
+	maxQueryBytes := fs.Int("max-query-bytes", 0, "reject queries longer than this before analysis (0 disables)")
+	maxInputBytes := fs.Int("max-input-bytes", 0, "reject requests whose summed input bytes exceed this (0 disables)")
+	dpCellBudget := fs.Int("dp-cell-budget", 0, "max NTI matcher DP cells per check (0 disables)")
+	maxTokens := fs.Int("max-tokens", 0, "reject queries lexing into more tokens than this (0 disables)")
+	drain := fs.Duration("drain", 10*time.Second, "on SIGTERM/SIGINT: finish in-flight requests for up to this long before force-closing")
 	obsAddr := fs.String("obs", "", "observability HTTP listen address: /metrics, /healthz, /traces, /debug/pprof/ (empty disables)")
 	traceSample := fs.Int("trace-sample", 1, "trace one check in N (0 disables tracing; only used with -obs)")
 	traceSlow := fs.Duration("trace-slow", 0, "also mark benign traces at or above this duration notable")
@@ -59,8 +76,14 @@ func run(args []string) error {
 		texts = joza.FragmentsFromSource(`<?php
 $q = "SELECT id, title FROM posts WHERE id=$id LIMIT 5";`)
 		db := minidb.New("demo")
-		db.MustExec("CREATE TABLE posts (id INT, title TEXT)")
-		db.MustExec("INSERT INTO posts VALUES (1, 'Hello'), (2, 'World')")
+		for _, stmt := range []string{
+			"CREATE TABLE posts (id INT, title TEXT)",
+			"INSERT INTO posts VALUES (1, 'Hello'), (2, 'World')",
+		} {
+			if _, err := db.Exec(stmt); err != nil {
+				return fmt.Errorf("seed demo database: %w", err)
+			}
+		}
 		backend = proxy.LocalBackend{DB: db}
 	case *src != "" && *upstream != "":
 		var err error
@@ -84,6 +107,22 @@ $q = "SELECT id, title FROM posts WHERE id=$id LIMIT 5";`)
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
+	switch *failMode {
+	case "closed":
+		opts = append(opts, joza.WithFailureMode(joza.FailClosed))
+	case "open":
+		opts = append(opts, joza.WithFailureMode(joza.FailOpen))
+	default:
+		return fmt.Errorf("unknown fail mode %q", *failMode)
+	}
+	if *maxQueryBytes > 0 || *maxInputBytes > 0 || *dpCellBudget > 0 || *maxTokens > 0 {
+		opts = append(opts, joza.WithBudgets(joza.Budgets{
+			MaxQueryBytes: *maxQueryBytes,
+			MaxInputBytes: *maxInputBytes,
+			NTIDPCells:    *dpCellBudget,
+			PTITokens:     *maxTokens,
+		}))
+	}
 	if *obsAddr != "" {
 		sample := *traceSample
 		if sample == 0 {
@@ -104,15 +143,41 @@ $q = "SELECT id, title FROM posts WHERE id=$id LIMIT 5";`)
 		log.Printf("observability on http://%s (/metrics /healthz /traces /debug/pprof/)", a)
 	}
 
-	p := proxy.New(guard, backend)
+	p := proxy.New(guard, backend, proxy.WithAdmission(*maxInflight, *admissionWait))
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	log.Printf("proxying on %s (%d fragments, policy %s)",
 		ln.Addr(), guard.FragmentCount(), guard.Policy())
+	// Register for SIGTERM before announcing readiness so nothing can
+	// deliver a fatal default-action signal in the startup gap.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigCh)
+
 	if testReady != nil {
 		testReady(ln.Addr().String(), guard.ObservabilityAddr())
 	}
-	return p.Serve(ln)
+
+	// Serve in the background so SIGTERM/SIGINT can drain gracefully:
+	// stop accepting, finish in-flight requests within the drain budget,
+	// flush the Guard's audit log, then exit 0.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- p.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		log.Printf("received %v: draining (up to %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := p.Shutdown(ctx); err != nil {
+			log.Printf("drain deadline expired; connections force-closed")
+		} else {
+			log.Printf("drained cleanly")
+		}
+		<-serveErr
+		return nil
+	}
 }

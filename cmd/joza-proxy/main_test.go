@@ -3,7 +3,9 @@ package main
 import (
 	"io"
 	"net/http"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -22,6 +24,44 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag must error")
+	}
+}
+
+// TestSigtermDrainsAndExitsCleanly boots the demo proxy, proves it
+// serves, then delivers SIGTERM: run must drain and return nil so main
+// exits 0.
+func TestSigtermDrainsAndExitsCleanly(t *testing.T) {
+	ready := make(chan string, 1)
+	testReady = func(proxyAddr, _ string) { ready <- proxyAddr }
+	defer func() { testReady = nil }()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"-demo", "-listen", "127.0.0.1:0", "-drain", "5s"})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxy did not come up")
+	}
+	c, err := minidb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT id, title FROM posts WHERE id=1 LIMIT 5"); err != nil {
+		t.Fatalf("benign query: %v", err)
+	}
+	_ = c.Close()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v, want nil (exit 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxy did not drain after SIGTERM")
 	}
 }
 

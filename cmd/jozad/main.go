@@ -7,8 +7,13 @@
 //
 //	jozad -src /path/to/app [-addr 127.0.0.1:7033] [-cache query+structure]
 //	      [-read-timeout 2m] [-max-request 1048576]
+//	      [-max-inflight 64] [-admission-wait 50ms]
+//	      [-max-query-bytes 1048576] [-max-tokens 4096] [-drain 10s]
 //	      [-obs 127.0.0.1:9033] [-trace-sample 1]
 //	jozad -selftest   # run against a built-in demo fragment set
+//
+// SIGTERM (or SIGINT) drains gracefully: the daemon stops accepting,
+// finishes in-flight analyses within -drain, and exits 0.
 //
 // With -obs the daemon serves its observability surface over HTTP:
 // Prometheus /metrics (counters plus latency and per-stage histograms),
@@ -19,11 +24,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"joza"
@@ -56,6 +64,11 @@ func run(args []string) error {
 	watch := fs.Duration("watch", 0, "with -src: re-extract fragments at this interval when files change")
 	readTimeout := fs.Duration("read-timeout", 2*time.Minute, "drop connections idle longer than this (0 disables)")
 	maxRequest := fs.Int64("max-request", daemon.DefaultMaxRequestBytes, "max bytes per wire request")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently running analyses; excess requests shed with an overloaded error (0 disables)")
+	admissionWait := fs.Duration("admission-wait", 50*time.Millisecond, "with -max-inflight: how long a request may wait for a slot before shedding")
+	maxQueryBytes := fs.Int("max-query-bytes", 0, "reject queries longer than this before analysis (0 disables)")
+	maxTokens := fs.Int("max-tokens", 0, "reject queries lexing into more tokens than this (0 disables)")
+	drain := fs.Duration("drain", 10*time.Second, "on SIGTERM/SIGINT: finish in-flight requests for up to this long before force-closing")
 	obsAddr := fs.String("obs", "", "observability HTTP listen address: /metrics, /healthz, /traces, /debug/pprof/ (empty disables)")
 	traceSample := fs.Int("trace-sample", 1, "trace one analyze request in N (0 disables tracing)")
 	traceRing := fs.Int("trace-ring", trace.DefaultRingSize, "capacity of each trace ring buffer")
@@ -90,15 +103,25 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	if err != nil {
 		return err
 	}
-	analyzer := pti.NewCached(pti.New(set), mode, *cacheCap)
+	var ptiOpts []pti.Option
+	if *maxQueryBytes > 0 {
+		ptiOpts = append(ptiOpts, pti.WithMaxQueryBytes(*maxQueryBytes))
+	}
+	if *maxTokens > 0 {
+		ptiOpts = append(ptiOpts, pti.WithMaxTokens(*maxTokens))
+	}
+	newAnalyzer := func(s *fragments.Set) *pti.Cached {
+		return pti.NewCached(pti.New(s, ptiOpts...), mode, *cacheCap)
+	}
 	tracer := trace.New(trace.Config{
 		SampleEvery:   *traceSample,
 		RingSize:      *traceRing,
 		SlowThreshold: *traceSlow,
 	})
-	srv := daemon.NewServer(analyzer,
+	srv := daemon.NewServer(newAnalyzer(set),
 		daemon.WithReadTimeout(*readTimeout),
 		daemon.WithMaxRequestBytes(*maxRequest),
+		daemon.WithAdmission(*maxInflight, *admissionWait),
 		daemon.WithTracer(tracer))
 
 	ln, err := net.Listen("tcp", *addr)
@@ -118,6 +141,12 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		boundObs = bound.String()
 		log.Printf("observability on http://%s (/metrics /healthz /traces /debug/pprof/)", boundObs)
 	}
+	// Register for SIGTERM before announcing readiness so nothing can
+	// deliver a fatal default-action signal in the startup gap.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigCh)
+
 	if testReady != nil {
 		testReady(ln.Addr().String(), boundObs)
 	}
@@ -136,7 +165,7 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 				}
 				if changed {
 					fresh := ins.Set()
-					srv.SetAnalyzer(pti.NewCached(pti.New(fresh), mode, *cacheCap))
+					srv.SetAnalyzer(newAnalyzer(fresh))
 					log.Printf("fragments reloaded: %d", fresh.Len())
 				}
 			}
@@ -146,7 +175,28 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	if *selftest {
 		go probe(ln.Addr().String())
 	}
-	return srv.Serve(ln)
+
+	// Serve in the background so SIGTERM/SIGINT can drain gracefully:
+	// stop accepting, finish in-flight analyses within the drain budget,
+	// then exit 0. A second signal is not needed — the drain deadline
+	// bounds the wait either way.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		log.Printf("received %v: draining (up to %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain deadline expired; connections force-closed")
+		} else {
+			log.Printf("drained cleanly")
+		}
+		<-serveErr
+		return nil
+	}
 }
 
 func parseCacheMode(s string) (pti.CacheMode, error) {

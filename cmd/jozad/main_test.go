@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -35,6 +37,44 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag must error")
+	}
+}
+
+// TestSigtermDrainsAndExitsCleanly boots a real jozad, proves it serves,
+// then delivers SIGTERM as an init system would: run must drain and
+// return nil so main exits 0.
+func TestSigtermDrainsAndExitsCleanly(t *testing.T) {
+	ready := make(chan string, 1)
+	testReady = func(daemonAddr, _ string) { ready <- daemonAddr }
+	defer func() { testReady = nil }()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"-selftest", "-addr", "127.0.0.1:0", "-drain", "5s"})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	c, err := daemon.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Analyze("SELECT * FROM records WHERE ID=5 LIMIT 5"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v, want nil (exit 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
 	}
 }
 

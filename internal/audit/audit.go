@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"joza/internal/core"
@@ -33,11 +34,26 @@ type Record struct {
 	InputKeys []string `json:"inputKeys,omitempty"`
 }
 
-// Logger serializes writes of audit records to a writer.
+// Logger writes audit records to a writer. The policy is log-only-attacks:
+// Log returns before building (or allocating) anything when the verdict is
+// clean, so a Logger on the hot path costs one branch per benign check.
+//
+// A Logger from NewLogger writes synchronously under a mutex. A Logger
+// from NewAsyncLogger hands pre-marshaled records to a background writer
+// through a bounded queue: a slow or wedged sink never stalls a check —
+// records that cannot be queued are dropped and counted instead.
 type Logger struct {
 	mu  sync.Mutex
 	w   io.Writer
 	now func() time.Time
+
+	// Async mode (nil queue = synchronous).
+	queue    chan []byte
+	done     chan struct{}
+	finished chan struct{}
+	closed   atomic.Bool
+	once     sync.Once
+	dropped  atomic.Uint64
 }
 
 // NewLogger returns a Logger writing one JSON line per record to w.
@@ -46,9 +62,67 @@ func NewLogger(w io.Writer) *Logger {
 	return &Logger{w: w, now: time.Now}
 }
 
-// Log writes one record; failures are swallowed (auditing must never take
-// the application down), but the write is attempted exactly once.
+// DefaultQueueDepth is the async queue capacity used when NewAsyncLogger
+// is given a non-positive depth.
+const DefaultQueueDepth = 1024
+
+// NewAsyncLogger returns a Logger whose sink writes happen on a
+// background goroutine behind a bounded queue of the given depth
+// (DefaultQueueDepth when depth <= 0). Log never blocks: when the queue
+// is full — a wedged or slow sink — the record is dropped and counted in
+// Dropped. Close stops intake, flushes the queue and waits for the
+// writer; call it on shutdown so buffered records reach the sink.
+func NewAsyncLogger(w io.Writer, depth int) *Logger {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	l := &Logger{
+		w:        w,
+		now:      time.Now,
+		queue:    make(chan []byte, depth),
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	go l.run()
+	return l
+}
+
+// run is the async writer loop: it drains the queue until Close, then
+// flushes whatever is still buffered.
+func (l *Logger) run() {
+	defer close(l.finished)
+	for {
+		select {
+		case data := <-l.queue:
+			l.write(data)
+		case <-l.done:
+			for {
+				select {
+				case data := <-l.queue:
+					l.write(data)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (l *Logger) write(data []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(data)
+}
+
+// Log writes one record for an attack verdict; clean verdicts return
+// immediately without building a record. Synchronous loggers attempt the
+// write exactly once and swallow failures (auditing must never take the
+// application down); async loggers enqueue without blocking and count
+// records the full queue forced them to drop.
 func (l *Logger) Log(v core.Verdict, policy core.Policy, inputs []nti.Input) {
+	if !v.Attack {
+		return
+	}
 	rec := Record{
 		Time:       l.now().UTC().Format("2006-01-02T15:04:05.000Z07:00"),
 		Query:      v.Query,
@@ -72,7 +146,37 @@ func (l *Logger) Log(v core.Verdict, policy core.Policy, inputs []nti.Input) {
 		return
 	}
 	data = append(data, '\n')
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	_, _ = l.w.Write(data)
+	if l.queue == nil {
+		l.write(data)
+		return
+	}
+	if l.closed.Load() {
+		l.dropped.Add(1)
+		return
+	}
+	select {
+	case l.queue <- data:
+	default:
+		l.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many records the async queue discarded because the
+// sink could not keep up. Always zero for synchronous loggers.
+func (l *Logger) Dropped() uint64 { return l.dropped.Load() }
+
+// Close stops async intake, flushes buffered records to the sink and
+// waits for the background writer to finish. Records logged after Close
+// are dropped (and counted). On a synchronous Logger it is a no-op. Safe
+// to call more than once.
+func (l *Logger) Close() error {
+	if l.queue == nil {
+		return nil
+	}
+	l.once.Do(func() {
+		l.closed.Store(true)
+		close(l.done)
+	})
+	<-l.finished
+	return nil
 }

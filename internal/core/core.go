@@ -6,11 +6,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"joza/internal/sqltoken"
 )
+
+// ErrOverBudget marks an analysis that exceeded a configured cost budget
+// (query/input bytes, DP cells, token count). Analyzers wrap it so the
+// engine can recognize over-budget checks with errors.Is and resolve them
+// through the failure-mode policy instead of propagating them, keeping
+// algorithmic-complexity DoS attempts from pinning a core. Distinct from a
+// context deadline: the budget bounds work, not wall time.
+var ErrOverBudget = errors.New("analysis budget exceeded")
 
 // Analyzer names used in verdicts and reports.
 const (

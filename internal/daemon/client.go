@@ -131,6 +131,16 @@ func ctxCause(ctx context.Context, err error) error {
 	if cerr := ctx.Err(); cerr != nil {
 		return cerr
 	}
+	// The connection deadline and the context's timer race: when both are
+	// set to the same instant, the read can fail with an i/o timeout a
+	// moment before ctx.Err() flips. If the context's deadline has passed,
+	// the timeout is the context's.
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			return context.DeadlineExceeded
+		}
+	}
 	return err
 }
 

@@ -1,0 +1,330 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"joza/internal/engine"
+	"joza/internal/fragments"
+	"joza/internal/nti"
+	"joza/internal/pti"
+)
+
+// waitForGoroutines retries until the goroutine count drops back to the
+// baseline (the runtime needs a moment to reap exited goroutines).
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerAdmissionSheds(t *testing.T) {
+	srv := NewServer(newAnalyzer(), WithAdmission(1, 10*time.Millisecond))
+	// Occupy the only slot so the next analyze request must shed.
+	if err := srv.gate.Acquire(context.Background()); err != nil {
+		t.Fatalf("priming acquire: %v", err)
+	}
+	clientSide, serverSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	c := NewClient(clientSide)
+	c.SetTimeout(5 * time.Second)
+	_, err := c.Analyze(benignQuery)
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("err = %v, want overloaded", err)
+	}
+	if c.Broken() {
+		t.Fatal("shed reply broke the connection — it must ride the healthy stream")
+	}
+	if got := srv.Stats().ShedRequests; got != 1 {
+		t.Fatalf("ShedRequests = %d, want 1", got)
+	}
+	// Releasing the slot restores service on the same connection.
+	srv.gate.Release()
+	reply, err := c.Analyze(benignQuery)
+	if err != nil || reply.Attack {
+		t.Fatalf("after release: reply=%+v err=%v", reply, err)
+	}
+	_ = c.Close()
+	<-done
+}
+
+// TestServerRefusesHostileOversizedQuery proves a 4 MB query cannot buy
+// 4 MB worth of analysis: the budgeted analyzer rejects it up front, the
+// reply arrives well inside the client deadline on a healthy stream, and
+// the event is counted as over-budget, not as a timeout.
+func TestServerRefusesHostileOversizedQuery(t *testing.T) {
+	set := fragments.NewSet([]string{"SELECT * FROM records WHERE ID=", " LIMIT 5"})
+	budgeted := pti.NewCached(pti.New(set, pti.WithMaxQueryBytes(1<<20)), pti.CacheQueryAndStructure, 128)
+	srv := NewServer(budgeted, WithMaxRequestBytes(16<<20))
+	clientSide, serverSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	c := NewClient(clientSide)
+	defer func() {
+		_ = c.Close()
+		<-done
+	}()
+	hostile := benignQuery + " -- " + strings.Repeat("A", 4<<20)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := c.AnalyzeContext(ctx, hostile)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v, want an over-budget refusal", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("refusal took %s — the budget must reject before the work, not after", elapsed)
+	}
+	if c.Broken() {
+		t.Fatal("over-budget reply broke the connection — it must ride the healthy stream")
+	}
+	st := srv.Stats()
+	if st.OverBudgetChecks != 1 || st.DaemonTimeouts != 0 {
+		t.Fatalf("counters = overBudget %d, timeouts %d; want 1 and 0", st.OverBudgetChecks, st.DaemonTimeouts)
+	}
+	// The same connection still serves real traffic.
+	reply, err := c.Analyze(benignQuery)
+	if err != nil || reply.Attack {
+		t.Fatalf("after refusal: reply=%+v err=%v", reply, err)
+	}
+}
+
+func TestServerAdmissionShedHonorsRequestBudget(t *testing.T) {
+	// The wait for a slot is clamped to the request's propagated deadline
+	// budget: a request with 1ms left is shed immediately, not after the
+	// configured maxWait.
+	srv := NewServer(newAnalyzer(), WithAdmission(1, 10*time.Second))
+	if err := srv.gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.gate.Release()
+	clientSide, serverSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	c := NewClient(clientSide)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.AnalyzeContext(ctx, benignQuery)
+	if err == nil {
+		t.Fatal("expected an error with the slot held")
+	}
+	if wait := time.Since(start); wait > 3*time.Second {
+		t.Fatalf("shed took %v — the 10s maxWait was not clamped to the request budget", wait)
+	}
+	_ = c.Close()
+	<-done
+}
+
+func TestServerShutdownDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(newAnalyzer(), WithReadTimeout(time.Minute))
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Analyze(benignQuery); err != nil {
+		t.Fatal(err)
+	}
+	// The connection now sits idle in the server's read loop; Shutdown
+	// must fail that read rather than wait out the minute-long read
+	// timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Serve returned %v, want net.ErrClosed", err)
+	}
+	if _, err := c.Analyze(benignQuery); err == nil {
+		t.Fatal("drained server still answered")
+	}
+	// Shutdown after Shutdown (and Close after Shutdown) are no-ops.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	waitForGoroutines(t, before)
+}
+
+func TestServerShutdownWaitsForInFlight(t *testing.T) {
+	// A request waiting on admission when Shutdown begins still gets its
+	// answer (shed, here) before its connection handler exits.
+	srv := NewServer(newAnalyzer(), WithAdmission(1, 300*time.Millisecond))
+	if err := srv.gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	clientSide, serverSide := net.Pipe()
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		if !srv.track(serverSide) {
+			return
+		}
+		defer srv.wg.Done()
+		srv.ServeConn(serverSide)
+	}()
+	c := NewClient(clientSide)
+	replied := make(chan error, 1)
+	go func() {
+		_, err := c.Analyze(benignQuery)
+		replied <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the gate
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	err := <-replied
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("in-flight request got %v, want an overloaded reply", err)
+	}
+	<-handlerDone
+	_ = c.Close()
+}
+
+// flakyDialer dials a real address while up, and fails while down.
+type flakyDialer struct {
+	addr string
+	down atomic.Bool
+}
+
+func (d *flakyDialer) dial() (net.Conn, error) {
+	if d.down.Load() {
+		return nil, errors.New("injected dial failure")
+	}
+	return net.DialTimeout("tcp", d.addr, time.Second)
+}
+
+func TestPoolBreakerTripsAndRecovers(t *testing.T) {
+	addr := startTCPServer(t, newAnalyzer())
+	d := &flakyDialer{addr: addr}
+	d.down.Store(true)
+	p := NewPool(d.dial, PoolConfig{
+		Size:             1,
+		MaxAttempts:      1,
+		BackoffMin:       time.Millisecond,
+		Timeout:          time.Second,
+		BreakerThreshold: 2,
+		BreakerCooldown:  200 * time.Millisecond,
+	})
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := p.Analyze(benignQuery); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("request %d: err = %v, want ErrUnavailable", i, err)
+		}
+	}
+	if st := p.BreakerStats(); st.State != "open" || st.Trips != 1 {
+		t.Fatalf("after threshold failures: %+v, want open with 1 trip", st)
+	}
+	// While open, requests short-circuit: no new dial attempts.
+	dials := p.Dials()
+	if _, err := p.Analyze(benignQuery); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open-breaker err = %v, want ErrUnavailable", err)
+	}
+	if p.Dials() != dials {
+		t.Fatal("open breaker still dialed the daemon")
+	}
+	if st := p.BreakerStats(); st.Rejects == 0 {
+		t.Fatalf("stats = %+v, want rejects counted", st)
+	}
+	// Heal the daemon; after the cooldown one probe goes through and
+	// closes the breaker.
+	d.down.Store(false)
+	time.Sleep(250 * time.Millisecond)
+	reply, err := p.Analyze(benignQuery)
+	if err != nil || reply.Attack {
+		t.Fatalf("probe: reply=%+v err=%v", reply, err)
+	}
+	st := p.BreakerStats()
+	if st.State != "closed" || st.Probes != 1 {
+		t.Fatalf("after successful probe: %+v, want closed with 1 probe", st)
+	}
+}
+
+func TestPoolBreakerHalfOpenProbeLeaksNothing(t *testing.T) {
+	addr := startTCPServer(t, newAnalyzer())
+	before := runtime.NumGoroutine()
+	d := &flakyDialer{addr: addr}
+	d.down.Store(true)
+	p := NewPool(d.dial, PoolConfig{
+		Size:             2,
+		MaxAttempts:      1,
+		BackoffMin:       time.Millisecond,
+		Timeout:          time.Second,
+		BreakerThreshold: 1,
+		BreakerCooldown:  10 * time.Millisecond,
+	})
+	for i := 0; i < 5; i++ {
+		_, _ = p.Analyze(benignQuery)
+		time.Sleep(15 * time.Millisecond) // let the breaker probe each round
+	}
+	d.down.Store(false)
+	time.Sleep(15 * time.Millisecond)
+	if _, err := p.Analyze(benignQuery); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestHybridBreakerInMetricsAndFailureMode(t *testing.T) {
+	p := NewPool(func() (net.Conn, error) {
+		return nil, errors.New("daemon is gone")
+	}, PoolConfig{Size: 1, MaxAttempts: 1, BackoffMin: time.Millisecond, BreakerThreshold: 1})
+	h := NewHybridClient(p, nil, 0, WithoutNTI(), WithDegradeMode(DegradeFailOpen))
+	defer h.Close()
+	if got := h.eng.FailureMode(); got != engine.FailOpen {
+		t.Fatalf("engine failure mode = %v, want fail-open to follow DegradeFailOpen", got)
+	}
+	v, err := h.Check(benignQuery, []nti.Input{{Source: "get", Name: "id", Value: "5"}})
+	if err != nil || v.Attack {
+		t.Fatalf("degraded check: v=%+v err=%v", v, err)
+	}
+	snap := h.Metrics()
+	if snap.DegradedChecks != 1 {
+		t.Fatalf("DegradedChecks = %d, want 1", snap.DegradedChecks)
+	}
+	if snap.BreakerState != "open" || snap.BreakerTrips != 1 {
+		t.Fatalf("breaker in metrics = %q/%d trips, want open/1", snap.BreakerState, snap.BreakerTrips)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"joza/internal/audit"
 	"joza/internal/core"
 	"joza/internal/engine"
+	"joza/internal/guardrail"
 	"joza/internal/metrics"
 	"joza/internal/nti"
 	"joza/internal/trace"
@@ -86,6 +87,13 @@ func WithAuditLog(w io.Writer) HybridOption {
 	return func(h *HybridClient) { h.audit = audit.NewLogger(w) }
 }
 
+// WithAuditLogger uses a caller-built audit logger — typically
+// audit.NewAsyncLogger, so a slow sink never stalls checks. The client's
+// Close flushes and closes it.
+func WithAuditLogger(l *audit.Logger) HybridOption {
+	return func(h *HybridClient) { h.audit = l }
+}
+
 // WithPolicy overrides the recovery policy passed to NewHybridClient.
 func WithPolicy(p core.Policy) HybridOption {
 	return func(h *HybridClient) { h.policy = p }
@@ -119,6 +127,13 @@ func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core
 		snap.Analyzers = append(snap.Analyzers, engine.NTIStage{Analyzer: h.nti})
 	}
 	engOpts := []engine.Option{engine.WithPolicy(h.policy)}
+	if h.degrade == DegradeFailOpen {
+		// One coherent story per deployment: a client that serves NTI-only
+		// verdicts through daemon outages also fails open on a contained
+		// panic or blown budget. The other modes keep the engine's
+		// fail-closed default.
+		engOpts = append(engOpts, engine.WithFailureMode(engine.FailOpen))
+	}
 	if h.collector != nil {
 		engOpts = append(engOpts, engine.WithCollector(h.collector))
 	}
@@ -196,10 +211,23 @@ func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, er
 }
 
 // Metrics returns a snapshot of the client's counters: checks, attacks
-// per analyzer, degraded checks and latency quantiles — the operator view
-// Guard.Metrics provides, for remote deployments. PTI cache fields stay
-// zero here; the daemon's "stats" verb reports those.
-func (h *HybridClient) Metrics() metrics.Snapshot { return h.eng.Collector().Snapshot() }
+// per analyzer, degraded checks, containment events and latency quantiles
+// — the operator view Guard.Metrics provides, for remote deployments.
+// When the transport carries a circuit breaker (a Pool with
+// BreakerThreshold set), its state and counters ride along. PTI cache
+// fields stay zero here; the daemon's "stats" verb reports those.
+func (h *HybridClient) Metrics() metrics.Snapshot {
+	snap := h.eng.Collector().Snapshot()
+	if bp, ok := h.transport.(interface{ BreakerStats() guardrail.BreakerStats }); ok {
+		if st := bp.BreakerStats(); st.State != "" && st.State != "disabled" {
+			snap.BreakerState = st.State
+			snap.BreakerTrips = st.Trips
+			snap.BreakerRejects = st.Rejects
+			snap.BreakerProbes = st.Probes
+		}
+	}
+	return snap
+}
 
 // Traces snapshots the client's trace rings (empty without WithTracing).
 // These are the application-side traces, with daemon spans merged in; the
@@ -222,5 +250,11 @@ func (h *HybridClient) Authorize(query string, inputs []nti.Input) error {
 	return h.eng.Authorize(context.Background(), engine.Request{Query: query, Inputs: inputs})
 }
 
-// Close releases the underlying transport.
-func (h *HybridClient) Close() error { return h.transport.Close() }
+// Close flushes the audit logger (a no-op for synchronous loggers) and
+// releases the underlying transport.
+func (h *HybridClient) Close() error {
+	if h.audit != nil {
+		_ = h.audit.Close()
+	}
+	return h.transport.Close()
+}

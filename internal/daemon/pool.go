@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"joza/internal/guardrail"
 )
 
 // ErrUnavailable wraps the last transport failure after a pooled request
@@ -41,6 +43,17 @@ type PoolConfig struct {
 	// between reconnection attempts (defaults 10ms and 1s).
 	BackoffMin time.Duration
 	BackoffMax time.Duration
+	// BreakerThreshold enables a client-side circuit breaker layered under
+	// the per-request retries: after that many consecutive requests end
+	// unavailable, further requests fail immediately (wrapped in
+	// ErrUnavailable, so the degradation policy applies) instead of each
+	// burning MaxAttempts dial timeouts against a dead daemon. After
+	// BreakerCooldown one probe request is let through; its outcome closes
+	// or re-opens the breaker. Zero (the default) disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before probing
+	// (default 1s).
+	BreakerCooldown time.Duration
 }
 
 func (cfg PoolConfig) withDefaults() PoolConfig {
@@ -80,9 +93,10 @@ type Pool struct {
 	cfg  PoolConfig
 	// slots holds the pool's connections; a nil entry is an empty slot
 	// dialed on first use or after its connection broke.
-	slots chan *Client
-	done  chan struct{}
-	once  sync.Once
+	slots   chan *Client
+	done    chan struct{}
+	once    sync.Once
+	breaker *guardrail.Breaker
 
 	dials     atomic.Uint64
 	exhausted atomic.Uint64
@@ -103,10 +117,11 @@ func DialPool(addr string, cfg PoolConfig) *Pool {
 func NewPool(dial func() (net.Conn, error), cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
 	p := &Pool{
-		dial:  dial,
-		cfg:   cfg,
-		slots: make(chan *Client, cfg.Size),
-		done:  make(chan struct{}),
+		dial:    dial,
+		cfg:     cfg,
+		slots:   make(chan *Client, cfg.Size),
+		done:    make(chan struct{}),
+		breaker: guardrail.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	for i := 0; i < cfg.Size; i++ {
 		p.slots <- nil
@@ -122,11 +137,40 @@ func (p *Pool) Dials() uint64 { return p.dials.Load() }
 // connections failed (each surfaced as ErrUnavailable).
 func (p *Pool) Exhausted() uint64 { return p.exhausted.Load() }
 
-// do runs one request over a pooled connection, replacing broken
+// do runs one request through the circuit breaker and the connection
+// pool, reporting the outcome back to the breaker: success or a healthy-
+// stream daemon error closes it, an unavailable transport extends the
+// failure streak, and a context or pool-closed abort is evidence of
+// neither.
+func (p *Pool) do(ctx context.Context, req wireRequest) (wireResponse, error) {
+	if err := p.breaker.Allow(); err != nil {
+		return wireResponse{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	resp, err := p.roundTrips(ctx, req)
+	switch {
+	case err == nil:
+		p.breaker.Success()
+	case errors.Is(err, ErrUnavailable):
+		p.breaker.Failure()
+	case errors.Is(err, ErrPoolClosed), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		p.breaker.Cancel()
+	default:
+		// A daemon-level error on a healthy stream (unknown verb, shed by
+		// admission control, over budget): the transport itself works.
+		p.breaker.Success()
+	}
+	return resp, err
+}
+
+// BreakerStats snapshots the pool's circuit breaker ("disabled" when
+// BreakerThreshold is zero). HybridClient folds it into Metrics.
+func (p *Pool) BreakerStats() guardrail.BreakerStats { return p.breaker.Stats() }
+
+// roundTrips runs one request over a pooled connection, replacing broken
 // connections with backoff, up to MaxAttempts. ctx bounds the whole
 // request: waiting for a free slot, each round trip, and the backoff
 // sleeps between attempts all abort with ctx's error.
-func (p *Pool) do(ctx context.Context, req wireRequest) (wireResponse, error) {
+func (p *Pool) roundTrips(ctx context.Context, req wireRequest) (wireResponse, error) {
 	var slot *Client
 	select {
 	case slot = <-p.slots:

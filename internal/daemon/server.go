@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"joza/internal/core"
+	"joza/internal/guardrail"
 	"joza/internal/metrics"
 	"joza/internal/pti"
 	"joza/internal/trace"
@@ -36,6 +38,7 @@ type Server struct {
 	analyzer  atomic.Pointer[pti.Cached]
 	collector *metrics.Collector
 	tracer    *trace.Tracer
+	gate      *guardrail.Gate
 
 	readTimeout time.Duration
 	maxRequest  int64
@@ -46,6 +49,10 @@ type Server struct {
 	tracesOps  atomic.Uint64
 	errorOps   atomic.Uint64
 	timeouts   atomic.Uint64
+
+	// draining makes connection handlers stop picking up new requests;
+	// set by Shutdown before it waits for in-flight work.
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -73,6 +80,16 @@ func WithMaxRequestBytes(n int64) ServerOption {
 			s.maxRequest = n
 		}
 	}
+}
+
+// WithAdmission bounds how many analyze requests run concurrently: at
+// most limit in flight, with excess requests waiting up to maxWait — or
+// the request's own remaining deadline budget, whichever is shorter — for
+// a slot before being shed with an "overloaded" error on a healthy
+// stream. Shed requests are counted in the stats snapshot's ShedRequests.
+// limit <= 0 (the default) disables admission control.
+func WithAdmission(limit int, maxWait time.Duration) ServerOption {
+	return func(s *Server) { s.gate = guardrail.NewGate(limit, maxWait) }
 }
 
 // WithTracer makes the server sample analyze requests into t's trace
@@ -202,12 +219,21 @@ func (s *Server) ServeConn(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(lr))
 	enc := json.NewEncoder(conn)
 	for {
+		if s.draining.Load() {
+			return
+		}
 		// Reset the per-request byte budget. The buffered reader may hold
 		// bytes already admitted under an earlier budget; the limit bounds
 		// what one request can pull off the wire, not exact accounting.
 		lr.N = s.maxRequest
 		if s.readTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+			// Re-check after arming the deadline: Shutdown slams every
+			// connection's read deadline, and this one may just have been
+			// overwritten by the line above.
+			if s.draining.Load() {
+				return
+			}
 		}
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
@@ -221,36 +247,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		switch req.Op {
 		case "", "analyze":
 			s.analyzeOps.Add(1)
-			// Honor the client's propagated deadline budget: bound the
-			// analysis with a matching context so server-side work the
-			// client has stopped waiting for is abandoned, not finished.
-			// A negative budget arrives already expired.
-			ctx := context.Background()
-			var cancel context.CancelFunc
-			if req.TimeoutMs != 0 {
-				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
-			}
-			span := s.tracer.Start(req.Query)
-			start := time.Now()
-			reply, err := analyzeCtx(ctx, s.analyzer.Load(), req.Query, span)
-			if cancel != nil {
-				cancel()
-			}
-			if err != nil {
-				// The budget expired mid-analysis: report it like the
-				// client-side deadline it mirrors, with no check recorded.
-				s.timeouts.Add(1)
-				resp.Err = err.Error()
-				break
-			}
-			s.collector.RecordCheck(false, reply.Attack, time.Since(start))
-			if span != nil {
-				span.SetVerdict(false, reply.Attack)
-				s.tracer.Finish(span)
-				s.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
-				reply.Trace = span
-			}
-			resp.Reply = reply
+			s.handleAnalyze(req, &resp)
 		case "stats":
 			s.statsOps.Add(1)
 			st := s.Stats()
@@ -267,6 +264,110 @@ func (s *Server) ServeConn(conn net.Conn) {
 			s.errorOps.Add(1)
 			return
 		}
+	}
+}
+
+// handleAnalyze runs one analyze request: admission, the deadline-bounded
+// analysis, and verdict recording. Failures ride back as resp.Err on the
+// still-healthy stream — an overloaded or over-budget request costs one
+// reply, not the connection.
+func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
+	// Honor the client's propagated deadline budget: bound the analysis
+	// with a matching context so server-side work the client has stopped
+	// waiting for is abandoned, not finished. A negative budget arrives
+	// already expired.
+	ctx := context.Background()
+	if req.TimeoutMs != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	if err := s.gate.Acquire(ctx); err != nil {
+		if errors.Is(err, guardrail.ErrOverloaded) {
+			s.collector.RecordShed()
+			resp.Err = "overloaded: " + err.Error()
+		} else {
+			s.timeouts.Add(1)
+			resp.Err = err.Error()
+		}
+		return
+	}
+	defer s.gate.Release()
+	span := s.tracer.Start(req.Query)
+	start := time.Now()
+	reply, err := analyzeCtx(ctx, s.analyzer.Load(), req.Query, span)
+	if err != nil {
+		if errors.Is(err, core.ErrOverBudget) && ctx.Err() == nil {
+			// The analyzer hit a configured cost budget: distinct from a
+			// deadline, and notable even when the sampler skipped the check.
+			s.collector.RecordOverBudget()
+			if span == nil {
+				span = s.tracer.StartAlways(req.Query)
+			}
+			if span != nil {
+				span.SetOverBudget(err.Error())
+				s.tracer.Finish(span)
+			}
+		} else {
+			// The budget expired mid-analysis: report it like the
+			// client-side deadline it mirrors, with no check recorded.
+			s.timeouts.Add(1)
+		}
+		resp.Err = err.Error()
+		return
+	}
+	s.collector.RecordCheck(false, reply.Attack, time.Since(start))
+	if span != nil {
+		span.SetVerdict(false, reply.Attack)
+		s.tracer.Finish(span)
+		s.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
+		reply.Trace = span
+	}
+	resp.Reply = reply
+}
+
+// Shutdown drains the server: it stops accepting connections, lets each
+// connection finish the request it is serving (handlers stop picking up
+// new ones, and reads blocked waiting for the next request are failed
+// immediately), and waits for them up to ctx's deadline. Connections
+// still busy when ctx expires are force-closed. Returns nil on a clean
+// drain and ctx's error when the deadline forced the close; either way
+// the server is fully stopped on return.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.draining.Store(true)
+	for c := range s.conns {
+		// Fail reads parked on an idle connection; a handler mid-request is
+		// unaffected (only its next read would see this) and exits at the
+		// loop-top draining check after replying.
+		_ = c.SetReadDeadline(time.Unix(1, 0))
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
 	}
 }
 

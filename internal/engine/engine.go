@@ -30,6 +30,9 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -174,6 +177,54 @@ type Snapshot struct {
 	PTI *pti.Cached
 }
 
+// FailureMode selects how the engine resolves a check whose analysis
+// could not complete safely: a recovered analyzer-stage panic or a blown
+// cost budget. Context cancellation is not a failure — it propagates to
+// the caller with no verdict, as before.
+type FailureMode int
+
+const (
+	// FailClosed (the default) treats the unanalyzable query as an
+	// attack: nothing executes unverified, at the cost of availability
+	// for the affected queries.
+	FailClosed FailureMode = iota
+	// FailOpen serves the verdict of the stages that completed, treating
+	// the failed stage as if it found nothing. The request path stays up
+	// at the cost of that stage's coverage.
+	FailOpen
+)
+
+// String names the mode for logs and flags.
+func (m FailureMode) String() string {
+	if m == FailOpen {
+		return "fail-open"
+	}
+	return "fail-closed"
+}
+
+// Limits bounds the work one check may demand before any stage runs.
+// Zero fields are unlimited.
+type Limits struct {
+	// MaxQueryBytes fails checks whose query exceeds this size.
+	MaxQueryBytes int
+	// MaxInputBytes fails checks whose captured input values sum to more
+	// than this many bytes.
+	MaxInputBytes int
+}
+
+// stagePanic carries a recovered analyzer panic out of runStage so Check
+// can convert it into a failure-mode verdict.
+type stagePanic struct {
+	stage string
+	value any
+	stack []byte
+}
+
+// Error implements the error interface.
+func (p *stagePanic) Error() string {
+	return fmt.Sprintf("analyzer stage %s panicked: %v", p.stage, p.value)
+}
+
 // Engine runs the hybrid pipeline. The long-lived parts — metrics
 // collector, tracer, audit log, policy — belong to the Engine and survive
 // snapshot swaps; the analysis state belongs to the Snapshot.
@@ -183,6 +234,8 @@ type Engine struct {
 	tracer    *trace.Tracer
 	auditLog  *audit.Logger
 	policy    core.Policy
+	failMode  FailureMode
+	limits    Limits
 }
 
 // Option configures an Engine.
@@ -209,6 +262,18 @@ func WithAuditLogger(l *audit.Logger) Option {
 // core.PolicyTerminate).
 func WithPolicy(p core.Policy) Option {
 	return func(e *Engine) { e.policy = p }
+}
+
+// WithFailureMode sets how checks whose analysis fails — a stage panic or
+// a blown cost budget — resolve (default FailClosed).
+func WithFailureMode(m FailureMode) Option {
+	return func(e *Engine) { e.failMode = m }
+}
+
+// WithLimits bounds per-check work before any stage runs; over-limit
+// checks resolve through the failure mode and count as over-budget.
+func WithLimits(l Limits) Option {
+	return func(e *Engine) { e.limits = l }
 }
 
 // New builds an Engine over the initial snapshot.
@@ -242,10 +307,20 @@ func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 // Policy returns the engine's recovery policy.
 func (e *Engine) Policy() core.Policy { return e.policy }
 
+// FailureMode returns the engine's analysis-failure mode.
+func (e *Engine) FailureMode() FailureMode { return e.failMode }
+
 // Check runs the pipeline for one request and returns the hybrid verdict:
 // the request is an attack iff any stage flags it. ctx threads into every
 // stage; a canceled or expired context surfaces as a context error with no
 // verdict recorded. Callers without deadlines pass context.Background().
+//
+// Analysis failures are contained rather than propagated: a stage that
+// panics or exceeds a cost budget (Limits, or an analyzer's own budget
+// surfacing core.ErrOverBudget) resolves through the configured
+// FailureMode — fail-closed synthesizes an attack verdict for that stage,
+// fail-open serves the remaining stages' verdict — with the event counted
+// in the collector and captured in a notable trace span.
 func (e *Engine) Check(ctx context.Context, req Request) (core.Verdict, error) {
 	if err := ctx.Err(); err != nil {
 		return core.Verdict{}, err
@@ -268,12 +343,44 @@ func (e *Engine) Check(ctx context.Context, req Request) (core.Verdict, error) {
 		PTI:   core.Result{Analyzer: core.AnalyzerPTI},
 	}
 	attack := false
+	if detail := e.overLimits(req); detail != "" {
+		// The request blew a pre-analysis limit: no stage runs at all.
+		e.collector.RecordOverBudget()
+		e.ensureSpan(st, req)
+		st.span.SetOverBudget(detail)
+		if e.failMode == FailClosed {
+			attack = true
+			v.PTI.Attack = true
+			v.PTI.Reasons = []core.Reason{{Detail: detail + " (fail-closed)"}}
+		}
+		v.Attack = attack
+		e.record(&v, req, st, sampled, start)
+		st.reset()
+		statePool.Put(st)
+		return v, nil
+	}
 	for _, a := range snap.Analyzers {
-		res, err := a.Analyze(ctx, req, st)
+		res, err := e.runStage(ctx, a, req, st)
 		if err != nil {
-			st.reset()
-			statePool.Put(st)
-			return core.Verdict{}, err
+			var sp *stagePanic
+			switch {
+			case errors.As(err, &sp):
+				e.collector.RecordPanic()
+				e.ensureSpan(st, req)
+				st.span.SetPanic(fmt.Sprintf("stage %s: %v\n%s", sp.stage, sp.value, sp.stack))
+				res = e.failureResult(a.Name(), fmt.Sprintf("analyzer %s panicked (%s): %v", sp.stage, e.failMode, sp.value))
+			case errors.Is(err, core.ErrOverBudget) && ctx.Err() == nil:
+				e.collector.RecordOverBudget()
+				e.ensureSpan(st, req)
+				st.span.SetOverBudget(err.Error())
+				res = e.failureResult(a.Name(), fmt.Sprintf("analysis over budget (%s): %v", e.failMode, err))
+			default:
+				// Context errors and transport failures the stage's own
+				// degradation policy did not absorb: no verdict.
+				st.reset()
+				statePool.Put(st)
+				return core.Verdict{}, err
+			}
 		}
 		attack = attack || res.Attack
 		switch a.Name() {
@@ -288,6 +395,55 @@ func (e *Engine) Check(ctx context.Context, req Request) (core.Verdict, error) {
 	st.reset()
 	statePool.Put(st)
 	return v, nil
+}
+
+// runStage executes one analyzer with panic isolation: a panicking stage
+// surfaces as a *stagePanic error instead of unwinding the server.
+func (e *Engine) runStage(ctx context.Context, a Analyzer, req Request, st *State) (res core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &stagePanic{stage: a.Name(), value: r, stack: debug.Stack()}
+		}
+	}()
+	return a.Analyze(ctx, req, st)
+}
+
+// overLimits reports why req exceeds the engine's pre-analysis limits, or
+// "" when it is within them. With zero Limits this is two compares.
+func (e *Engine) overLimits(req Request) string {
+	if e.limits.MaxQueryBytes > 0 && len(req.Query) > e.limits.MaxQueryBytes {
+		return fmt.Sprintf("query %d bytes exceeds limit %d", len(req.Query), e.limits.MaxQueryBytes)
+	}
+	if e.limits.MaxInputBytes > 0 {
+		total := 0
+		for _, in := range req.Inputs {
+			total += len(in.Value)
+		}
+		if total > e.limits.MaxInputBytes {
+			return fmt.Sprintf("inputs %d bytes exceed limit %d", total, e.limits.MaxInputBytes)
+		}
+	}
+	return ""
+}
+
+// ensureSpan forces a trace span onto a check the sampler skipped, so
+// exceptional events are always captured (no-op when tracing is off).
+func (e *Engine) ensureSpan(st *State, req Request) {
+	if st.span == nil {
+		st.span = e.tracer.StartAlways(req.Query)
+	}
+}
+
+// failureResult synthesizes the failed stage's result per the failure
+// mode: fail-closed flags an attack carrying detail as the reason,
+// fail-open reports a clean empty result.
+func (e *Engine) failureResult(name, detail string) core.Result {
+	r := core.Result{Analyzer: name}
+	if e.failMode == FailClosed {
+		r.Attack = true
+		r.Reasons = []core.Reason{{Detail: detail}}
+	}
+	return r
 }
 
 // record is the single post-verdict recording path shared by every front

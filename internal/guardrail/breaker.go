@@ -1,0 +1,178 @@
+package guardrail
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Breaker.Allow while the breaker is open:
+// the dependency has failed enough consecutive times that attempts are
+// pointless, so callers short-circuit instead of paying a dial timeout.
+var ErrCircuitOpen = errors.New("circuit breaker open")
+
+// Breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// Breaker is a consecutive-failure circuit breaker for a remote
+// dependency. Closed passes everything through; threshold consecutive
+// failures trip it open; after cooldown a single half-open probe is
+// admitted, and its outcome either closes the breaker or re-opens it.
+// A nil *Breaker is the disabled form: all methods are nil-safe no-ops
+// and Allow always admits.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	// probing marks the single in-flight half-open probe; concurrent
+	// callers are rejected until it reports an outcome.
+	probing bool
+
+	trips   atomic.Uint64
+	rejects atomic.Uint64
+	probes  atomic.Uint64
+}
+
+// BreakerStats is a point-in-time view of a breaker's activity.
+type BreakerStats struct {
+	// State is "closed", "open" or "half-open"; "disabled" for a nil
+	// breaker.
+	State string
+	// Trips counts closed→open (and failed-probe re-open) transitions.
+	Trips uint64
+	// Rejects counts calls short-circuited by Allow.
+	Rejects uint64
+	// Probes counts half-open probe attempts admitted.
+	Probes uint64
+}
+
+// NewBreaker returns a breaker tripping after threshold consecutive
+// failures and probing again after cooldown. threshold <= 0 returns nil —
+// the disabled breaker.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed. It returns nil when the call
+// is admitted — the caller must then report the outcome with exactly one
+// of Success, Failure or Cancel — and ErrCircuitOpen when the breaker is
+// rejecting. While open, the first Allow after the cooldown becomes the
+// half-open probe; everything else is rejected until the probe resolves.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.rejects.Add(1)
+			return ErrCircuitOpen
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		b.probes.Add(1)
+		return nil
+	default: // half-open
+		if b.probing {
+			b.rejects.Add(1)
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		b.probes.Add(1)
+		return nil
+	}
+}
+
+// Success reports a successful call: the dependency is healthy, so the
+// breaker closes and the failure streak resets.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a failed call. In the closed state it extends the
+// consecutive-failure streak and trips the breaker at the threshold; a
+// failed half-open probe re-opens immediately. Failures reported while
+// already open (calls admitted before the trip) change nothing.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = stateOpen
+			b.openedAt = b.now()
+			b.trips.Add(1)
+		}
+	case stateHalfOpen:
+		b.state = stateOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips.Add(1)
+	}
+}
+
+// Cancel reports a call that ended without evidence either way (the
+// caller's context expired before the dependency answered). A canceled
+// half-open probe returns the breaker to open — keeping the original
+// trip time, so the next Allow may probe again immediately — without
+// counting a trip; in other states it is a no-op.
+func (b *Breaker) Cancel() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen && b.probing {
+		b.state = stateOpen
+		b.probing = false
+	}
+}
+
+// Stats snapshots the breaker's state and counters. A nil breaker reports
+// State "disabled" and zeros.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: "disabled"}
+	}
+	b.mu.Lock()
+	state := b.state
+	b.mu.Unlock()
+	names := [...]string{stateClosed: "closed", stateOpen: "open", stateHalfOpen: "half-open"}
+	return BreakerStats{
+		State:   names[state],
+		Trips:   b.trips.Load(),
+		Rejects: b.rejects.Load(),
+		Probes:  b.probes.Load(),
+	}
+}

@@ -1,0 +1,183 @@
+package guardrail
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's cooldown deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestNilBreakerIsDisabled(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatalf("nil breaker Allow = %v, want nil", err)
+	}
+	b.Success()
+	b.Failure()
+	b.Cancel()
+	if st := b.Stats(); st.State != "disabled" {
+		t.Fatalf("nil breaker State = %q, want disabled", st.State)
+	}
+	if NewBreaker(0, time.Second) != nil {
+		t.Fatal("NewBreaker(0) should return the nil (disabled) breaker")
+	}
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow before trip: %v", err)
+		}
+		b.Failure()
+	}
+	if st := b.Stats(); st.State != "closed" {
+		t.Fatalf("state after 2 failures = %q, want closed", st.State)
+	}
+	b.Failure()
+	st := b.Stats()
+	if st.State != "open" || st.Trips != 1 {
+		t.Fatalf("after threshold failures: %+v, want open with 1 trip", st)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow while open = %v, want ErrCircuitOpen", err)
+	}
+	if b.Stats().Rejects != 1 {
+		t.Fatalf("Rejects = %d, want 1", b.Stats().Rejects)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if st := b.Stats(); st.State != "closed" {
+		t.Fatalf("interleaved failures tripped the breaker: %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow while open = %v, want ErrCircuitOpen", err)
+	}
+	clk.advance(2 * time.Second)
+	// First caller after the cooldown is the probe ...
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	// ... and concurrent callers stay rejected until it resolves.
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow during probe = %v, want ErrCircuitOpen", err)
+	}
+	if st := b.Stats(); st.State != "half-open" || st.Probes != 1 {
+		t.Fatalf("during probe: %+v, want half-open with 1 probe", st)
+	}
+	b.Success()
+	if st := b.Stats(); st.State != "closed" {
+		t.Fatalf("after successful probe: %+v, want closed", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after recovery = %v, want nil", err)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	b.Failure()
+	st := b.Stats()
+	if st.State != "open" || st.Trips != 2 {
+		t.Fatalf("after failed probe: %+v, want open with 2 trips", st)
+	}
+	// The failed probe restarts the cooldown: still rejecting now ...
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow right after failed probe = %v, want ErrCircuitOpen", err)
+	}
+	// ... but probing again after it elapses.
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe Allow = %v, want nil", err)
+	}
+}
+
+func TestBreakerCanceledProbeReturnsToOpen(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	b.Cancel()
+	st := b.Stats()
+	if st.State != "open" || st.Trips != 1 {
+		t.Fatalf("after canceled probe: %+v, want open with 1 trip (no new trip)", st)
+	}
+	// A canceled probe taught us nothing; the original trip time stands,
+	// so the very next caller may probe again without another cooldown.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("re-probe after cancel = %v, want nil", err)
+	}
+	if b.Stats().Probes != 2 {
+		t.Fatalf("Probes = %d, want 2", b.Stats().Probes)
+	}
+}
+
+func TestBreakerConcurrentOutcomes(t *testing.T) {
+	b := NewBreaker(5, 10*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := b.Allow(); err != nil {
+					continue
+				}
+				switch (i + j) % 3 {
+				case 0:
+					b.Success()
+				case 1:
+					b.Failure()
+				default:
+					b.Cancel()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No assertion on the final state — the point is the race detector
+	// and that the state machine never wedges.
+	_ = b.Stats()
+}

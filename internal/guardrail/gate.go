@@ -1,0 +1,113 @@
+// Package guardrail holds the overload-protection primitives shared by the
+// daemon server and the database proxy: a bounded admission gate with
+// deadline-aware load shedding, and a consecutive-failure circuit breaker
+// for remote dependencies. Both are deployment-layer concerns — the
+// analyzers stay pure — so they live beside, not inside, the analysis
+// packages.
+package guardrail
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned by Gate.Acquire when a request is shed: every
+// slot is busy and the request's deadline would expire (or maxWait would
+// elapse) before one frees up. Servers translate it into a cheap,
+// well-formed rejection instead of queueing work nobody will wait for.
+var ErrOverloaded = errors.New("overloaded")
+
+// Gate is a bounded concurrency gate. At most size requests hold the gate
+// at once; beyond that, a request waits only as long as both its context
+// deadline and the gate's maxWait allow, and is shed with ErrOverloaded
+// otherwise. The zero-cost disabled form is a nil *Gate: Acquire and
+// Release are nil-safe no-ops.
+type Gate struct {
+	slots   chan struct{}
+	maxWait time.Duration
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+}
+
+// GateStats is a point-in-time view of a gate's activity.
+type GateStats struct {
+	// Inflight is how many requests currently hold the gate.
+	Inflight int
+	// Admitted counts requests that acquired a slot.
+	Admitted uint64
+	// Shed counts requests rejected with ErrOverloaded.
+	Shed uint64
+}
+
+// NewGate returns a gate admitting at most size concurrent requests, with
+// queue waits capped at maxWait (0 means shed immediately when full).
+// size <= 0 returns nil — the disabled gate.
+func NewGate(size int, maxWait time.Duration) *Gate {
+	if size <= 0 {
+		return nil
+	}
+	return &Gate{slots: make(chan struct{}, size), maxWait: maxWait}
+}
+
+// Acquire claims a slot. It returns nil when admitted (pair with Release),
+// ErrOverloaded when the request is shed, and ctx.Err() when the caller
+// gave up while waiting. The wait is bounded by the smaller of the gate's
+// maxWait and the context's remaining budget: a request that could not be
+// served before its deadline anyway is shed immediately rather than
+// queued — the queue only ever holds work that can still succeed.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	default:
+	}
+	wait := g.maxWait
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+		}
+	}
+	if wait <= 0 {
+		g.shed.Add(1)
+		return ErrOverloaded
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	case <-t.C:
+		g.shed.Add(1)
+		return ErrOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	<-g.slots
+}
+
+// Stats snapshots the gate's counters. A nil gate reports zeros.
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	return GateStats{
+		Inflight: len(g.slots),
+		Admitted: g.admitted.Load(),
+		Shed:     g.shed.Load(),
+	}
+}

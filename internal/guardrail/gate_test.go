@@ -1,0 +1,145 @@
+package guardrail
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGateIsDisabled(t *testing.T) {
+	var g *Gate
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("nil gate Acquire = %v, want nil", err)
+	}
+	g.Release()
+	if st := g.Stats(); st != (GateStats{}) {
+		t.Fatalf("nil gate Stats = %+v, want zero", st)
+	}
+	if NewGate(0, time.Second) != nil {
+		t.Fatal("NewGate(0) should return the nil (disabled) gate")
+	}
+}
+
+func TestGateAdmitsUpToSize(t *testing.T) {
+	g := NewGate(2, 0)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if err := g.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third Acquire = %v, want ErrOverloaded", err)
+	}
+	g.Release()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	st := g.Stats()
+	if st.Inflight != 2 || st.Admitted != 3 || st.Shed != 1 {
+		t.Fatalf("Stats = %+v, want inflight 2, admitted 3, shed 1", st)
+	}
+}
+
+func TestGateShedsWhenDeadlineTooClose(t *testing.T) {
+	g := NewGate(1, time.Minute)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// Plenty of maxWait, but the request's own budget is already spent:
+	// it must be shed immediately, not queued for a minute.
+	expired, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	err := g.Acquire(expired)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Acquire with spent deadline = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shed took %v, want immediate", d)
+	}
+}
+
+func TestGateWaitsForSlot(t *testing.T) {
+	g := NewGate(1, 5*time.Second)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	g.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiting Acquire = %v, want nil after Release", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiting Acquire did not complete after Release")
+	}
+}
+
+func TestGateAcquireHonorsCancel(t *testing.T) {
+	g := NewGate(1, time.Minute)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled Acquire did not return")
+	}
+	// The canceled waiter must not have consumed the slot.
+	g.Release()
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after cancel+Release: %v", err)
+	}
+}
+
+func TestGateConcurrentHammer(t *testing.T) {
+	const size = 4
+	g := NewGate(size, 50*time.Millisecond)
+	var inflight, peak, mu = 0, 0, sync.Mutex{}
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := g.Acquire(context.Background()); err != nil {
+					continue
+				}
+				mu.Lock()
+				inflight++
+				if inflight > peak {
+					peak = inflight
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				inflight--
+				mu.Unlock()
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > size {
+		t.Fatalf("observed %d concurrent holders, gate size %d", peak, size)
+	}
+	if st := g.Stats(); st.Inflight != 0 {
+		t.Fatalf("Inflight = %d after all released, want 0", st.Inflight)
+	}
+}

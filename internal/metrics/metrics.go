@@ -142,6 +142,9 @@ type Collector struct {
 	ntiAttacks atomic.Uint64
 	ptiAttacks atomic.Uint64
 	degraded   atomic.Uint64
+	panics     atomic.Uint64
+	overBudget atomic.Uint64
+	shed       atomic.Uint64
 	sampleTick atomic.Uint64
 	latency    Histogram
 	stages     [numStages]Histogram
@@ -189,6 +192,20 @@ func (c *Collector) RecordCheck(ntiAttack, ptiAttack bool, d time.Duration) {
 // RecordCheck for the verdict they ultimately served.
 func (c *Collector) RecordDegraded() { c.degraded.Add(1) }
 
+// RecordPanic counts one analyzer-stage panic that the engine recovered
+// and converted into a failure-mode verdict.
+func (c *Collector) RecordPanic() { c.panics.Add(1) }
+
+// RecordOverBudget counts one check that exceeded a configured cost budget
+// (query/input bytes, DP cells, tokens) and was resolved by the failure
+// mode instead of finishing its analysis. Counted separately from
+// timeouts: a budget bounds work, a deadline bounds wall time.
+func (c *Collector) RecordOverBudget() { c.overBudget.Add(1) }
+
+// RecordShed counts one request rejected by admission control before any
+// analysis ran. Shed requests never reach RecordCheck.
+func (c *Collector) RecordShed() { c.shed.Add(1) }
+
 // ObserveStage records one stage duration. Stage durations come from
 // decision tracing: only traced checks time their stages, so these
 // histograms describe the sampled population (the check-latency histogram
@@ -219,17 +236,20 @@ func (c *Collector) ObserveStageDurations(lexNs, ptiCoverNs, ntiMatchNs int64) {
 // zero; the owner (Guard, daemon server) fills them from its analyzers.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
-		Checks:         c.checks.Load(),
-		Attacks:        c.attacks.Load(),
-		NTIAttacks:     c.ntiAttacks.Load(),
-		PTIAttacks:     c.ptiAttacks.Load(),
-		DegradedChecks: c.degraded.Load(),
-		LatencyP50Ns:   int64(c.latency.Quantile(0.50)),
-		LatencyP99Ns:   int64(c.latency.Quantile(0.99)),
-		LatencyMeanNs:  int64(c.latency.Mean()),
-		LatencyCount:   c.latency.Count(),
-		LatencySumNs:   c.latency.Sum(),
-		LatencyBuckets: c.latency.Buckets(),
+		Checks:           c.checks.Load(),
+		Attacks:          c.attacks.Load(),
+		NTIAttacks:       c.ntiAttacks.Load(),
+		PTIAttacks:       c.ptiAttacks.Load(),
+		DegradedChecks:   c.degraded.Load(),
+		PanicsRecovered:  c.panics.Load(),
+		OverBudgetChecks: c.overBudget.Load(),
+		ShedRequests:     c.shed.Load(),
+		LatencyP50Ns:     int64(c.latency.Quantile(0.50)),
+		LatencyP99Ns:     int64(c.latency.Quantile(0.99)),
+		LatencyMeanNs:    int64(c.latency.Mean()),
+		LatencyCount:     c.latency.Count(),
+		LatencySumNs:     c.latency.Sum(),
+		LatencyBuckets:   c.latency.Buckets(),
 	}
 	for st := Stage(0); st < numStages; st++ {
 		h := &c.stages[st]
@@ -286,6 +306,24 @@ type Snapshot struct {
 	// synthetic attack). Always zero for in-process Guards.
 	DegradedChecks uint64 `json:"degradedChecks"`
 
+	// Containment-layer counters. PanicsRecovered counts analyzer-stage
+	// panics the engine recovered into failure-mode verdicts;
+	// OverBudgetChecks counts checks that blew a cost budget (distinct
+	// from timeouts); ShedRequests counts requests rejected by admission
+	// control before analysis.
+	PanicsRecovered  uint64 `json:"panicsRecovered,omitempty"`
+	OverBudgetChecks uint64 `json:"overBudgetChecks,omitempty"`
+	ShedRequests     uint64 `json:"shedRequests,omitempty"`
+
+	// Circuit-breaker activity on the daemon transport's client side,
+	// filled by the owner from its Pool: the breaker's current state,
+	// closed→open trips (including failed half-open probes), calls
+	// rejected while open, and half-open probes admitted.
+	BreakerState   string `json:"breakerState,omitempty"`
+	BreakerTrips   uint64 `json:"breakerTrips,omitempty"`
+	BreakerRejects uint64 `json:"breakerRejects,omitempty"`
+	BreakerProbes  uint64 `json:"breakerProbes,omitempty"`
+
 	// NTI approximate-matcher activity: total invocations of the
 	// quadratic matcher and how many were abandoned early by the
 	// threshold band.
@@ -331,6 +369,14 @@ func (s Snapshot) Format() string {
 		s.Checks, s.Attacks, s.NTIAttacks, s.PTIAttacks)
 	if s.DegradedChecks > 0 {
 		fmt.Fprintf(&b, "degraded checks (daemon unreachable): %d\n", s.DegradedChecks)
+	}
+	if s.PanicsRecovered+s.OverBudgetChecks+s.ShedRequests > 0 {
+		fmt.Fprintf(&b, "containment: %d panics recovered, %d over budget, %d shed\n",
+			s.PanicsRecovered, s.OverBudgetChecks, s.ShedRequests)
+	}
+	if s.BreakerState != "" && s.BreakerState != "disabled" {
+		fmt.Fprintf(&b, "breaker %s: %d trips, %d rejects, %d probes\n",
+			s.BreakerState, s.BreakerTrips, s.BreakerRejects, s.BreakerProbes)
 	}
 	if s.DaemonAnalyzeOps+s.DaemonStatsOps+s.DaemonTracesOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
 		fmt.Fprintf(&b, "daemon ops: %d analyze, %d stats, %d traces, %d errors, %d timeouts\n",

@@ -1,0 +1,49 @@
+package minidb
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExecuteRequestContainsEnginePanic(t *testing.T) {
+	// A nil DB stands in for an engine bug: Exec dereferences it and
+	// panics. The serving path — shared by the wire server and the proxy's
+	// local backend — must answer with an error response, not crash.
+	resp := ExecuteRequest(nil, &Request{Query: "SELECT a FROM t"})
+	if !strings.Contains(resp.Error, "internal error") {
+		t.Fatalf("response = %+v, want a contained internal error", resp)
+	}
+}
+
+func TestServerSurvivesEnginePanic(t *testing.T) {
+	// The connection that triggered a contained panic gets the error and
+	// stays usable; the server keeps serving.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{db: nil, conns: make(map[net.Conn]struct{})}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		_ = srv.Close()
+		<-done
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		_ = c.conn.SetDeadline(time.Now().Add(5 * time.Second))
+		_, err := c.Query("SELECT a FROM t")
+		if err == nil || !strings.Contains(err.Error(), "internal error") {
+			t.Fatalf("request %d: err = %v, want contained internal error", i, err)
+		}
+	}
+}

@@ -134,7 +134,16 @@ func (s *Server) handle(conn net.Conn) {
 
 // ExecuteRequest runs one request against db and renders the wire
 // response. It is exported so the proxy can reuse the exact translation.
-func ExecuteRequest(db *DB, req *Request) *Response {
+// A panic inside the engine (a parser or evaluator bug on a hostile
+// statement) is contained here, in the serving path shared by the wire
+// server and the proxy's local backend: the client gets an error response
+// and the connection — and the server — live on.
+func ExecuteRequest(db *DB, req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{Error: fmt.Sprintf("internal error: %v", r)}
+		}
+	}()
 	res, err := db.Exec(req.Query)
 	if err != nil {
 		return &Response{Error: err.Error()}

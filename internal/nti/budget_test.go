@@ -1,0 +1,56 @@
+package nti
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"joza/internal/core"
+)
+
+func TestMaxQueryBytesOverBudget(t *testing.T) {
+	a := New(WithMaxQueryBytes(1024))
+	query := "SELECT * FROM t WHERE a = '" + strings.Repeat("x", 4096) + "'"
+	_, err := a.AnalyzeCtx(context.Background(), query, nil,
+		[]Input{{Source: "get", Name: "a", Value: "zz"}}, nil)
+	if !errors.Is(err, core.ErrOverBudget) {
+		t.Fatalf("err = %v, want core.ErrOverBudget", err)
+	}
+	// Under the cap: analysis proceeds normally.
+	if _, err := a.AnalyzeCtx(context.Background(), "SELECT 1", nil,
+		[]Input{{Source: "get", Name: "a", Value: "zz"}}, nil); err != nil {
+		t.Fatalf("under cap: %v", err)
+	}
+}
+
+func TestDPCellBudgetOverBudget(t *testing.T) {
+	a := New(WithDPCellBudget(1000))
+	// No exact occurrence, similar lengths so the prune heuristic does not
+	// fire, and enough bytes that the DP blows the 1000-cell budget.
+	value := strings.Repeat("ab", 300)
+	query := "SELECT * FROM t WHERE a = '" + strings.Repeat("cd", 300) + "'"
+	_, err := a.AnalyzeCtx(context.Background(), query, nil,
+		[]Input{{Source: "get", Name: "a", Value: value}}, nil)
+	if !errors.Is(err, core.ErrOverBudget) {
+		t.Fatalf("err = %v, want core.ErrOverBudget", err)
+	}
+}
+
+func TestDPCellBudgetGenerousKeepsVerdicts(t *testing.T) {
+	plain := New()
+	budgeted := New(WithDPCellBudget(1 << 24))
+	query := "SELECT * FROM users WHERE name = 'admin'' OR 1=1 --'"
+	inputs := []Input{{Source: "get", Name: "name", Value: "admin' OR 1=1 --"}}
+	want, err := plain.AnalyzeCtx(context.Background(), query, nil, inputs, nil)
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	got, err := budgeted.AnalyzeCtx(context.Background(), query, nil, inputs, nil)
+	if err != nil {
+		t.Fatalf("budgeted: %v", err)
+	}
+	if got.Attack != want.Attack {
+		t.Fatalf("budgeted verdict %v != plain %v", got.Attack, want.Attack)
+	}
+}

@@ -15,6 +15,7 @@ package nti
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -67,6 +68,13 @@ type Analyzer struct {
 	// critical decides which tokens an attack may not touch; the default
 	// is the paper's pragmatic policy (identifiers allowed).
 	critical func(sqltoken.Token) bool
+	// maxQueryBytes caps the query size AnalyzeCtx will analyze; longer
+	// queries fail with core.ErrOverBudget. Zero disables the cap.
+	maxQueryBytes int
+	// dpCellBudget caps the DP cells one input/query pair may compute in
+	// the approximate matcher; exceeding it fails the analysis with
+	// core.ErrOverBudget. Zero disables the cap.
+	dpCellBudget int
 
 	matcherCalls atomic.Uint64
 	earlyExits   atomic.Uint64
@@ -107,6 +115,24 @@ func WithMatcher(m MatcherFunc) Option {
 // cap.
 func WithMaxInputLen(n int) Option {
 	return func(a *Analyzer) { a.maxInputLen = n }
+}
+
+// WithMaxQueryBytes caps the query size the analyzer accepts: AnalyzeCtx
+// fails a longer query with an error wrapping core.ErrOverBudget, which
+// the engine resolves through its failure mode. Zero (the default)
+// disables the cap. Budgets are enforced on the context-aware path only —
+// the legacy error-free entry points cannot report them.
+func WithMaxQueryBytes(n int) Option {
+	return func(a *Analyzer) { a.maxQueryBytes = n }
+}
+
+// WithDPCellBudget caps the dynamic-programming cells the approximate
+// matcher may compute for one input/query pair; a comparison that crosses
+// the cap fails the analysis with an error wrapping core.ErrOverBudget.
+// This bounds the worst-case O(n·m) work a hostile input can demand
+// regardless of deadline. Zero (the default) disables the cap.
+func WithDPCellBudget(n int) Option {
+	return func(a *Analyzer) { a.dpCellBudget = n }
 }
 
 // WithStrictPolicy enforces the strict (Ray–Ligatti-style) policy of
@@ -158,6 +184,10 @@ func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, inputs []I
 // checks are free and the function never fails.
 func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken.Token, inputs []Input, span *trace.Span) (core.Result, error) {
 	res := core.Result{Analyzer: core.AnalyzerNTI}
+	if a.maxQueryBytes > 0 && len(query) > a.maxQueryBytes {
+		return res, fmt.Errorf("nti: query %d bytes exceeds cap %d: %w",
+			len(query), a.maxQueryBytes, core.ErrOverBudget)
+	}
 	cancelable := ctx.Done() != nil
 	// Single-input requests (the common hot path) need no grouping state.
 	var single [1]inputGroup
@@ -310,8 +340,12 @@ func (a *Analyzer) matchInput(ctx context.Context, value, query string) ([]strdi
 		}
 		return nil, nil
 	}
-	m, found, pruned, err := strdist.SubstringMatchThresholdCtx(ctx, value, query, a.threshold)
+	m, found, pruned, err := strdist.SubstringMatchThresholdBudgetCtx(ctx, value, query, a.threshold, a.dpCellBudget)
 	if err != nil {
+		if errors.Is(err, strdist.ErrBudget) {
+			return nil, fmt.Errorf("nti: input match against %d-byte query: %w",
+				len(query), core.ErrOverBudget)
+		}
 		return nil, err
 	}
 	if pruned {

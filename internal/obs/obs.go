@@ -134,6 +134,19 @@ func WritePrometheus(b *strings.Builder, s metrics.Snapshot) {
 	counter("joza_nti_attacks_total", "Attacks flagged by negative taint inference.", s.NTIAttacks)
 	counter("joza_pti_attacks_total", "Attacks flagged by positive taint inference.", s.PTIAttacks)
 	counter("joza_degraded_checks_total", "Checks served under daemon-outage degradation.", s.DegradedChecks)
+	counter("joza_panics_recovered_total", "Analyzer-stage panics recovered into failure-mode verdicts.", s.PanicsRecovered)
+	counter("joza_over_budget_checks_total", "Checks that exceeded a cost budget.", s.OverBudgetChecks)
+	counter("joza_shed_requests_total", "Requests rejected by admission control.", s.ShedRequests)
+	if s.BreakerState != "" && s.BreakerState != "disabled" {
+		counter("joza_breaker_trips_total", "Daemon-transport circuit breaker trips.", s.BreakerTrips)
+		counter("joza_breaker_rejects_total", "Calls short-circuited by the open breaker.", s.BreakerRejects)
+		counter("joza_breaker_probes_total", "Half-open probes admitted by the breaker.", s.BreakerProbes)
+		open := 0
+		if s.BreakerState != "closed" {
+			open = 1
+		}
+		fmt.Fprintf(b, "# HELP joza_breaker_open Whether the daemon-transport breaker is open or half-open.\n# TYPE joza_breaker_open gauge\njoza_breaker_open %d\n", open)
+	}
 	counter("joza_nti_matcher_calls_total", "Invocations of the approximate matcher.", s.NTIMatcherCalls)
 	counter("joza_nti_matcher_early_exits_total", "Matcher runs abandoned by the threshold band.", s.NTIMatcherEarlyExits)
 

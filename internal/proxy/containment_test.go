@@ -1,0 +1,149 @@
+package proxy
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"joza/internal/minidb"
+)
+
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestProxyAdmissionSheds(t *testing.T) {
+	p := New(newGuard(t), LocalBackend{DB: newDB(t)}, WithAdmission(1, 20*time.Millisecond))
+	// Occupy the only slot so the next request must shed after maxWait.
+	if err := p.gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	addr := startProxy(t, p)
+	c, err := minidb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query("SELECT id, title FROM posts WHERE id=1 LIMIT 5")
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("err = %v, want overloaded", err)
+	}
+	if p.Shed() != 1 {
+		t.Fatalf("Shed = %d, want 1", p.Shed())
+	}
+	// Releasing the slot restores service on the same connection.
+	p.gate.Release()
+	res, err := c.Query("SELECT id, title FROM posts WHERE id=1 LIMIT 5")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("after release: res=%+v err=%v", res, err)
+	}
+}
+
+func TestProxyShutdownDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(newGuard(t), LocalBackend{DB: newDB(t)})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- p.Serve(ln) }()
+	c, err := minidb.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT id, title FROM posts WHERE id=1 LIMIT 5"); err != nil {
+		t.Fatal(err)
+	}
+	// The connection idles in the proxy's decoder; Shutdown must not wait
+	// for the client to hang up.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-serveDone
+	if _, err := c.Query("SELECT id, title FROM posts WHERE id=1 LIMIT 5"); err == nil {
+		t.Fatal("drained proxy still answered")
+	}
+	// Shutdown and Close after Shutdown are no-ops.
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	waitForGoroutines(t, before)
+}
+
+func TestProxyShutdownFinishesInFlight(t *testing.T) {
+	// A request already past admission when Shutdown begins gets its
+	// answer. slowBackend blocks until released, standing in for a slow
+	// upstream.
+	release := make(chan struct{})
+	slow := backendFunc(func(ctx context.Context, req *minidb.Request) *minidb.Response {
+		<-release
+		return &minidb.Response{Affected: 7}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(newGuard(t), slow)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- p.Serve(ln) }()
+	c, err := minidb.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	type result struct {
+		res *minidb.Result
+		err error
+	}
+	replied := make(chan result, 1)
+	go func() {
+		res, err := c.Query("SELECT id, title FROM posts WHERE id=1 LIMIT 5")
+		replied <- result{res, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the backend
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- p.Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond) // let Shutdown start draining
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-replied
+	if r.err != nil || r.res.Affected != 7 {
+		t.Fatalf("in-flight request: res=%+v err=%v — drain must let it finish", r.res, r.err)
+	}
+	<-serveDone
+}
+
+// backendFunc adapts a function to the Backend interface.
+type backendFunc func(ctx context.Context, req *minidb.Request) *minidb.Response
+
+func (f backendFunc) Execute(ctx context.Context, req *minidb.Request) *minidb.Response {
+	return f(ctx, req)
+}

@@ -1,0 +1,51 @@
+package proxy
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"joza"
+	"joza/internal/minidb"
+)
+
+// FuzzProxyFrame throws arbitrary bytes at the proxy's frame decoder: no
+// input may panic a connection handler or wedge it. Valid requests
+// embedded in the garbage are checked and answered; everything else ends
+// the connection cleanly.
+func FuzzProxyFrame(f *testing.F) {
+	f.Add([]byte("{\"query\":\"SELECT id, title FROM posts WHERE id=1 LIMIT 5\"}\n"))
+	f.Add([]byte("{\"query\":\"SELECT id FROM posts WHERE id=1 OR 1=1\",\"inputs\":[{\"source\":\"get\",\"name\":\"id\",\"value\":\"1 OR 1=1\"}]}\n"))
+	f.Add([]byte("{\"query\":"))
+	f.Add([]byte("{\"inputs\":[{}]}\n{\"query\":\"DROP TABLE posts\"}\n"))
+	f.Add([]byte{0xff, 0xfe, '{', '}', '\n'})
+	guard, err := joza.New(joza.WithFragments(joza.FragmentsFromSource(appSource)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	db := minidb.New("app")
+	if _, err := db.Exec("CREATE TABLE posts (id INT, title TEXT)"); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := New(guard, LocalBackend{DB: db})
+		clientSide, serverSide := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			p.handle(serverSide)
+		}()
+		// Drain replies so the synchronous pipe never blocks the handler's
+		// encoder.
+		go func() { _, _ = io.Copy(io.Discard, clientSide) }()
+		_ = clientSide.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_, _ = clientSide.Write(data)
+		_ = clientSide.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("connection handler wedged on fuzz input")
+		}
+	})
+}

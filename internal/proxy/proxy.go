@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"joza"
+	"joza/internal/guardrail"
 	"joza/internal/minidb"
 )
 
@@ -205,6 +206,13 @@ func (b *RemoteBackend) Close() error {
 type Proxy struct {
 	guard   *joza.Guard
 	backend Backend
+	gate    *guardrail.Gate
+
+	// draining makes connection handlers stop picking up new requests;
+	// set by Shutdown before it waits for in-flight work. drainCh wakes
+	// handlers idling between requests.
+	draining atomic.Bool
+	drainCh  chan struct{}
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -214,12 +222,34 @@ type Proxy struct {
 
 	blockedCount uint64
 	passedCount  uint64
+	shedCount    atomic.Uint64
+}
+
+// Option configures a Proxy.
+type Option func(*Proxy)
+
+// WithAdmission bounds how many requests the proxy processes concurrently
+// — check plus backend execution: at most limit in flight, with excess
+// requests waiting up to maxWait for a slot before being shed with an
+// "overloaded" error response on a healthy connection. limit <= 0 (the
+// default) disables admission control.
+func WithAdmission(limit int, maxWait time.Duration) Option {
+	return func(p *Proxy) { p.gate = guardrail.NewGate(limit, maxWait) }
 }
 
 // New returns a proxy that checks queries with guard before handing them
 // to backend.
-func New(guard *joza.Guard, backend Backend) *Proxy {
-	return &Proxy{guard: guard, backend: backend, conns: make(map[net.Conn]struct{})}
+func New(guard *joza.Guard, backend Backend, opts ...Option) *Proxy {
+	p := &Proxy{
+		guard:   guard,
+		backend: backend,
+		conns:   make(map[net.Conn]struct{}),
+		drainCh: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
 // Serve accepts client connections until Close.
@@ -255,6 +285,49 @@ func (p *Proxy) Serve(ln net.Listener) error {
 	}
 }
 
+// Shutdown drains the proxy: it stops accepting connections, lets every
+// handler finish the request it is serving, and waits up to ctx's
+// deadline before force-closing stragglers. Returns nil on a clean drain
+// and ctx's error when the deadline forced the close; either way the
+// proxy is fully stopped on return.
+func (p *Proxy) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	p.draining.Store(true)
+	close(p.drainCh)
+	for c := range p.conns {
+		// Fail reads parked waiting for the next request; a handler
+		// mid-request is unaffected and exits after replying.
+		_ = c.SetReadDeadline(time.Unix(1, 0))
+	}
+	p.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		for c := range p.conns {
+			_ = c.Close()
+		}
+		p.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
 // Close stops the proxy and waits for in-flight connections.
 func (p *Proxy) Close() error {
 	p.mu.Lock()
@@ -283,6 +356,10 @@ func (p *Proxy) Stats() (blocked, passed uint64) {
 	return p.blockedCount, p.passedCount
 }
 
+// Shed returns how many requests admission control rejected (zero unless
+// WithAdmission is configured).
+func (p *Proxy) Shed() uint64 { return p.shedCount.Load() }
+
 // handle serves one client connection. Decoding runs in its own
 // goroutine so a client that disconnects mid-query cancels the
 // connection context — and with it the in-flight check and upstream round
@@ -295,17 +372,24 @@ func (p *Proxy) handle(conn net.Conn) {
 	enc := json.NewEncoder(conn)
 	reqs := make(chan *minidb.Request)
 	go func() {
-		defer cancel()
 		for {
 			req := new(minidb.Request)
 			if err := dec.Decode(req); err != nil {
-				// EOF, malformed stream, or the connection was closed
-				// under us: either way the client is done sending.
+				// EOF, malformed stream, the connection closed under us, or
+				// Shutdown slamming the read deadline: the client is done
+				// sending. While draining, the in-flight request must still
+				// finish, so the connection context stays live and the
+				// handler exits through drainCh instead.
+				if !p.draining.Load() {
+					cancel()
+				}
 				return
 			}
 			select {
 			case reqs <- req:
 			case <-ctx.Done():
+				return
+			case <-p.drainCh:
 				return
 			}
 		}
@@ -317,14 +401,28 @@ func (p *Proxy) handle(conn net.Conn) {
 			if err := enc.Encode(resp); err != nil {
 				return
 			}
+			if p.draining.Load() {
+				return
+			}
 		case <-ctx.Done():
+			return
+		case <-p.drainCh:
 			return
 		}
 	}
 }
 
-// process applies the guard, then forwards or blocks.
+// process applies admission control and the guard, then forwards or
+// blocks.
 func (p *Proxy) process(ctx context.Context, req *minidb.Request) *minidb.Response {
+	if err := p.gate.Acquire(ctx); err != nil {
+		if errors.Is(err, guardrail.ErrOverloaded) {
+			p.shedCount.Add(1)
+			return &minidb.Response{Error: "overloaded: " + err.Error()}
+		}
+		return &minidb.Response{Error: fmt.Sprintf("check aborted: %v", err)}
+	}
+	defer p.gate.Release()
 	inputs := make([]joza.Input, len(req.Inputs))
 	for i, in := range req.Inputs {
 		inputs[i] = joza.Input{Source: in.Source, Name: in.Name, Value: in.Value}

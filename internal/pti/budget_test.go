@@ -1,0 +1,49 @@
+package pti
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"joza/internal/core"
+	"joza/internal/fragments"
+)
+
+func TestPTIMaxQueryBytesOverBudget(t *testing.T) {
+	set := fragments.NewSet([]string{"SELECT * FROM t WHERE a = "})
+	a := New(set, WithMaxQueryBytes(1024))
+	query := "SELECT * FROM t WHERE a = '" + strings.Repeat("x", 4096) + "'"
+	_, err := a.AnalyzeCtx(context.Background(), query, nil, nil)
+	if !errors.Is(err, core.ErrOverBudget) {
+		t.Fatalf("err = %v, want core.ErrOverBudget", err)
+	}
+	if _, err := a.AnalyzeCtx(context.Background(), "SELECT * FROM t WHERE a = 1", nil, nil); err != nil {
+		t.Fatalf("under cap: %v", err)
+	}
+}
+
+func TestPTIMaxTokensOverBudget(t *testing.T) {
+	set := fragments.NewSet([]string{"SELECT 1"})
+	a := New(set, WithMaxTokens(16))
+	query := "SELECT " + strings.Repeat("1,", 100) + "1"
+	_, err := a.AnalyzeCtx(context.Background(), query, nil, nil)
+	if !errors.Is(err, core.ErrOverBudget) {
+		t.Fatalf("err = %v, want core.ErrOverBudget", err)
+	}
+}
+
+func TestPTIBudgetsPropagateThroughCache(t *testing.T) {
+	set := fragments.NewSet([]string{"SELECT * FROM t WHERE a = "})
+	a := New(set, WithMaxQueryBytes(1024))
+	c := NewCached(a, CacheQueryAndStructure, 64)
+	query := "SELECT * FROM t WHERE a = '" + strings.Repeat("x", 4096) + "'"
+	// A hostile oversized query always misses the cache, so the budget
+	// fires on every attempt — including repeats.
+	for i := 0; i < 2; i++ {
+		_, _, err := c.AnalyzeLazyCtx(context.Background(), query, nil, nil)
+		if !errors.Is(err, core.ErrOverBudget) {
+			t.Fatalf("attempt %d: err = %v, want core.ErrOverBudget", i, err)
+		}
+	}
+}

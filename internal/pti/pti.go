@@ -40,6 +40,11 @@ type Analyzer struct {
 	// critical decides which tokens must be fragment-covered; the default
 	// is the paper's pragmatic policy (identifiers allowed).
 	critical func(sqltoken.Token) bool
+	// maxQueryBytes caps the query size AnalyzeCtx accepts; maxTokens caps
+	// the lexed token count it will scan. Zero disables either cap; both
+	// fail with core.ErrOverBudget on the context-aware path.
+	maxQueryBytes int
+	maxTokens     int
 }
 
 // Option configures an Analyzer.
@@ -67,6 +72,23 @@ func WithMRUCapacity(n int) Option {
 // checking critical tokens.
 func WithoutParseFirst() Option {
 	return func(a *Analyzer) { a.parseFirst = false }
+}
+
+// WithMaxQueryBytes caps the query size the analyzer accepts: AnalyzeCtx
+// fails a longer query with an error wrapping core.ErrOverBudget before
+// lexing it. Zero (the default) disables the cap. Budgets apply on the
+// context-aware path only — the legacy error-free entry points cannot
+// report them.
+func WithMaxQueryBytes(n int) Option {
+	return func(a *Analyzer) { a.maxQueryBytes = n }
+}
+
+// WithMaxTokens caps the lexed token count AnalyzeCtx will cover-check; a
+// longer stream fails with an error wrapping core.ErrOverBudget. This
+// bounds the cover scan on machine-generated token floods that stay under
+// the byte cap. Zero (the default) disables the cap.
+func WithMaxTokens(n int) Option {
+	return func(a *Analyzer) { a.maxTokens = n }
 }
 
 // WithStrictPolicy enforces the strict (Ray–Ligatti-style) policy of
@@ -128,6 +150,10 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken
 			return core.Result{}, err
 		}
 	}
+	if a.maxQueryBytes > 0 && len(query) > a.maxQueryBytes {
+		return core.Result{}, fmt.Errorf("pti: query %d bytes exceeds cap %d: %w",
+			len(query), a.maxQueryBytes, core.ErrOverBudget)
+	}
 	if toks == nil {
 		toks = sqltoken.Lex(query)
 		if cancelable {
@@ -135,6 +161,10 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken
 				return core.Result{}, err
 			}
 		}
+	}
+	if a.maxTokens > 0 && len(toks) > a.maxTokens {
+		return core.Result{}, fmt.Errorf("pti: %d tokens exceeds cap %d: %w",
+			len(toks), a.maxTokens, core.ErrOverBudget)
 	}
 	if a.parseFirst {
 		return a.analyzeParseFirst(query, toks, span), nil

@@ -1,0 +1,72 @@
+package strdist
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSubstringMatchBudgetExhausted(t *testing.T) {
+	input := strings.Repeat("a", 200)
+	query := strings.Repeat("b", 2000)
+	// The full DP needs ~200*2000 cells; a 1000-cell budget must cut it off.
+	_, err := substringMatchBudget(context.Background(), input, query, 1000)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// Unlimited (0) still completes.
+	if _, err := substringMatchBudget(context.Background(), input, query, 0); err != nil {
+		t.Fatalf("unlimited budget: %v", err)
+	}
+}
+
+func TestSubstringMatchBudgetSufficientMatchesUnbudgeted(t *testing.T) {
+	input := "admin' OR '1'='1"
+	query := "SELECT * FROM users WHERE name = 'admin'' OR ''1''=''1'"
+	want, werr := SubstringMatchCtx(context.Background(), input, query)
+	if werr != nil {
+		t.Fatalf("unbudgeted: %v", werr)
+	}
+	got, err := substringMatchBudget(context.Background(), input, query, len(input)*len(query)+1)
+	if err != nil {
+		t.Fatalf("budgeted: %v", err)
+	}
+	if got != want {
+		t.Fatalf("budgeted match %+v != unbudgeted %+v", got, want)
+	}
+}
+
+func TestSubstringMatchThresholdBudgetExhausted(t *testing.T) {
+	// kMax >= n branch (plain matcher under budget): short input, huge
+	// threshold.
+	input := strings.Repeat("x", 100)
+	query := strings.Repeat("y", 5000)
+	_, _, _, err := SubstringMatchThresholdBudgetCtx(context.Background(), input, query, 1.0, 500)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("plain-branch err = %v, want ErrBudget", err)
+	}
+	// Banded branch: tight threshold so kMax < n, budget below band work.
+	input = strings.Repeat("ab", 500)
+	query = strings.Repeat("cd", 5000)
+	_, _, _, err = SubstringMatchThresholdBudgetCtx(context.Background(), input, query, 0.2, 100)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("banded-branch err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSubstringMatchThresholdBudgetSufficient(t *testing.T) {
+	input := "payload"
+	query := "SELECT * FROM t WHERE a = 'paXload'"
+	wm, wfound, _, werr := SubstringMatchThresholdCtx(context.Background(), input, query, 0.4)
+	if werr != nil {
+		t.Fatalf("unbudgeted: %v", werr)
+	}
+	gm, gfound, _, err := SubstringMatchThresholdBudgetCtx(context.Background(), input, query, 0.4, 1<<20)
+	if err != nil {
+		t.Fatalf("budgeted: %v", err)
+	}
+	if gm != wm || gfound != wfound {
+		t.Fatalf("budgeted (%+v,%v) != unbudgeted (%+v,%v)", gm, gfound, wm, wfound)
+	}
+}

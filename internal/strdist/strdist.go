@@ -21,8 +21,16 @@ package strdist
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// ErrBudget is returned by the budgeted matchers when the dynamic program
+// exceeded its cell budget before finishing. It bounds the work one
+// hostile input/query pair can extract from the O(n·m) DP — an
+// algorithmic-complexity cap, distinct from a context deadline, so a
+// saturated host still cuts oversized matches off deterministically.
+var ErrBudget = errors.New("strdist: DP cell budget exhausted")
 
 // ctxCheckMask throttles context polling inside the DP loops: the done
 // channel is sampled once every ctxCheckMask+1 query columns, so a
@@ -141,6 +149,14 @@ func SubstringMatch(input, query string) Match {
 // error mid-match. A context that cannot be canceled (ctx.Done() == nil,
 // e.g. context.Background()) adds no per-column work.
 func SubstringMatchCtx(ctx context.Context, input, query string) (Match, error) {
+	return substringMatchBudget(ctx, input, query, 0)
+}
+
+// substringMatchBudget is the Sellers DP core. maxCells > 0 bounds the
+// number of DP cells computed; exceeding it returns ErrBudget. The budget
+// is charged per column (the row width), so the check adds one compare per
+// column, not per cell.
+func substringMatchBudget(ctx context.Context, input, query string, maxCells int) (Match, error) {
 	n := len(input)
 	m := len(query)
 	if n == 0 {
@@ -164,12 +180,18 @@ func SubstringMatchCtx(ctx context.Context, input, query string) (Match, error) 
 		start[i] = 0
 	}
 	best := Match{Start: 0, End: 0, Distance: dp[n]}
+	cells := 0
 	for j := 1; j <= m; j++ {
 		if done != nil && j&ctxCheckMask == 0 {
 			select {
 			case <-done:
 				return Match{}, ctx.Err()
 			default:
+			}
+		}
+		if maxCells > 0 {
+			if cells += n; cells > maxCells {
+				return Match{}, ErrBudget
 			}
 		}
 		ndp[0] = 0
@@ -255,6 +277,16 @@ func SubstringMatchThreshold(input, query string, threshold float64) (m Match, f
 // the cancellation checkpoint for long NTI matches — and returns ctx's
 // error mid-match. An uncancelable ctx adds no per-column work.
 func SubstringMatchThresholdCtx(ctx context.Context, input, query string, threshold float64) (m Match, found, pruned bool, err error) {
+	return SubstringMatchThresholdBudgetCtx(ctx, input, query, threshold, 0)
+}
+
+// SubstringMatchThresholdBudgetCtx is SubstringMatchThresholdCtx with a
+// work budget: maxCells > 0 caps the DP cells this match may compute
+// (counting the band actually walked, so pruned columns charge only their
+// band width), and the match returns ErrBudget once the cap is crossed.
+// maxCells <= 0 means unlimited. NTI uses this to bound the cost one
+// hostile input/query pair can extract regardless of wall-clock deadline.
+func SubstringMatchThresholdBudgetCtx(ctx context.Context, input, query string, threshold float64, maxCells int) (m Match, found, pruned bool, err error) {
 	n := len(input)
 	mq := len(query)
 	if n == 0 {
@@ -266,8 +298,8 @@ func SubstringMatchThresholdCtx(ctx context.Context, input, query string, thresh
 	kMax := int(threshold * float64(mq))
 	if kMax >= n {
 		// The cap cannot prune anything (dp values never exceed n);
-		// run the plain matcher.
-		best, err := SubstringMatchCtx(ctx, input, query)
+		// run the plain matcher under the same budget.
+		best, err := substringMatchBudget(ctx, input, query, maxCells)
 		if err != nil {
 			return Match{}, false, false, err
 		}
@@ -300,6 +332,7 @@ func SubstringMatchThresholdCtx(ctx context.Context, input, query string, thresh
 	lac := kMax
 	best := Match{Start: 0, End: 0, Distance: n}
 	haveCand := false
+	cells := 0
 	for j := 1; j <= mq; j++ {
 		if done != nil && j&ctxCheckMask == 0 {
 			select {
@@ -315,6 +348,11 @@ func SubstringMatchThresholdCtx(ctx context.Context, input, query string, thresh
 			lim = n
 		} else {
 			pruned = true
+		}
+		if maxCells > 0 {
+			if cells += lim; cells > maxCells {
+				return Match{}, false, pruned, ErrBudget
+			}
 		}
 		qc := query[j-1]
 		for i := 1; i <= lim; i++ {

@@ -100,6 +100,12 @@ type Span struct {
 	// Degraded marks a remote check served without a PTI verdict because
 	// the daemon was unreachable.
 	Degraded bool `json:"degraded,omitempty"`
+	// Panic carries the message and stack of an analyzer-stage panic the
+	// engine recovered; the verdict was synthesized by the failure mode.
+	Panic string `json:"panic,omitempty"`
+	// OverBudget names the cost budget this check exceeded; the verdict
+	// was synthesized by the failure mode.
+	OverBudget string `json:"overBudget,omitempty"`
 
 	// CacheOutcome is the PTI cache verdict: query-hit, structure-hit or
 	// miss (empty when PTI is disabled).
@@ -158,6 +164,25 @@ func (s *Span) SetDegraded() {
 		return
 	}
 	s.Degraded = true
+}
+
+// SetPanic records a recovered analyzer-stage panic: the panic value plus
+// the goroutine stack at the recovery point. Panicked spans always enter
+// the notable ring.
+func (s *Span) SetPanic(detail string) {
+	if s == nil {
+		return
+	}
+	s.Panic = detail
+}
+
+// SetOverBudget records which cost budget the check exceeded. Over-budget
+// spans always enter the notable ring.
+func (s *Span) SetOverBudget(budget string) {
+	if s == nil {
+		return
+	}
+	s.OverBudget = budget
 }
 
 // AddInput appends one input's match evidence and accumulates its match
@@ -307,6 +332,19 @@ func (t *Tracer) Start(query string) *Span {
 	return &Span{Query: query, StartUnixNano: now.UnixNano(), start: now}
 }
 
+// StartAlways returns a recording span regardless of the sampling stride
+// (nil only on a nil Tracer). The engine uses it to capture exceptional
+// events — recovered panics, blown budgets — on checks the sampler
+// skipped, so the evidence always reaches the notable ring.
+func (t *Tracer) StartAlways(query string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	now := time.Now()
+	return &Span{Query: query, StartUnixNano: now.UnixNano(), start: now}
+}
+
 // Finish completes the span: stamps the total duration and retains the
 // span in the recent ring, plus the notable ring when it is an attack or
 // slower than the configured threshold. Safe on nil receivers and spans.
@@ -316,7 +354,8 @@ func (t *Tracer) Finish(s *Span) {
 	}
 	s.TotalNs = int64(time.Since(s.start))
 	t.finished.Add(1)
-	notable := s.Attack || s.Degraded || (t.slow > 0 && s.TotalNs >= t.slow)
+	notable := s.Attack || s.Degraded || s.Panic != "" || s.OverBudget != "" ||
+		(t.slow > 0 && s.TotalNs >= t.slow)
 	t.mu.Lock()
 	t.recent.push(*s)
 	if notable {

@@ -115,6 +115,7 @@ type Guard struct {
 	eng       *engine.Engine
 	policy    core.Policy
 	obsServer *obs.Server
+	audit     *audit.Logger
 	// buildSnap rebuilds the analysis snapshot over a new fragment set
 	// using the Guard's original configuration; the Manager drives it on
 	// Refresh.
@@ -133,7 +134,11 @@ type config struct {
 	disableNTI    bool
 	disablePTI    bool
 	auditWriter   io.Writer
+	auditAsync    bool
+	auditDepth    int
 	obs           *ObservabilityConfig
+	failMode      engine.FailureMode
+	budgets       Budgets
 }
 
 // Option configures a Guard.
@@ -204,6 +209,51 @@ func WithStrictPolicy() Option {
 	}
 }
 
+// FailureMode selects how a Guard resolves a check the pipeline could not
+// complete normally — a panicking analyzer stage or a blown cost budget.
+// The default, FailClosed, treats such checks as attacks.
+type FailureMode = engine.FailureMode
+
+// Failure modes, re-exported.
+const (
+	// FailClosed converts internal failures into attack verdicts: nothing
+	// runs unchecked, at the cost of availability during the failure.
+	FailClosed = engine.FailClosed
+	// FailOpen serves the partial verdict from the stages that did
+	// complete: the request path stays up, at the cost of coverage.
+	FailOpen = engine.FailOpen
+)
+
+// WithFailureMode sets how internal failures (contained panics, blown
+// budgets) resolve (default FailClosed). Context cancellation is not a
+// failure: it still propagates as an error with no verdict.
+func WithFailureMode(m FailureMode) Option {
+	return func(c *config) { c.failMode = m }
+}
+
+// Budgets caps the work one check may cost, defending the detector itself
+// against hostile over-sized inputs (a 4 MB "query" must not stall every
+// other request). A zero field disables that cap; the zero value disables
+// them all. A check that blows a budget resolves via the failure mode and
+// is counted in the metrics snapshot's OverBudgetChecks.
+type Budgets struct {
+	// MaxQueryBytes rejects queries longer than this before any analysis.
+	MaxQueryBytes int
+	// MaxInputBytes rejects requests whose summed input values exceed this
+	// before any analysis.
+	MaxInputBytes int
+	// NTIDPCells bounds the dynamic-programming cells one NTI check may
+	// fill across all inputs.
+	NTIDPCells int
+	// PTITokens bounds how many tokens a query may lex into for PTI.
+	PTITokens int
+}
+
+// WithBudgets enforces per-check cost budgets (default: none).
+func WithBudgets(b Budgets) Option {
+	return func(c *config) { c.budgets = b }
+}
+
 // ObservabilityConfig tunes the optional observability surface enabled by
 // WithObservability: decision tracing plus an HTTP listener serving
 // Prometheus /metrics, /healthz, /traces and /debug/pprof/.
@@ -257,6 +307,18 @@ func New(opts ...Option) (*Guard, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// Analyzer-side budgets ride the option slices so refresh rebuilds
+	// (buildSnap below) re-apply them to every fresh snapshot.
+	if cfg.budgets.MaxQueryBytes > 0 {
+		cfg.ntiOptions = append(cfg.ntiOptions, nti.WithMaxQueryBytes(cfg.budgets.MaxQueryBytes))
+		cfg.ptiOptions = append(cfg.ptiOptions, pti.WithMaxQueryBytes(cfg.budgets.MaxQueryBytes))
+	}
+	if cfg.budgets.NTIDPCells > 0 {
+		cfg.ntiOptions = append(cfg.ntiOptions, nti.WithDPCellBudget(cfg.budgets.NTIDPCells))
+	}
+	if cfg.budgets.PTITokens > 0 {
+		cfg.ptiOptions = append(cfg.ptiOptions, pti.WithMaxTokens(cfg.budgets.PTITokens))
+	}
 	set := cfg.set
 	if set == nil {
 		set = fragments.NewSet(cfg.fragmentTexts)
@@ -290,9 +352,21 @@ func New(opts ...Option) (*Guard, error) {
 		return nil, err
 	}
 	g := &Guard{policy: cfg.policy, buildSnap: buildSnap}
-	engOpts := []engine.Option{engine.WithPolicy(cfg.policy)}
+	engOpts := []engine.Option{
+		engine.WithPolicy(cfg.policy),
+		engine.WithFailureMode(cfg.failMode),
+		engine.WithLimits(engine.Limits{
+			MaxQueryBytes: cfg.budgets.MaxQueryBytes,
+			MaxInputBytes: cfg.budgets.MaxInputBytes,
+		}),
+	}
 	if cfg.auditWriter != nil {
-		engOpts = append(engOpts, engine.WithAuditLogger(audit.NewLogger(cfg.auditWriter)))
+		if cfg.auditAsync {
+			g.audit = audit.NewAsyncLogger(cfg.auditWriter, cfg.auditDepth)
+		} else {
+			g.audit = audit.NewLogger(cfg.auditWriter)
+		}
+		engOpts = append(engOpts, engine.WithAuditLogger(g.audit))
 	}
 	var tracer *trace.Tracer
 	if cfg.obs != nil {
@@ -418,14 +492,30 @@ func (g *Guard) ObservabilityAddr() string {
 	return g.obsServer.Addr()
 }
 
-// Close releases the Guard's background resources (currently only the
-// observability listener). Guards without one need no Close; calling it
+// Close releases the Guard's background resources: it flushes and stops
+// the audit logger (a no-op for synchronous loggers) and shuts down the
+// observability listener. Guards without either need no Close; calling it
 // anyway is a no-op.
 func (g *Guard) Close() error {
-	if g.obsServer == nil {
-		return nil
+	var err error
+	if g.audit != nil {
+		err = g.audit.Close()
 	}
-	return g.obsServer.Close()
+	if g.obsServer != nil {
+		if cerr := g.obsServer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// AuditDropped reports how many audit records an async audit logger had
+// to drop because its sink could not keep up (always zero otherwise).
+func (g *Guard) AuditDropped() uint64 {
+	if g.audit == nil {
+		return 0
+	}
+	return g.audit.Dropped()
 }
 
 // AuthorizeContext checks the query under ctx and returns nil when it is
