@@ -353,7 +353,7 @@ func BenchmarkAblationThresholdSweep(b *testing.B) {
 	}
 	for _, th := range []float64{0.05, 0.10, 0.20, 0.30, 0.50} {
 		b.Run(fmt.Sprintf("threshold=%.2f", th), func(b *testing.B) {
-			a := nti.New(nti.WithThreshold(th))
+			a := nti.MustNew(nti.WithThreshold(th))
 			for i := 0; i < b.N; i++ {
 				a.Analyze(benchQuery, nil, inputs)
 			}

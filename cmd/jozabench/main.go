@@ -8,12 +8,16 @@
 //	jozabench -figure 8   # read/write/search with and without Joza
 //	jozabench -metrics    # run the mix through one Guard, print its counters
 //	jozabench -transport  # single daemon connection vs connection pool
+//	jozabench -nti        # NTI matcher before/after (Sellers vs bit-parallel+prefilter)
 //	jozabench -all        # everything
 //	jozabench -all -json bench.json   # also write results as JSON
+//	jozabench -diff old.json new.json # compare two -json reports (warn-only)
 //
 // The -json report carries every section the invocation ran plus the run
 // parameters and Go version, so CI can archive one machine-readable
-// artifact per commit and diff benchmark results across commits.
+// artifact per commit and diff benchmark results across commits. -diff
+// compares the matcher-relevant fields of two such reports and emits
+// GitHub warning annotations on >20% regressions without ever failing.
 package main
 
 import (
@@ -49,6 +53,7 @@ type benchReport struct {
 	Figure8      []workload.Figure8Row  `json:"figure8,omitempty"`
 	Transport    *transportResult       `json:"transport,omitempty"`
 	GuardMetrics *joza.Metrics          `json:"guardMetrics,omitempty"`
+	NTIBench     *ntiBenchResult        `json:"ntiBench,omitempty"`
 }
 
 // transportResult is the measured outcome of the transport comparison.
@@ -77,6 +82,8 @@ func run(args []string) error {
 	showMetrics := fs.Bool("metrics", false, "run the mixed workload through one Guard and print joza.Metrics")
 	transport := fs.Bool("transport", false, "compare one shared daemon connection against a connection pool under concurrency")
 	poolSize := fs.Int("pool", 8, "with -transport: pool size and worker count")
+	ntiBench := fs.Bool("nti", false, "benchmark the NTI matcher before/after the bit-parallel engine and prefilter")
+	diff := fs.String("diff", "", "compare this previous -json report against a second report given as a positional argument; warn-only")
 	all := fs.Bool("all", false, "run everything")
 	urls := fs.Int("urls", 1001, "crawl-space size (unique URLs)")
 	requests := fs.Int("requests", 400, "requests per measurement")
@@ -85,7 +92,13 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *table == 0 && *figure == 0 && !*showMetrics && !*transport {
+	if *diff != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-diff wants exactly one positional argument (the new report), got %d", fs.NArg())
+		}
+		return runDiff(*diff, fs.Arg(0))
+	}
+	if !*all && *table == 0 && *figure == 0 && !*showMetrics && !*transport && !*ntiBench {
 		*all = true
 	}
 
@@ -166,6 +179,13 @@ func run(args []string) error {
 			return err
 		}
 		report.Transport = tr
+	}
+	if *all || *ntiBench {
+		nb, err := runNTIBench(*requests, *seed)
+		if err != nil {
+			return err
+		}
+		report.NTIBench = nb
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

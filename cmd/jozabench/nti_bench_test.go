@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunNTIBenchShapes(t *testing.T) {
+	res, err := runNTIBench(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shapes) != 3 {
+		t.Fatalf("shapes = %d, want 3", len(res.Shapes))
+	}
+	for i, want := range []int{1, 10, 50} {
+		s := res.Shapes[i]
+		if s.Inputs != want {
+			t.Errorf("shape %d inputs = %d, want %d", i, s.Inputs, want)
+		}
+		if s.SellersNsPerCheck <= 0 || s.BitParallelNsPerCheck <= 0 || s.Speedup <= 0 {
+			t.Errorf("shape %d has non-positive timings: %+v", i, s)
+		}
+	}
+	// The multi-input shapes carry benign junk the prefilter must reject.
+	if res.Shapes[2].PrefilterRejectPct == 0 {
+		t.Error("50-input shape reported zero prefilter rejects")
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r benchReport) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", benchReport{NTIBench: &ntiBenchResult{
+		Shapes: []ntiShapeResult{{Inputs: 10, BitParallelNsPerCheck: 1000}},
+	}})
+	// Within tolerance, a regression, and a report missing the section
+	// must all return nil: the mode is warn-only by contract.
+	for _, r := range []benchReport{
+		{NTIBench: &ntiBenchResult{Shapes: []ntiShapeResult{{Inputs: 10, BitParallelNsPerCheck: 1100}}}},
+		{NTIBench: &ntiBenchResult{Shapes: []ntiShapeResult{{Inputs: 10, BitParallelNsPerCheck: 5000}}}},
+		{},
+	} {
+		newPath := writeReport(t, dir, "new.json", r)
+		if err := runDiff(oldPath, newPath); err != nil {
+			t.Errorf("runDiff(%+v) = %v, want nil", r.NTIBench, err)
+		}
+	}
+	if err := runDiff(oldPath, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("runDiff with a missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDiff(oldPath, bad); err == nil {
+		t.Error("runDiff with malformed JSON must error")
+	}
+}

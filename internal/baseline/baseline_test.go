@@ -120,7 +120,7 @@ func TestCandidShortInputsIgnored(t *testing.T) {
 }
 
 func TestNTIDetectorAdapter(t *testing.T) {
-	d := NTIDetector{Analyzer: nti.New()}
+	d := NTIDetector{Analyzer: nti.MustNew()}
 	if d.Name() != "nti" {
 		t.Error("name")
 	}

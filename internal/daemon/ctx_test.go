@@ -211,7 +211,7 @@ func TestPoolCanceledWhileSlotsBusy(t *testing.T) {
 }
 
 func TestHybridCheckContextPreCanceled(t *testing.T) {
-	h := NewHybridClient(NewDirect(newAnalyzer()), nti.New(), core.PolicyTerminate)
+	h := NewHybridClient(NewDirect(newAnalyzer()), nti.MustNew(), core.PolicyTerminate)
 	defer h.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -137,7 +137,7 @@ func TestTransportsAgree(t *testing.T) {
 func TestHybridClient(t *testing.T) {
 	c, stop := SpawnPipe(newAnalyzer())
 	defer stop()
-	h := NewHybridClient(c, nti.New(), core.PolicyTerminate)
+	h := NewHybridClient(c, nti.MustNew(), core.PolicyTerminate)
 
 	// Benign.
 	v, err := h.Check(benignQuery, []nti.Input{{Source: "get", Name: "id", Value: "5"}})
@@ -189,7 +189,7 @@ func TestHybridClientNTIDisabled(t *testing.T) {
 func TestHybridClientTransportError(t *testing.T) {
 	c, stop := SpawnPipe(newAnalyzer())
 	stop() // closed transport
-	h := NewHybridClient(c, nti.New(), core.PolicyTerminate)
+	h := NewHybridClient(c, nti.MustNew(), core.PolicyTerminate)
 	if _, err := h.Check(benignQuery, nil); err == nil {
 		t.Error("want transport error")
 	}

@@ -276,7 +276,7 @@ func TestHybridDegradeFailOpen(t *testing.T) {
 	}, PoolConfig{Size: 1, MaxAttempts: 2, BackoffMin: time.Millisecond, BackoffMax: time.Millisecond})
 	defer p.Close()
 	collector := metrics.NewCollector()
-	h := NewHybridClient(p, nti.New(), core.PolicyTerminate,
+	h := NewHybridClient(p, nti.MustNew(), core.PolicyTerminate,
 		WithDegradeMode(DegradeFailOpen), WithCollector(collector))
 
 	payload := "-1 UNION SELECT username()"
@@ -316,7 +316,7 @@ func TestHybridDegradeFailClosed(t *testing.T) {
 	stopDaemon() // daemon gone; client transport broken
 	var auditBuf syncBuffer
 	collector := metrics.NewCollector()
-	h := NewHybridClient(c, nti.New(), core.PolicyTerminate,
+	h := NewHybridClient(c, nti.MustNew(), core.PolicyTerminate,
 		WithDegradeMode(DegradeFailClosed), WithCollector(collector), WithAuditLog(&auditBuf))
 
 	v, err := h.Check(benignQuery, nil)
@@ -345,7 +345,7 @@ func TestHybridDegradeFailClosed(t *testing.T) {
 func TestHybridDegradeErrorDefault(t *testing.T) {
 	c, stopDaemon := SpawnPipe(newAnalyzer())
 	stopDaemon()
-	h := NewHybridClient(c, nti.New(), core.PolicyTerminate)
+	h := NewHybridClient(c, nti.MustNew(), core.PolicyTerminate)
 	if _, err := h.Check(benignQuery, nil); err == nil {
 		t.Error("default degrade mode must propagate transport errors")
 	}
@@ -357,7 +357,7 @@ func TestHybridRecordsMetricsAndAudit(t *testing.T) {
 	c, stopDaemon := SpawnPipe(newAnalyzer())
 	defer stopDaemon()
 	var auditBuf syncBuffer
-	h := NewHybridClient(c, nti.New(), core.PolicyTerminate, WithAuditLog(&auditBuf))
+	h := NewHybridClient(c, nti.MustNew(), core.PolicyTerminate, WithAuditLog(&auditBuf))
 	if _, err := h.Check(benignQuery, nil); err != nil {
 		t.Fatal(err)
 	}

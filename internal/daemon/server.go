@@ -320,7 +320,7 @@ func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
 	if span != nil {
 		span.SetVerdict(false, reply.Attack)
 		s.tracer.Finish(span)
-		s.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
+		s.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs, span.NTIPrefilterNs)
 		reply.Trace = span
 	}
 	resp.Reply = reply

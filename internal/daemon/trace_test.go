@@ -123,7 +123,7 @@ func TestHybridClientMergesDaemonTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := NewHybridClient(c, nti.New(), 0,
+	h := NewHybridClient(c, nti.MustNew(), 0,
 		WithTracing(trace.Config{SampleEvery: 1, RingSize: 8}))
 	defer h.Close()
 
@@ -167,7 +167,7 @@ func TestHybridClientTraceDegraded(t *testing.T) {
 	clientSide, serverSide := net.Pipe()
 	_ = serverSide.Close()
 	_ = clientSide.Close()
-	h := NewHybridClient(NewClient(clientSide), nti.New(), 0,
+	h := NewHybridClient(NewClient(clientSide), nti.MustNew(), 0,
 		WithDegradeMode(DegradeFailOpen),
 		WithTracing(trace.Config{SampleEvery: 1, RingSize: 8}))
 	v, err := h.Check(benignQuery, nil)

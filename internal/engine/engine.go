@@ -463,7 +463,7 @@ func (e *Engine) record(v *core.Verdict, req Request, st *State, sampled bool, s
 		e.tracer.Finish(span)
 		// Stage histograms are fed only from traced checks so the untraced
 		// hot path never reads the clock per stage.
-		e.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs)
+		e.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs, span.NTIPrefilterNs)
 	}
 	if v.Attack && e.auditLog != nil {
 		e.auditLog.Log(*v, e.policy, req.Inputs)

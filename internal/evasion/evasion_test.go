@@ -11,7 +11,7 @@ import (
 )
 
 func TestQuoteStuffingDefeatsNTI(t *testing.T) {
-	analyzer := nti.New()
+	analyzer := nti.MustNew()
 	payload := "-1 OR 1=1"
 	evaded := QuoteStuffing(payload, analyzer.Threshold())
 	// The application applies magic quotes before query construction.
@@ -34,7 +34,7 @@ func TestQuoteStuffingAdaptsToThreshold(t *testing.T) {
 	// adds more quotes (the paper's argument that threshold tuning is not
 	// a remedy).
 	for _, th := range []float64{0.1, 0.2, 0.3, 0.4, 0.6} {
-		analyzer := nti.New(nti.WithThreshold(th))
+		analyzer := nti.MustNew(nti.WithThreshold(th))
 		payload := "-1 OR 1=1"
 		evaded := QuoteStuffing(payload, th)
 		q := "SELECT * FROM data WHERE ID=" + webapp.MagicQuotes(evaded)
@@ -58,7 +58,7 @@ func TestQuoteStuffingKeepsAttackWorking(t *testing.T) {
 }
 
 func TestWhitespacePaddingDefeatsNTI(t *testing.T) {
-	analyzer := nti.New()
+	analyzer := nti.MustNew()
 	payload := "-1 OR 1=1"
 	evaded := WhitespacePadding(payload, analyzer.Threshold())
 	// The application trims the input before query construction.

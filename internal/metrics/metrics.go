@@ -116,6 +116,9 @@ const (
 	StagePTICover
 	// StageNTIMatch is the summed per-input approximate matching.
 	StageNTIMatch
+	// StageNTIPrefilter is the q-gram prefilter portion of NTI matching
+	// (gram-set build plus per-input counting).
+	StageNTIPrefilter
 	numStages
 )
 
@@ -128,6 +131,8 @@ func StageName(s Stage) string {
 		return "pti_cover"
 	case StageNTIMatch:
 		return "nti_match"
+	case StageNTIPrefilter:
+		return "nti_prefilter"
 	default:
 		return "unknown"
 	}
@@ -220,7 +225,7 @@ func (c *Collector) ObserveStage(s Stage, d time.Duration) {
 // ObserveStageDurations records the stage timings a finished trace span
 // carries: zero values mean the stage did not run (a cache hit skips both
 // lex and cover) and are not observed.
-func (c *Collector) ObserveStageDurations(lexNs, ptiCoverNs, ntiMatchNs int64) {
+func (c *Collector) ObserveStageDurations(lexNs, ptiCoverNs, ntiMatchNs, ntiPrefilterNs int64) {
 	if lexNs > 0 {
 		c.stages[StageLex].Observe(time.Duration(lexNs))
 	}
@@ -229,6 +234,9 @@ func (c *Collector) ObserveStageDurations(lexNs, ptiCoverNs, ntiMatchNs int64) {
 	}
 	if ntiMatchNs > 0 {
 		c.stages[StageNTIMatch].Observe(time.Duration(ntiMatchNs))
+	}
+	if ntiPrefilterNs > 0 {
+		c.stages[StageNTIPrefilter].Observe(time.Duration(ntiPrefilterNs))
 	}
 }
 
@@ -325,10 +333,13 @@ type Snapshot struct {
 	BreakerProbes  uint64 `json:"breakerProbes,omitempty"`
 
 	// NTI approximate-matcher activity: total invocations of the
-	// quadratic matcher and how many were abandoned early by the
-	// threshold band.
+	// quadratic matcher, how many were abandoned early (threshold band
+	// exhausted or bit-parallel scan miss), and q-gram prefilter traffic —
+	// pairs checked and pairs rejected before any matcher ran.
 	NTIMatcherCalls      uint64 `json:"ntiMatcherCalls"`
 	NTIMatcherEarlyExits uint64 `json:"ntiMatcherEarlyExits"`
+	NTIPrefilterChecks   uint64 `json:"ntiPrefilterChecks"`
+	NTIPrefilterRejects  uint64 `json:"ntiPrefilterRejects"`
 
 	// Daemon server activity, filled by the daemon's Stats: requests by
 	// verb, protocol errors (unknown verbs, replies that failed to
@@ -400,5 +411,9 @@ func (s Snapshot) Format() string {
 	}
 	fmt.Fprintf(&b, "nti matcher: %d calls, %d early exits\n",
 		s.NTIMatcherCalls, s.NTIMatcherEarlyExits)
+	if s.NTIPrefilterChecks > 0 {
+		fmt.Fprintf(&b, "nti prefilter: %d checks, %d rejects\n",
+			s.NTIPrefilterChecks, s.NTIPrefilterRejects)
+	}
 	return b.String()
 }

@@ -145,17 +145,17 @@ func TestCollectorStageHistograms(t *testing.T) {
 	c.RecordCheck(false, false, 4*time.Microsecond)
 	c.ObserveStage(StageLex, time.Microsecond)
 	c.ObserveStage(StageLex, 2*time.Microsecond)
-	c.ObserveStageDurations(0, int64(5*time.Microsecond), int64(3*time.Microsecond))
+	c.ObserveStageDurations(0, int64(5*time.Microsecond), int64(3*time.Microsecond), int64(time.Microsecond))
 	c.ObserveStage(Stage(99), time.Second) // ignored, not a panic
 	s := c.Snapshot()
-	if len(s.Stages) != 3 {
-		t.Fatalf("stages = %+v, want lex, pti_cover, nti_match", s.Stages)
+	if len(s.Stages) != 4 {
+		t.Fatalf("stages = %+v, want lex, pti_cover, nti_match, nti_prefilter", s.Stages)
 	}
 	byName := map[string]StageLatency{}
 	for _, st := range s.Stages {
 		byName[st.Stage] = st
 	}
-	if byName["lex"].Count != 2 || byName["pti_cover"].Count != 1 || byName["nti_match"].Count != 1 {
+	if byName["lex"].Count != 2 || byName["pti_cover"].Count != 1 || byName["nti_match"].Count != 1 || byName["nti_prefilter"].Count != 1 {
 		t.Errorf("stage counts = %+v", byName)
 	}
 	if byName["lex"].P50Ns == 0 || byName["lex"].SumNs != int64(3*time.Microsecond) {
@@ -186,7 +186,7 @@ func TestCollectorStageHistograms(t *testing.T) {
 
 func TestObserveStageDurationsSkipsZero(t *testing.T) {
 	c := NewCollector()
-	c.ObserveStageDurations(0, 0, 0)
+	c.ObserveStageDurations(0, 0, 0, 0)
 	if got := c.Snapshot().Stages; len(got) != 0 {
 		t.Fatalf("zero durations must not be observed, got %+v", got)
 	}

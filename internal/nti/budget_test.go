@@ -10,7 +10,7 @@ import (
 )
 
 func TestMaxQueryBytesOverBudget(t *testing.T) {
-	a := New(WithMaxQueryBytes(1024))
+	a := MustNew(WithMaxQueryBytes(1024))
 	query := "SELECT * FROM t WHERE a = '" + strings.Repeat("x", 4096) + "'"
 	_, err := a.AnalyzeCtx(context.Background(), query, nil,
 		[]Input{{Source: "get", Name: "a", Value: "zz"}}, nil)
@@ -25,10 +25,11 @@ func TestMaxQueryBytesOverBudget(t *testing.T) {
 }
 
 func TestDPCellBudgetOverBudget(t *testing.T) {
-	a := New(WithDPCellBudget(1000))
+	a := MustNew(WithDPCellBudget(1000))
 	// No exact occurrence, similar lengths so the prune heuristic does not
-	// fire, and enough bytes that the DP blows the 1000-cell budget.
-	value := strings.Repeat("ab", 300)
+	// fire, enough shared trigrams that the prefilter cannot reject, and
+	// enough bytes that the DP blows the 1000-cell budget.
+	value := strings.Repeat("cd", 299) + "zz"
 	query := "SELECT * FROM t WHERE a = '" + strings.Repeat("cd", 300) + "'"
 	_, err := a.AnalyzeCtx(context.Background(), query, nil,
 		[]Input{{Source: "get", Name: "a", Value: value}}, nil)
@@ -38,8 +39,8 @@ func TestDPCellBudgetOverBudget(t *testing.T) {
 }
 
 func TestDPCellBudgetGenerousKeepsVerdicts(t *testing.T) {
-	plain := New()
-	budgeted := New(WithDPCellBudget(1 << 24))
+	plain := MustNew()
+	budgeted := MustNew(WithDPCellBudget(1 << 24))
 	query := "SELECT * FROM users WHERE name = 'admin'' OR 1=1 --'"
 	inputs := []Input{{Source: "get", Name: "name", Value: "admin' OR 1=1 --"}}
 	want, err := plain.AnalyzeCtx(context.Background(), query, nil, inputs, nil)

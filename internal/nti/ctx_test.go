@@ -8,7 +8,7 @@ import (
 )
 
 func TestAnalyzeCtxCanceled(t *testing.T) {
-	a := New()
+	a := MustNew()
 	q := "SELECT * FROM data WHERE ID=" + strings.Repeat("x", 300)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -19,7 +19,7 @@ func TestAnalyzeCtxCanceled(t *testing.T) {
 }
 
 func TestAnalyzeCtxBackgroundMatchesAnalyze(t *testing.T) {
-	a := New()
+	a := MustNew()
 	payload := "-1 OR 1=1"
 	q := "SELECT * FROM data WHERE ID=" + payload
 	want := a.Analyze(q, nil, inputs("id", payload))

@@ -1,6 +1,7 @@
 package nti
 
 import (
+	"slices"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestDedupMirroredInputsSingleMarking(t *testing.T) {
 	// The same payload arrives under GET and a cookie: one marking, one
 	// set of reasons, both sources attributed.
-	a := New()
+	a := MustNew()
 	payload := "-1 OR 1=1"
 	q := "SELECT * FROM data WHERE ID=" + payload
 	res := a.Analyze(q, nil, []Input{
@@ -42,7 +43,7 @@ func TestDedupMirroredInputsSingleMarking(t *testing.T) {
 func TestDedupIdenticalInputRepeated(t *testing.T) {
 	// The exact same (key, value) pair twice: the key appears once in the
 	// attribution.
-	a := New()
+	a := MustNew()
 	res := a.Analyze("SELECT * FROM t WHERE a='x'", nil, []Input{
 		{Source: "get", Name: "v", Value: "x"},
 		{Source: "get", Name: "v", Value: "x"},
@@ -56,7 +57,7 @@ func TestDedupIdenticalInputRepeated(t *testing.T) {
 }
 
 func TestDedupDistinctValuesKeptSeparate(t *testing.T) {
-	a := New()
+	a := MustNew()
 	q := "SELECT * FROM t WHERE a='x' AND b='y'"
 	res := a.Analyze(q, nil, []Input{
 		{Source: "get", Name: "a", Value: "x"},
@@ -74,7 +75,7 @@ func TestDedupMatcherRunsOncePerValue(t *testing.T) {
 	// A non-verbatim payload (so the approximate matcher actually runs)
 	// mirrored under three keys must cost one matcher invocation.
 	calls := 0
-	a := New(WithMatcher(func(input, query string) strdist.Match {
+	a := MustNew(WithMatcher(func(input, query string) strdist.Match {
 		calls++
 		return strdist.SubstringMatch(input, query)
 	}))
@@ -96,10 +97,30 @@ func TestDedupMatcherRunsOncePerValue(t *testing.T) {
 	}
 }
 
-func TestStatsCountsEarlyExits(t *testing.T) {
-	a := New()
+func TestStatsCountsPrefilterRejects(t *testing.T) {
 	// Long junk input against a shorter query passes the cheap pre-prune
-	// (value ≤ query) but is hopeless: the banded matcher abandons it.
+	// (value ≤ query) but is hopeless: with the prefilter on it is
+	// rejected before any matcher runs.
+	a := MustNew()
+	junk := strings.Repeat("x", 40)
+	q := "SELECT id, title, body FROM posts WHERE id=42 ORDER BY id DESC"
+	res := a.Analyze(q, nil, []Input{{Source: "get", Name: "x", Value: junk}})
+	if res.Attack || len(res.Markings) != 0 {
+		t.Fatalf("junk input matched: %+v", res)
+	}
+	st := a.Stats()
+	if st.PrefilterChecks != 1 || st.PrefilterRejects != 1 {
+		t.Errorf("prefilter checks/rejects = %d/%d, want 1/1", st.PrefilterChecks, st.PrefilterRejects)
+	}
+	if st.MatcherCalls != 0 {
+		t.Errorf("MatcherCalls = %d, want 0 (prefilter rejected)", st.MatcherCalls)
+	}
+}
+
+func TestStatsCountsEarlyExits(t *testing.T) {
+	// Same hopeless pair with the prefilter off: the matcher runs once
+	// and its scan abandons the comparison early.
+	a := MustNew(WithoutPrefilter())
 	junk := strings.Repeat("x", 40)
 	q := "SELECT id, title, body FROM posts WHERE id=42 ORDER BY id DESC"
 	res := a.Analyze(q, nil, []Input{{Source: "get", Name: "x", Value: junk}})
@@ -113,32 +134,57 @@ func TestStatsCountsEarlyExits(t *testing.T) {
 	if st.EarlyExits != 1 {
 		t.Errorf("EarlyExits = %d, want 1", st.EarlyExits)
 	}
+	if st.PrefilterChecks != 0 {
+		t.Errorf("PrefilterChecks = %d, want 0 (prefilter disabled)", st.PrefilterChecks)
+	}
 }
 
 func TestAnalyzeLexesLazily(t *testing.T) {
 	// No inputs: Analyze must not need tokens at all (nil toks stays nil
 	// internally; result is empty and safe).
-	a := New()
+	a := MustNew()
 	res := a.Analyze("SELECT * FROM t", nil, nil)
 	if res.Attack || len(res.Markings) != 0 {
 		t.Errorf("no-input analyze = %+v", res)
 	}
 }
 
-func TestContainsKey(t *testing.T) {
-	cases := []struct {
-		source, key string
-		want        bool
-	}{
-		{"get:id", "get:id", true},
-		{"get:id,cookie:id", "cookie:id", true},
-		{"get:id,cookie:id", "post:id", false},
-		{"", "get:id", false},
-		{"get:idx", "get:id", false},
+func TestDedupCommaBearingName(t *testing.T) {
+	// Regression: a parameter name containing a comma (legal in header and
+	// cookie names) used to split into bogus keys when attribution was a
+	// comma-joined string, so "header:a,b" looked like it already
+	// contained "header:a" and dedup dropped the real key.
+	groups := dedupInputs([]Input{
+		{Source: "header", Name: "a,b", Value: "v1"},
+		{Source: "header", Name: "a", Value: "v1"},
+		{Source: "header", Name: "a,b", Value: "v1"}, // repeat: must not duplicate
+	})
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
 	}
-	for _, c := range cases {
-		if got := containsKey(c.source, c.key); got != c.want {
-			t.Errorf("containsKey(%q, %q) = %v, want %v", c.source, c.key, got, c.want)
-		}
+	want := []string{"header:a,b", "header:a"}
+	if !slices.Equal(groups[0].keys, want) {
+		t.Fatalf("keys = %q, want %q", groups[0].keys, want)
+	}
+	if got := groups[0].sourceLabel(); got != "header:a,b,header:a" {
+		t.Errorf("sourceLabel = %q", got)
+	}
+}
+
+func TestDedupCommaBearingNameEndToEnd(t *testing.T) {
+	// The rendered marking must attribute both channels even when one
+	// name carries a comma.
+	a := MustNew()
+	payload := "-1 OR 1=1"
+	q := "SELECT * FROM data WHERE ID=" + payload
+	res := a.Analyze(q, nil, []Input{
+		{Source: "header", Name: "x,y", Value: payload},
+		{Source: "get", Name: "x", Value: payload},
+	})
+	if !res.Attack || len(res.Markings) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := res.Markings[0].Source; got != "header:x,y,get:x" {
+		t.Errorf("marking source = %q", got)
 	}
 }

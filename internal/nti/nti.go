@@ -11,12 +11,21 @@
 // critical token. Markings inferred from different inputs are never
 // combined, and short inputs cannot trigger an alarm unless they cover a
 // whole token, both per the paper's false-positive mitigations.
+//
+// Two layers keep the per-check cost sub-quadratic in practice (the
+// Section VI "skip implausible comparisons" optimizations): a q-gram
+// prefilter (prefilter.go) rejects most input×query pairs in O(n), and
+// the default matcher is the bit-parallel engine
+// (strdist.BitParallelThresholdBudgetCtx), which settles survivors at 64
+// DP cells per word before falling back to the cell-at-a-time Sellers DP
+// only for actual span extraction.
 package nti
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -32,6 +41,13 @@ import (
 // payload at 22.7% escapes matching.
 const DefaultThreshold = 0.20
 
+// maxExactRegions caps how many coalesced exact-occurrence regions one
+// input may mark. A pathological pair (a tiny input scattered through a
+// huge query) otherwise manufactures unbounded markings and an unbounded
+// attackReasons scan; past the cap the remaining occurrences go unmarked,
+// which only ever suppresses markings that repeat ones already recorded.
+const maxExactRegions = 512
+
 // Input is one captured application input value.
 type Input struct {
 	// Source is the input channel: "get", "post", "cookie", "header", ...
@@ -46,19 +62,64 @@ type Input struct {
 // Key returns the "source:name" identifier used in markings.
 func (in Input) Key() string { return in.Source + ":" + in.Name }
 
-// MatcherFunc finds the best approximate occurrence of input inside query.
-// It exists so benchmarks can swap the optimized Sellers matcher for the
-// naive one.
+// Matcher is the pluggable approximate-matching engine. MatchThreshold
+// must honor ctx cancellation, charge its work against maxCells DP cells
+// when maxCells is positive (failing with an error wrapping
+// strdist.ErrBudget), and use the package's strict-inequality ratio
+// semantics: found means the best match's Ratio() is strictly below
+// threshold. pruned reports that the comparison was abandoned early as
+// hopeless.
+type Matcher interface {
+	MatchThreshold(ctx context.Context, input, query string, threshold float64, maxCells int) (m strdist.Match, found, pruned bool, err error)
+}
+
+// MatcherFunc adapts a bare best-match function (no ctx, no budget) to
+// the Matcher interface; benchmarks use it to measure the naive
+// algorithm. The wrapper checks ctx before running — coarse, since the
+// wrapped function cannot be interrupted — and is budget-blind: New
+// rejects it when combined with WithDPCellBudget, because the budget
+// could not be enforced.
 type MatcherFunc func(input, query string) strdist.Match
+
+// funcMatcher wraps a MatcherFunc as a Matcher.
+type funcMatcher struct{ fn MatcherFunc }
+
+func (f funcMatcher) MatchThreshold(ctx context.Context, input, query string, threshold float64, _ int) (strdist.Match, bool, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return strdist.Match{}, false, false, err
+	}
+	m := f.fn(input, query)
+	return m, m.Ratio() < threshold, false, nil
+}
+
+// budgetBlind marks matchers that cannot enforce a DP cell budget.
+func (funcMatcher) budgetBlind() {}
+
+// bitParallelMatcher is the default engine: a Myers bit-parallel reject
+// scan with Sellers span extraction on hits.
+type bitParallelMatcher struct{}
+
+func (bitParallelMatcher) MatchThreshold(ctx context.Context, input, query string, threshold float64, maxCells int) (strdist.Match, bool, bool, error) {
+	return strdist.BitParallelThresholdBudgetCtx(ctx, input, query, threshold, maxCells)
+}
+
+// sellersMatcher is the cell-at-a-time threshold-banded Sellers DP — the
+// engine predating the bit-parallel one, kept selectable for ablations
+// and differential tests.
+type sellersMatcher struct{}
+
+func (sellersMatcher) MatchThreshold(ctx context.Context, input, query string, threshold float64, maxCells int) (strdist.Match, bool, bool, error) {
+	return strdist.SubstringMatchThresholdBudgetCtx(ctx, input, query, threshold, maxCells)
+}
 
 // Analyzer runs negative taint inference. The zero value is not usable;
 // construct with New.
 type Analyzer struct {
 	threshold float64
-	// match is a caller-supplied matcher (WithMatcher); when nil the
-	// analyzer uses the threshold-aware banded Sellers matcher, which can
-	// abandon hopeless comparisons early.
-	match MatcherFunc
+	// match is the approximate-matching engine; bit-parallel by default.
+	match Matcher
+	// prefilter enables the q-gram reject stage ahead of the matcher.
+	prefilter bool
 	// maxInputLen caps the input size fed to the quadratic matcher; longer
 	// inputs are only checked with the exact-substring fast path. This is
 	// one of the "skip implausible comparisons" optimizations: an input
@@ -73,26 +134,34 @@ type Analyzer struct {
 	maxQueryBytes int
 	// dpCellBudget caps the DP cells one input/query pair may compute in
 	// the approximate matcher; exceeding it fails the analysis with
-	// core.ErrOverBudget. Zero disables the cap.
+	// core.ErrOverBudget. Zero disables the cap. The exact-occurrence
+	// scan charges its probed bytes against the same cap.
 	dpCellBudget int
 
-	matcherCalls atomic.Uint64
-	earlyExits   atomic.Uint64
+	matcherCalls     atomic.Uint64
+	earlyExits       atomic.Uint64
+	prefilterChecks  atomic.Uint64
+	prefilterRejects atomic.Uint64
 }
 
-// Stats counts the analyzer's approximate-matcher activity: how often the
-// quadratic matcher actually ran, and how often its threshold band
-// abandoned the comparison early.
+// Stats counts the analyzer's matching activity: how often input×query
+// pairs reached the prefilter and were rejected there, how often the
+// approximate matcher actually ran, and how often it abandoned the
+// comparison early (threshold band exhausted or bit-parallel scan miss).
 type Stats struct {
-	MatcherCalls uint64
-	EarlyExits   uint64
+	MatcherCalls     uint64
+	EarlyExits       uint64
+	PrefilterChecks  uint64
+	PrefilterRejects uint64
 }
 
 // Stats returns a snapshot of the matcher counters.
 func (a *Analyzer) Stats() Stats {
 	return Stats{
-		MatcherCalls: a.matcherCalls.Load(),
-		EarlyExits:   a.earlyExits.Load(),
+		MatcherCalls:     a.matcherCalls.Load(),
+		EarlyExits:       a.earlyExits.Load(),
+		PrefilterChecks:  a.prefilterChecks.Load(),
+		PrefilterRejects: a.prefilterRejects.Load(),
 	}
 }
 
@@ -104,10 +173,31 @@ func WithThreshold(t float64) Option {
 	return func(a *Analyzer) { a.threshold = t }
 }
 
-// WithMatcher replaces the approximate matcher (benchmarks use this to
-// measure the naive algorithm).
+// WithMatcher replaces the approximate matcher with a bare best-match
+// function (benchmarks use this to measure the naive algorithm). The
+// function cannot observe budgets; combining it with WithDPCellBudget
+// fails construction.
 func WithMatcher(m MatcherFunc) Option {
+	return func(a *Analyzer) { a.match = funcMatcher{fn: m} }
+}
+
+// WithMatcherEngine replaces the approximate matcher with a full
+// ctx+budget-aware engine.
+func WithMatcherEngine(m Matcher) Option {
 	return func(a *Analyzer) { a.match = m }
+}
+
+// WithSellersMatcher selects the cell-at-a-time banded Sellers engine
+// instead of the default bit-parallel one (ablations, differential
+// tests, before/after benchmarks).
+func WithSellersMatcher() Option {
+	return func(a *Analyzer) { a.match = sellersMatcher{} }
+}
+
+// WithoutPrefilter disables the q-gram prefilter, sending every surviving
+// pair straight to the matcher (ablations and benchmarks).
+func WithoutPrefilter() Option {
+	return func(a *Analyzer) { a.prefilter = false }
 }
 
 // WithMaxInputLen sets the input-size cap for approximate matching; inputs
@@ -143,16 +233,36 @@ func WithStrictPolicy() Option {
 	return func(a *Analyzer) { a.critical = sqltoken.Token.CriticalStrict }
 }
 
-// New returns an Analyzer with the default threshold and the optimized
-// threshold-aware Sellers matcher.
-func New(opts ...Option) *Analyzer {
+// New returns an Analyzer with the default threshold, the q-gram
+// prefilter, and the bit-parallel matching engine. It fails when options
+// conflict — today that means a DP cell budget combined with a
+// budget-blind MatcherFunc, which would silently void the containment
+// layer.
+func New(opts ...Option) (*Analyzer, error) {
 	a := &Analyzer{
 		threshold:   DefaultThreshold,
+		match:       bitParallelMatcher{},
+		prefilter:   true,
 		maxInputLen: 4096,
 		critical:    sqltoken.Token.Critical,
 	}
 	for _, o := range opts {
 		o(a)
+	}
+	if a.dpCellBudget > 0 {
+		if _, blind := a.match.(interface{ budgetBlind() }); blind {
+			return nil, fmt.Errorf("nti: WithDPCellBudget(%d) cannot be enforced through a budget-blind MatcherFunc; use WithMatcherEngine or drop the budget", a.dpCellBudget)
+		}
+	}
+	return a, nil
+}
+
+// MustNew is New for configurations known valid at compile time; it
+// panics on a construction error.
+func MustNew(opts ...Option) *Analyzer {
+	a, err := New(opts...)
+	if err != nil {
+		panic(err)
 	}
 	return a
 }
@@ -178,10 +288,10 @@ func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, inputs []I
 }
 
 // AnalyzeCtx is AnalyzeTraced with cooperative cancellation: ctx is
-// checked between input groups and polled inside the banded Sellers
-// matcher, so a canceled or expired context aborts a long multi-input
-// analysis mid-match with ctx's error. With context.Background() the
-// checks are free and the function never fails.
+// checked between input groups and polled inside the matcher, so a
+// canceled or expired context aborts a long multi-input analysis
+// mid-match with ctx's error. With context.Background() the checks are
+// free and the function never fails.
 func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken.Token, inputs []Input, span *trace.Span) (core.Result, error) {
 	res := core.Result{Analyzer: core.AnalyzerNTI}
 	if a.maxQueryBytes > 0 && len(query) > a.maxQueryBytes {
@@ -190,73 +300,98 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken
 	}
 	cancelable := ctx.Done() != nil
 	// Single-input requests (the common hot path) need no grouping state.
-	var single [1]inputGroup
+	var (
+		single     [1]inputGroup
+		singleKeys [1]string
+	)
 	groups := single[:0]
 	if len(inputs) == 1 {
 		if in := inputs[0]; in.Value != "" {
-			single[0] = inputGroup{value: in.Value, source: in.Key()}
+			singleKeys[0] = in.Key()
+			single[0] = inputGroup{value: in.Value, keys: singleKeys[:1]}
 			groups = single[:1]
 		}
 	} else {
 		groups = dedupInputs(inputs)
 	}
-	for gi, g := range groups {
+	st := checkState{timed: span.Active()}
+	defer st.release()
+	for gi := range groups {
+		g := &groups[gi]
 		if cancelable {
 			if err := ctx.Err(); err != nil {
 				return core.Result{Analyzer: core.AnalyzerNTI}, err
 			}
 		}
 		var matchStart time.Time
-		if span.Active() {
+		if st.timed {
 			matchStart = time.Now()
 		}
-		spans, err := a.matchInput(ctx, g.value, query)
+		st.rejected = false
+		spans, err := a.matchInput(ctx, g.value, query, &st)
 		if err != nil {
 			return core.Result{Analyzer: core.AnalyzerNTI}, err
 		}
-		if span.Active() {
+		if st.timed {
 			im := trace.InputMatch{
-				Index:   gi,
-				Source:  g.source,
-				MatchNs: int64(time.Since(matchStart)),
-				Matched: len(spans) > 0,
+				Index:             gi,
+				Source:            g.sourceLabel(),
+				MatchNs:           int64(time.Since(matchStart)),
+				Matched:           len(spans) > 0,
+				PrefilterRejected: st.rejected,
 			}
 			if len(spans) > 0 {
 				im.Start, im.End, im.Distance = spans[0].Start, spans[0].End, spans[0].Distance
 			}
 			span.AddInput(im)
 		}
-		if len(spans) > 0 && toks == nil {
+		if len(spans) == 0 {
+			continue
+		}
+		if toks == nil {
 			// Lex lazily: requests whose inputs never match the query
 			// (and requests with no inputs at all) skip the lexer.
 			var lexStart time.Time
-			if span.Active() {
+			if st.timed {
 				lexStart = time.Now()
 			}
 			toks = sqltoken.Lex(query)
-			if span.Active() {
+			if st.timed {
 				span.Lex(time.Since(lexStart))
 			}
 		}
+		src := g.sourceLabel()
 		for _, sp := range spans {
 			m := core.Marking{
 				Span:     sqltoken.Span{Start: sp.Start, End: sp.End},
-				Source:   g.source,
+				Source:   src,
 				Distance: sp.Distance,
 			}
 			res.Markings = append(res.Markings, m)
 			res.Reasons = append(res.Reasons, attackReasons(toks, m, a.critical)...)
 		}
 	}
+	if st.timed && st.prefilterNs > 0 {
+		span.NTIPrefilter(time.Duration(st.prefilterNs))
+	}
 	res.Attack = len(res.Reasons) > 0
 	return res, nil
 }
 
-// inputGroup is one distinct raw value and the comma-joined keys of every
-// input that carried it.
+// inputGroup is one distinct raw value and the keys of every input that
+// carried it. Keys stay discrete — a parameter name may itself contain a
+// comma — and are only joined for rendering.
 type inputGroup struct {
-	value  string
-	source string
+	value string
+	keys  []string
+}
+
+// sourceLabel renders the group's attribution for markings and traces.
+func (g *inputGroup) sourceLabel() string {
+	if len(g.keys) == 1 {
+		return g.keys[0]
+	}
+	return strings.Join(g.keys, ",")
 }
 
 // dedupInputs groups inputs by raw value, preserving first-seen order. A
@@ -273,48 +408,50 @@ func dedupInputs(inputs []Input) []inputGroup {
 		}
 		key := in.Key()
 		if i, ok := index[in.Value]; ok {
-			if !containsKey(groups[i].source, key) {
-				groups[i].source += "," + key
+			if !slices.Contains(groups[i].keys, key) {
+				groups[i].keys = append(groups[i].keys, key)
 			}
 			continue
 		}
 		index[in.Value] = len(groups)
-		groups = append(groups, inputGroup{value: in.Value, source: key})
+		groups = append(groups, inputGroup{value: in.Value, keys: []string{key}})
 	}
 	return groups
 }
 
-// containsKey reports whether key already appears in the comma-joined
-// source list.
-func containsKey(source, key string) bool {
-	for source != "" {
-		next := ""
-		if i := strings.IndexByte(source, ','); i >= 0 {
-			source, next = source[:i], source[i+1:]
-		}
-		if source == key {
-			return true
-		}
-		source = next
-	}
-	return false
-}
-
-// matchInput returns the spans of query that input matches under the
-// threshold. Exact occurrences are all marked; otherwise the single best
-// approximate match is considered. ctx cancellation is observed only
-// inside the quadratic matcher (the fast paths are O(n)).
-func (a *Analyzer) matchInput(ctx context.Context, value, query string) ([]strdist.Match, error) {
+// matchInput returns the spans of query that value matches under the
+// threshold. Exact occurrences are marked as coalesced covered regions;
+// otherwise the single best approximate match is considered. The fast
+// path charges its probed bytes against the DP cell budget, the prefilter
+// is O(n), and the matcher observes ctx and the budget itself.
+func (a *Analyzer) matchInput(ctx context.Context, value, query string, st *checkState) ([]strdist.Match, error) {
 	// Fast path: every exact occurrence is a zero-distance match.
+	// Overlapping or adjacent occurrences coalesce into one region — a
+	// 1-byte value against a repetitive query marks covered stretches, not
+	// one marking per position.
 	if idx := strings.Index(query, value); idx >= 0 {
-		var out []strdist.Match
+		budget := a.dpCellBudget
+		out := []strdist.Match{{Start: idx, End: idx + len(value)}}
 		for from := idx; ; {
-			out = append(out, strdist.Match{Start: from, End: from + len(value)})
 			nxt := strings.Index(query[from+1:], value)
 			if nxt < 0 {
 				break
 			}
+			if budget > 0 {
+				if budget -= nxt + len(value); budget <= 0 {
+					return nil, fmt.Errorf("nti: exact-occurrence scan against %d-byte query: %w",
+						len(query), core.ErrOverBudget)
+				}
+			}
 			from = from + 1 + nxt
+			if last := &out[len(out)-1]; from <= last.End {
+				last.End = from + len(value)
+				continue
+			}
+			if len(out) >= maxExactRegions {
+				break
+			}
+			out = append(out, strdist.Match{Start: from, End: from + len(value)})
 		}
 		return out, nil
 	}
@@ -330,17 +467,24 @@ func (a *Analyzer) matchInput(ctx context.Context, value, query string) ([]strdi
 			return nil, nil
 		}
 	}
-	a.matcherCalls.Add(1)
-	if a.match != nil {
-		// Caller-supplied matcher (ablation baselines): no early exit and
-		// no cancellation checkpoint.
-		m := a.match(value, query)
-		if m.Ratio() < a.threshold {
-			return []strdist.Match{m}, nil
+	if a.prefilter {
+		a.prefilterChecks.Add(1)
+		var t0 time.Time
+		if st.timed {
+			t0 = time.Now()
 		}
-		return nil, nil
+		reject := a.prefilterReject(value, query, st)
+		if st.timed {
+			st.prefilterNs += int64(time.Since(t0))
+		}
+		if reject {
+			a.prefilterRejects.Add(1)
+			st.rejected = true
+			return nil, nil
+		}
 	}
-	m, found, pruned, err := strdist.SubstringMatchThresholdBudgetCtx(ctx, value, query, a.threshold, a.dpCellBudget)
+	a.matcherCalls.Add(1)
+	m, found, pruned, err := a.match.MatchThreshold(ctx, value, query, a.threshold, a.dpCellBudget)
 	if err != nil {
 		if errors.Is(err, strdist.ErrBudget) {
 			return nil, fmt.Errorf("nti: input match against %d-byte query: %w",

@@ -17,7 +17,7 @@ func inputs(kv ...string) []Input {
 
 func TestBenignInputNotFlagged(t *testing.T) {
 	// Figure 2A: benign numeric input.
-	a := New()
+	a := MustNew()
 	q := "SELECT * FROM data WHERE ID=1"
 	res := a.Analyze(q, nil, inputs("id", "1"))
 	if res.Attack {
@@ -31,7 +31,7 @@ func TestBenignInputNotFlagged(t *testing.T) {
 
 func TestTautologyDetected(t *testing.T) {
 	// Figure 2B: -1 OR 1 = 1 appears verbatim; OR and = are critical.
-	a := New()
+	a := MustNew()
 	payload := "-1 OR 1=1"
 	q := "SELECT * FROM data WHERE ID=" + payload
 	res := a.Analyze(q, nil, inputs("id", payload))
@@ -49,7 +49,7 @@ func TestTautologyDetected(t *testing.T) {
 }
 
 func TestUnionAttackDetected(t *testing.T) {
-	a := New()
+	a := MustNew()
 	payload := "-1 UNION SELECT username, password FROM users"
 	q := "SELECT * FROM posts WHERE id=" + payload
 	res := a.Analyze(q, nil, inputs("id", payload))
@@ -62,7 +62,7 @@ func TestMagicQuotesEvasion(t *testing.T) {
 	// Figure 2C: the application escapes quotes (magic quotes) inside a
 	// comment block the attacker stuffed with quotes, driving the edit
 	// distance above threshold. NTI must NOT match (that is the evasion).
-	a := New()
+	a := MustNew()
 	payload := `-1 OR 1=1 /*'''''*/`
 	// After addslashes, each ' becomes \'.
 	transformed := strings.ReplaceAll(payload, `'`, `\'`)
@@ -76,7 +76,7 @@ func TestMagicQuotesEvasion(t *testing.T) {
 func TestSmallTransformationStillMatches(t *testing.T) {
 	// The application trims a single trailing space (a small
 	// transformation); the ratio stays under 20% and NTI still flags OR.
-	a := New()
+	a := MustNew()
 	payload := "-1 OR 1=1 "
 	q := "SELECT * FROM t WHERE id=" + strings.TrimSpace(payload)
 	res := a.Analyze(q, nil, inputs("id", payload))
@@ -88,7 +88,7 @@ func TestSmallTransformationStillMatches(t *testing.T) {
 func TestShortInputNoFalsePositive(t *testing.T) {
 	// Single-letter inputs like "O" and "R" must not combine into OR, and
 	// a short input matching inside a token must not flag.
-	a := New()
+	a := MustNew()
 	q := "SELECT * FROM data WHERE category='OR'"
 	res := a.Analyze(q, nil, inputs("q1", "O", "q2", "R"))
 	if res.Attack {
@@ -98,7 +98,7 @@ func TestShortInputNoFalsePositive(t *testing.T) {
 
 func TestWholeTokenRule(t *testing.T) {
 	// Input "ELEC" matches inside SELECT but covers no whole token.
-	a := New()
+	a := MustNew()
 	q := "SELECT * FROM t"
 	res := a.Analyze(q, nil, inputs("x", "ELEC"))
 	if res.Attack {
@@ -109,7 +109,7 @@ func TestWholeTokenRule(t *testing.T) {
 func TestBase64EvasionMisses(t *testing.T) {
 	// The AdRotate case: input is base64; the query contains the decoded
 	// payload, so no correspondence exists and NTI misses the attack.
-	a := New()
+	a := MustNew()
 	encoded := "LTEgT1IgMT0x" // base64("-1 OR 1=1")
 	q := "SELECT * FROM ads WHERE id=-1 OR 1=1"
 	res := a.Analyze(q, nil, inputs("track", encoded))
@@ -121,7 +121,7 @@ func TestBase64EvasionMisses(t *testing.T) {
 func TestPayloadConstructionEvasion(t *testing.T) {
 	// Section III-A: payload split across inputs; no single input matches
 	// a whole critical token region under threshold.
-	a := New()
+	a := MustNew()
 	q := "SELECT * FROM data WHERE ID=1 OR TRUE"
 	res := a.Analyze(q, nil, inputs("q1", "1 OR 1=1", "q2", "R TR", "q3", "UE"))
 	// "1 OR 1=1" doesn't appear (app concatenated differently)...
@@ -134,7 +134,7 @@ func TestPayloadConstructionEvasion(t *testing.T) {
 }
 
 func TestMultipleExactOccurrencesAllMarked(t *testing.T) {
-	a := New()
+	a := MustNew()
 	q := "SELECT * FROM t WHERE a='x' OR b='x'"
 	res := a.Analyze(q, nil, inputs("v", "x"))
 	if len(res.Markings) != 2 {
@@ -143,7 +143,7 @@ func TestMultipleExactOccurrencesAllMarked(t *testing.T) {
 }
 
 func TestEmptyInputIgnored(t *testing.T) {
-	a := New()
+	a := MustNew()
 	res := a.Analyze("SELECT 1", nil, inputs("empty", ""))
 	if len(res.Markings) != 0 || res.Attack {
 		t.Errorf("empty input produced %+v", res)
@@ -155,11 +155,11 @@ func TestThresholdOption(t *testing.T) {
 	transformed := strings.ReplaceAll(payload, `'`, `\'`)
 	q := "SELECT * FROM data WHERE ID=" + transformed
 	// Distance 2 over ~18 bytes ≈ 11%: default threshold catches it...
-	strict := New(WithThreshold(0.05))
+	strict := MustNew(WithThreshold(0.05))
 	if res := strict.Analyze(q, nil, inputs("id", payload)); res.Attack {
 		t.Error("strict threshold should miss")
 	}
-	loose := New(WithThreshold(0.5))
+	loose := MustNew(WithThreshold(0.5))
 	if res := loose.Analyze(q, nil, inputs("id", payload)); !res.Attack {
 		t.Error("loose threshold should catch")
 	}
@@ -169,7 +169,7 @@ func TestThresholdOption(t *testing.T) {
 }
 
 func TestMaxInputLenSkipsQuadratic(t *testing.T) {
-	a := New(WithMaxInputLen(10))
+	a := MustNew(WithMaxInputLen(10))
 	long := strings.Repeat("z", 100) + " OR 1=1"
 	q := "SELECT * FROM t WHERE a=" + strings.Repeat("z", 99) + " OR 1=1"
 	res := a.Analyze(q, nil, []Input{{Source: "post", Name: "c", Value: long}})
@@ -186,7 +186,7 @@ func TestMaxInputLenSkipsQuadratic(t *testing.T) {
 }
 
 func TestPruningLongInputVsShortQuery(t *testing.T) {
-	a := New()
+	a := MustNew()
 	res := a.Analyze("SELECT 1", nil, inputs("big", strings.Repeat("a", 500)))
 	if res.Attack || len(res.Markings) != 0 {
 		t.Errorf("long input vs short query should be pruned: %+v", res)
@@ -194,7 +194,7 @@ func TestPruningLongInputVsShortQuery(t *testing.T) {
 }
 
 func TestWithMatcherNaive(t *testing.T) {
-	a := New(WithMatcher(strdist.NaiveSubstringMatch))
+	a := MustNew(WithMatcher(strdist.NaiveSubstringMatch))
 	payload := "-1 OR 1=2"
 	q := "SELECT * FROM t WHERE id=-1 OR 1=1" // one char differs
 	res := a.Analyze(q, nil, inputs("id", payload))
@@ -213,7 +213,7 @@ func TestInputKey(t *testing.T) {
 func TestSecondOrderMiss(t *testing.T) {
 	// Second-order attack: the payload was stored earlier and replayed
 	// from the database; the current request's inputs bear no relation.
-	a := New()
+	a := MustNew()
 	q := "SELECT * FROM t WHERE name='x' OR 1=1 -- '"
 	res := a.Analyze(q, nil, inputs("page", "about-us"))
 	if res.Attack {

@@ -17,7 +17,7 @@ func tracedSpan(t *testing.T, tr *trace.Tracer, query string) *trace.Span {
 }
 
 func TestAnalyzeTracedRecordsInputEvidence(t *testing.T) {
-	a := New()
+	a := MustNew()
 	tr := trace.New(trace.Config{SampleEvery: 1})
 	query := "SELECT * FROM records WHERE ID=-1 OR 1=1 LIMIT 5"
 	inputs := []Input{
@@ -45,6 +45,12 @@ func TestAnalyzeTracedRecordsInputEvidence(t *testing.T) {
 	if span.Inputs[1].Matched {
 		t.Fatal("non-matching input marked as matched")
 	}
+	if !span.Inputs[1].PrefilterRejected {
+		t.Fatal("hopeless input should carry prefilter-reject evidence")
+	}
+	if span.NTIPrefilterNs <= 0 {
+		t.Fatal("prefilter duration not accumulated")
+	}
 	// The lazy lex ran under tracing, so lex time must be attributed.
 	if span.LexNs <= 0 {
 		t.Fatal("lazy lex duration not recorded")
@@ -55,7 +61,7 @@ func TestAnalyzeTracedRecordsInputEvidence(t *testing.T) {
 }
 
 func TestAnalyzeTracedNilSpanMatchesAnalyze(t *testing.T) {
-	a := New()
+	a := MustNew()
 	query := "SELECT * FROM records WHERE ID=-1 UNION SELECT 1"
 	inputs := []Input{{Source: "get", Name: "id", Value: "-1 UNION SELECT 1"}}
 	plain := a.Analyze(query, nil, inputs)

@@ -148,7 +148,9 @@ func WritePrometheus(b *strings.Builder, s metrics.Snapshot) {
 		fmt.Fprintf(b, "# HELP joza_breaker_open Whether the daemon-transport breaker is open or half-open.\n# TYPE joza_breaker_open gauge\njoza_breaker_open %d\n", open)
 	}
 	counter("joza_nti_matcher_calls_total", "Invocations of the approximate matcher.", s.NTIMatcherCalls)
-	counter("joza_nti_matcher_early_exits_total", "Matcher runs abandoned by the threshold band.", s.NTIMatcherEarlyExits)
+	counter("joza_nti_matcher_early_exits_total", "Matcher runs abandoned early (threshold band or scan miss).", s.NTIMatcherEarlyExits)
+	counter("joza_nti_prefilter_checks_total", "Input-query pairs examined by the q-gram prefilter.", s.NTIPrefilterChecks)
+	counter("joza_nti_prefilter_rejects_total", "Pairs rejected by the q-gram prefilter before any matcher ran.", s.NTIPrefilterRejects)
 
 	fmt.Fprintf(b, "# HELP joza_pti_cache_lookups_total PTI cache lookups by outcome.\n# TYPE joza_pti_cache_lookups_total counter\n")
 	fmt.Fprintf(b, "joza_pti_cache_lookups_total{outcome=\"query_hit\"} %d\n", s.CacheQueryHits)

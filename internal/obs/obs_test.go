@@ -22,7 +22,10 @@ func testSnapshot() metrics.Snapshot {
 	c.ObserveStage(metrics.StageLex, time.Microsecond)
 	c.ObserveStage(metrics.StagePTICover, 3*time.Microsecond)
 	c.ObserveStage(metrics.StageNTIMatch, 5*time.Microsecond)
+	c.ObserveStage(metrics.StageNTIPrefilter, 2*time.Microsecond)
 	s := c.Snapshot()
+	s.NTIPrefilterChecks = 6
+	s.NTIPrefilterRejects = 5
 	s.CacheQueryHits = 7
 	s.CacheMisses = 2
 	s.DaemonAnalyzeOps = 9
@@ -75,6 +78,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		`joza_stage_duration_seconds_bucket{stage="lex"`,
 		`joza_stage_duration_seconds_bucket{stage="pti_cover"`,
 		`joza_stage_duration_seconds_count{stage="nti_match"} 1`,
+		`joza_stage_duration_seconds_count{stage="nti_prefilter"} 1`,
+		"joza_nti_prefilter_checks_total 6",
+		"joza_nti_prefilter_rejects_total 5",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q\n%s", want, body)

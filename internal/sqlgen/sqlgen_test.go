@@ -149,7 +149,7 @@ func TestQuotedContext(t *testing.T) {
 func TestGeneratedPayloadsDetectedByNTI(t *testing.T) {
 	// Table II: NTI detects all generated variants (they appear verbatim
 	// in the query).
-	analyzer := nti.New()
+	analyzer := nti.MustNew()
 	for _, typ := range []AttackType{Union, StandardBlind, DoubleBlind, Tautology} {
 		for _, p := range Generate(typ, Context{}, 40) {
 			q := "SELECT id, title FROM posts WHERE id=" + p
@@ -228,7 +228,7 @@ func TestErrorBasedPayloadsLeakThroughErrors(t *testing.T) {
 }
 
 func TestErrorBasedDetectedByNTI(t *testing.T) {
-	analyzer := nti.New()
+	analyzer := nti.MustNew()
 	for _, p := range Generate(ErrorBased, Context{}, 20) {
 		q := "SELECT id, title FROM posts WHERE id=" + p
 		res := analyzer.Analyze(q, nil, []nti.Input{{Source: "get", Name: "id", Value: p}})

@@ -1,0 +1,80 @@
+package strdist
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// FuzzMatcherEquivalence cross-checks every matcher implementation in the
+// package on the same pair: the naive reference, the plain Sellers DP,
+// the threshold-banded DP, and the bit-parallel engine. Naive and Sellers
+// must agree on the best distance and report spans that really carry it
+// (their tie-breaks can legitimately pick different equal-distance spans:
+// Sellers tracks one start per end column). The banded and bit-parallel
+// engines must reproduce the Sellers result bit-identically — distance,
+// span tie-breaking, and the threshold decision. Any divergence is a
+// correctness bug in one of the optimized paths.
+func FuzzMatcherEquivalence(f *testing.F) {
+	f.Add("admin", "SELECT * FROM users WHERE name='admin'", uint8(2))
+	f.Add("1 OR 1=1", "SELECT * FROM t WHERE id=1 OR 1=1", uint8(2))
+	f.Add("x", strings.Repeat("x", 200), uint8(1))
+	f.Add("", "SELECT 1", uint8(3))
+	f.Add(strings.Repeat("ab", 40), strings.Repeat("ba", 60), uint8(4))
+	f.Fuzz(func(t *testing.T, input, query string, sel uint8) {
+		const maxFuzzLen = 512
+		if len(input) > maxFuzzLen || len(query) > maxFuzzLen {
+			t.Skip()
+		}
+		threshold := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.8}[int(sel)%6]
+		ctx := context.Background()
+
+		plain := SubstringMatch(input, query)
+
+		// Distance and span validity: plain Sellers vs the naive reference
+		// (kept to small shapes — the reference is O(n·m³)).
+		if len(input) <= 24 && len(query) <= 48 {
+			naive := NaiveSubstringMatch(input, query)
+			if naive.Distance != plain.Distance {
+				t.Fatalf("distance: naive=%+v plain=%+v (input=%q query=%q)", naive, plain, input, query)
+			}
+			if len(input) > 0 {
+				if d := Levenshtein(input, query[plain.Start:plain.End]); d != plain.Distance {
+					t.Fatalf("plain span %q carries distance %d, reported %d (input=%q)",
+						query[plain.Start:plain.End], d, plain.Distance, input)
+				}
+			}
+		}
+
+		// Threshold decision and selected span: banded vs plain-derived
+		// decision.
+		banded, bandedFound, _, err := SubstringMatchThresholdBudgetCtx(ctx, input, query, threshold, 0)
+		if err != nil {
+			t.Fatalf("banded error: %v", err)
+		}
+		plainFound := len(input) > 0 && len(query) > 0 && plain.Ratio() < threshold
+		if bandedFound != plainFound {
+			t.Fatalf("threshold decision: banded=%v plain=%v (input=%q query=%q th=%v plain match=%+v)",
+				bandedFound, plainFound, input, query, threshold, plain)
+		}
+		if bandedFound && banded != plain {
+			t.Fatalf("span tie-breaking: banded=%+v plain=%+v (input=%q query=%q th=%v)",
+				banded, plain, input, query, threshold)
+		}
+
+		// Bit-parallel engine vs banded: identical decisions, bit-identical
+		// matches when found.
+		bp, bpFound, _, err := BitParallelThresholdBudgetCtx(ctx, input, query, threshold, 0)
+		if err != nil {
+			t.Fatalf("bitparallel error: %v", err)
+		}
+		if bpFound != bandedFound {
+			t.Fatalf("bitparallel decision=%v banded=%v (input=%q query=%q th=%v)",
+				bpFound, bandedFound, input, query, threshold)
+		}
+		if bpFound && bp != banded {
+			t.Fatalf("bitparallel match=%+v banded=%+v (input=%q query=%q th=%v)",
+				bp, banded, input, query, threshold)
+		}
+	})
+}

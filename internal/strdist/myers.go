@@ -1,0 +1,276 @@
+// Myers' bit-parallel approximate matching: the inner loop of the
+// threshold matcher, rewritten to compute 64 DP columns' worth of cells
+// per machine word.
+//
+// The observation (Myers 1999) is that adjacent cells of the unit-cost
+// edit DP differ by -1, 0 or +1, so a whole DP column (here: all rows of
+// one query position) can be represented by two bit vectors — positive
+// and negative vertical deltas — and advanced with a constant number of
+// word operations. In Sellers "search" mode (row 0 pinned to zero, a
+// match may start anywhere) the recurrence yields the DP's last row,
+// dp[n][j], for every query position j: exactly the per-column candidate
+// distances SubstringMatchThresholdBudgetCtx derives cell by cell.
+//
+// Bit-parallelism cannot cheaply track *where* a match started, and the
+// matched span (with the package's distance/length/end tie-breaking) is
+// part of the matcher contract. So the bit-parallel engine is split:
+//
+//   - a scan pass (this file) answers "does any query position end a
+//     candidate within the distance cap?" at ~64 cells per word op, and
+//   - only on a hit does the Sellers DP run to extract the span, with
+//     its original tie-breaking, so results are bit-identical to the
+//     cell-at-a-time matcher by construction.
+//
+// Misses — the overwhelming majority of input×query pairs on benign
+// traffic — never run the cell-at-a-time DP at all.
+package strdist
+
+import (
+	"context"
+	"sync"
+)
+
+// wordsPerBlock is the pattern width one machine word covers.
+const wordsPerBlock = 64
+
+// wordPool recycles the block-state buffers of the multi-word scan
+// (pattern masks plus the two delta vectors), mirroring rowPool's
+// zero-steady-state-allocation discipline.
+var wordPool = sync.Pool{
+	New: func() any {
+		s := make([]uint64, 0, 2*(256+2))
+		return &s
+	},
+}
+
+func getWords(n int) (*[]uint64, []uint64) {
+	p := wordPool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	buf := (*p)[:n]
+	return p, buf
+}
+
+func putWords(p *[]uint64) { wordPool.Put(p) }
+
+// MaxQualifyingDistance returns a safe upper bound on the edit distance
+// of any substring match whose difference ratio is strictly below
+// threshold, for an n-byte input against an m-byte query. A match of
+// span length L has distance d ≥ |L−n| and needs d < threshold·L, so
+// d < threshold·n/(1−threshold); and L ≤ m caps d < threshold·m. Any
+// candidate above the returned bound provably cannot satisfy the
+// threshold — the pruning fact behind both the bit-parallel scan cap and
+// NTI's q-gram prefilter. A result of 0 means only exact occurrences can
+// qualify.
+func MaxQualifyingDistance(n int, threshold float64, m int) int {
+	if n == 0 || m == 0 || threshold <= 0 {
+		return 0
+	}
+	if threshold >= 1 {
+		// Degenerate configuration: the length argument gives no bound
+		// (dp values never exceed n anyway).
+		return n
+	}
+	k := int(threshold * float64(n) / (1 - threshold))
+	if k2 := int(threshold * float64(m)); k2 < k {
+		k = k2
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// BitParallelThresholdBudgetCtx is the bit-parallel drop-in for
+// SubstringMatchThresholdBudgetCtx: same threshold semantics (strict
+// inequality on the difference ratio), same tie-breaking, same ctx
+// polling cadence and ErrBudget accounting.
+//
+// It first derives the tightest distance cap any qualifying match could
+// carry (MaxQualifyingDistance) and runs the Myers scan under that cap.
+// A scan miss proves no qualifying substring exists and returns
+// found=false with no cell-at-a-time work; pruned is true because the
+// scan abandoned the comparison early. On a hit — or for shapes where
+// the scan cannot pay for itself — the Sellers matcher runs and its
+// result is returned verbatim, so every found match is bit-identical to
+// SubstringMatchThresholdBudgetCtx's. When found is false the returned
+// Match is not meaningful (as documented on SubstringMatchThreshold).
+func BitParallelThresholdBudgetCtx(ctx context.Context, input, query string, threshold float64, maxCells int) (m Match, found, pruned bool, err error) {
+	n := len(input)
+	mq := len(query)
+	if n == 0 || mq == 0 {
+		return SubstringMatchThresholdBudgetCtx(ctx, input, query, threshold, maxCells)
+	}
+	kScan := MaxQualifyingDistance(n, threshold, mq)
+	if kScan >= n {
+		// The scan would hit on its first column (dp[n][j] never exceeds
+		// n); go straight to extraction.
+		return SubstringMatchThresholdBudgetCtx(ctx, input, query, threshold, maxCells)
+	}
+	if n-mq > kScan {
+		// Even consuming the whole query leaves too many input bytes
+		// unmatched (mirrors the Sellers quick reject).
+		return Match{Distance: n}, false, true, nil
+	}
+	blocks := (n + wordsPerBlock - 1) / wordsPerBlock
+	if blocks > 1 && 3*blocks > kScan+1 {
+		// Multi-word scan columns would cost about as much as the banded
+		// Sellers columns they try to avoid; skip straight to the DP.
+		return SubstringMatchThresholdBudgetCtx(ctx, input, query, threshold, maxCells)
+	}
+	var (
+		hit   bool
+		cells int
+	)
+	if blocks == 1 {
+		hit, cells, err = myersScan64(ctx, input, query, kScan, maxCells)
+	} else {
+		hit, cells, err = myersScanBlocks(ctx, input, query, kScan, maxCells)
+	}
+	if err != nil {
+		return Match{}, false, false, err
+	}
+	if !hit {
+		return Match{Distance: n}, false, true, nil
+	}
+	if maxCells > 0 {
+		maxCells -= cells
+		if maxCells <= 0 {
+			return Match{}, false, false, ErrBudget
+		}
+	}
+	return SubstringMatchThresholdBudgetCtx(ctx, input, query, threshold, maxCells)
+}
+
+// myersScan64 is the single-word scan (len(input) ≤ 64). It reports
+// whether any query position j has dp[n][j] ≤ k, charging len(input)
+// cells per column against maxCells and polling ctx on the same cadence
+// as the cell-at-a-time matchers.
+func myersScan64(ctx context.Context, input, query string, k, maxCells int) (hit bool, cells int, err error) {
+	n := len(input)
+	var peq [256]uint64
+	for i := 0; i < n; i++ {
+		peq[input[i]] |= 1 << uint(i)
+	}
+	top := uint64(1) << uint(n-1)
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := n
+	done := ctx.Done()
+	for j := 0; j < len(query); j++ {
+		if done != nil && j&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return false, cells, ctx.Err()
+			default:
+			}
+		}
+		if maxCells > 0 {
+			if cells += n; cells > maxCells {
+				return false, cells, ErrBudget
+			}
+		}
+		eq := peq[query[j]]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&top != 0 {
+			score++
+		} else if mh&top != 0 {
+			score--
+		}
+		// Search mode: row 0 stays zero across columns, so the shifted-in
+		// horizontal deltas are 0 (no "+1" carry of the global-distance
+		// variant).
+		ph <<= 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		if score <= k {
+			return true, cells, nil
+		}
+	}
+	return false, cells, nil
+}
+
+// advanceBlock advances one 64-row block of the multi-word scan by one
+// query column, taking the horizontal delta entering the block's bottom
+// row (hin ∈ {-1,0,+1}) and returning the delta leaving its top row.
+func advanceBlock(pv, mv *uint64, eq uint64, top uint64, hin int) int {
+	xv := eq | *mv
+	if hin < 0 {
+		eq |= 1
+	}
+	xh := (((eq & *pv) + *pv) ^ *pv) | eq
+	ph := *mv | ^(xh | *pv)
+	mh := *pv & xh
+	hout := 0
+	if ph&top != 0 {
+		hout = 1
+	} else if mh&top != 0 {
+		hout = -1
+	}
+	ph <<= 1
+	mh <<= 1
+	if hin > 0 {
+		ph |= 1
+	} else if hin < 0 {
+		mh |= 1
+	}
+	*pv = mh | ^(xv | ph)
+	*mv = ph & xv
+	return hout
+}
+
+// myersScanBlocks is the multi-word scan for inputs longer than 64
+// bytes: ⌈n/64⌉ blocks per column, horizontal deltas carried between
+// blocks, score tracked at the pattern's last row. Semantics match
+// myersScan64.
+func myersScanBlocks(ctx context.Context, input, query string, k, maxCells int) (hit bool, cells int, err error) {
+	n := len(input)
+	blocks := (n + wordsPerBlock - 1) / wordsPerBlock
+	tok, buf := getWords((256 + 2) * blocks)
+	defer putWords(tok)
+	peq := buf[:256*blocks]
+	for i := range peq {
+		peq[i] = 0
+	}
+	pv := buf[256*blocks : 257*blocks]
+	mv := buf[257*blocks : 258*blocks]
+	for b := 0; b < blocks; b++ {
+		pv[b] = ^uint64(0)
+		mv[b] = 0
+	}
+	for i := 0; i < n; i++ {
+		peq[int(input[i])*blocks+i/wordsPerBlock] |= 1 << uint(i%wordsPerBlock)
+	}
+	lastTop := uint64(1) << uint((n-1)%wordsPerBlock)
+	score := n
+	done := ctx.Done()
+	for j := 0; j < len(query); j++ {
+		if done != nil && j&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return false, cells, ctx.Err()
+			default:
+			}
+		}
+		if maxCells > 0 {
+			if cells += n; cells > maxCells {
+				return false, cells, ErrBudget
+			}
+		}
+		c := int(query[j]) * blocks
+		hin := 0
+		for b := 0; b < blocks-1; b++ {
+			hin = advanceBlock(&pv[b], &mv[b], peq[c+b], 1<<63, hin)
+		}
+		score += advanceBlock(&pv[blocks-1], &mv[blocks-1], peq[c+blocks-1], lastTop, hin)
+		if score <= k {
+			return true, cells, nil
+		}
+	}
+	return false, cells, nil
+}

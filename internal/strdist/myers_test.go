@@ -1,0 +1,235 @@
+package strdist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomText draws from a small alphabet so random pairs actually share
+// near-matches instead of diverging immediately.
+func randomText(rng *rand.Rand, n int) string {
+	const alphabet = "abcdeXYZ '=-_()1%"
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+// TestBitParallelEquivalenceRandom is the core safety net: on random
+// pairs across both scan widths, the bit-parallel matcher must agree
+// with the Sellers matcher on the threshold decision and, when found,
+// return a bit-identical Match.
+func TestBitParallelEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	thresholds := []float64{0.1, 0.2, 0.35, 0.5}
+	for trial := 0; trial < 4000; trial++ {
+		n := 1 + rng.Intn(90) // crosses the 64-byte single-word boundary
+		m := 1 + rng.Intn(160)
+		input := randomText(rng, n)
+		query := randomText(rng, m)
+		if trial%3 == 0 && m > n {
+			// Plant a mutated copy of the input so found=true happens often.
+			pos := rng.Intn(m - n)
+			mutated := []byte(input)
+			for i := 0; i < rng.Intn(3); i++ {
+				mutated[rng.Intn(len(mutated))] = byte('a' + rng.Intn(4))
+			}
+			query = query[:pos] + string(mutated) + query[pos+n:]
+		}
+		th := thresholds[rng.Intn(len(thresholds))]
+		want, wantFound, _, err := SubstringMatchThresholdBudgetCtx(context.Background(), input, query, th, 0)
+		if err != nil {
+			t.Fatalf("sellers error: %v", err)
+		}
+		got, gotFound, _, err := BitParallelThresholdBudgetCtx(context.Background(), input, query, th, 0)
+		if err != nil {
+			t.Fatalf("bitparallel error: %v", err)
+		}
+		if gotFound != wantFound {
+			t.Fatalf("trial %d: found mismatch: sellers=%v bitparallel=%v (input=%q query=%q th=%v)",
+				trial, wantFound, gotFound, input, query, th)
+		}
+		if wantFound && got != want {
+			t.Fatalf("trial %d: match mismatch: sellers=%+v bitparallel=%+v (input=%q query=%q th=%v)",
+				trial, want, got, input, query, th)
+		}
+	}
+}
+
+// TestMyersScanMatchesLastRow drives the scan against the naive DP's
+// last row on exhaustive small cases: the scan must hit exactly when
+// some column's last-row value is within the cap.
+func TestMyersScanMatchesLastRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(18)
+		input := randomText(rng, n)
+		query := randomText(rng, m)
+		k := rng.Intn(n + 1)
+		// Reference: Sellers DP last row via the plain matcher machinery.
+		want := false
+		prev := make([]int, n+1)
+		cur := make([]int, n+1)
+		for i := 0; i <= n; i++ {
+			prev[i] = i
+		}
+		for j := 1; j <= m; j++ {
+			cur[0] = 0
+			for i := 1; i <= n; i++ {
+				cost := 1
+				if input[i-1] == query[j-1] {
+					cost = 0
+				}
+				cur[i] = min3(prev[i-1]+cost, prev[i]+1, cur[i-1]+1)
+			}
+			if cur[n] <= k {
+				want = true
+			}
+			prev, cur = cur, prev
+		}
+		got, _, err := myersScan64(context.Background(), input, query, k, 0)
+		if err != nil {
+			t.Fatalf("scan error: %v", err)
+		}
+		if got != want {
+			t.Fatalf("scan64 mismatch: input=%q query=%q k=%d got=%v want=%v", input, query, k, got, want)
+		}
+		// The block variant must agree even when a single word would do.
+		gotB, _, err := myersScanBlocks(context.Background(), input, query, k, 0)
+		if err != nil {
+			t.Fatalf("block scan error: %v", err)
+		}
+		if gotB != want {
+			t.Fatalf("scanBlocks mismatch: input=%q query=%q k=%d got=%v want=%v", input, query, k, gotB, want)
+		}
+	}
+}
+
+// TestMyersScanBlocksLongInput checks the carry chain across block
+// boundaries with inputs well past 64 bytes.
+func TestMyersScanBlocksLongInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		n := 65 + rng.Intn(200)
+		input := randomText(rng, n)
+		query := randomText(rng, 40) + input + randomText(rng, 40)
+		hit, _, err := myersScanBlocks(context.Background(), input, query, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Fatalf("exact occurrence not found at k=0 (n=%d)", n)
+		}
+		// A disjoint-alphabet input can't come within any sane cap.
+		miss := strings.Repeat("#", n)
+		hit, _, err = myersScanBlocks(context.Background(), miss, query, n/5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatalf("disjoint input reported within distance %d", n/5)
+		}
+	}
+}
+
+func TestMaxQualifyingDistance(t *testing.T) {
+	cases := []struct {
+		n    int
+		th   float64
+		m    int
+		want int
+	}{
+		{0, 0.2, 100, 0},
+		{40, 0, 100, 0},
+		{4, 0.2, 100, 1},   // 0.2*4/0.8 = 1.0 → conservative floor keeps 1
+		{3, 0.2, 100, 0},   // 0.75 → 0: only exact matches can qualify
+		{40, 0.2, 100, 10}, // 0.2*40/0.8 = 10
+		{400, 0.2, 50, 10}, // query-length cap: 0.2*50 = 10
+		{10, 1.5, 100, 10}, // degenerate threshold caps at n
+	}
+	for _, c := range cases {
+		if got := MaxQualifyingDistance(c.n, c.th, c.m); got != c.want {
+			t.Errorf("MaxQualifyingDistance(%d, %v, %d) = %d, want %d", c.n, c.th, c.m, got, c.want)
+		}
+	}
+	// Soundness on random shapes: every threshold-qualifying match found
+	// by the reference matcher must carry distance ≤ the bound.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(40)
+		m := 1 + rng.Intn(80)
+		th := []float64{0.1, 0.2, 0.5}[rng.Intn(3)]
+		input := randomText(rng, n)
+		query := randomText(rng, m)
+		got, found, _ := SubstringMatchThreshold(input, query, th)
+		if found && got.Distance > MaxQualifyingDistance(n, th, m) {
+			t.Fatalf("qualifying match distance %d exceeds bound %d (n=%d m=%d th=%v)",
+				got.Distance, MaxQualifyingDistance(n, th, m), n, m, th)
+		}
+	}
+}
+
+func TestBitParallelBudget(t *testing.T) {
+	input := strings.Repeat("x", 40)
+	query := strings.Repeat("y", 4000)
+	// Generous budget: same decision as unbudgeted.
+	if _, found, _, err := BitParallelThresholdBudgetCtx(context.Background(), input, query, 0.2, 1<<24); err != nil || found {
+		t.Fatalf("generous budget: found=%v err=%v", found, err)
+	}
+	// Tiny budget: the scan itself must charge cells and trip ErrBudget.
+	_, _, _, err := BitParallelThresholdBudgetCtx(context.Background(), input, query, 0.2, 100)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("tiny budget: err=%v, want ErrBudget", err)
+	}
+}
+
+func TestBitParallelCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	input := strings.Repeat("x", 40)
+	query := strings.Repeat("x", 100000)
+	_, _, _, err := BitParallelThresholdBudgetCtx(ctx, input, query, 0.2, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+// TestBitParallelZeroAlloc mirrors TestSubstringMatchZeroAlloc: once the
+// pools are warm, neither scan width may allocate.
+func TestBitParallelZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	short := randomText(rand.New(rand.NewSource(1)), 48)
+	long := randomText(rand.New(rand.NewSource(2)), 90)
+	query := randomText(rand.New(rand.NewSource(3)), 300)
+	run := func(input string) {
+		if _, _, _, err := BitParallelThresholdBudgetCtx(context.Background(), input, query, 0.2, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(short)
+	run(long) // warm wordPool
+	allocs := testing.AllocsPerRun(100, func() {
+		run(short)
+		run(long)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocations = %v, want 0", allocs)
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -404,8 +404,10 @@ func SubstringMatchThresholdBudgetCtx(ctx context.Context, input, query string, 
 // NaiveSubstringMatch is the unoptimized O(n²·m²)-flavoured matcher: it
 // evaluates full-matrix Levenshtein for every substring of query against
 // input. It exists so benchmarks can quantify the cost the paper's
-// optimizations remove. Results are tie-broken identically to
-// SubstringMatch.
+// optimizations remove. It agrees with SubstringMatch on the best
+// distance, but among equal-distance spans the two may pick different
+// winners: this matcher tie-breaks over every (start, end) pair, while
+// the Sellers DP tracks a single diagonal-preferred start per end column.
 func NaiveSubstringMatch(input, query string) Match {
 	n := len(input)
 	m := len(query)

@@ -77,7 +77,7 @@ func (l *Lab) EvaluateBaselines() ([]BaselineRow, error) {
 	detectors := []baseline.Detector{
 		baseline.NewRegexWAF(),
 		baseline.Candid{},
-		baseline.NTIDetector{Analyzer: nti.New()},
+		baseline.NTIDetector{Analyzer: nti.MustNew()},
 		ptiDetector{analyzer: pti.New(l.Fragments)},
 		guardDetector{guard: l.Guard},
 	}

@@ -40,6 +40,9 @@ type InputMatch struct {
 	MatchNs int64 `json:"matchNs"`
 	// Matched reports whether a span under the threshold was found.
 	Matched bool `json:"matched"`
+	// PrefilterRejected reports that the q-gram prefilter proved no
+	// qualifying match could exist, so no matcher ran for this input.
+	PrefilterRejected bool `json:"prefilterRejected,omitempty"`
 	// Start and End delimit the tainted span of the query when Matched.
 	Start int `json:"start,omitempty"`
 	End   int `json:"end,omitempty"`
@@ -92,6 +95,9 @@ type Span struct {
 	PTICoverNs int64 `json:"ptiCoverNs,omitempty"`
 	// NTIMatchNs is the summed per-input approximate-match time.
 	NTIMatchNs int64 `json:"ntiMatchNs,omitempty"`
+	// NTIPrefilterNs is the portion of NTIMatchNs spent in the q-gram
+	// prefilter (gram-set build plus per-input counting).
+	NTIPrefilterNs int64 `json:"ntiPrefilterNs,omitempty"`
 
 	// Attack is the hybrid verdict; NTIAttack/PTIAttack attribute it.
 	Attack    bool `json:"attack"`
@@ -148,6 +154,15 @@ func (s *Span) NTIMatch(d time.Duration) {
 		return
 	}
 	s.NTIMatchNs += int64(d)
+}
+
+// NTIPrefilter adds q-gram prefilter time (a sub-portion of the match
+// time recorded via AddInput).
+func (s *Span) NTIPrefilter(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.NTIPrefilterNs += int64(d)
 }
 
 // SetCacheOutcome records the PTI cache verdict.

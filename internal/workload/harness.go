@@ -159,7 +159,7 @@ func NewProtection(name string, site *Site, v PTIVariant, withNTI bool) (prot *P
 		}
 	}
 	if withNTI {
-		p.NTI = nti.New()
+		p.NTI = nti.MustNew()
 	}
 	return p, stop
 }

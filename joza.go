@@ -341,7 +341,10 @@ func New(opts ...Option) (*Guard, error) {
 		}
 		if !cfg.disableNTI {
 			ntiOpts := append([]nti.Option{nti.WithThreshold(cfg.threshold)}, cfg.ntiOptions...)
-			a := nti.New(ntiOpts...)
+			a, err := nti.New(ntiOpts...)
+			if err != nil {
+				return nil, err
+			}
 			snap.NTI = a
 			snap.Analyzers = append(snap.Analyzers, engine.NTIStage{Analyzer: a})
 		}
@@ -475,6 +478,8 @@ func (g *Guard) Metrics() Metrics {
 		st := es.NTI.Stats()
 		snap.NTIMatcherCalls = st.MatcherCalls
 		snap.NTIMatcherEarlyExits = st.EarlyExits
+		snap.NTIPrefilterChecks = st.PrefilterChecks
+		snap.NTIPrefilterRejects = st.PrefilterRejects
 	}
 	return snap
 }

@@ -70,7 +70,7 @@ func DialDaemonPool(addr string, cfg DaemonPoolConfig) *DaemonPool {
 // transport with the default NTI analyzer and terminate policy; options
 // adjust the degradation mode, policy, metrics collector and audit log.
 func NewRemoteGuard(transport DaemonTransport, opts ...RemoteGuardOption) *RemoteGuard {
-	return daemon.NewHybridClient(transport, nti.New(), core.PolicyTerminate, opts...)
+	return daemon.NewHybridClient(transport, nti.MustNew(), core.PolicyTerminate, opts...)
 }
 
 // WithRemoteDegradeMode sets what a RemoteGuard does when the daemon is
