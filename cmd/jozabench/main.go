@@ -9,6 +9,7 @@
 //	jozabench -metrics    # run the mix through one Guard, print its counters
 //	jozabench -transport  # single daemon connection vs connection pool
 //	jozabench -nti        # NTI matcher before/after (Sellers vs bit-parallel+prefilter)
+//	jozabench -scale      # wire batch-size sweep and 1/2/4-shard fleet sweep
 //	jozabench -all        # everything
 //	jozabench -all -json bench.json   # also write results as JSON
 //	jozabench -diff old.json new.json # compare two -json reports (warn-only)
@@ -54,6 +55,7 @@ type benchReport struct {
 	Transport    *transportResult       `json:"transport,omitempty"`
 	GuardMetrics *joza.Metrics          `json:"guardMetrics,omitempty"`
 	NTIBench     *ntiBenchResult        `json:"ntiBench,omitempty"`
+	Scale        *scaleResult           `json:"scale,omitempty"`
 }
 
 // transportResult is the measured outcome of the transport comparison.
@@ -83,6 +85,8 @@ func run(args []string) error {
 	transport := fs.Bool("transport", false, "compare one shared daemon connection against a connection pool under concurrency")
 	poolSize := fs.Int("pool", 8, "with -transport: pool size and worker count")
 	ntiBench := fs.Bool("nti", false, "benchmark the NTI matcher before/after the bit-parallel engine and prefilter")
+	scale := fs.Bool("scale", false, "sweep wire batch sizes and 1/2/4-shard fleets")
+	rtt := fs.Duration("rtt", 3*time.Millisecond, "with -scale: simulated per-frame network RTT for the shard sweep (0 disables)")
 	diff := fs.String("diff", "", "compare this previous -json report against a second report given as a positional argument; warn-only")
 	all := fs.Bool("all", false, "run everything")
 	urls := fs.Int("urls", 1001, "crawl-space size (unique URLs)")
@@ -98,7 +102,7 @@ func run(args []string) error {
 		}
 		return runDiff(*diff, fs.Arg(0))
 	}
-	if !*all && *table == 0 && *figure == 0 && !*showMetrics && !*transport && !*ntiBench {
+	if !*all && *table == 0 && *figure == 0 && !*showMetrics && !*transport && !*ntiBench && !*scale {
 		*all = true
 	}
 
@@ -186,6 +190,13 @@ func run(args []string) error {
 			return err
 		}
 		report.NTIBench = nb
+	}
+	if *all || *scale {
+		sc, err := runScaleBench(site, *requests, *poolSize*2, *rtt)
+		if err != nil {
+			return err
+		}
+		report.Scale = sc
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

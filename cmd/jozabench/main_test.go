@@ -19,6 +19,44 @@ func TestRunSmall(t *testing.T) {
 	}
 }
 
+// TestRunScaleSmall smoke-runs the batch and shard sweeps at smoke size
+// with the simulated RTT off, and checks the JSON section's shape: five
+// batch rows, three fleet sizes, positive throughput everywhere.
+func TestRunScaleSmall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scale.json")
+	err := run([]string{"-scale", "-rtt", "0", "-requests", "10", "-urls", "20", "-json", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if report.Scale == nil {
+		t.Fatal("scale section missing")
+	}
+	if len(report.Scale.Batch) != 5 {
+		t.Fatalf("batch sweep has %d rows, want 5", len(report.Scale.Batch))
+	}
+	for _, b := range report.Scale.Batch {
+		if b.QPS <= 0 || b.PerCheckNs <= 0 {
+			t.Fatalf("batch row %+v not measured", b)
+		}
+	}
+	if len(report.Scale.ShardSweep) != 3 {
+		t.Fatalf("shard sweep has %d rows, want 3", len(report.Scale.ShardSweep))
+	}
+	for i, s := range report.Scale.ShardSweep {
+		if s.Shards != []int{1, 2, 4}[i] || s.QPS <= 0 || s.Speedup <= 0 {
+			t.Fatalf("shard row %+v not measured", s)
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag must error")

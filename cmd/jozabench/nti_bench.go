@@ -179,31 +179,74 @@ func runDiff(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if oldR.NTIBench == nil || newR.NTIBench == nil {
-		fmt.Printf("diff: no ntiBench section in %s or %s; nothing to compare\n", oldPath, newPath)
-		return nil
-	}
-	oldByShape := map[int]ntiShapeResult{}
-	for _, s := range oldR.NTIBench.Shapes {
-		oldByShape[s.Inputs] = s
-	}
-	regressions := 0
-	for _, cur := range newR.NTIBench.Shapes {
-		prev, ok := oldByShape[cur.Inputs]
-		if !ok || prev.BitParallelNsPerCheck <= 0 {
-			continue
+	regressions, compared := 0, 0
+	if oldR.NTIBench != nil && newR.NTIBench != nil {
+		oldByShape := map[int]ntiShapeResult{}
+		for _, s := range oldR.NTIBench.Shapes {
+			oldByShape[s.Inputs] = s
 		}
-		ratio := cur.BitParallelNsPerCheck / prev.BitParallelNsPerCheck
-		fmt.Printf("diff: %2d inputs: %9.0f -> %9.0f ns/check (%+.1f%%)\n",
-			cur.Inputs, prev.BitParallelNsPerCheck, cur.BitParallelNsPerCheck, (ratio-1)*100)
-		if ratio > tolerance {
-			regressions++
-			fmt.Printf("::warning title=jozabench matcher regression::%d-input shape: %.0f ns/check vs %.0f previously (%+.1f%%, tolerance +20%%)\n",
-				cur.Inputs, cur.BitParallelNsPerCheck, prev.BitParallelNsPerCheck, (ratio-1)*100)
+		for _, cur := range newR.NTIBench.Shapes {
+			prev, ok := oldByShape[cur.Inputs]
+			if !ok || prev.BitParallelNsPerCheck <= 0 {
+				continue
+			}
+			compared++
+			ratio := cur.BitParallelNsPerCheck / prev.BitParallelNsPerCheck
+			fmt.Printf("diff: %2d inputs: %9.0f -> %9.0f ns/check (%+.1f%%)\n",
+				cur.Inputs, prev.BitParallelNsPerCheck, cur.BitParallelNsPerCheck, (ratio-1)*100)
+			if ratio > tolerance {
+				regressions++
+				fmt.Printf("::warning title=jozabench matcher regression::%d-input shape: %.0f ns/check vs %.0f previously (%+.1f%%, tolerance +20%%)\n",
+					cur.Inputs, cur.BitParallelNsPerCheck, prev.BitParallelNsPerCheck, (ratio-1)*100)
+			}
 		}
 	}
-	if regressions == 0 {
-		fmt.Println("diff: matcher numbers within tolerance")
+	if oldR.Scale != nil && newR.Scale != nil {
+		oldBatch := map[int]batchSweepRow{}
+		for _, b := range oldR.Scale.Batch {
+			oldBatch[b.BatchSize] = b
+		}
+		for _, cur := range newR.Scale.Batch {
+			prev, ok := oldBatch[cur.BatchSize]
+			if !ok || prev.QPS <= 0 {
+				continue
+			}
+			compared++
+			// QPS regressing means the ratio drops below 1/tolerance.
+			ratio := cur.QPS / prev.QPS
+			fmt.Printf("diff: batch=%2d: %8.0f -> %8.0f q/s (%+.1f%%)\n",
+				cur.BatchSize, prev.QPS, cur.QPS, (ratio-1)*100)
+			if ratio < 1/tolerance {
+				regressions++
+				fmt.Printf("::warning title=jozabench batch throughput regression::batch=%d: %.0f q/s vs %.0f previously (%+.1f%%, tolerance -20%%)\n",
+					cur.BatchSize, cur.QPS, prev.QPS, (ratio-1)*100)
+			}
+		}
+		oldShards := map[int]shardSweepRow{}
+		for _, s := range oldR.Scale.ShardSweep {
+			oldShards[s.Shards] = s
+		}
+		for _, cur := range newR.Scale.ShardSweep {
+			prev, ok := oldShards[cur.Shards]
+			if !ok || prev.QPS <= 0 {
+				continue
+			}
+			compared++
+			ratio := cur.QPS / prev.QPS
+			fmt.Printf("diff: %d shard(s): %8.0f -> %8.0f q/s (%+.1f%%)\n",
+				cur.Shards, prev.QPS, cur.QPS, (ratio-1)*100)
+			if ratio < 1/tolerance {
+				regressions++
+				fmt.Printf("::warning title=jozabench shard throughput regression::%d shard(s): %.0f q/s vs %.0f previously (%+.1f%%, tolerance -20%%)\n",
+					cur.Shards, cur.QPS, prev.QPS, (ratio-1)*100)
+			}
+		}
+	}
+	switch {
+	case compared == 0:
+		fmt.Printf("diff: no comparable sections in %s and %s\n", oldPath, newPath)
+	case regressions == 0:
+		fmt.Println("diff: benchmark numbers within tolerance")
 	}
 	return nil
 }

@@ -1,0 +1,280 @@
+package main
+
+// The -scale benchmark measures the two scale-out levers of the daemon
+// tier: batch amortization (N checks per wire frame) and consistent-hash
+// sharding across a jozad fleet.
+//
+// The batch sweep is measured raw: one client, one connection, real
+// loopback round trips. Per-check latency falls as the fixed frame cost
+// (encode, syscall pair, decode, scheduler handoff) spreads over the
+// batch.
+//
+// The shard sweep injects a fixed simulated network RTT into every
+// frame (default 3ms, -rtt to change, 0 to disable). Co-located
+// in-process shards share one machine's CPU, so wall-clock throughput on
+// loopback alone says nothing about fleet scaling; with a realistic RTT
+// and a fixed per-shard connection budget, throughput is bounded by
+// in-flight capacity — shards × connections — which is exactly the
+// resource an operator adds by deploying another jozad. The sweep holds
+// the per-shard config constant and grows the fleet, so the speedup
+// column reads as "what another identical jozad buys you".
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"joza/internal/daemon"
+	"joza/internal/pti"
+	"joza/internal/workload"
+)
+
+// scaleResult is the -scale section of the -json report.
+type scaleResult struct {
+	Queries    int             `json:"queries"`
+	RTTMicros  float64         `json:"rttMicros"`
+	ShardConns int             `json:"shardConns"`
+	Workers    int             `json:"workers"`
+	Batch      []batchSweepRow `json:"batch"`
+	ShardSweep []shardSweepRow `json:"shardSweep"`
+}
+
+type batchSweepRow struct {
+	BatchSize  int     `json:"batchSize"`
+	QPS        float64 `json:"qps"`
+	PerCheckNs float64 `json:"perCheckNs"`
+}
+
+type shardSweepRow struct {
+	Shards  int     `json:"shards"`
+	QPS     float64 `json:"qps"`
+	Speedup float64 `json:"speedup"`
+}
+
+// delayConn simulates network distance: each Write stalls for the
+// configured round-trip time before delivering, so one frame exchange
+// costs one RTT no matter how many checks it carries. Blocked time is
+// not CPU, which is the point — it lets a shared-core bench expose the
+// in-flight-capacity scaling a real fleet has.
+type delayConn struct {
+	net.Conn
+	rtt time.Duration
+}
+
+func (c *delayConn) Write(p []byte) (int, error) {
+	if c.rtt > 0 {
+		time.Sleep(c.rtt)
+	}
+	return c.Conn.Write(p)
+}
+
+// startScaleServer boots one in-process daemon shard for the sweep and
+// returns its address and a stop function.
+func startScaleServer(site *workload.Site) (string, func(), error) {
+	analyzer := pti.NewCached(pti.New(site.Fragments), pti.CacheQueryAndStructure, 8192)
+	srv := daemon.NewServer(analyzer)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// scaleQueries flattens the Table VI mix into a flat query stream of at
+// least minLen queries.
+func scaleQueries(site *workload.Site, requests, minLen int) []string {
+	var queries []string
+	for _, req := range site.GenerateMix(workload.Mix{WriteFraction: 0.04}, requests) {
+		for _, ev := range req.Events {
+			queries = append(queries, ev.Query)
+		}
+	}
+	for len(queries) < minLen {
+		queries = append(queries, queries...)
+	}
+	return queries[:minLen]
+}
+
+// runScaleBench runs both sweeps and prints their tables.
+func runScaleBench(site *workload.Site, requests, workers int, rtt time.Duration) (*scaleResult, error) {
+	if workers < 1 {
+		workers = 16
+	}
+	if workers < 64 {
+		// The sweep's largest fleet has 8 connection slots; keep enough
+		// workers queued on every shard that routing skew never leaves a
+		// slot idle.
+		workers = 64
+	}
+	const shardConns = 2
+	// Enough queries that each timed pass runs long enough to measure, but
+	// proportionate to -requests so smoke runs stay fast.
+	minLen := requests * 20
+	if minLen < 1000 {
+		minLen = 1000
+	}
+	if minLen > 8000 {
+		minLen = 8000
+	}
+	queries := scaleQueries(site, requests, minLen)
+	res := &scaleResult{
+		Queries:    len(queries),
+		RTTMicros:  float64(rtt) / float64(time.Microsecond),
+		ShardConns: shardConns,
+		Workers:    workers,
+	}
+
+	// Batch sweep: one connection, sequential, raw loopback. Three passes
+	// per size, keeping the fastest, so a stray scheduling hiccup does
+	// not jag the curve.
+	addr, stop, err := startScaleServer(site)
+	if err != nil {
+		return nil, err
+	}
+	c, err := daemon.Dial(addr)
+	if err != nil {
+		stop()
+		return nil, err
+	}
+	ctx := context.Background()
+	for _, q := range queries[:500] { // warm the daemon cache and the conn
+		if _, err := c.Analyze(q); err != nil {
+			c.Close()
+			stop()
+			return nil, err
+		}
+	}
+	fmt.Printf("batch amortization, 1 connection, %d queries per size:\n", len(queries))
+	for _, size := range []int{1, 2, 4, 8, 16} {
+		best := time.Duration(1<<63 - 1)
+		for pass := 0; pass < 5; pass++ {
+			start := time.Now()
+			for i := 0; i < len(queries); i += size {
+				end := i + size
+				if end > len(queries) {
+					end = len(queries)
+				}
+				if _, err := c.AnalyzeBatch(ctx, queries[i:end]); err != nil {
+					c.Close()
+					stop()
+					return nil, err
+				}
+			}
+			if elapsed := time.Since(start); elapsed < best {
+				best = elapsed
+			}
+		}
+		perCheck := float64(best.Nanoseconds()) / float64(len(queries))
+		qps := float64(len(queries)) / best.Seconds()
+		res.Batch = append(res.Batch, batchSweepRow{BatchSize: size, QPS: qps, PerCheckNs: perCheck})
+		fmt.Printf("  batch=%2d: %6.1f µs/check  %8.0f q/s\n", size, perCheck/1e3, qps)
+	}
+	c.Close()
+	stop()
+
+	// Shard sweep: same workload, per-shard config held constant
+	// (shardConns connections), fleet size 1 → 2 → 4, simulated RTT on
+	// every frame.
+	fmt.Printf("\nshard scale-out, %d workers, %d conns/shard, %v simulated RTT:\n",
+		workers, shardConns, rtt)
+	var baseQPS float64
+	for _, shards := range []int{1, 2, 4} {
+		qps, err := runShardSweep(site, queries, shards, shardConns, workers, rtt)
+		if err != nil {
+			return nil, err
+		}
+		if shards == 1 {
+			baseQPS = qps
+		}
+		speedup := qps / baseQPS
+		res.ShardSweep = append(res.ShardSweep, shardSweepRow{Shards: shards, QPS: qps, Speedup: speedup})
+		fmt.Printf("  %d shard(s): %8.0f q/s  %.2fx\n", shards, qps, speedup)
+	}
+	return res, nil
+}
+
+// runShardSweep measures one fleet size: n shards, a fixed connection
+// budget each, checks routed by the sharded pool's consistent-hash ring.
+func runShardSweep(site *workload.Site, queries []string, shards, conns, workers int, rtt time.Duration) (float64, error) {
+	addrs := make([]string, shards)
+	stops := make([]func(), shards)
+	for i := range addrs {
+		addr, stop, err := startScaleServer(site)
+		if err != nil {
+			for _, s := range stops[:i] {
+				s()
+			}
+			return 0, err
+		}
+		addrs[i], stops[i] = addr, stop
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	cfg := daemon.PoolConfig{Size: conns, Timeout: 30 * time.Second}
+	pools := make([]*daemon.Pool, shards)
+	for i, addr := range addrs {
+		a := addr
+		pools[i] = daemon.NewPool(func() (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", a, 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return &delayConn{Conn: conn, rtt: rtt}, nil
+		}, cfg)
+	}
+	// A dense ring (1024 vnodes/shard) keeps the keyspace split within a
+	// few percent of fair; with the default 128 the hottest shard can own
+	// ~60% of a 2-shard keyspace and its connection budget caps the whole
+	// fleet's throughput.
+	sp, err := daemon.NewShardedPool(pools, daemon.WithShardNames(addrs), daemon.WithRingReplicas(1024))
+	if err != nil {
+		return 0, err
+	}
+	defer sp.Close()
+
+	drive := func(n int) (time.Duration, error) {
+		errs := make(chan error, workers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					if _, err := sp.Analyze(queries[i%len(queries)]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		return elapsed, <-errs
+	}
+	if _, err := drive(workers * 8); err != nil { // warm conns and caches
+		return 0, err
+	}
+	// Two timed drives, keeping the faster: sleep-timer wakeup jitter on a
+	// loaded host swings single runs by >10%.
+	n := len(queries)
+	best := time.Duration(1<<63 - 1)
+	for pass := 0; pass < 2; pass++ {
+		elapsed, err := drive(n)
+		if err != nil {
+			return 0, err
+		}
+		if elapsed < best {
+			best = elapsed
+		}
+	}
+	return float64(n) / best.Seconds(), nil
+}

@@ -37,6 +37,7 @@ import (
 	"joza"
 	"joza/internal/daemon"
 	"joza/internal/fragments"
+	"joza/internal/guardrail"
 	"joza/internal/installer"
 	"joza/internal/obs"
 	"joza/internal/pti"
@@ -73,9 +74,33 @@ func run(args []string) error {
 	traceSample := fs.Int("trace-sample", 1, "trace one analyze request in N (0 disables tracing)")
 	traceRing := fs.Int("trace-ring", trace.DefaultRingSize, "capacity of each trace ring buffer")
 	traceSlow := fs.Duration("trace-slow", 0, "also mark benign traces at or above this duration notable (0: attacks only)")
+	shardSpec := fs.String("shard", "", "serve shard i/n of a fleet (e.g. 0/2): keep only the fragment slice the fleet's consistent-hash ring assigns to shard i, so n daemons split the corpus (empty: serve everything)")
 	selftest := fs.Bool("selftest", false, "serve a built-in demo fragment set and print a probe")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	shardIdx, shardTotal, err := parseShardSpec(*shardSpec)
+	if err != nil {
+		return err
+	}
+	// slice keeps the shard's fragment fraction; with no -shard it is the
+	// identity, so the single-daemon path is untouched. The ring here is
+	// the same FNV-1a construction ShardedPool routes with, so a fleet
+	// whose clients key checks the way the corpus is keyed (by fragment
+	// text here; by application for per-app corpora) lands each check on
+	// the shard holding its fragments.
+	slice := func(s *fragments.Set) *fragments.Set { return s }
+	if shardTotal > 1 {
+		ring := guardrail.NewRing(shardTotal, 0)
+		slice = func(s *fragments.Set) *fragments.Set {
+			var keep []string
+			for _, f := range s.Fragments() {
+				if ring.Owner(f) == shardIdx {
+					keep = append(keep, f)
+				}
+			}
+			return fragments.NewSetKeepAll(keep)
+		}
 	}
 
 	var (
@@ -96,7 +121,11 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	default:
 		return fmt.Errorf("either -src or -selftest is required")
 	}
+	set = slice(set)
 	if set.Len() == 0 {
+		if shardTotal > 1 {
+			return fmt.Errorf("shard %d/%d owns no fragments; the corpus is too small to slice %d ways", shardIdx, shardTotal, shardTotal)
+		}
 		return fmt.Errorf("no SQL-bearing fragments found")
 	}
 	mode, err := parseCacheMode(*cacheMode)
@@ -128,7 +157,11 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	if err != nil {
 		return err
 	}
-	log.Printf("serving PTI analysis on %s (%d fragments, %s)", ln.Addr(), set.Len(), mode)
+	if shardTotal > 1 {
+		log.Printf("serving PTI analysis on %s (shard %d/%d, %d fragments, %s)", ln.Addr(), shardIdx, shardTotal, set.Len(), mode)
+	} else {
+		log.Printf("serving PTI analysis on %s (%d fragments, %s)", ln.Addr(), set.Len(), mode)
+	}
 
 	boundObs := ""
 	if *obsAddr != "" {
@@ -164,7 +197,9 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 					continue
 				}
 				if changed {
-					fresh := ins.Set()
+					// Reloads slice too, so a sharded daemon keeps serving
+					// only its fraction of the refreshed corpus.
+					fresh := slice(ins.Set())
 					srv.SetAnalyzer(newAnalyzer(fresh))
 					log.Printf("fragments reloaded: %d", fresh.Len())
 				}
@@ -197,6 +232,20 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		<-serveErr
 		return nil
 	}
+}
+
+// parseShardSpec parses "-shard i/n". Empty means unsharded (0, 1).
+func parseShardSpec(s string) (idx, total int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &idx, &total); err != nil {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want i/n, e.g. 0/2", s)
+	}
+	if total < 1 || idx < 0 || idx >= total {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want 0 <= i < n", s)
+	}
+	return idx, total, nil
 }
 
 func parseCacheMode(s string) (pti.CacheMode, error) {

@@ -103,10 +103,25 @@ func (c *Client) roundTrip(ctx context.Context, req wireRequest) (wireResponse, 
 	if ctx.Done() != nil {
 		// Cancellation mid-exchange moves the deadline into the past,
 		// failing the in-flight read or write right away.
+		slammed := make(chan struct{})
 		stop := context.AfterFunc(ctx, func() {
+			defer close(slammed)
 			_ = c.conn.SetDeadline(time.Unix(1, 0))
 		})
-		defer stop()
+		defer func() {
+			if !stop() {
+				// The context fired between the successful exchange and
+				// this stop: the AfterFunc has started and may be slamming
+				// the deadline right now. Wait it out, then clear — without
+				// this, a timeout-less client would keep the poisoned
+				// deadline and spuriously break a healthy connection on its
+				// next request.
+				<-slammed
+			}
+			_ = c.conn.SetDeadline(time.Time{})
+		}()
+	} else if !deadline.IsZero() {
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
 	}
 	if err := c.enc.Encode(req); err != nil {
 		return wireResponse{}, c.broke("send", ctxCause(ctx, err))
@@ -114,9 +129,6 @@ func (c *Client) roundTrip(ctx context.Context, req wireRequest) (wireResponse, 
 	var resp wireResponse
 	if err := c.dec.Decode(&resp); err != nil {
 		return wireResponse{}, c.broke("recv", ctxCause(ctx, err))
-	}
-	if !deadline.IsZero() {
-		_ = c.conn.SetDeadline(time.Time{})
 	}
 	if resp.Err != "" {
 		return wireResponse{}, fmt.Errorf("daemon: %s", resp.Err)

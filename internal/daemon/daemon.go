@@ -187,9 +187,12 @@ type StatsReply = metrics.Snapshot
 type TracesReply = trace.Dump
 
 // wire framing shared by client and server. Op selects the verb: empty or
-// "analyze" analyzes Query; "stats" returns the daemon's counters;
-// "traces" returns the daemon's trace rings (old clients that never set op
-// keep working unchanged).
+// "analyze" analyzes Query; "batch" analyzes every item in Batch and
+// replies with one response per item; "stats" returns the daemon's
+// counters; "traces" returns the daemon's trace rings (old clients that
+// never set op keep working unchanged, and every new field is omitempty so
+// a new client's single-request frames are byte-compatible with old
+// servers).
 type wireRequest struct {
 	Op    string `json:"op,omitempty"`
 	Query string `json:"query,omitempty"`
@@ -198,12 +201,32 @@ type wireRequest struct {
 	// the client will no longer wait for is abandoned server-side too.
 	// Zero (and requests from older clients) means no server-side bound; a
 	// negative value is an already-expired budget and fails immediately.
+	// The server clamps absurd budgets to a sane ceiling before deriving a
+	// deadline, so a hostile value cannot overflow into an expired context.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Batch carries the items of a "batch" op: each item is an analyze
+	// request in its own right (Query plus optional TimeoutMs, honored
+	// per item server-side). Item failures ride back per item on a healthy
+	// stream; only framing faults break the connection.
+	Batch []wireRequest `json:"batch,omitempty"`
 }
 
 type wireResponse struct {
 	Reply  *AnalysisReply `json:"reply,omitempty"`
 	Stats  *StatsReply    `json:"stats,omitempty"`
 	Traces *TracesReply   `json:"traces,omitempty"`
-	Err    string         `json:"error,omitempty"`
+	// Batch answers a "batch" request with exactly one response per item,
+	// in item order. A per-item failure sets that item's Err and leaves
+	// its siblings intact.
+	Batch []wireResponse `json:"batch,omitempty"`
+	Err   string         `json:"error,omitempty"`
+}
+
+// BatchResult is the client-side outcome of one item of a batch: either a
+// reply or that item's error from the healthy stream. A transport failure
+// fails the whole batch instead, through the returned error of
+// AnalyzeBatch.
+type BatchResult struct {
+	Reply *AnalysisReply
+	Err   error
 }

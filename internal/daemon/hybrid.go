@@ -226,6 +226,9 @@ func (h *HybridClient) Metrics() metrics.Snapshot {
 			snap.BreakerProbes = st.Probes
 		}
 	}
+	if sp, ok := h.transport.(interface{ ShardStats() []metrics.ShardHealth }); ok {
+		snap.Shards = sp.ShardStats()
+	}
 	return snap
 }
 

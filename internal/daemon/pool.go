@@ -54,6 +54,17 @@ type PoolConfig struct {
 	// BreakerCooldown is how long the breaker stays open before probing
 	// (default 1s).
 	BreakerCooldown time.Duration
+	// BatchSize opts into the client-side micro-batcher: concurrent
+	// AnalyzeContext calls are coalesced into one "batch" wire frame of up
+	// to this many items, amortizing the round trip across them. Values
+	// below 2 (the default) leave every call its own round trip. Requires
+	// a server that speaks the "batch" verb.
+	BatchSize int
+	// BatchLinger is how long the first call in a forming batch waits for
+	// companions before a partial batch is flushed (default 500µs). Only
+	// meaningful with BatchSize; it is the latency ceiling batching may
+	// add to an isolated call.
+	BatchLinger time.Duration
 }
 
 func (cfg PoolConfig) withDefaults() PoolConfig {
@@ -97,6 +108,9 @@ type Pool struct {
 	done    chan struct{}
 	once    sync.Once
 	breaker *guardrail.Breaker
+	// batch is the opt-in micro-batcher (nil unless cfg.BatchSize >= 2);
+	// when set, AnalyzeContext coalesces through it.
+	batch *batcher
 
 	dials     atomic.Uint64
 	exhausted atomic.Uint64
@@ -125,6 +139,9 @@ func NewPool(dial func() (net.Conn, error), cfg PoolConfig) *Pool {
 	}
 	for i := 0; i < cfg.Size; i++ {
 		p.slots <- nil
+	}
+	if cfg.BatchSize >= 2 {
+		p.batch = newBatcher(p, cfg.BatchSize, cfg.BatchLinger)
 	}
 	return p
 }
@@ -248,8 +265,14 @@ func (p *Pool) Analyze(query string) (*AnalysisReply, error) {
 
 // AnalyzeContext implements Transport: ctx bounds slot acquisition, the
 // round trip and retry backoff, and the remaining deadline budget is
-// forwarded to the server in the request.
+// forwarded to the server in the request. With BatchSize configured, the
+// call instead joins the micro-batcher: concurrent calls coalesce into one
+// batch frame, ctx still bounds this caller's wait, and the item's budget
+// still rides to the server.
 func (p *Pool) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
+	if p.batch != nil {
+		return p.batch.analyze(ctx, query)
+	}
 	resp, err := p.do(ctx, withTimeoutBudget(ctx, wireRequest{Query: query}))
 	if err != nil {
 		return nil, err

@@ -24,12 +24,39 @@ import (
 // dropped rather than letting it balloon the daemon's memory.
 const DefaultMaxRequestBytes = 1 << 20
 
+// DefaultMaxBatchItems caps how many items one "batch" request may carry.
+// The frame-size limit already bounds total bytes; this bounds the number
+// of admission passes and analyses a single frame can demand. An oversized
+// batch is refused with a whole-batch error on a healthy stream.
+const DefaultMaxBatchItems = 4096
+
 // Bounds for the capped exponential backoff Serve applies to transient
 // Accept failures (EMFILE, ECONNABORTED, ...).
 const (
 	acceptBackoffMin = 5 * time.Millisecond
 	acceptBackoffMax = 1 * time.Second
 )
+
+// maxTimeoutMs caps the client-supplied TimeoutMs budget before it is
+// multiplied into a time.Duration: a huge positive value would otherwise
+// overflow into a negative (already-expired) or wrong deadline. No real
+// client waits a day for a microsecond-scale analysis, so the clamp only
+// ever bites hostile or corrupted frames.
+const maxTimeoutMs = int64(24 * time.Hour / time.Millisecond)
+
+// budgetContext derives the analysis context from a request's TimeoutMs
+// budget: zero means no server-side bound, negative is already expired
+// (the WithTimeout below yields a done context), and positive values are
+// clamped to maxTimeoutMs so the multiplication cannot overflow.
+func budgetContext(parent context.Context, timeoutMs int64) (context.Context, context.CancelFunc) {
+	if timeoutMs == 0 {
+		return parent, func() {}
+	}
+	if timeoutMs > maxTimeoutMs {
+		timeoutMs = maxTimeoutMs
+	}
+	return context.WithTimeout(parent, time.Duration(timeoutMs)*time.Millisecond)
+}
 
 // Server serves the daemon protocol over a listener. Multiple server
 // instances can share one analyzer (the paper's multiple coexisting
@@ -42,9 +69,12 @@ type Server struct {
 
 	readTimeout time.Duration
 	maxRequest  int64
+	maxBatch    int
 
 	// Per-op wire counters, reported through Stats.
 	analyzeOps atomic.Uint64
+	batchOps   atomic.Uint64
+	batchItems atomic.Uint64
 	statsOps   atomic.Uint64
 	tracesOps  atomic.Uint64
 	errorOps   atomic.Uint64
@@ -53,6 +83,11 @@ type Server struct {
 	// draining makes connection handlers stop picking up new requests;
 	// set by Shutdown before it waits for in-flight work.
 	draining atomic.Bool
+
+	// done is closed by the first of Shutdown or Close; Serve's accept
+	// backoff selects against it so stopping the server never waits out a
+	// sleep mid connection-storm.
+	done chan struct{}
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -82,6 +117,17 @@ func WithMaxRequestBytes(n int64) ServerOption {
 	}
 }
 
+// WithMaxBatchItems caps the item count of one "batch" request (default
+// DefaultMaxBatchItems). Larger batches are refused with a whole-batch
+// error on a healthy stream rather than analyzed.
+func WithMaxBatchItems(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
 // WithAdmission bounds how many analyze requests run concurrently: at
 // most limit in flight, with excess requests waiting up to maxWait — or
 // the request's own remaining deadline budget, whichever is shorter — for
@@ -106,6 +152,8 @@ func NewServer(analyzer *pti.Cached, opts ...ServerOption) *Server {
 		conns:      make(map[net.Conn]struct{}),
 		collector:  metrics.NewCollector(),
 		maxRequest: DefaultMaxRequestBytes,
+		maxBatch:   DefaultMaxBatchItems,
+		done:       make(chan struct{}),
 	}
 	s.analyzer.Store(analyzer)
 	for _, o := range opts {
@@ -122,6 +170,8 @@ func NewServer(analyzer *pti.Cached, opts ...ServerOption) *Server {
 func (s *Server) Stats() StatsReply {
 	snap := s.collector.Snapshot()
 	snap.DaemonAnalyzeOps = s.analyzeOps.Load()
+	snap.DaemonBatchOps = s.batchOps.Load()
+	snap.DaemonBatchItems = s.batchItems.Load()
 	snap.DaemonStatsOps = s.statsOps.Load()
 	snap.DaemonTracesOps = s.tracesOps.Load()
 	snap.DaemonErrors = s.errorOps.Load()
@@ -159,6 +209,11 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// Close raced ahead of listener registration and could not reach
+		// ln; close it here, or the kernel keeps completing handshakes into
+		// a backlog nothing will ever accept and clients hang to their
+		// timeout instead of failing fast.
+		_ = ln.Close()
 		return net.ErrClosed
 	}
 	s.ln = ln
@@ -175,7 +230,16 @@ func (s *Server) Serve(ln net.Listener) error {
 			} else if backoff *= 2; backoff > acceptBackoffMax {
 				backoff = acceptBackoffMax
 			}
-			time.Sleep(backoff)
+			// Sleep interruptibly: Shutdown and Close close s.done, so a
+			// stop request issued mid connection-storm is not delayed by up
+			// to a full backoff period.
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-s.done:
+				timer.Stop()
+				return net.ErrClosed
+			}
 			continue
 		}
 		backoff = 0
@@ -248,6 +312,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 		case "", "analyze":
 			s.analyzeOps.Add(1)
 			s.handleAnalyze(req, &resp)
+		case "batch":
+			s.batchOps.Add(1)
+			s.handleBatch(req, &resp)
 		case "stats":
 			s.statsOps.Add(1)
 			st := s.Stats()
@@ -275,13 +342,11 @@ func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
 	// Honor the client's propagated deadline budget: bound the analysis
 	// with a matching context so server-side work the client has stopped
 	// waiting for is abandoned, not finished. A negative budget arrives
-	// already expired.
-	ctx := context.Background()
-	if req.TimeoutMs != 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
-		defer cancel()
-	}
+	// already expired; an absurdly large one is clamped before the
+	// millisecond multiplication so it cannot overflow into an expired
+	// (or wrong) deadline.
+	ctx, cancel := budgetContext(context.Background(), req.TimeoutMs)
+	defer cancel()
 	if err := s.gate.Acquire(ctx); err != nil {
 		if errors.Is(err, guardrail.ErrOverloaded) {
 			s.collector.RecordShed()
@@ -326,6 +391,42 @@ func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
 	resp.Reply = reply
 }
 
+// handleBatch runs one "batch" request: every item is an analyze request
+// handled exactly as a standalone one — admission charged per item, the
+// item's own TimeoutMs bounding its analysis, failures recorded per item —
+// and the reply carries one response per item in order. One poisoned item
+// (expired budget, shed, over budget) costs only its own slot; siblings
+// and the connection are unaffected. A batch above the item cap is refused
+// whole, on the still-healthy stream.
+func (s *Server) handleBatch(req wireRequest, resp *wireResponse) {
+	if len(req.Batch) == 0 {
+		s.errorOps.Add(1)
+		resp.Err = "empty batch"
+		return
+	}
+	if len(req.Batch) > s.maxBatch {
+		s.errorOps.Add(1)
+		resp.Err = fmt.Sprintf("batch of %d items exceeds the %d-item cap", len(req.Batch), s.maxBatch)
+		return
+	}
+	s.batchItems.Add(uint64(len(req.Batch)))
+	resp.Batch = make([]wireResponse, len(req.Batch))
+	for i := range req.Batch {
+		item := req.Batch[i]
+		switch item.Op {
+		case "", "analyze":
+			s.analyzeOps.Add(1)
+			s.handleAnalyze(item, &resp.Batch[i])
+		default:
+			// Nested batches and the control verbs have no per-item merge
+			// semantics; refusing them item-locally keeps the rest of the
+			// batch alive.
+			s.errorOps.Add(1)
+			resp.Batch[i].Err = fmt.Sprintf("op %q not allowed in a batch", item.Op)
+		}
+	}
+}
+
 // Shutdown drains the server: it stops accepting connections, lets each
 // connection finish the request it is serving (handlers stop picking up
 // new ones, and reads blocked waiting for the next request are failed
@@ -340,6 +441,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
+	close(s.done)
 	ln := s.ln
 	s.draining.Store(true)
 	for c := range s.conns {
@@ -379,6 +481,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.done)
 	ln := s.ln
 	for c := range s.conns {
 		_ = c.Close()

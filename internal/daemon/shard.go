@@ -1,0 +1,274 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"joza/internal/guardrail"
+	"joza/internal/metrics"
+	"joza/internal/trace"
+)
+
+// ShardedPool is a Transport over a fleet of jozad daemons: a consistent-
+// hash ring routes every check to one shard, each shard is its own Pool
+// with its own connections, retries and circuit breaker, and the control
+// verbs (stats, traces) fan out to the whole fleet and merge. Because both
+// routing and failure isolation are per shard, one dead daemon degrades
+// only the keys it owns — checks routed to its siblings never notice, and
+// the degradation policy of the HybridClient above applies per check.
+//
+// Routing key. By default a check routes by its query text, which spreads
+// load but requires every shard to hold the full fragment corpus (the
+// replicated scale-out jozad runs by default). A fleet whose shards hold
+// fragment slices (jozad -shard i/n) must route each check by the same key
+// the corpus was sliced on — use WithShardKey or AnalyzeKeyContext with a
+// stable key such as the application or tenant name, so a check always
+// lands on the shard holding the fragments that could cover it.
+type ShardedPool struct {
+	pools []*Pool
+	names []string
+	ring  *guardrail.Ring
+	key   func(query string) string
+}
+
+var _ Transport = (*ShardedPool)(nil)
+
+// ShardedPoolOption configures a ShardedPool.
+type ShardedPoolOption func(*shardedPoolConfig)
+
+type shardedPoolConfig struct {
+	names    []string
+	replicas int
+	key      func(query string) string
+}
+
+// WithShardNames labels the shards for stats and error messages (default:
+// the dial address for DialShardedPool, "shard-i" otherwise). len(names)
+// must match the shard count.
+func WithShardNames(names []string) ShardedPoolOption {
+	return func(c *shardedPoolConfig) { c.names = names }
+}
+
+// WithRingReplicas overrides the ring's virtual-node count per shard
+// (default guardrail.DefaultRingReplicas).
+func WithRingReplicas(n int) ShardedPoolOption {
+	return func(c *shardedPoolConfig) { c.replicas = n }
+}
+
+// WithShardKey sets the routing-key function applied to each query
+// (default: the query text itself). A fleet of fragment-sliced shards must
+// key by whatever the corpus was sliced on.
+func WithShardKey(fn func(query string) string) ShardedPoolOption {
+	return func(c *shardedPoolConfig) { c.key = fn }
+}
+
+// NewShardedPool builds a sharded transport over caller-built per-shard
+// pools. The pool order defines shard indexes: pools[i] serves ring shard
+// i, so every client and daemon of one fleet must list shards in the same
+// order.
+func NewShardedPool(pools []*Pool, opts ...ShardedPoolOption) (*ShardedPool, error) {
+	if len(pools) == 0 {
+		return nil, errors.New("daemon: sharded pool needs at least one shard")
+	}
+	var cfg shardedPoolConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.names == nil {
+		cfg.names = make([]string, len(pools))
+		for i := range pools {
+			cfg.names[i] = fmt.Sprintf("shard-%d", i)
+		}
+	}
+	if len(cfg.names) != len(pools) {
+		return nil, fmt.Errorf("daemon: %d shard names for %d shards", len(cfg.names), len(pools))
+	}
+	if cfg.key == nil {
+		cfg.key = func(query string) string { return query }
+	}
+	return &ShardedPool{
+		pools: pools,
+		names: cfg.names,
+		ring:  guardrail.NewRing(len(pools), cfg.replicas),
+		key:   cfg.key,
+	}, nil
+}
+
+// DialShardedPool builds a sharded transport over TCP daemons at addrs,
+// one Pool per address with the shared per-shard config. Shard i is
+// addrs[i]; the same address order must be used fleet-wide.
+func DialShardedPool(addrs []string, cfg PoolConfig, opts ...ShardedPoolOption) (*ShardedPool, error) {
+	pools := make([]*Pool, len(addrs))
+	for i, addr := range addrs {
+		pools[i] = DialPool(addr, cfg)
+	}
+	return NewShardedPool(pools, append([]ShardedPoolOption{WithShardNames(addrs)}, opts...)...)
+}
+
+// Shards returns the fleet size.
+func (sp *ShardedPool) Shards() int { return len(sp.pools) }
+
+// Owner returns the shard index that key routes to.
+func (sp *ShardedPool) Owner(key string) int { return sp.ring.Owner(key) }
+
+// Analyze implements Transport.
+func (sp *ShardedPool) Analyze(query string) (*AnalysisReply, error) {
+	return sp.AnalyzeContext(context.Background(), query)
+}
+
+// AnalyzeContext implements Transport: the check routes to the shard
+// owning its key (by default the query text) and runs on that shard's pool
+// with that shard's retries and breaker.
+func (sp *ShardedPool) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
+	return sp.AnalyzeKeyContext(ctx, sp.key(query), query)
+}
+
+// AnalyzeKeyContext analyzes query on the shard owning key, for callers
+// whose routing key is not the query itself (per-application fragment
+// slices route by application name, multi-tenant fleets by tenant).
+func (sp *ShardedPool) AnalyzeKeyContext(ctx context.Context, key, query string) (*AnalysisReply, error) {
+	s := sp.ring.Owner(key)
+	reply, err := sp.pools[s].AnalyzeContext(ctx, query)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", sp.names[s], err)
+	}
+	return reply, nil
+}
+
+// AnalyzeBatch analyzes queries across the fleet: items group by owning
+// shard, each group rides one per-shard batch frame (the groups run
+// concurrently), and the results reassemble in input order. A shard
+// failure fails only its own items — their BatchResult.Err carries the
+// shard's error while items on healthy shards return normally — so a dead
+// shard mid-batch degrades exactly its keyspace, like single checks.
+func (sp *ShardedPool) AnalyzeBatch(ctx context.Context, queries []string) ([]BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	groups := make([][]int, len(sp.pools))
+	for i, q := range queries {
+		s := sp.ring.Owner(sp.key(q))
+		groups[s] = append(groups[s], i)
+	}
+	out := make([]BatchResult, len(queries))
+	var wg sync.WaitGroup
+	for s, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			qs := make([]string, len(idxs))
+			for j, i := range idxs {
+				qs[j] = queries[i]
+			}
+			results, err := sp.pools[s].AnalyzeBatch(ctx, qs)
+			if err != nil {
+				shardErr := fmt.Errorf("shard %s: %w", sp.names[s], err)
+				for _, i := range idxs {
+					out[i] = BatchResult{Err: shardErr}
+				}
+				return
+			}
+			for j, i := range idxs {
+				out[i] = results[j]
+			}
+		}(s, idxs)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// shardHealth snapshots one shard's transport-side health: its breaker
+// and its pool's dial/exhaustion counters.
+func (sp *ShardedPool) shardHealth(s int) metrics.ShardHealth {
+	p := sp.pools[s]
+	st := p.BreakerStats()
+	return metrics.ShardHealth{
+		Shard:          sp.names[s],
+		BreakerState:   st.State,
+		BreakerTrips:   st.Trips,
+		BreakerRejects: st.Rejects,
+		BreakerProbes:  st.Probes,
+		Dials:          p.Dials(),
+		Exhausted:      p.Exhausted(),
+	}
+}
+
+// ShardStats snapshots every shard's transport-side health. HybridClient
+// folds it into Metrics for transports that provide it.
+func (sp *ShardedPool) ShardStats() []metrics.ShardHealth {
+	out := make([]metrics.ShardHealth, len(sp.pools))
+	for s := range sp.pools {
+		out[s] = sp.shardHealth(s)
+	}
+	return out
+}
+
+// Stats fetches every reachable shard's counters and merges them into one
+// fleet-wide snapshot (counters summed, histograms merged bucket-wise with
+// fleet quantiles re-derived), with per-shard transport health in
+// Snapshot.Shards. A shard that cannot answer is reported in its
+// ShardHealth.Err and excluded from the merge; the call only fails when no
+// shard answers.
+func (sp *ShardedPool) Stats() (*StatsReply, error) {
+	snaps := make([]metrics.Snapshot, 0, len(sp.pools))
+	perShard := make([]metrics.ShardHealth, len(sp.pools))
+	var errs []error
+	for s, p := range sp.pools {
+		perShard[s] = sp.shardHealth(s)
+		st, err := p.Stats()
+		if err != nil {
+			perShard[s].Err = err.Error()
+			errs = append(errs, fmt.Errorf("shard %s: %w", sp.names[s], err))
+			continue
+		}
+		snaps = append(snaps, *st)
+	}
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("daemon: stats failed on all %d shards: %w", len(sp.pools), errors.Join(errs...))
+	}
+	merged := metrics.Merge(snaps...)
+	merged.Shards = perShard
+	return &merged, nil
+}
+
+// Traces fetches every reachable shard's trace rings and concatenates
+// them, in shard order, with the span counters summed. Unreachable shards
+// are skipped; the call only fails when no shard answers.
+func (sp *ShardedPool) Traces() (*TracesReply, error) {
+	merged := trace.Dump{Recent: []trace.Span{}, Notable: []trace.Span{}}
+	var errs []error
+	ok := 0
+	for s, p := range sp.pools {
+		d, err := p.Traces()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %s: %w", sp.names[s], err))
+			continue
+		}
+		ok++
+		merged.Started += d.Started
+		merged.Finished += d.Finished
+		merged.Recent = append(merged.Recent, d.Recent...)
+		merged.Notable = append(merged.Notable, d.Notable...)
+	}
+	if ok == 0 {
+		return nil, fmt.Errorf("daemon: traces failed on all %d shards: %w", len(sp.pools), errors.Join(errs...))
+	}
+	return &merged, nil
+}
+
+// Close implements Transport: every shard's pool closes; the first error
+// is returned.
+func (sp *ShardedPool) Close() error {
+	var err error
+	for _, p := range sp.pools {
+		if cerr := p.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,95 @@
+package guardrail
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring assigning string keys to one of n shards.
+// Each shard owns many virtual points on an FNV-1a 64 circle, and a key
+// belongs to the shard owning the first point at or after the key's hash.
+// Consistency is the property that matters for a jozad fleet: adding or
+// removing one shard moves only the keys in the arcs it owned, so the other
+// shards' caches and fragment slices stay warm — a modulo assignment would
+// reshuffle nearly every key instead.
+//
+// The same ring, built with the same shard count and replica count, yields
+// the same assignment everywhere: a client routing checks and a daemon
+// slicing its fragment corpus agree without coordination.
+type Ring struct {
+	shards int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultRingReplicas is the virtual-node count per shard. 128 keeps the
+// worst shard within a few percent of its fair share for small fleets
+// while the ring stays tiny (n*128 points).
+const DefaultRingReplicas = 128
+
+// NewRing builds a ring over shards shards with replicas virtual points
+// each (replicas <= 0 selects DefaultRingReplicas). shards <= 0 returns a
+// single-shard ring, where Owner is constantly 0.
+func NewRing(shards, replicas int) *Ring {
+	if shards <= 0 {
+		shards = 1
+	}
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	r := &Ring{
+		shards: shards,
+		points: make([]ringPoint, 0, shards*replicas),
+	}
+	for s := 0; s < shards; s++ {
+		// Virtual point v of shard s hashes the label "s#v"; the label
+		// scheme is part of the ring's identity and must not change, or
+		// fleets mixing versions would disagree on ownership.
+		label := strconv.Itoa(s) + "#"
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  fnv64a(label + strconv.Itoa(v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Shards returns the number of shards the ring assigns to.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard index in [0, Shards()) owning key.
+func (r *Ring) Owner(key string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := fnv64a(key)
+	// First point at or after h, wrapping to the first point past the top
+	// of the circle.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// fnv64a is the FNV-1a 64-bit hash, inlined to keep Owner allocation-free
+// on the check hot path.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,94 @@
+package guardrail
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		r := NewRing(shards, 0)
+		if r.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), shards)
+		}
+		for i := 0; i < 1000; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			owner := r.Owner(key)
+			if owner < 0 || owner >= shards {
+				t.Fatalf("Owner(%q) = %d with %d shards", key, owner, shards)
+			}
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(4, 0)
+	b := NewRing(4, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("query-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("two identical rings disagree on %q: %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 20000
+	r := NewRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("SELECT * FROM t WHERE id = %d", i))]++
+	}
+	fair := keys / shards
+	for s, n := range counts {
+		// With 128 virtual points per shard the worst shard should stay
+		// well within 2x of fair share; in practice it is within ~15%.
+		if n < fair/2 || n > fair*2 {
+			t.Fatalf("shard %d owns %d of %d keys (fair share %d): ring badly skewed", s, n, keys, fair)
+		}
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	// Growing the fleet from 3 to 4 shards must only move keys into the
+	// new shard — a key owned by the same shard index in both rings stayed
+	// put, and no key may move between two surviving shards.
+	small := NewRing(3, 0)
+	big := NewRing(4, 0)
+	moved := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := small.Owner(key), big.Owner(key)
+		if before != after {
+			moved++
+			if after != 3 {
+				t.Fatalf("key %q moved from shard %d to surviving shard %d; consistent hashing must only move keys to the new shard", key, before, after)
+			}
+		}
+	}
+	// Expect roughly 1/4 of keys to move; far more means the ring is not
+	// consistent, none means the new shard owns nothing.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("%d of %d keys moved when adding a shard; want roughly %d", moved, keys, keys/4)
+	}
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(0, 0)
+	if r.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", r.Shards())
+	}
+	if got := r.Owner("anything"); got != 0 {
+		t.Fatalf("Owner = %d, want 0", got)
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(4, 0)
+	key := "SELECT id, name FROM users WHERE email = 'a@example.com'"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(key)
+	}
+}

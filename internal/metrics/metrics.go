@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -277,6 +278,30 @@ func (c *Collector) Snapshot() Snapshot {
 	return s
 }
 
+// ShardHealth is the client-side view of one shard of a daemon fleet:
+// which keyspace member it is, how its circuit breaker stands, and how
+// much transport churn it has caused. A dead shard shows an open breaker
+// and growing exhausted counts while its siblings stay closed — the
+// per-shard degradation story rendered in /metrics.
+type ShardHealth struct {
+	// Shard names the fleet member (its dial address, or "shard-i" for
+	// custom dialers).
+	Shard string `json:"shard"`
+	// BreakerState is "closed", "open", "half-open" or "disabled".
+	BreakerState   string `json:"breakerState"`
+	BreakerTrips   uint64 `json:"breakerTrips,omitempty"`
+	BreakerRejects uint64 `json:"breakerRejects,omitempty"`
+	BreakerProbes  uint64 `json:"breakerProbes,omitempty"`
+	// Dials and Exhausted are the shard pool's connection churn: dials
+	// above the pool size mean replacements, exhausted counts requests
+	// that ran out of reconnection attempts.
+	Dials     uint64 `json:"dials,omitempty"`
+	Exhausted uint64 `json:"exhausted,omitempty"`
+	// Err notes a shard that could not answer a fleet-wide control fetch
+	// (its counters are excluded from the merged snapshot).
+	Err string `json:"err,omitempty"`
+}
+
 // CacheShard is the activity of one cache shard.
 type CacheShard struct {
 	Hits    uint64 `json:"hits"`
@@ -351,6 +376,17 @@ type Snapshot struct {
 	DaemonErrors     uint64 `json:"daemonErrors,omitempty"`
 	DaemonTimeouts   uint64 `json:"daemonTimeouts,omitempty"`
 
+	// Batched-wire activity: "batch" frames served and the items they
+	// carried (each item also counts in DaemonAnalyzeOps, so the analyze
+	// counter stays the per-check rate whatever the framing).
+	DaemonBatchOps   uint64 `json:"daemonBatchOps,omitempty"`
+	DaemonBatchItems uint64 `json:"daemonBatchItems,omitempty"`
+
+	// Shards describes a sharded daemon fleet from the client's point of
+	// view: one entry per shard with its transport health. Filled by the
+	// owner from its ShardedPool; empty for single-daemon deployments.
+	Shards []ShardHealth `json:"shards,omitempty"`
+
 	// PTI cache totals and per-shard breakdown of the query cache.
 	CacheQueryHits     uint64       `json:"cacheQueryHits"`
 	CacheStructureHits uint64       `json:"cacheStructureHits"`
@@ -373,6 +409,139 @@ type Snapshot struct {
 	Stages []StageLatency `json:"stages,omitempty"`
 }
 
+// Merge folds several snapshots — one per shard of a daemon fleet — into
+// a fleet-wide view: counters sum, histograms merge bucket-by-bucket with
+// quantiles re-derived from the merged buckets, per-stage histograms merge
+// by stage name, and per-daemon cache shards concatenate. Breaker and
+// Shards fields are left empty: they describe one transport's view and the
+// caller (a ShardedPool) reports them per shard instead.
+func Merge(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	latency := newBucketMerge()
+	stageOrder := []string{}
+	stages := map[string]*stageMerge{}
+	for _, s := range snaps {
+		out.Checks += s.Checks
+		out.Attacks += s.Attacks
+		out.NTIAttacks += s.NTIAttacks
+		out.PTIAttacks += s.PTIAttacks
+		out.DegradedChecks += s.DegradedChecks
+		out.PanicsRecovered += s.PanicsRecovered
+		out.OverBudgetChecks += s.OverBudgetChecks
+		out.ShedRequests += s.ShedRequests
+		out.NTIMatcherCalls += s.NTIMatcherCalls
+		out.NTIMatcherEarlyExits += s.NTIMatcherEarlyExits
+		out.NTIPrefilterChecks += s.NTIPrefilterChecks
+		out.NTIPrefilterRejects += s.NTIPrefilterRejects
+		out.DaemonAnalyzeOps += s.DaemonAnalyzeOps
+		out.DaemonBatchOps += s.DaemonBatchOps
+		out.DaemonBatchItems += s.DaemonBatchItems
+		out.DaemonStatsOps += s.DaemonStatsOps
+		out.DaemonTracesOps += s.DaemonTracesOps
+		out.DaemonErrors += s.DaemonErrors
+		out.DaemonTimeouts += s.DaemonTimeouts
+		out.CacheQueryHits += s.CacheQueryHits
+		out.CacheStructureHits += s.CacheStructureHits
+		out.CacheMisses += s.CacheMisses
+		out.CacheShards = append(out.CacheShards, s.CacheShards...)
+		latency.add(s.LatencyBuckets, s.LatencyCount, s.LatencySumNs)
+		for _, st := range s.Stages {
+			sm, ok := stages[st.Stage]
+			if !ok {
+				sm = &stageMerge{bucketMerge: newBucketMerge()}
+				stages[st.Stage] = sm
+				stageOrder = append(stageOrder, st.Stage)
+			}
+			sm.add(st.Buckets, st.Count, st.SumNs)
+		}
+	}
+	out.LatencyCount = latency.count
+	out.LatencySumNs = latency.sum
+	out.LatencyBuckets = latency.buckets()
+	out.LatencyP50Ns = latency.quantile(0.50)
+	out.LatencyP99Ns = latency.quantile(0.99)
+	if latency.count > 0 {
+		out.LatencyMeanNs = latency.sum / int64(latency.count)
+	}
+	for _, name := range stageOrder {
+		sm := stages[name]
+		st := StageLatency{
+			Stage:   name,
+			Count:   sm.count,
+			P50Ns:   sm.quantile(0.50),
+			P99Ns:   sm.quantile(0.99),
+			SumNs:   sm.sum,
+			Buckets: sm.buckets(),
+		}
+		if sm.count > 0 {
+			st.MeanNs = sm.sum / int64(sm.count)
+		}
+		out.Stages = append(out.Stages, st)
+	}
+	return out
+}
+
+// bucketMerge accumulates histogram buckets from several snapshots keyed
+// by their upper bound.
+type bucketMerge struct {
+	byLe  map[int64]uint64
+	count uint64
+	sum   int64
+}
+
+type stageMerge struct{ bucketMerge }
+
+func newBucketMerge() bucketMerge {
+	return bucketMerge{byLe: make(map[int64]uint64)}
+}
+
+func (m *bucketMerge) add(bs []Bucket, count uint64, sum int64) {
+	for _, b := range bs {
+		m.byLe[b.LeNs] += b.Count
+	}
+	m.count += count
+	m.sum += sum
+}
+
+func (m *bucketMerge) buckets() []Bucket {
+	if len(m.byLe) == 0 {
+		return nil
+	}
+	out := make([]Bucket, 0, len(m.byLe))
+	for le, n := range m.byLe {
+		out = append(out, Bucket{LeNs: le, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LeNs < out[j].LeNs })
+	return out
+}
+
+// quantile estimates the q-quantile from the merged buckets, with the same
+// upper-bound semantics as Histogram.Quantile.
+func (m *bucketMerge) quantile(q float64) int64 {
+	var total uint64
+	for _, n := range m.byLe {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for _, b := range m.buckets() {
+		seen += b.Count
+		if seen >= rank {
+			return b.LeNs
+		}
+	}
+	return 0
+}
+
 // Format renders the snapshot for terminal output.
 func (s Snapshot) Format() string {
 	var b strings.Builder
@@ -389,9 +558,18 @@ func (s Snapshot) Format() string {
 		fmt.Fprintf(&b, "breaker %s: %d trips, %d rejects, %d probes\n",
 			s.BreakerState, s.BreakerTrips, s.BreakerRejects, s.BreakerProbes)
 	}
-	if s.DaemonAnalyzeOps+s.DaemonStatsOps+s.DaemonTracesOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
-		fmt.Fprintf(&b, "daemon ops: %d analyze, %d stats, %d traces, %d errors, %d timeouts\n",
-			s.DaemonAnalyzeOps, s.DaemonStatsOps, s.DaemonTracesOps, s.DaemonErrors, s.DaemonTimeouts)
+	if s.DaemonAnalyzeOps+s.DaemonBatchOps+s.DaemonStatsOps+s.DaemonTracesOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
+		fmt.Fprintf(&b, "daemon ops: %d analyze, %d batch (%d items), %d stats, %d traces, %d errors, %d timeouts\n",
+			s.DaemonAnalyzeOps, s.DaemonBatchOps, s.DaemonBatchItems,
+			s.DaemonStatsOps, s.DaemonTracesOps, s.DaemonErrors, s.DaemonTimeouts)
+	}
+	for _, sh := range s.Shards {
+		fmt.Fprintf(&b, "shard %s: breaker %s (%d trips, %d rejects), %d dials, %d exhausted",
+			sh.Shard, sh.BreakerState, sh.BreakerTrips, sh.BreakerRejects, sh.Dials, sh.Exhausted)
+		if sh.Err != "" {
+			fmt.Fprintf(&b, ", unreachable: %s", sh.Err)
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "latency p50 %v, p99 %v, mean %v\n",
 		time.Duration(s.LatencyP50Ns), time.Duration(s.LatencyP99Ns), time.Duration(s.LatencyMeanNs))

@@ -157,13 +157,40 @@ func WritePrometheus(b *strings.Builder, s metrics.Snapshot) {
 	fmt.Fprintf(b, "joza_pti_cache_lookups_total{outcome=\"structure_hit\"} %d\n", s.CacheStructureHits)
 	fmt.Fprintf(b, "joza_pti_cache_lookups_total{outcome=\"miss\"} %d\n", s.CacheMisses)
 
-	if s.DaemonAnalyzeOps+s.DaemonStatsOps+s.DaemonTracesOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
+	if s.DaemonAnalyzeOps+s.DaemonBatchOps+s.DaemonStatsOps+s.DaemonTracesOps+s.DaemonErrors+s.DaemonTimeouts > 0 {
 		fmt.Fprintf(b, "# HELP joza_daemon_ops_total Daemon wire requests by verb.\n# TYPE joza_daemon_ops_total counter\n")
 		fmt.Fprintf(b, "joza_daemon_ops_total{op=\"analyze\"} %d\n", s.DaemonAnalyzeOps)
+		fmt.Fprintf(b, "joza_daemon_ops_total{op=\"batch\"} %d\n", s.DaemonBatchOps)
 		fmt.Fprintf(b, "joza_daemon_ops_total{op=\"stats\"} %d\n", s.DaemonStatsOps)
 		fmt.Fprintf(b, "joza_daemon_ops_total{op=\"traces\"} %d\n", s.DaemonTracesOps)
+		counter("joza_daemon_batch_items_total", "Analyze items carried inside batch frames.", s.DaemonBatchItems)
 		counter("joza_daemon_errors_total", "Daemon protocol errors.", s.DaemonErrors)
 		counter("joza_daemon_timeouts_total", "Connections dropped by the read deadline.", s.DaemonTimeouts)
+	}
+
+	if len(s.Shards) > 0 {
+		fmt.Fprintf(b, "# HELP joza_shard_breaker_open Whether a shard's transport breaker is open or half-open.\n# TYPE joza_shard_breaker_open gauge\n")
+		for _, sh := range s.Shards {
+			open := 0
+			if sh.BreakerState != "" && sh.BreakerState != "closed" && sh.BreakerState != "disabled" {
+				open = 1
+			}
+			fmt.Fprintf(b, "joza_shard_breaker_open{shard=%q} %d\n", sh.Shard, open)
+		}
+		shardCounter := func(name, help string, get func(metrics.ShardHealth) uint64) {
+			fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, sh := range s.Shards {
+				fmt.Fprintf(b, "%s{shard=%q} %d\n", name, sh.Shard, get(sh))
+			}
+		}
+		shardCounter("joza_shard_breaker_trips_total", "Breaker trips per shard.",
+			func(sh metrics.ShardHealth) uint64 { return sh.BreakerTrips })
+		shardCounter("joza_shard_breaker_rejects_total", "Calls short-circuited by a shard's open breaker.",
+			func(sh metrics.ShardHealth) uint64 { return sh.BreakerRejects })
+		shardCounter("joza_shard_dials_total", "Connections dialed per shard.",
+			func(sh metrics.ShardHealth) uint64 { return sh.Dials })
+		shardCounter("joza_shard_exhausted_total", "Requests that exhausted reconnection attempts per shard.",
+			func(sh metrics.ShardHealth) uint64 { return sh.Exhausted })
 	}
 
 	emitted := make(map[string]bool)

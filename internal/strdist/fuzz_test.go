@@ -8,13 +8,11 @@ import (
 
 // FuzzMatcherEquivalence cross-checks every matcher implementation in the
 // package on the same pair: the naive reference, the plain Sellers DP,
-// the threshold-banded DP, and the bit-parallel engine. Naive and Sellers
-// must agree on the best distance and report spans that really carry it
-// (their tie-breaks can legitimately pick different equal-distance spans:
-// Sellers tracks one start per end column). The banded and bit-parallel
-// engines must reproduce the Sellers result bit-identically — distance,
-// span tie-breaking, and the threshold decision. Any divergence is a
-// correctness bug in one of the optimized paths.
+// the threshold-banded DP, and the bit-parallel engine. All four must
+// agree bit-identically — distance, span tie-breaking, and (for the
+// threshold engines) the decision. The naive matcher recovers the exact
+// start Sellers' forward propagation tracks, so any divergence anywhere
+// is a correctness bug in one of the engines.
 func FuzzMatcherEquivalence(f *testing.F) {
 	f.Add("admin", "SELECT * FROM users WHERE name='admin'", uint8(2))
 	f.Add("1 OR 1=1", "SELECT * FROM t WHERE id=1 OR 1=1", uint8(2))
@@ -31,12 +29,12 @@ func FuzzMatcherEquivalence(f *testing.F) {
 
 		plain := SubstringMatch(input, query)
 
-		// Distance and span validity: plain Sellers vs the naive reference
+		// Plain Sellers vs the naive reference: bit-identical matches
 		// (kept to small shapes — the reference is O(n·m³)).
 		if len(input) <= 24 && len(query) <= 48 {
 			naive := NaiveSubstringMatch(input, query)
-			if naive.Distance != plain.Distance {
-				t.Fatalf("distance: naive=%+v plain=%+v (input=%q query=%q)", naive, plain, input, query)
+			if naive != plain {
+				t.Fatalf("naive=%+v plain=%+v (input=%q query=%q)", naive, plain, input, query)
 			}
 			if len(input) > 0 {
 				if d := Levenshtein(input, query[plain.Start:plain.End]); d != plain.Distance {

@@ -401,30 +401,107 @@ func SubstringMatchThresholdBudgetCtx(ctx context.Context, input, query string, 
 	return best, haveCand && best.Ratio() < threshold, pruned, nil
 }
 
-// NaiveSubstringMatch is the unoptimized O(n²·m²)-flavoured matcher: it
-// evaluates full-matrix Levenshtein for every substring of query against
-// input. It exists so benchmarks can quantify the cost the paper's
-// optimizations remove. It agrees with SubstringMatch on the best
-// distance, but among equal-distance spans the two may pick different
-// winners: this matcher tie-breaks over every (start, end) pair, while
-// the Sellers DP tracks a single diagonal-preferred start per end column.
+// NaiveSubstringMatch is the unoptimized O(n²·m²)-flavoured matcher: per
+// end position it evaluates full-matrix Levenshtein against every starting
+// position, exactly the textbook formulation whose cost the paper's
+// optimizations remove. It returns the same Match as SubstringMatch,
+// bit-identically: the per-end best distance equals the Sellers column
+// minimum, the reported start is the one Sellers' forward propagation
+// tracks for that end (recovered by sellersStarts), and ends compete under
+// the same better() tie-break. Benchmarks use it as the cost baseline;
+// tests and the fuzz harness use it as the independent oracle every
+// optimized engine must reproduce.
 func NaiveSubstringMatch(input, query string) Match {
 	n := len(input)
 	m := len(query)
 	if n == 0 {
 		return Match{}
 	}
+	starts := sellersStarts(input, query)
 	best := Match{Start: 0, End: 0, Distance: n}
-	for i := 0; i < m; i++ {
-		for j := i + 1; j <= m; j++ {
-			d := Levenshtein(input, query[i:j])
-			cand := Match{Start: i, End: j, Distance: d}
-			if better(cand, best) {
-				best = cand
+	for j := 1; j <= m; j++ {
+		// Textbook enumeration: best distance over every start for this
+		// end (d starts at n, the empty substring's distance).
+		d := n
+		for i := 0; i < j; i++ {
+			if ld := Levenshtein(input, query[i:j]); ld < d {
+				d = ld
 			}
+		}
+		cand := Match{Start: starts[j], End: j, Distance: d}
+		if better(cand, best) {
+			best = cand
 		}
 	}
 	return best
+}
+
+// sellersStarts computes, for every end column j, the start position the
+// Sellers DP's forward start propagation assigns to the best match ending
+// at j. It fills the full (n+1)×(m+1) matrix (row 0 zero: free start) and
+// backtracks each end column with the propagation's exact tie-break —
+// diagonal, then up (input deletion), then left (query insertion), a later
+// move winning only by strict improvement — so the recovered start is the
+// one SubstringMatch reports, not merely one of the optimal starts.
+func sellersStarts(input, query string) []int {
+	n := len(input)
+	m := len(query)
+	d := make([][]int, n+1)
+	for i := range d {
+		d[i] = make([]int, m+1)
+		d[i][0] = i
+	}
+	for j := 1; j <= m; j++ {
+		qc := query[j-1]
+		for i := 1; i <= n; i++ {
+			cost := 1
+			if input[i-1] == qc {
+				cost = 0
+			}
+			v := d[i-1][j-1] + cost
+			if u := d[i-1][j] + 1; u < v {
+				v = u
+			}
+			if l := d[i][j-1] + 1; l < v {
+				v = l
+			}
+			d[i][j] = v
+		}
+	}
+	starts := make([]int, m+1)
+	for j := range starts {
+		starts[j] = backtrackStart(d, input, query, n, j)
+	}
+	return starts
+}
+
+// backtrackStart walks one optimal path from cell (i, j) back to row 0,
+// choosing at each step the predecessor the forward propagation would have
+// charged the cell to: diagonal when it attains the cell's value, else up,
+// else left. Row 0 means the match starts at the current column; column 0
+// means the path consumed the whole query prefix, so the match starts at 0
+// (the initial column's propagated start).
+func backtrackStart(d [][]int, input, query string, i, j int) int {
+	for i > 0 && j > 0 {
+		v := d[i][j]
+		cost := 1
+		if input[i-1] == query[j-1] {
+			cost = 0
+		}
+		switch {
+		case d[i-1][j-1]+cost == v:
+			i--
+			j--
+		case d[i-1][j]+1 == v:
+			i--
+		default:
+			j--
+		}
+	}
+	if i == 0 {
+		return j
+	}
+	return 0
 }
 
 // BoundedLevenshtein returns the edit distance between a and b, or bound+1

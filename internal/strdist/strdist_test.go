@@ -106,14 +106,75 @@ func TestSubstringMatchAgreesWithNaive(t *testing.T) {
 		q := randStr(1 + rng.Intn(20))
 		got := SubstringMatch(in, q)
 		want := NaiveSubstringMatch(in, q)
-		if got.Distance != want.Distance {
-			t.Fatalf("iter %d: SubstringMatch(%q, %q).Distance = %d, naive = %d",
-				iter, in, q, got.Distance, want.Distance)
+		if got != want {
+			t.Fatalf("iter %d: SubstringMatch(%q, %q) = %+v, naive = %+v",
+				iter, in, q, got, want)
 		}
 		// Verify the reported span really has the reported distance.
 		if d := Levenshtein(in, q[got.Start:got.End]); d != got.Distance {
 			t.Fatalf("iter %d: span %q has distance %d, reported %d",
 				iter, q[got.Start:got.End], d, got.Distance)
+		}
+	}
+}
+
+// TestNaiveMatchesSellersTieBreak pins pairs where equal-distance spans
+// exist and the two matchers historically diverged: the naive matcher
+// tie-broke over every (start, end) pair while Sellers propagates one
+// diagonal-preferred start per end column. Since the fix the naive matcher
+// recovers Sellers' exact start, so all engines are bit-identical oracles
+// of each other.
+func TestNaiveMatchesSellersTieBreak(t *testing.T) {
+	cases := []struct{ input, query string }{
+		// Sellers reports (0,2,1): the span "aa" with one substitution,
+		// start propagated diagonally. The old naive picked (0,3,1) —
+		// same distance, longer span — and the two disagreed.
+		{"aa", "aba"},
+		{"ab", "ba"},
+		{"abc", "acbc"},
+		{"aba", "ab"},
+		{"OR 1=1", "x OR 11 y"},
+	}
+	for _, tc := range cases {
+		sellers := SubstringMatch(tc.input, tc.query)
+		naive := NaiveSubstringMatch(tc.input, tc.query)
+		if naive != sellers {
+			t.Errorf("(%q, %q): naive = %+v, Sellers = %+v; engines must be bit-identical",
+				tc.input, tc.query, naive, sellers)
+		}
+		if d := Levenshtein(tc.input, tc.query[naive.Start:naive.End]); d != naive.Distance {
+			t.Errorf("(%q, %q): reported span %q carries distance %d, reported %d",
+				tc.input, tc.query, tc.query[naive.Start:naive.End], d, naive.Distance)
+		}
+	}
+}
+
+// TestNaiveExhaustiveEquivalence sweeps every small binary-alphabet pair,
+// where equal-distance ties are densest, and requires bit-identical
+// matches from the naive and Sellers engines.
+func TestNaiveExhaustiveEquivalence(t *testing.T) {
+	strs := func(maxLen int) []string {
+		out := []string{""}
+		frontier := []string{""}
+		for l := 0; l < maxLen; l++ {
+			var next []string
+			for _, s := range frontier {
+				for _, c := range []string{"a", "b"} {
+					next = append(next, s+c)
+				}
+			}
+			out = append(out, next...)
+			frontier = next
+		}
+		return out
+	}
+	for _, in := range strs(4) {
+		for _, q := range strs(5) {
+			sellers := SubstringMatch(in, q)
+			naive := NaiveSubstringMatch(in, q)
+			if naive != sellers {
+				t.Fatalf("(%q, %q): naive = %+v, Sellers = %+v", in, q, naive, sellers)
+			}
 		}
 	}
 }

@@ -38,6 +38,16 @@ type (
 	RemoteGuardOption = daemon.HybridOption
 	// AnalysisReply is the daemon's answer for one query.
 	AnalysisReply = daemon.AnalysisReply
+	// BatchResult is one query's outcome inside an AnalyzeBatch call:
+	// either a reply or a per-item error, while siblings stand alone.
+	BatchResult = daemon.BatchResult
+	// DaemonShardedPool consistent-hash-routes checks across a fleet of
+	// jozad daemons, with a per-shard breaker so one dead shard degrades
+	// only its own keyspace.
+	DaemonShardedPool = daemon.ShardedPool
+	// DaemonShardOption configures a DaemonShardedPool (names, routing
+	// key, ring replicas).
+	DaemonShardOption = daemon.ShardedPoolOption
 	// TraceConfig tunes decision tracing (sample rate, ring size, slow
 	// threshold) for a RemoteGuard; the in-process Guard configures the
 	// same knobs through ObservabilityConfig.
@@ -64,6 +74,28 @@ func DialDaemon(addr string) (*DaemonClient, error) { return daemon.Dial(addr) }
 // up, and a daemon restart heals on the next request.
 func DialDaemonPool(addr string, cfg DaemonPoolConfig) *DaemonPool {
 	return daemon.DialPool(addr, cfg)
+}
+
+// DialDaemonShardedPool opens one connection pool per fleet address and
+// consistent-hash-routes checks across them. Checks route by query text
+// by default; fragment-sliced fleets (jozad -shard i/n) must route by
+// the same key the fragment set was sliced with — see WithDaemonShardKey.
+func DialDaemonShardedPool(addrs []string, cfg DaemonPoolConfig, opts ...DaemonShardOption) (*DaemonShardedPool, error) {
+	return daemon.DialShardedPool(addrs, cfg, opts...)
+}
+
+// WithDaemonShardKey sets how a DaemonShardedPool derives the routing key
+// from a query (default: the query text itself). A fleet whose shards
+// hold fragment-set slices must route with the same key function the set
+// was sliced by, or checks land on shards missing their fragments.
+func WithDaemonShardKey(fn func(query string) string) DaemonShardOption {
+	return daemon.WithShardKey(fn)
+}
+
+// WithDaemonShardNames labels the shards of a DaemonShardedPool in stats
+// and error messages (default: the dialed addresses).
+func WithDaemonShardNames(names []string) DaemonShardOption {
+	return daemon.WithShardNames(names)
 }
 
 // NewRemoteGuard builds the application-side hybrid over a daemon
