@@ -40,6 +40,7 @@ import (
 	"joza/internal/guardrail"
 	"joza/internal/installer"
 	"joza/internal/obs"
+	"joza/internal/profile"
 	"joza/internal/pti"
 	"joza/internal/trace"
 )
@@ -75,6 +76,8 @@ func run(args []string) error {
 	traceRing := fs.Int("trace-ring", trace.DefaultRingSize, "capacity of each trace ring buffer")
 	traceSlow := fs.Duration("trace-slow", 0, "also mark benign traces at or above this duration notable (0: attacks only)")
 	shardSpec := fs.String("shard", "", "serve shard i/n of a fleet (e.g. 0/2): keep only the fragment slice the fleet's consistent-hash ring assigns to shard i, so n daemons split the corpus (empty: serve everything)")
+	profilesPath := fs.String("profiles", "", "serve query-skeleton profile verdicts from this store file; with -watch the file is reloaded when it changes (a corrupt file keeps the prior store)")
+	learnPath := fs.String("learn", "", "profile learning mode: record (site, skeleton) pairs for requests that carry a call site and write the store here on shutdown (overrides -profiles)")
 	selftest := fs.Bool("selftest", false, "serve a built-in demo fragment set and print a probe")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,11 +150,27 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		RingSize:      *traceRing,
 		SlowThreshold: *traceSlow,
 	})
-	srv := daemon.NewServer(newAnalyzer(set),
+	srvOpts := []daemon.ServerOption{
 		daemon.WithReadTimeout(*readTimeout),
 		daemon.WithMaxRequestBytes(*maxRequest),
 		daemon.WithAdmission(*maxInflight, *admissionWait),
-		daemon.WithTracer(tracer))
+		daemon.WithTracer(tracer),
+	}
+	var recorder *profile.Recorder
+	switch {
+	case *learnPath != "":
+		recorder = profile.NewRecorder()
+		srvOpts = append(srvOpts, daemon.WithProfileRecorder(recorder))
+		log.Printf("profile learning: will write %s on shutdown", *learnPath)
+	case *profilesPath != "":
+		store, err := profile.Load(*profilesPath)
+		if err != nil {
+			return err
+		}
+		srvOpts = append(srvOpts, daemon.WithProfiles(store))
+		log.Printf("profiles loaded: %d sites, %d skeletons", store.Sites(), store.Skeletons())
+	}
+	srv := daemon.NewServer(newAnalyzer(set), srvOpts...)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -206,6 +225,32 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 			}
 		}()
 	}
+	if *learnPath == "" && *profilesPath != "" && *watch > 0 {
+		// Profile reload loop, same sticky contract as fragments: a store
+		// that fails to parse leaves the prior one serving.
+		go func() {
+			ticker := time.NewTicker(*watch)
+			defer ticker.Stop()
+			var lastMod time.Time
+			if fi, err := os.Stat(*profilesPath); err == nil {
+				lastMod = fi.ModTime()
+			}
+			for range ticker.C {
+				fi, err := os.Stat(*profilesPath)
+				if err != nil || !fi.ModTime().After(lastMod) {
+					continue
+				}
+				lastMod = fi.ModTime()
+				store, err := profile.Load(*profilesPath)
+				if err != nil {
+					log.Printf("profile reload: %v (keeping prior store)", err)
+					continue
+				}
+				srv.SetProfiles(store)
+				log.Printf("profiles reloaded: %d sites, %d skeletons", store.Sites(), store.Skeletons())
+			}
+		}()
+	}
 
 	if *selftest {
 		go probe(ln.Addr().String())
@@ -230,6 +275,13 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 			log.Printf("drained cleanly")
 		}
 		<-serveErr
+		if recorder != nil {
+			store := recorder.Store()
+			if err := os.WriteFile(*learnPath, store.Bytes(), 0o644); err != nil {
+				return fmt.Errorf("writing learned profiles: %w", err)
+			}
+			log.Printf("profiles written to %s: %d sites, %d skeletons", *learnPath, store.Sites(), store.Skeletons())
+		}
 		return nil
 	}
 }

@@ -10,11 +10,18 @@
 //	wpsqlilab -sweep      # NTI threshold-sensitivity study
 //	wpsqlilab -fp         # false-positive crawl of the protected app
 //	wpsqlilab -baselines  # compare against WAF / CANDID-style detectors
+//	wpsqlilab -matrix     # train profiles, run the per-technique detection matrix
 //	wpsqlilab -all        # everything
 //	wpsqlilab -serve :8080  # serve the protected testbed over HTTP
+//
+// The detection matrix supports CI gating: -matrix-json writes the sweep
+// as a JSON artifact, -matrix-profiles persists the trained profile
+// store, and -matrix-golden compares against a checked-in baseline,
+// exiting nonzero on any regression (improvements only warn).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -43,6 +50,10 @@ func run(args []string) error {
 	sweep := fs.Bool("sweep", false, "run the NTI threshold-sensitivity study")
 	fp := fs.Bool("fp", false, "run the false-positive study")
 	baselines := fs.Bool("baselines", false, "run the related-work baseline comparison")
+	matrix := fs.Bool("matrix", false, "train profiles and run the per-technique detection matrix")
+	matrixJSON := fs.String("matrix-json", "", "write the detection matrix as JSON to this path")
+	matrixGolden := fs.String("matrix-golden", "", "compare the detection matrix against this golden baseline; exit nonzero on regression")
+	matrixProfiles := fs.String("matrix-profiles", "", "write the trained profile store to this path")
 	serve := fs.String("serve", "", "serve the protected testbed over HTTP at this address")
 	all := fs.Bool("all", false, "run everything")
 	perPlugin := fs.Int("sqlmap-payloads", 40, "generated payloads per plugin for table 2")
@@ -50,7 +61,8 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *table == 0 && *figure == 0 && !*cases && !*sweep && !*fp && !*baselines && *serve == "" {
+	wantMatrix := *matrix || *matrixJSON != "" || *matrixGolden != "" || *matrixProfiles != ""
+	if !*all && *table == 0 && *figure == 0 && !*cases && !*sweep && !*fp && !*baselines && !wantMatrix && *serve == "" {
 		*all = true
 	}
 
@@ -106,6 +118,11 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(testbed.FormatBaselines(rows))
+	}
+	if *all || wantMatrix {
+		if err := runMatrix(lab, *matrixJSON, *matrixGolden, *matrixProfiles); err != nil {
+			return err
+		}
 	}
 	if *serve != "" {
 		log.Printf("serving the Joza-protected testbed on %s (try /%s?%s=1)",
@@ -218,6 +235,55 @@ func printCases() error {
 			yn(o.Works), yn(o.NTI), yn(o.PTI), yn(o.Joza))
 	}
 	fmt.Println()
+	return nil
+}
+
+// runMatrix trains profiles, runs the detection-matrix sweep, writes the
+// requested artifacts and gates against a golden baseline when given one.
+func runMatrix(lab *testbed.Lab, jsonPath, goldenPath, profilesPath string) error {
+	m, err := lab.EvaluateMatrix()
+	if err != nil {
+		return err
+	}
+	fmt.Println(testbed.FormatMatrix(m))
+	if jsonPath != "" {
+		data, err := testbed.MatrixJSON(m)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write matrix JSON: %w", err)
+		}
+		log.Printf("detection matrix written to %s", jsonPath)
+	}
+	if profilesPath != "" {
+		if err := os.WriteFile(profilesPath, m.Store.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("write trained profiles: %w", err)
+		}
+		log.Printf("trained profile store written to %s: %d sites, %d skeletons",
+			profilesPath, m.ProfileSites, m.ProfileSkeletons)
+	}
+	if goldenPath != "" {
+		data, err := os.ReadFile(goldenPath)
+		if err != nil {
+			return fmt.Errorf("read golden baseline: %w", err)
+		}
+		var golden testbed.DetectionMatrix
+		if err := json.Unmarshal(data, &golden); err != nil {
+			return fmt.Errorf("corrupt golden baseline %s: %w", goldenPath, err)
+		}
+		regressions, improvements := testbed.CompareMatrix(&golden, m)
+		for _, msg := range improvements {
+			log.Printf("improvement over golden (warn-only): %s", msg)
+		}
+		if len(regressions) > 0 {
+			for _, msg := range regressions {
+				log.Printf("REGRESSION: %s", msg)
+			}
+			return fmt.Errorf("detection matrix regressed against %s (%d regressions)", goldenPath, len(regressions))
+		}
+		log.Printf("detection matrix matches golden baseline %s", goldenPath)
+	}
 	return nil
 }
 

@@ -24,6 +24,7 @@ var analyzerPackages = []string{
 	"joza/internal/strdist",
 	"joza/internal/sqltoken",
 	"joza/internal/fragments",
+	"joza/internal/profile",
 }
 
 // forbiddenPackages is the transport/serving layer.

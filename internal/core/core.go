@@ -23,9 +23,10 @@ var ErrOverBudget = errors.New("analysis budget exceeded")
 
 // Analyzer names used in verdicts and reports.
 const (
-	AnalyzerNTI    = "NTI"
-	AnalyzerPTI    = "PTI"
-	AnalyzerHybrid = "hybrid"
+	AnalyzerNTI     = "NTI"
+	AnalyzerPTI     = "PTI"
+	AnalyzerProfile = "profile"
+	AnalyzerHybrid  = "hybrid"
 )
 
 // Marking is one inferred taint annotation over a span of the query.
@@ -60,13 +61,16 @@ type Result struct {
 	Reasons  []Reason
 }
 
-// Verdict is the hybrid decision over a query: the query is safe iff both
-// NTI and PTI deem it safe.
+// Verdict is the hybrid decision over a query: the query is safe iff every
+// enabled analyzer deems it safe. NTI and PTI are the paper's hybrid;
+// Profile is the optional third vote (per-call-site query-skeleton
+// profiles) and stays the zero Result in pipelines without that stage.
 type Verdict struct {
-	Query  string
-	Attack bool
-	NTI    Result
-	PTI    Result
+	Query   string
+	Attack  bool
+	NTI     Result
+	PTI     Result
+	Profile Result
 }
 
 // DetectedBy returns the analyzers that flagged the query.
@@ -78,14 +82,18 @@ func (v Verdict) DetectedBy() []string {
 	if v.PTI.Attack {
 		out = append(out, AnalyzerPTI)
 	}
+	if v.Profile.Attack {
+		out = append(out, AnalyzerProfile)
+	}
 	return out
 }
 
-// Reasons returns the union of attack reasons from both analyzers.
+// Reasons returns the union of attack reasons from all analyzers.
 func (v Verdict) Reasons() []Reason {
-	out := make([]Reason, 0, len(v.NTI.Reasons)+len(v.PTI.Reasons))
+	out := make([]Reason, 0, len(v.NTI.Reasons)+len(v.PTI.Reasons)+len(v.Profile.Reasons))
 	out = append(out, v.NTI.Reasons...)
 	out = append(out, v.PTI.Reasons...)
+	out = append(out, v.Profile.Reasons...)
 	return out
 }
 

@@ -115,15 +115,16 @@ func newBatcher(p *Pool, size int, linger time.Duration) *batcher {
 	return &batcher{pool: p, size: size, linger: linger}
 }
 
-// analyze enqueues one query into the forming batch and waits for its
-// slot's outcome. The call that fills the batch flushes it inline; the
-// first call into an empty batch arms the linger timer that flushes a
-// partial batch. A caller whose ctx ends while waiting returns ctx's
-// error; its query may still be analyzed server-side (its stamped budget
-// bounds that work), and its slot's result is discarded.
-func (b *batcher) analyze(ctx context.Context, query string) (*AnalysisReply, error) {
+// analyze enqueues one analyze request (already stamped with its deadline
+// budget, and possibly carrying a call site) into the forming batch and
+// waits for its slot's outcome. The call that fills the batch flushes it
+// inline; the first call into an empty batch arms the linger timer that
+// flushes a partial batch. A caller whose ctx ends while waiting returns
+// ctx's error; its query may still be analyzed server-side (its stamped
+// budget bounds that work), and its slot's result is discarded.
+func (b *batcher) analyze(ctx context.Context, req wireRequest) (*AnalysisReply, error) {
 	call := &batchCall{
-		req:  withTimeoutBudget(ctx, wireRequest{Query: query}),
+		req:  req,
 		done: make(chan batchOut, 1),
 	}
 	b.mu.Lock()

@@ -199,6 +199,21 @@ func (c *Client) AnalyzeContext(ctx context.Context, query string) (*AnalysisRep
 	return resp.Reply, nil
 }
 
+// AnalyzeSiteContext implements siteTransport: AnalyzeContext with the
+// call-site identity riding in the request so the server runs the
+// query-skeleton profile stage. Old servers ignore the field and reply
+// without a profile verdict.
+func (c *Client) AnalyzeSiteContext(ctx context.Context, site, query string) (*AnalysisReply, error) {
+	resp, err := c.roundTrip(ctx, withTimeoutBudget(ctx, wireRequest{Query: query, Site: site}))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Reply == nil {
+		return nil, errors.New("daemon: analyze verb returned no payload")
+	}
+	return resp.Reply, nil
+}
+
 // Stats requests the daemon's counter snapshot via the "stats" verb.
 func (c *Client) Stats() (*StatsReply, error) {
 	resp, err := c.roundTrip(context.Background(), wireRequest{Op: "stats"})

@@ -24,10 +24,12 @@ package daemon
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"joza/internal/core"
 	"joza/internal/metrics"
+	"joza/internal/profile"
 	"joza/internal/pti"
 	"joza/internal/sqltoken"
 	"joza/internal/trace"
@@ -46,6 +48,25 @@ type AnalysisReply struct {
 	// sampled this check. A tracing HybridClient merges it into its own
 	// span so one trace shows both sides of the wire.
 	Trace *trace.Span `json:"trace,omitempty"`
+	// Profile is the query-skeleton profile verdict, present when the
+	// request carried a call site and the daemon has profiles (or a
+	// learning recorder). It rides the analyze reply so the third stage
+	// costs no extra round trip.
+	Profile *ProfileReply `json:"profile,omitempty"`
+}
+
+// ProfileReply is the daemon-side outcome of the query-skeleton profile
+// stage for one (site, query) pair.
+type ProfileReply struct {
+	// Attack is set for an unseen skeleton — the site never issued this
+	// query shape during training. Unknown sites are reported via Outcome
+	// and left to the client's strictness policy.
+	Attack bool `json:"attack,omitempty"`
+	// Outcome is "learned", "seen", "unseen" or "site-unknown".
+	Outcome  string `json:"outcome"`
+	Site     string `json:"site,omitempty"`
+	Skeleton string `json:"skeleton,omitempty"`
+	Detail   string `json:"detail,omitempty"`
 }
 
 // ReasonJSON is the wire form of core.Reason.
@@ -138,6 +159,42 @@ func analyzeCtx(ctx context.Context, analyzer *pti.Cached, query string, span *t
 	return reply, nil
 }
 
+// siteTransport is the optional transport extension that carries a
+// call-site identity with the analyze request, so the daemon can run the
+// query-skeleton profile stage. Kept separate from Transport so existing
+// third-party transports keep compiling; transports without it simply
+// never produce profile verdicts.
+type siteTransport interface {
+	AnalyzeSiteContext(ctx context.Context, site, query string) (*AnalysisReply, error)
+}
+
+// profileReplyFor computes the profile verdict one of the daemon-side
+// transports attaches to an analyze reply: learning mode records and
+// reports "learned"; enforcement classifies the skeleton against the
+// store. Returns nil when there is no site or no profile machinery at all.
+func profileReplyFor(store *profile.Store, rec *profile.Recorder, site, query string) *ProfileReply {
+	if site == "" || (store == nil && rec == nil) {
+		return nil
+	}
+	if rec != nil {
+		sk := rec.Record(site, query)
+		return &ProfileReply{Outcome: "learned", Site: site, Skeleton: sk}
+	}
+	sk := profile.Skeleton(query)
+	p := &ProfileReply{Site: site, Skeleton: sk}
+	switch store.Lookup(site, sk) {
+	case profile.SkeletonSeen:
+		p.Outcome = "seen"
+	case profile.SkeletonUnseen:
+		p.Outcome = "unseen"
+		p.Attack = true
+		p.Detail = fmt.Sprintf("query skeleton never seen from call site %q during training: %s", site, sk)
+	case profile.SiteUnknown:
+		p.Outcome = "site-unknown"
+	}
+	return p
+}
+
 // Transport is the application's view of the PTI analysis, independent of
 // deployment.
 type Transport interface {
@@ -154,14 +211,24 @@ type Transport interface {
 // Direct is the in-process transport (the "PHP extension" estimate).
 type Direct struct {
 	analyzer *pti.Cached
+	profiles *profile.Store
+	recorder *profile.Recorder
 }
 
 var _ Transport = (*Direct)(nil)
+var _ siteTransport = (*Direct)(nil)
 
 // NewDirect returns a Direct transport over analyzer.
 func NewDirect(analyzer *pti.Cached) *Direct {
 	return &Direct{analyzer: analyzer}
 }
+
+// SetProfiles installs the query-skeleton profile store consulted by
+// AnalyzeSiteContext. Call before serving checks.
+func (d *Direct) SetProfiles(st *profile.Store) { d.profiles = st }
+
+// SetProfileRecorder puts the transport in profile learning mode.
+func (d *Direct) SetProfileRecorder(r *profile.Recorder) { d.recorder = r }
 
 // Analyze implements Transport.
 func (d *Direct) Analyze(query string) (*AnalysisReply, error) {
@@ -172,6 +239,17 @@ func (d *Direct) Analyze(query string) (*AnalysisReply, error) {
 // only gates the in-process analysis.
 func (d *Direct) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
 	return analyzeCtx(ctx, d.analyzer, query, nil)
+}
+
+// AnalyzeSiteContext implements siteTransport: AnalyzeContext plus the
+// query-skeleton profile verdict for site.
+func (d *Direct) AnalyzeSiteContext(ctx context.Context, site, query string) (*AnalysisReply, error) {
+	reply, err := analyzeCtx(ctx, d.analyzer, query, nil)
+	if err != nil {
+		return nil, err
+	}
+	reply.Profile = profileReplyFor(d.profiles, d.recorder, site, query)
+	return reply, nil
 }
 
 // Close implements Transport.
@@ -209,6 +287,10 @@ type wireRequest struct {
 	// per item server-side). Item failures ride back per item on a healthy
 	// stream; only framing faults break the connection.
 	Batch []wireRequest `json:"batch,omitempty"`
+	// Site identifies the database call site issuing Query, keying the
+	// query-skeleton profile lookup server-side. Empty (and requests from
+	// older clients) skips the profile stage; old servers ignore the field.
+	Site string `json:"site,omitempty"`
 }
 
 type wireResponse struct {

@@ -59,10 +59,11 @@ type HybridClient struct {
 	tracer    *trace.Tracer
 
 	// construction-time configuration consumed by NewHybridClient.
-	nti       *nti.Analyzer
-	degrade   DegradeMode
-	collector *metrics.Collector
-	audit     *audit.Logger
+	nti            *nti.Analyzer
+	degrade        DegradeMode
+	collector      *metrics.Collector
+	audit          *audit.Logger
+	strictProfiles bool
 }
 
 // HybridOption configures a HybridClient.
@@ -105,6 +106,14 @@ func WithoutNTI() HybridOption {
 	return func(h *HybridClient) { h.nti = nil }
 }
 
+// WithStrictProfiles escalates a daemon profile verdict of "site-unknown"
+// — a call site with no training profile at all — to an attack. Off by
+// default: a training coverage gap degrades to "no opinion", not an
+// outage.
+func WithStrictProfiles() HybridOption {
+	return func(h *HybridClient) { h.strictProfiles = true }
+}
+
 // WithTracing samples checks into trace spans per cfg. When the daemon
 // also traces, its span rides back on the analyze reply and is merged, so
 // one trace shows client-side NTI timing next to daemon-side lexing, cache
@@ -123,6 +132,10 @@ func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core
 	}
 	snap := &engine.Snapshot{NTI: h.nti}
 	snap.Analyzers = append(snap.Analyzers, remotePTIStage{transport: transport, degrade: h.degrade})
+	// The profile stage converts the verdict the daemon attached to the
+	// analyze reply; it costs nothing when no reply carries one (no site
+	// sent, or a daemon without profiles).
+	snap.Analyzers = append(snap.Analyzers, remoteProfileStage{strict: h.strictProfiles})
 	if h.nti != nil {
 		snap.Analyzers = append(snap.Analyzers, engine.NTIStage{Analyzer: h.nti})
 	}
@@ -160,13 +173,22 @@ func (s remotePTIStage) Name() string { return core.AnalyzerPTI }
 
 // Analyze implements engine.Analyzer.
 func (s remotePTIStage) Analyze(ctx context.Context, req engine.Request, st *engine.State) (core.Result, error) {
-	reply, err := s.transport.AnalyzeContext(ctx, req.Query)
+	var reply *AnalysisReply
+	var err error
+	if stx, ok := s.transport.(siteTransport); ok && req.Site != "" {
+		reply, err = stx.AnalyzeSiteContext(ctx, req.Site, req.Query)
+	} else {
+		reply, err = s.transport.AnalyzeContext(ctx, req.Query)
+	}
 	if err == nil {
 		// Fold the daemon's view of this check into our span: its lex and
 		// cover timings, cache outcome and cover evidence. The token
-		// stream decodes only if the NTI stage actually needs it.
+		// stream decodes only if the NTI stage actually needs it. The raw
+		// reply is stashed for the profile stage, which converts the
+		// daemon's profile verdict without a second round trip.
 		st.Span().Merge(reply.Trace)
 		st.PublishTokenSource(reply.TokenStream)
+		st.SetAux(reply)
 		return reply.Result(), nil
 	}
 	if cerr := ctx.Err(); cerr != nil {
@@ -192,6 +214,45 @@ func (s remotePTIStage) Analyze(ctx context.Context, req engine.Request, st *eng
 	}
 }
 
+// remoteProfileStage is the client half of the daemon's query-skeleton
+// profile stage: it reads the analyze reply the PTI stage stashed and
+// converts its profile verdict into the third analyzer Result. When no
+// reply carries a profile verdict — no site on the request, a degraded
+// check, or a daemon without profiles — it reports a labeled empty result.
+type remoteProfileStage struct {
+	// strict escalates "site-unknown" (no training profile for the call
+	// site) to an attack.
+	strict bool
+}
+
+// Name implements engine.Analyzer.
+func (s remoteProfileStage) Name() string { return core.AnalyzerProfile }
+
+// Analyze implements engine.Analyzer.
+func (s remoteProfileStage) Analyze(ctx context.Context, req engine.Request, st *engine.State) (core.Result, error) {
+	res := core.Result{Analyzer: core.AnalyzerProfile}
+	reply, ok := st.Aux().(*AnalysisReply)
+	if !ok || reply == nil || reply.Profile == nil {
+		return res, nil
+	}
+	p := reply.Profile
+	st.Span().SetProfile(p.Site, p.Skeleton, p.Outcome)
+	switch {
+	case p.Attack:
+		res.Attack = true
+		detail := p.Detail
+		if detail == "" {
+			detail = fmt.Sprintf("query skeleton never seen from call site %q during training", p.Site)
+		}
+		res.Reasons = []core.Reason{{Detail: detail}}
+	case s.strict && p.Outcome == "site-unknown":
+		res.Attack = true
+		res.Reasons = []core.Reason{{Detail: fmt.Sprintf(
+			"call site %q has no training profile (strict mode)", p.Site)}}
+	}
+	return res, nil
+}
+
 // CheckContext returns the hybrid verdict for query given the request's
 // inputs, bounded by ctx: the deadline rides to the daemon in the wire
 // request, cancellation aborts a blocked round trip and the NTI matcher
@@ -208,6 +269,15 @@ func (h *HybridClient) CheckContext(ctx context.Context, query string, inputs []
 // can still fail when the transport does and DegradeError is configured.
 func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, error) {
 	return h.eng.Check(context.Background(), engine.Request{Query: query, Inputs: inputs})
+}
+
+// CheckContextAt is CheckContext with a call-site identity: the site rides
+// to the daemon in the wire request, and the daemon's query-skeleton
+// profile verdict becomes the third analyzer vote. Requires a transport
+// with site support (Client, Pool, ShardedPool, Direct); others analyze
+// without the profile stage.
+func (h *HybridClient) CheckContextAt(ctx context.Context, site, query string, inputs []nti.Input) (core.Verdict, error) {
+	return h.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs, Site: site})
 }
 
 // Metrics returns a snapshot of the client's counters: checks, attacks
@@ -251,6 +321,12 @@ func (h *HybridClient) AuthorizeContext(ctx context.Context, query string, input
 // otherwise.
 func (h *HybridClient) Authorize(query string, inputs []nti.Input) error {
 	return h.eng.Authorize(context.Background(), engine.Request{Query: query, Inputs: inputs})
+}
+
+// AuthorizeContextAt is AuthorizeContext with a call-site identity (see
+// CheckContextAt).
+func (h *HybridClient) AuthorizeContextAt(ctx context.Context, site, query string, inputs []nti.Input) error {
+	return h.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs, Site: site})
 }
 
 // Close flushes the audit logger (a no-op for synchronous loggers) and

@@ -270,10 +270,22 @@ func (p *Pool) Analyze(query string) (*AnalysisReply, error) {
 // batch frame, ctx still bounds this caller's wait, and the item's budget
 // still rides to the server.
 func (p *Pool) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
+	return p.analyzeReq(ctx, withTimeoutBudget(ctx, wireRequest{Query: query}))
+}
+
+// AnalyzeSiteContext implements siteTransport: AnalyzeContext with the
+// call-site identity in the request so the server runs the query-skeleton
+// profile stage. Site-carrying requests coalesce through the micro-batcher
+// like any other — the site rides in the batch item.
+func (p *Pool) AnalyzeSiteContext(ctx context.Context, site, query string) (*AnalysisReply, error) {
+	return p.analyzeReq(ctx, withTimeoutBudget(ctx, wireRequest{Query: query, Site: site}))
+}
+
+func (p *Pool) analyzeReq(ctx context.Context, req wireRequest) (*AnalysisReply, error) {
 	if p.batch != nil {
-		return p.batch.analyze(ctx, query)
+		return p.batch.analyze(ctx, req)
 	}
-	resp, err := p.do(ctx, withTimeoutBudget(ctx, wireRequest{Query: query}))
+	resp, err := p.do(ctx, req)
 	if err != nil {
 		return nil, err
 	}

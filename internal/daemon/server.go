@@ -15,6 +15,7 @@ import (
 	"joza/internal/core"
 	"joza/internal/guardrail"
 	"joza/internal/metrics"
+	"joza/internal/profile"
 	"joza/internal/pti"
 	"joza/internal/trace"
 )
@@ -66,6 +67,13 @@ type Server struct {
 	collector *metrics.Collector
 	tracer    *trace.Tracer
 	gate      *guardrail.Gate
+
+	// profiles is the query-skeleton profile store consulted for analyze
+	// requests that carry a call site; swapped atomically by SetProfiles
+	// on reload, like the analyzer. recorder, when set, puts the daemon in
+	// profile learning mode instead.
+	profiles atomic.Pointer[profile.Store]
+	recorder *profile.Recorder
 
 	readTimeout time.Duration
 	maxRequest  int64
@@ -138,6 +146,20 @@ func WithAdmission(limit int, maxWait time.Duration) ServerOption {
 	return func(s *Server) { s.gate = guardrail.NewGate(limit, maxWait) }
 }
 
+// WithProfiles loads a query-skeleton profile store: analyze requests
+// that carry a call site get a profile verdict on the reply. Swap later
+// stores with SetProfiles.
+func WithProfiles(st *profile.Store) ServerOption {
+	return func(s *Server) { s.profiles.Store(st) }
+}
+
+// WithProfileRecorder puts the server in profile learning mode: requests
+// with a call site record their skeleton into r and always report
+// "learned". Takes precedence over a loaded store.
+func WithProfileRecorder(r *profile.Recorder) ServerOption {
+	return func(s *Server) { s.recorder = r }
+}
+
 // WithTracer makes the server sample analyze requests into t's trace
 // rings, serve them through the "traces" verb, attach the daemon-side span
 // to sampled analyze replies, and feed the per-stage histograms reported
@@ -176,6 +198,14 @@ func (s *Server) Stats() StatsReply {
 	snap.DaemonTracesOps = s.tracesOps.Load()
 	snap.DaemonErrors = s.errorOps.Load()
 	snap.DaemonTimeouts = s.timeouts.Load()
+	if ps := s.profiles.Load(); ps != nil {
+		snap.ProfileSites = uint64(ps.Sites())
+		snap.ProfileSkeletons = uint64(ps.Skeletons())
+	} else if s.recorder != nil {
+		sites, skeletons := s.recorder.Len()
+		snap.ProfileSites = uint64(sites)
+		snap.ProfileSkeletons = uint64(skeletons)
+	}
 	analyzer := s.analyzer.Load()
 	st := analyzer.Stats()
 	snap.CacheQueryHits = st.QueryHits
@@ -198,6 +228,13 @@ func (s *Server) Stats() StatsReply {
 // detects new or modified application files (Section IV-B).
 func (s *Server) SetAnalyzer(analyzer *pti.Cached) {
 	s.analyzer.Store(analyzer)
+}
+
+// SetProfiles atomically swaps the query-skeleton profile store;
+// in-flight requests finish on the old one. The reload path uses this
+// exactly like SetAnalyzer.
+func (s *Server) SetProfiles(st *profile.Store) {
+	s.profiles.Store(st)
 }
 
 // Serve accepts connections until Close. Transient Accept failures —
@@ -381,11 +418,16 @@ func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
 		resp.Err = err.Error()
 		return
 	}
-	s.collector.RecordCheck(false, reply.Attack, time.Since(start))
+	reply.Profile = profileReplyFor(s.profiles.Load(), s.recorder, req.Site, req.Query)
+	profAttack := reply.Profile != nil && reply.Profile.Attack
+	s.collector.RecordCheck(false, reply.Attack, profAttack, time.Since(start))
 	if span != nil {
-		span.SetVerdict(false, reply.Attack)
+		span.SetVerdict(false, reply.Attack, profAttack)
+		if p := reply.Profile; p != nil {
+			span.SetProfile(p.Site, p.Skeleton, p.Outcome)
+		}
 		s.tracer.Finish(span)
-		s.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs, span.NTIPrefilterNs)
+		s.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs, span.NTIPrefilterNs, span.ProfileNs)
 		reply.Trace = span
 	}
 	resp.Reply = reply

@@ -137,6 +137,19 @@ func (sp *ShardedPool) AnalyzeKeyContext(ctx context.Context, key, query string)
 	return reply, nil
 }
 
+// AnalyzeSiteContext implements siteTransport: routes by the query (the
+// default routing key) and carries the call site to the owning shard so
+// its daemon runs the query-skeleton profile stage. Profiled fleets must
+// share one profile store (or shard it by the same key).
+func (sp *ShardedPool) AnalyzeSiteContext(ctx context.Context, site, query string) (*AnalysisReply, error) {
+	s := sp.ring.Owner(sp.key(query))
+	reply, err := sp.pools[s].AnalyzeSiteContext(ctx, site, query)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", sp.names[s], err)
+	}
+	return reply, nil
+}
+
 // AnalyzeBatch analyzes queries across the fleet: items group by owning
 // shard, each group rides one per-shard batch frame (the groups run
 // concurrently), and the results reassemble in input order. A shard

@@ -42,6 +42,7 @@ import (
 	"joza/internal/fragments"
 	"joza/internal/metrics"
 	"joza/internal/nti"
+	"joza/internal/profile"
 	"joza/internal/pti"
 	"joza/internal/sqltoken"
 	"joza/internal/trace"
@@ -55,6 +56,11 @@ type Request struct {
 	Query string
 	// Inputs are the raw application inputs captured at request entry.
 	Inputs []nti.Input
+	// Site identifies the database call site issuing the query (e.g.
+	// "plugin:gd-star-rating" or a caller-chosen key). Consumed by the
+	// query-skeleton profile stage; empty means the call site is unknown
+	// and that stage skips the check.
+	Site string
 }
 
 // State is the per-check scratch shared by the stages of one pipeline run:
@@ -175,6 +181,9 @@ type Snapshot struct {
 	// when the snapshot has no such stage.
 	NTI *nti.Analyzer
 	PTI *pti.Cached
+	// Profiles is the per-call-site query-skeleton store behind a
+	// ProfileStage; nil without one. Exposed for stats endpoints.
+	Profiles *profile.Store
 }
 
 // FailureMode selects how the engine resolves a check whose analysis
@@ -388,6 +397,8 @@ func (e *Engine) Check(ctx context.Context, req Request) (core.Verdict, error) {
 			v.NTI = res
 		case core.AnalyzerPTI:
 			v.PTI = res
+		case core.AnalyzerProfile:
+			v.Profile = res
 		}
 	}
 	v.Attack = attack
@@ -457,13 +468,13 @@ func (e *Engine) record(v *core.Verdict, req Request, st *State, sampled bool, s
 	if sampled {
 		elapsed = time.Since(start)
 	}
-	e.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, elapsed)
+	e.collector.RecordCheck(v.NTI.Attack, v.PTI.Attack, v.Profile.Attack, elapsed)
 	if span := st.span; span != nil {
-		span.SetVerdict(v.NTI.Attack, v.PTI.Attack)
+		span.SetVerdict(v.NTI.Attack, v.PTI.Attack, v.Profile.Attack)
 		e.tracer.Finish(span)
 		// Stage histograms are fed only from traced checks so the untraced
 		// hot path never reads the clock per stage.
-		e.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs, span.NTIPrefilterNs)
+		e.collector.ObserveStageDurations(span.LexNs, span.PTICoverNs, span.NTIMatchNs, span.NTIPrefilterNs, span.ProfileNs)
 	}
 	if v.Attack && e.auditLog != nil {
 		e.auditLog.Log(*v, e.policy, req.Inputs)

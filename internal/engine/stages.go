@@ -2,9 +2,12 @@ package engine
 
 import (
 	"context"
+	"fmt"
+	"time"
 
 	"joza/internal/core"
 	"joza/internal/nti"
+	"joza/internal/profile"
 	"joza/internal/pti"
 )
 
@@ -59,6 +62,71 @@ func hasInputValues(inputs []nti.Input) bool {
 		}
 	}
 	return false
+}
+
+// ProfileStage is the third analyzer: per-call-site query-skeleton
+// profiles. In learning mode (Recorder set) it records the skeleton of
+// every query a site issues and never votes; in enforcement mode (Store
+// set) it flags a query whose skeleton the site never issued during
+// training. Requests without a Site skip the stage entirely — call-site
+// identity is the profile key, and the stage cannot say anything without
+// one.
+type ProfileStage struct {
+	// Store is the frozen training profile consulted in enforcement.
+	Store *profile.Store
+	// Recorder, when non-nil, puts the stage in learning mode: skeletons
+	// are recorded and the stage always reports clean.
+	Recorder *profile.Recorder
+	// BlockUnknownSites makes enforcement flag queries from sites with no
+	// profile at all. Off by default: a training gap must degrade to "no
+	// opinion", not take the application down.
+	BlockUnknownSites bool
+}
+
+// Name implements Analyzer.
+func (s ProfileStage) Name() string { return core.AnalyzerProfile }
+
+// Analyze implements Analyzer.
+func (s ProfileStage) Analyze(ctx context.Context, req Request, st *State) (core.Result, error) {
+	res := core.Result{Analyzer: core.AnalyzerProfile}
+	if req.Site == "" {
+		return res, nil
+	}
+	span := st.Span()
+	var start time.Time
+	if span != nil {
+		start = time.Now()
+	}
+	if s.Recorder != nil {
+		sk := s.Recorder.Record(req.Site, req.Query)
+		if span != nil {
+			span.ProfileTime(time.Since(start))
+			span.SetProfile(req.Site, sk, "learned")
+		}
+		return res, nil
+	}
+	sk := profile.Skeleton(req.Query)
+	lookup := s.Store.Lookup(req.Site, sk)
+	outcome := "seen"
+	switch lookup {
+	case profile.SkeletonUnseen:
+		outcome = "unseen"
+		res.Attack = true
+		res.Reasons = []core.Reason{{Detail: fmt.Sprintf(
+			"query skeleton never seen from call site %q during training: %s", req.Site, sk)}}
+	case profile.SiteUnknown:
+		outcome = "site-unknown"
+		if s.BlockUnknownSites {
+			res.Attack = true
+			res.Reasons = []core.Reason{{Detail: fmt.Sprintf(
+				"call site %q has no training profile (strict mode)", req.Site)}}
+		}
+	}
+	if span != nil {
+		span.ProfileTime(time.Since(start))
+		span.SetProfile(req.Site, sk, outcome)
+	}
+	return res, nil
 }
 
 // Func adapts a plain function into a pipeline stage, for baselines and

@@ -120,6 +120,9 @@ const (
 	// StageNTIPrefilter is the q-gram prefilter portion of NTI matching
 	// (gram-set build plus per-input counting).
 	StageNTIPrefilter
+	// StageProfile is the query-skeleton profile stage (normalization plus
+	// the per-call-site lookup).
+	StageProfile
 	numStages
 )
 
@@ -134,6 +137,8 @@ func StageName(s Stage) string {
 		return "nti_match"
 	case StageNTIPrefilter:
 		return "nti_prefilter"
+	case StageProfile:
+		return "profile"
 	default:
 		return "unknown"
 	}
@@ -143,17 +148,18 @@ func StageName(s Stage) string {
 // concurrent use and designed to be shared: a Manager hands one Collector
 // to every Guard it rebuilds so counters survive fragment-set swaps.
 type Collector struct {
-	checks     atomic.Uint64
-	attacks    atomic.Uint64
-	ntiAttacks atomic.Uint64
-	ptiAttacks atomic.Uint64
-	degraded   atomic.Uint64
-	panics     atomic.Uint64
-	overBudget atomic.Uint64
-	shed       atomic.Uint64
-	sampleTick atomic.Uint64
-	latency    Histogram
-	stages     [numStages]Histogram
+	checks         atomic.Uint64
+	attacks        atomic.Uint64
+	ntiAttacks     atomic.Uint64
+	ptiAttacks     atomic.Uint64
+	profileAttacks atomic.Uint64
+	degraded       atomic.Uint64
+	panics         atomic.Uint64
+	overBudget     atomic.Uint64
+	shed           atomic.Uint64
+	sampleTick     atomic.Uint64
+	latency        Histogram
+	stages         [numStages]Histogram
 }
 
 // NewCollector returns an empty Collector.
@@ -174,11 +180,13 @@ func (c *Collector) SampleLatency() bool {
 	return (c.sampleTick.Add(1)-1)%sampleEvery == 0
 }
 
-// RecordCheck records one completed check. A negative duration means the
+// RecordCheck records one completed check, attributing the attack bit per
+// analyzer (profileAttack is the query-skeleton profile stage's vote,
+// always false in two-stage pipelines). A negative duration means the
 // latency was not sampled for this check and only the counters move.
-func (c *Collector) RecordCheck(ntiAttack, ptiAttack bool, d time.Duration) {
+func (c *Collector) RecordCheck(ntiAttack, ptiAttack, profileAttack bool, d time.Duration) {
 	c.checks.Add(1)
-	if ntiAttack || ptiAttack {
+	if ntiAttack || ptiAttack || profileAttack {
 		c.attacks.Add(1)
 	}
 	if ntiAttack {
@@ -186,6 +194,9 @@ func (c *Collector) RecordCheck(ntiAttack, ptiAttack bool, d time.Duration) {
 	}
 	if ptiAttack {
 		c.ptiAttacks.Add(1)
+	}
+	if profileAttack {
+		c.profileAttacks.Add(1)
 	}
 	if d >= 0 {
 		c.latency.Observe(d)
@@ -226,7 +237,7 @@ func (c *Collector) ObserveStage(s Stage, d time.Duration) {
 // ObserveStageDurations records the stage timings a finished trace span
 // carries: zero values mean the stage did not run (a cache hit skips both
 // lex and cover) and are not observed.
-func (c *Collector) ObserveStageDurations(lexNs, ptiCoverNs, ntiMatchNs, ntiPrefilterNs int64) {
+func (c *Collector) ObserveStageDurations(lexNs, ptiCoverNs, ntiMatchNs, ntiPrefilterNs, profileNs int64) {
 	if lexNs > 0 {
 		c.stages[StageLex].Observe(time.Duration(lexNs))
 	}
@@ -239,6 +250,9 @@ func (c *Collector) ObserveStageDurations(lexNs, ptiCoverNs, ntiMatchNs, ntiPref
 	if ntiPrefilterNs > 0 {
 		c.stages[StageNTIPrefilter].Observe(time.Duration(ntiPrefilterNs))
 	}
+	if profileNs > 0 {
+		c.stages[StageProfile].Observe(time.Duration(profileNs))
+	}
 }
 
 // Snapshot returns the collector's counters. Cache and matcher fields are
@@ -249,6 +263,7 @@ func (c *Collector) Snapshot() Snapshot {
 		Attacks:          c.attacks.Load(),
 		NTIAttacks:       c.ntiAttacks.Load(),
 		PTIAttacks:       c.ptiAttacks.Load(),
+		ProfileAttacks:   c.profileAttacks.Load(),
 		DegradedChecks:   c.degraded.Load(),
 		PanicsRecovered:  c.panics.Load(),
 		OverBudgetChecks: c.overBudget.Load(),
@@ -332,6 +347,13 @@ type Snapshot struct {
 	Attacks    uint64 `json:"attacks"`
 	NTIAttacks uint64 `json:"ntiAttacks"`
 	PTIAttacks uint64 `json:"ptiAttacks"`
+	// ProfileAttacks counts queries the query-skeleton profile stage
+	// flagged (unseen skeleton for the call site); zero in two-stage
+	// pipelines. ProfileSites and ProfileSkeletons describe the loaded
+	// profile store, filled by the owner.
+	ProfileAttacks   uint64 `json:"profileAttacks,omitempty"`
+	ProfileSites     uint64 `json:"profileSites,omitempty"`
+	ProfileSkeletons uint64 `json:"profileSkeletons,omitempty"`
 
 	// DegradedChecks counts checks served without a PTI verdict because
 	// the daemon transport was unavailable: the remote HybridClient fell
@@ -425,6 +447,9 @@ func Merge(snaps ...Snapshot) Snapshot {
 		out.Attacks += s.Attacks
 		out.NTIAttacks += s.NTIAttacks
 		out.PTIAttacks += s.PTIAttacks
+		out.ProfileAttacks += s.ProfileAttacks
+		out.ProfileSites += s.ProfileSites
+		out.ProfileSkeletons += s.ProfileSkeletons
 		out.DegradedChecks += s.DegradedChecks
 		out.PanicsRecovered += s.PanicsRecovered
 		out.OverBudgetChecks += s.OverBudgetChecks
@@ -547,6 +572,10 @@ func (s Snapshot) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "checks %d, attacks %d (NTI %d, PTI %d)\n",
 		s.Checks, s.Attacks, s.NTIAttacks, s.PTIAttacks)
+	if s.ProfileAttacks+s.ProfileSites+s.ProfileSkeletons > 0 {
+		fmt.Fprintf(&b, "profiles: %d sites, %d skeletons, %d attacks\n",
+			s.ProfileSites, s.ProfileSkeletons, s.ProfileAttacks)
+	}
 	if s.DegradedChecks > 0 {
 		fmt.Fprintf(&b, "degraded checks (daemon unreachable): %d\n", s.DegradedChecks)
 	}

@@ -48,10 +48,10 @@ func TestHistogramBucketEdges(t *testing.T) {
 
 func TestCollectorCounters(t *testing.T) {
 	c := NewCollector()
-	c.RecordCheck(false, false, time.Microsecond)
-	c.RecordCheck(true, false, time.Microsecond)
-	c.RecordCheck(false, true, time.Microsecond)
-	c.RecordCheck(true, true, time.Microsecond)
+	c.RecordCheck(false, false, false, time.Microsecond)
+	c.RecordCheck(true, false, false, time.Microsecond)
+	c.RecordCheck(false, true, false, time.Microsecond)
+	c.RecordCheck(true, true, true, time.Microsecond)
 	s := c.Snapshot()
 	if s.Checks != 4 || s.Attacks != 3 || s.NTIAttacks != 2 || s.PTIAttacks != 2 {
 		t.Errorf("snapshot = %+v", s)
@@ -69,7 +69,7 @@ func TestCollectorConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				c.RecordCheck(i%7 == 0, i%11 == 0, time.Duration(i)*time.Nanosecond)
+				c.RecordCheck(i%7 == 0, i%11 == 0, i%13 == 0, time.Duration(i)*time.Nanosecond)
 			}
 		}()
 	}
@@ -142,20 +142,20 @@ func TestCollectorStageHistograms(t *testing.T) {
 	if got := c.Snapshot().Stages; len(got) != 0 {
 		t.Fatalf("untraced collector exported stages: %+v", got)
 	}
-	c.RecordCheck(false, false, 4*time.Microsecond)
+	c.RecordCheck(false, false, false, 4*time.Microsecond)
 	c.ObserveStage(StageLex, time.Microsecond)
 	c.ObserveStage(StageLex, 2*time.Microsecond)
-	c.ObserveStageDurations(0, int64(5*time.Microsecond), int64(3*time.Microsecond), int64(time.Microsecond))
+	c.ObserveStageDurations(0, int64(5*time.Microsecond), int64(3*time.Microsecond), int64(time.Microsecond), int64(2*time.Microsecond))
 	c.ObserveStage(Stage(99), time.Second) // ignored, not a panic
 	s := c.Snapshot()
-	if len(s.Stages) != 4 {
-		t.Fatalf("stages = %+v, want lex, pti_cover, nti_match, nti_prefilter", s.Stages)
+	if len(s.Stages) != 5 {
+		t.Fatalf("stages = %+v, want lex, pti_cover, nti_match, nti_prefilter, profile", s.Stages)
 	}
 	byName := map[string]StageLatency{}
 	for _, st := range s.Stages {
 		byName[st.Stage] = st
 	}
-	if byName["lex"].Count != 2 || byName["pti_cover"].Count != 1 || byName["nti_match"].Count != 1 || byName["nti_prefilter"].Count != 1 {
+	if byName["lex"].Count != 2 || byName["pti_cover"].Count != 1 || byName["nti_match"].Count != 1 || byName["nti_prefilter"].Count != 1 || byName["profile"].Count != 1 {
 		t.Errorf("stage counts = %+v", byName)
 	}
 	if byName["lex"].P50Ns == 0 || byName["lex"].SumNs != int64(3*time.Microsecond) {
@@ -186,7 +186,7 @@ func TestCollectorStageHistograms(t *testing.T) {
 
 func TestObserveStageDurationsSkipsZero(t *testing.T) {
 	c := NewCollector()
-	c.ObserveStageDurations(0, 0, 0, 0)
+	c.ObserveStageDurations(0, 0, 0, 0, 0)
 	if got := c.Snapshot().Stages; len(got) != 0 {
 		t.Fatalf("zero durations must not be observed, got %+v", got)
 	}

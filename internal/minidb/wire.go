@@ -28,6 +28,10 @@ type WireInput struct {
 type Request struct {
 	Query  string      `json:"query"`
 	Inputs []WireInput `json:"inputs,omitempty"`
+	// Site identifies the application call site issuing the query, for a
+	// Joza proxy running the query-skeleton profile stage. The database
+	// server itself ignores it.
+	Site string `json:"site,omitempty"`
 }
 
 // Response is the server's answer to a Request. Numeric values arrive as
@@ -196,9 +200,16 @@ func (c *Client) Query(q string) (*Result, error) {
 // QueryWithInputs executes q, attaching the request's captured inputs for
 // an interposing Joza proxy.
 func (c *Client) QueryWithInputs(q string, inputs []WireInput) (*Result, error) {
+	return c.QueryAt("", q, inputs)
+}
+
+// QueryAt is QueryWithInputs with a call-site identity: site rides in the
+// request so an interposing Joza proxy can run the query-skeleton profile
+// stage. The database server ignores it.
+func (c *Client) QueryAt(site, q string, inputs []WireInput) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(Request{Query: q, Inputs: inputs}); err != nil {
+	if err := c.enc.Encode(Request{Query: q, Inputs: inputs, Site: site}); err != nil {
 		return nil, fmt.Errorf("minidb send: %w", err)
 	}
 	var resp Response

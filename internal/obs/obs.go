@@ -133,6 +133,11 @@ func WritePrometheus(b *strings.Builder, s metrics.Snapshot) {
 	counter("joza_attacks_total", "Queries flagged as attacks.", s.Attacks)
 	counter("joza_nti_attacks_total", "Attacks flagged by negative taint inference.", s.NTIAttacks)
 	counter("joza_pti_attacks_total", "Attacks flagged by positive taint inference.", s.PTIAttacks)
+	counter("joza_profile_attacks_total", "Attacks flagged by the query-skeleton profile stage.", s.ProfileAttacks)
+	if s.ProfileSites+s.ProfileSkeletons > 0 {
+		fmt.Fprintf(b, "# HELP joza_profile_sites Call sites in the loaded query-skeleton profile store.\n# TYPE joza_profile_sites gauge\njoza_profile_sites %d\n", s.ProfileSites)
+		fmt.Fprintf(b, "# HELP joza_profile_skeletons Query skeletons across all profiled call sites.\n# TYPE joza_profile_skeletons gauge\njoza_profile_skeletons %d\n", s.ProfileSkeletons)
+	}
 	counter("joza_degraded_checks_total", "Checks served under daemon-outage degradation.", s.DegradedChecks)
 	counter("joza_panics_recovered_total", "Analyzer-stage panics recovered into failure-mode verdicts.", s.PanicsRecovered)
 	counter("joza_over_budget_checks_total", "Checks that exceeded a cost budget.", s.OverBudgetChecks)

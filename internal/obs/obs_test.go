@@ -16,8 +16,8 @@ import (
 
 func testSnapshot() metrics.Snapshot {
 	c := metrics.NewCollector()
-	c.RecordCheck(false, false, 2*time.Microsecond)
-	c.RecordCheck(true, false, 40*time.Microsecond)
+	c.RecordCheck(false, false, false, 2*time.Microsecond)
+	c.RecordCheck(true, false, false, 40*time.Microsecond)
 	c.RecordDegraded()
 	c.ObserveStage(metrics.StageLex, time.Microsecond)
 	c.ObserveStage(metrics.StagePTICover, 3*time.Microsecond)
@@ -139,7 +139,7 @@ func TestPprofEndpoints(t *testing.T) {
 func TestTracesEndpoint(t *testing.T) {
 	tracer := trace.New(trace.Config{SampleEvery: 1, RingSize: 8})
 	s := tracer.Start("SELECT * FROM t WHERE id=-1 UNION SELECT 1")
-	s.SetVerdict(true, true)
+	s.SetVerdict(true, true, false)
 	tracer.Finish(s)
 	_, base := startTestServer(t, tracer)
 	code, body := get(t, base+"/traces")
@@ -185,7 +185,7 @@ func TestConcurrentScrapes(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				sp := tracer.Start(fmt.Sprintf("q%d", i))
-				sp.SetVerdict(i%3 == 0, false)
+				sp.SetVerdict(i%3 == 0, false, false)
 				tracer.Finish(sp)
 			}
 		}()

@@ -1,0 +1,281 @@
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSkeletonFoldsLiterals(t *testing.T) {
+	// Benign parameter drift must land on one skeleton.
+	groups := [][]string{
+		{
+			"SELECT * FROM posts WHERE id=5",
+			"SELECT * FROM posts WHERE id=123456",
+			"select * from posts where ID = 7",
+			"SELECT  *  FROM  posts\n WHERE id =\t0x1f",
+			"SELECT * FROM posts WHERE id=?",
+			"SELECT * FROM posts WHERE id=:id",
+		},
+		{
+			"SELECT name FROM users WHERE login='alice'",
+			"SELECT name FROM users WHERE login='bob the builder'",
+			`SELECT name FROM users WHERE login="quoted differently"`,
+			"SELECT name FROM users WHERE login='it''s escaped'",
+		},
+	}
+	for gi, group := range groups {
+		want := Skeleton(group[0])
+		if want == "" {
+			t.Fatalf("group %d: empty skeleton for %q", gi, group[0])
+		}
+		for _, q := range group[1:] {
+			if got := Skeleton(q); got != want {
+				t.Errorf("group %d: Skeleton(%q) = %q, want %q (from %q)", gi, q, got, want, group[0])
+			}
+		}
+	}
+}
+
+func TestSkeletonSeparatesStructure(t *testing.T) {
+	base := "SELECT * FROM posts WHERE id=5"
+	variants := []string{
+		"SELECT * FROM posts WHERE id=5 OR 1=1",
+		"SELECT * FROM posts WHERE id=5 UNION SELECT user,pass FROM users",
+		"SELECT * FROM posts WHERE id=5 -- trailing",
+		"SELECT * FROM posts WHERE id=5;DROP TABLE posts",
+		"SELECT * FROM posts",
+		"SELECT * FROM posts WHERE id=5 AND SLEEP(5)",
+	}
+	want := Skeleton(base)
+	for _, q := range variants {
+		if got := Skeleton(q); got == want {
+			t.Errorf("Skeleton(%q) collides with benign skeleton %q", q, want)
+		}
+	}
+}
+
+func TestSkeletonInListFolding(t *testing.T) {
+	a := Skeleton("SELECT * FROM t WHERE id IN (1)")
+	b := Skeleton("SELECT * FROM t WHERE id IN (1, 2, 3)")
+	c := Skeleton("SELECT * FROM t WHERE name IN ('x','y')")
+	d := Skeleton("SELECT * FROM t WHERE name IN ('x')")
+	if a != b {
+		t.Errorf("IN-list length drift fragments the skeleton: %q vs %q", a, b)
+	}
+	if c != d {
+		t.Errorf("string IN-list length drift fragments the skeleton: %q vs %q", c, d)
+	}
+	// A subquery or expression inside IN is structure and must not fold.
+	sub := Skeleton("SELECT * FROM t WHERE id IN (SELECT id FROM u)")
+	if sub == a {
+		t.Errorf("IN (subquery) folded to the literal-list skeleton %q", a)
+	}
+	expr := Skeleton("SELECT * FROM t WHERE id IN (1+1)")
+	if expr == a {
+		t.Errorf("IN (expression) folded to the literal-list skeleton %q", a)
+	}
+	// Mixed literal kinds still fold: both are folded literal markers.
+	if got := Skeleton("SELECT * FROM t WHERE id IN (1,'x',2)"); !strings.Contains(got, "IN ( ? )") {
+		t.Errorf("mixed literal IN-list did not fold: %q", got)
+	}
+	// Empty parens are not a literal list.
+	if got := Skeleton("SELECT * FROM t WHERE id IN ()"); strings.Contains(got, "IN ( ? )") {
+		t.Errorf("empty IN () must not fold: %q", got)
+	}
+}
+
+func TestSkeletonAliasFolding(t *testing.T) {
+	a := Skeleton("SELECT count(*) AS total FROM t")
+	b := Skeleton("SELECT COUNT(*) as n FROM t")
+	if a != b {
+		t.Errorf("AS-alias drift fragments the skeleton: %q vs %q", a, b)
+	}
+	// Without AS the identifier is structure (it may be a column reference).
+	if x, y := Skeleton("SELECT a FROM t"), Skeleton("SELECT b FROM t"); x == y {
+		t.Errorf("distinct selected columns folded together: %q", x)
+	}
+}
+
+func TestSkeletonComments(t *testing.T) {
+	a := Skeleton("SELECT 1 /* hint A */")
+	b := Skeleton("SELECT 1 /* completely different text */")
+	if a != b {
+		t.Errorf("comment text leaked into the skeleton: %q vs %q", a, b)
+	}
+	if plain := Skeleton("SELECT 1"); plain == a {
+		t.Errorf("comment presence did not change the skeleton: %q", plain)
+	}
+}
+
+func TestSkeletonEmpty(t *testing.T) {
+	if got := Skeleton(""); got != "" {
+		t.Errorf("Skeleton(\"\") = %q, want \"\"", got)
+	}
+	if got := Skeleton("   \t\n"); got != "" {
+		t.Errorf("Skeleton(whitespace) = %q, want \"\"", got)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record("plugin:posts", "SELECT * FROM posts WHERE id=5")
+	rec.Record("plugin:posts", "SELECT * FROM posts WHERE id=99") // same skeleton
+	rec.Record("plugin:posts", "SELECT title FROM posts ORDER BY date DESC")
+	rec.Record("plugin:login", "SELECT pass FROM users WHERE login='alice'")
+	rec.Record(`plugin:"odd name"`, "SELECT 1") // quoting must survive
+
+	st := rec.Store()
+	if st.Sites() != 3 {
+		t.Fatalf("Sites() = %d, want 3", st.Sites())
+	}
+	if st.Skeletons() != 4 {
+		t.Fatalf("Skeletons() = %d, want 4", st.Skeletons())
+	}
+
+	first := st.Bytes()
+	parsed, err := Parse(first)
+	if err != nil {
+		t.Fatalf("Parse(own serialization): %v", err)
+	}
+	second := parsed.Bytes()
+	if !bytes.Equal(first, second) {
+		t.Errorf("serialize->parse->serialize is not bit-identical:\n%q\nvs\n%q", first, second)
+	}
+	if parsed.Sites() != st.Sites() || parsed.Skeletons() != st.Skeletons() {
+		t.Errorf("parsed counts (%d, %d) != original (%d, %d)",
+			parsed.Sites(), parsed.Skeletons(), st.Sites(), st.Skeletons())
+	}
+
+	sk := Skeleton("SELECT * FROM posts WHERE id=777")
+	if got := parsed.Lookup("plugin:posts", sk); got != SkeletonSeen {
+		t.Errorf("Lookup(known skeleton) = %v, want SkeletonSeen", got)
+	}
+	if got := parsed.Lookup("plugin:posts", Skeleton("SELECT * FROM posts WHERE id=5 OR 1=1")); got != SkeletonUnseen {
+		t.Errorf("Lookup(injected skeleton) = %v, want SkeletonUnseen", got)
+	}
+	if got := parsed.Lookup("plugin:never-trained", sk); got != SiteUnknown {
+		t.Errorf("Lookup(unknown site) = %v, want SiteUnknown", got)
+	}
+}
+
+func TestStoreNil(t *testing.T) {
+	var s *Store
+	if got := s.Lookup("any", "any"); got != SiteUnknown {
+		t.Errorf("nil store Lookup = %v, want SiteUnknown", got)
+	}
+	if s.Sites() != 0 || s.Skeletons() != 0 {
+		t.Errorf("nil store counts = (%d, %d), want (0, 0)", s.Sites(), s.Skeletons())
+	}
+	// The empty serialization is just the header line and parses back.
+	if _, err := Parse(s.Bytes()); err != nil {
+		t.Errorf("Parse(nil store serialization): %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "joza-profile v999\n"},
+		{"no header", `site "a"` + "\n"},
+		{"sk before site", Header + "\n" + `sk "x"` + "\n"},
+		{"bad site quoting", Header + "\nsite unquoted\n"},
+		{"bad sk quoting", Header + "\n" + `site "a"` + "\nsk unquoted\n"},
+		{"garbage line", Header + "\n" + `site "a"` + "\nwat\n"},
+		{"duplicate site", Header + "\n" + `site "a"` + "\n" + `site "a"` + "\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.in)); err == nil {
+			t.Errorf("%s: Parse accepted corrupt input %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestParseToleratesBlankLines(t *testing.T) {
+	in := Header + "\n\n" + `site "a"` + "\n\n" + `sk "SELECT 1"` + "\n\n"
+	st, err := Parse([]byte(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if st.Sites() != 1 || st.Skeletons() != 1 {
+		t.Errorf("counts = (%d, %d), want (1, 1)", st.Sites(), st.Skeletons())
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles")
+	rec := NewRecorder()
+	rec.Record("site", "SELECT 1")
+	if err := os.WriteFile(path, rec.Store().Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if st.Sites() != 1 {
+		t.Errorf("Sites() = %d, want 1", st.Sites())
+	}
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Error("Load(missing file) succeeded")
+	}
+	if err := os.WriteFile(path, []byte("not a profile\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load(corrupt file) succeeded")
+	}
+}
+
+func TestRecorderIgnoresEmptySite(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record("", "SELECT 1")
+	rec.RecordSkeleton("", "SELECT ?")
+	if sites, sks := rec.Len(); sites != 0 || sks != 0 {
+		t.Errorf("Len() = (%d, %d), want (0, 0)", sites, sks)
+	}
+}
+
+func TestRecorderStoreIsFrozen(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record("a", "SELECT 1")
+	st := rec.Store()
+	rec.Record("a", "SELECT name FROM t")
+	rec.Record("b", "SELECT 3")
+	if st.Sites() != 1 || st.Skeletons() != 1 {
+		t.Errorf("frozen store grew: (%d, %d), want (1, 1)", st.Sites(), st.Skeletons())
+	}
+	if got := st.Lookup("a", Skeleton("SELECT name FROM t")); got != SkeletonUnseen {
+		t.Errorf("frozen store sees post-freeze skeleton: %v", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Record(fmt.Sprintf("site%d", g%4), fmt.Sprintf("SELECT %d FROM t%d", i, i%10))
+				if i%10 == 0 {
+					_ = rec.Store()
+					_, _ = rec.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sites, _ := rec.Len(); sites != 4 {
+		t.Errorf("Len() sites = %d, want 4", sites)
+	}
+}

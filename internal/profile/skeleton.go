@@ -1,0 +1,126 @@
+// Package profile implements the third analyzer stage of the hybrid:
+// per-call-site query-skeleton profiles in the SQLBlock style ("You shall
+// not pass"). A learning phase records, for every database call site, the
+// normalized skeleton of each query the site legitimately issues; in
+// enforcement a query whose skeleton was never seen from its call site is
+// flagged, closing the hybrid's residual blind spot — short payloads
+// rebuilt entirely from trusted fragments that also survive approximate
+// input matching, and second-order attacks whose payload never appears in
+// the current request's inputs.
+//
+// The skeleton normalization is deliberately more aggressive than
+// sqlparse.StructureKey (whose byte-exactness is a soundness requirement
+// of the PTI query-structure cache): literals fold to a single marker,
+// whitespace between tokens carries no weight, keyword and identifier
+// case folds, AS-aliases fold, and homogeneous IN-lists of literals fold
+// to one element — so benign parameter drift (different ids, different
+// list lengths, reformatted queries) lands on one skeleton, while any
+// structural change an injection causes (an extra OR term, a UNION arm, a
+// comment, a truncated WHERE) lands on a new one.
+package profile
+
+import (
+	"strings"
+
+	"joza/internal/sqltoken"
+)
+
+// Literal markers emitted by Skeleton. A number or placeholder folds to
+// Value; a string literal folds to StringValue regardless of its quoting
+// or content.
+const (
+	valueMarker  = "?"
+	stringMarker = "'?'"
+	// commentMarker stands in for any comment token: comments are
+	// structure (an injected `-- ` changes the skeleton) but their text is
+	// attacker-controlled noise.
+	commentMarker = "/*?*/"
+)
+
+// Skeleton returns the profile skeleton of a query: a deterministic,
+// whitespace- and literal-insensitive rendering of its token structure.
+// It never fails; unlexable bytes pass through as their own tokens. The
+// empty query yields the empty skeleton.
+func Skeleton(query string) string {
+	toks := sqltoken.Lex(query)
+	if len(toks) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(toks))
+	prevKeyword := "" // upper-cased text of the previous keyword token
+	for _, t := range toks {
+		var p string
+		switch t.Kind {
+		case sqltoken.KindNumber, sqltoken.KindPlaceholder:
+			p = valueMarker
+		case sqltoken.KindString:
+			p = stringMarker
+		case sqltoken.KindComment:
+			p = commentMarker
+		case sqltoken.KindKeyword, sqltoken.KindFunction:
+			p = strings.ToUpper(t.Text)
+		case sqltoken.KindIdent, sqltoken.KindBacktick, sqltoken.KindVariable:
+			if prevKeyword == "AS" {
+				// Alias folding: the name after AS is presentation, not
+				// structure — SELECT a AS x and SELECT a AS y are one
+				// skeleton.
+				p = valueMarker
+			} else {
+				p = strings.ToUpper(t.Text)
+			}
+		default:
+			p = t.Text
+		}
+		if t.Kind == sqltoken.KindKeyword {
+			prevKeyword = strings.ToUpper(t.Text)
+		} else {
+			prevKeyword = ""
+		}
+		parts = append(parts, p)
+	}
+	parts = foldInLists(parts)
+	return strings.Join(parts, " ")
+}
+
+// foldInLists rewrites every `IN ( lit , lit , ... )` run — where each
+// element is a folded literal marker — to `IN ( ? )`, so benign IN-list
+// length drift does not fragment profiles. Lists containing anything but
+// literal markers and commas (subqueries, expressions) are left intact:
+// those are structure.
+func foldInLists(parts []string) []string {
+	out := parts[:0]
+	for i := 0; i < len(parts); i++ {
+		out = append(out, parts[i])
+		if parts[i] != "IN" || i+1 >= len(parts) || parts[i+1] != "(" {
+			continue
+		}
+		// Scan the parenthesized run: literals separated by commas, closed
+		// by ")". Anything else aborts the fold.
+		j := i + 2
+		elems := 0
+		expectElem := true
+		for ; j < len(parts); j++ {
+			p := parts[j]
+			if expectElem {
+				if p != valueMarker && p != stringMarker {
+					break
+				}
+				elems++
+				expectElem = false
+				continue
+			}
+			if p == ")" {
+				break
+			}
+			if p != "," {
+				break
+			}
+			expectElem = true
+		}
+		if j < len(parts) && parts[j] == ")" && elems > 0 && !expectElem {
+			out = append(out, "(", valueMarker, ")")
+			i = j
+		}
+	}
+	return out
+}

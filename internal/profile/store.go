@@ -1,0 +1,243 @@
+package profile
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Header is the first line of the serialized profile format. The version
+// suffix lets a future format evolve while old stores keep loading.
+const Header = "joza-profile v1"
+
+// Store is an immutable set of (call site → query skeletons) profiles, the
+// enforcement side of the subsystem. It is loaded into an engine Snapshot
+// and shared by every in-flight check without locking, exactly like the
+// fragment set: build (or Parse) a Store, hand it to the snapshot, never
+// mutate it. A nil *Store behaves as empty.
+type Store struct {
+	sites map[string]map[string]struct{}
+	// skeletons is the total skeleton count across sites, for stats.
+	skeletons int
+}
+
+// Lookup classifies one (site, skeleton) pair against the store.
+type Lookup int
+
+const (
+	// SkeletonSeen: the site issued this skeleton during training.
+	SkeletonSeen Lookup = iota
+	// SkeletonUnseen: the site is profiled but never issued this skeleton
+	// — the unseen-skeleton signal the enforcement stage flags.
+	SkeletonUnseen
+	// SiteUnknown: the site has no profile at all. Enforcement treats this
+	// leniently by default (coverage gaps in training must not take the
+	// application down) and strictly on request.
+	SiteUnknown
+)
+
+// Lookup classifies skeleton against site's profile.
+func (s *Store) Lookup(site, skeleton string) Lookup {
+	if s == nil {
+		return SiteUnknown
+	}
+	sk, ok := s.sites[site]
+	if !ok {
+		return SiteUnknown
+	}
+	if _, ok := sk[skeleton]; ok {
+		return SkeletonSeen
+	}
+	return SkeletonUnseen
+}
+
+// Sites returns the number of profiled call sites.
+func (s *Store) Sites() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.sites)
+}
+
+// Skeletons returns the total skeleton count across all sites.
+func (s *Store) Skeletons() int {
+	if s == nil {
+		return 0
+	}
+	return s.skeletons
+}
+
+// Serialize writes the store in the versioned text format: the header
+// line, then for each site a `site` line followed by one `sk` line per
+// skeleton, both quoted. Output is deterministic — sites and skeletons in
+// sorted order — so serializing a parsed store reproduces its input
+// bit-identically.
+func (s *Store) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, Header); err != nil {
+		return err
+	}
+	if s != nil {
+		sites := make([]string, 0, len(s.sites))
+		for site := range s.sites {
+			sites = append(sites, site)
+		}
+		sort.Strings(sites)
+		for _, site := range sites {
+			fmt.Fprintf(bw, "site %s\n", strconv.Quote(site))
+			sks := make([]string, 0, len(s.sites[site]))
+			for sk := range s.sites[site] {
+				sks = append(sks, sk)
+			}
+			sort.Strings(sks)
+			for _, sk := range sks {
+				fmt.Fprintf(bw, "sk %s\n", strconv.Quote(sk))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Bytes serializes the store to memory.
+func (s *Store) Bytes() []byte {
+	var buf bytes.Buffer
+	_ = s.Serialize(&buf) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}
+
+// Parse reads a serialized store. It is strict: a bad header, an
+// unquotable line, an `sk` before any `site`, or trailing garbage fail
+// with a line-numbered error, so a corrupt profile file is refused rather
+// than silently enforced half-loaded.
+func Parse(data []byte) (*Store, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("profile: empty input (want %q header)", Header)
+	}
+	if sc.Text() != Header {
+		return nil, fmt.Errorf("profile: bad header %q (want %q)", sc.Text(), Header)
+	}
+	st := &Store{sites: make(map[string]map[string]struct{})}
+	var cur map[string]struct{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case strings.HasPrefix(text, "site "):
+			site, err := strconv.Unquote(text[len("site "):])
+			if err != nil {
+				return nil, fmt.Errorf("profile: line %d: bad site: %v", line, err)
+			}
+			if _, dup := st.sites[site]; dup {
+				return nil, fmt.Errorf("profile: line %d: duplicate site %q", line, site)
+			}
+			cur = make(map[string]struct{})
+			st.sites[site] = cur
+		case strings.HasPrefix(text, "sk "):
+			if cur == nil {
+				return nil, fmt.Errorf("profile: line %d: skeleton before any site", line)
+			}
+			sk, err := strconv.Unquote(text[len("sk "):])
+			if err != nil {
+				return nil, fmt.Errorf("profile: line %d: bad skeleton: %v", line, err)
+			}
+			if _, dup := cur[sk]; !dup {
+				cur[sk] = struct{}{}
+				st.skeletons++
+			}
+		case text == "":
+			// Blank lines are tolerated (hand-edited files).
+		default:
+			return nil, fmt.Errorf("profile: line %d: unrecognized directive %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return st, nil
+}
+
+// Load reads and parses the profile store at path.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	st, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return st, nil
+}
+
+// Recorder accumulates profiles during the learning phase. It is safe for
+// concurrent use — learning runs against live benign traffic — and is
+// kept separate from Store so enforcement's hot path stays lock-free.
+type Recorder struct {
+	mu    sync.Mutex
+	sites map[string]map[string]struct{}
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{sites: make(map[string]map[string]struct{})}
+}
+
+// Record computes query's skeleton and records it for site, returning the
+// skeleton. Empty sites are ignored: without a call-site identity the
+// observation profiles nothing.
+func (r *Recorder) Record(site, query string) string {
+	sk := Skeleton(query)
+	r.RecordSkeleton(site, sk)
+	return sk
+}
+
+// RecordSkeleton records an already-computed skeleton for site.
+func (r *Recorder) RecordSkeleton(site, skeleton string) {
+	if site == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.sites[site]
+	if !ok {
+		m = make(map[string]struct{})
+		r.sites[site] = m
+	}
+	m[skeleton] = struct{}{}
+}
+
+// Len returns the profiled site and total skeleton counts so far.
+func (r *Recorder) Len() (sites, skeletons int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.sites {
+		skeletons += len(m)
+	}
+	return len(r.sites), skeletons
+}
+
+// Store freezes the recorded profiles into an immutable Store. The
+// Recorder keeps recording afterwards; call again for a newer freeze.
+func (r *Recorder) Store() *Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &Store{sites: make(map[string]map[string]struct{}, len(r.sites))}
+	for site, m := range r.sites {
+		cp := make(map[string]struct{}, len(m))
+		for sk := range m {
+			cp[sk] = struct{}{}
+		}
+		st.sites[site] = cp
+		st.skeletons += len(m)
+	}
+	return st
+}

@@ -1,0 +1,54 @@
+package proxy
+
+import (
+	"errors"
+	"testing"
+
+	"joza"
+	"joza/internal/minidb"
+)
+
+// TestProxyThreadsSiteToProfiles drives the call-site identity across the
+// wire: the application stamps its site on each minidb request (QueryAt),
+// the proxy hands it to the guard, and the profile stage blocks an unseen
+// skeleton that carries no tainted input for NTI to match.
+func TestProxyThreadsSiteToProfiles(t *testing.T) {
+	benign := "SELECT id, title FROM posts WHERE id=1 LIMIT 5"
+	rec := joza.NewProfileRecorder()
+	rec.Record("app:list", benign)
+
+	g := newGuard(t, joza.WithProfileStore(rec.Store()))
+	p := New(g, LocalBackend{DB: newDB(t)})
+	addr := startProxy(t, p)
+	c, err := minidb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Profiled benign traffic passes, with parameter drift.
+	if _, err := c.QueryAt("app:list", "SELECT id, title FROM posts WHERE id=2 LIMIT 5", nil); err != nil {
+		t.Fatalf("benign profiled query: %v", err)
+	}
+
+	// A skeleton change from the profiled site is blocked even with no
+	// inputs attached (nothing for NTI) and a fragment-covered query
+	// shape is not required — the profile verdict stands alone.
+	attack := "SELECT id, title FROM posts WHERE id=1 OR 1=1 LIMIT 5"
+	_, err = c.QueryAt("app:list", attack, nil)
+	if !errors.Is(err, minidb.ErrBlocked) {
+		t.Fatalf("unseen skeleton not blocked: %v", err)
+	}
+
+	// The same query without a site skips the profile stage; with benign
+	// inputs and PTI trusting the vocabulary this guard was built with,
+	// the attack string is still caught by PTI here — so assert only the
+	// site-keyed difference: an unknown site is lenient.
+	if _, err := c.QueryAt("app:other", "SELECT id, title FROM posts WHERE id=1 LIMIT 5", nil); err != nil {
+		t.Fatalf("unknown site must be lenient by default: %v", err)
+	}
+
+	if blocked, _ := p.Stats(); blocked != 1 {
+		t.Errorf("blocked = %d, want 1", blocked)
+	}
+}

@@ -427,7 +427,7 @@ func (p *Proxy) process(ctx context.Context, req *minidb.Request) *minidb.Respon
 	for i, in := range req.Inputs {
 		inputs[i] = joza.Input{Source: in.Source, Name: in.Name, Value: in.Value}
 	}
-	if err := p.guard.AuthorizeContext(ctx, req.Query, inputs); err != nil {
+	if err := p.guard.AuthorizeContextAt(ctx, req.Site, req.Query, inputs); err != nil {
 		var ae *joza.AttackError
 		if !errors.As(err, &ae) {
 			// The check was canceled (client disconnect, shutdown): the

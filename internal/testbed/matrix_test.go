@@ -1,0 +1,194 @@
+package testbed
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"joza"
+	"joza/internal/profile"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the detection-matrix golden baseline")
+
+const goldenPath = "testdata/detection_matrix_golden.json"
+
+func evaluateMatrix(t *testing.T) *DetectionMatrix {
+	t.Helper()
+	lab, err := NewLab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lab.EvaluateMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDetectionMatrix asserts the structural claims of the sweep: zero
+// false positives after training, full hybrid+profile detection on the
+// Table IV corpus, and — the point of the profile stage — both gap
+// classes missed by NTI, PTI and their hybrid but caught by the profile.
+func TestDetectionMatrix(t *testing.T) {
+	m := evaluateMatrix(t)
+
+	benign := m.Row(ClassBenign)
+	if benign == nil || benign.Cases == 0 {
+		t.Fatal("missing benign row")
+	}
+	if d := benign.Detected; d.NTI+d.PTI+d.Profile+d.Hybrid+d.HybridProfile != 0 {
+		t.Errorf("false positives on %d benign cases: %+v", benign.Cases, d)
+	}
+
+	for _, class := range []string{ClassOriginal, ClassNTIMutant, ClassPTIMutant} {
+		r := m.Row(class)
+		if r == nil {
+			t.Fatalf("missing row %s", class)
+		}
+		if r.Detected.HybridProfile != r.Cases {
+			t.Errorf("%s: hybrid+profile detects %d/%d", class, r.Detected.HybridProfile, r.Cases)
+		}
+	}
+
+	// PTI alone misses the 13 working Taintless rewrites the paper
+	// reports; the corpus yields 15 working rewrites of which PTI still
+	// catches 2.
+	if r := m.Row(ClassPTIMutant); r.Detected.PTI >= r.Cases {
+		t.Errorf("pti-mutant row lost its evasions: PTI detects %d/%d", r.Detected.PTI, r.Cases)
+	}
+
+	for _, class := range []string{ClassFragmentRebuilt, ClassSecondOrder} {
+		r := m.Row(class)
+		if r == nil {
+			t.Fatalf("missing gap row %s", class)
+		}
+		d := r.Detected
+		if d.NTI != 0 || d.PTI != 0 || d.Hybrid != 0 {
+			t.Errorf("%s: taint analyzers must miss the gap class by construction: %+v", class, d)
+		}
+		if d.Profile != r.Cases || d.HybridProfile != r.Cases {
+			t.Errorf("%s: profile stage missed the gap class: %+v", class, d)
+		}
+	}
+
+	if m.ProfileSites == 0 || m.ProfileSkeletons == 0 || m.Store == nil {
+		t.Errorf("matrix lost its trained store: sites=%d skeletons=%d", m.ProfileSites, m.ProfileSkeletons)
+	}
+	if m.TotalCases < 175 {
+		t.Errorf("corpus shrank to %d cases", m.TotalCases)
+	}
+}
+
+// TestDetectionMatrixGolden gates the sweep against the checked-in
+// baseline: hybrid+profile detection must not regress on any attack
+// class and the benign row must stay clean. Improvements only warn.
+func TestDetectionMatrixGolden(t *testing.T) {
+	m := evaluateMatrix(t)
+	if *updateGolden {
+		data, err := MatrixJSON(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden baseline rewritten: %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden DetectionMatrix
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("corrupt golden baseline: %v", err)
+	}
+	regressions, improvements := CompareMatrix(&golden, m)
+	for _, msg := range improvements {
+		t.Logf("improvement over golden (update the baseline to lock it in): %s", msg)
+	}
+	for _, msg := range regressions {
+		t.Errorf("regression against golden: %s", msg)
+	}
+}
+
+// TestCompareMatrix pins the gate semantics on synthetic matrices.
+func TestCompareMatrix(t *testing.T) {
+	golden := &DetectionMatrix{Rows: []MatrixRow{
+		{Class: ClassBenign, Cases: 10},
+		{Class: ClassOriginal, Cases: 5, Detected: TechniqueCounts{HybridProfile: 5}},
+		{Class: ClassSecondOrder, Cases: 1, Detected: TechniqueCounts{HybridProfile: 1}},
+	}}
+
+	// Identical sweep: clean.
+	if reg, imp := CompareMatrix(golden, golden); len(reg) != 0 || len(imp) != 0 {
+		t.Errorf("self-compare = %v / %v", reg, imp)
+	}
+
+	// Lost detection, new false positive, missing row: three regressions.
+	bad := &DetectionMatrix{Rows: []MatrixRow{
+		{Class: ClassBenign, Cases: 10, Detected: TechniqueCounts{HybridProfile: 1}},
+		{Class: ClassOriginal, Cases: 5, Detected: TechniqueCounts{HybridProfile: 4}},
+	}}
+	if reg, _ := CompareMatrix(golden, bad); len(reg) != 3 {
+		t.Errorf("regressions = %v, want 3", reg)
+	}
+
+	// Fewer cases evaluated than golden is a regression even with a
+	// perfect score on what ran.
+	shrunk := &DetectionMatrix{Rows: []MatrixRow{
+		{Class: ClassBenign, Cases: 10},
+		{Class: ClassOriginal, Cases: 4, Detected: TechniqueCounts{HybridProfile: 4}},
+		{Class: ClassSecondOrder, Cases: 1, Detected: TechniqueCounts{HybridProfile: 1}},
+	}}
+	if reg, _ := CompareMatrix(golden, shrunk); len(reg) != 1 {
+		t.Errorf("shrunk regressions = %v, want 1", reg)
+	}
+
+	// More cases with at least golden detection is an improvement.
+	better := &DetectionMatrix{Rows: []MatrixRow{
+		{Class: ClassBenign, Cases: 12},
+		{Class: ClassOriginal, Cases: 6, Detected: TechniqueCounts{HybridProfile: 6}},
+		{Class: ClassSecondOrder, Cases: 1, Detected: TechniqueCounts{HybridProfile: 1}},
+	}}
+	reg, imp := CompareMatrix(golden, better)
+	if len(reg) != 0 || len(imp) != 1 {
+		t.Errorf("better = %v / %v, want 0 regressions, 1 improvement", reg, imp)
+	}
+}
+
+// TestTrainProfilesRoundTrip exercises the exported training entry point
+// and the serialized store: training, persisting, reloading and wiring
+// the reloaded store into an enforcing guard must preserve the learned
+// skeletons bit for bit.
+func TestTrainProfilesRoundTrip(t *testing.T) {
+	lab, err := NewLab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := lab.TrainProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Sites() == 0 {
+		t.Fatal("training learned nothing")
+	}
+	path := filepath.Join(t.TempDir(), "profiles.joza")
+	if err := os.WriteFile(path, store.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := joza.LoadProfiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reloaded.Bytes()) != string(store.Bytes()) {
+		t.Fatal("store did not round-trip bit-identically")
+	}
+	sk := profile.Skeleton("SELECT id, title FROM posts WHERE id=1 LIMIT 10")
+	if reloaded.Lookup("plugin:a-to-z-category-listing", sk) != profile.SkeletonSeen {
+		t.Errorf("reloaded store lost a trained skeleton; store:\n%.400s", reloaded.Bytes())
+	}
+}

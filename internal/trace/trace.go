@@ -98,11 +98,16 @@ type Span struct {
 	// NTIPrefilterNs is the portion of NTIMatchNs spent in the q-gram
 	// prefilter (gram-set build plus per-input counting).
 	NTIPrefilterNs int64 `json:"ntiPrefilterNs,omitempty"`
+	// ProfileNs is time spent in the query-skeleton profile stage
+	// (skeleton normalization plus the profile lookup).
+	ProfileNs int64 `json:"profileNs,omitempty"`
 
-	// Attack is the hybrid verdict; NTIAttack/PTIAttack attribute it.
-	Attack    bool `json:"attack"`
-	NTIAttack bool `json:"ntiAttack,omitempty"`
-	PTIAttack bool `json:"ptiAttack,omitempty"`
+	// Attack is the hybrid verdict; NTIAttack/PTIAttack/ProfileAttack
+	// attribute it.
+	Attack        bool `json:"attack"`
+	NTIAttack     bool `json:"ntiAttack,omitempty"`
+	PTIAttack     bool `json:"ptiAttack,omitempty"`
+	ProfileAttack bool `json:"profileAttack,omitempty"`
 	// Degraded marks a remote check served without a PTI verdict because
 	// the daemon was unreachable.
 	Degraded bool `json:"degraded,omitempty"`
@@ -116,6 +121,14 @@ type Span struct {
 	// CacheOutcome is the PTI cache verdict: query-hit, structure-hit or
 	// miss (empty when PTI is disabled).
 	CacheOutcome string `json:"cacheOutcome,omitempty"`
+
+	// Site is the call-site key the profile stage evaluated (empty when
+	// the check carried none); Skeleton is the normalized query skeleton
+	// it computed; ProfileOutcome is the lookup's classification — "seen",
+	// "unseen-skeleton" (the attack signal), "unknown-site" or "learned".
+	Site           string `json:"site,omitempty"`
+	Skeleton       string `json:"skeleton,omitempty"`
+	ProfileOutcome string `json:"profileOutcome,omitempty"`
 
 	// Inputs is the per-input NTI match evidence.
 	Inputs []InputMatch `json:"inputs,omitempty"`
@@ -163,6 +176,26 @@ func (s *Span) NTIPrefilter(d time.Duration) {
 		return
 	}
 	s.NTIPrefilterNs += int64(d)
+}
+
+// ProfileTime adds query-skeleton profile stage time.
+func (s *Span) ProfileTime(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.ProfileNs += int64(d)
+}
+
+// SetProfile records the profile stage's evidence: the call-site key, the
+// normalized skeleton and the lookup outcome ("seen", "unseen-skeleton",
+// "unknown-site" or "learned").
+func (s *Span) SetProfile(site, skeleton, outcome string) {
+	if s == nil {
+		return
+	}
+	s.Site = site
+	s.Skeleton = skeleton
+	s.ProfileOutcome = outcome
 }
 
 // SetCacheOutcome records the PTI cache verdict.
@@ -227,13 +260,14 @@ func (s *Span) AddUncovered(u Uncovered) {
 }
 
 // SetVerdict records the final hybrid decision.
-func (s *Span) SetVerdict(ntiAttack, ptiAttack bool) {
+func (s *Span) SetVerdict(ntiAttack, ptiAttack, profileAttack bool) {
 	if s == nil {
 		return
 	}
 	s.NTIAttack = ntiAttack
 	s.PTIAttack = ptiAttack
-	s.Attack = ntiAttack || ptiAttack
+	s.ProfileAttack = profileAttack
+	s.Attack = ntiAttack || ptiAttack || profileAttack
 }
 
 // Merge folds a remote span (the daemon's view of the same check) into s:
@@ -246,8 +280,14 @@ func (s *Span) Merge(remote *Span) {
 	}
 	s.LexNs += remote.LexNs
 	s.PTICoverNs += remote.PTICoverNs
+	s.ProfileNs += remote.ProfileNs
 	if remote.CacheOutcome != "" {
 		s.CacheOutcome = remote.CacheOutcome
+	}
+	if remote.ProfileOutcome != "" {
+		s.Site = remote.Site
+		s.Skeleton = remote.Skeleton
+		s.ProfileOutcome = remote.ProfileOutcome
 	}
 	s.Covers = append(s.Covers, remote.Covers...)
 	s.UncoveredTokens = append(s.UncoveredTokens, remote.UncoveredTokens...)

@@ -22,7 +22,7 @@ func TestNilTracerAndSpanAreSafe(t *testing.T) {
 	s.AddInput(InputMatch{})
 	s.AddCover(Cover{})
 	s.AddUncovered(Uncovered{})
-	s.SetVerdict(true, true)
+	s.SetVerdict(true, true, false)
 	s.Merge(&Span{})
 	if s.Active() {
 		t.Fatal("nil span must not be active")
@@ -49,7 +49,7 @@ func TestDisabledTracingZeroAllocs(t *testing.T) {
 		s := tr.Start("SELECT * FROM posts WHERE id=1")
 		s.Lex(0)
 		s.SetCacheOutcome(CacheQueryHit)
-		s.SetVerdict(false, false)
+		s.SetVerdict(false, false, false)
 		tr.Finish(s)
 	})
 	if allocs != 0 {
@@ -111,11 +111,11 @@ func TestRingOverwritesOldest(t *testing.T) {
 func TestNotableRetainsAttacksAndSlow(t *testing.T) {
 	tr := New(Config{SampleEvery: 1, RingSize: 8, SlowThreshold: time.Hour})
 	benign := tr.Start("benign")
-	benign.SetVerdict(false, false)
+	benign.SetVerdict(false, false, false)
 	tr.Finish(benign)
 
 	attack := tr.Start("attack")
-	attack.SetVerdict(true, false)
+	attack.SetVerdict(true, false, false)
 	tr.Finish(attack)
 
 	degraded := tr.Start("degraded")
@@ -151,7 +151,7 @@ func TestSpanEvidenceAccumulates(t *testing.T) {
 	s.PTICover(3 * time.Microsecond)
 	s.AddInput(InputMatch{Index: 0, Source: "get:id", MatchNs: 500, Matched: true, Start: 29, End: 45, Distance: 1})
 	s.AddUncovered(Uncovered{Token: "UNION", TokenStart: 32, TokenEnd: 37})
-	s.SetVerdict(true, true)
+	s.SetVerdict(true, true, false)
 	tr.Finish(s)
 
 	got := tr.Dump().Recent[0]
@@ -231,7 +231,7 @@ func TestConcurrentTracing(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				s := tr.Start("q")
 				s.Lex(time.Nanosecond)
-				s.SetVerdict(i%17 == 0, false)
+				s.SetVerdict(i%17 == 0, false, false)
 				tr.Finish(s)
 			}
 		}()

@@ -250,7 +250,7 @@ func (a *App) HandleContext(ctx context.Context, plugin string, req *Request) (*
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchPlugin, plugin)
 	}
-	c := &Ctx{app: a, ctx: ctx, req: req, page: &Page{}}
+	c := &Ctx{app: a, ctx: ctx, req: req, page: &Page{}, site: "plugin:" + plugin}
 	// Preprocessing: preserve raw inputs for NTI before the application
 	// transforms them.
 	c.rawInputs = req.Inputs()
@@ -283,6 +283,9 @@ type Ctx struct {
 	req       *Request
 	rawInputs []joza.Input
 	page      *Page
+	// site is the call-site identity stamped on guard checks issued by
+	// Query ("plugin:<name>"), keying the query-skeleton profile stage.
+	site string
 }
 
 // Context returns the request's context.Context.
@@ -314,12 +317,14 @@ func (c *Ctx) RawGet(name string) string { return c.req.Get[name] }
 
 // Query issues a database statement through the Joza wrapper: when the app
 // has a guard, the query is checked against the request's preserved raw
-// inputs first. Blocked queries return a *joza.AttackError (terminate
-// policy) or a synthetic database error (error-virtualization policy).
+// inputs first, with the serving plugin's identity as the call site for
+// the query-skeleton profile stage. Blocked queries return a
+// *joza.AttackError (terminate policy) or a synthetic database error
+// (error-virtualization policy).
 func (c *Ctx) Query(q string) (*minidb.Result, error) {
 	c.page.Queries++
 	if g := c.app.guard; g != nil {
-		if err := g.AuthorizeContext(c.ctx, q, c.rawInputs); err != nil {
+		if err := g.AuthorizeContextAt(c.ctx, c.site, q, c.rawInputs); err != nil {
 			var ae *joza.AttackError
 			if !errors.As(err, &ae) {
 				// The check was canceled or timed out: the query was

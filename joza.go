@@ -49,6 +49,7 @@ import (
 	"joza/internal/nti"
 	"joza/internal/obs"
 	"joza/internal/phpsrc"
+	"joza/internal/profile"
 	"joza/internal/pti"
 	"joza/internal/sqltoken"
 	"joza/internal/trace"
@@ -88,7 +89,28 @@ type (
 	// TraceDump is the queryable view of a Guard's recent and notable
 	// traces, as returned by Guard.Traces and served at /traces.
 	TraceDump = trace.Dump
+	// ProfileStore is an immutable per-call-site query-skeleton profile,
+	// the enforcement side of the optional third analyzer stage. Build one
+	// from a learning run (ProfileRecorder.Store) or load a serialized one
+	// with LoadProfiles.
+	ProfileStore = profile.Store
+	// ProfileRecorder accumulates query-skeleton profiles during a
+	// learning run; safe for concurrent use.
+	ProfileRecorder = profile.Recorder
 )
+
+// NewProfileRecorder returns an empty profile recorder for a learning run.
+func NewProfileRecorder() *ProfileRecorder { return profile.NewRecorder() }
+
+// LoadProfiles reads a serialized profile store from path.
+func LoadProfiles(path string) (*ProfileStore, error) { return profile.Load(path) }
+
+// ParseProfiles parses a serialized profile store.
+func ParseProfiles(data []byte) (*ProfileStore, error) { return profile.Parse(data) }
+
+// QuerySkeleton returns the normalized query skeleton the profile stage
+// keys on: literal-, whitespace- and case-insensitive token structure.
+func QuerySkeleton(query string) string { return profile.Skeleton(query) }
 
 // Recovery policies and cache modes, re-exported.
 const (
@@ -139,6 +161,11 @@ type config struct {
 	obs           *ObservabilityConfig
 	failMode      engine.FailureMode
 	budgets       Budgets
+
+	profileStore    *profile.Store
+	profilePath     string
+	profileRecorder *profile.Recorder
+	profileStrict   bool
 }
 
 // Option configures a Guard.
@@ -195,6 +222,39 @@ func WithoutNTI() Option {
 // WithoutPTI disables the PTI component (used to evaluate NTI alone).
 func WithoutPTI() Option {
 	return func(c *config) { c.disablePTI = true }
+}
+
+// WithProfileStore enables the query-skeleton profile stage in
+// enforcement mode over st: a query whose normalized skeleton was never
+// seen from its call site during training is flagged as the third
+// analyzer vote. Only checks that carry a call site (CheckContextAt,
+// AuthorizeContextAt) consult it.
+func WithProfileStore(st *ProfileStore) Option {
+	return func(c *config) { c.profileStore = st }
+}
+
+// WithProfileFile is WithProfileStore loading the serialized store at
+// path — at construction and again on every Manager.Refresh, so a
+// retrained profile deploys with the same atomic swap as fragments. A
+// corrupt file fails the rebuild, and Refresh keeps serving the prior
+// snapshot (sticky-pending), exactly like a failed fragment reload.
+func WithProfileFile(path string) Option {
+	return func(c *config) { c.profilePath = path }
+}
+
+// WithProfileLearning puts the profile stage in learning mode: checks
+// that carry a call site record their skeleton into r and the stage never
+// votes. Serialize r.Store() after exercising benign traffic, then deploy
+// it with WithProfileStore or WithProfileFile.
+func WithProfileLearning(r *ProfileRecorder) Option {
+	return func(c *config) { c.profileRecorder = r }
+}
+
+// WithProfileStrict makes enforcement also flag queries from call sites
+// that have no training profile at all. Off by default, so a training
+// coverage gap degrades to "no opinion" instead of blocking the site.
+func WithProfileStrict() Option {
+	return func(c *config) { c.profileStrict = true }
 }
 
 // WithStrictPolicy enforces the strict (Ray–Ligatti-style) attack
@@ -323,7 +383,8 @@ func New(opts ...Option) (*Guard, error) {
 	if set == nil {
 		set = fragments.NewSet(cfg.fragmentTexts)
 	}
-	if cfg.disableNTI && cfg.disablePTI {
+	profileConfigured := cfg.profileStore != nil || cfg.profilePath != "" || cfg.profileRecorder != nil
+	if cfg.disableNTI && cfg.disablePTI && !profileConfigured {
 		return nil, errors.New("joza: both analyzers disabled")
 	}
 	// buildSnap validates and assembles an analysis snapshot over a
@@ -347,6 +408,23 @@ func New(opts ...Option) (*Guard, error) {
 			}
 			snap.NTI = a
 			snap.Analyzers = append(snap.Analyzers, engine.NTIStage{Analyzer: a})
+		}
+		switch {
+		case cfg.profileRecorder != nil:
+			snap.Analyzers = append(snap.Analyzers, engine.ProfileStage{Recorder: cfg.profileRecorder})
+		case cfg.profilePath != "":
+			// Loaded inside buildSnap so Manager.Refresh picks up retrained
+			// profiles, and a corrupt file fails the rebuild (the manager
+			// keeps serving the prior snapshot).
+			st, err := profile.Load(cfg.profilePath)
+			if err != nil {
+				return nil, err
+			}
+			snap.Profiles = st
+			snap.Analyzers = append(snap.Analyzers, engine.ProfileStage{Store: st, BlockUnknownSites: cfg.profileStrict})
+		case cfg.profileStore != nil:
+			snap.Profiles = cfg.profileStore
+			snap.Analyzers = append(snap.Analyzers, engine.ProfileStage{Store: cfg.profileStore, BlockUnknownSites: cfg.profileStrict})
 		}
 		return snap, nil
 	}
@@ -455,6 +533,20 @@ func (g *Guard) Check(query string, inputs []Input) Verdict {
 	return v
 }
 
+// CheckContextAt is CheckContext with a call-site identity: site keys the
+// query-skeleton profile stage (learning records under it, enforcement
+// looks the skeleton up under it). Without a configured profile stage the
+// site is ignored.
+func (g *Guard) CheckContextAt(ctx context.Context, site, query string, inputs []Input) (Verdict, error) {
+	return g.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs, Site: site})
+}
+
+// AuthorizeContextAt is AuthorizeContext with a call-site identity (see
+// CheckContextAt).
+func (g *Guard) AuthorizeContextAt(ctx context.Context, site, query string, inputs []Input) error {
+	return g.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs, Site: site})
+}
+
 // Metrics returns a snapshot of the Guard's counters: checks and attacks,
 // PTI cache totals and per-shard activity, NTI matcher activity, and
 // check-latency quantiles. Safe to call concurrently with Check.
@@ -480,6 +572,10 @@ func (g *Guard) Metrics() Metrics {
 		snap.NTIMatcherEarlyExits = st.EarlyExits
 		snap.NTIPrefilterChecks = st.PrefilterChecks
 		snap.NTIPrefilterRejects = st.PrefilterRejects
+	}
+	if es.Profiles != nil {
+		snap.ProfileSites = uint64(es.Profiles.Sites())
+		snap.ProfileSkeletons = uint64(es.Profiles.Skeletons())
 	}
 	return snap
 }

@@ -134,3 +134,11 @@ func WithoutRemoteNTI() RemoteGuardOption {
 func WithRemoteTracing(cfg TraceConfig) RemoteGuardOption {
 	return daemon.WithTracing(cfg)
 }
+
+// WithRemoteStrictProfiles escalates a daemon profile verdict of
+// "site-unknown" (a call site with no training profile) to an attack.
+// Only meaningful for checks issued with a call site (CheckContextAt)
+// against a daemon serving profiles (jozad -profiles).
+func WithRemoteStrictProfiles() RemoteGuardOption {
+	return daemon.WithStrictProfiles()
+}
