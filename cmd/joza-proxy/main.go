@@ -5,7 +5,7 @@
 // Usage:
 //
 //	joza-proxy -src /path/to/app -listen 127.0.0.1:7040 -upstream 127.0.0.1:7050
-//	          [-max-inflight 64] [-admission-wait 50ms] [-drain 10s]
+//	          [-dialect mysql] [-max-inflight 64] [-admission-wait 50ms] [-drain 10s]
 //	          [-fail-mode closed] [-max-query-bytes 1048576]
 //	          [-obs 127.0.0.1:9040] [-trace-sample 1]
 //	joza-proxy -demo            # built-in demo DB + fragment set
@@ -49,6 +49,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("joza-proxy", flag.ContinueOnError)
 	src := fs.String("src", "", "application source directory to extract fragments from")
 	listen := fs.String("listen", "127.0.0.1:7040", "proxy listen address")
+	dialectName := fs.String("dialect", "mysql", "SQL dialect the guard lexes under: mysql, postgres, sqlite")
 	upstream := fs.String("upstream", "", "upstream minidb server address")
 	policy := fs.String("policy", "terminate", "recovery policy: terminate, error-virtualization")
 	failMode := fs.String("fail-mode", "closed", "how contained pipeline failures resolve: closed (treat as attack), open (serve partial verdict)")
@@ -98,7 +99,11 @@ $q = "SELECT id, title FROM posts WHERE id=$id LIMIT 5";`)
 		return fmt.Errorf("either -demo or both -src and -upstream are required")
 	}
 
-	opts := []joza.Option{joza.WithFragments(texts)}
+	dialect, err := joza.ParseDialect(*dialectName)
+	if err != nil {
+		return err
+	}
+	opts := []joza.Option{joza.WithFragments(texts), joza.WithDialect(dialect)}
 	switch *policy {
 	case "terminate":
 		opts = append(opts, joza.WithPolicy(joza.PolicyTerminate))
@@ -148,8 +153,8 @@ $q = "SELECT id, title FROM posts WHERE id=$id LIMIT 5";`)
 	if err != nil {
 		return err
 	}
-	log.Printf("proxying on %s (%d fragments, policy %s)",
-		ln.Addr(), guard.FragmentCount(), guard.Policy())
+	log.Printf("proxying on %s (%d fragments, policy %s, %s)",
+		ln.Addr(), guard.FragmentCount(), guard.Policy(), guard.Dialect())
 	// Register for SIGTERM before announcing readiness so nothing can
 	// deliver a fatal default-action signal in the startup gap.
 	sigCh := make(chan os.Signal, 1)

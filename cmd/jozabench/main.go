@@ -9,6 +9,7 @@
 //	jozabench -metrics    # run the mix through one Guard, print its counters
 //	jozabench -transport  # single daemon connection vs connection pool
 //	jozabench -nti        # NTI matcher before/after (Sellers vs bit-parallel+prefilter)
+//	jozabench -lex        # per-dialect lexer cost; asserts the cache-hit path is zero-alloc
 //	jozabench -scale      # wire batch-size sweep and 1/2/4-shard fleet sweep
 //	jozabench -all        # everything
 //	jozabench -all -json bench.json   # also write results as JSON
@@ -55,6 +56,7 @@ type benchReport struct {
 	Transport    *transportResult       `json:"transport,omitempty"`
 	GuardMetrics *joza.Metrics          `json:"guardMetrics,omitempty"`
 	NTIBench     *ntiBenchResult        `json:"ntiBench,omitempty"`
+	LexBench     *lexBenchResult        `json:"lexBench,omitempty"`
 	Scale        *scaleResult           `json:"scale,omitempty"`
 }
 
@@ -85,6 +87,7 @@ func run(args []string) error {
 	transport := fs.Bool("transport", false, "compare one shared daemon connection against a connection pool under concurrency")
 	poolSize := fs.Int("pool", 8, "with -transport: pool size and worker count")
 	ntiBench := fs.Bool("nti", false, "benchmark the NTI matcher before/after the bit-parallel engine and prefilter")
+	lexBench := fs.Bool("lex", false, "benchmark the dialect-dispatched lexer and assert the cached analyze fast path stays zero-alloc")
 	scale := fs.Bool("scale", false, "sweep wire batch sizes and 1/2/4-shard fleets")
 	rtt := fs.Duration("rtt", 3*time.Millisecond, "with -scale: simulated per-frame network RTT for the shard sweep (0 disables)")
 	diff := fs.String("diff", "", "compare this previous -json report against a second report given as a positional argument; warn-only")
@@ -102,7 +105,7 @@ func run(args []string) error {
 		}
 		return runDiff(*diff, fs.Arg(0))
 	}
-	if !*all && *table == 0 && *figure == 0 && !*showMetrics && !*transport && !*ntiBench && !*scale {
+	if !*all && *table == 0 && *figure == 0 && !*showMetrics && !*transport && !*ntiBench && !*lexBench && !*scale {
 		*all = true
 	}
 
@@ -190,6 +193,13 @@ func run(args []string) error {
 			return err
 		}
 		report.NTIBench = nb
+	}
+	if *all || *lexBench {
+		lb, err := runLexBench(*requests)
+		if err != nil {
+			return err
+		}
+		report.LexBench = lb
 	}
 	if *all || *scale {
 		sc, err := runScaleBench(site, *requests, *poolSize*2, *rtt)

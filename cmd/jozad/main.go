@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	jozad -src /path/to/app [-addr 127.0.0.1:7033] [-cache query+structure]
+//	jozad -src /path/to/app [-addr 127.0.0.1:7033] [-dialect mysql] [-cache query+structure]
 //	      [-read-timeout 2m] [-max-request 1048576]
 //	      [-max-inflight 64] [-admission-wait 50ms]
 //	      [-max-query-bytes 1048576] [-max-tokens 4096] [-drain 10s]
@@ -42,6 +42,7 @@ import (
 	"joza/internal/obs"
 	"joza/internal/profile"
 	"joza/internal/pti"
+	"joza/internal/sqltoken"
 	"joza/internal/trace"
 )
 
@@ -61,6 +62,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("jozad", flag.ContinueOnError)
 	src := fs.String("src", "", "application source directory to extract fragments from")
 	addr := fs.String("addr", "127.0.0.1:7033", "listen address")
+	dialectName := fs.String("dialect", "mysql", "SQL dialect the daemon lexes under: mysql, postgres, sqlite")
 	cacheMode := fs.String("cache", "query+structure", "cache mode: none, query, query+structure")
 	cacheCap := fs.Int("cache-capacity", 8192, "entries per cache")
 	watch := fs.Duration("watch", 0, "with -src: re-extract fragments at this interval when files change")
@@ -83,6 +85,10 @@ func run(args []string) error {
 		return err
 	}
 	shardIdx, shardTotal, err := parseShardSpec(*shardSpec)
+	if err != nil {
+		return err
+	}
+	dialect, err := sqltoken.ParseDialect(*dialectName)
 	if err != nil {
 		return err
 	}
@@ -112,11 +118,11 @@ func run(args []string) error {
 	)
 	switch {
 	case *selftest:
-		set = fragments.NewSet(joza.FragmentsFromSource(`<?php
+		set = fragments.NewSetDialect(dialect, joza.FragmentsFromSource(`<?php
 $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	case *src != "":
 		var err error
-		ins, err = installer.New(*src)
+		ins, err = installer.New(*src, installer.WithDialect(dialect))
 		if err != nil {
 			return err
 		}
@@ -135,7 +141,7 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	if err != nil {
 		return err
 	}
-	var ptiOpts []pti.Option
+	ptiOpts := []pti.Option{pti.WithDialect(dialect)}
 	if *maxQueryBytes > 0 {
 		ptiOpts = append(ptiOpts, pti.WithMaxQueryBytes(*maxQueryBytes))
 	}
@@ -159,13 +165,18 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	var recorder *profile.Recorder
 	switch {
 	case *learnPath != "":
-		recorder = profile.NewRecorder()
+		recorder = profile.NewRecorderDialect(dialect)
 		srvOpts = append(srvOpts, daemon.WithProfileRecorder(recorder))
 		log.Printf("profile learning: will write %s on shutdown", *learnPath)
 	case *profilesPath != "":
 		store, err := profile.Load(*profilesPath)
 		if err != nil {
 			return err
+		}
+		// Skeletons only compare within one dialect: refuse a store trained
+		// under another rather than serve verdicts computed across lexers.
+		if err := store.ForDialect(dialect); err != nil {
+			return fmt.Errorf("%s: %w", *profilesPath, err)
 		}
 		srvOpts = append(srvOpts, daemon.WithProfiles(store))
 		log.Printf("profiles loaded: %d sites, %d skeletons", store.Sites(), store.Skeletons())
@@ -177,9 +188,9 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		return err
 	}
 	if shardTotal > 1 {
-		log.Printf("serving PTI analysis on %s (shard %d/%d, %d fragments, %s)", ln.Addr(), shardIdx, shardTotal, set.Len(), mode)
+		log.Printf("serving PTI analysis on %s (shard %d/%d, %d fragments, %s, %s)", ln.Addr(), shardIdx, shardTotal, set.Len(), mode, dialect)
 	} else {
-		log.Printf("serving PTI analysis on %s (%d fragments, %s)", ln.Addr(), set.Len(), mode)
+		log.Printf("serving PTI analysis on %s (%d fragments, %s, %s)", ln.Addr(), set.Len(), mode, dialect)
 	}
 
 	boundObs := ""
@@ -242,6 +253,9 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 				}
 				lastMod = fi.ModTime()
 				store, err := profile.Load(*profilesPath)
+				if err == nil {
+					err = store.ForDialect(dialect)
+				}
 				if err != nil {
 					log.Printf("profile reload: %v (keeping prior store)", err)
 					continue
@@ -253,7 +267,7 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	}
 
 	if *selftest {
-		go probe(ln.Addr().String())
+		go probe(ln.Addr().String(), dialect)
 	}
 
 	// Serve in the background so SIGTERM/SIGINT can drain gracefully:
@@ -313,14 +327,16 @@ func parseCacheMode(s string) (pti.CacheMode, error) {
 	}
 }
 
-// probe exercises a freshly started self-test daemon once.
-func probe(addr string) {
+// probe exercises a freshly started self-test daemon once, speaking the
+// same dialect the daemon serves.
+func probe(addr string, dialect sqltoken.Dialect) {
 	c, err := daemon.Dial(addr)
 	if err != nil {
 		log.Printf("selftest dial: %v", err)
 		return
 	}
 	defer c.Close()
+	c.SetDialect(dialect)
 	for _, q := range []string{
 		"SELECT * FROM records WHERE ID=5 LIMIT 5",
 		"SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5",

@@ -11,6 +11,7 @@
 //	wpsqlilab -fp         # false-positive crawl of the protected app
 //	wpsqlilab -baselines  # compare against WAF / CANDID-style detectors
 //	wpsqlilab -matrix     # train profiles, run the per-technique detection matrix
+//	wpsqlilab -dialect-evasion  # payloads a MySQL-dialect guard misses on Postgres
 //	wpsqlilab -all        # everything
 //	wpsqlilab -serve :8080  # serve the protected testbed over HTTP
 //
@@ -51,6 +52,7 @@ func run(args []string) error {
 	fp := fs.Bool("fp", false, "run the false-positive study")
 	baselines := fs.Bool("baselines", false, "run the related-work baseline comparison")
 	matrix := fs.Bool("matrix", false, "train profiles and run the per-technique detection matrix")
+	dialectEvasion := fs.Bool("dialect-evasion", false, "run the dialect-evasion sweep: payloads missed under the MySQL dialect, caught under Postgres")
 	matrixJSON := fs.String("matrix-json", "", "write the detection matrix as JSON to this path")
 	matrixGolden := fs.String("matrix-golden", "", "compare the detection matrix against this golden baseline; exit nonzero on regression")
 	matrixProfiles := fs.String("matrix-profiles", "", "write the trained profile store to this path")
@@ -62,7 +64,7 @@ func run(args []string) error {
 		return err
 	}
 	wantMatrix := *matrix || *matrixJSON != "" || *matrixGolden != "" || *matrixProfiles != ""
-	if !*all && *table == 0 && *figure == 0 && !*cases && !*sweep && !*fp && !*baselines && !wantMatrix && *serve == "" {
+	if !*all && *table == 0 && *figure == 0 && !*cases && !*sweep && !*fp && !*baselines && !wantMatrix && !*dialectEvasion && *serve == "" {
 		*all = true
 	}
 
@@ -123,6 +125,13 @@ func run(args []string) error {
 		if err := runMatrix(lab, *matrixJSON, *matrixGolden, *matrixProfiles); err != nil {
 			return err
 		}
+	}
+	if *all || *dialectEvasion {
+		res, err := lab.EvaluateDialectEvasion()
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.FormatDialectEvasion(res))
 	}
 	if *serve != "" {
 		log.Printf("serving the Joza-protected testbed on %s (try /%s?%s=1)",

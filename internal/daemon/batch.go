@@ -17,9 +17,11 @@ import (
 
 // batchRequest builds the wire frame for one batch of queries, stamping
 // ctx's remaining deadline budget on every item so the server bounds each
-// analysis the same way it would a standalone request.
-func batchRequest(ctx context.Context, queries []string) wireRequest {
-	req := wireRequest{Op: "batch", Batch: make([]wireRequest, len(queries))}
+// analysis the same way it would a standalone request. The dialect rides
+// once on the outer frame (empty for MySQL) and defaults into every item
+// server-side.
+func batchRequest(ctx context.Context, dialect string, queries []string) wireRequest {
+	req := wireRequest{Op: "batch", Dialect: dialect, Batch: make([]wireRequest, len(queries))}
 	for i, q := range queries {
 		req.Batch[i] = withTimeoutBudget(ctx, wireRequest{Query: q})
 	}
@@ -58,7 +60,7 @@ func (c *Client) AnalyzeBatch(ctx context.Context, queries []string) ([]BatchRes
 	if len(queries) == 0 {
 		return nil, nil
 	}
-	resp, err := c.roundTrip(ctx, batchRequest(ctx, queries))
+	resp, err := c.roundTrip(ctx, batchRequest(ctx, c.wireDialect(), queries))
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +75,7 @@ func (p *Pool) AnalyzeBatch(ctx context.Context, queries []string) ([]BatchResul
 	if len(queries) == 0 {
 		return nil, nil
 	}
-	resp, err := p.do(ctx, batchRequest(ctx, queries))
+	resp, err := p.do(ctx, batchRequest(ctx, wireDialect(p.cfg.Dialect), queries))
 	if err != nil {
 		return nil, err
 	}

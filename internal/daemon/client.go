@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"joza/internal/pti"
+	"joza/internal/sqltoken"
 )
 
 // ErrBroken marks a client whose connection failed mid-exchange. After
@@ -31,6 +32,7 @@ type Client struct {
 	enc     *json.Encoder
 	dec     *json.Decoder
 	timeout time.Duration
+	dialect sqltoken.Dialect
 	err     error // sticky; set on the first I/O failure or Close
 }
 
@@ -63,6 +65,23 @@ func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Lock()
 	c.timeout = d
 	c.mu.Unlock()
+}
+
+// SetDialect stamps the given SQL dialect on every analyze and batch frame
+// this client sends, so a daemon serving a different dialect refuses the
+// request instead of mis-lexing it. MySQL (the default) is omitted from
+// the wire, keeping frames byte-identical to the pre-dialect protocol.
+func (c *Client) SetDialect(d sqltoken.Dialect) {
+	c.mu.Lock()
+	c.dialect = d
+	c.mu.Unlock()
+}
+
+// wireDialect returns the wire spelling of the client's configured dialect.
+func (c *Client) wireDialect() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return wireDialect(c.dialect)
 }
 
 // Broken reports whether the connection has failed and the client is
@@ -189,7 +208,7 @@ func (c *Client) Analyze(query string) (*AnalysisReply, error) {
 // the remaining deadline budget rides in the request so the server
 // abandons work the client will no longer wait for.
 func (c *Client) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
-	resp, err := c.roundTrip(ctx, withTimeoutBudget(ctx, wireRequest{Query: query}))
+	resp, err := c.roundTrip(ctx, withTimeoutBudget(ctx, wireRequest{Query: query, Dialect: c.wireDialect()}))
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +223,7 @@ func (c *Client) AnalyzeContext(ctx context.Context, query string) (*AnalysisRep
 // query-skeleton profile stage. Old servers ignore the field and reply
 // without a profile verdict.
 func (c *Client) AnalyzeSiteContext(ctx context.Context, site, query string) (*AnalysisReply, error) {
-	resp, err := c.roundTrip(ctx, withTimeoutBudget(ctx, wireRequest{Query: query, Site: site}))
+	resp, err := c.roundTrip(ctx, withTimeoutBudget(ctx, wireRequest{Query: query, Site: site, Dialect: c.wireDialect()}))
 	if err != nil {
 		return nil, err
 	}

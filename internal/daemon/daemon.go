@@ -137,7 +137,7 @@ func analyzeCtx(ctx context.Context, analyzer *pti.Cached, query string, span *t
 	if span.Active() {
 		lexStart = time.Now()
 	}
-	toks := sqltoken.Lex(query)
+	toks := analyzer.Dialect().Lex(query)
 	if span.Active() {
 		span.Lex(time.Since(lexStart))
 	}
@@ -180,7 +180,10 @@ func profileReplyFor(store *profile.Store, rec *profile.Recorder, site, query st
 		sk := rec.Record(site, query)
 		return &ProfileReply{Outcome: "learned", Site: site, Skeleton: sk}
 	}
-	sk := profile.Skeleton(query)
+	// Skeletons are only comparable when computed under the dialect the
+	// store was trained with (the daemon front door verifies store and
+	// analyzer agree at load time).
+	sk := profile.SkeletonDialect(store.Dialect(), query)
 	p := &ProfileReply{Site: site, Skeleton: sk}
 	switch store.Lookup(site, sk) {
 	case profile.SkeletonSeen:
@@ -291,6 +294,26 @@ type wireRequest struct {
 	// query-skeleton profile lookup server-side. Empty (and requests from
 	// older clients) skips the profile stage; old servers ignore the field.
 	Site string `json:"site,omitempty"`
+	// Dialect names the SQL dialect the client lexes under ("mysql",
+	// "postgres", "sqlite"). Empty (and requests from older clients) means
+	// MySQL, the protocol's original implicit dialect; old servers ignore
+	// the field. The server refuses a request whose dialect is unknown or
+	// differs from its analyzer's — boundary bytes mean different things
+	// under different dialects, so a cross-dialect verdict would be wrong
+	// rather than approximate. The refusal rides the healthy stream (per
+	// item inside a batch), like any other request-level failure.
+	Dialect string `json:"dialect,omitempty"`
+}
+
+// wireDialect is the wire spelling of a dialect: empty for MySQL — absent
+// means MySQL on both ends, so a default-dialect client's frames stay
+// byte-identical to the pre-dialect protocol and old servers keep working
+// — and the dialect name otherwise.
+func wireDialect(d sqltoken.Dialect) string {
+	if d == sqltoken.MySQL {
+		return ""
+	}
+	return d.String()
 }
 
 type wireResponse struct {

@@ -11,6 +11,7 @@ import (
 	"joza/internal/guardrail"
 	"joza/internal/metrics"
 	"joza/internal/nti"
+	"joza/internal/sqltoken"
 	"joza/internal/trace"
 )
 
@@ -64,6 +65,7 @@ type HybridClient struct {
 	collector      *metrics.Collector
 	audit          *audit.Logger
 	strictProfiles bool
+	dialect        sqltoken.Dialect
 }
 
 // HybridOption configures a HybridClient.
@@ -114,6 +116,17 @@ func WithStrictProfiles() HybridOption {
 	return func(h *HybridClient) { h.strictProfiles = true }
 }
 
+// WithDialect sets the SQL dialect the hybrid's checks run under (default
+// MySQL). It stamps every engine request so the pipeline's dialect
+// backstop holds, and should match the transport's configured dialect
+// (Client.SetDialect, PoolConfig.Dialect) and the daemon's analyzer — a
+// disagreement surfaces as a per-check daemon refusal, resolved by the
+// degradation policy. The NTI analyzer passed to NewHybridClient must be
+// built with nti.WithDialect to match.
+func WithDialect(d sqltoken.Dialect) HybridOption {
+	return func(h *HybridClient) { h.dialect = d }
+}
+
 // WithTracing samples checks into trace spans per cfg. When the daemon
 // also traces, its span rides back on the analyze reply and is merged, so
 // one trace shows client-side NTI timing next to daemon-side lexing, cache
@@ -130,7 +143,7 @@ func NewHybridClient(transport Transport, ntiAnalyzer *nti.Analyzer, policy core
 	for _, o := range opts {
 		o(h)
 	}
-	snap := &engine.Snapshot{NTI: h.nti}
+	snap := &engine.Snapshot{NTI: h.nti, Dialect: h.dialect}
 	snap.Analyzers = append(snap.Analyzers, remotePTIStage{transport: transport, degrade: h.degrade})
 	// The profile stage converts the verdict the daemon attached to the
 	// analyze reply; it costs nothing when no reply carries one (no site
@@ -262,13 +275,13 @@ func (s remoteProfileStage) Analyze(ctx context.Context, req engine.Request, st 
 // attack verdict), or fail open (serve the NTI-only verdict). Degraded
 // checks are counted in the collector's DegradedChecks.
 func (h *HybridClient) CheckContext(ctx context.Context, query string, inputs []nti.Input) (core.Verdict, error) {
-	return h.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs})
+	return h.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs, Dialect: h.dialect})
 }
 
 // Check is the context-free compatibility wrapper around CheckContext; it
 // can still fail when the transport does and DegradeError is configured.
 func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, error) {
-	return h.eng.Check(context.Background(), engine.Request{Query: query, Inputs: inputs})
+	return h.eng.Check(context.Background(), engine.Request{Query: query, Inputs: inputs, Dialect: h.dialect})
 }
 
 // CheckContextAt is CheckContext with a call-site identity: the site rides
@@ -277,7 +290,7 @@ func (h *HybridClient) Check(query string, inputs []nti.Input) (core.Verdict, er
 // with site support (Client, Pool, ShardedPool, Direct); others analyze
 // without the profile stage.
 func (h *HybridClient) CheckContextAt(ctx context.Context, site, query string, inputs []nti.Input) (core.Verdict, error) {
-	return h.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs, Site: site})
+	return h.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs, Site: site, Dialect: h.dialect})
 }
 
 // Metrics returns a snapshot of the client's counters: checks, attacks
@@ -314,19 +327,19 @@ func (h *HybridClient) Tracer() *trace.Tracer { return h.tracer }
 // AuthorizeContext returns nil for safe queries, an *core.AttackError for
 // attacks, and ctx's error when the check was canceled.
 func (h *HybridClient) AuthorizeContext(ctx context.Context, query string, inputs []nti.Input) error {
-	return h.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs})
+	return h.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs, Dialect: h.dialect})
 }
 
 // Authorize returns nil for safe queries and an *core.AttackError
 // otherwise.
 func (h *HybridClient) Authorize(query string, inputs []nti.Input) error {
-	return h.eng.Authorize(context.Background(), engine.Request{Query: query, Inputs: inputs})
+	return h.eng.Authorize(context.Background(), engine.Request{Query: query, Inputs: inputs, Dialect: h.dialect})
 }
 
 // AuthorizeContextAt is AuthorizeContext with a call-site identity (see
 // CheckContextAt).
 func (h *HybridClient) AuthorizeContextAt(ctx context.Context, site, query string, inputs []nti.Input) error {
-	return h.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs, Site: site})
+	return h.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs, Site: site, Dialect: h.dialect})
 }
 
 // Close flushes the audit logger (a no-op for synchronous loggers) and

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"joza/internal/guardrail"
+	"joza/internal/sqltoken"
 )
 
 // ErrUnavailable wraps the last transport failure after a pooled request
@@ -65,6 +66,12 @@ type PoolConfig struct {
 	// meaningful with BatchSize; it is the latency ceiling batching may
 	// add to an isolated call.
 	BatchLinger time.Duration
+	// Dialect is the SQL dialect stamped on the pool's analyze and batch
+	// frames, so a daemon serving a different dialect refuses them instead
+	// of mis-lexing. The zero value is MySQL, which is omitted from the
+	// wire — default-dialect frames stay byte-identical to the pre-dialect
+	// protocol and old servers keep working.
+	Dialect sqltoken.Dialect
 }
 
 func (cfg PoolConfig) withDefaults() PoolConfig {
@@ -270,7 +277,7 @@ func (p *Pool) Analyze(query string) (*AnalysisReply, error) {
 // batch frame, ctx still bounds this caller's wait, and the item's budget
 // still rides to the server.
 func (p *Pool) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply, error) {
-	return p.analyzeReq(ctx, withTimeoutBudget(ctx, wireRequest{Query: query}))
+	return p.analyzeReq(ctx, withTimeoutBudget(ctx, wireRequest{Query: query, Dialect: wireDialect(p.cfg.Dialect)}))
 }
 
 // AnalyzeSiteContext implements siteTransport: AnalyzeContext with the
@@ -278,7 +285,7 @@ func (p *Pool) AnalyzeContext(ctx context.Context, query string) (*AnalysisReply
 // profile stage. Site-carrying requests coalesce through the micro-batcher
 // like any other — the site rides in the batch item.
 func (p *Pool) AnalyzeSiteContext(ctx context.Context, site, query string) (*AnalysisReply, error) {
-	return p.analyzeReq(ctx, withTimeoutBudget(ctx, wireRequest{Query: query, Site: site}))
+	return p.analyzeReq(ctx, withTimeoutBudget(ctx, wireRequest{Query: query, Site: site, Dialect: wireDialect(p.cfg.Dialect)}))
 }
 
 func (p *Pool) analyzeReq(ctx context.Context, req wireRequest) (*AnalysisReply, error) {

@@ -17,6 +17,7 @@ import (
 	"joza/internal/metrics"
 	"joza/internal/profile"
 	"joza/internal/pti"
+	"joza/internal/sqltoken"
 	"joza/internal/trace"
 )
 
@@ -371,11 +372,38 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 }
 
-// handleAnalyze runs one analyze request: admission, the deadline-bounded
-// analysis, and verdict recording. Failures ride back as resp.Err on the
-// still-healthy stream — an overloaded or over-budget request costs one
-// reply, not the connection.
+// dialectError resolves a wire request's dialect field against the serving
+// analyzer's: absent means MySQL (the protocol's original implicit
+// dialect), an unknown name or a mismatch returns a non-empty refusal that
+// rides the healthy stream. The daemon never analyzes across dialects —
+// boundary bytes (string escapes, quote kinds, placeholders, comments)
+// mean different things under different dialects, so a cross-dialect
+// verdict would be wrong, not approximate.
+func dialectError(wire string, serving sqltoken.Dialect) string {
+	d := sqltoken.MySQL
+	if wire != "" {
+		var err error
+		if d, err = sqltoken.ParseDialect(wire); err != nil {
+			return err.Error()
+		}
+	}
+	if d != serving {
+		return fmt.Sprintf("dialect mismatch: request is %s, daemon analyzes %s", d, serving)
+	}
+	return ""
+}
+
+// handleAnalyze runs one analyze request: dialect validation, admission,
+// the deadline-bounded analysis, and verdict recording. Failures ride back
+// as resp.Err on the still-healthy stream — an overloaded, over-budget or
+// cross-dialect request costs one reply, not the connection.
 func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
+	analyzer := s.analyzer.Load()
+	if msg := dialectError(req.Dialect, analyzer.Dialect()); msg != "" {
+		s.errorOps.Add(1)
+		resp.Err = msg
+		return
+	}
 	// Honor the client's propagated deadline budget: bound the analysis
 	// with a matching context so server-side work the client has stopped
 	// waiting for is abandoned, not finished. A negative budget arrives
@@ -397,7 +425,7 @@ func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
 	defer s.gate.Release()
 	span := s.tracer.Start(req.Query)
 	start := time.Now()
-	reply, err := analyzeCtx(ctx, s.analyzer.Load(), req.Query, span)
+	reply, err := analyzeCtx(ctx, analyzer, req.Query, span)
 	if err != nil {
 		if errors.Is(err, core.ErrOverBudget) && ctx.Err() == nil {
 			// The analyzer hit a configured cost budget: distinct from a
@@ -455,6 +483,12 @@ func (s *Server) handleBatch(req wireRequest, resp *wireResponse) {
 	resp.Batch = make([]wireResponse, len(req.Batch))
 	for i := range req.Batch {
 		item := req.Batch[i]
+		if item.Dialect == "" {
+			// The batch frame's dialect is the default for its items, so a
+			// client stamps one field per frame instead of one per item; an
+			// item can still name its own (and be refused individually).
+			item.Dialect = req.Dialect
+		}
 		switch item.Op {
 		case "", "analyze":
 			s.analyzeOps.Add(1)

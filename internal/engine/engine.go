@@ -61,6 +61,12 @@ type Request struct {
 	// query-skeleton profile stage; empty means the call site is unknown
 	// and that stage skips the check.
 	Site string
+	// Dialect is the SQL dialect the query will execute under. The zero
+	// value is sqltoken.MySQL. It must match the snapshot's dialect: the
+	// engine refuses to analyze a request under analyzers built for a
+	// different dialect (the token boundaries would be wrong), resolving
+	// the mismatch through the failure mode instead of running any stage.
+	Dialect sqltoken.Dialect
 }
 
 // State is the per-check scratch shared by the stages of one pipeline run:
@@ -173,6 +179,12 @@ type Analyzer interface {
 type Snapshot struct {
 	// Analyzers are the pipeline stages, run in order.
 	Analyzers []Analyzer
+
+	// Dialect is the SQL dialect every analyzer in this snapshot lexes
+	// under. The zero value is sqltoken.MySQL. Requests carrying a
+	// different dialect are refused through the failure mode rather than
+	// analyzed with the wrong token boundaries.
+	Dialect sqltoken.Dialect
 
 	// Set is the trusted fragment set behind the PTI stage (may be nil for
 	// pipelines without fragment-based analysis).
@@ -352,7 +364,16 @@ func (e *Engine) Check(ctx context.Context, req Request) (core.Verdict, error) {
 		PTI:   core.Result{Analyzer: core.AnalyzerPTI},
 	}
 	attack := false
-	if detail := e.overLimits(req); detail != "" {
+	detail := e.overLimits(req)
+	if detail == "" && req.Dialect != snap.Dialect {
+		// Analyzing a request under analyzers built for another dialect
+		// would draw the string/code boundary wrong — exactly the
+		// syntax-confusion hazard dialects exist to close — so the
+		// mismatch is refused like any other unanalyzable request.
+		detail = fmt.Sprintf("request dialect %s does not match analyzer dialect %s",
+			req.Dialect, snap.Dialect)
+	}
+	if detail != "" {
 		// The request blew a pre-analysis limit: no stage runs at all.
 		e.collector.RecordOverBudget()
 		e.ensureSpan(st, req)

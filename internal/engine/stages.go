@@ -105,7 +105,10 @@ func (s ProfileStage) Analyze(ctx context.Context, req Request, st *State) (core
 		}
 		return res, nil
 	}
-	sk := profile.Skeleton(req.Query)
+	// The store records the dialect it was trained under; skeletons are
+	// only comparable when computed under the same one (snapshot builders
+	// verify the store matches the guard's dialect via ForDialect).
+	sk := profile.SkeletonDialect(s.Store.Dialect(), req.Query)
 	lookup := s.Store.Lookup(req.Site, sk)
 	outcome := "seen"
 	switch lookup {

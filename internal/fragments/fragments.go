@@ -38,25 +38,34 @@ type Set struct {
 
 // NewSet builds a Set from texts, dropping duplicates, empty strings and —
 // unless keepAll is requested via NewSetKeepAll — fragments that contain no
-// SQL token.
+// SQL token under the MySQL dialect.
 func NewSet(texts []string) *Set {
-	return newSet(texts, false)
+	return newSet(sqltoken.MySQL, texts, false)
+}
+
+// NewSetDialect is NewSet with the has-a-SQL-token retention filter
+// evaluated under dialect d. The filter is dialect-sensitive at the
+// margins — a dollar-quoted fragment holds a string token in Postgres but
+// not in MySQL — so a guard configured for dialect d should build its set
+// under d too.
+func NewSetDialect(d sqltoken.Dialect, texts []string) *Set {
+	return newSet(d, texts, false)
 }
 
 // NewSetKeepAll builds a Set that retains every non-empty fragment
 // regardless of SQL-token content. Tests use it to model hypothetical
 // fragment vocabularies.
 func NewSetKeepAll(texts []string) *Set {
-	return newSet(texts, true)
+	return newSet(sqltoken.MySQL, texts, true)
 }
 
-func newSet(texts []string, keepAll bool) *Set {
+func newSet(d sqltoken.Dialect, texts []string, keepAll bool) *Set {
 	s := &Set{index: make(map[string]int, len(texts))}
 	for _, t := range texts {
 		if t == "" {
 			continue
 		}
-		if !keepAll && !sqltoken.ContainsSQLToken(t) {
+		if !keepAll && !d.ContainsSQLToken(t) {
 			continue
 		}
 		if _, dup := s.index[t]; dup {

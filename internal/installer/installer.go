@@ -19,6 +19,7 @@ import (
 
 	"joza/internal/fragments"
 	"joza/internal/phpsrc"
+	"joza/internal/sqltoken"
 )
 
 // fileRecord caches one source file's extraction result.
@@ -33,8 +34,9 @@ type fileRecord struct {
 // Installer maintains the trusted fragment set for one application
 // directory. Safe for concurrent use.
 type Installer struct {
-	root string
-	exts map[string]bool
+	root    string
+	exts    map[string]bool
+	dialect sqltoken.Dialect
 
 	mu    sync.Mutex
 	files map[string]fileRecord
@@ -52,6 +54,14 @@ func WithExtensions(exts ...string) Option {
 			ins.exts[e] = true
 		}
 	}
+}
+
+// WithDialect builds the fragment set under SQL dialect d (default
+// MySQL). The retention filter — keep a literal iff it lexes to at least
+// one SQL token — is dialect-sensitive at the margins, so the installer
+// for a dialect-d guard or daemon should extract under d too.
+func WithDialect(d sqltoken.Dialect) Option {
+	return func(ins *Installer) { ins.dialect = d }
 }
 
 // New creates an Installer for root and performs the initial full
@@ -144,7 +154,7 @@ func (ins *Installer) rebuildLocked() *fragments.Set {
 	for _, p := range paths {
 		texts = append(texts, ins.files[p].literals...)
 	}
-	return fragments.NewSet(texts)
+	return fragments.NewSetDialect(ins.dialect, texts)
 }
 
 // scan lists the accepted source files under root.

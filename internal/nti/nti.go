@@ -138,6 +138,10 @@ type Analyzer struct {
 	// scan charges its probed bytes against the same cap.
 	dpCellBudget int
 
+	// dialect governs internal lexing when callers pass nil tokens; the
+	// zero value is sqltoken.MySQL, preserving historical behavior.
+	dialect sqltoken.Dialect
+
 	matcherCalls     atomic.Uint64
 	earlyExits       atomic.Uint64
 	prefilterChecks  atomic.Uint64
@@ -154,6 +158,9 @@ type Stats struct {
 	PrefilterChecks  uint64
 	PrefilterRejects uint64
 }
+
+// Dialect returns the SQL dialect the analyzer lexes under.
+func (a *Analyzer) Dialect() sqltoken.Dialect { return a.dialect }
 
 // Stats returns a snapshot of the matcher counters.
 func (a *Analyzer) Stats() Stats {
@@ -223,6 +230,13 @@ func WithMaxQueryBytes(n int) Option {
 // regardless of deadline. Zero (the default) disables the cap.
 func WithDPCellBudget(n int) Option {
 	return func(a *Analyzer) { a.dpCellBudget = n }
+}
+
+// WithDialect sets the SQL dialect the analyzer lexes under when it has
+// to lex internally (nil toks). Callers passing pre-lexed tokens must have
+// lexed them under the same dialect. The default is sqltoken.MySQL.
+func WithDialect(d sqltoken.Dialect) Option {
+	return func(a *Analyzer) { a.dialect = d }
 }
 
 // WithStrictPolicy enforces the strict (Ray–Ligatti-style) policy of
@@ -355,7 +369,7 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken
 			if st.timed {
 				lexStart = time.Now()
 			}
-			toks = sqltoken.Lex(query)
+			toks = a.dialect.Lex(query)
 			if st.timed {
 				span.Lex(time.Since(lexStart))
 			}

@@ -1,0 +1,147 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"joza/internal/sqltoken"
+)
+
+func TestSkeletonDialectFoldsDollarQuote(t *testing.T) {
+	// A dollar-quoted body is one string literal in Postgres (folds to ?)
+	// and live tokens in MySQL — the skeletons must differ, which is the
+	// reason the store header records its dialect.
+	q := "SELECT * FROM t WHERE a = $q$some body$q$"
+	pg := SkeletonDialect(sqltoken.Postgres, q)
+	my := SkeletonDialect(sqltoken.MySQL, q)
+	if pg == my {
+		t.Fatalf("Postgres and MySQL skeletons agree on a dollar-quoted body: %q", pg)
+	}
+	if !strings.Contains(pg, "?") || strings.Contains(pg, "body") {
+		t.Errorf("Postgres skeleton did not fold the dollar-quoted body: %q", pg)
+	}
+}
+
+func TestSkeletonDefaultIsMySQL(t *testing.T) {
+	qs := []string{
+		"SELECT * FROM t WHERE a = 'x' # tail",
+		`SELECT "double" FROM t`,
+		"INSERT INTO t VALUES (1, 'a\\'b')",
+	}
+	for _, q := range qs {
+		if got, want := Skeleton(q), SkeletonDialect(sqltoken.MySQL, q); got != want {
+			t.Errorf("Skeleton(%q) = %q, want MySQL-dialect %q", q, got, want)
+		}
+	}
+}
+
+func TestStoreV2RoundTrip(t *testing.T) {
+	rec := NewRecorderDialect(sqltoken.Postgres)
+	rec.Record("plugin:posts", "SELECT * FROM posts WHERE id = $1")
+	rec.Record("plugin:login", "SELECT pass FROM users WHERE login = 'alice'")
+
+	st := rec.Store()
+	if st.Dialect() != sqltoken.Postgres {
+		t.Fatalf("Store dialect = %v, want Postgres", st.Dialect())
+	}
+
+	first := st.Bytes()
+	if !bytes.HasPrefix(first, []byte(HeaderV2+"\n"+`dialect "postgres"`+"\n")) {
+		t.Fatalf("non-MySQL store did not serialize as v2 with a dialect directive:\n%s", first)
+	}
+	parsed, err := Parse(first)
+	if err != nil {
+		t.Fatalf("Parse(own v2 serialization): %v", err)
+	}
+	if parsed.Dialect() != sqltoken.Postgres {
+		t.Fatalf("parsed dialect = %v, want Postgres", parsed.Dialect())
+	}
+	second := parsed.Bytes()
+	if !bytes.Equal(first, second) {
+		t.Errorf("v2 serialize->parse->serialize is not bit-identical:\n%q\nvs\n%q", first, second)
+	}
+
+	sk := SkeletonDialect(sqltoken.Postgres, "SELECT * FROM posts WHERE id = $2")
+	if got := parsed.Lookup("plugin:posts", sk); got != SkeletonSeen {
+		t.Errorf("Lookup(known Postgres skeleton) = %v, want SkeletonSeen", got)
+	}
+}
+
+func TestStoreV1StaysBitIdenticalForMySQL(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record("site", "SELECT 1")
+	b := rec.Store().Bytes()
+	if !bytes.HasPrefix(b, []byte(Header+"\n")) {
+		t.Fatalf("MySQL store did not serialize as v1:\n%s", b)
+	}
+	if bytes.Contains(b, []byte("dialect")) {
+		t.Fatalf("MySQL store leaked a dialect directive:\n%s", b)
+	}
+}
+
+func TestParseV1MeansMySQL(t *testing.T) {
+	in := Header + "\n" + `site "a"` + "\n" + `sk "SELECT ?"` + "\n"
+	st, err := Parse([]byte(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if st.Dialect() != sqltoken.MySQL {
+		t.Errorf("v1 store dialect = %v, want MySQL", st.Dialect())
+	}
+	if err := st.ForDialect(sqltoken.MySQL); err != nil {
+		t.Errorf("ForDialect(MySQL) on v1 store: %v", err)
+	}
+	if err := st.ForDialect(sqltoken.Postgres); err == nil {
+		t.Error("ForDialect(Postgres) on v1 store succeeded, want mismatch error")
+	}
+}
+
+func TestParseDialectDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"v1 with dialect", Header + "\n" + `dialect "postgres"` + "\n"},
+		{"v2 without dialect", HeaderV2 + "\n" + `site "a"` + "\n" + `sk "x"` + "\n"},
+		{"v2 empty", HeaderV2 + "\n"},
+		{"unknown dialect", HeaderV2 + "\n" + `dialect "oracle"` + "\n"},
+		{"unquoted dialect", HeaderV2 + "\ndialect postgres\n"},
+		{"duplicate dialect", HeaderV2 + "\n" + `dialect "postgres"` + "\n" + `dialect "postgres"` + "\n"},
+		{"dialect after site", HeaderV2 + "\n" + `site "a"` + "\n" + `dialect "postgres"` + "\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.in)); err == nil {
+			t.Errorf("%s: Parse accepted corrupt input %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestNilStoreDialect(t *testing.T) {
+	var s *Store
+	if s.Dialect() != sqltoken.MySQL {
+		t.Errorf("nil store dialect = %v, want MySQL", s.Dialect())
+	}
+	if err := s.ForDialect(sqltoken.MySQL); err != nil {
+		t.Errorf("nil store ForDialect(MySQL): %v", err)
+	}
+	if err := s.ForDialect(sqltoken.SQLite); err == nil {
+		t.Error("nil store ForDialect(SQLite) succeeded, want mismatch error")
+	}
+}
+
+func TestRecorderDialectThreaded(t *testing.T) {
+	rec := NewRecorderDialect(sqltoken.Postgres)
+	if rec.Dialect() != sqltoken.Postgres {
+		t.Fatalf("recorder dialect = %v", rec.Dialect())
+	}
+	// The recorder must compute Postgres skeletons: a $1 placeholder folds
+	// to the placeholder marker, not a MySQL $1 identifier.
+	sk := rec.Record("site", "SELECT * FROM t WHERE id = $1")
+	if want := SkeletonDialect(sqltoken.Postgres, "SELECT * FROM t WHERE id = $1"); sk != want {
+		t.Errorf("recorded skeleton %q, want %q", sk, want)
+	}
+	if my := SkeletonDialect(sqltoken.MySQL, "SELECT * FROM t WHERE id = $1"); sk == my {
+		t.Errorf("Postgres recorder produced a MySQL skeleton: %q", sk)
+	}
+}

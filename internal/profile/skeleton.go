@@ -37,12 +37,21 @@ const (
 	commentMarker = "/*?*/"
 )
 
-// Skeleton returns the profile skeleton of a query: a deterministic,
-// whitespace- and literal-insensitive rendering of its token structure.
-// It never fails; unlexable bytes pass through as their own tokens. The
-// empty query yields the empty skeleton.
+// Skeleton returns the profile skeleton of a query under the MySQL
+// dialect: a deterministic, whitespace- and literal-insensitive rendering
+// of its token structure. It never fails; unlexable bytes pass through as
+// their own tokens. The empty query yields the empty skeleton.
 func Skeleton(query string) string {
-	toks := sqltoken.Lex(query)
+	return SkeletonDialect(sqltoken.MySQL, query)
+}
+
+// SkeletonDialect is Skeleton tokenized under dialect d. Skeletons from
+// different dialects are not comparable — the same bytes can fold
+// differently (a dollar-quoted body is one string marker in Postgres and
+// live tokens in MySQL) — which is why the store header records the
+// dialect it was trained under.
+func SkeletonDialect(d sqltoken.Dialect, query string) string {
+	toks := d.Lex(query)
 	if len(toks) == 0 {
 		return ""
 	}

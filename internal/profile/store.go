@@ -10,11 +10,21 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"joza/internal/sqltoken"
 )
 
-// Header is the first line of the serialized profile format. The version
-// suffix lets a future format evolve while old stores keep loading.
+// Header is the first line of the v1 serialized profile format. The
+// version suffix lets the format evolve while old stores keep loading.
+// v1 has no dialect directive and always means MySQL; MySQL stores keep
+// serializing as v1 so files written before dialects existed round-trip
+// bit-identically.
 const Header = "joza-profile v1"
+
+// HeaderV2 is the first line of the v2 format: v1 plus a mandatory
+// `dialect "<name>"` directive before the first site. Only non-MySQL
+// stores serialize as v2.
+const HeaderV2 = "joza-profile v2"
 
 // Store is an immutable set of (call site → query skeletons) profiles, the
 // enforcement side of the subsystem. It is loaded into an engine Snapshot
@@ -25,6 +35,29 @@ type Store struct {
 	sites map[string]map[string]struct{}
 	// skeletons is the total skeleton count across sites, for stats.
 	skeletons int
+	// dialect is the SQL dialect the skeletons were computed under. The
+	// zero value is sqltoken.MySQL.
+	dialect sqltoken.Dialect
+}
+
+// Dialect returns the SQL dialect the store's skeletons were computed
+// under. A nil store reports MySQL.
+func (s *Store) Dialect() sqltoken.Dialect {
+	if s == nil {
+		return sqltoken.MySQL
+	}
+	return s.dialect
+}
+
+// ForDialect verifies the store was trained under dialect d. Enforcing a
+// store against queries lexed under a different dialect would compare
+// incommensurable skeletons — every lookup could silently miss — so
+// loaders must treat a mismatch as a configuration error, not a warning.
+func (s *Store) ForDialect(d sqltoken.Dialect) error {
+	if got := s.Dialect(); got != d {
+		return fmt.Errorf("profile: store trained under dialect %s, guard runs %s", got, d)
+	}
+	return nil
 }
 
 // Lookup classifies one (site, skeleton) pair against the store.
@@ -80,8 +113,18 @@ func (s *Store) Skeletons() int {
 // bit-identically.
 func (s *Store) Serialize(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, Header); err != nil {
-		return err
+	if s.Dialect() == sqltoken.MySQL {
+		// MySQL stores stay v1, byte-for-byte what pre-dialect builds wrote.
+		if _, err := fmt.Fprintln(bw, Header); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintln(bw, HeaderV2); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "dialect %s\n", strconv.Quote(s.Dialect().String())); err != nil {
+			return err
+		}
 	}
 	if s != nil {
 		sites := make([]string, 0, len(s.sites))
@@ -121,16 +164,43 @@ func Parse(data []byte) (*Store, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("profile: empty input (want %q header)", Header)
 	}
-	if sc.Text() != Header {
-		return nil, fmt.Errorf("profile: bad header %q (want %q)", sc.Text(), Header)
+	version := 0
+	switch sc.Text() {
+	case Header:
+		version = 1
+	case HeaderV2:
+		version = 2
+	default:
+		return nil, fmt.Errorf("profile: bad header %q (want %q or %q)", sc.Text(), Header, HeaderV2)
 	}
 	st := &Store{sites: make(map[string]map[string]struct{})}
+	sawDialect := false
 	var cur map[string]struct{}
 	line := 1
 	for sc.Scan() {
 		line++
 		text := sc.Text()
 		switch {
+		case strings.HasPrefix(text, "dialect "):
+			if version < 2 {
+				return nil, fmt.Errorf("profile: line %d: dialect directive in a v1 store", line)
+			}
+			if sawDialect {
+				return nil, fmt.Errorf("profile: line %d: duplicate dialect directive", line)
+			}
+			if cur != nil {
+				return nil, fmt.Errorf("profile: line %d: dialect directive after first site", line)
+			}
+			name, err := strconv.Unquote(text[len("dialect "):])
+			if err != nil {
+				return nil, fmt.Errorf("profile: line %d: bad dialect: %v", line, err)
+			}
+			d, err := sqltoken.ParseDialect(name)
+			if err != nil {
+				return nil, fmt.Errorf("profile: line %d: %v", line, err)
+			}
+			st.dialect = d
+			sawDialect = true
 		case strings.HasPrefix(text, "site "):
 			site, err := strconv.Unquote(text[len("site "):])
 			if err != nil {
@@ -162,6 +232,9 @@ func Parse(data []byte) (*Store, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
+	if version == 2 && !sawDialect {
+		return nil, fmt.Errorf("profile: v2 store is missing its dialect directive")
+	}
 	return st, nil
 }
 
@@ -182,20 +255,30 @@ func Load(path string) (*Store, error) {
 // concurrent use — learning runs against live benign traffic — and is
 // kept separate from Store so enforcement's hot path stays lock-free.
 type Recorder struct {
-	mu    sync.Mutex
-	sites map[string]map[string]struct{}
+	mu      sync.Mutex
+	sites   map[string]map[string]struct{}
+	dialect sqltoken.Dialect
 }
 
-// NewRecorder returns an empty Recorder.
+// NewRecorder returns an empty Recorder computing MySQL-dialect skeletons.
 func NewRecorder() *Recorder {
-	return &Recorder{sites: make(map[string]map[string]struct{})}
+	return NewRecorderDialect(sqltoken.MySQL)
 }
+
+// NewRecorderDialect returns an empty Recorder computing skeletons under
+// dialect d; the Store it freezes records d in its header.
+func NewRecorderDialect(d sqltoken.Dialect) *Recorder {
+	return &Recorder{sites: make(map[string]map[string]struct{}), dialect: d}
+}
+
+// Dialect returns the SQL dialect the recorder computes skeletons under.
+func (r *Recorder) Dialect() sqltoken.Dialect { return r.dialect }
 
 // Record computes query's skeleton and records it for site, returning the
 // skeleton. Empty sites are ignored: without a call-site identity the
 // observation profiles nothing.
 func (r *Recorder) Record(site, query string) string {
-	sk := Skeleton(query)
+	sk := SkeletonDialect(r.dialect, query)
 	r.RecordSkeleton(site, sk)
 	return sk
 }
@@ -230,7 +313,7 @@ func (r *Recorder) Len() (sites, skeletons int) {
 func (r *Recorder) Store() *Store {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := &Store{sites: make(map[string]map[string]struct{}, len(r.sites))}
+	st := &Store{sites: make(map[string]map[string]struct{}, len(r.sites)), dialect: r.dialect}
 	for site, m := range r.sites {
 		cp := make(map[string]struct{}, len(m))
 		for sk := range m {

@@ -12,19 +12,19 @@ import (
 	"joza/internal/trace"
 )
 
-// lru is a minimal thread-safe LRU set of string keys mapping to a boolean
-// "safe" verdict. Only safe verdicts are stored by callers, but the value
-// is kept for generality.
+// lru is a minimal thread-safe LRU set of composite (dialect, string) keys
+// mapping to a boolean "safe" verdict. Only safe verdicts are stored by
+// callers, but the value is kept for generality.
 type lru struct {
 	mu    sync.Mutex
 	cap   int
-	items map[string]*lruEntry
+	items map[lruKey]*lruEntry
 	head  *lruEntry // most recent
 	tail  *lruEntry // least recent
 }
 
 type lruEntry struct {
-	key        string
+	key        lruKey
 	safe       bool
 	prev, next *lruEntry
 }
@@ -33,10 +33,10 @@ func newLRU(capacity int) *lru {
 	if capacity < 1 {
 		capacity = 1024
 	}
-	return &lru{cap: capacity, items: make(map[string]*lruEntry, capacity)}
+	return &lru{cap: capacity, items: make(map[lruKey]*lruEntry, capacity)}
 }
 
-func (c *lru) get(key string) (bool, bool) {
+func (c *lru) get(key lruKey) (bool, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.items[key]
@@ -47,7 +47,7 @@ func (c *lru) get(key string) (bool, bool) {
 	return e.safe, true
 }
 
-func (c *lru) put(key string, safe bool) {
+func (c *lru) put(key lruKey, safe bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
@@ -152,6 +152,7 @@ type CacheStats struct {
 type Cached struct {
 	analyzer *Analyzer
 	mode     CacheMode
+	dialect  sqltoken.Dialect
 	queries  *shardedLRU
 	structs  *shardedLRU
 
@@ -162,7 +163,7 @@ type Cached struct {
 
 // NewCached wraps analyzer with the given cache mode and per-cache capacity.
 func NewCached(analyzer *Analyzer, mode CacheMode, capacity int) *Cached {
-	c := &Cached{analyzer: analyzer, mode: mode}
+	c := &Cached{analyzer: analyzer, mode: mode, dialect: analyzer.Dialect()}
 	nShards := defaultShardCount()
 	if mode == CacheQuery || mode == CacheQueryAndStructure {
 		c.queries = newShardedLRU(capacity, nShards)
@@ -175,6 +176,11 @@ func NewCached(analyzer *Analyzer, mode CacheMode, capacity int) *Cached {
 
 // Mode returns the configured cache mode.
 func (c *Cached) Mode() CacheMode { return c.mode }
+
+// Dialect returns the SQL dialect the wrapped analyzer lexes under; cache
+// entries are namespaced by it, and the daemon validates wire-request
+// dialects against it.
+func (c *Cached) Dialect() sqltoken.Dialect { return c.dialect }
 
 // NumShards returns the shard count of the query cache (0 when caching is
 // disabled).
@@ -223,7 +229,7 @@ func (c *Cached) AnalyzeLazyCtx(ctx context.Context, query string, toks []sqltok
 		}
 	}
 	if c.queries != nil {
-		if safe, ok := c.queries.get(query); ok && safe {
+		if safe, ok := c.queries.get(c.dialect, query); ok && safe {
 			c.queryHits.Add(1)
 			span.SetCacheOutcome(trace.CacheQueryHit)
 			return core.Result{Analyzer: core.AnalyzerPTI}, toks, nil
@@ -231,13 +237,13 @@ func (c *Cached) AnalyzeLazyCtx(ctx context.Context, query string, toks []sqltok
 	}
 	var structKey string
 	if c.structs != nil {
-		structKey = sqlparse.StructureKey(query)
-		if safe, ok := c.structs.get(structKey); ok && safe {
+		structKey = sqlparse.StructureKeyDialect(c.dialect, query)
+		if safe, ok := c.structs.get(c.dialect, structKey); ok && safe {
 			c.structureHits.Add(1)
 			span.SetCacheOutcome(trace.CacheStructureHit)
 			// Promote into the exact-query cache for next time.
 			if c.queries != nil {
-				c.queries.put(query, true)
+				c.queries.put(c.dialect, query, true)
 			}
 			return core.Result{Analyzer: core.AnalyzerPTI}, toks, nil
 		}
@@ -251,7 +257,7 @@ func (c *Cached) AnalyzeLazyCtx(ctx context.Context, query string, toks []sqltok
 		if span.Active() {
 			lexStart = time.Now()
 		}
-		toks = sqltoken.Lex(query)
+		toks = c.dialect.Lex(query)
 		if span.Active() {
 			span.Lex(time.Since(lexStart))
 		}
@@ -269,10 +275,10 @@ func (c *Cached) AnalyzeLazyCtx(ctx context.Context, query string, toks []sqltok
 	}
 	if !res.Attack {
 		if c.queries != nil {
-			c.queries.put(query, true)
+			c.queries.put(c.dialect, query, true)
 		}
 		if c.structs != nil {
-			c.structs.put(structKey, true)
+			c.structs.put(c.dialect, structKey, true)
 		}
 	}
 	return res, toks, nil

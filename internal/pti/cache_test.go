@@ -6,29 +6,32 @@ import (
 	"testing"
 )
 
+// mk builds a MySQL-dialect lruKey for the plain-LRU unit tests.
+func mk(s string) lruKey { return lruKey{key: s} }
+
 func TestLRUBasics(t *testing.T) {
 	c := newLRU(2)
-	c.put("a", true)
-	c.put("b", true)
-	if v, ok := c.get("a"); !ok || !v {
+	c.put(mk("a"), true)
+	c.put(mk("b"), true)
+	if v, ok := c.get(mk("a")); !ok || !v {
 		t.Error("a missing")
 	}
-	c.put("c", true) // evicts b (a was touched)
-	if _, ok := c.get("b"); ok {
+	c.put(mk("c"), true) // evicts b (a was touched)
+	if _, ok := c.get(mk("b")); ok {
 		t.Error("b should be evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get(mk("a")); !ok {
 		t.Error("a should remain")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, ok := c.get(mk("c")); !ok {
 		t.Error("c should remain")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d", c.len())
 	}
 	// Overwrite updates value.
-	c.put("a", false)
-	if v, ok := c.get("a"); !ok || v {
+	c.put(mk("a"), false)
+	if v, ok := c.get(mk("a")); !ok || v {
 		t.Error("overwrite failed")
 	}
 }
@@ -36,7 +39,7 @@ func TestLRUBasics(t *testing.T) {
 func TestLRUDefaultCapacity(t *testing.T) {
 	c := newLRU(0)
 	for i := 0; i < 2000; i++ {
-		c.put(fmt.Sprintf("k%d", i), true)
+		c.put(mk(fmt.Sprintf("k%d", i)), true)
 	}
 	if c.len() != 1024 {
 		t.Errorf("len = %d, want 1024", c.len())
@@ -52,8 +55,8 @@ func TestLRUConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("k%d", (seed+i)%100)
-				c.put(key, true)
-				c.get(key)
+				c.put(mk(key), true)
+				c.get(mk(key))
 			}
 		}(g)
 	}

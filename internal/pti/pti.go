@@ -45,6 +45,9 @@ type Analyzer struct {
 	// fail with core.ErrOverBudget on the context-aware path.
 	maxQueryBytes int
 	maxTokens     int
+	// dialect governs internal lexing when callers pass nil tokens. The
+	// zero value is sqltoken.MySQL, preserving historical behavior.
+	dialect sqltoken.Dialect
 }
 
 // Option configures an Analyzer.
@@ -91,6 +94,13 @@ func WithMaxTokens(n int) Option {
 	return func(a *Analyzer) { a.maxTokens = n }
 }
 
+// WithDialect sets the SQL dialect the analyzer lexes under when it has to
+// lex internally (nil toks). Callers that pass pre-lexed tokens must have
+// lexed them under the same dialect. The default is sqltoken.MySQL.
+func WithDialect(d sqltoken.Dialect) Option {
+	return func(a *Analyzer) { a.dialect = d }
+}
+
 // WithStrictPolicy enforces the strict (Ray–Ligatti-style) policy of
 // Section II: identifiers (field and table names) must also originate from
 // trusted fragments.
@@ -118,6 +128,9 @@ func New(set *fragments.Set, opts ...Option) *Analyzer {
 // Set returns the fragment set the analyzer was built over.
 func (a *Analyzer) Set() *fragments.Set { return a.set }
 
+// Dialect returns the SQL dialect the analyzer lexes under.
+func (a *Analyzer) Dialect() sqltoken.Dialect { return a.dialect }
+
 // Analyze decides whether query is PTI-safe. toks must be the lex of query;
 // pass nil to lex internally.
 func (a *Analyzer) Analyze(query string, toks []sqltoken.Token) core.Result {
@@ -130,7 +143,7 @@ func (a *Analyzer) Analyze(query string, toks []sqltoken.Token) core.Result {
 // behind a PTI verdict. A nil span costs one pointer check per token.
 func (a *Analyzer) AnalyzeTraced(query string, toks []sqltoken.Token, span *trace.Span) core.Result {
 	if toks == nil {
-		toks = sqltoken.Lex(query)
+		toks = a.dialect.Lex(query)
 	}
 	if a.parseFirst {
 		return a.analyzeParseFirst(query, toks, span)
@@ -155,7 +168,7 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, query string, toks []sqltoken
 			len(query), a.maxQueryBytes, core.ErrOverBudget)
 	}
 	if toks == nil {
-		toks = sqltoken.Lex(query)
+		toks = a.dialect.Lex(query)
 		if cancelable {
 			if err := ctx.Err(); err != nil {
 				return core.Result{}, err

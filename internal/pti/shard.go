@@ -4,7 +4,24 @@ import (
 	"hash/maphash"
 	"runtime"
 	"sync/atomic"
+
+	"joza/internal/sqltoken"
 )
+
+// lruKey is the composite cache key: the SQL dialect the verdict was
+// computed under plus the query (or structure-skeleton) string. The
+// dialect is part of the key, not a cache-level attribute, so one process
+// hosting guards for several database backends can never serve a verdict
+// cached under one dialect to a query arriving under another — the same
+// bytes can lex to a different string/code boundary per dialect.
+//
+// A struct key keeps the lookup allocation-free: concatenating the dialect
+// into the string would allocate on every hit-path probe, regressing the
+// zero-alloc cached fast path.
+type lruKey struct {
+	d   sqltoken.Dialect
+	key string
+}
 
 // shardedLRU spreads an LRU cache over N independently locked shards,
 // selected by key hash, so concurrent Cached.Analyze calls on different
@@ -65,7 +82,7 @@ func newShardedLRU(capacity, nShards int) *shardedLRU {
 	}
 	for i := range s.shards {
 		s.shards[i].lru.cap = perShard
-		s.shards[i].lru.items = make(map[string]*lruEntry, perShard)
+		s.shards[i].lru.items = make(map[lruKey]*lruEntry, perShard)
 	}
 	return s
 }
@@ -75,17 +92,20 @@ func newShardedLRU(capacity, nShards int) *shardedLRU {
 // nanoseconds even for long query keys and never allocates.
 var shardSeed = maphash.MakeSeed()
 
-func hashKey(key string) uint64 {
-	return maphash.String(shardSeed, key)
+// hashKey mixes the dialect into the string hash with a golden-ratio
+// multiply so the same query text lands on independent shards per dialect.
+func hashKey(k lruKey) uint64 {
+	return maphash.String(shardSeed, k.key) ^ (uint64(k.d)+1)*0x9e3779b97f4a7c15
 }
 
-func (s *shardedLRU) shard(key string) *lruShard {
-	return &s.shards[hashKey(key)&s.mask]
+func (s *shardedLRU) shard(k lruKey) *lruShard {
+	return &s.shards[hashKey(k)&s.mask]
 }
 
-func (s *shardedLRU) get(key string) (bool, bool) {
-	sh := s.shard(key)
-	safe, ok := sh.lru.get(key)
+func (s *shardedLRU) get(d sqltoken.Dialect, key string) (bool, bool) {
+	k := lruKey{d: d, key: key}
+	sh := s.shard(k)
+	safe, ok := sh.lru.get(k)
 	if ok {
 		sh.hits.Add(1)
 	} else {
@@ -94,8 +114,9 @@ func (s *shardedLRU) get(key string) (bool, bool) {
 	return safe, ok
 }
 
-func (s *shardedLRU) put(key string, safe bool) {
-	s.shard(key).lru.put(key, safe)
+func (s *shardedLRU) put(d sqltoken.Dialect, key string, safe bool) {
+	k := lruKey{d: d, key: key}
+	s.shard(k).lru.put(k, safe)
 }
 
 func (s *shardedLRU) len() int {

@@ -237,7 +237,16 @@ func (*IsNullExpr) exprNode()  {}
 // case-normalized keywords would let a safe lowercase variant certify an
 // unsafe uppercase one.
 func StructureKey(query string) string {
-	toks := sqltoken.Lex(query)
+	return StructureKeyDialect(sqltoken.MySQL, query)
+}
+
+// StructureKeyDialect is StructureKey tokenized under dialect d. Keys from
+// different dialects must never share a cache namespace: the same bytes can
+// lex to different string/code boundaries per dialect (a dollar-quoted body
+// is data in Postgres and live tokens in MySQL), so callers key caches by
+// (dialect, skeleton), not skeleton alone.
+func StructureKeyDialect(d sqltoken.Dialect, query string) string {
+	toks := d.Lex(query)
 	var sb strings.Builder
 	sb.Grow(len(query))
 	pos := 0

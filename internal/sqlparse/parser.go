@@ -19,17 +19,17 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("sql syntax error at byte %d: %s", e.Pos, e.Msg)
 }
 
-// Parse parses a single SQL statement. Trailing semicolons are permitted.
+// Parse parses a single SQL statement in the MySQL dialect. Trailing
+// semicolons are permitted.
 func Parse(query string) (Statement, error) {
-	toks := sqltoken.Lex(query)
-	// Comments are not semantically meaningful; drop them for parsing.
-	filtered := toks[:0:0]
-	for _, t := range toks {
-		if t.Kind != sqltoken.KindComment {
-			filtered = append(filtered, t)
-		}
-	}
-	p := &parser{toks: filtered, srcLen: len(query)}
+	return ParseDialect(sqltoken.MySQL, query)
+}
+
+// ParseDialect parses a single SQL statement tokenized under dialect d.
+// The grammar itself is the shared cross-dialect subset; what changes per
+// dialect is the token stream (quote semantics, placeholders, comments).
+func ParseDialect(d sqltoken.Dialect, query string) (Statement, error) {
+	p := &parser{toks: lexForParse(d, query), srcLen: len(query), d: d}
 	stmt, err := p.parseStatement()
 	if err != nil {
 		return nil, err
@@ -44,10 +44,24 @@ func Parse(query string) (Statement, error) {
 	return stmt, nil
 }
 
+// lexForParse tokenizes query under d and drops comments, which are not
+// semantically meaningful for parsing.
+func lexForParse(d sqltoken.Dialect, query string) []sqltoken.Token {
+	toks := d.Lex(query)
+	filtered := toks[:0:0]
+	for _, t := range toks {
+		if t.Kind != sqltoken.KindComment {
+			filtered = append(filtered, t)
+		}
+	}
+	return filtered
+}
+
 type parser struct {
 	toks   []sqltoken.Token
 	pos    int
 	srcLen int
+	d      sqltoken.Dialect
 }
 
 func (p *parser) eof() bool { return p.pos >= len(p.toks) }
@@ -111,10 +125,11 @@ func (p *parser) expectPunct(text string) error {
 	return nil
 }
 
-// identName returns the name carried by an identifier or backtick token.
+// identName returns the name carried by an identifier or quoted-identifier
+// token (`…` in MySQL/SQLite, "…" in Postgres/SQLite).
 func identName(t sqltoken.Token) string {
 	if t.Kind == sqltoken.KindBacktick {
-		return strings.Trim(t.Text, "`")
+		return strings.Trim(t.Text, "`\"")
 	}
 	return t.Text
 }
@@ -863,7 +878,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return &Literal{Kind: LitNumber, Text: t.Text}, nil
 	case sqltoken.KindString:
 		p.next()
-		return &Literal{Kind: LitString, Text: t.Text, Str: decodeString(t.Text)}, nil
+		return &Literal{Kind: LitString, Text: t.Text, Str: decodeString(p.d, t.Text)}, nil
 	case sqltoken.KindPlaceholder:
 		p.next()
 		// Placeholders act as NULL-valued literals for structural parsing.
@@ -968,8 +983,23 @@ func (p *parser) parseFuncCall() (Expr, error) {
 }
 
 // decodeString strips the quotes from a SQL string literal and resolves
-// backslash and doubled-quote escapes.
-func decodeString(text string) string {
+// the escapes dialect d recognizes: backslash escapes in MySQL (and in
+// Postgres E'…' strings), doubled-quote escapes everywhere. Dollar-quoted
+// bodies are verbatim — no escape of any kind is live inside them.
+func decodeString(d sqltoken.Dialect, text string) string {
+	backslash := d == sqltoken.MySQL
+	if text != "" && text[0] == '$' {
+		// $tag$…$tag$ (Postgres). MySQL/SQLite string tokens never start
+		// with '$', so this branch cannot misfire there.
+		if i := strings.IndexByte(text[1:], '$'); i >= 0 {
+			tag := text[:i+2]
+			return strings.TrimSuffix(text[len(tag):], tag)
+		}
+	}
+	if len(text) >= 2 && (text[0] == 'E' || text[0] == 'e') && text[1] == '\'' {
+		text = text[1:]
+		backslash = true
+	}
 	if len(text) < 2 {
 		return strings.Trim(text, `'"`)
 	}
@@ -982,7 +1012,7 @@ func decodeString(text string) string {
 	sb.Grow(len(body))
 	for i := 0; i < len(body); i++ {
 		c := body[i]
-		if c == '\\' && i+1 < len(body) {
+		if backslash && c == '\\' && i+1 < len(body) {
 			i++
 			switch body[i] {
 			case 'n':

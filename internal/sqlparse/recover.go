@@ -1,0 +1,116 @@
+package sqlparse
+
+import (
+	"strings"
+
+	"joza/internal/sqltoken"
+)
+
+// Recovery is the result of a resilient parse: a best-effort partial parse
+// of hostile or malformed SQL together with every diagnostic collected
+// along the way. Unlike Parse, ParseRecover never returns an error — an
+// attacker must not be able to push a query into an "unanalyzable" bucket
+// just by malforming it, so the contract is "a diagnosed partial parse and
+// a verdict, not an error".
+type Recovery struct {
+	// Stmts holds every statement that parsed cleanly, in source order.
+	// A syntactically broken region contributes diagnostics, not entries.
+	Stmts []Statement
+
+	// Errs holds one *SyntaxError per recovery point, in source order.
+	// Empty means the whole input parsed.
+	Errs []*SyntaxError
+
+	// Skipped counts tokens discarded while resynchronizing. A high ratio
+	// of skipped tokens to total tokens is itself a suspicion signal:
+	// benign application SQL parses nearly completely.
+	Skipped int
+
+	// Tokens is the total number of non-comment tokens in the input, so
+	// callers can turn Skipped into a ratio without re-lexing.
+	Tokens int
+}
+
+// Clean reports whether the input parsed without any diagnostics.
+func (r *Recovery) Clean() bool { return len(r.Errs) == 0 }
+
+// Stmt returns the first parsed statement, or nil if nothing parsed. Most
+// call sites analyze single-statement queries and only want the head.
+func (r *Recovery) Stmt() Statement {
+	if len(r.Stmts) == 0 {
+		return nil
+	}
+	return r.Stmts[0]
+}
+
+// stmtStartKeywords are the sync points for near-token error recovery:
+// tokens at which a fresh parse attempt is worth making.
+var stmtStartKeywords = map[string]bool{
+	"SELECT": true,
+	"INSERT": true,
+	"UPDATE": true,
+	"DELETE": true,
+	"CREATE": true,
+	"DROP":   true,
+}
+
+// ParseRecover parses query under dialect d with near-token error
+// recovery. On a syntax error it records the diagnostic, discards the
+// offending token, skips forward to the next synchronization point (a
+// statement-head keyword or past the next ';') and resumes parsing. The
+// result always covers the whole input: every token is either inside a
+// parsed statement, counted in Skipped, or a separator semicolon.
+func ParseRecover(d sqltoken.Dialect, query string) *Recovery {
+	toks := lexForParse(d, query)
+	rec := &Recovery{Tokens: len(toks)}
+	pos := 0
+	for pos < len(toks) {
+		p := &parser{toks: toks, pos: pos, srcLen: len(query), d: d}
+		stmt, err := p.parseStatement()
+		if err == nil {
+			rec.Stmts = append(rec.Stmts, stmt)
+			for p.peekIs(sqltoken.KindPunct, ";") {
+				p.next()
+			}
+			if p.pos == pos {
+				// parseStatement consumed nothing (cannot happen with the
+				// current grammar, but guarantee progress regardless).
+				p.pos++
+				rec.Skipped++
+			}
+			pos = p.pos
+			continue
+		}
+		se, ok := err.(*SyntaxError)
+		if !ok {
+			se = &SyntaxError{Pos: p.peek().Start, Msg: err.Error()}
+		}
+		rec.Errs = append(rec.Errs, se)
+		// Drop the token the parser choked on, then scan for a sync point.
+		// p.pos is where the parse stalled; everything from there to the
+		// sync point is unparsed attack surface.
+		from := p.pos + 1
+		if from <= pos {
+			from = pos + 1
+		}
+		next := resyncPoint(toks, from)
+		rec.Skipped += next - pos
+		pos = next
+	}
+	return rec
+}
+
+// resyncPoint returns the index of the next statement-head keyword at or
+// after from, or the index just past the next ';', whichever comes first.
+func resyncPoint(toks []sqltoken.Token, from int) int {
+	for i := from; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == sqltoken.KindKeyword && stmtStartKeywords[strings.ToUpper(t.Text)] {
+			return i
+		}
+		if t.Kind == sqltoken.KindPunct && t.Text == ";" {
+			return i + 1
+		}
+	}
+	return len(toks)
+}

@@ -1,0 +1,209 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"joza/internal/sqltoken"
+)
+
+func TestParseDialectPostgres(t *testing.T) {
+	q := `SELECT "name", age FROM "users" WHERE id = $1 AND bio = E'it\'s'`
+	stmt, err := ParseDialect(sqltoken.Postgres, q)
+	if err != nil {
+		t.Fatalf("ParseDialect(Postgres) error: %v", err)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("got %T, want *SelectStmt", stmt)
+	}
+	if sel.From != "users" {
+		t.Errorf(`From = %q, want "users" (quoted identifier must be unwrapped)`, sel.From)
+	}
+	// Under MySQL rules the same bytes put `"name"` in string position and
+	// the parse must fail — quoted identifiers are a dialect property.
+	if _, err := Parse(q); err == nil {
+		t.Errorf("MySQL Parse accepted Postgres quoted-identifier query")
+	}
+}
+
+func TestParseDialectStringDecoding(t *testing.T) {
+	cases := []struct {
+		d    sqltoken.Dialect
+		q    string
+		want string
+	}{
+		// MySQL: backslash escapes live inside '…'.
+		{sqltoken.MySQL, `SELECT * FROM t WHERE a = 'x\'y'`, "x'y"},
+		// Postgres standard_conforming_strings: backslash is a plain byte.
+		{sqltoken.Postgres, `SELECT * FROM t WHERE a = 'x\y'`, `x\y`},
+		// Postgres E'…' re-enables backslash escapes.
+		{sqltoken.Postgres, `SELECT * FROM t WHERE a = E'x\ny'`, "x\ny"},
+		// Dollar-quoted bodies are verbatim, including backslashes/quotes.
+		{sqltoken.Postgres, `SELECT * FROM t WHERE a = $q$x\'y$q$`, `x\'y`},
+		// SQLite: doubled quote is the only escape.
+		{sqltoken.SQLite, `SELECT * FROM t WHERE a = 'x''y'`, "x'y"},
+	}
+	for _, c := range cases {
+		stmt, err := ParseDialect(c.d, c.q)
+		if err != nil {
+			t.Errorf("%s: %q: %v", c.d, c.q, err)
+			continue
+		}
+		sel := stmt.(*SelectStmt)
+		bin, ok := sel.Where.(*BinaryExpr)
+		if !ok {
+			t.Errorf("%s: %q: WHERE is %T, want *BinaryExpr", c.d, c.q, sel.Where)
+			continue
+		}
+		lit, ok := bin.R.(*Literal)
+		if !ok || lit.Kind != LitString {
+			t.Errorf("%s: %q: rhs is %#v, want string literal", c.d, c.q, bin.R)
+			continue
+		}
+		if lit.Str != c.want {
+			t.Errorf("%s: %q: decoded %q, want %q", c.d, c.q, lit.Str, c.want)
+		}
+	}
+}
+
+func TestParseRecoverClean(t *testing.T) {
+	for _, d := range sqltoken.Dialects() {
+		rec := ParseRecover(d, "SELECT id FROM users WHERE id = 1;")
+		if !rec.Clean() {
+			t.Fatalf("%s: diagnostics on clean input: %v", d, rec.Errs)
+		}
+		if len(rec.Stmts) != 1 || rec.Stmt() == nil {
+			t.Fatalf("%s: got %d statements, want 1", d, len(rec.Stmts))
+		}
+		if rec.Skipped != 0 {
+			t.Fatalf("%s: Skipped = %d on clean input", d, rec.Skipped)
+		}
+	}
+}
+
+func TestParseRecoverMultiStatement(t *testing.T) {
+	rec := ParseRecover(sqltoken.MySQL, "SELECT 1; DROP TABLE audit; SELECT 2")
+	if !rec.Clean() {
+		t.Fatalf("diagnostics: %v", rec.Errs)
+	}
+	if len(rec.Stmts) != 3 {
+		t.Fatalf("got %d statements, want 3 (stacked queries must all surface)", len(rec.Stmts))
+	}
+	if _, ok := rec.Stmts[1].(*DropTableStmt); !ok {
+		t.Fatalf("middle statement is %T, want *DropTableStmt", rec.Stmts[1])
+	}
+}
+
+// TestParseRecoverHostile is the contract the tentpole names: hostile
+// malformed SQL degrades to a diagnosed partial parse, not an error.
+func TestParseRecoverHostile(t *testing.T) {
+	// Broken head, live injected tail: the recovery must diagnose the head
+	// AND still surface the DROP so downstream layers can see it.
+	rec := ParseRecover(sqltoken.MySQL, "SELECT FROM WHERE; DROP TABLE users")
+	if rec.Clean() {
+		t.Fatalf("no diagnostics for broken statement head")
+	}
+	var sawDrop bool
+	for _, s := range rec.Stmts {
+		if _, ok := s.(*DropTableStmt); ok {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Fatalf("injected DROP not recovered; stmts=%d errs=%v", len(rec.Stmts), rec.Errs)
+	}
+	if rec.Skipped == 0 {
+		t.Errorf("Skipped = 0, want > 0 for the discarded broken head")
+	}
+
+	// Mid-statement garbage with no semicolon: resync at the next
+	// statement-head keyword.
+	rec = ParseRecover(sqltoken.MySQL, ")) OR (( SELECT secret FROM vault")
+	if rec.Clean() || len(rec.Stmts) != 1 {
+		t.Fatalf("want 1 diagnosed recovery + 1 stmt, got errs=%v stmts=%d", rec.Errs, len(rec.Stmts))
+	}
+	if _, ok := rec.Stmt().(*SelectStmt); !ok {
+		t.Fatalf("recovered statement is %T, want *SelectStmt", rec.Stmt())
+	}
+
+	// Pure garbage: everything is skipped, nothing parses, and the call
+	// still returns (never an error, never a panic, always terminates).
+	rec = ParseRecover(sqltoken.MySQL, ")))((( @@x ::: '")
+	if rec.Clean() || len(rec.Stmts) != 0 {
+		t.Fatalf("garbage input: errs=%v stmts=%d", rec.Errs, len(rec.Stmts))
+	}
+	if rec.Skipped != rec.Tokens {
+		t.Errorf("Skipped = %d, want all %d tokens", rec.Skipped, rec.Tokens)
+	}
+}
+
+func TestParseRecoverDiagnosticPositions(t *testing.T) {
+	q := "SELECT 1; BOGUS; SELECT 2"
+	rec := ParseRecover(sqltoken.MySQL, q)
+	if len(rec.Errs) != 1 {
+		t.Fatalf("errs = %v, want exactly 1", rec.Errs)
+	}
+	if want := strings.Index(q, "BOGUS"); rec.Errs[0].Pos != want {
+		t.Errorf("diagnostic at byte %d, want %d", rec.Errs[0].Pos, want)
+	}
+	if len(rec.Stmts) != 2 {
+		t.Errorf("got %d statements, want the 2 clean SELECTs", len(rec.Stmts))
+	}
+}
+
+func TestStructureKeyDialect(t *testing.T) {
+	// MySQL delegation: the one-arg form is exactly the MySQL form.
+	q := "SELECT * FROM t WHERE a = 'x' AND b = 42"
+	if StructureKey(q) != StructureKeyDialect(sqltoken.MySQL, q) {
+		t.Fatalf("StructureKey != StructureKeyDialect(MySQL)")
+	}
+
+	// The same bytes must yield different skeletons when the dialects
+	// disagree on the string/code boundary: a dollar-quoted body is data
+	// in Postgres and live tokens in MySQL.
+	dq := "SELECT $q$ UNION SELECT pass FROM pg_shadow $q$"
+	my := StructureKeyDialect(sqltoken.MySQL, dq)
+	pg := StructureKeyDialect(sqltoken.Postgres, dq)
+	if my == pg {
+		t.Fatalf("MySQL and Postgres skeletons agree on dollar-quoted input: %q", my)
+	}
+	if !strings.Contains(pg, "$\x00S$") {
+		t.Errorf("Postgres skeleton did not blank the dollar-quoted body: %q", pg)
+	}
+	if !strings.Contains(my, "UNION") {
+		t.Errorf("MySQL skeleton should keep UNION as live bytes: %q", my)
+	}
+
+	// Number and placeholder handling under Postgres.
+	pq := "SELECT a FROM t WHERE a = $1 AND b = 7"
+	k := StructureKeyDialect(sqltoken.Postgres, pq)
+	if !strings.Contains(k, "$1") || !strings.Contains(k, "\x00N") {
+		t.Errorf("Postgres skeleton %q: want verbatim $1 and blanked number", k)
+	}
+}
+
+func FuzzParseRecover(f *testing.F) {
+	f.Add("SELECT FROM WHERE; DROP TABLE users")
+	f.Add(")) OR (( SELECT secret FROM vault")
+	f.Add("SELECT 1; SELECT 2; SELECT 3")
+	f.Add("insert into t (a,b) values (1,'x'); garbage")
+	f.Add(`' UNION SELECT usename FROM pg_user -- `)
+	f.Add("$q$ SELECT $q$ ; \x00\xff")
+	f.Fuzz(func(t *testing.T, q string) {
+		for _, d := range sqltoken.Dialects() {
+			rec := ParseRecover(d, q)
+			if rec == nil {
+				t.Fatalf("%s: nil recovery", d)
+			}
+			if rec.Skipped > rec.Tokens {
+				t.Fatalf("%s: Skipped %d > Tokens %d", d, rec.Skipped, rec.Tokens)
+			}
+			for _, e := range rec.Errs {
+				if e == nil || e.Pos < 0 || e.Pos > len(q) {
+					t.Fatalf("%s: bad diagnostic %#v", d, e)
+				}
+			}
+		}
+	})
+}

@@ -1,11 +1,18 @@
-// Package sqltoken implements a SQL lexer that tokenizes query strings into
-// position-annotated tokens and classifies each token as critical or data.
+// Package sqltoken implements a dialect-aware SQL lexer that tokenizes
+// query strings into position-annotated tokens and classifies each token
+// as critical or data.
 //
 // The notion of a "critical token" follows the Joza paper (DSN 2015): SQL
 // keywords, built-in functions, operators, delimiters and comments are
 // critical; identifiers, numbers and string-literal contents are data. The
 // threat model deliberately permits field and table names to be supplied by
 // user input, so plain identifiers are never critical.
+//
+// Lexical rules — quote and escape semantics, placeholder syntax, comment
+// forms and the keyword/function vocabulary — are parameterized by Dialect
+// (see dialect.go). The package-level functions Lex, IsKeyword,
+// IsBuiltinFunction and ContainsSQLToken operate in the MySQL dialect, the
+// zero value, and keep their exact pre-dialect behavior.
 //
 // Tokens carry byte offsets into the original query so taint-inference
 // components can test whether a token is covered by a tainted or trusted span.
@@ -29,6 +36,8 @@ const (
 	KindPunct
 	KindComment
 	KindPlaceholder
+	// KindBacktick is the quoted-identifier kind: `…` in MySQL and SQLite,
+	// "…" in Postgres and SQLite. The name predates dialect support.
 	KindBacktick
 	KindFunction
 	KindVariable
@@ -107,88 +116,31 @@ func (t Token) Critical() bool {
 	}
 }
 
-// keywords is the set of SQL keywords recognized by the lexer. The list
-// covers the MySQL dialect subset exercised by the evaluation plus common
-// attack vocabulary.
-var keywords = map[string]bool{
-	"ADD": true, "ALL": true, "ALTER": true, "AND": true, "AS": true,
-	"ASC": true, "BEGIN": true, "BETWEEN": true, "BY": true, "CASE": true,
-	"COLLATE": true, "COLUMN": true, "COMMIT": true, "CREATE": true,
-	"CROSS": true, "DATABASE": true, "DEFAULT": true, "DELETE": true,
-	"DESC": true, "DISTINCT": true, "DROP": true, "ELSE": true, "END": true,
-	"ESCAPE": true, "EXISTS": true, "FALSE": true, "FROM": true, "FULL": true,
-	"GROUP": true, "HAVING": true, "IF": true, "IN": true, "INDEX": true, "INNER": true,
-	"INSERT": true, "INTO": true, "IS": true, "JOIN": true, "KEY": true,
-	"LEFT": true, "LIKE": true, "LIMIT": true, "NOT": true, "NULL": true,
-	"OFFSET": true, "ON": true, "OR": true, "ORDER": true, "OUTER": true,
-	"PRIMARY": true, "PROCEDURE": true, "REGEXP": true, "RIGHT": true,
-	"ROLLBACK": true, "SELECT": true, "SET": true, "TABLE": true,
-	"THEN": true, "TRUE": true, "TRUNCATE": true, "UNION": true,
-	"UNIQUE": true, "UPDATE": true, "VALUES": true, "WHEN": true,
-	"WHERE": true, "XOR": true, "DIV": true, "MOD": true, "RLIKE": true,
-	"SOUNDS": true, "BINARY": true, "USING": true, "NATURAL": true,
-	"INTERVAL": true, "PARTITION": true, "EXEC": true, "EXECUTE": true,
-	"PREPARE": true, "DEALLOCATE": true, "GRANT": true, "REVOKE": true,
-	"REPLACE": true, "LOAD": true, "OUTFILE": true, "DUMPFILE": true,
-	"INFILE": true, "HANDLER": true, "CAST": true, "CONVERT": true,
-}
-
-// builtinFunctions is the set of identifiers treated as built-in SQL
-// functions when immediately followed by an opening parenthesis.
-var builtinFunctions = map[string]bool{
-	"ABS": true, "ASCII": true, "AVG": true, "BENCHMARK": true,
-	"BIN": true, "CEIL": true, "CEILING": true, "CHAR": true,
-	"CHAR_LENGTH": true, "CHARACTER_LENGTH": true, "COALESCE": true,
-	"CONCAT": true, "CONCAT_WS": true, "CONNECTION_ID": true,
-	"COUNT": true, "CURDATE": true, "CURRENT_DATE": true,
-	"CURRENT_TIME": true, "CURRENT_TIMESTAMP": true, "CURRENT_USER": true,
-	"CURTIME": true, "DATABASE": true, "DATE": true, "DATE_ADD": true,
-	"DATE_FORMAT": true, "DATE_SUB": true, "DAY": true, "ELT": true,
-	"EXP": true, "EXTRACT": true, "EXTRACTVALUE": true, "FIELD": true,
-	"FIND_IN_SET": true, "FLOOR": true, "FORMAT": true, "FOUND_ROWS": true,
-	"GREATEST": true, "GROUP_CONCAT": true, "HEX": true, "HOUR": true,
-	"IF": true, "IFNULL": true, "INSTR": true, "LAST_INSERT_ID": true,
-	"LCASE": true, "LEAST": true, "LEFT": true, "LENGTH": true,
-	"LOAD_FILE": true, "LOCATE": true, "LOWER": true, "LPAD": true,
-	"LTRIM": true, "MAKE_SET": true, "MAX": true, "MD5": true,
-	"MID": true, "MIN": true, "MINUTE": true, "MONTH": true, "NOW": true,
-	"NULLIF": true, "OCT": true, "ORD": true, "PASSWORD": true, "PI": true,
-	"POSITION": true, "POW": true, "POWER": true, "QUOTE": true,
-	"RAND": true, "REPEAT": true, "REPLACE": true, "REVERSE": true,
-	"RIGHT": true, "ROUND": true, "ROW_COUNT": true, "RPAD": true,
-	"RTRIM": true, "SCHEMA": true, "SECOND": true, "SESSION_USER": true,
-	"SHA": true, "SHA1": true, "SHA2": true, "SIGN": true, "SLEEP": true,
-	"SPACE": true, "SQRT": true, "STRCMP": true, "SUBSTR": true,
-	"SUBSTRING": true, "SUBSTRING_INDEX": true, "SUM": true,
-	"SYSDATE": true, "SYSTEM_USER": true, "TRIM": true, "TRUNCATE": true,
-	"UCASE": true, "UNHEX": true, "UNIX_TIMESTAMP": true, "UPDATEXML": true,
-	"UPPER": true, "USER": true, "USERNAME": true, "UUID": true,
-	"VERSION": true, "WEEK": true, "YEAR": true,
-}
-
-// IsKeyword reports whether word (case-insensitive) is a SQL keyword.
+// IsKeyword reports whether word (case-insensitive) is a SQL keyword in
+// the MySQL dialect.
 func IsKeyword(word string) bool {
-	return keywords[strings.ToUpper(word)]
+	return MySQL.IsKeyword(word)
 }
 
 // IsBuiltinFunction reports whether name (case-insensitive) is a recognized
-// built-in SQL function name.
+// built-in SQL function name in the MySQL dialect.
 func IsBuiltinFunction(name string) bool {
-	return builtinFunctions[strings.ToUpper(name)]
+	return MySQL.IsBuiltinFunction(name)
 }
 
-// Lex tokenizes query. It never fails: malformed input produces tokens with
-// Unterminated set or tokens of KindInvalid, because a defense must be able
-// to reason about queries an attacker deliberately malformed.
+// Lex tokenizes query in the MySQL dialect. It never fails: malformed input
+// produces tokens with Unterminated set or tokens of KindInvalid, because a
+// defense must be able to reason about queries an attacker deliberately
+// malformed. Use Dialect.Lex for other dialects.
 func Lex(query string) []Token {
-	lx := lexer{src: query}
-	return lx.run()
+	return MySQL.Lex(query)
 }
 
 type lexer struct {
 	src  string
 	pos  int
 	toks []Token
+	sp   *dialectSpec
 }
 
 func (l *lexer) run() []Token {
@@ -196,37 +148,64 @@ func (l *lexer) run() []Token {
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		switch {
-		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v':
+		case isSpaceByte(c):
 			l.pos++
-		case c == '\'' || c == '"':
-			l.lexString(c)
-		case c == '`':
-			l.lexBacktick()
-		case c == '#':
+		case c == '\'':
+			l.lexString(l.pos, '\'', l.sp.backslashEscapes)
+		case c == '"':
+			if l.sp.doubleQuoteIdent {
+				l.lexQuotedIdent('"', true)
+			} else {
+				l.lexString(l.pos, '"', l.sp.backslashEscapes)
+			}
+		case c == '`' && l.sp.backtickIdent:
+			l.lexQuotedIdent('`', false)
+		case c == '#' && l.sp.hashComment:
 			l.lexLineComment(1)
+		case c == '#' && l.sp.hashOperator:
+			l.lexOperator()
 		case c == '-' && l.peekAt(1) == '-':
 			// MySQL requires whitespace (or end of input) after "--" for a
-			// comment; otherwise it is the minus operator twice.
-			if l.pos+2 >= len(l.src) || isSpaceByte(l.src[l.pos+2]) {
+			// comment; otherwise it is the minus operator twice. Postgres
+			// and SQLite start the comment unconditionally.
+			if !l.sp.dashDashNeedsSpace || l.pos+2 >= len(l.src) || isSpaceByte(l.src[l.pos+2]) {
 				l.lexLineComment(2)
 			} else {
 				l.lexOperator()
 			}
 		case c == '/' && l.peekAt(1) == '*':
-			l.lexBlockComment()
+			l.lexBlockComment(l.sp.nestedBlockComment)
+		case l.sp.eStrings && (c == 'E' || c == 'e') && l.peekAt(1) == '\'':
+			// Postgres escape string: the E prefix is part of the literal
+			// and re-enables backslash escapes.
+			start := l.pos
+			l.pos++
+			l.lexString(start, '\'', true)
 		case isDigit(c), c == '.' && isDigit(l.peekAt(1)):
 			l.lexNumber()
-		case isIdentStart(c):
+		case l.identStart(c):
 			l.lexWord()
+		case c == '$':
+			l.lexDollar()
 		case c == '?':
-			l.emit(KindPlaceholder, l.pos, l.pos+1, false)
-			l.pos++
+			l.lexQuestion()
+		case c == ':' && l.peekAt(1) == ':':
+			// The cast operator, one token in every dialect. (It previously
+			// mis-lexed as an invalid byte followed by a named placeholder.)
+			l.emit(KindOperator, l.pos, l.pos+2, false)
+			l.pos += 2
 		case c == ':' && l.peekAt(1) == '=':
 			l.lexOperator()
-		case c == ':' && isIdentStart(l.peekAt(1)):
+		case c == ':' && l.sp.colonPlaceholder && l.identStart(l.peekAt(1)):
 			l.lexNamedPlaceholder()
-		case c == '@':
+		case c == ':' && l.sp.colonOperator:
+			l.lexOperator()
+		case c == '@' && l.sp.atVariable:
 			l.lexVariable()
+		case c == '@' && l.sp.atPlaceholder && l.identByte(l.peekAt(1)):
+			l.lexNamedPlaceholder()
+		case c == '@' && l.sp.atOperator:
+			l.lexOperator()
 		case isPunct(c):
 			l.emit(KindPunct, l.pos, l.pos+1, false)
 			l.pos++
@@ -257,12 +236,15 @@ func (l *lexer) emit(kind Kind, start, end int, unterminated bool) {
 	})
 }
 
-func (l *lexer) lexString(quote byte) {
-	start := l.pos
+// lexString scans a quoted string whose opening delimiter sits at the
+// cursor; start may precede it to fold a prefix (Postgres E'…') into the
+// token. A doubled quote always escapes; backslash escapes only when the
+// dialect says so.
+func (l *lexer) lexString(start int, quote byte, backslash bool) {
 	l.pos++ // opening quote
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
-		if c == '\\' && l.pos+1 < len(l.src) {
+		if backslash && c == '\\' && l.pos+1 < len(l.src) {
 			l.pos += 2
 			continue
 		}
@@ -281,11 +263,17 @@ func (l *lexer) lexString(quote byte) {
 	l.emit(KindString, start, l.pos, true)
 }
 
-func (l *lexer) lexBacktick() {
+// lexQuotedIdent scans a quoted identifier (`…` or "…"). Postgres and
+// SQLite escape the delimiter by doubling it; MySQL backticks do not.
+func (l *lexer) lexQuotedIdent(quote byte, doubled bool) {
 	start := l.pos
 	l.pos++
 	for l.pos < len(l.src) {
-		if l.src[l.pos] == '`' {
+		if l.src[l.pos] == quote {
+			if doubled && l.peekAt(1) == quote {
+				l.pos += 2
+				continue
+			}
 			l.pos++
 			l.emit(KindBacktick, start, l.pos, false)
 			return
@@ -304,14 +292,23 @@ func (l *lexer) lexLineComment(markerLen int) {
 	l.emit(KindComment, start, l.pos, false)
 }
 
-func (l *lexer) lexBlockComment() {
+func (l *lexer) lexBlockComment(nested bool) {
 	start := l.pos
 	l.pos += 2
+	depth := 1
 	for l.pos < len(l.src) {
 		if l.src[l.pos] == '*' && l.peekAt(1) == '/' {
 			l.pos += 2
-			l.emit(KindComment, start, l.pos, false)
-			return
+			if depth--; depth == 0 {
+				l.emit(KindComment, start, l.pos, false)
+				return
+			}
+			continue
+		}
+		if nested && l.src[l.pos] == '/' && l.peekAt(1) == '*' {
+			l.pos += 2
+			depth++
+			continue
 		}
 		l.pos++
 	}
@@ -358,17 +355,17 @@ func (l *lexer) lexNumber() {
 
 func (l *lexer) lexWord() {
 	start := l.pos
-	for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+	for l.pos < len(l.src) && l.identByte(l.src[l.pos]) {
 		l.pos++
 	}
-	word := l.src[start:l.pos]
+	word := strings.ToUpper(l.src[start:l.pos])
 	// A known function name directly followed by '(' (optionally with
 	// whitespace) is a function token.
-	if IsBuiltinFunction(word) && l.nextNonSpaceIs('(') {
+	if l.sp.functions[word] && l.nextNonSpaceIs('(') {
 		l.emit(KindFunction, start, l.pos, false)
 		return
 	}
-	if IsKeyword(word) {
+	if l.sp.keywords[word] {
 		l.emit(KindKeyword, start, l.pos, false)
 		return
 	}
@@ -385,10 +382,12 @@ func (l *lexer) nextNonSpaceIs(want byte) bool {
 	return false
 }
 
+// lexNamedPlaceholder scans a marker byte (':', '@' or '$') followed by an
+// identifier as one placeholder token.
 func (l *lexer) lexNamedPlaceholder() {
 	start := l.pos
-	l.pos++ // ':'
-	for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+	l.pos++ // marker
+	for l.pos < len(l.src) && l.identByte(l.src[l.pos]) {
 		l.pos++
 	}
 	l.emit(KindPlaceholder, start, l.pos, false)
@@ -400,10 +399,75 @@ func (l *lexer) lexVariable() {
 	if l.pos < len(l.src) && l.src[l.pos] == '@' {
 		l.pos++ // system variable @@
 	}
-	for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+	for l.pos < len(l.src) && l.identByte(l.src[l.pos]) {
 		l.pos++
 	}
 	l.emit(KindVariable, start, l.pos, false)
+}
+
+// lexQuestion scans '?' — a positional placeholder where the dialect has
+// one (with an optional ?NNN number in SQLite), an operator in Postgres.
+func (l *lexer) lexQuestion() {
+	if !l.sp.questionPlaceholder {
+		l.lexOperator()
+		return
+	}
+	start := l.pos
+	l.pos++
+	if l.sp.questionNumber {
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	l.emit(KindPlaceholder, start, l.pos, false)
+}
+
+// lexDollar handles a '$' that did not start an identifier: Postgres $1
+// placeholders and $tag$…$tag$ dollar-quoted strings, SQLite $name
+// placeholders. A lone '$' that fits no dialect form is invalid.
+func (l *lexer) lexDollar() {
+	if l.sp.dollarNumber && isDigit(l.peekAt(1)) {
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		l.emit(KindPlaceholder, start, l.pos, false)
+		return
+	}
+	if l.sp.dollarName && l.identByte(l.peekAt(1)) {
+		l.lexNamedPlaceholder()
+		return
+	}
+	if l.sp.dollarQuote && l.lexDollarQuote() {
+		return
+	}
+	l.emit(KindInvalid, l.pos, l.pos+1, false)
+	l.pos++
+}
+
+// lexDollarQuote scans a Postgres dollar-quoted string $tag$…$tag$ (the
+// tag may be empty: $$…$$). It reports false, leaving the cursor in place,
+// when the byte at the cursor does not open a well-formed tag.
+func (l *lexer) lexDollarQuote() bool {
+	i := l.pos + 1
+	for i < len(l.src) && isTagByte(l.src[i]) {
+		i++
+	}
+	if i >= len(l.src) || l.src[i] != '$' {
+		return false
+	}
+	start := l.pos
+	tag := l.src[l.pos : i+1] // "$tag$", both delimiters included
+	body := i + 1
+	if j := strings.Index(l.src[body:], tag); j >= 0 {
+		l.pos = body + j + len(tag)
+		l.emit(KindString, start, l.pos, false)
+		return true
+	}
+	l.pos = len(l.src)
+	l.emit(KindString, start, l.pos, true)
+	return true
 }
 
 func (l *lexer) lexOperator() {
@@ -425,11 +489,25 @@ func (l *lexer) lexOperator() {
 func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
 func isHexDigit(c byte) bool { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
 
-func isIdentStart(c byte) bool {
-	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+// identStart reports whether c can begin an unquoted identifier. Only
+// MySQL lets '$' start one; Postgres and SQLite accept '$' in continuation
+// position only (identByte), which frees the leading '$' for placeholders
+// and dollar-quoting.
+func (l *lexer) identStart(c byte) bool {
+	return c == '_' || (c == '$' && l.sp.dollarIdentStart) ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
 }
 
-func isIdentByte(c byte) bool { return isIdentStart(c) || isDigit(c) }
+// identByte reports whether c can continue an unquoted identifier. All
+// three dialects accept '$' here.
+func (l *lexer) identByte(c byte) bool {
+	return c == '_' || c == '$' || isDigit(c) ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isTagByte(c byte) bool {
+	return c == '_' || isDigit(c) || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
 
 func isSpaceByte(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v'
@@ -475,19 +553,13 @@ func CriticalTokens(toks []Token) []Token {
 	return out
 }
 
-// ContainsSQLToken reports whether s lexes to at least one non-invalid SQL
-// token that is meaningful for fragment retention: a keyword, function,
-// operator, punctuation, comment, string or backtick token. PTI uses this to
-// discard program fragments that could never cover a critical token.
+// ContainsSQLToken reports whether s lexes (in the MySQL dialect) to at
+// least one non-invalid SQL token that is meaningful for fragment
+// retention: a keyword, function, operator, punctuation, comment, string
+// or quoted-identifier token. PTI uses this to discard program fragments
+// that could never cover a critical token.
 func ContainsSQLToken(s string) bool {
-	for _, t := range Lex(s) {
-		switch t.Kind {
-		case KindKeyword, KindFunction, KindOperator, KindPunct, KindComment,
-			KindString, KindBacktick:
-			return true
-		}
-	}
-	return false
+	return MySQL.ContainsSQLToken(s)
 }
 
 // CoversWholeToken reports whether the span [start, end) of the query whose

@@ -1,0 +1,38 @@
+package testbed
+
+import "testing"
+
+// TestDialectEvasionRow asserts the acceptance claim of the dialect
+// refactor: at least two payload classes exist that the MySQL-dialect
+// guard misses and the Postgres-dialect guard catches on every case,
+// and replaying the benign detection-matrix corpus under the MySQL
+// guard produces zero false positives.
+func TestDialectEvasionRow(t *testing.T) {
+	lab, err := NewLab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lab.EvaluateDialectEvasion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("want >= 2 payload classes, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Cases == 0 {
+			t.Errorf("%s: no cases evaluated", row.Class)
+		}
+		if row.MissedMySQL != row.Cases || row.CaughtPostgres != row.Cases {
+			t.Errorf("%s: missed %d/%d under MySQL, caught %d/%d under Postgres; want all",
+				row.Class, row.MissedMySQL, row.Cases, row.CaughtPostgres, row.Cases)
+		}
+	}
+	if res.BenignCases < 250 {
+		t.Errorf("benign row replayed only %d cases; the matrix row has 266", res.BenignCases)
+	}
+	if res.BenignFPs != 0 {
+		t.Errorf("benign row: %d false positives under the MySQL guard, want 0", res.BenignFPs)
+	}
+	t.Log(FormatDialectEvasion(res))
+}

@@ -97,7 +97,31 @@ type (
 	// ProfileRecorder accumulates query-skeleton profiles during a
 	// learning run; safe for concurrent use.
 	ProfileRecorder = profile.Recorder
+	// Dialect selects the SQL dialect the Guard tokenizes under: quote
+	// semantics, string escape mode, placeholder syntax and comment rules
+	// all differ across databases, and lexing traffic under the wrong
+	// dialect mis-draws the string/code boundary attackers exploit. The
+	// zero value is DialectMySQL.
+	Dialect = sqltoken.Dialect
 )
+
+// SQL dialects, re-exported.
+const (
+	// DialectMySQL is the default: backslash string escapes, `#` comments,
+	// backtick-quoted identifiers, `?` and `:name` placeholders.
+	DialectMySQL = sqltoken.MySQL
+	// DialectPostgres: `"` quotes identifiers, backslash is literal inside
+	// '…' (E'…' re-enables it), $$…$$ dollar quoting, $1 placeholders,
+	// nested block comments, `#` is an operator.
+	DialectPostgres = sqltoken.Postgres
+	// DialectSQLite: `"` and backtick both quote identifiers, no backslash
+	// escapes, `?`/`?NNN`/`:name`/`@name`/`$name` placeholders.
+	DialectSQLite = sqltoken.SQLite
+)
+
+// ParseDialect maps a configuration string ("mysql", "postgres", "pg",
+// "sqlite", …) to its Dialect, for flag and config-file plumbing.
+func ParseDialect(s string) (Dialect, error) { return sqltoken.ParseDialect(s) }
 
 // NewProfileRecorder returns an empty profile recorder for a learning run.
 func NewProfileRecorder() *ProfileRecorder { return profile.NewRecorder() }
@@ -108,9 +132,23 @@ func LoadProfiles(path string) (*ProfileStore, error) { return profile.Load(path
 // ParseProfiles parses a serialized profile store.
 func ParseProfiles(data []byte) (*ProfileStore, error) { return profile.Parse(data) }
 
+// NewProfileRecorderDialect returns an empty profile recorder computing
+// skeletons under dialect d; pass it to a learning Guard built with the
+// same WithDialect.
+func NewProfileRecorderDialect(d Dialect) *ProfileRecorder {
+	return profile.NewRecorderDialect(d)
+}
+
 // QuerySkeleton returns the normalized query skeleton the profile stage
-// keys on: literal-, whitespace- and case-insensitive token structure.
+// keys on: literal-, whitespace- and case-insensitive token structure,
+// tokenized under the MySQL dialect.
 func QuerySkeleton(query string) string { return profile.Skeleton(query) }
+
+// QuerySkeletonDialect is QuerySkeleton tokenized under dialect d.
+// Skeletons from different dialects are not comparable.
+func QuerySkeletonDialect(d Dialect, query string) string {
+	return profile.SkeletonDialect(d, query)
+}
 
 // Recovery policies and cache modes, re-exported.
 const (
@@ -136,6 +174,7 @@ const (
 type Guard struct {
 	eng       *engine.Engine
 	policy    core.Policy
+	dialect   sqltoken.Dialect
 	obsServer *obs.Server
 	audit     *audit.Logger
 	// buildSnap rebuilds the analysis snapshot over a new fragment set
@@ -161,6 +200,7 @@ type config struct {
 	obs           *ObservabilityConfig
 	failMode      engine.FailureMode
 	budgets       Budgets
+	dialect       sqltoken.Dialect
 
 	profileStore    *profile.Store
 	profilePath     string
@@ -182,6 +222,18 @@ func WithFragments(texts []string) Option {
 // WithFragments.
 func WithFragmentSet(set *fragments.Set) Option {
 	return func(c *config) { c.set = set }
+}
+
+// WithDialect sets the SQL dialect the Guard tokenizes under (default
+// DialectMySQL, preserving pre-dialect behavior exactly). The dialect
+// threads through every layer that consumes tokens — NTI and PTI lexing,
+// the PTI cache keys, fragment-set filtering and the profile skeletons —
+// so a guard fronting a Postgres database draws the same string/code
+// boundary the database will. A profile store supplied via
+// WithProfileStore/WithProfileFile must have been trained under the same
+// dialect; New (and every Manager.Refresh rebuild) fails on a mismatch.
+func WithDialect(d Dialect) Option {
+	return func(c *config) { c.dialect = d }
 }
 
 // WithNTIThreshold sets the NTI difference-ratio threshold (default 0.20).
@@ -367,6 +419,16 @@ func New(opts ...Option) (*Guard, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if !cfg.dialect.Valid() {
+		return nil, fmt.Errorf("joza: invalid dialect %v", cfg.dialect)
+	}
+	if cfg.dialect != sqltoken.MySQL {
+		// Thread the dialect into both analyzers via the option slices so
+		// refresh rebuilds re-apply it. MySQL appends nothing: the default
+		// path stays byte-identical to pre-dialect builds.
+		cfg.ntiOptions = append(cfg.ntiOptions, nti.WithDialect(cfg.dialect))
+		cfg.ptiOptions = append(cfg.ptiOptions, pti.WithDialect(cfg.dialect))
+	}
 	// Analyzer-side budgets ride the option slices so refresh rebuilds
 	// (buildSnap below) re-apply them to every fresh snapshot.
 	if cfg.budgets.MaxQueryBytes > 0 {
@@ -381,7 +443,7 @@ func New(opts ...Option) (*Guard, error) {
 	}
 	set := cfg.set
 	if set == nil {
-		set = fragments.NewSet(cfg.fragmentTexts)
+		set = fragments.NewSetDialect(cfg.dialect, cfg.fragmentTexts)
 	}
 	profileConfigured := cfg.profileStore != nil || cfg.profilePath != "" || cfg.profileRecorder != nil
 	if cfg.disableNTI && cfg.disablePTI && !profileConfigured {
@@ -394,7 +456,7 @@ func New(opts ...Option) (*Guard, error) {
 		if !cfg.disablePTI && set.Len() == 0 {
 			return nil, ErrNoFragments
 		}
-		snap := &engine.Snapshot{Set: set}
+		snap := &engine.Snapshot{Set: set, Dialect: cfg.dialect}
 		if !cfg.disablePTI {
 			cached := pti.NewCached(pti.New(set, cfg.ptiOptions...), cfg.cacheMode, cfg.cacheCapacity)
 			snap.PTI = cached
@@ -411,6 +473,9 @@ func New(opts ...Option) (*Guard, error) {
 		}
 		switch {
 		case cfg.profileRecorder != nil:
+			if got := cfg.profileRecorder.Dialect(); got != cfg.dialect {
+				return nil, fmt.Errorf("joza: profile recorder computes %s-dialect skeletons, guard runs %s", got, cfg.dialect)
+			}
 			snap.Analyzers = append(snap.Analyzers, engine.ProfileStage{Recorder: cfg.profileRecorder})
 		case cfg.profilePath != "":
 			// Loaded inside buildSnap so Manager.Refresh picks up retrained
@@ -420,9 +485,15 @@ func New(opts ...Option) (*Guard, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := st.ForDialect(cfg.dialect); err != nil {
+				return nil, fmt.Errorf("joza: %w", err)
+			}
 			snap.Profiles = st
 			snap.Analyzers = append(snap.Analyzers, engine.ProfileStage{Store: st, BlockUnknownSites: cfg.profileStrict})
 		case cfg.profileStore != nil:
+			if err := cfg.profileStore.ForDialect(cfg.dialect); err != nil {
+				return nil, fmt.Errorf("joza: %w", err)
+			}
 			snap.Profiles = cfg.profileStore
 			snap.Analyzers = append(snap.Analyzers, engine.ProfileStage{Store: cfg.profileStore, BlockUnknownSites: cfg.profileStrict})
 		}
@@ -432,7 +503,7 @@ func New(opts ...Option) (*Guard, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Guard{policy: cfg.policy, buildSnap: buildSnap}
+	g := &Guard{policy: cfg.policy, dialect: cfg.dialect, buildSnap: buildSnap}
 	engOpts := []engine.Option{
 		engine.WithPolicy(cfg.policy),
 		engine.WithFailureMode(cfg.failMode),
@@ -508,6 +579,9 @@ func (g *Guard) SampleFragments(n int) []string { return g.eng.Snapshot().Set.Sa
 // Policy returns the Guard's recovery policy.
 func (g *Guard) Policy() Policy { return g.policy }
 
+// Dialect returns the SQL dialect the Guard tokenizes under.
+func (g *Guard) Dialect() Dialect { return g.dialect }
+
 // CheckContext analyzes query against the request's captured inputs and
 // returns the hybrid verdict. PTI runs first (it also supplies the token
 // stream), then NTI, matching the Joza architecture; the query is an
@@ -522,14 +596,14 @@ func (g *Guard) Policy() Policy { return g.policy }
 // context aborts a long analysis promptly and returns its error with no
 // verdict recorded.
 func (g *Guard) CheckContext(ctx context.Context, query string, inputs []Input) (Verdict, error) {
-	return g.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs})
+	return g.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs, Dialect: g.dialect})
 }
 
 // Check is the context-free compatibility wrapper around CheckContext: it
 // analyzes under context.Background(), on which the pipeline cannot fail.
 // Use CheckContext to bound a check with a deadline or cancel it.
 func (g *Guard) Check(query string, inputs []Input) Verdict {
-	v, _ := g.eng.Check(context.Background(), engine.Request{Query: query, Inputs: inputs})
+	v, _ := g.eng.Check(context.Background(), engine.Request{Query: query, Inputs: inputs, Dialect: g.dialect})
 	return v
 }
 
@@ -538,13 +612,13 @@ func (g *Guard) Check(query string, inputs []Input) Verdict {
 // looks the skeleton up under it). Without a configured profile stage the
 // site is ignored.
 func (g *Guard) CheckContextAt(ctx context.Context, site, query string, inputs []Input) (Verdict, error) {
-	return g.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs, Site: site})
+	return g.eng.Check(ctx, engine.Request{Query: query, Inputs: inputs, Site: site, Dialect: g.dialect})
 }
 
 // AuthorizeContextAt is AuthorizeContext with a call-site identity (see
 // CheckContextAt).
 func (g *Guard) AuthorizeContextAt(ctx context.Context, site, query string, inputs []Input) error {
-	return g.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs, Site: site})
+	return g.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs, Site: site, Dialect: g.dialect})
 }
 
 // Metrics returns a snapshot of the Guard's counters: checks and attacks,
@@ -623,13 +697,13 @@ func (g *Guard) AuditDropped() uint64 {
 // safe, an *AttackError carrying the verdict and the Guard's policy when
 // it is not, or ctx's error when the check was canceled.
 func (g *Guard) AuthorizeContext(ctx context.Context, query string, inputs []Input) error {
-	return g.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs})
+	return g.eng.Authorize(ctx, engine.Request{Query: query, Inputs: inputs, Dialect: g.dialect})
 }
 
 // Authorize is the context-free compatibility wrapper around
 // AuthorizeContext.
 func (g *Guard) Authorize(query string, inputs []Input) error {
-	return g.eng.Authorize(context.Background(), engine.Request{Query: query, Inputs: inputs})
+	return g.eng.Authorize(context.Background(), engine.Request{Query: query, Inputs: inputs, Dialect: g.dialect})
 }
 
 // PTICacheStats returns PTI cache counters (zero value when PTI is
