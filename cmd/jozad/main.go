@@ -17,10 +17,20 @@
 //
 // With -obs the daemon serves its observability surface over HTTP:
 // Prometheus /metrics (counters plus latency and per-stage histograms),
-// /healthz, /traces (recent and notable decision traces) and the standard
-// /debug/pprof/ handlers. Tracing itself is independent of the listener:
-// sampled analyze requests also answer the wire protocol's "traces" verb
-// and attach their span to the reply.
+// /healthz, /readyz (503 until a snapshot serves and again once a drain
+// begins, before the daemon stops accepting), /traces (recent and notable
+// decision traces) and the standard /debug/pprof/ handlers. Tracing
+// itself is independent of the listener: sampled analyze requests also
+// answer the wire protocol's "traces" verb and attach their span to the
+// reply.
+//
+// Snapshots are versioned: the daemon hashes the unsliced fragment
+// corpus, the profile store, the dialect and the analysis limits into a
+// content-derived version (every shard of one fleet generation reports
+// the same one), stamps it on replies and stats, and serves the
+// two-phase rollout verbs — prepare (rebuild + self-test without
+// swapping), commit, abort — that daemon.ShardedPool.Rollout coordinates
+// fleet-wide.
 package main
 
 import (
@@ -31,11 +41,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"joza"
 	"joza/internal/daemon"
+	"joza/internal/engine"
 	"joza/internal/fragments"
 	"joza/internal/guardrail"
 	"joza/internal/installer"
@@ -80,6 +93,8 @@ func run(args []string) error {
 	shardSpec := fs.String("shard", "", "serve shard i/n of a fleet (e.g. 0/2): keep only the fragment slice the fleet's consistent-hash ring assigns to shard i, so n daemons split the corpus (empty: serve everything)")
 	profilesPath := fs.String("profiles", "", "serve query-skeleton profile verdicts from this store file; with -watch the file is reloaded when it changes (a corrupt file keeps the prior store)")
 	learnPath := fs.String("learn", "", "profile learning mode: record (site, skeleton) pairs for requests that carry a call site and write the store here on shutdown (overrides -profiles)")
+	checkpoint := fs.Duration("checkpoint", 0, "with -learn: atomically persist the learned store at this interval, so a crash loses at most one interval of training (0: write only on graceful drain)")
+	readyGrace := fs.Duration("ready-grace", 0, "on SIGTERM/SIGINT: keep accepting for this long after /readyz flips not-ready, so load balancers drain routing before the listener closes")
 	selftest := fs.Bool("selftest", false, "serve a built-in demo fragment set and print a probe")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,13 +145,6 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	default:
 		return fmt.Errorf("either -src or -selftest is required")
 	}
-	set = slice(set)
-	if set.Len() == 0 {
-		if shardTotal > 1 {
-			return fmt.Errorf("shard %d/%d owns no fragments; the corpus is too small to slice %d ways", shardIdx, shardTotal, shardTotal)
-		}
-		return fmt.Errorf("no SQL-bearing fragments found")
-	}
 	mode, err := parseCacheMode(*cacheMode)
 	if err != nil {
 		return err
@@ -151,6 +159,40 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	newAnalyzer := func(s *fragments.Set) *pti.Cached {
 		return pti.NewCached(pti.New(s, ptiOpts...), mode, *cacheCap)
 	}
+	// buildServing turns the unsliced corpus into the bundle the daemon
+	// serves whole: the shard's analyzer slice, the profile store, and the
+	// content-derived snapshot version. The version hashes the corpus
+	// BEFORE slicing, so every shard of one fleet generation reports the
+	// same version — the slices differ, the generation does not.
+	limitsTag := fmt.Sprintf("q%d:t%d", *maxQueryBytes, *maxTokens)
+	buildServing := func(full *fragments.Set) (*daemon.Serving, int, error) {
+		fresh := slice(full)
+		if fresh.Len() == 0 {
+			if shardTotal > 1 {
+				return nil, 0, fmt.Errorf("shard %d/%d owns no fragments; the corpus is too small to slice %d ways", shardIdx, shardTotal, shardTotal)
+			}
+			return nil, 0, fmt.Errorf("no SQL-bearing fragments found")
+		}
+		var store *profile.Store
+		if *learnPath == "" && *profilesPath != "" {
+			var err error
+			store, err = profile.Load(*profilesPath)
+			if err != nil {
+				return nil, 0, err
+			}
+			// Skeletons only compare within one dialect: refuse a store
+			// trained under another rather than serve verdicts computed
+			// across lexers.
+			if err := store.ForDialect(dialect); err != nil {
+				return nil, 0, fmt.Errorf("%s: %w", *profilesPath, err)
+			}
+		}
+		return &daemon.Serving{
+			Analyzer: newAnalyzer(fresh),
+			Profiles: store,
+			Version:  engine.ComputeVersion(full, store, dialect, limitsTag),
+		}, fresh.Len(), nil
+	}
 	tracer := trace.New(trace.Config{
 		SampleEvery:   *traceSample,
 		RingSize:      *traceRing,
@@ -163,46 +205,65 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		daemon.WithTracer(tracer),
 	}
 	var recorder *profile.Recorder
-	switch {
-	case *learnPath != "":
+	if *learnPath != "" {
 		recorder = profile.NewRecorderDialect(dialect)
 		srvOpts = append(srvOpts, daemon.WithProfileRecorder(recorder))
 		log.Printf("profile learning: will write %s on shutdown", *learnPath)
-	case *profilesPath != "":
-		store, err := profile.Load(*profilesPath)
-		if err != nil {
-			return err
-		}
-		// Skeletons only compare within one dialect: refuse a store trained
-		// under another rather than serve verdicts computed across lexers.
-		if err := store.ForDialect(dialect); err != nil {
-			return fmt.Errorf("%s: %w", *profilesPath, err)
-		}
-		srvOpts = append(srvOpts, daemon.WithProfiles(store))
-		log.Printf("profiles loaded: %d sites, %d skeletons", store.Sites(), store.Skeletons())
 	}
-	srv := daemon.NewServer(newAnalyzer(set), srvOpts...)
+	serving, served, err := buildServing(set)
+	if err != nil {
+		return err
+	}
+	if serving.Profiles != nil {
+		log.Printf("profiles loaded: %d sites, %d skeletons", serving.Profiles.Sites(), serving.Profiles.Skeletons())
+	}
+	srvOpts = append(srvOpts,
+		daemon.WithServing(serving),
+		// prepare rebuilds the whole bundle from the sources of record —
+		// re-extracted fragments AND a fresh profile load — so a committed
+		// rollout can never pair fragments from one generation with
+		// profiles from another.
+		daemon.WithReloader(func(ctx context.Context) (*daemon.Serving, error) {
+			full := set
+			if ins != nil {
+				if _, err := ins.Refresh(); err != nil {
+					return nil, err
+				}
+				full = ins.Set()
+			}
+			sv, _, err := buildServing(full)
+			return sv, err
+		}),
+		daemon.WithRolloutHook(testPhaseSleep),
+	)
+	srv := daemon.NewServer(serving.Analyzer, srvOpts...)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	if shardTotal > 1 {
-		log.Printf("serving PTI analysis on %s (shard %d/%d, %d fragments, %s, %s)", ln.Addr(), shardIdx, shardTotal, set.Len(), mode, dialect)
+		log.Printf("serving PTI analysis on %s (shard %d/%d, %d fragments, %s, %s, snapshot %s)", ln.Addr(), shardIdx, shardTotal, served, mode, dialect, serving.Version)
 	} else {
-		log.Printf("serving PTI analysis on %s (%d fragments, %s, %s)", ln.Addr(), set.Len(), mode, dialect)
+		log.Printf("serving PTI analysis on %s (%d fragments, %s, %s, snapshot %s)", ln.Addr(), served, mode, dialect, serving.Version)
 	}
 
+	// draining flips /readyz not-ready ahead of the listener closing, so
+	// load balancers stop routing new connections while the daemon still
+	// accepts and finishes in-flight work.
+	var draining atomic.Bool
 	boundObs := ""
 	if *obsAddr != "" {
-		obsSrv := obs.NewServer(srv.Stats, tracer)
+		obsSrv := obs.NewServer(srv.Stats, tracer, obs.WithReady(func() bool {
+			return !draining.Load() && srv.Ready()
+		}))
 		bound, err := obsSrv.Start(*obsAddr)
 		if err != nil {
 			return err
 		}
 		defer func() { _ = obsSrv.Close() }()
 		boundObs = bound.String()
-		log.Printf("observability on http://%s (/metrics /healthz /traces /debug/pprof/)", boundObs)
+		log.Printf("observability on http://%s (/metrics /healthz /readyz /traces /debug/pprof/)", boundObs)
 	}
 	// Register for SIGTERM before announcing readiness so nothing can
 	// deliver a fatal default-action signal in the startup gap.
@@ -214,54 +275,81 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		testReady(ln.Addr().String(), boundObs)
 	}
 
-	if ins != nil && *watch > 0 {
-		// Preprocessing loop: pick up new or modified application files
-		// (e.g. freshly installed plugins) and swap the analyzer.
-		go func() {
-			ticker := time.NewTicker(*watch)
-			defer ticker.Stop()
-			for range ticker.C {
-				changed, err := ins.Refresh()
-				if err != nil {
-					log.Printf("refresh: %v", err)
-					continue
-				}
-				if changed {
-					// Reloads slice too, so a sharded daemon keeps serving
-					// only its fraction of the refreshed corpus.
-					fresh := slice(ins.Set())
-					srv.SetAnalyzer(newAnalyzer(fresh))
-					log.Printf("fragments reloaded: %d", fresh.Len())
-				}
-			}
-		}()
-	}
-	if *learnPath == "" && *profilesPath != "" && *watch > 0 {
-		// Profile reload loop, same sticky contract as fragments: a store
-		// that fails to parse leaves the prior one serving.
+	watchProfiles := *learnPath == "" && *profilesPath != ""
+	if *watch > 0 && (ins != nil || watchProfiles) {
+		// Preprocessing loop, unified across inputs: fragment re-extraction
+		// and profile-store reload feed ONE rebuild and ONE swap, so the
+		// daemon can never install fragments from one generation alongside
+		// profiles from another. The sticky contract survives the merge: a
+		// failed rebuild keeps the prior snapshot serving, and every later
+		// tick retries until one succeeds.
 		go func() {
 			ticker := time.NewTicker(*watch)
 			defer ticker.Stop()
 			var lastMod time.Time
-			if fi, err := os.Stat(*profilesPath); err == nil {
-				lastMod = fi.ModTime()
+			if watchProfiles {
+				if fi, err := os.Stat(*profilesPath); err == nil {
+					lastMod = fi.ModTime()
+				}
 			}
+			pending := false
 			for range ticker.C {
-				fi, err := os.Stat(*profilesPath)
-				if err != nil || !fi.ModTime().After(lastMod) {
+				rebuild := pending
+				if ins != nil {
+					changed, err := ins.Refresh()
+					if err != nil {
+						log.Printf("refresh: %v", err)
+						continue
+					}
+					rebuild = rebuild || changed
+				}
+				if watchProfiles {
+					if fi, err := os.Stat(*profilesPath); err == nil && fi.ModTime().After(lastMod) {
+						lastMod = fi.ModTime()
+						rebuild = true
+					}
+				}
+				if !rebuild {
 					continue
 				}
-				lastMod = fi.ModTime()
-				store, err := profile.Load(*profilesPath)
-				if err == nil {
-					err = store.ForDialect(dialect)
+				full := set
+				if ins != nil {
+					// Reloads slice too, so a sharded daemon keeps serving
+					// only its fraction of the refreshed corpus.
+					full = ins.Set()
 				}
+				sv, n, err := buildServing(full)
 				if err != nil {
-					log.Printf("profile reload: %v (keeping prior store)", err)
+					pending = true
+					log.Printf("reload: %v (keeping prior snapshot)", err)
 					continue
 				}
-				srv.SetProfiles(store)
-				log.Printf("profiles reloaded: %d sites, %d skeletons", store.Sites(), store.Skeletons())
+				pending = false
+				srv.SetServing(sv)
+				log.Printf("snapshot reloaded: %d fragments, version %s", n, sv.Version)
+			}
+		}()
+	}
+
+	// Learning-mode checkpoints: persist the accumulating store at an
+	// interval with the same atomic temp-file-and-rename the final write
+	// uses, bounding what a crash can lose to one interval.
+	var ckStop, ckDone chan struct{}
+	if recorder != nil && *checkpoint > 0 {
+		ckStop, ckDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(ckDone)
+			ticker := time.NewTicker(*checkpoint)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := writeProfilesAtomic(*learnPath, recorder.Store()); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				case <-ckStop:
+					return
+				}
 			}
 		}()
 	}
@@ -280,6 +368,13 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 	case err := <-serveErr:
 		return err
 	case sig := <-sigCh:
+		// Readiness flips before the drain starts: anything watching
+		// /readyz sees not-ready while the listener still accepts, and
+		// -ready-grace widens that window for slow health-check loops.
+		draining.Store(true)
+		if *readyGrace > 0 {
+			time.Sleep(*readyGrace)
+		}
 		log.Printf("received %v: draining (up to %s)", sig, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
@@ -290,13 +385,63 @@ $q = "SELECT * FROM records WHERE ID=$id LIMIT 5";`))
 		}
 		<-serveErr
 		if recorder != nil {
+			if ckStop != nil {
+				close(ckStop)
+				<-ckDone
+			}
 			store := recorder.Store()
-			if err := os.WriteFile(*learnPath, store.Bytes(), 0o644); err != nil {
+			if err := writeProfilesAtomic(*learnPath, store); err != nil {
 				return fmt.Errorf("writing learned profiles: %w", err)
 			}
 			log.Printf("profiles written to %s: %d sites, %d skeletons", *learnPath, store.Sites(), store.Skeletons())
 		}
 		return nil
+	}
+}
+
+// writeProfilesAtomic persists a profile store through a same-directory
+// temp file and rename, so concurrent readers — and a crash mid-write —
+// see either the old bytes or the new bytes, never a torn file.
+func writeProfilesAtomic(path string, store *profile.Store) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".jozad-profiles-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(store.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Chmod(name, 0o644); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// testPhaseSleep widens the rollout phases via environment knobs
+// (JOZAD_TEST_PREPARE_SLEEP, JOZAD_TEST_COMMIT_SLEEP) so chaos tests can
+// SIGKILL a daemon mid-prepare or mid-commit deterministically. With the
+// variables unset it costs one getenv per rollout phase.
+func testPhaseSleep(phase string) {
+	var env string
+	switch phase {
+	case "prepare":
+		env = "JOZAD_TEST_PREPARE_SLEEP"
+	case "commit":
+		env = "JOZAD_TEST_COMMIT_SLEEP"
+	default:
+		return
+	}
+	if v := os.Getenv(env); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			time.Sleep(d)
+		}
 	}
 }
 

@@ -71,6 +71,11 @@ type Verdict struct {
 	NTI     Result
 	PTI     Result
 	Profile Result
+	// Version is the content-derived version of the analysis snapshot that
+	// produced this verdict (empty for unversioned snapshots). Every check
+	// runs whole against exactly one snapshot, so the version attributes
+	// the verdict to one policy generation even across live reloads.
+	Version string `json:"version,omitempty"`
 }
 
 // DetectedBy returns the analyzers that flagged the query.

@@ -421,13 +421,14 @@ func TestWireBackCompatOldClientFrames(t *testing.T) {
 // (or a whole-batch error for empty/over-cap batches) on a stream that
 // stays healthy.
 func FuzzBatchFrame(f *testing.F) {
-	f.Add("SELECT * FROM records WHERE ID=5 LIMIT 5", "SELECT 1", uint8(2), int64(0))
-	f.Add("", "x", uint8(0), int64(-1))
-	f.Add("SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5", "", uint8(7), int64(1<<62))
-	f.Add("q", "q", uint8(255), int64(1))
+	f.Add("SELECT * FROM records WHERE ID=5 LIMIT 5", "SELECT 1", uint8(2), int64(0), "")
+	f.Add("", "x", uint8(0), int64(-1), "")
+	f.Add("SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5", "", uint8(7), int64(1<<62), "deadbeefdeadbeef")
+	f.Add("q", "q", uint8(255), int64(1), "\x00\xffgarbage")
+	f.Add("SELECT 1", "SELECT 1", uint8(3), int64(0), "mixed\ncase")
 	analyzer := newAnalyzer()
-	f.Fuzz(func(t *testing.T, q1, q2 string, n uint8, timeoutMs int64) {
-		if len(q1) > 1<<10 || len(q2) > 1<<10 {
+	f.Fuzz(func(t *testing.T, q1, q2 string, n uint8, timeoutMs int64, version string) {
+		if len(q1) > 1<<10 || len(q2) > 1<<10 || len(version) > 1<<8 {
 			t.Skip()
 		}
 		srv := NewServer(analyzer, WithMaxBatchItems(64))
@@ -448,10 +449,14 @@ func FuzzBatchFrame(f *testing.F) {
 			if i%2 == 0 {
 				items[i] = wireRequest{Query: q1, TimeoutMs: timeoutMs}
 			} else {
-				items[i] = wireRequest{Query: q2}
+				// Odd items carry the fuzzed version pin directly; even ones
+				// inherit the frame-level pin. Against this unversioned
+				// server any non-empty pin must yield a per-item refusal on
+				// the healthy stream, never fewer replies than items.
+				items[i] = wireRequest{Query: q2, Version: version}
 			}
 		}
-		resp, err := c.roundTrip(context.Background(), wireRequest{Op: "batch", Batch: items})
+		resp, err := c.roundTrip(context.Background(), wireRequest{Op: "batch", Batch: items, Version: version})
 		switch {
 		case len(items) == 0 || len(items) > 64:
 			if err == nil {

@@ -233,6 +233,46 @@ func (c *Client) AnalyzeSiteContext(ctx context.Context, site, query string) (*A
 	return resp.Reply, nil
 }
 
+// Prepare drives phase one of the two-phase rollout: the daemon loads,
+// builds and self-tests its next snapshot generation without swapping it
+// in, and reports the staged version.
+func (c *Client) Prepare(ctx context.Context) (*RolloutReply, error) {
+	resp, err := c.roundTrip(ctx, wireRequest{Op: "prepare"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Rollout == nil {
+		return nil, errors.New("daemon: prepare verb returned no payload")
+	}
+	return resp.Rollout, nil
+}
+
+// Commit drives phase two: the daemon swaps its staged snapshot in as the
+// serving one. A non-empty version pins which staged snapshot may swap;
+// mismatches are refused with the staged state kept.
+func (c *Client) Commit(ctx context.Context, version string) (*RolloutReply, error) {
+	resp, err := c.roundTrip(ctx, wireRequest{Op: "commit", Version: version})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Rollout == nil {
+		return nil, errors.New("daemon: commit verb returned no payload")
+	}
+	return resp.Rollout, nil
+}
+
+// Abort discards the daemon's staged snapshot, if any. Idempotent.
+func (c *Client) Abort(ctx context.Context) (*RolloutReply, error) {
+	resp, err := c.roundTrip(ctx, wireRequest{Op: "abort"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Rollout == nil {
+		return nil, errors.New("daemon: abort verb returned no payload")
+	}
+	return resp.Rollout, nil
+}
+
 // Stats requests the daemon's counter snapshot via the "stats" verb.
 func (c *Client) Stats() (*StatsReply, error) {
 	resp, err := c.roundTrip(context.Background(), wireRequest{Op: "stats"})

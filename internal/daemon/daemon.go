@@ -53,6 +53,11 @@ type AnalysisReply struct {
 	// learning recorder). It rides the analyze reply so the third stage
 	// costs no extra round trip.
 	Profile *ProfileReply `json:"profile,omitempty"`
+	// Version is the content-derived version of the snapshot that served
+	// this verdict. Absent means an unversioned daemon — old servers'
+	// replies are byte-identical to the pre-version protocol, and clients
+	// treat the empty version as "unknown", never as a mismatch.
+	Version string `json:"version,omitempty"`
 }
 
 // ProfileReply is the daemon-side outcome of the query-skeleton profile
@@ -270,10 +275,11 @@ type TracesReply = trace.Dump
 // wire framing shared by client and server. Op selects the verb: empty or
 // "analyze" analyzes Query; "batch" analyzes every item in Batch and
 // replies with one response per item; "stats" returns the daemon's
-// counters; "traces" returns the daemon's trace rings (old clients that
-// never set op keep working unchanged, and every new field is omitempty so
-// a new client's single-request frames are byte-compatible with old
-// servers).
+// counters; "traces" returns the daemon's trace rings; "prepare",
+// "commit" and "abort" drive the two-phase snapshot rollout (old clients
+// that never set op keep working unchanged, and every new field is
+// omitempty so a new client's single-request frames are byte-compatible
+// with old servers).
 type wireRequest struct {
 	Op    string `json:"op,omitempty"`
 	Query string `json:"query,omitempty"`
@@ -303,6 +309,25 @@ type wireRequest struct {
 	// rather than approximate. The refusal rides the healthy stream (per
 	// item inside a batch), like any other request-level failure.
 	Dialect string `json:"dialect,omitempty"`
+	// Version is a snapshot-version precondition. On analyze/batch it pins
+	// the request to a policy generation: a server whose serving version
+	// differs (including garbage or unknown values) refuses the request on
+	// the healthy stream — per item inside a batch — instead of answering
+	// from the wrong generation. On "commit" it pins which staged snapshot
+	// may swap in. Empty (and requests from older clients) means
+	// unpinned; old servers ignore the field, so versionless traffic
+	// interops byte-identically in both directions.
+	Version string `json:"version,omitempty"`
+}
+
+// RolloutReply answers the two-phase rollout verbs. State is "staged"
+// (prepare loaded and self-tested a snapshot without swapping it in),
+// "committed" (the staged snapshot now serves) or "aborted" (the staged
+// snapshot was discarded; serving state untouched). Version identifies the
+// snapshot the verb acted on.
+type RolloutReply struct {
+	State   string `json:"state"`
+	Version string `json:"version,omitempty"`
 }
 
 // wireDialect is the wire spelling of a dialect: empty for MySQL — absent
@@ -324,7 +349,9 @@ type wireResponse struct {
 	// in item order. A per-item failure sets that item's Err and leaves
 	// its siblings intact.
 	Batch []wireResponse `json:"batch,omitempty"`
-	Err   string         `json:"error,omitempty"`
+	// Rollout answers the "prepare", "commit" and "abort" verbs.
+	Rollout *RolloutReply `json:"rollout,omitempty"`
+	Err     string        `json:"error,omitempty"`
 }
 
 // BatchResult is the client-side outcome of one item of a batch: either a

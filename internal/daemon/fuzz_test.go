@@ -18,6 +18,14 @@ func FuzzServerWire(f *testing.F) {
 	f.Add([]byte("{\"op\":\"bogus\"}\n{\"query\":\"x\",\"timeout_ms\":-1}\n"))
 	f.Add([]byte("{\"query\":"))
 	f.Add([]byte{0xff, 0xfe, '{', '}', '\n'})
+	// Version-bearing frames: an unknown or garbage version pin must come
+	// back as a refusal on the healthy stream, and the rollout verbs must
+	// answer (or refuse) without desyncing the connection — the follow-up
+	// frames on the same line prove the stream still parses.
+	f.Add([]byte("{\"op\":\"analyze\",\"query\":\"SELECT 1\",\"version\":\"deadbeefdeadbeef\"}\n{\"query\":\"SELECT 1\"}\n"))
+	f.Add([]byte("{\"op\":\"prepare\"}\n{\"op\":\"commit\",\"version\":\"nope\"}\n{\"op\":\"abort\"}\n{\"op\":\"stats\"}\n"))
+	f.Add([]byte("{\"op\":\"batch\",\"version\":\"\\u0000\\ufffdgarbage\",\"batch\":[{\"query\":\"SELECT 1\"},{\"query\":\"SELECT 1\",\"version\":\"zzz\"}]}\n{\"op\":\"traces\"}\n"))
+	f.Add([]byte("{\"op\":\"commit\",\"version\":\"aaaaaaaaaaaaaaaa\"}\n{\"op\":\"abort\"}\n{\"query\":\"SELECT 1\"}\n"))
 	analyzer := newAnalyzer()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := NewServer(analyzer, WithMaxRequestBytes(1<<16))

@@ -302,6 +302,34 @@ func (p *Pool) analyzeReq(ctx context.Context, req wireRequest) (*AnalysisReply,
 	return resp.Reply, nil
 }
 
+// Prepare drives the daemon's rollout phase one through the pool (see
+// Client.Prepare).
+func (p *Pool) Prepare(ctx context.Context) (*RolloutReply, error) {
+	return p.rolloutReq(ctx, wireRequest{Op: "prepare"})
+}
+
+// Commit drives the daemon's rollout phase two through the pool (see
+// Client.Commit). A non-empty version pins which staged snapshot may swap.
+func (p *Pool) Commit(ctx context.Context, version string) (*RolloutReply, error) {
+	return p.rolloutReq(ctx, wireRequest{Op: "commit", Version: version})
+}
+
+// Abort discards the daemon's staged snapshot through the pool. Idempotent.
+func (p *Pool) Abort(ctx context.Context) (*RolloutReply, error) {
+	return p.rolloutReq(ctx, wireRequest{Op: "abort"})
+}
+
+func (p *Pool) rolloutReq(ctx context.Context, req wireRequest) (*RolloutReply, error) {
+	resp, err := p.do(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Rollout == nil {
+		return nil, fmt.Errorf("daemon: %s verb returned no payload", req.Op)
+	}
+	return resp.Rollout, nil
+}
+
 // Stats fetches the daemon's counter snapshot through the pool.
 func (p *Pool) Stats() (*StatsReply, error) {
 	resp, err := p.do(context.Background(), wireRequest{Op: "stats"})

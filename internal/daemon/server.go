@@ -60,21 +60,50 @@ func budgetContext(parent context.Context, timeoutMs int64) (context.Context, co
 	return context.WithTimeout(parent, time.Duration(timeoutMs)*time.Millisecond)
 }
 
+// prepareTimeout bounds the reload-plus-selftest work of one "prepare"
+// verb, so a wedged source tree cannot park the rollout mutex forever.
+const prepareTimeout = 30 * time.Second
+
+// Serving bundles the analysis state of one daemon generation: the PTI
+// analyzer, the query-skeleton profile store, and the content-derived
+// snapshot version identifying the generation (empty for unversioned
+// deployments). The whole bundle swaps atomically, so a check can never
+// see fragments from one generation and profiles from another.
+type Serving struct {
+	Analyzer *pti.Cached
+	Profiles *profile.Store
+	// Version is the content-derived snapshot version (see
+	// engine.ComputeVersion); a fleet computes it over the unsliced
+	// corpus so every shard of one generation reports the same value.
+	Version string
+}
+
 // Server serves the daemon protocol over a listener. Multiple server
 // instances can share one analyzer (the paper's multiple coexisting
 // daemons).
 type Server struct {
-	analyzer  atomic.Pointer[pti.Cached]
+	// serving is the whole analysis generation checks run against;
+	// swapped atomically so in-flight requests finish on the bundle they
+	// loaded. updateMu serializes the copy-on-write of the partial
+	// setters (SetAnalyzer/SetProfiles) against each other and against
+	// commit, so concurrent partial swaps cannot lose each other's half.
+	serving  atomic.Pointer[Serving]
+	updateMu sync.Mutex
+
 	collector *metrics.Collector
 	tracer    *trace.Tracer
 	gate      *guardrail.Gate
 
-	// profiles is the query-skeleton profile store consulted for analyze
-	// requests that carry a call site; swapped atomically by SetProfiles
-	// on reload, like the analyzer. recorder, when set, puts the daemon in
-	// profile learning mode instead.
-	profiles atomic.Pointer[profile.Store]
+	// recorder, when set, puts the daemon in profile learning mode.
 	recorder *profile.Recorder
+
+	// Two-phase rollout state: a prepared-but-not-committed generation,
+	// the callback that loads and builds it, and the test hook observing
+	// phase transitions. rollMu serializes the rollout verbs.
+	rollMu      sync.Mutex
+	staged      *Serving
+	reloader    func(ctx context.Context) (*Serving, error)
+	rolloutHook func(phase string)
 
 	readTimeout time.Duration
 	maxRequest  int64
@@ -151,7 +180,35 @@ func WithAdmission(limit int, maxWait time.Duration) ServerOption {
 // that carry a call site get a profile verdict on the reply. Swap later
 // stores with SetProfiles.
 func WithProfiles(st *profile.Store) ServerOption {
-	return func(s *Server) { s.profiles.Store(st) }
+	return func(s *Server) {
+		sv := *s.serving.Load()
+		sv.Profiles = st
+		s.serving.Store(&sv)
+	}
+}
+
+// WithServing replaces the initial serving bundle whole — analyzer,
+// profiles and snapshot version together. Owners that version their
+// snapshots construct with this instead of composing WithProfiles onto
+// the NewServer analyzer, so the version labels exactly the state served.
+func WithServing(sv *Serving) ServerOption {
+	return func(s *Server) { s.serving.Store(sv) }
+}
+
+// WithReloader wires the "prepare" verb to f: prepare calls f to load and
+// build the next generation's bundle alongside the serving one, self-tests
+// it, and stages it for a later "commit". Without a reloader the prepare
+// verb is refused on the healthy stream.
+func WithReloader(f func(ctx context.Context) (*Serving, error)) ServerOption {
+	return func(s *Server) { s.reloader = f }
+}
+
+// WithRolloutHook observes rollout phase transitions ("prepare" before
+// the reload starts, "commit" before the staged bundle swaps in). Fault
+// injection uses it to widen the crash windows the two-phase protocol
+// must survive.
+func WithRolloutHook(f func(phase string)) ServerOption {
+	return func(s *Server) { s.rolloutHook = f }
 }
 
 // WithProfileRecorder puts the server in profile learning mode: requests
@@ -178,7 +235,7 @@ func NewServer(analyzer *pti.Cached, opts ...ServerOption) *Server {
 		maxBatch:   DefaultMaxBatchItems,
 		done:       make(chan struct{}),
 	}
-	s.analyzer.Store(analyzer)
+	s.serving.Store(&Serving{Analyzer: analyzer})
 	for _, o := range opts {
 		o(s)
 	}
@@ -199,7 +256,9 @@ func (s *Server) Stats() StatsReply {
 	snap.DaemonTracesOps = s.tracesOps.Load()
 	snap.DaemonErrors = s.errorOps.Load()
 	snap.DaemonTimeouts = s.timeouts.Load()
-	if ps := s.profiles.Load(); ps != nil {
+	sv := s.serving.Load()
+	snap.SnapshotVersion = sv.Version
+	if ps := sv.Profiles; ps != nil {
 		snap.ProfileSites = uint64(ps.Sites())
 		snap.ProfileSkeletons = uint64(ps.Skeletons())
 	} else if s.recorder != nil {
@@ -207,7 +266,7 @@ func (s *Server) Stats() StatsReply {
 		snap.ProfileSites = uint64(sites)
 		snap.ProfileSkeletons = uint64(skeletons)
 	}
-	analyzer := s.analyzer.Load()
+	analyzer := sv.Analyzer
 	st := analyzer.Stats()
 	snap.CacheQueryHits = st.QueryHits
 	snap.CacheStructureHits = st.StructureHits
@@ -226,16 +285,51 @@ func (s *Server) Stats() StatsReply {
 
 // SetAnalyzer atomically swaps the analyzer; in-flight requests finish on
 // the old one. The preprocessing component uses this after the installer
-// detects new or modified application files (Section IV-B).
+// detects new or modified application files (Section IV-B). A partial
+// swap changes half a generation, so the serving version resets to
+// unversioned; use SetServing (or the rollout verbs) to install a whole
+// versioned generation.
 func (s *Server) SetAnalyzer(analyzer *pti.Cached) {
-	s.analyzer.Store(analyzer)
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	sv := *s.serving.Load()
+	sv.Analyzer = analyzer
+	sv.Version = ""
+	s.serving.Store(&sv)
 }
 
 // SetProfiles atomically swaps the query-skeleton profile store;
 // in-flight requests finish on the old one. The reload path uses this
-// exactly like SetAnalyzer.
+// exactly like SetAnalyzer, with the same version reset.
 func (s *Server) SetProfiles(st *profile.Store) {
-	s.profiles.Store(st)
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	sv := *s.serving.Load()
+	sv.Profiles = st
+	sv.Version = ""
+	s.serving.Store(&sv)
+}
+
+// SetServing atomically swaps the whole serving bundle — analyzer,
+// profiles and version together. Coordinated reload paths (jozad's
+// unified watch loop, the commit verb) use this so checks can never mix
+// halves of two generations.
+func (s *Server) SetServing(sv *Serving) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	s.serving.Store(sv)
+}
+
+// Version returns the serving snapshot's content-derived version ("" for
+// unversioned state).
+func (s *Server) Version() string { return s.serving.Load().Version }
+
+// Ready reports whether the server can answer analyze traffic: a serving
+// bundle is installed and the server is not draining. The obs /readyz
+// probe fronts this — distinct from liveness, it flips false the moment a
+// drain begins, before the server stops accepting.
+func (s *Server) Ready() bool {
+	return s.serving.Load().Analyzer != nil && !s.draining.Load()
 }
 
 // Serve accepts connections until Close. Transient Accept failures —
@@ -361,6 +455,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 			s.tracesOps.Add(1)
 			d := s.tracer.Dump()
 			resp.Traces = &d
+		case "prepare":
+			s.handlePrepare(&resp)
+		case "commit":
+			s.handleCommit(req, &resp)
+		case "abort":
+			s.handleAbort(&resp)
 		default:
 			s.errorOps.Add(1)
 			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
@@ -398,10 +498,21 @@ func dialectError(wire string, serving sqltoken.Dialect) string {
 // as resp.Err on the still-healthy stream — an overloaded, over-budget or
 // cross-dialect request costs one reply, not the connection.
 func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
-	analyzer := s.analyzer.Load()
+	sv := s.serving.Load()
+	analyzer := sv.Analyzer
 	if msg := dialectError(req.Dialect, analyzer.Dialect()); msg != "" {
 		s.errorOps.Add(1)
 		resp.Err = msg
+		return
+	}
+	if req.Version != "" && req.Version != sv.Version {
+		// The client pinned the check to a policy generation this daemon
+		// is not serving (mid-rollout skew, or a garbage version from a
+		// corrupted frame). Answering from the wrong generation would be
+		// wrong, not approximate, so the pin is refused on the healthy
+		// stream — per item inside a batch — and the connection lives on.
+		s.errorOps.Add(1)
+		resp.Err = fmt.Sprintf("version mismatch: request pinned to snapshot %q, daemon serves %q", req.Version, sv.Version)
 		return
 	}
 	// Honor the client's propagated deadline budget: bound the analysis
@@ -446,7 +557,8 @@ func (s *Server) handleAnalyze(req wireRequest, resp *wireResponse) {
 		resp.Err = err.Error()
 		return
 	}
-	reply.Profile = profileReplyFor(s.profiles.Load(), s.recorder, req.Site, req.Query)
+	reply.Profile = profileReplyFor(sv.Profiles, s.recorder, req.Site, req.Query)
+	reply.Version = sv.Version
 	profAttack := reply.Profile != nil && reply.Profile.Attack
 	s.collector.RecordCheck(false, reply.Attack, profAttack, time.Since(start))
 	if span != nil {
@@ -489,6 +601,11 @@ func (s *Server) handleBatch(req wireRequest, resp *wireResponse) {
 			// item can still name its own (and be refused individually).
 			item.Dialect = req.Dialect
 		}
+		if item.Version == "" {
+			// Likewise the frame's version pin defaults onto its items, and
+			// a mismatched pin refuses only the item carrying it.
+			item.Version = req.Version
+		}
 		switch item.Op {
 		case "", "analyze":
 			s.analyzeOps.Add(1)
@@ -501,6 +618,99 @@ func (s *Server) handleBatch(req wireRequest, resp *wireResponse) {
 			resp.Batch[i].Err = fmt.Sprintf("op %q not allowed in a batch", item.Op)
 		}
 	}
+}
+
+// handlePrepare runs phase one of the two-phase rollout: load and build
+// the next generation's bundle through the configured reloader, self-test
+// it against the serving process's own machinery, and stage it without
+// touching what is being served. A failed prepare leaves both the serving
+// bundle and any previously staged one intact, and the failure rides the
+// healthy stream. Re-preparing replaces the staged bundle — prepare is
+// idempotent from the coordinator's point of view.
+func (s *Server) handlePrepare(resp *wireResponse) {
+	s.rollMu.Lock()
+	defer s.rollMu.Unlock()
+	if s.reloader == nil {
+		s.errorOps.Add(1)
+		resp.Err = "prepare: daemon has no reloader configured"
+		return
+	}
+	if s.rolloutHook != nil {
+		s.rolloutHook("prepare")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), prepareTimeout)
+	defer cancel()
+	sv, err := s.reloader(ctx)
+	if err != nil {
+		s.errorOps.Add(1)
+		resp.Err = "prepare: " + err.Error()
+		return
+	}
+	if err := selftest(ctx, sv); err != nil {
+		s.errorOps.Add(1)
+		resp.Err = "prepare selftest: " + err.Error()
+		return
+	}
+	s.staged = sv
+	resp.Rollout = &RolloutReply{State: "staged", Version: sv.Version}
+}
+
+// selftest proves a staged bundle can actually serve before it is
+// reported ready: the analyzer must complete a probe analysis and the
+// profile store must match the analyzer's dialect. Catching a corrupt
+// store or broken analyzer here — while the old generation still serves —
+// is the whole point of the prepare phase.
+func selftest(ctx context.Context, sv *Serving) error {
+	if sv == nil || sv.Analyzer == nil {
+		return errors.New("staged bundle has no analyzer")
+	}
+	if _, err := analyzeCtx(ctx, sv.Analyzer, "SELECT 1", nil); err != nil {
+		return fmt.Errorf("probe analysis: %w", err)
+	}
+	if sv.Profiles != nil {
+		if err := sv.Profiles.ForDialect(sv.Analyzer.Dialect()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleCommit runs phase two: swap the staged bundle in as the serving
+// one. A request may pin the expected version; a pin that does not match
+// the staged bundle is refused on the healthy stream with the staged
+// bundle kept — the coordinator decides whether to re-prepare or abort.
+// With nothing staged, commit is refused (a crash-recovered daemon lost
+// its staged state with the process, and the coordinator must re-prepare).
+func (s *Server) handleCommit(req wireRequest, resp *wireResponse) {
+	s.rollMu.Lock()
+	defer s.rollMu.Unlock()
+	if s.staged == nil {
+		s.errorOps.Add(1)
+		resp.Err = "commit: nothing staged"
+		return
+	}
+	if req.Version != "" && req.Version != s.staged.Version {
+		s.errorOps.Add(1)
+		resp.Err = fmt.Sprintf("commit: staged snapshot is %q, not %q", s.staged.Version, req.Version)
+		return
+	}
+	if s.rolloutHook != nil {
+		s.rolloutHook("commit")
+	}
+	sv := s.staged
+	s.staged = nil
+	s.SetServing(sv)
+	resp.Rollout = &RolloutReply{State: "committed", Version: sv.Version}
+}
+
+// handleAbort discards any staged bundle. Idempotent: aborting with
+// nothing staged succeeds, so a coordinator cleaning up after a partial
+// prepare can abort the whole fleet without tracking who staged what.
+func (s *Server) handleAbort(resp *wireResponse) {
+	s.rollMu.Lock()
+	s.staged = nil
+	s.rollMu.Unlock()
+	resp.Rollout = &RolloutReply{State: "aborted"}
 }
 
 // Shutdown drains the server: it stops accepting connections, lets each

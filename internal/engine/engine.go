@@ -196,6 +196,12 @@ type Snapshot struct {
 	// Profiles is the per-call-site query-skeleton store behind a
 	// ProfileStage; nil without one. Exposed for stats endpoints.
 	Profiles *profile.Store
+
+	// Version is the content-derived version of this snapshot (see
+	// ComputeVersion); empty for unversioned snapshots. Stamped on every
+	// verdict the snapshot produces so each check is attributable to
+	// exactly one policy generation even across live reloads.
+	Version string
 }
 
 // FailureMode selects how the engine resolves a check whose analysis
@@ -359,9 +365,10 @@ func (e *Engine) Check(ctx context.Context, req Request) (core.Verdict, error) {
 	// absent stage still report a labeled empty Result, exactly as the
 	// hand-rolled front doors did.
 	v := core.Verdict{
-		Query: req.Query,
-		NTI:   core.Result{Analyzer: core.AnalyzerNTI},
-		PTI:   core.Result{Analyzer: core.AnalyzerPTI},
+		Query:   req.Query,
+		NTI:     core.Result{Analyzer: core.AnalyzerNTI},
+		PTI:     core.Result{Analyzer: core.AnalyzerPTI},
+		Version: snap.Version,
 	}
 	attack := false
 	detail := e.overLimits(req)

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"joza/internal/fragments"
+	"joza/internal/profile"
+	"joza/internal/sqltoken"
+)
+
+func TestComputeVersionDeterministicAndShaped(t *testing.T) {
+	set := fragments.NewSet([]string{"SELECT a FROM t WHERE id=", " LIMIT "})
+	v1 := ComputeVersion(set, nil, sqltoken.MySQL, "q0:t0")
+	v2 := ComputeVersion(set, nil, sqltoken.MySQL, "q0:t0")
+	if v1 != v2 {
+		t.Fatalf("same inputs gave %q and %q", v1, v2)
+	}
+	if len(v1) != VersionLen {
+		t.Fatalf("version %q has length %d, want %d", v1, len(v1), VersionLen)
+	}
+	if strings.Trim(v1, "0123456789abcdef") != "" {
+		t.Fatalf("version %q is not lowercase hex", v1)
+	}
+}
+
+func TestComputeVersionOrderInsensitiveOverFragments(t *testing.T) {
+	a := fragments.NewSet([]string{"SELECT a FROM t WHERE id=", " LIMIT ", "DELETE FROM t WHERE id="})
+	b := fragments.NewSet([]string{" LIMIT ", "DELETE FROM t WHERE id=", "SELECT a FROM t WHERE id="})
+	if va, vb := ComputeVersion(a, nil, sqltoken.MySQL, ""), ComputeVersion(b, nil, sqltoken.MySQL, ""); va != vb {
+		t.Fatalf("extraction order changed the version: %q vs %q", va, vb)
+	}
+}
+
+// TestComputeVersionSensitivity: every input that changes what the
+// pipeline decides must change the version — fragments, profile store,
+// dialect and the limits tag — while nil set/store hash as empty.
+func TestComputeVersionSensitivity(t *testing.T) {
+	set := fragments.NewSet([]string{"SELECT a FROM t WHERE id="})
+	rec := profile.NewRecorderDialect(sqltoken.MySQL)
+	rec.Record("app.php:10", "SELECT a FROM t WHERE id=5")
+	base := ComputeVersion(set, nil, sqltoken.MySQL, "q0:t0")
+
+	variants := map[string]string{
+		"fragment added": ComputeVersion(
+			fragments.NewSet([]string{"SELECT a FROM t WHERE id=", " OR name="}), nil, sqltoken.MySQL, "q0:t0"),
+		"profiles trained": ComputeVersion(set, rec.Store(), sqltoken.MySQL, "q0:t0"),
+		"dialect changed":  ComputeVersion(set, nil, sqltoken.Postgres, "q0:t0"),
+		"limits changed":   ComputeVersion(set, nil, sqltoken.MySQL, "q4096:t128"),
+		"nil set":          ComputeVersion(nil, nil, sqltoken.MySQL, "q0:t0"),
+	}
+	seen := map[string]string{base: "base"}
+	for name, v := range variants {
+		if prev, dup := seen[v]; dup {
+			t.Errorf("%s collides with %s: %q", name, prev, v)
+		}
+		seen[v] = name
+	}
+}
+
+func TestComputeVersionNilInputsStable(t *testing.T) {
+	v1 := ComputeVersion(nil, nil, sqltoken.MySQL, "")
+	v2 := ComputeVersion(nil, nil, sqltoken.MySQL, "")
+	if v1 != v2 || len(v1) != VersionLen {
+		t.Fatalf("nil inputs not stable: %q vs %q", v1, v2)
+	}
+}
+
+// TestSnapshotVersionStampedOnVerdicts: a versioned snapshot stamps its
+// version on every verdict it serves; an unversioned one leaves the field
+// empty — pre-versioning callers see the exact struct they always did.
+func TestSnapshotVersionStampedOnVerdicts(t *testing.T) {
+	eng := New(&Snapshot{Version: "feedfacefeedface"})
+	v, err := eng.Check(context.Background(), Request{Query: "SELECT 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Version != "feedfacefeedface" {
+		t.Fatalf("verdict version = %q, want the snapshot's", v.Version)
+	}
+	unversioned := New(&Snapshot{})
+	uv, err := unversioned.Check(context.Background(), Request{Query: "SELECT 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uv.Version != "" {
+		t.Fatalf("unversioned snapshot stamped %q", uv.Version)
+	}
+}

@@ -312,6 +312,13 @@ type ShardHealth struct {
 	// that ran out of reconnection attempts.
 	Dials     uint64 `json:"dials,omitempty"`
 	Exhausted uint64 `json:"exhausted,omitempty"`
+	// Version is the snapshot version the shard most recently reported on a
+	// reply or stats fetch (empty for unversioned shards). During a rollout
+	// the fleet briefly shows mixed versions here; StaleServed counts
+	// verdicts this shard served while its version differed from the
+	// fleet's current one.
+	Version     string `json:"version,omitempty"`
+	StaleServed uint64 `json:"staleServed,omitempty"`
 	// Err notes a shard that could not answer a fleet-wide control fetch
 	// (its counters are excluded from the merged snapshot).
 	Err string `json:"err,omitempty"`
@@ -354,6 +361,12 @@ type Snapshot struct {
 	ProfileAttacks   uint64 `json:"profileAttacks,omitempty"`
 	ProfileSites     uint64 `json:"profileSites,omitempty"`
 	ProfileSkeletons uint64 `json:"profileSkeletons,omitempty"`
+
+	// SnapshotVersion is the content-derived version of the analysis
+	// snapshot serving checks (empty for unversioned owners). A merged
+	// fleet snapshot carries the sole version when all shards agree and
+	// the sentinel "mixed" while a rollout is in flight.
+	SnapshotVersion string `json:"snapshotVersion,omitempty"`
 
 	// DegradedChecks counts checks served without a PTI verdict because
 	// the daemon transport was unavailable: the remote HybridClient fell
@@ -443,6 +456,13 @@ func Merge(snaps ...Snapshot) Snapshot {
 	stageOrder := []string{}
 	stages := map[string]*stageMerge{}
 	for _, s := range snaps {
+		switch {
+		case s.SnapshotVersion == "":
+		case out.SnapshotVersion == "":
+			out.SnapshotVersion = s.SnapshotVersion
+		case out.SnapshotVersion != s.SnapshotVersion:
+			out.SnapshotVersion = "mixed"
+		}
 		out.Checks += s.Checks
 		out.Attacks += s.Attacks
 		out.NTIAttacks += s.NTIAttacks

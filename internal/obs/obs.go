@@ -8,6 +8,9 @@
 //	/metrics        Prometheus text format (counters, latency and
 //	                per-stage histograms)
 //	/healthz        liveness probe ("ok")
+//	/readyz         readiness probe: 503 until the owner has a committed
+//	                analysis snapshot and flips back to 503 before drain
+//	                stops accepting (see WithReady)
 //	/traces         recent + notable decision traces as JSON
 //	/debug/pprof/   the standard Go profiling handlers
 package obs
@@ -32,17 +35,34 @@ import (
 type Server struct {
 	snapshot func() metrics.Snapshot
 	tracer   *trace.Tracer
+	ready    func() bool
 
 	mu   sync.Mutex
 	ln   net.Listener
 	http *http.Server
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithReady wires the /readyz probe to ready: the endpoint answers 503
+// until ready() reports true. Liveness (/healthz) is unaffected — a
+// process that is up but has no committed snapshot, or is draining, is
+// alive but not ready. Without this option /readyz always answers ok,
+// matching owners that are ready the moment they serve.
+func WithReady(ready func() bool) Option {
+	return func(s *Server) { s.ready = ready }
+}
+
 // NewServer returns a server exporting snapshots from snapshot and traces
 // from tracer. tracer may be nil (the /traces endpoint serves an empty
 // dump); snapshot must be non-nil and safe for concurrent use.
-func NewServer(snapshot func() metrics.Snapshot, tracer *trace.Tracer) *Server {
-	return &Server{snapshot: snapshot, tracer: tracer}
+func NewServer(snapshot func() metrics.Snapshot, tracer *trace.Tracer, opts ...Option) *Server {
+	s := &Server{snapshot: snapshot, tracer: tracer}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the endpoint mux, for callers that want to mount the
@@ -51,6 +71,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -107,6 +128,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("ok\n"))
 }
 
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.ready != nil && !s.ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}
+
 func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -128,6 +159,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func WritePrometheus(b *strings.Builder, s metrics.Snapshot) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	if s.SnapshotVersion != "" && s.SnapshotVersion != "mixed" {
+		fmt.Fprintf(b, "# HELP joza_snapshot_version_info Content-derived version of the serving analysis snapshot.\n# TYPE joza_snapshot_version_info gauge\njoza_snapshot_version_info{version=%q} 1\n", s.SnapshotVersion)
 	}
 	counter("joza_checks_total", "Queries analyzed by the hybrid guard.", s.Checks)
 	counter("joza_attacks_total", "Queries flagged as attacks.", s.Attacks)
@@ -196,6 +230,37 @@ func WritePrometheus(b *strings.Builder, s metrics.Snapshot) {
 			func(sh metrics.ShardHealth) uint64 { return sh.Dials })
 		shardCounter("joza_shard_exhausted_total", "Requests that exhausted reconnection attempts per shard.",
 			func(sh metrics.ShardHealth) uint64 { return sh.Exhausted })
+		versioned := 0
+		for _, sh := range s.Shards {
+			if sh.Version != "" {
+				versioned++
+			}
+		}
+		if versioned > 0 {
+			// Skew counts shards disagreeing with the dominant reported
+			// version; 0 means the fleet serves one coherent generation.
+			byVer := make(map[string]int)
+			for _, sh := range s.Shards {
+				if sh.Version != "" {
+					byVer[sh.Version]++
+				}
+			}
+			dominant := 0
+			for _, n := range byVer {
+				if n > dominant {
+					dominant = n
+				}
+			}
+			fmt.Fprintf(b, "# HELP joza_shard_snapshot_info Snapshot version last reported by each shard.\n# TYPE joza_shard_snapshot_info gauge\n")
+			for _, sh := range s.Shards {
+				if sh.Version != "" {
+					fmt.Fprintf(b, "joza_shard_snapshot_info{shard=%q,version=%q} 1\n", sh.Shard, sh.Version)
+				}
+			}
+			fmt.Fprintf(b, "# HELP joza_shard_version_skew Shards whose reported snapshot version differs from the fleet's dominant one.\n# TYPE joza_shard_version_skew gauge\njoza_shard_version_skew %d\n", versioned-dominant)
+			shardCounter("joza_shard_stale_served_total", "Verdicts served by a shard while its version lagged the fleet's current one.",
+				func(sh metrics.ShardHealth) uint64 { return sh.StaleServed })
+		}
 	}
 
 	emitted := make(map[string]bool)

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"joza/internal/metrics"
+)
+
+// TestReadyzDistinctFromHealthz: /healthz answers 200 for a live process
+// regardless of readiness, while /readyz follows the WithReady callback —
+// 503 before a snapshot serves or once a drain begins. Without WithReady
+// the endpoint degrades to liveness, so pre-readiness deployments keep
+// their behavior.
+func TestReadyzDistinctFromHealthz(t *testing.T) {
+	var ready atomic.Bool
+	snap := testSnapshot()
+	srv := NewServer(func() metrics.Snapshot { return snap }, nil, WithReady(ready.Load))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	base := "http://" + addr.String()
+
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Fatalf("healthz = %d, want 200 while not ready", code)
+	}
+	if code, body := get(t, base+"/readyz"); code != 503 || !strings.Contains(body, "not ready") {
+		t.Fatalf("readyz before ready = %d %q, want 503 not ready", code, body)
+	}
+	ready.Store(true)
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("readyz once ready = %d, want 200", code)
+	}
+	// The drain begins: readiness flips while liveness holds.
+	ready.Store(false)
+	if code, _ := get(t, base+"/readyz"); code != 503 {
+		t.Fatalf("readyz during drain = %d, want 503", code)
+	}
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Fatalf("healthz during drain = %d, want 200", code)
+	}
+}
+
+func TestReadyzDefaultsToLiveness(t *testing.T) {
+	_, base := startTestServer(t, nil)
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("readyz without WithReady = %d, want 200", code)
+	}
+}
+
+// TestPrometheusVersionSeries: a versioned snapshot exports the
+// joza_snapshot_version_info gauge; per-shard versions export as info
+// series plus a skew gauge counting shards off the dominant version and a
+// stale-served counter per shard. A "mixed" fleet suppresses the
+// fleet-level info series (there is no one version to claim).
+func TestPrometheusVersionSeries(t *testing.T) {
+	snap := testSnapshot()
+	snap.SnapshotVersion = "feedfacefeedface"
+	snap.Shards = []metrics.ShardHealth{
+		{Shard: "a", BreakerState: "closed", Version: "feedfacefeedface"},
+		{Shard: "b", BreakerState: "closed", Version: "feedfacefeedface"},
+		{Shard: "c", BreakerState: "closed", Version: "0123456789abcdef", StaleServed: 3},
+	}
+	srv := NewServer(func() metrics.Snapshot { return snap }, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	_, body := get(t, "http://"+addr.String()+"/metrics")
+
+	for _, want := range []string{
+		`joza_snapshot_version_info{version="feedfacefeedface"} 1`,
+		`joza_shard_snapshot_info{shard="a",version="feedfacefeedface"} 1`,
+		`joza_shard_snapshot_info{shard="c",version="0123456789abcdef"} 1`,
+		"joza_shard_version_skew 1",
+		`joza_shard_stale_served_total{shard="c"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestPrometheusMixedVersionSuppressesFleetGauge(t *testing.T) {
+	snap := testSnapshot()
+	snap.SnapshotVersion = "mixed"
+	srv := NewServer(func() metrics.Snapshot { return snap }, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	_, body := get(t, "http://"+addr.String()+"/metrics")
+	if strings.Contains(body, "joza_snapshot_version_info") {
+		t.Error("mixed fleet must not claim a single version_info series")
+	}
+}

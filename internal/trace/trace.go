@@ -117,6 +117,11 @@ type Span struct {
 	// OverBudget names the cost budget this check exceeded; the verdict
 	// was synthesized by the failure mode.
 	OverBudget string `json:"overBudget,omitempty"`
+	// VersionSkew records that this verdict was served by a shard whose
+	// snapshot version differs from the fleet's current one (mid-rollout or
+	// after a partial rollout failure): the detail names the shard and both
+	// versions. Skewed spans always enter the notable ring.
+	VersionSkew string `json:"versionSkew,omitempty"`
 
 	// CacheOutcome is the PTI cache verdict: query-hit, structure-hit or
 	// miss (empty when PTI is disabled).
@@ -231,6 +236,15 @@ func (s *Span) SetOverBudget(budget string) {
 		return
 	}
 	s.OverBudget = budget
+}
+
+// SetVersionSkew records that a stale shard served this verdict. Skewed
+// spans always enter the notable ring.
+func (s *Span) SetVersionSkew(detail string) {
+	if s == nil {
+		return
+	}
+	s.VersionSkew = detail
 }
 
 // AddInput appends one input's match evidence and accumulates its match
@@ -410,7 +424,7 @@ func (t *Tracer) Finish(s *Span) {
 	s.TotalNs = int64(time.Since(s.start))
 	t.finished.Add(1)
 	notable := s.Attack || s.Degraded || s.Panic != "" || s.OverBudget != "" ||
-		(t.slow > 0 && s.TotalNs >= t.slow)
+		s.VersionSkew != "" || (t.slow > 0 && s.TotalNs >= t.slow)
 	t.mu.Lock()
 	t.recent.push(*s)
 	if notable {

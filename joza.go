@@ -497,6 +497,8 @@ func New(opts ...Option) (*Guard, error) {
 			snap.Profiles = cfg.profileStore
 			snap.Analyzers = append(snap.Analyzers, engine.ProfileStage{Store: cfg.profileStore, BlockUnknownSites: cfg.profileStrict})
 		}
+		snap.Version = engine.ComputeVersion(set, snap.Profiles, cfg.dialect,
+			fmt.Sprintf("q%d:i%d", cfg.budgets.MaxQueryBytes, cfg.budgets.MaxInputBytes))
 		return snap, nil
 	}
 	snap, err := buildSnap(set)
@@ -576,6 +578,13 @@ func (g *Guard) FragmentCount() int { return g.eng.Snapshot().Set.Len() }
 // inspection (Table III-style output).
 func (g *Guard) SampleFragments(n int) []string { return g.eng.Snapshot().Set.Sample(n) }
 
+// SnapshotVersion returns the content-derived version of the analysis
+// snapshot currently serving checks: a stable hash over the fragment set,
+// profile store, dialect and limits. Every Verdict carries the version of
+// the snapshot that produced it, so a verdict's Version matching this
+// value proves it came from the current policy generation.
+func (g *Guard) SnapshotVersion() string { return g.eng.Snapshot().Version }
+
 // Policy returns the Guard's recovery policy.
 func (g *Guard) Policy() Policy { return g.policy }
 
@@ -627,6 +636,7 @@ func (g *Guard) AuthorizeContextAt(ctx context.Context, site, query string, inpu
 func (g *Guard) Metrics() Metrics {
 	snap := g.eng.Collector().Snapshot()
 	es := g.eng.Snapshot()
+	snap.SnapshotVersion = es.Version
 	if es.PTI != nil {
 		st := es.PTI.Stats()
 		snap.CacheQueryHits = st.QueryHits

@@ -64,6 +64,11 @@ func (m *Manager) FileCount() int { return m.ins.FileCount() }
 // snapshot's analyzers.
 func (m *Manager) Metrics() Metrics { return m.Guard().Metrics() }
 
+// SnapshotVersion returns the content-derived version of the analysis
+// snapshot currently serving checks (it changes on every Refresh that
+// swaps in new content). See Guard.SnapshotVersion.
+func (m *Manager) SnapshotVersion() string { return m.Guard().SnapshotVersion() }
+
 // Refresh rescans the source tree; when files were added, modified or
 // removed — or an earlier rebuild failed and is still owed — it rebuilds
 // the analysis snapshot and swaps it into the engine. It reports whether

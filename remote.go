@@ -52,7 +52,28 @@ type (
 	// threshold) for a RemoteGuard; the in-process Guard configures the
 	// same knobs through ObservabilityConfig.
 	TraceConfig = trace.Config
+	// SkewPolicy selects how a DaemonShardedPool treats verdicts served
+	// by a shard whose snapshot version lags the fleet (rollout windows).
+	SkewPolicy = daemon.SkewPolicy
+	// RolloutReport describes a fleet-wide two-phase snapshot rollout:
+	// the converged version plus every shard's terminal state.
+	RolloutReport = daemon.RolloutReport
+	// ShardRollout is one shard's outcome within a RolloutReport.
+	ShardRollout = daemon.ShardRollout
 )
+
+// Skew policies for mixed-version rollout windows, re-exported.
+const (
+	// SkewWarn serves stale verdicts but counts and (optionally) traces
+	// them — availability over coherence (default).
+	SkewWarn = daemon.SkewWarn
+	// SkewRefuseMixed refuses verdicts from stale shards per check (per
+	// item in batches) with ErrVersionSkew on the healthy stream.
+	SkewRefuseMixed = daemon.SkewRefuseMixed
+)
+
+// ErrVersionSkew wraps refusals issued under SkewRefuseMixed.
+var ErrVersionSkew = daemon.ErrVersionSkew
 
 // Degradation policies for daemon outages, re-exported. Fail-open keeps
 // NTI active — the hybrid's other half still screens every input.
@@ -96,6 +117,14 @@ func WithDaemonShardKey(fn func(query string) string) DaemonShardOption {
 // and error messages (default: the dialed addresses).
 func WithDaemonShardNames(names []string) DaemonShardOption {
 	return daemon.WithShardNames(names)
+}
+
+// WithDaemonSkewPolicy sets how the fleet client treats verdicts from
+// version-skewed shards (default SkewWarn). Coordinate fleet upgrades
+// with DaemonShardedPool.Rollout to keep the skew window to the width of
+// one commit round.
+func WithDaemonSkewPolicy(p SkewPolicy) DaemonShardOption {
+	return daemon.WithSkewPolicy(p)
 }
 
 // NewRemoteGuard builds the application-side hybrid over a daemon
